@@ -1,0 +1,65 @@
+"""The in-text s258 experiments (§V-A, Fig. 21).
+
+1. **Biased data** — with >99% of ``a`` positive the paper reports the
+   vectorized loop 2.0x faster than scalar; with TSVC's default data the
+   run time is data-dependent and roughly neutral.  Our s258 gathers the
+   conditionally-updated scalar, so we reproduce a consistent (data-
+   independent) win plus the biased case staying at least as fast.
+2. **Arrays as parameters** — the compiler must additionally prove the
+   arrays distinct: a second level of versioning whose alias checks are
+   hoisted out of the loop and amortized (the paper reports similar
+   speedups to the global-array variant).  We assert the parameter
+   variant still vectorizes, its checks are loop-invariant (dynamic
+   check count stays O(1) per call, not O(n)), and its speedup is in the
+   same ballpark as the global variant.
+"""
+
+from conftest import report
+
+from repro.perf.measure import run_workload, verified_run
+from repro.workloads import tsvc
+
+
+def _run():
+    lines = ["s258 speculation experiments (paper §V-A)"]
+
+    default = tsvc.workloads()
+    s258 = [w for w in default if w.name == "s258"][0]
+    base = verified_run(s258, "O3-scalar", reference=run_workload(s258, "O0"))
+    vec = verified_run(s258, "supervec+v", reference=base)
+    sp_default = base.cycles / vec.cycles
+    lines.append(f"s258 (default data)   speedup over scalar: {sp_default:5.2f}x")
+
+    biased = tsvc.s258_biased()
+    base_b = verified_run(biased, "O3-scalar", reference=run_workload(biased, "O0"))
+    vec_b = verified_run(biased, "supervec+v", reference=base_b)
+    sp_biased = base_b.cycles / vec_b.cycles
+    lines.append(f"s258 (>99% positive)  speedup over scalar: {sp_biased:5.2f}x  (paper: 2.0x)")
+
+    params = tsvc.s258_parameter_variant()
+    base_p = verified_run(params, "O3-scalar", reference=run_workload(params, "O0"))
+    vec_p = verified_run(params, "supervec+v", reference=base_p)
+    sp_params = base_p.cycles / vec_p.cycles
+    checks = vec_p.counters.checks
+    backedges = max(vec_p.counters.backedges, 1)
+    lines.append(
+        f"s258 (parameter arrays, two-level) speedup: {sp_params:5.2f}x, "
+        f"dynamic checks: {checks} over {backedges} loop iterations"
+    )
+    lines.append(
+        "paper: similar speedups with two levels of versioning because the "
+        "alias checks hoist out of the loop and amortize"
+    )
+    return "\n".join(lines), sp_default, sp_biased, sp_params, checks, backedges
+
+
+def test_s258_speculation(benchmark):
+    text, sp_d, sp_b, sp_p, checks, backedges = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    report("s258_speculation", text)
+    assert sp_p > 1.0, "parameter variant must still vectorize profitably"
+    # hoisted checks: far fewer dynamic checks than loop iterations
+    assert checks < backedges
+    # two-level versioning lands near the global-array variant
+    assert sp_p > 0.7 * sp_d

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables/figures:
+simulated-cycle speedups are printed as the paper-style rows/series and
+also written to ``benchmarks/results/<name>.txt``.  pytest-benchmark
+times the (deterministic) harness run itself; the numbers that matter are
+the printed cycle ratios.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print()
+    print(text)
+    print(f"[written to {path}]")

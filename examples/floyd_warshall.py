@@ -1,0 +1,35 @@
+"""Vectorizing floyd-warshall (paper §V-A, Figs. 17/18).
+
+The in-place update on ``path`` defeats both static dependence analysis
+and classic loop versioning (the conflict is loop-variant), so neither
+plain SLP nor the LLVM-style baseline vectorizes it.  The fine-grained
+framework checks the conflict per iteration group and executes the
+vectorized code when it is absent — the Fig. 18 code shape.
+
+Run:  python examples/floyd_warshall.py
+"""
+
+from repro.perf.measure import run_workload, verified_run
+from repro.workloads import polybench
+
+
+def main() -> None:
+    w = polybench.floyd_warshall()
+    print(f"kernel: {w.name}  (N = {polybench.N}, in-place path updates)\n")
+    base = run_workload(w, "O3-scalar")
+    print(f"{'configuration':22s} {'cycles':>10s} {'speedup':>8s} {'vector ops':>11s} {'checks':>7s}")
+    print(f"{'-O3 scalar':22s} {base.cycles:10.0f} {1.0:8.2f} "
+          f"{base.counters.vector_ops:11d} {base.counters.checks:7d}")
+    for level, label in [("supervec", "SLP, no versioning"),
+                         ("O3", "SLP + loop versioning"),
+                         ("supervec+v", "SLP + fine-grained")]:
+        r = verified_run(w, level, reference=base)
+        print(f"{label:22s} {r.cycles:10.0f} {base.cycles / r.cycles:8.2f} "
+              f"{r.counters.vector_ops:11d} {r.counters.checks:7d}")
+    print("\nOnly the fine-grained configuration vectorizes: its checks run")
+    print("inside the loop (per group of VL iterations), testing exactly the")
+    print("path[i][j:j+VL] vs path[k][j:j+VL] conflict of the paper's Fig. 18.")
+
+
+if __name__ == "__main__":
+    main()

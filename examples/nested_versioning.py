@@ -1,0 +1,33 @@
+"""Nested (two-level) versioning on s258 with parameter arrays (§V-A).
+
+With TSVC's arrays demoted to pointer parameters, speculating on the
+``a[i] > 0`` guard requires hoisting the loads of ``a`` past the stores
+to ``b`` and ``e`` — legal only if the arrays are distinct, which is a
+*second* level of versioning.  The framework promotes those alias checks
+out of the loop, so two levels cost O(1) dynamic checks per call.
+
+Run:  python examples/nested_versioning.py
+"""
+
+from repro.perf.measure import run_workload, verified_run
+from repro.workloads import tsvc
+
+
+def main() -> None:
+    for w, label in [
+        (next(x for x in tsvc.workloads() if x.name == "s258"), "globals (one level)"),
+        (tsvc.s258_parameter_variant(), "parameters (two levels)"),
+    ]:
+        base = run_workload(w, "O3-scalar")
+        r = verified_run(w, "supervec+v", reference=base)
+        print(f"s258 with {label:24s} speedup={base.cycles / r.cycles:5.2f}x  "
+              f"dynamic checks={r.counters.checks:3d} over "
+              f"{r.counters.backedges} iterations")
+    print("\nThe parameter variant needs the extra alias level, yet its check")
+    print("count stays far below the iteration count: condition promotion")
+    print("(§IV-A) hoisted the intersects checks out of the loop, exactly the")
+    print("amortization the paper reports for this experiment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: the paper's running example, end to end.
+
+Compiles Fig. 1, prints the predicated-SSA IR (Fig. 4), the dependence
+conditions (Fig. 7), the inferred *nested* versioning plan (Fig. 12),
+the materialized program (Fig. 15), and then executes both programs
+under different aliasing scenarios to show they agree — while the
+versioned one has made the two stores independent.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import DependenceGraph
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import print_function
+from repro.versioning import VersioningFramework
+
+SOURCE = """
+extern void cold_func(void);
+void f(double *X, double *Y) {
+  Y[0] = 0.0;
+  if (X[0] != 0.0) cold_func();
+  Y[1] = 0.0;
+}
+"""
+
+
+def run(module, x_aliases_y0: bool, x_value: float):
+    calls = []
+    interp = Interpreter(module, externals={"cold_func": lambda i, m, a: calls.append(1)})
+    if x_aliases_y0:
+        y = interp.memory.alloc(2)
+        x = y
+    else:
+        x = interp.memory.alloc(1)
+        y = interp.memory.alloc(2)
+    interp.memory.store(x, x_value)
+    res = interp.run(module["f"], [x, y])
+    return interp.memory.read_array(y, 2), len(calls), res.counters.checks
+
+
+def main() -> None:
+    module = compile_c(SOURCE)
+    fn = module["f"]
+
+    print("=== predicated SSA (paper Fig. 4) ===")
+    print(print_function(fn))
+
+    print("\n=== dependence conditions (paper Fig. 7) ===")
+    graph = DependenceGraph(fn)
+    for edge in graph.all_edges():
+        kind = "conditional " if edge.conditional else "unconditional"
+        print(f"  {edge.src.display_name():14s} -> {edge.dst.display_name():14s}"
+              f"  [{kind}] {edge.cond!r}")
+
+    stores = [i for i in fn.instructions() if i.opcode == "store"]
+    vf = VersioningFramework(fn)
+    plan = vf.infer_for_items(stores)
+    assert plan is not None
+    print("\n=== inferred nested versioning plan (paper Fig. 12) ===")
+    print(plan.describe())
+
+    vf.materialize([plan])
+    print("\n=== materialized program (paper Fig. 15) ===")
+    print(print_function(fn))
+
+    print("\n=== execution: versioned program vs the original ===")
+    reference = compile_c(SOURCE)
+    for aliases, xv in [(False, 0.0), (False, 5.0), (True, 5.0)]:
+        ref = run(reference, aliases, xv)
+        ver = run(module, aliases, xv)
+        scenario = "X aliases &Y[0]" if aliases else "disjoint"
+        print(f"  {scenario:16s} x={xv}:  Y={ver[0]}  cold_func calls={ver[1]} "
+              f"checks={ver[2]}  (matches original: {ref[:2] == ver[:2]})")
+
+
+if __name__ == "__main__":
+    main()

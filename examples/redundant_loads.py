@@ -1,0 +1,63 @@
+"""Redundant load elimination with versioning (paper §V-B).
+
+A load of ``a[0]`` is repeated after a store through ``b`` that *might*
+alias it.  Static analysis must keep both loads; the versioning
+framework checks ``a != b`` once and the check-passing path keeps a
+single load.  We run the optimized kernel with disjoint and with
+aliased pointers to show both paths behave exactly like the original.
+
+Run:  python examples/redundant_loads.py
+"""
+
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import print_function
+from repro.rle import run_rle
+
+SOURCE = """
+double f(double *a, double *b) {
+  double x = a[0];
+  b[0] = x * 2.0;
+  double y = a[0];
+  b[1] = y * 3.0;
+  return x + y;
+}
+"""
+
+
+def run(module, aliased: bool):
+    interp = Interpreter(module)
+    if aliased:
+        a = interp.memory.alloc(2)
+        b = a  # the store b[0] really clobbers a[0]
+    else:
+        a = interp.memory.alloc(2)
+        b = interp.memory.alloc(2)
+    interp.memory.store(a, 5.0)
+    res = interp.run(module["f"], [a, b])
+    return res.return_value, res.counters.loads, res.counters.checks
+
+
+def main() -> None:
+    original = compile_c(SOURCE)
+    optimized = compile_c(SOURCE)
+    stats = run_rle(optimized["f"])
+    print(f"RLE: {stats.groups_committed} group committed, "
+          f"{stats.loads_removed} load removed, "
+          f"{stats.plans_materialized} versioning plan materialized\n")
+    print("=== optimized IR ===")
+    print(print_function(optimized["f"]))
+    print()
+    for aliased in (False, True):
+        ref = run(original, aliased)
+        opt = run(optimized, aliased)
+        label = "a == b (aliased)" if aliased else "a, b disjoint"
+        print(f"{label:18s} original: value={ref[0]:6.1f} loads={ref[1]}   "
+              f"optimized: value={opt[0]:6.1f} loads={opt[1]} checks={opt[2]}")
+    print("\nDisjoint pointers: the check passes and one dynamic load")
+    print("disappears. Aliased pointers: the check fails, the cloned loads")
+    print("run in original order, and the result is still exact.")
+
+
+if __name__ == "__main__":
+    main()

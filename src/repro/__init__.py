@@ -1,0 +1,15 @@
+"""Reproduction of "A Framework for Fine-Grained Program Versioning"
+(Chen & Amarasinghe, MICRO 2024), built from scratch in Python.
+
+Public surface:
+
+* :mod:`repro.versioning` — the framework (plan inference + materialization)
+* :mod:`repro.frontend`   — mini-C to predicated SSA
+* :mod:`repro.vectorizer` — versioning-aware SLP (client 1)
+* :mod:`repro.rle`        — versioned redundant load elimination (client 2)
+* :mod:`repro.interp`     — the deterministic cycle-counting testbed
+* :mod:`repro.pipeline` / :mod:`repro.perf` / :mod:`repro.workloads` —
+  -O3-style pipelines, verified measurement, benchmark suites
+"""
+
+__version__ = "1.0.0"

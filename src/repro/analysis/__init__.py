@@ -1,0 +1,40 @@
+"""Program analyses: affine SCEV, alias analysis, memory locations, and the
+conditional dependence graph (paper Figs. 5-7)."""
+
+from .affine import (
+    AddRec,
+    Affine,
+    addrec_of,
+    addrec_of_affine,
+    affine_of,
+    difference,
+    is_invariant,
+    mu_step,
+    trip_count_affine,
+)
+from .alias import NOALIAS_GROUPS_KEY, AliasAnalysis, AliasResult, add_noalias_group
+from .conditions import (
+    FALSE_COND,
+    TRUE_COND,
+    DepCond,
+    IntersectCond,
+    OrCond,
+    PredCond,
+    SymRange,
+    flatten,
+    make_or,
+)
+from .depgraph import DepEdge, DependenceGraph, range_of
+from .memloc import MemLoc, mem_location
+from .promote import promote_intersect, promote_intersect_ranges, promote_through_loops
+
+__all__ = [
+    "AddRec", "Affine", "addrec_of", "addrec_of_affine", "affine_of",
+    "difference", "is_invariant", "mu_step", "trip_count_affine",
+    "NOALIAS_GROUPS_KEY", "AliasAnalysis", "AliasResult", "add_noalias_group",
+    "FALSE_COND", "TRUE_COND", "DepCond", "IntersectCond", "OrCond",
+    "PredCond", "SymRange", "flatten", "make_or",
+    "DepEdge", "DependenceGraph", "range_of",
+    "MemLoc", "mem_location",
+    "promote_intersect", "promote_intersect_ranges", "promote_through_loops",
+]

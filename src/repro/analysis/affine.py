@@ -1,0 +1,266 @@
+"""Affine (linear) symbolic expressions over IR values — SCEV-lite.
+
+An :class:`Affine` is ``const + sum(coeff_k * sym_k)`` where each symbol is
+an opaque IR value (argument, mu, load result, ...).  This is the engine
+behind:
+
+* memory-location decomposition (base pointer + affine offset),
+* static disambiguation of same-base accesses whose offsets differ by a
+  constant,
+* redundant-condition elimination (§IV-A: two intersection checks are
+  equivalent when range offsets match), and
+* condition promotion (§IV-A: rewriting an induction-variable-dependent
+  range as a loop-invariant range via the add-recurrence of the IV).
+
+:func:`addrec_of` recognizes ``v = base + step * k`` (k the iteration
+counter of a given loop) — the classic SCEV add-recurrence restricted to
+what the paper's checks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.instructions import BinOp, Cast, Instruction, Mu, PtrAdd, UnOp
+from repro.ir.loops import Loop
+from repro.ir.values import Constant, Value
+
+
+class Affine:
+    """Immutable affine form ``const + Σ coeff * symbol``."""
+
+    __slots__ = ("terms", "const")
+
+    def __init__(self, terms: Optional[dict[Value, int]] = None, const: int = 0):
+        self.terms: dict[Value, int] = {
+            k: v for k, v in (terms or {}).items() if v != 0
+        }
+        self.const = const
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def constant(c: int) -> "Affine":
+        return Affine({}, c)
+
+    @staticmethod
+    def symbol(v: Value) -> "Affine":
+        return Affine({v: 1}, 0)
+
+    # -- algebra ---------------------------------------------------------------
+
+    def add(self, other: "Affine") -> "Affine":
+        terms = dict(self.terms)
+        for k, c in other.terms.items():
+            terms[k] = terms.get(k, 0) + c
+        return Affine(terms, self.const + other.const)
+
+    def sub(self, other: "Affine") -> "Affine":
+        return self.add(other.scale(-1))
+
+    def scale(self, c: int) -> "Affine":
+        if c == 0:
+            return Affine.constant(0)
+        return Affine({k: v * c for k, v in self.terms.items()}, self.const * c)
+
+    # -- queries ------------------------------------------------------------------
+
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def symbols(self) -> list[Value]:
+        return list(self.terms)
+
+    def coeff(self, v: Value) -> int:
+        return self.terms.get(v, 0)
+
+    def drop(self, v: Value) -> "Affine":
+        terms = dict(self.terms)
+        terms.pop(v, None)
+        return Affine(terms, self.const)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Affine)
+            and self.const == other.const
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.const, frozenset(self.terms.items())))
+
+    def __str__(self) -> str:
+        parts = []
+        for v, c in sorted(self.terms.items(), key=lambda kv: kv[0].vid):
+            name = v.display_name()
+            parts.append(name if c == 1 else f"{c}*{name}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Affine({self})"
+
+
+def difference(a: Affine, b: Affine) -> Optional[int]:
+    """The constant ``a - b``, or None if they differ symbolically."""
+    d = a.sub(b)
+    return d.const if d.is_constant() else None
+
+
+def affine_of(value: Value, _depth: int = 0) -> Affine:
+    """Decompose ``value`` into affine form.
+
+    Unanalyzable sub-expressions become opaque symbols, so the result is
+    always exact: ``affine_of(v)`` evaluated over any environment equals
+    ``v``'s value.
+    """
+    if _depth > 64:
+        return Affine.symbol(value)
+    if isinstance(value, Constant):
+        if isinstance(value.value, bool) or not isinstance(value.value, int):
+            # float/bool constants are not offsets; keep opaque
+            return Affine.symbol(value)
+        return Affine.constant(value.value)
+    if isinstance(value, PtrAdd):
+        return affine_of(value.base, _depth + 1).add(affine_of(value.index, _depth + 1))
+    if isinstance(value, BinOp):
+        a = affine_of(value.operands[0], _depth + 1)
+        b = affine_of(value.operands[1], _depth + 1)
+        if value.op == "add":
+            return a.add(b)
+        if value.op == "sub":
+            return a.sub(b)
+        if value.op == "mul":
+            if a.is_constant():
+                return b.scale(a.const)
+            if b.is_constant():
+                return a.scale(b.const)
+        if value.op == "shl" and b.is_constant():
+            return a.scale(1 << b.const)
+        return Affine.symbol(value)
+    if isinstance(value, UnOp) and value.op == "neg":
+        return affine_of(value.operands[0], _depth + 1).scale(-1)
+    return Affine.symbol(value)
+
+
+# ---------------------------------------------------------------------------
+# Add-recurrences
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AddRec:
+    """``base + step * k`` where k counts iterations of ``loop`` from 0."""
+
+    base: Affine
+    step: Affine
+    loop: Loop
+
+
+def _defined_in(loop: Loop) -> set[Value]:
+    vals: set[Value] = set(loop.mus)
+    for inst in loop.instructions():
+        vals.add(inst)
+    return vals
+
+
+def is_invariant(aff: Affine, loop: Loop, _inner: Optional[set[Value]] = None) -> bool:
+    """True when no symbol of ``aff`` is defined inside ``loop``."""
+    inner = _inner if _inner is not None else _defined_in(loop)
+    return all(s not in inner for s in aff.symbols())
+
+
+def mu_step(mu: Mu) -> Optional[Affine]:
+    """If ``mu``'s recurrence is ``mu + s`` with ``s`` loop-invariant,
+    return ``s``; otherwise None."""
+    if mu.rec is None or mu.loop is None:
+        return None
+    rec = affine_of(mu.rec)
+    if rec.coeff(mu) != 1:
+        return None
+    step = rec.drop(mu)
+    if not is_invariant(step, mu.loop):
+        return None
+    return step
+
+
+def addrec_of(value: Value, loop: Loop) -> Optional[AddRec]:
+    """Express ``value`` as ``base + step*k`` over iterations of ``loop``."""
+    return addrec_of_affine(affine_of(value), loop)
+
+
+def addrec_of_affine(aff: Affine, loop: Loop) -> Optional[AddRec]:
+    """Express an affine form as ``base + step*k`` over iterations of
+    ``loop``.
+
+    Every mu of ``loop`` appearing in the affine form must have a simple
+    invariant-step recurrence; symbols defined elsewhere inside the loop
+    defeat the analysis (returns None).  ``base`` is guaranteed
+    loop-invariant.
+    """
+    inner = _defined_in(loop)
+    base = Affine.constant(aff.const)
+    step = Affine.constant(0)
+    for sym, coeff in aff.terms.items():
+        if isinstance(sym, Mu) and sym.loop is loop:
+            s = mu_step(sym)
+            if s is None:
+                return None
+            base = base.add(affine_of(sym.init).scale(coeff))
+            step = step.add(s.scale(coeff))
+        elif sym in inner:
+            return None  # loop-variant but not a recognized recurrence
+        else:
+            base = base.add(Affine({sym: coeff}))
+    if not is_invariant(base, loop, inner) or not is_invariant(step, loop, inner):
+        return None
+    return AddRec(base, step, loop)
+
+
+def trip_count_affine(loop: Loop) -> Optional[Affine]:
+    """Loop-invariant trip count for canonical counted loops.
+
+    Recognizes a continuation of the form ``cmp lt/le (iv_next, bound)``
+    where ``iv_next`` advances an induction mu by constant step 1 and
+    ``bound`` is loop-invariant.  (This mirrors what the paper's imprecise
+    condition promotion requires: "the trip count of the loop is known
+    before the loop is executed".)  The loop runs do-while, so the count
+    is ``bound - base`` for ``lt`` (``+1`` for ``le``), as an affine over
+    loop-invariant symbols.
+    """
+    from repro.ir.instructions import Cmp
+
+    cont = loop.cont
+    if not isinstance(cont, Cmp) or cont.rel not in ("lt", "le"):
+        return None
+    nxt = addrec_of(cont.operands[0], loop)
+    bound_aff = affine_of(cont.operands[1])
+    inner = _defined_in(loop)
+    if nxt is None or not is_invariant(bound_aff, loop, inner):
+        return None
+    if not (nxt.step.is_constant() and nxt.step.const == 1):
+        return None
+    # The continuation tests iv_next = base + k on iteration k (0-based);
+    # the loop exits after the first failing iteration, so the iteration
+    # count is k* + 1 where k* is the first k with ``base + k >= bound``
+    # (lt) — i.e. ``bound - base + 1`` — and one more for ``le``.  The
+    # loop's entry guard ensures this is >= 1 whenever the loop runs.
+    count = bound_aff.sub(nxt.base).add(Affine.constant(1))
+    if cont.rel == "le":
+        count = count.add(Affine.constant(1))
+    return count
+
+
+__all__ = [
+    "Affine",
+    "AddRec",
+    "affine_of",
+    "addrec_of",
+    "addrec_of_affine",
+    "difference",
+    "is_invariant",
+    "mu_step",
+    "trip_count_affine",
+]

@@ -1,0 +1,176 @@
+"""Dependence conditions (paper Fig. 5).
+
+    c ::= p | intersects([m1,m2), [m3,m4)) | c1 ∨ c2
+
+A dependence condition is the *necessary* run-time condition for a
+dependence to exist.  Versioning works by asserting a set of these
+conditions false: ¬(necessary condition) ⇒ the dependence is absent.
+
+Memory ranges are symbolic (:class:`SymRange`): a base pointer value plus
+affine lower/upper offsets.  Keeping ranges affine — rather than plain IR
+values — is what lets condition promotion (§IV-A) rewrite an
+IV-dependent check into a loop-invariant one before any code is emitted.
+
+``operands()`` returns the IR values a materialized check would read;
+these are exactly the nodes the plan-inference recursion (Fig. 13 lines
+11-21) must make independent of the versioned code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.ir.predicates import Predicate
+from repro.ir.values import Constant, Value
+
+from .affine import Affine
+
+
+@dataclass(frozen=True)
+class SymRange:
+    """Half-open slot range ``[base + lo, base + hi)`` with affine bounds."""
+
+    base: Value
+    lo: Affine
+    hi: Affine
+
+    def symbols(self) -> set[Value]:
+        syms: set[Value] = {self.base}
+        syms.update(self.lo.symbols())
+        syms.update(self.hi.symbols())
+        return syms
+
+    def shifted(self, delta: Affine) -> "SymRange":
+        return SymRange(self.base, self.lo.add(delta), self.hi.add(delta))
+
+    def __str__(self) -> str:
+        return f"[{self.base.display_name()}+({self.lo}), {self.base.display_name()}+({self.hi}))"
+
+
+class DepCond:
+    """Base class of dependence conditions."""
+
+    def is_true(self) -> bool:
+        return False
+
+    def is_false(self) -> bool:
+        return False
+
+    def operands(self) -> set[Value]:
+        """IR values a run-time check of this condition reads."""
+        return set()
+
+
+class _TrueCond(DepCond):
+    def is_true(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+class _FalseCond(DepCond):
+    def is_false(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+TRUE_COND = _TrueCond()
+FALSE_COND = _FalseCond()
+
+
+@dataclass(frozen=True)
+class PredCond(DepCond):
+    """Dependence occurs only if ``pred`` holds (e.g. the earlier
+    instruction actually executes)."""
+
+    pred: Predicate
+
+    def operands(self) -> set[Value]:
+        return set(self.pred.values())
+
+    def __repr__(self) -> str:
+        return f"pred({self.pred})"
+
+
+@dataclass(frozen=True)
+class IntersectCond(DepCond):
+    """Dependence occurs only if the two ranges overlap at run time."""
+
+    a: SymRange
+    b: SymRange
+
+    def operands(self) -> set[Value]:
+        ops = self.a.symbols() | self.b.symbols()
+        return {v for v in ops if not isinstance(v, Constant)}
+
+    def __repr__(self) -> str:
+        return f"intersects({self.a}, {self.b})"
+
+
+@dataclass(frozen=True)
+class OrCond(DepCond):
+    parts: tuple[DepCond, ...]
+
+    def operands(self) -> set[Value]:
+        out: set[Value] = set()
+        for p in self.parts:
+            out |= p.operands()
+        return out
+
+    def __repr__(self) -> str:
+        return " | ".join(map(repr, self.parts))
+
+
+def make_or(conds: Iterable[DepCond]) -> DepCond:
+    """Disjunction with the obvious simplifications."""
+    parts: list[DepCond] = []
+    seen: set[DepCond] = set()
+    for c in conds:
+        if c.is_true():
+            return TRUE_COND
+        if c.is_false():
+            continue
+        if isinstance(c, OrCond):
+            for p in c.parts:
+                if p.is_true():
+                    return TRUE_COND
+                if p not in seen:
+                    seen.add(p)
+                    parts.append(p)
+        elif c not in seen:
+            seen.add(c)
+            parts.append(c)
+    if not parts:
+        return FALSE_COND
+    if len(parts) == 1:
+        return parts[0]
+    return OrCond(tuple(parts))
+
+
+def flatten(cond: DepCond) -> list[DepCond]:
+    """The atomic conditions of a (possibly Or) condition."""
+    if isinstance(cond, OrCond):
+        out: list[DepCond] = []
+        for p in cond.parts:
+            out.extend(flatten(p))
+        return out
+    if cond.is_false():
+        return []
+    return [cond]
+
+
+__all__ = [
+    "DepCond",
+    "TRUE_COND",
+    "FALSE_COND",
+    "PredCond",
+    "IntersectCond",
+    "OrCond",
+    "SymRange",
+    "make_or",
+    "flatten",
+]

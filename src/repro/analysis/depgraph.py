@@ -1,0 +1,277 @@
+"""Dependence graph with dependence conditions (paper Fig. 6/7).
+
+The graph is built per *scope* (a function body or one loop body): nodes
+are that scope's items — instructions and whole loops — and an edge
+``i -> j`` (i depends on j, j earlier in program order) is labeled with
+the dependence condition ``c(i, j)``:
+
+* use-def edges are unconditional, except phi/select operands which carry
+  the operand's predicate (Fig. 6's first two cases);
+* an instruction that executes under a strictly stronger predicate than
+  its dependent yields a predicate condition (``j`` must execute);
+* may-alias memory pairs yield ``intersects`` conditions;
+* loop nodes aggregate the conditions of their member memory instructions
+  (Fig. 6's final case), with ranges *promoted* to loop-invariant form —
+  if promotion fails, the check cannot run before the loop and the edge
+  degrades to unconditional.
+
+Statically provable no-alias pairs produce no edge at all, and provable
+must-alias pairs produce unconditional edges; only genuinely run-time
+facts become conditional.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from repro.ir.instructions import Eta, Instruction, Item, Mu, Phi, Select
+from repro.ir.loops import Loop, ScopeMixin
+from repro.ir.values import Value
+
+from .affine import Affine, difference
+from .alias import AliasAnalysis, AliasResult
+from .conditions import (
+    FALSE_COND,
+    TRUE_COND,
+    DepCond,
+    IntersectCond,
+    PredCond,
+    SymRange,
+    make_or,
+)
+from .memloc import mem_location
+from .promote import promote_through_loops
+
+
+def range_of(inst: Instruction) -> Optional[SymRange]:
+    """The symbolic slot range accessed by a memory instruction."""
+    loc = mem_location(inst)
+    if loc is None:
+        return None
+    return SymRange(loc.base, loc.offset, loc.offset.add(Affine.constant(loc.size)))
+
+
+class DepEdge(NamedTuple):
+    src: Item  # the dependent (later) item
+    dst: Item  # the depended-on (earlier) item
+    cond: DepCond
+
+    @property
+    def conditional(self) -> bool:
+        return not self.cond.is_true()
+
+
+def _instruction_uses(inst: Instruction) -> set[Value]:
+    uses: set[Value] = set(inst.operands)
+    uses.update(inst.predicate.values())
+    if isinstance(inst, Phi):
+        for _, p in inst.incomings():
+            uses.update(p.values())
+    return uses
+
+
+def _item_defined(item: Item) -> set[Value]:
+    if isinstance(item, Loop):
+        return set(item.header_and_body_instructions())
+    return {item}  # type: ignore[arg-type]
+
+
+def _item_used(item: Item) -> set[Value]:
+    if isinstance(item, Loop):
+        used: set[Value] = set()
+        for mu in item.mus:
+            used.add(mu.init)
+        for inst in item.instructions():
+            used |= _instruction_uses(inst)
+        used.update(item.predicate.values())
+        if item.cont is not None:
+            used.add(item.cont)
+        return used - _item_defined(item)
+    return _instruction_uses(item)  # type: ignore[arg-type]
+
+
+def _enclosing_loops(inst: Instruction, scope: ScopeMixin) -> list[Loop]:
+    """Loops containing ``inst``, innermost first, up to (not including)
+    ``scope``."""
+    loops: list[Loop] = []
+    parent = inst.parent
+    while parent is not None and parent is not scope:
+        if isinstance(parent, Loop):
+            loops.append(parent)
+        parent = getattr(parent, "parent", None)
+    return loops
+
+
+class DependenceGraph:
+    """Conditional dependence graph over one scope's items."""
+
+    def __init__(
+        self,
+        scope: ScopeMixin,
+        alias: Optional[AliasAnalysis] = None,
+        assume_independent: Optional[set[tuple[int, int]]] = None,
+    ):
+        """``assume_independent`` holds ``(id(src), id(dst))`` pairs whose
+        dependence has been discharged by an already-materialized
+        versioning plan (its run-time check guards the source); the graph
+        treats them as absent.  Clients pass a plan's ``removed_edges``
+        here when re-analyzing versioned code for scheduling."""
+        self.scope = scope
+        self.alias = alias if alias is not None else AliasAnalysis()
+        self.assume_independent = assume_independent or set()
+        self.items: list[Item] = list(scope.items)
+        self._index = {id(it): i for i, it in enumerate(self.items)}
+        self._defined = {id(it): _item_defined(it) for it in self.items}
+        self._used = {id(it): _item_used(it) for it in self.items}
+        self._def_item: dict[Value, Item] = {}
+        for it in self.items:
+            for v in self._defined[id(it)]:
+                self._def_item[v] = it
+        self._edges: dict[tuple[int, int], DepEdge] = {}
+        self._build()
+
+    # -- public API -----------------------------------------------------------
+
+    def deps(self, item: Item) -> list[DepEdge]:
+        """Edges from ``item`` to everything it depends on."""
+        i = self._index[id(item)]
+        return [e for (si, _), e in self._edges.items() if si == i]
+
+    def all_edges(self) -> list[DepEdge]:
+        return list(self._edges.values())
+
+    def cond(self, src: Item, dst: Item) -> DepCond:
+        e = self._edges.get((self._index[id(src)], self._index[id(dst)]))
+        return e.cond if e is not None else FALSE_COND
+
+    def depends(self, src: Item, dst: Item) -> bool:
+        return (self._index[id(src)], self._index[id(dst)]) in self._edges
+
+    def defining_item(self, v: Value) -> Optional[Item]:
+        return self._def_item.get(v)
+
+    # -- construction ---------------------------------------------------------
+
+    def _build(self) -> None:
+        n = len(self.items)
+        for ii in range(n):
+            i = self.items[ii]
+            for jj in range(ii):
+                j = self.items[jj]
+                cond = self._dep_condition(i, j)
+                if not cond.is_false():
+                    self._edges[(ii, jj)] = DepEdge(i, j, cond)
+
+    def _dep_condition(self, i: Item, j: Item) -> DepCond:
+        """``c(i, j)`` — the condition for i to depend directly on j."""
+        if (id(i), id(j)) in self.assume_independent:
+            return FALSE_COND
+        parts = [self._usedef_cond(i, j), self._memory_cond(i, j)]
+        return make_or(parts)
+
+    # -- use-def edges -----------------------------------------------------------
+
+    def _usedef_cond(self, i: Item, j: Item) -> DepCond:
+        defined_j = self._defined[id(j)]
+        if not (self._used[id(i)] & defined_j):
+            return FALSE_COND
+        if isinstance(i, Phi):
+            # predicate/edge-predicate uses are unconditional
+            hard: set[Value] = set(i.predicate.values())
+            for _, p in i.incomings():
+                hard.update(p.values())
+            if hard & defined_j:
+                return TRUE_COND
+            conds: list[DepCond] = []
+            for v, p in i.incomings():
+                if v in defined_j:
+                    conds.append(PredCond(p) if not p.is_true() else TRUE_COND)
+            return make_or(conds)
+        if isinstance(i, Select):
+            hard = set(i.predicate.values())
+            hard.add(i.cond)
+            if hard & defined_j:
+                return TRUE_COND
+            conds = []
+            if i.true_value in defined_j:
+                conds.append(PredCond(i.predicate.and_value(i.cond)))
+            if i.false_value in defined_j:
+                conds.append(PredCond(i.predicate.and_value(i.cond, negated=True)))
+            return make_or(conds)
+        return TRUE_COND
+
+    # -- memory edges ----------------------------------------------------------------
+
+    def _memory_cond(self, i: Item, j: Item) -> DepCond:
+        i_mems = i.mem_instructions()
+        j_mems = j.mem_instructions()
+        if not i_mems or not j_mems:
+            return FALSE_COND
+        conds: list[DepCond] = []
+        for mi in i_mems:
+            for mj in j_mems:
+                if not (mi.may_write() or mj.may_write()):
+                    continue
+                c = self._mem_pair_cond(mi, mj, i, j)
+                if c.is_true():
+                    return TRUE_COND
+                conds.append(c)
+        return make_or(conds)
+
+    def _mem_pair_cond(
+        self, mi: Instruction, mj: Instruction, top_i: Item, top_j: Item
+    ) -> DepCond:
+        res = self.alias.alias(mi, mj)
+        if res == AliasResult.NO:
+            return FALSE_COND
+        same_scope = (mi is top_i) and (mj is top_j)
+        if same_scope and _disjoint_preds(mi.predicate, mj.predicate):
+            # guarded by complementary versioning checks: the two accesses
+            # can never both execute, so no dependence exists
+            return FALSE_COND
+        if same_scope:
+            # Fig 6: j executing at a strictly stronger predicate is itself
+            # a necessary (and cheaply checkable) condition
+            pi, pj = mi.predicate, mj.predicate
+            if pj.implies(pi) and pj != pi:
+                return PredCond(pj)
+        ri, rj = range_of(mi), range_of(mj)
+        if ri is None or rj is None:
+            return TRUE_COND  # an opaque call: nothing to check
+        if res == AliasResult.MUST and same_scope:
+            return TRUE_COND
+        loops = _enclosing_loops(mi, self.scope) + _enclosing_loops(mj, self.scope)
+        if loops:
+            promoted = promote_through_loops(ri, rj, loops)
+            if promoted is None:
+                return TRUE_COND  # cannot check before the loop runs
+            ri, rj = promoted
+            # promotion may have made the ranges statically comparable
+            static = self._static_overlap(ri, rj)
+            if static is not None:
+                return TRUE_COND if static else FALSE_COND
+        return IntersectCond(ri, rj)
+
+    @staticmethod
+    def _static_overlap(a: SymRange, b: SymRange) -> Optional[bool]:
+        return _static_overlap_impl(a, b)
+
+
+def _disjoint_preds(p, q) -> bool:
+    """True when the predicates contain complementary literals — the
+    guarded items can never execute together."""
+    return any(lit.negate() in q.literals for lit in p.literals)
+
+
+def _static_overlap_impl(a: SymRange, b: SymRange) -> Optional[bool]:
+    if a.base is not b.base:
+        return None
+    lo_delta = difference(a.lo, b.hi)
+    hi_delta = difference(a.hi, b.lo)
+    if lo_delta is None or hi_delta is None:
+        return None
+    # overlap iff a.lo < b.hi and b.lo < a.hi
+    return lo_delta < 0 and hi_delta > 0
+
+
+__all__ = ["DependenceGraph", "DepEdge", "range_of"]

@@ -1,0 +1,65 @@
+"""Memory locations: base object + affine offset + size.
+
+``MemLoc`` is the operand of the paper's ``intersects([m1,m2),[m3,m4))``
+dependence conditions: a half-open slot range described symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.instructions import Alloca, Instruction
+from repro.ir.loops import GlobalArray
+from repro.ir.values import Argument, Value
+
+from .affine import Affine, affine_of
+
+
+@dataclass(frozen=True)
+class MemLoc:
+    """A memory range ``[base + offset, base + offset + size)``.
+
+    ``base`` is the *base object symbol* when one can be identified (an
+    Argument, GlobalArray, or Alloca), else an opaque pointer value.
+    ``pointer`` is the IR value holding the range's start address — the
+    thing a materialized run-time check computes with.
+    """
+
+    base: Value
+    offset: Affine
+    size: int
+    pointer: Value
+
+    def __str__(self) -> str:
+        off = str(self.offset)
+        return f"[{self.base.display_name()}+{off}, +{self.size})"
+
+
+def _is_base_object(v: Value) -> bool:
+    return isinstance(v, (GlobalArray, Alloca)) or (
+        isinstance(v, Argument) and v.type.is_pointer()
+    )
+
+
+def mem_location(inst: Instruction) -> Optional[MemLoc]:
+    """The location accessed by a memory instruction, or None (calls)."""
+    ptr = inst.pointer
+    if ptr is None:
+        return None
+    size = inst.access_slots
+    aff = affine_of(ptr)
+    base: Optional[Value] = None
+    for sym in aff.symbols():
+        if _is_base_object(sym) and aff.coeff(sym) == 1:
+            if base is not None:
+                base = None  # two candidate bases: give up
+                break
+            base = sym
+    if base is not None:
+        return MemLoc(base, aff.drop(base), size, ptr)
+    # no recognizable base: the pointer itself is the base, offset 0
+    return MemLoc(ptr, Affine.constant(0), size, ptr)
+
+
+__all__ = ["MemLoc", "mem_location"]

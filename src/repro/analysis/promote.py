@@ -1,0 +1,134 @@
+"""Condition promotion (§IV-A): make range checks loop-invariant.
+
+Two flavours, exactly as in the paper:
+
+* **Precise promotion** — when both ranges of an ``intersects`` check
+  advance by the *same* induction-variable term, the term cancels:
+  ``intersects([a+i,a+i+2), [b+i,b+i+4))`` ≡ ``intersects([a,a+2),[b,b+4))``.
+  The promoted check passes iff the original passes on every iteration.
+
+* **Imprecise (trip-count) promotion** — a range advancing by step ``s``
+  over ``N`` iterations is over-approximated by its union
+  ``[lo, hi + s*(N-1))`` (for ``s > 0``).  Requires the trip count to be
+  known before the loop runs, and — following the paper — is only applied
+  when the two ranges have *different* base objects (over-approximating
+  same-object ranges would make in-place updates always "conflict").
+
+Promotion serves two masters: the dependence graph uses it to give *loop
+nodes* checkable conditions, and the plan optimizer uses it to hoist
+per-iteration checks out of loops (the paper's s258 experiment relies on
+this to amortize two levels of versioning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.loops import Loop
+
+from .affine import (
+    Affine,
+    addrec_of_affine,
+    is_invariant,
+    trip_count_affine,
+)
+from .conditions import IntersectCond, SymRange
+
+
+@dataclass
+class PromotedPair:
+    """Result of promoting an intersects pair out of one loop."""
+
+    a: SymRange
+    b: SymRange
+    precise: bool
+
+
+def _range_addrec(rng: SymRange, loop: Loop):
+    lo = addrec_of_affine(rng.lo, loop)
+    hi = addrec_of_affine(rng.hi, loop)
+    if lo is None or hi is None:
+        return None
+    # a sane range advances uniformly: lo and hi share the step
+    if not (lo.step.sub(hi.step).is_constant() and lo.step.sub(hi.step).const == 0):
+        return None
+    return lo.base, hi.base, lo.step
+
+
+def promote_intersect_ranges(
+    a: SymRange, b: SymRange, loop: Loop
+) -> Optional[PromotedPair]:
+    """Rewrite ``(a, b)`` to be invariant w.r.t. ``loop``.
+
+    Returns None when promotion is impossible (the check would have to run
+    inside the loop).
+    """
+    if is_invariant(a.lo, loop) and is_invariant(a.hi, loop) and \
+       is_invariant(b.lo, loop) and is_invariant(b.hi, loop):
+        return PromotedPair(a, b, precise=True)
+    ra = _range_addrec(a, loop)
+    rb = _range_addrec(b, loop)
+    if ra is None or rb is None:
+        return None
+    a_lo, a_hi, a_step = ra
+    b_lo, b_hi, b_step = rb
+    # precise: identical steps cancel (their difference is what matters)
+    if a_step.sub(b_step).is_constant() and a_step.sub(b_step).const == 0:
+        return PromotedPair(
+            SymRange(a.base, a_lo, a_hi),
+            SymRange(b.base, b_lo, b_hi),
+            precise=True,
+        )
+    # imprecise: widen each range over the whole iteration space
+    if a.base is b.base:
+        return None  # paper: only across different memory objects
+    trips = trip_count_affine(loop)
+    if trips is None:
+        return None
+    if not a_step.is_constant() or not b_step.is_constant():
+        return None
+    span = trips.add(Affine.constant(-1))  # N - 1 extra iterations
+
+    def widen(lo: Affine, hi: Affine, step: int) -> tuple[Affine, Affine]:
+        if step == 0:
+            return lo, hi
+        growth = span.scale(step)
+        if step > 0:
+            return lo, hi.add(growth)
+        return lo.add(growth), hi
+
+    wa_lo, wa_hi = widen(a_lo, a_hi, a_step.const)
+    wb_lo, wb_hi = widen(b_lo, b_hi, b_step.const)
+    return PromotedPair(
+        SymRange(a.base, wa_lo, wa_hi),
+        SymRange(b.base, wb_lo, wb_hi),
+        precise=False,
+    )
+
+
+def promote_intersect(cond: IntersectCond, loop: Loop) -> Optional[IntersectCond]:
+    pair = promote_intersect_ranges(cond.a, cond.b, loop)
+    if pair is None:
+        return None
+    return IntersectCond(pair.a, pair.b)
+
+
+def promote_through_loops(
+    a: SymRange, b: SymRange, loops: list[Loop]
+) -> Optional[tuple[SymRange, SymRange]]:
+    """Promote a pair of ranges out of a nest of loops, innermost first."""
+    for loop in loops:
+        pair = promote_intersect_ranges(a, b, loop)
+        if pair is None:
+            return None
+        a, b = pair.a, pair.b
+    return a, b
+
+
+__all__ = [
+    "PromotedPair",
+    "promote_intersect",
+    "promote_intersect_ranges",
+    "promote_through_loops",
+]

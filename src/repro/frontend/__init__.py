@@ -1,0 +1,25 @@
+"""Mini-C front end: lexer, parser, and lowering to predicated SSA.
+
+The subset covers what the paper's benchmarks need: scalar int/double
+variables, constant-dimension arrays (globals, locals, and parameters),
+``restrict``-qualified pointer parameters, ``for``/``while``/``if``,
+ternaries, compound assignment, math builtins, and extern calls with
+effect annotations (``__pure`` / ``__readonly``).
+"""
+
+from .ast_nodes import CType, Program
+from .lexer import LexError, tokenize
+from .lower import LoweringError, compile_c, lower_program
+from .parser import ParseError, parse
+
+__all__ = [
+    "CType",
+    "Program",
+    "LexError",
+    "tokenize",
+    "LoweringError",
+    "compile_c",
+    "lower_program",
+    "ParseError",
+    "parse",
+]

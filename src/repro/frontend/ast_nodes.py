@@ -1,0 +1,208 @@
+"""AST for the mini-C front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# -- types ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CType:
+    """A mini-C type: 'int', 'double', 'void', pointers, and arrays.
+
+    ``dims`` holds compile-time-constant array dimensions; a pointer with
+    dims behaves like a C array parameter (``double A[N][N]``): the dims
+    only matter for address arithmetic.
+    """
+
+    base: str  # 'int' | 'double' | 'void'
+    is_pointer: bool = False
+    dims: tuple[int, ...] = ()
+    restrict: bool = False
+
+    @property
+    def is_array_like(self) -> bool:
+        return self.is_pointer or bool(self.dims)
+
+    def strides(self) -> tuple[int, ...]:
+        """Row-major element strides, one per dimension."""
+        if not self.dims:
+            return (1,)
+        strides = []
+        acc = 1
+        for d in reversed(self.dims):
+            strides.append(acc)
+            acc *= d
+        return tuple(reversed(strides))
+
+
+# -- expressions -------------------------------------------------------------
+
+
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class NumLit(Expr):
+    value: float | int
+    is_float: bool
+    line: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Index(Expr):
+    """base[e1][e2]... — base must be array-like."""
+
+    base: Expr
+    indices: list[Expr]
+    line: int = 0
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '-', '!', '+'
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # + - * / % < <= > >= == != && ||
+    lhs: Expr
+    rhs: Expr
+    line: int = 0
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+    line: int = 0
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str
+    args: list[Expr]
+    line: int = 0
+
+
+@dataclass
+class CastExpr(Expr):
+    to: str  # 'int' | 'double'
+    operand: Expr
+    line: int = 0
+
+
+# -- statements ----------------------------------------------------------------
+
+
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    name: str
+    ctype: CType
+    init: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """target = value, or compound (op is '+', '-', ... for += etc.)."""
+
+    target: Expr  # VarRef or Index
+    value: Expr
+    op: Optional[str] = None
+    line: int = 0
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: list[Stmt]
+    else_body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    update: Optional[Stmt]
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    line: int = 0
+
+
+# -- top level -------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: str  # 'void' | 'double' | 'int'
+    params: list[Param]
+    body: list[Stmt]
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    ctype: CType
+    const_value: Optional[int] = None  # for `const int N = ...;`
+    line: int = 0
+
+
+@dataclass
+class ExternDecl:
+    name: str
+    ret: str
+    pure: bool = False
+    readonly: bool = False
+    line: int = 0
+
+
+@dataclass
+class Program:
+    globals: list[GlobalDecl] = field(default_factory=list)
+    externs: list[ExternDecl] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

@@ -1,0 +1,138 @@
+"""Lexer for the mini-C front end.
+
+The language is the C subset the paper's benchmarks are written in:
+declarations, arrays, ``for``/``while``/``if``, arithmetic, comparisons,
+calls, and the ``restrict`` qualifier.  Comments (// and /* */) are
+skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "double",
+    "float",
+    "int",
+    "void",
+    "bool",
+    "if",
+    "else",
+    "for",
+    "while",
+    "return",
+    "const",
+    "restrict",
+    "extern",
+}
+
+SYMBOLS = [
+    # longest first
+    "<<=", ">>=",
+    "+=", "-=", "*=", "/=", "%=",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "[", "]", "{", "}", ",", ";", "?", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'int', 'float', 'keyword', 'symbol', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}@{self.line}:{self.col}"
+
+
+class LexError(Exception):
+    pass
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line, col = 1, 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"unterminated comment at line {line}")
+            advance(end + 2 - i)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_line, start_col = line, col
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = source[i]
+                if c.isdigit():
+                    advance(1)
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    advance(1)
+                elif c in "eE" and not seen_exp and i + 1 < n and (
+                    source[i + 1].isdigit() or source[i + 1] in "+-"
+                ):
+                    seen_exp = True
+                    advance(1)
+                    if i < n and source[i] in "+-":
+                        advance(1)
+                else:
+                    break
+            text = source[start:i]
+            # trailing f/F/l/L suffixes
+            while i < n and source[i] in "fFlL":
+                advance(1)
+            kind = "float" if (seen_dot or seen_exp) else "int"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        if ch == "(" and source.startswith("(float)", i):
+            # common benchmark cast spelling; handled as symbols
+            pass
+        matched = False
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("symbol", sym, line, col))
+                advance(len(sym))
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r} at line {line}, col {col}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+__all__ = ["Token", "tokenize", "LexError", "KEYWORDS"]

@@ -1,0 +1,559 @@
+"""Lowering from the mini-C AST to predicated SSA.
+
+Structured control flow maps directly onto the paper's IR (Fig. 3):
+
+* ``if`` — the branch condition becomes a literal refining the current
+  predicate; variables assigned in either arm are joined with a
+  predicated phi.
+* ``for``/``while`` — lowered in rotated form: the entry condition is
+  evaluated before the loop and becomes part of the loop's predicate
+  (do-while semantics inside); every scalar variable assigned in the body
+  gets a mu at the header, an eta after the loop, and an entry-guarded phi
+  joining the eta with the pre-loop value.
+* scalar variables are pure SSA (no memory); arrays live in memory.
+
+The produced IR is verifier-clean and directly executable by the
+interpreter, and it is the form on which dependence analysis and the
+versioning framework operate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir import (
+    BOOL,
+    FLOAT,
+    INT,
+    PTR,
+    Argument,
+    Effects,
+    Function,
+    IRBuilder,
+    Module,
+    Predicate,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+    verify_function,
+)
+from repro.ir.instructions import Cmp
+from repro.ir.loops import GlobalArray
+
+from .ast_nodes import (
+    AssignStmt,
+    Binary,
+    CallExpr,
+    CastExpr,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDef,
+    IfStmt,
+    Index,
+    NumLit,
+    Program,
+    ReturnStmt,
+    Stmt,
+    Ternary,
+    Unary,
+    VarRef,
+    WhileStmt,
+)
+from .parser import parse
+
+_MATH_UNARY = {
+    "sqrt": "sqrt",
+    "fabs": "abs",
+    "abs": "abs",
+    "exp": "exp",
+    "log": "log",
+    "floor": "floor",
+    "sin": "sin",
+    "cos": "cos",
+}
+_MATH_BINARY = {"pow": "pow", "fmin": "min", "fmax": "max", "min": "min", "max": "max"}
+
+
+class LoweringError(Exception):
+    pass
+
+
+@dataclass
+class Binding:
+    """A name in scope: an SSA value plus its C type."""
+
+    value: Value
+    ctype: CType
+
+
+class FunctionLowerer:
+    def __init__(self, module: Module, func: FuncDef, externs: dict, const_ints: dict):
+        self.module = module
+        self.func = func
+        self.externs = externs
+        self.const_ints = const_ints
+        self.fn = Function(func.name)
+        self.symtab: dict[str, Binding] = {}
+        self.returned = False
+
+    # -- entry -------------------------------------------------------------
+
+    def lower(self) -> Function:
+        for p in self.func.params:
+            ir_type = PTR if p.ctype.is_array_like else (
+                INT if p.ctype.base == "int" else FLOAT
+            )
+            arg = Argument(p.name, ir_type, restrict=p.ctype.restrict)
+            self.fn.args.append(arg)
+            self.symtab[p.name] = Binding(arg, p.ctype)
+        self.builder = IRBuilder(self.fn)
+        self.module.add_function(self.fn)
+        self.lower_stmts(self.func.body)
+        return self.fn
+
+    # -- type plumbing ----------------------------------------------------------
+
+    def kind_of(self, ctype: CType) -> str:
+        if ctype.is_array_like:
+            return "ptr"
+        return ctype.base
+
+    def to_bool(self, v: Value, kind: str) -> Value:
+        if kind == "bool":
+            return v
+        zero = const_int(0) if kind == "int" else const_float(0.0)
+        return self.builder.cmp("ne", v, zero)
+
+    def to_double(self, v: Value, kind: str) -> Value:
+        if kind == "double":
+            return v
+        from repro.ir.values import Constant
+
+        if isinstance(v, Constant):
+            return const_float(float(v.value))
+        return self.builder.cast(v, FLOAT)
+
+    def to_int(self, v: Value, kind: str) -> Value:
+        if kind == "int":
+            return v
+        from repro.ir.values import Constant
+
+        if isinstance(v, Constant):
+            return const_int(int(v.value))
+        if kind == "bool":
+            return self.builder.cast(v, INT)
+        return self.builder.cast(v, INT)
+
+    def coerce(self, v: Value, kind: str, want: str) -> Value:
+        if kind == want:
+            return v
+        if want == "double":
+            return self.to_double(v, kind)
+        if want == "int":
+            return self.to_int(v, kind)
+        if want == "bool":
+            return self.to_bool(v, kind)
+        raise LoweringError(f"cannot coerce {kind} to {want}")
+
+    def unify(self, a: Value, ka: str, b: Value, kb: str) -> tuple[Value, Value, str]:
+        """Usual arithmetic conversions (int + bool promote to the other)."""
+        rank = {"bool": 0, "int": 1, "double": 2, "ptr": 3}
+        if ka == kb:
+            return a, b, ka
+        want = ka if rank[ka] >= rank[kb] else kb
+        if want == "ptr":
+            raise LoweringError("pointer arithmetic outside indexing is unsupported")
+        return self.coerce(a, ka, want), self.coerce(b, kb, want), want
+
+    # -- statements ------------------------------------------------------------
+
+    def lower_stmts(self, stmts: list[Stmt]) -> None:
+        for s in stmts:
+            self.lower_stmt(s)
+
+    def lower_stmt(self, stmt: Stmt) -> None:
+        if self.returned:
+            raise LoweringError(
+                f"{self.func.name}: statements after return (line {stmt.line})"
+            )
+        if isinstance(stmt, DeclStmt):
+            self.lower_decl(stmt)
+        elif isinstance(stmt, AssignStmt):
+            self.lower_assign(stmt)
+        elif isinstance(stmt, IfStmt):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ForStmt):
+            self.lower_for(stmt)
+        elif isinstance(stmt, WhileStmt):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ReturnStmt):
+            self.lower_return(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self.lower_expr(stmt.expr)
+        else:  # pragma: no cover - defensive
+            raise LoweringError(f"unsupported statement {type(stmt).__name__}")
+
+    def lower_decl(self, stmt: DeclStmt) -> None:
+        if stmt.ctype.dims:
+            total = 1
+            for d in stmt.ctype.dims:
+                total *= d
+            buf = self.builder.alloca(total, name=stmt.name)
+            self.symtab[stmt.name] = Binding(buf, stmt.ctype)
+            return
+        want = stmt.ctype.base
+        if stmt.init is not None:
+            v, k = self.lower_expr(stmt.init)
+            v = self.coerce(v, k, want)
+        else:
+            v = const_int(0) if want == "int" else const_float(0.0)
+        self.symtab[stmt.name] = Binding(v, stmt.ctype)
+
+    def lower_assign(self, stmt: AssignStmt) -> None:
+        if isinstance(stmt.target, VarRef):
+            name = stmt.target.name
+            if name not in self.symtab:
+                raise LoweringError(f"assignment to undeclared {name!r} (line {stmt.line})")
+            binding = self.symtab[name]
+            want = self.kind_of(binding.ctype)
+            rhs, rk = self.lower_expr(stmt.value)
+            if stmt.op is not None:
+                cur = binding.value
+                new, _ = self.lower_binop(stmt.op, cur, want, rhs, rk, stmt.line)
+                rhs, rk = new, want
+            self.symtab[name] = Binding(self.coerce(rhs, rk, want), binding.ctype)
+            return
+        if isinstance(stmt.target, Index):
+            addr, elem_kind = self.lower_address(stmt.target)
+            rhs, rk = self.lower_expr(stmt.value)
+            if stmt.op is not None:
+                cur = self.builder.load(addr, INT if elem_kind == "int" else FLOAT)
+                new, nk = self.lower_binop(stmt.op, cur, elem_kind, rhs, rk, stmt.line)
+                rhs, rk = new, nk
+            self.builder.store(addr, self.coerce(rhs, rk, elem_kind))
+            return
+        raise LoweringError(f"invalid assignment target (line {stmt.line})")
+
+    def lower_if(self, stmt: IfStmt) -> None:
+        cond, ck = self.lower_expr(stmt.cond)
+        cond = self.to_bool(cond, ck)
+        if isinstance(cond, Cmp):
+            cond.is_branch_source = True
+        before = dict(self.symtab)
+        with self.builder.under(cond):
+            self.lower_stmts(stmt.then_body)
+        then_tab = self.symtab
+        self.symtab = dict(before)
+        if stmt.else_body:
+            with self.builder.under(cond, negated=True):
+                self.lower_stmts(stmt.else_body)
+        else_tab = self.symtab
+        # join: phi for every pre-existing scalar that changed in either arm
+        merged = dict(before)
+        p_then = self.builder.predicate.and_value(cond)
+        p_else = self.builder.predicate.and_value(cond, negated=True)
+        for name, pre in before.items():
+            tv = then_tab.get(name, pre)
+            ev = else_tab.get(name, pre)
+            if tv.value is pre.value and ev.value is pre.value:
+                continue
+            phi = self.builder.phi(
+                [(tv.value, p_then), (ev.value, p_else)], name=name
+            )
+            merged[name] = Binding(phi, pre.ctype)
+        self.symtab = merged
+
+    # -- loops -------------------------------------------------------------------
+
+    def lower_for(self, stmt: ForStmt) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        cond_expr = stmt.cond if stmt.cond is not None else NumLit(1, False)
+        body = list(stmt.body)
+        update = [stmt.update] if stmt.update is not None else []
+        self._lower_loop(cond_expr, body, update, line=stmt.line)
+
+    def lower_while(self, stmt: WhileStmt) -> None:
+        self._lower_loop(stmt.cond, list(stmt.body), [], line=stmt.line)
+
+    def _lower_loop(self, cond_expr: Expr, body: list[Stmt], update: list[Stmt], line: int) -> None:
+        assigned = _assigned_vars(body + update)
+        carried = [n for n in assigned if n in self.symtab and not self.symtab[n].ctype.is_array_like]
+        # entry condition with pre-loop values
+        entry, ek = self.lower_expr(cond_expr)
+        entry = self.to_bool(entry, ek)
+        if isinstance(entry, Cmp):
+            entry.is_branch_source = True
+        outer_pred = self.builder.predicate
+        before = dict(self.symtab)
+
+        with self.builder.under(entry):
+            loop = self.builder.make_loop(f"loop@{line}")
+        mus = {}
+        for name in carried:
+            mu = self.builder.mu(loop, before[name].value, name=name)
+            mus[name] = mu
+            self.symtab[name] = Binding(mu, before[name].ctype)
+        with self.builder.at(loop, Predicate.true()):
+            self.lower_stmts(body)
+            for u in update:
+                self.lower_stmt(u)
+            cont, ck = self.lower_expr(cond_expr)
+            cont = self.to_bool(cont, ck)
+            if isinstance(cont, Cmp):
+                cont.is_branch_source = True
+            body_tab = dict(self.symtab)
+        for name in carried:
+            mus[name].set_rec(body_tab[name].value)
+        loop.set_cont(cont)
+        # restore and join liveouts: eta under entry, phi with pre value
+        self.symtab = dict(before)
+        p_entry = outer_pred.and_value(entry)
+        p_skip = outer_pred.and_value(entry, negated=True)
+        for name in carried:
+            final_inner = body_tab[name].value
+            if final_inner is mus[name]:
+                # never actually reassigned (e.g. assigned only in dead code)
+                continue
+            with self.builder.at(self.builder.scope, p_entry):
+                eta = self.builder.eta(loop, final_inner, name=f"{name}.out")
+            phi = self.builder.phi(
+                [(eta, p_entry), (before[name].value, p_skip)], name=name
+            )
+            self.symtab[name] = Binding(phi, before[name].ctype)
+
+    def lower_return(self, stmt: ReturnStmt) -> None:
+        if not self.builder.predicate.is_true():
+            raise LoweringError(
+                f"{self.func.name}: conditional return unsupported (line {stmt.line})"
+            )
+        if stmt.value is not None:
+            v, k = self.lower_expr(stmt.value)
+            want = "double" if self.func.ret == "double" else self.func.ret
+            if want in ("double", "int"):
+                v = self.coerce(v, k, want)
+            self.fn.set_return(v)
+        self.returned = True
+
+    # -- expressions ------------------------------------------------------------
+
+    def lower_expr(self, expr: Expr) -> tuple[Value, str]:
+        if isinstance(expr, NumLit):
+            if expr.is_float:
+                return const_float(float(expr.value)), "double"
+            return const_int(int(expr.value)), "int"
+        if isinstance(expr, VarRef):
+            return self.lower_varref(expr)
+        if isinstance(expr, Index):
+            addr, elem_kind = self.lower_address(expr)
+            ld = self.builder.load(addr, INT if elem_kind == "int" else FLOAT)
+            return ld, elem_kind
+        if isinstance(expr, Unary):
+            v, k = self.lower_expr(expr.operand)
+            if expr.op == "-":
+                from repro.ir.values import Constant
+
+                if isinstance(v, Constant):
+                    return (
+                        (const_int(-v.value), "int")
+                        if k == "int"
+                        else (const_float(-v.value), "double")
+                    )
+                return self.builder.unop("neg", v), k
+            if expr.op == "!":
+                return self.builder.unop("not", self.to_bool(v, k)), "bool"
+            raise LoweringError(f"unsupported unary {expr.op}")
+        if isinstance(expr, Binary):
+            return self.lower_binary(expr)
+        if isinstance(expr, Ternary):
+            c, ck = self.lower_expr(expr.cond)
+            c = self.to_bool(c, ck)
+            t, tk = self.lower_expr(expr.then)
+            e, ek2 = self.lower_expr(expr.otherwise)
+            t, e, k = self.unify(t, tk, e, ek2)
+            return self.builder.select(c, t, e), k
+        if isinstance(expr, CallExpr):
+            return self.lower_call(expr)
+        if isinstance(expr, CastExpr):
+            v, k = self.lower_expr(expr.operand)
+            want = "double" if expr.to == "double" else "int"
+            return self.coerce(v, k, want), want
+        raise LoweringError(f"unsupported expression {type(expr).__name__}")
+
+    def lower_varref(self, expr: VarRef) -> tuple[Value, str]:
+        if expr.name in self.symtab:
+            b = self.symtab[expr.name]
+            return b.value, self.kind_of(b.ctype)
+        if expr.name in self.module.globals:
+            g = self.module.globals[expr.name]
+            return g, "ptr"
+        if expr.name in self.const_ints:
+            return const_int(self.const_ints[expr.name]), "int"
+        raise LoweringError(f"undeclared identifier {expr.name!r} (line {expr.line})")
+
+    def _array_ctype(self, base: Expr) -> tuple[Value, CType]:
+        if isinstance(base, VarRef):
+            if base.name in self.symtab:
+                b = self.symtab[base.name]
+                if not b.ctype.is_array_like:
+                    raise LoweringError(f"{base.name!r} is not indexable (line {base.line})")
+                return b.value, b.ctype
+            if base.name in self.module.globals:
+                ctype = self.module.meta["global_ctypes"][base.name]
+                return self.module.globals[base.name], ctype
+        raise LoweringError(f"cannot index expression (line {base.line})")
+
+    def lower_address(self, expr: Index) -> tuple[Value, str]:
+        """Compute the slot address of an indexed element."""
+        base_val, ctype = self._array_ctype(expr.base)
+        ndims = max(len(ctype.dims), 1)
+        if len(expr.indices) != ndims:
+            raise LoweringError(
+                f"expected {ndims} indices, got {len(expr.indices)} (line {expr.line})"
+            )
+        strides = ctype.strides()
+        flat: Optional[Value] = None
+        for idx_expr, stride in zip(expr.indices, strides):
+            iv, ik = self.lower_expr(idx_expr)
+            iv = self.to_int(iv, ik)
+            from repro.ir.values import Constant
+
+            if stride != 1:
+                if isinstance(iv, Constant):
+                    term: Value = const_int(iv.value * stride)
+                else:
+                    term = self.builder.mul(iv, const_int(stride))
+            else:
+                term = iv
+            if flat is None:
+                flat = term
+            else:
+                from repro.ir.values import Constant as C
+
+                if isinstance(flat, C) and isinstance(term, C):
+                    flat = const_int(flat.value + term.value)
+                else:
+                    flat = self.builder.add(flat, term)
+        assert flat is not None
+        addr = self.builder.ptradd(base_val, flat)
+        return addr, ctype.base
+
+    def lower_binop(self, op: str, a: Value, ka: str, b: Value, kb: str, line: int) -> tuple[Value, str]:
+        if op in ("+", "-", "*", "/", "%"):
+            a, b, k = self.unify(a, ka, b, kb)
+            if k == "bool":
+                a, b, k = self.to_int(a, "bool"), self.to_int(b, "bool"), "int"
+            if op == "%" and k != "int":
+                raise LoweringError(f"%% requires ints (line {line})")
+            name = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem"}[op]
+            return self.builder.binop(name, a, b), k
+        raise LoweringError(f"unsupported operator {op} (line {line})")
+
+    def lower_binary(self, expr: Binary) -> tuple[Value, str]:
+        op = expr.op
+        if op in ("&&", "||"):
+            a, ka = self.lower_expr(expr.lhs)
+            b, kb = self.lower_expr(expr.rhs)
+            a, b = self.to_bool(a, ka), self.to_bool(b, kb)
+            return self.builder.binop("and" if op == "&&" else "or", a, b), "bool"
+        a, ka = self.lower_expr(expr.lhs)
+        b, kb = self.lower_expr(expr.rhs)
+        if op in ("+", "-", "*", "/", "%"):
+            return self.lower_binop(op, a, ka, b, kb, expr.line)
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            a, b, _ = self.unify(a, ka, b, kb)
+            rel = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}[op]
+            return self.builder.cmp(rel, a, b), "bool"
+        raise LoweringError(f"unsupported operator {op} (line {expr.line})")
+
+    def lower_call(self, expr: CallExpr) -> tuple[Value, str]:
+        args = [self.lower_expr(a) for a in expr.args]
+        if expr.callee in _MATH_UNARY and len(args) == 1:
+            v = self.to_double(*args[0])
+            return self.builder.unop(_MATH_UNARY[expr.callee], v), "double"
+        if expr.callee in _MATH_BINARY and len(args) == 2:
+            a = self.to_double(*args[0])
+            b = self.to_double(*args[1])
+            return self.builder.binop(_MATH_BINARY[expr.callee], a, b), "double"
+        ext = self.externs.get(expr.callee)
+        if ext is None:
+            raise LoweringError(f"call to undeclared function {expr.callee!r} (line {expr.line})")
+        if ext.pure:
+            effects = Effects.pure()
+        elif ext.readonly:
+            effects = Effects.readonly()
+        else:
+            effects = Effects()
+        from repro.ir.types import VOID
+
+        ret = {"double": FLOAT, "int": INT, "void": VOID}[ext.ret]
+        call = self.builder.call(expr.callee, [v for v, _ in args], ret_type=ret, effects=effects, name=expr.callee)
+        kind = "double" if ext.ret == "double" else ("int" if ext.ret == "int" else "void")
+        return call, kind if kind != "void" else "int"
+
+
+def _assigned_vars(stmts: list[Stmt]) -> list[str]:
+    """Names of scalar variables assigned anywhere in ``stmts``,
+    excluding variables declared inside (they are body-local)."""
+    assigned: list[str] = []
+    declared: set[str] = set()
+
+    def visit(ss: list[Stmt]) -> None:
+        for s in ss:
+            if isinstance(s, DeclStmt):
+                declared.add(s.name)
+            elif isinstance(s, AssignStmt):
+                if isinstance(s.target, VarRef) and s.target.name not in declared:
+                    if s.target.name not in assigned:
+                        assigned.append(s.target.name)
+            elif isinstance(s, IfStmt):
+                visit(s.then_body)
+                visit(s.else_body)
+            elif isinstance(s, ForStmt):
+                if s.init is not None:
+                    visit([s.init])
+                visit(s.body)
+                if s.update is not None:
+                    visit([s.update])
+            elif isinstance(s, WhileStmt):
+                visit(s.body)
+
+    visit(stmts)
+    return assigned
+
+
+def lower_program(program: Program, name: str = "module") -> Module:
+    module = Module(name)
+    const_ints: dict[str, int] = {}
+    module.meta["global_ctypes"] = {}
+    module.meta["param_ctypes"] = {}
+    for g in program.globals:
+        if g.const_value is not None:
+            const_ints[g.name] = g.const_value
+        else:
+            total = 1
+            for d in g.ctype.dims:
+                total *= d
+            module.add_global(g.name, total)
+            module.meta["global_ctypes"][g.name] = g.ctype
+    externs = {e.name: e for e in program.externs}
+    for f in program.functions:
+        lowerer = FunctionLowerer(module, f, externs, const_ints)
+        fn = lowerer.lower()
+        module.meta["param_ctypes"][f.name] = [p.ctype for p in f.params]
+        verify_function(fn)
+    module.meta["const_ints"] = const_ints
+    return module
+
+
+def compile_c(source: str, name: str = "module") -> Module:
+    """Parse and lower mini-C source to a verified predicated-SSA module."""
+    return lower_program(parse(source), name)
+
+
+__all__ = ["compile_c", "lower_program", "LoweringError", "FunctionLowerer"]

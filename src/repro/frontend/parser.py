@@ -1,0 +1,502 @@
+"""Recursive-descent parser for the mini-C front end.
+
+Produces the AST of :mod:`repro.frontend.ast_nodes`.  Array dimensions
+must be compile-time constants (integer literals or previously declared
+``const int`` globals, combined with + - * /), which matches how PolyBench
+and TSVC declare their arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast_nodes import (
+    AssignStmt,
+    Binary,
+    CallExpr,
+    CastExpr,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    ExternDecl,
+    ForStmt,
+    FuncDef,
+    GlobalDecl,
+    IfStmt,
+    Index,
+    NumLit,
+    Param,
+    Program,
+    ReturnStmt,
+    Stmt,
+    Ternary,
+    Unary,
+    VarRef,
+    WhileStmt,
+)
+from .lexer import Token, tokenize
+
+_TYPE_KEYWORDS = {"double", "float", "int", "void"}
+
+
+class ParseError(Exception):
+    pass
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.const_ints: dict[str, int] = {}
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text and self.peek().kind in ("symbol", "keyword")
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if not self.accept(text):
+            raise ParseError(f"expected {text!r}, found {tok}")
+        return tok
+
+    def error(self, msg: str) -> ParseError:
+        return ParseError(f"{msg} (at {self.peek()})")
+
+    # -- program ---------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        prog = Program()
+        while self.peek().kind != "eof":
+            if self.at("extern"):
+                prog.externs.append(self.parse_extern())
+            elif self.at("const"):
+                prog.globals.append(self.parse_const_int())
+            else:
+                # type ident — function if followed by '(' after declarator name
+                save = self.pos
+                self.parse_base_type()
+                while self.accept("*") or self.accept("restrict"):
+                    pass
+                name_tok = self.next()
+                is_func = self.at("(")
+                self.pos = save
+                if is_func:
+                    prog.functions.append(self.parse_function())
+                else:
+                    prog.globals.append(self.parse_global_array())
+        return prog
+
+    def parse_extern(self) -> ExternDecl:
+        line = self.peek().line
+        self.expect("extern")
+        ret = self.parse_base_type()
+        name = self.expect_ident()
+        self.expect("(")
+        # parameter list of an extern is ignored (including 'void')
+        depth = 1
+        while depth:
+            t = self.next()
+            if t.kind == "eof":
+                raise self.error("unterminated extern parameter list")
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+        pure = readonly = False
+        while self.peek().kind == "ident" and self.peek().text in ("__pure", "__readonly"):
+            attr = self.next().text
+            pure |= attr == "__pure"
+            readonly |= attr == "__readonly"
+        self.expect(";")
+        return ExternDecl(name, ret, pure=pure, readonly=readonly, line=line)
+
+    def parse_const_int(self) -> GlobalDecl:
+        line = self.peek().line
+        self.expect("const")
+        self.expect("int")
+        name = self.expect_ident()
+        self.expect("=")
+        value = self.parse_const_expr()
+        self.expect(";")
+        self.const_ints[name] = value
+        return GlobalDecl(name, CType("int"), const_value=value, line=line)
+
+    def parse_global_array(self) -> GlobalDecl:
+        line = self.peek().line
+        base = self.parse_base_type()
+        name = self.expect_ident()
+        dims = []
+        while self.accept("["):
+            dims.append(self.parse_const_expr())
+            self.expect("]")
+        self.expect(";")
+        if not dims:
+            raise ParseError(f"global scalar {name!r} not supported; use a 1-element array")
+        return GlobalDecl(name, CType(base, dims=tuple(dims)), line=line)
+
+    def parse_function(self) -> FuncDef:
+        line = self.peek().line
+        ret = self.parse_base_type()
+        name = self.expect_ident()
+        self.expect("(")
+        params: list[Param] = []
+        if not self.at(")"):
+            if self.at("void") and self.peek(1).text == ")":
+                self.next()
+            else:
+                while True:
+                    params.append(self.parse_param())
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        body = self.parse_block()
+        return FuncDef(name, ret, params, body, line=line)
+
+    def parse_param(self) -> Param:
+        base = self.parse_base_type()
+        is_pointer = False
+        restrict = False
+        while True:
+            if self.accept("*"):
+                is_pointer = True
+            elif self.accept("restrict"):
+                restrict = True
+            elif self.accept("const"):
+                pass
+            else:
+                break
+        name = self.expect_ident()
+        dims = []
+        while self.accept("["):
+            if self.accept("restrict"):
+                restrict = True
+            if not self.at("]"):
+                dims.append(self.parse_const_expr())
+            self.expect("]")
+        if dims:
+            is_pointer = True
+        return Param(name, CType(base, is_pointer=is_pointer, dims=tuple(dims), restrict=restrict))
+
+    # -- small helpers --------------------------------------------------------------
+
+    def parse_base_type(self) -> str:
+        tok = self.next()
+        if tok.text not in _TYPE_KEYWORDS:
+            raise ParseError(f"expected a type, found {tok}")
+        return "double" if tok.text == "float" else tok.text
+
+    def expect_ident(self) -> str:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise ParseError(f"expected identifier, found {tok}")
+        return tok.text
+
+    def parse_const_expr(self) -> int:
+        """Compile-time integer expression over literals and const ints."""
+        return self._const_additive()
+
+    def _const_additive(self) -> int:
+        v = self._const_multiplicative()
+        while self.peek().text in ("+", "-") and self.peek().kind == "symbol":
+            op = self.next().text
+            rhs = self._const_multiplicative()
+            v = v + rhs if op == "+" else v - rhs
+        return v
+
+    def _const_multiplicative(self) -> int:
+        v = self._const_primary()
+        while self.peek().text in ("*", "/") and self.peek().kind == "symbol":
+            op = self.next().text
+            rhs = self._const_primary()
+            v = v * rhs if op == "*" else v // rhs
+        return v
+
+    def _const_primary(self) -> int:
+        tok = self.next()
+        if tok.kind == "int":
+            return int(tok.text)
+        if tok.kind == "ident":
+            if tok.text not in self.const_ints:
+                raise ParseError(f"{tok.text!r} is not a const int ({tok})")
+            return self.const_ints[tok.text]
+        if tok.text == "(":
+            v = self.parse_const_expr()
+            self.expect(")")
+            return v
+        raise ParseError(f"expected constant expression, found {tok}")
+
+    # -- statements --------------------------------------------------------------------
+
+    def parse_block(self) -> list[Stmt]:
+        self.expect("{")
+        stmts: list[Stmt] = []
+        while not self.accept("}"):
+            if self.peek().kind == "eof":
+                raise self.error("unterminated block")
+            stmts.append(self.parse_statement())
+        return stmts
+
+    def parse_statement(self) -> Stmt:
+        tok = self.peek()
+        if tok.text in _TYPE_KEYWORDS or tok.text == "const":
+            return self.parse_decl_stmt()
+        if self.at("if"):
+            return self.parse_if()
+        if self.at("for"):
+            return self.parse_for()
+        if self.at("while"):
+            return self.parse_while()
+        if self.at("return"):
+            line = self.next().line
+            value = None if self.at(";") else self.parse_expression()
+            self.expect(";")
+            return ReturnStmt(value, line=line)
+        if self.at("{"):
+            # anonymous block: flatten (we have no block scoping of decls)
+            body = self.parse_block()
+            if len(body) == 1:
+                return body[0]
+            # represent as if(1){...} -- simpler: wrap in IfStmt with const cond
+            return IfStmt(NumLit(1, False), body, [], line=tok.line)
+        stmt = self.parse_simple_statement()
+        self.expect(";")
+        return stmt
+
+    def parse_decl_stmt(self) -> Stmt:
+        line = self.peek().line
+        self.accept("const")
+        base = self.parse_base_type()
+        name = self.expect_ident()
+        if self.at("["):
+            dims = []
+            while self.accept("["):
+                dims.append(self.parse_const_expr())
+                self.expect("]")
+            self.expect(";")
+            return DeclStmt(name, CType(base, dims=tuple(dims)), None, line=line)
+        init = None
+        if self.accept("="):
+            init = self.parse_expression()
+        stmts: list[Stmt] = [DeclStmt(name, CType(base), init, line=line)]
+        # support `int i = 0, j = 1;`
+        while self.accept(","):
+            nm = self.expect_ident()
+            ini = self.parse_expression() if self.accept("=") else None
+            stmts.append(DeclStmt(nm, CType(base), ini, line=line))
+        self.expect(";")
+        if len(stmts) == 1:
+            return stmts[0]
+        return IfStmt(NumLit(1, False), stmts, [], line=line)
+
+    def parse_if(self) -> IfStmt:
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then_body = self.parse_body_or_single()
+        else_body: list[Stmt] = []
+        if self.accept("else"):
+            if self.at("if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_body_or_single()
+        return IfStmt(cond, then_body, else_body, line=line)
+
+    def parse_body_or_single(self) -> list[Stmt]:
+        if self.at("{"):
+            return self.parse_block()
+        return [self.parse_statement()]
+
+    def parse_for(self) -> ForStmt:
+        line = self.expect("for").line
+        self.expect("(")
+        init: Optional[Stmt] = None
+        if not self.at(";"):
+            if self.peek().text in _TYPE_KEYWORDS:
+                # inline declaration without trailing ';' handling
+                base = self.parse_base_type()
+                name = self.expect_ident()
+                self.expect("=")
+                init_expr = self.parse_expression()
+                init = DeclStmt(name, CType(base), init_expr, line=line)
+            else:
+                init = self.parse_simple_statement()
+        self.expect(";")
+        cond = None if self.at(";") else self.parse_expression()
+        self.expect(";")
+        update = None if self.at(")") else self.parse_simple_statement()
+        self.expect(")")
+        body = self.parse_body_or_single()
+        return ForStmt(init, cond, update, body, line=line)
+
+    def parse_while(self) -> WhileStmt:
+        line = self.expect("while").line
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        body = self.parse_body_or_single()
+        return WhileStmt(cond, body, line=line)
+
+    def parse_simple_statement(self) -> Stmt:
+        """Assignment, increment, or expression statement (no ';')."""
+        line = self.peek().line
+        if self.peek().kind == "symbol" and self.peek().text in ("++", "--"):
+            op = self.next().text
+            target = self.parse_unary()
+            one = NumLit(1, False, line=line)
+            return AssignStmt(target, one, op="+" if op == "++" else "-", line=line)
+        expr = self.parse_expression()
+        tok = self.peek()
+        if tok.text in ("=", "+=", "-=", "*=", "/=", "%="):
+            self.next()
+            value = self.parse_expression()
+            op = None if tok.text == "=" else tok.text[0]
+            if not isinstance(expr, (VarRef, Index)):
+                raise ParseError(f"invalid assignment target at line {line}")
+            return AssignStmt(expr, value, op=op, line=line)
+        if tok.text in ("++", "--"):
+            self.next()
+            if not isinstance(expr, (VarRef, Index)):
+                raise ParseError(f"invalid increment target at line {line}")
+            one = NumLit(1, False, line=line)
+            return AssignStmt(expr, one, op="+" if tok.text == "++" else "-", line=line)
+        return ExprStmt(expr, line=line)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> Expr:
+        cond = self.parse_logical_or()
+        if self.accept("?"):
+            then = self.parse_expression()
+            self.expect(":")
+            other = self.parse_ternary()
+            return Ternary(cond, then, other, line=cond.line)
+        return cond
+
+    def parse_logical_or(self) -> Expr:
+        lhs = self.parse_logical_and()
+        while self.at("||"):
+            line = self.next().line
+            rhs = self.parse_logical_and()
+            lhs = Binary("||", lhs, rhs, line=line)
+        return lhs
+
+    def parse_logical_and(self) -> Expr:
+        lhs = self.parse_equality()
+        while self.at("&&"):
+            line = self.next().line
+            rhs = self.parse_equality()
+            lhs = Binary("&&", lhs, rhs, line=line)
+        return lhs
+
+    def parse_equality(self) -> Expr:
+        lhs = self.parse_relational()
+        while self.peek().text in ("==", "!="):
+            op = self.next()
+            rhs = self.parse_relational()
+            lhs = Binary(op.text, lhs, rhs, line=op.line)
+        return lhs
+
+    def parse_relational(self) -> Expr:
+        lhs = self.parse_additive()
+        while self.peek().text in ("<", "<=", ">", ">="):
+            op = self.next()
+            rhs = self.parse_additive()
+            lhs = Binary(op.text, lhs, rhs, line=op.line)
+        return lhs
+
+    def parse_additive(self) -> Expr:
+        lhs = self.parse_multiplicative()
+        while self.peek().text in ("+", "-") and self.peek().kind == "symbol":
+            op = self.next()
+            rhs = self.parse_multiplicative()
+            lhs = Binary(op.text, lhs, rhs, line=op.line)
+        return lhs
+
+    def parse_multiplicative(self) -> Expr:
+        lhs = self.parse_unary()
+        while self.peek().text in ("*", "/", "%") and self.peek().kind == "symbol":
+            op = self.next()
+            rhs = self.parse_unary()
+            lhs = Binary(op.text, lhs, rhs, line=op.line)
+        return lhs
+
+    def parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.text in ("-", "!", "+") and tok.kind == "symbol":
+            self.next()
+            operand = self.parse_unary()
+            if tok.text == "+":
+                return operand
+            return Unary(tok.text, operand, line=tok.line)
+        # cast: '(' type ')' unary
+        if tok.text == "(" and self.peek(1).text in _TYPE_KEYWORDS and self.peek(2).text == ")":
+            self.next()
+            ty = self.parse_base_type()
+            self.expect(")")
+            operand = self.parse_unary()
+            return CastExpr("double" if ty in ("double", "float") else ty, operand, line=tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.at("["):
+                indices = []
+                while self.accept("["):
+                    indices.append(self.parse_expression())
+                    self.expect("]")
+                expr = Index(expr, indices, line=expr.line)
+            elif self.at("(") and isinstance(expr, VarRef):
+                self.next()
+                args = []
+                if not self.at(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                expr = CallExpr(expr.name, args, line=expr.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            return NumLit(int(tok.text), False, line=tok.line)
+        if tok.kind == "float":
+            return NumLit(float(tok.text), True, line=tok.line)
+        if tok.kind == "ident":
+            return VarRef(tok.text, line=tok.line)
+        if tok.text == "(":
+            e = self.parse_expression()
+            self.expect(")")
+            return e
+        raise ParseError(f"unexpected token {tok} in expression")
+
+
+def parse(source: str) -> Program:
+    return Parser(source).parse_program()
+
+
+__all__ = ["parse", "Parser", "ParseError"]

@@ -1,0 +1,28 @@
+"""IR interpreter, flat memory model, and the cycle cost model.
+
+This package is the reproduction's "hardware": programs execute on a
+deterministic interpreter whose cost model makes vector lanes parallel, so
+benchmark speedups are cycle-count ratios rather than wall-clock medians.
+"""
+
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .interpreter import (
+    Counters,
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+    StepLimitExceeded,
+)
+from .memory import Memory, MemoryError_
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Counters",
+    "ExecutionResult",
+    "Interpreter",
+    "InterpreterError",
+    "StepLimitExceeded",
+    "Memory",
+    "MemoryError_",
+]

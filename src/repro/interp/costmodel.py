@@ -1,0 +1,107 @@
+"""Cycle cost model — the stand-in for the paper's Xeon testbed.
+
+The paper measures wall-clock medians on hardware; we count deterministic
+abstract cycles.  The model is deliberately simple and lane-parallel: a
+VL-wide vector operation costs the same as one scalar operation, memory
+operations cost more than ALU operations, and data-movement instructions
+(gathers, shuffles, lane extracts) have real costs so the SLP cost model
+faces the same trade-offs the paper's does (a gathered operand can make a
+pack unprofitable; versioning checks have visible overhead).
+
+Absolute speedups therefore differ from the paper's, but the *shape* —
+which kernels vectorization wins, how check overhead scales, where
+versioning stops paying — is preserved.  EXPERIMENTS.md records both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Broadcast,
+    BuildVector,
+    Call,
+    Cast,
+    Cmp,
+    Eta,
+    ExtractLane,
+    Instruction,
+    Load,
+    Mu,
+    Phi,
+    PtrAdd,
+    Reduce,
+    Select,
+    Shuffle,
+    Store,
+    UnOp,
+    VecBin,
+    VecCmp,
+    VecLoad,
+    VecSelect,
+    VecStore,
+    VecUn,
+)
+
+_EXPENSIVE_OPS = {"div", "rem", "pow"}
+_EXPENSIVE_UNOPS = {"sqrt", "exp", "log", "sin", "cos"}
+
+
+@dataclass
+class CostModel:
+    """Per-operation cycle costs."""
+
+    alu: float = 1.0
+    expensive_alu: float = 8.0
+    mem: float = 2.0
+    addr: float = 0.0  # address arithmetic folds into the access (AGU)
+    branch: float = 1.0  # charged per executed branch-source comparison
+    loop_backedge: float = 1.0
+    call: float = 25.0
+    join: float = 0.0  # phi/mu/eta resolve to register renaming
+    lane_move: float = 1.0  # insert/extract one lane
+    shuffle: float = 1.0
+    reduce: float = 3.0
+    select: float = 1.0
+
+    def instruction_cost(self, inst: Instruction) -> float:
+        if isinstance(inst, (Phi, Mu, Eta)):
+            return self.join
+        if isinstance(inst, PtrAdd):
+            return self.addr
+        if isinstance(inst, (Load, Store, VecLoad, VecStore)):
+            return self.mem
+        if isinstance(inst, (BinOp, VecBin)):
+            return self.expensive_alu if inst.op in _EXPENSIVE_OPS else self.alu
+        if isinstance(inst, (UnOp, VecUn)):
+            return self.expensive_alu if inst.op in _EXPENSIVE_UNOPS else self.alu
+        if isinstance(inst, Cmp):
+            return self.alu + (self.branch if inst.is_branch_source else 0.0)
+        if isinstance(inst, VecCmp):
+            return self.alu
+        if isinstance(inst, (Select, VecSelect)):
+            return self.select
+        if isinstance(inst, Cast):
+            return self.alu
+        if isinstance(inst, BuildVector):
+            return self.lane_move * len(inst.operands)
+        if isinstance(inst, ExtractLane):
+            return self.lane_move
+        if isinstance(inst, Broadcast):
+            return self.lane_move
+        if isinstance(inst, Shuffle):
+            return self.shuffle
+        if isinstance(inst, Reduce):
+            return self.reduce
+        if isinstance(inst, Call):
+            return self.call
+        if isinstance(inst, Alloca):
+            return 0.0
+        return self.alu
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]

@@ -1,0 +1,436 @@
+"""Reference interpreter for predicated SSA.
+
+Executes functions directly in predicated form (paper Fig. 15b is directly
+executable here): items run in order, an item runs iff its predicate
+evaluates true, loops are do-while with simultaneous mu updates at the back
+edge.  The interpreter doubles as the evaluation testbed — it charges
+cycles through :class:`~repro.interp.costmodel.CostModel` and maintains the
+dynamic counters (loads, branches, checks) that the Fig. 22 table reports.
+
+Predicate evaluation uses *missing-is-false*: a literal whose defining
+instruction did not execute makes the conjunction false.  This is sound for
+verifier-clean programs because a literal's guard is always a subset of the
+using item's guard.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Broadcast,
+    BuildVector,
+    Call,
+    Cast,
+    Cmp,
+    Eta,
+    ExtractLane,
+    Instruction,
+    Load,
+    Mu,
+    Phi,
+    PtrAdd,
+    Reduce,
+    Select,
+    Shuffle,
+    Store,
+    UnOp,
+    VecBin,
+    VecCmp,
+    VecLoad,
+    VecSelect,
+    VecStore,
+    VecUn,
+)
+from repro.ir.loops import Function, GlobalArray, Loop, Module, ScopeMixin
+from repro.ir.predicates import Predicate
+from repro.ir.values import Argument, Constant, Undef, Value
+
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .memory import Memory
+
+
+class InterpreterError(Exception):
+    pass
+
+
+class StepLimitExceeded(InterpreterError):
+    pass
+
+
+@dataclass
+class Counters:
+    """Dynamic execution statistics."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    backedges: int = 0
+    checks: int = 0
+    vector_ops: int = 0
+    calls: int = 0
+    by_opcode: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        d = {
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "backedges": self.backedges,
+            "checks": self.checks,
+            "vector_ops": self.vector_ops,
+            "calls": self.calls,
+        }
+        return d
+
+
+@dataclass
+class ExecutionResult:
+    return_value: object
+    cycles: float
+    counters: Counters
+    memory: Memory
+
+
+# external function: (interpreter, memory, args) -> return value
+ExternalFn = Callable[["Interpreter", Memory, list], object]
+
+
+def _default_externals() -> dict[str, ExternalFn]:
+    return {
+        # an opaque "cold" function; by default it only burns cycles
+        "cold_func": lambda interp, mem, args: 0,
+        "sqrt": lambda interp, mem, args: math.sqrt(args[0]),
+        "fabs": lambda interp, mem, args: abs(args[0]),
+    }
+
+
+def _int_div(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_rem(a: int, b: int) -> int:
+    return a - _int_div(a, b) * b
+
+
+def _binop(op: str, a, b):
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        if isinstance(a, int) and isinstance(b, int):
+            return _int_div(a, b)
+        return a / b
+    if op == "rem":
+        if isinstance(a, int) and isinstance(b, int):
+            return _int_rem(a, b)
+        return math.fmod(a, b)
+    if op == "min":
+        return min(a, b)
+    if op == "max":
+        return max(a, b)
+    if op == "and":
+        return int(a) & int(b)
+    if op == "or":
+        return int(a) | int(b)
+    if op == "xor":
+        return int(a) ^ int(b)
+    if op == "shl":
+        return int(a) << int(b)
+    if op == "shr":
+        return int(a) >> int(b)
+    if op == "pow":
+        return a**b
+    raise InterpreterError(f"unknown binary op {op}")
+
+
+def _unop(op: str, a):
+    if op == "neg":
+        return -a
+    if op == "not":
+        return not bool(a)
+    if op == "sqrt":
+        return math.sqrt(a)
+    if op == "abs":
+        return abs(a)
+    if op == "exp":
+        return math.exp(a)
+    if op == "log":
+        return math.log(a)
+    if op == "floor":
+        return math.floor(a)
+    if op == "sin":
+        return math.sin(a)
+    if op == "cos":
+        return math.cos(a)
+    raise InterpreterError(f"unknown unary op {op}")
+
+
+def _cmp(rel: str, a, b) -> bool:
+    if rel == "eq":
+        return a == b
+    if rel == "ne":
+        return a != b
+    if rel == "lt":
+        return a < b
+    if rel == "le":
+        return a <= b
+    if rel == "gt":
+        return a > b
+    if rel == "ge":
+        return a >= b
+    raise InterpreterError(f"unknown comparison {rel}")
+
+
+_MISSING = object()
+
+
+class Interpreter:
+    """Executes predicated-SSA functions over a :class:`Memory`."""
+
+    def __init__(
+        self,
+        module: Optional[Module] = None,
+        memory: Optional[Memory] = None,
+        cost_model: Optional[CostModel] = None,
+        externals: Optional[dict[str, ExternalFn]] = None,
+        max_steps: int = 200_000_000,
+    ):
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.externals = _default_externals()
+        if externals:
+            self.externals.update(externals)
+        self.max_steps = max_steps
+        self.global_bases: dict[GlobalArray, int] = {}
+        if module is not None:
+            for g in module.globals.values():
+                self.global_bases[g] = self.memory.alloc(g.size, g.name)
+
+    def global_base(self, name: str) -> int:
+        assert self.module is not None
+        return self.global_bases[self.module.globals[name]]
+
+    # -- main entry ---------------------------------------------------------
+
+    def run(self, fn: Function | str, args: Sequence = ()) -> ExecutionResult:
+        if isinstance(fn, str):
+            assert self.module is not None
+            fn = self.module.functions[fn]
+        if len(args) != len(fn.args):
+            raise InterpreterError(
+                f"{fn.name} expects {len(fn.args)} args, got {len(args)}"
+            )
+        env: dict[Value, object] = dict(zip(fn.args, args))
+        self._counters = Counters()
+        self._cycles = 0.0
+        self._steps = 0
+        self._env = env
+        self._execute_scope(fn)
+        ret = None
+        if fn.return_value is not None:
+            ret = self._lookup(fn.return_value)
+        return ExecutionResult(ret, self._cycles, self._counters, self.memory)
+
+    # -- value lookup --------------------------------------------------------
+
+    def _lookup(self, v: Value):
+        got = self._env.get(v, _MISSING)
+        if got is not _MISSING:
+            return got
+        if isinstance(v, Constant):
+            return v.value
+        if isinstance(v, GlobalArray):
+            base = self.global_bases.get(v)
+            if base is None:
+                raise InterpreterError(f"global {v.name} not allocated")
+            return base
+        if isinstance(v, Undef):
+            return 0
+        raise InterpreterError(f"value {v!r} has no binding (did it execute?)")
+
+    def _try_lookup(self, v: Value):
+        try:
+            return self._lookup(v)
+        except InterpreterError:
+            return _MISSING
+
+    def _eval_pred(self, pred: Predicate) -> bool:
+        for lit in pred.literals:
+            raw = self._try_lookup(lit.value)
+            if raw is _MISSING:
+                return False
+            b = bool(raw)
+            if lit.negated:
+                b = not b
+            if not b:
+                return False
+        return True
+
+    # -- execution -----------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise StepLimitExceeded(f"exceeded {self.max_steps} steps")
+
+    def _execute_scope(self, scope: ScopeMixin) -> None:
+        for item in scope.items:
+            if isinstance(item, Loop):
+                if self._eval_pred(item.predicate):
+                    self._run_loop(item)
+            else:
+                inst: Instruction = item  # type: ignore[assignment]
+                if self._eval_pred(inst.predicate):
+                    self._execute(inst)
+
+    def _run_loop(self, loop: Loop) -> None:
+        env = self._env
+        for mu in loop.mus:
+            env[mu] = self._lookup(mu.init)
+        while True:
+            self._tick()
+            self._execute_scope(loop)
+            self._counters.backedges += 1
+            self._counters.branches += 1
+            self._cycles += self.cost_model.loop_backedge
+            assert loop.cont is not None
+            cont_raw = self._try_lookup(loop.cont)
+            if cont_raw is _MISSING or not bool(cont_raw):
+                break
+            nexts = []
+            for mu in loop.mus:
+                assert mu.rec is not None
+                nexts.append(self._lookup(mu.rec))
+            for mu, v in zip(loop.mus, nexts):
+                env[mu] = v
+
+    def _execute(self, inst: Instruction) -> None:
+        self._tick()
+        c = self._counters
+        c.instructions += 1
+        c.by_opcode[inst.opcode] = c.by_opcode.get(inst.opcode, 0) + 1
+        self._cycles += self.cost_model.instruction_cost(inst)
+        look = self._lookup
+        env = self._env
+
+        if isinstance(inst, BinOp):
+            env[inst] = _binop(inst.op, look(inst.operands[0]), look(inst.operands[1]))
+        elif isinstance(inst, UnOp):
+            env[inst] = _unop(inst.op, look(inst.operands[0]))
+        elif isinstance(inst, Cmp):
+            env[inst] = _cmp(inst.rel, look(inst.operands[0]), look(inst.operands[1]))
+            if inst.is_branch_source:
+                c.branches += 1
+            if inst.is_versioning_check:
+                c.checks += 1
+        elif isinstance(inst, Select):
+            env[inst] = (
+                look(inst.true_value) if bool(look(inst.cond)) else look(inst.false_value)
+            )
+        elif isinstance(inst, Cast):
+            v = look(inst.operands[0])
+            if inst.type.is_int():
+                env[inst] = int(v)
+            elif inst.type.is_float():
+                env[inst] = float(v)
+            elif inst.type.is_bool():
+                env[inst] = bool(v)
+            else:
+                env[inst] = v
+        elif isinstance(inst, PtrAdd):
+            env[inst] = int(look(inst.base)) + int(look(inst.index))
+        elif isinstance(inst, Load):
+            env[inst] = self.memory.load(look(inst.pointer))
+            c.loads += 1
+        elif isinstance(inst, Store):
+            self.memory.store(look(inst.pointer), look(inst.value))
+            c.stores += 1
+        elif isinstance(inst, Alloca):
+            env[inst] = self.memory.alloc(inst.size, inst.name)
+        elif isinstance(inst, Call):
+            fn = self.externals.get(inst.callee)
+            if fn is None:
+                raise InterpreterError(f"no external function {inst.callee!r}")
+            env[inst] = fn(self, self.memory, [look(a) for a in inst.operands])
+            c.calls += 1
+        elif isinstance(inst, Phi):
+            result = _MISSING
+            for v, p in inst.incomings():
+                if self._eval_pred(p):
+                    result = look(v)
+                    break
+            env[inst] = 0 if result is _MISSING else result
+        elif isinstance(inst, Mu):
+            raise InterpreterError("mu executed outside loop header")
+        elif isinstance(inst, Eta):
+            env[inst] = look(inst.inner)
+        elif isinstance(inst, VecLoad):
+            env[inst] = self.memory.load_block(look(inst.pointer), inst.access_slots)
+            c.loads += 1
+            c.vector_ops += 1
+        elif isinstance(inst, VecStore):
+            self.memory.store_block(look(inst.pointer), look(inst.value))
+            c.stores += 1
+            c.vector_ops += 1
+        elif isinstance(inst, VecBin):
+            a, b = look(inst.operands[0]), look(inst.operands[1])
+            env[inst] = [_binop(inst.op, x, y) for x, y in zip(a, b)]
+            c.vector_ops += 1
+        elif isinstance(inst, VecUn):
+            env[inst] = [_unop(inst.op, x) for x in look(inst.operands[0])]
+            c.vector_ops += 1
+        elif isinstance(inst, VecCmp):
+            a, b = look(inst.operands[0]), look(inst.operands[1])
+            env[inst] = [_cmp(inst.rel, x, y) for x, y in zip(a, b)]
+            c.vector_ops += 1
+        elif isinstance(inst, VecSelect):
+            mask = look(inst.operands[0])
+            t, f = look(inst.operands[1]), look(inst.operands[2])
+            env[inst] = [tv if bool(m) else fv for m, tv, fv in zip(mask, t, f)]
+            c.vector_ops += 1
+        elif isinstance(inst, BuildVector):
+            env[inst] = [look(o) for o in inst.operands]
+            c.vector_ops += 1
+        elif isinstance(inst, ExtractLane):
+            env[inst] = look(inst.operands[0])[inst.lane]
+        elif isinstance(inst, Shuffle):
+            a = look(inst.operands[0])
+            pool = list(a)
+            if len(inst.operands) > 1:
+                pool = pool + list(look(inst.operands[1]))
+            env[inst] = [pool[i] for i in inst.mask]
+            c.vector_ops += 1
+        elif isinstance(inst, Broadcast):
+            env[inst] = [look(inst.operands[0])] * inst.type.lanes
+            c.vector_ops += 1
+        elif isinstance(inst, Reduce):
+            vec = look(inst.operands[0])
+            acc = vec[0]
+            for x in vec[1:]:
+                acc = _binop(inst.op, acc, x)
+            env[inst] = acc
+            c.vector_ops += 1
+        else:  # pragma: no cover - defensive
+            raise InterpreterError(f"cannot execute {type(inst).__name__}")
+
+
+__all__ = [
+    "Interpreter",
+    "InterpreterError",
+    "StepLimitExceeded",
+    "Counters",
+    "ExecutionResult",
+]

@@ -1,0 +1,84 @@
+"""Flat, slot-addressed memory for the IR interpreter.
+
+Pointers are plain integer slot addresses into one flat space, so *any* two
+pointers can genuinely alias — including partially-overlapping array
+views.  This is essential: the whole point of run-time versioning checks is
+that aliasing is a dynamic property, and the experiments (e.g. PolyBench
+with ``restrict`` disabled, the s258 parameter-array variant) pass
+overlapping and non-overlapping pointers to the same compiled code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class MemoryError_(Exception):
+    """Out-of-bounds or invalid memory access."""
+
+
+class Memory:
+    """A flat array of numeric slots with a bump allocator."""
+
+    def __init__(self, size: int = 1 << 20):
+        self._slots: list[float] = [0.0] * size
+        self._next = 16  # keep low addresses unused so 0 is a safe "null"
+        self.size = size
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, nslots: int, name: str = "") -> int:
+        """Reserve ``nslots`` contiguous slots; returns the base address."""
+        if nslots < 0:
+            raise MemoryError_(f"negative allocation ({name})")
+        base = self._next
+        self._next += nslots
+        if self._next > self.size:
+            raise MemoryError_(
+                f"out of memory allocating {nslots} slots for {name or 'array'}"
+            )
+        return base
+
+    @property
+    def high_water(self) -> int:
+        return self._next
+
+    # -- access -------------------------------------------------------------
+
+    def _check(self, addr: int) -> None:
+        if not (0 <= addr < self._next):
+            raise MemoryError_(f"access to unallocated address {addr}")
+
+    def load(self, addr: int):
+        addr = int(addr)
+        self._check(addr)
+        return self._slots[addr]
+
+    def store(self, addr: int, value) -> None:
+        addr = int(addr)
+        self._check(addr)
+        self._slots[addr] = value
+
+    def load_block(self, addr: int, n: int) -> list:
+        addr = int(addr)
+        self._check(addr)
+        self._check(addr + n - 1)
+        return self._slots[addr : addr + n]
+
+    def store_block(self, addr: int, values: Sequence) -> None:
+        addr = int(addr)
+        self._check(addr)
+        self._check(addr + len(values) - 1)
+        self._slots[addr : addr + len(values)] = list(values)
+
+    # -- bulk helpers for workloads ----------------------------------------
+
+    def write_array(self, base: int, values: Iterable) -> None:
+        vals = list(values)
+        self.store_block(base, vals)
+
+    def read_array(self, base: int, n: int) -> list:
+        return self.load_block(base, n)
+
+
+__all__ = ["Memory", "MemoryError_"]

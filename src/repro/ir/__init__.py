@@ -1,0 +1,83 @@
+"""Predicated-SSA intermediate representation (paper Fig. 3).
+
+This package is the substrate everything else builds on: a branch-free IR
+in which each instruction or loop carries an execution predicate, loops are
+hierarchical items with mu (header recurrence) and eta (live-out) nodes,
+and global code motion is a list edit.
+"""
+
+from .builder import IRBuilder
+from .clone import clone_instruction, clone_item, clone_loop
+from .instructions import (
+    Alloca,
+    BinOp,
+    Broadcast,
+    BuildVector,
+    Call,
+    Cast,
+    Cmp,
+    Effects,
+    Eta,
+    ExtractLane,
+    Instruction,
+    Item,
+    Load,
+    Mu,
+    Phi,
+    PtrAdd,
+    Reduce,
+    Select,
+    Shuffle,
+    Store,
+    UnOp,
+    VecBin,
+    VecCmp,
+    VecLoad,
+    VecSelect,
+    VecStore,
+    VecUn,
+)
+from .loops import Function, GlobalArray, Loop, Module, ScopeMixin, program_order
+from .predicates import Literal, Predicate
+from .printer import print_function, print_module
+from .types import (
+    BOOL,
+    FLOAT,
+    INT,
+    PTR,
+    VOID,
+    Type,
+    VectorType,
+    vector_of,
+)
+from .values import (
+    Argument,
+    Constant,
+    Undef,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    # types
+    "BOOL", "FLOAT", "INT", "PTR", "VOID", "Type", "VectorType", "vector_of",
+    # values
+    "Argument", "Constant", "Undef", "Value",
+    "const_bool", "const_float", "const_int",
+    # predicates
+    "Literal", "Predicate",
+    # instructions
+    "Alloca", "BinOp", "Broadcast", "BuildVector", "Call", "Cast", "Cmp",
+    "Effects", "Eta", "ExtractLane", "Instruction", "Item", "Load", "Mu",
+    "Phi", "PtrAdd", "Reduce", "Select", "Shuffle", "Store", "UnOp",
+    "VecBin", "VecCmp", "VecLoad", "VecSelect", "VecStore", "VecUn",
+    # structure
+    "Function", "GlobalArray", "Loop", "Module", "ScopeMixin", "program_order",
+    # utilities
+    "IRBuilder", "clone_instruction", "clone_item", "clone_loop",
+    "print_function", "print_module",
+    "VerificationError", "verify_function", "verify_module",
+]

@@ -1,0 +1,221 @@
+"""Programmatic construction of predicated-SSA functions.
+
+The builder maintains an insertion point (a scope and optional anchor) and
+a *current predicate*; every instruction it creates is appended under that
+predicate.  The front end and the test suite use it heavily; client
+optimizations use it to emit run-time checks.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from .instructions import (
+    Alloca,
+    BinOp,
+    Broadcast,
+    BuildVector,
+    Call,
+    Cast,
+    Cmp,
+    Effects,
+    Eta,
+    ExtractLane,
+    Instruction,
+    Load,
+    Mu,
+    Phi,
+    PtrAdd,
+    Reduce,
+    Select,
+    Shuffle,
+    Store,
+    UnOp,
+    VecBin,
+    VecCmp,
+    VecLoad,
+    VecSelect,
+    VecStore,
+    VecUn,
+)
+from .loops import Function, Loop, Module, ScopeMixin
+from .predicates import Predicate
+from .types import BOOL, FLOAT, INT, Type, VectorType, vector_of
+from .values import Argument, Constant, Value, const_float, const_int
+
+
+class IRBuilder:
+    """Appends predicated instructions to a scope."""
+
+    def __init__(self, scope: ScopeMixin, predicate: Predicate | None = None):
+        self.scope = scope
+        self.predicate = predicate if predicate is not None else Predicate.true()
+
+    # -- insertion ----------------------------------------------------------
+
+    def emit(self, inst: Instruction) -> Instruction:
+        inst.set_predicate(self.predicate)
+        self.scope.append(inst)
+        return inst
+
+    # -- predicate management -----------------------------------------------
+
+    @contextmanager
+    def under(self, value: Value, negated: bool = False) -> Iterator[None]:
+        """Temporarily refine the current predicate by a literal."""
+        saved = self.predicate
+        self.predicate = saved.and_value(value, negated)
+        try:
+            yield
+        finally:
+            self.predicate = saved
+
+    @contextmanager
+    def at(self, scope: ScopeMixin, predicate: Predicate | None = None) -> Iterator[None]:
+        saved_scope, saved_pred = self.scope, self.predicate
+        self.scope = scope
+        if predicate is not None:
+            self.predicate = predicate
+        try:
+            yield
+        finally:
+            self.scope, self.predicate = saved_scope, saved_pred
+
+    # -- scalar ops ---------------------------------------------------------
+
+    def binop(self, op: str, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.emit(BinOp(op, a, b, name=name))
+
+    def add(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop("add", a, b, name)
+
+    def sub(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop("sub", a, b, name)
+
+    def mul(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop("mul", a, b, name)
+
+    def div(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop("div", a, b, name)
+
+    def unop(self, op: str, v: Value, name: str = "") -> Instruction:
+        return self.emit(UnOp(op, v, name=name))
+
+    def cmp(self, rel: str, a: Value, b: Value, name: str = "", branch: bool = False) -> Cmp:
+        c = Cmp(rel, a, b, name=name)
+        c.is_branch_source = branch
+        self.emit(c)
+        return c
+
+    def select(self, cond: Value, t: Value, f: Value, name: str = "") -> Instruction:
+        return self.emit(Select(cond, t, f, name=name))
+
+    def cast(self, v: Value, to: Type, name: str = "") -> Instruction:
+        return self.emit(Cast(v, to, name=name))
+
+    # -- memory ---------------------------------------------------------------
+
+    def ptradd(self, base: Value, index: Value, name: str = "") -> Instruction:
+        return self.emit(PtrAdd(base, index, name=name))
+
+    def gep(self, base: Value, *indices, strides: Sequence[int] | None = None, name: str = "") -> Value:
+        """Multi-dimensional address: base + sum(idx_k * stride_k).
+
+        ``strides`` defaults to row-major with the last stride 1; indices
+        may be IR values or Python ints.
+        """
+        if strides is None:
+            if len(indices) != 1:
+                raise ValueError("gep with >1 index needs explicit strides")
+            strides = [1]
+        flat: Optional[Value] = None
+        for idx, stride in zip(indices, strides):
+            iv = const_int(idx) if isinstance(idx, int) else idx
+            term = iv if stride == 1 else self.mul(iv, const_int(stride))
+            flat = term if flat is None else self.add(flat, term)
+        assert flat is not None
+        return self.ptradd(base, flat, name=name)
+
+    def load(self, ptr: Value, type_: Type = FLOAT, name: str = "") -> Load:
+        return self.emit(Load(ptr, type_, name=name))  # type: ignore[return-value]
+
+    def store(self, ptr: Value, value: Value) -> Store:
+        return self.emit(Store(ptr, value))  # type: ignore[return-value]
+
+    def alloca(self, size: int, name: str = "") -> Alloca:
+        return self.emit(Alloca(size, name=name))  # type: ignore[return-value]
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[Value] = (),
+        ret_type: Type | None = None,
+        effects: Effects | None = None,
+        name: str = "",
+    ) -> Call:
+        from .types import VOID
+
+        rt = ret_type if ret_type is not None else VOID
+        return self.emit(Call(callee, args, rt, effects, name=name))  # type: ignore[return-value]
+
+    # -- joins -----------------------------------------------------------------
+
+    def phi(self, incomings: Sequence[tuple[Value, Predicate]], name: str = "") -> Phi:
+        return self.emit(Phi(incomings, name=name))  # type: ignore[return-value]
+
+    # -- vectors ----------------------------------------------------------------
+
+    def vload(self, ptr: Value, lanes: int, elem: Type = FLOAT, name: str = "") -> Instruction:
+        return self.emit(VecLoad(ptr, vector_of(elem, lanes), name=name))
+
+    def vstore(self, ptr: Value, vec: Value) -> Instruction:
+        return self.emit(VecStore(ptr, vec))
+
+    def vbin(self, op: str, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.emit(VecBin(op, a, b, name=name))
+
+    def vun(self, op: str, v: Value, name: str = "") -> Instruction:
+        return self.emit(VecUn(op, v, name=name))
+
+    def vcmp(self, rel: str, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.emit(VecCmp(rel, a, b, name=name))
+
+    def vselect(self, mask: Value, t: Value, f: Value, name: str = "") -> Instruction:
+        return self.emit(VecSelect(mask, t, f, name=name))
+
+    def buildvec(self, elems: Sequence[Value], name: str = "") -> Instruction:
+        return self.emit(BuildVector(elems, name=name))
+
+    def extract(self, vec: Value, lane: int, name: str = "") -> Instruction:
+        return self.emit(ExtractLane(vec, lane, name=name))
+
+    def shuffle(self, a: Value, b: Value | None, mask: Sequence[int], name: str = "") -> Instruction:
+        return self.emit(Shuffle(a, b, mask, name=name))
+
+    def broadcast(self, v: Value, lanes: int, name: str = "") -> Instruction:
+        return self.emit(Broadcast(v, lanes, name=name))
+
+    def reduce(self, op: str, vec: Value, name: str = "") -> Instruction:
+        return self.emit(Reduce(op, vec, name=name))
+
+    # -- loops ----------------------------------------------------------------
+
+    def make_loop(self, name: str = "") -> Loop:
+        """Create a loop under the current predicate and append it."""
+        loop = Loop(name)
+        loop.set_predicate(self.predicate)
+        self.scope.append(loop)
+        return loop
+
+    def mu(self, loop: Loop, init: Value, name: str = "") -> Mu:
+        m = Mu(init, name=name)
+        loop.add_mu(m)
+        return m
+
+    def eta(self, loop: Loop, inner: Value, name: str = "") -> Eta:
+        """Loop live-out; emitted in the current (parent) scope."""
+        return self.emit(Eta(loop, inner, name=name))  # type: ignore[return-value]
+
+
+__all__ = ["IRBuilder"]

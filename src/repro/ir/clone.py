@@ -1,0 +1,187 @@
+"""Cloning of instructions and loops.
+
+The materializer (paper Fig. 14) duplicates every versioned item.  Cloning
+maps operands and predicate literals through a value map so that a cloned
+subprogram is internally consistent: references to other cloned values use
+the clones, references to unversioned values are shared.
+
+Cloning preserves metadata — in particular the noalias scope annotations of
+§IV-B, which the paper calls out as a benefit of LLVM's cloning utilities
+that we replicate here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .instructions import (
+    Alloca,
+    BinOp,
+    Broadcast,
+    BuildVector,
+    Call,
+    Cast,
+    Cmp,
+    Eta,
+    ExtractLane,
+    Instruction,
+    Load,
+    Mu,
+    Phi,
+    PtrAdd,
+    Reduce,
+    Select,
+    Shuffle,
+    Store,
+    UnOp,
+    VecBin,
+    VecCmp,
+    VecLoad,
+    VecSelect,
+    VecStore,
+    VecUn,
+)
+from .loops import Loop
+from .predicates import Predicate
+from .values import Value
+
+ValueMap = dict[Value, Value]
+
+
+def _m(v: Value, vmap: ValueMap) -> Value:
+    return vmap.get(v, v)
+
+
+def _mpred(p: Predicate, vmap: ValueMap) -> Predicate:
+    return p.substitute(vmap)
+
+
+def clone_instruction(inst: Instruction, vmap: ValueMap) -> Instruction:
+    """Clone one instruction, mapping operands/predicates through ``vmap``.
+
+    The clone is registered in ``vmap`` and NOT inserted into any scope.
+    """
+    ops = [_m(o, vmap) for o in inst.operands]
+    new: Instruction
+    if isinstance(inst, BinOp):
+        new = BinOp(inst.op, ops[0], ops[1], name=inst.name)
+    elif isinstance(inst, UnOp):
+        new = UnOp(inst.op, ops[0], name=inst.name)
+    elif isinstance(inst, Cmp):
+        new = Cmp(inst.rel, ops[0], ops[1], name=inst.name)
+        new.is_branch_source = inst.is_branch_source
+        new.is_versioning_check = inst.is_versioning_check
+    elif isinstance(inst, Select):
+        new = Select(ops[0], ops[1], ops[2], name=inst.name)
+    elif isinstance(inst, Cast):
+        new = Cast(ops[0], inst.type, name=inst.name)
+    elif isinstance(inst, PtrAdd):
+        new = PtrAdd(ops[0], ops[1], name=inst.name)
+    elif isinstance(inst, Load):
+        new = Load(ops[0], inst.type, name=inst.name)
+    elif isinstance(inst, Store):
+        new = Store(ops[0], ops[1], name=inst.name)
+    elif isinstance(inst, Alloca):
+        new = Alloca(inst.size, name=inst.name)
+    elif isinstance(inst, Call):
+        new = Call(inst.callee, ops, inst.type, inst.effects, name=inst.name)
+    elif isinstance(inst, Phi):
+        incomings = [
+            (_m(v, vmap), _mpred(p, vmap)) for v, p in inst.incomings()
+        ]
+        new = Phi(incomings, type_=inst.type, name=inst.name)
+    elif isinstance(inst, Mu):
+        # rec is patched by clone_loop after the body is cloned
+        new = Mu(_m(inst.init, vmap), name=inst.name)
+    elif isinstance(inst, Eta):
+        raise ValueError("etas are cloned by the loop-cloning path")
+    elif isinstance(inst, VecLoad):
+        new = VecLoad(ops[0], inst.type, name=inst.name)
+    elif isinstance(inst, VecStore):
+        new = VecStore(ops[0], ops[1], name=inst.name)
+    elif isinstance(inst, VecBin):
+        new = VecBin(inst.op, ops[0], ops[1], name=inst.name)
+    elif isinstance(inst, VecUn):
+        new = VecUn(inst.op, ops[0], name=inst.name)
+    elif isinstance(inst, VecCmp):
+        new = VecCmp(inst.rel, ops[0], ops[1], name=inst.name)
+    elif isinstance(inst, VecSelect):
+        new = VecSelect(ops[0], ops[1], ops[2], name=inst.name)
+    elif isinstance(inst, BuildVector):
+        new = BuildVector(ops, name=inst.name)
+    elif isinstance(inst, ExtractLane):
+        new = ExtractLane(ops[0], inst.lane, name=inst.name)
+    elif isinstance(inst, Shuffle):
+        b = ops[1] if len(ops) > 1 else None
+        new = Shuffle(ops[0], b, inst.mask, name=inst.name)
+    elif isinstance(inst, Broadcast):
+        new = Broadcast(ops[0], inst.type.lanes, name=inst.name)
+    elif isinstance(inst, Reduce):
+        new = Reduce(inst.op, ops[0], name=inst.name)
+    else:  # pragma: no cover - defensive
+        raise NotImplementedError(f"cannot clone {type(inst).__name__}")
+    new.set_predicate(_mpred(inst.predicate, vmap))
+    new.metadata = _copy_metadata(inst.metadata)
+    vmap[inst] = new
+    return new
+
+
+def _copy_metadata(md: dict) -> dict:
+    """One-level copy so container-valued entries (noalias scope sets)
+    don't end up shared between an instruction and its clone."""
+    out = {}
+    for k, v in md.items():
+        if isinstance(v, set):
+            out[k] = set(v)
+        elif isinstance(v, list):
+            out[k] = list(v)
+        elif isinstance(v, dict):
+            out[k] = dict(v)
+        else:
+            out[k] = v
+    return out
+
+
+def clone_loop(loop: Loop, vmap: ValueMap) -> Loop:
+    """Deep-clone a loop (mus, body, continuation), registering every
+    cloned inner value in ``vmap``.  Etas are not cloned here (they live in
+    the parent scope); callers create etas on the clone as needed."""
+    new = Loop(loop.name + ".clone")
+    vmap[loop] = new  # type: ignore[index]
+    new.set_predicate(_mpred(loop.predicate, vmap))
+    new.metadata = _copy_metadata(loop.metadata)
+    for mu in loop.mus:
+        cmu = clone_instruction(mu, vmap)
+        new.add_mu(cmu)  # type: ignore[arg-type]
+    _clone_body(loop, new, vmap)
+    assert loop.cont is not None
+    new.set_cont(_m(loop.cont, vmap))
+    for mu, cmu in zip(loop.mus, new.mus):
+        assert mu.rec is not None
+        cmu.set_rec(_m(mu.rec, vmap))
+    return new
+
+
+def _clone_body(src: Loop, dst: Loop, vmap: ValueMap) -> None:
+    for item in src.items:
+        if isinstance(item, Loop):
+            dst.append(clone_loop(item, vmap))
+        elif isinstance(item, Eta):
+            # an eta of an inner loop: retarget it to that loop's clone
+            target_loop = vmap.get(item.loop, item.loop)  # type: ignore[arg-type]
+            new_eta = Eta(target_loop, _m(item.inner, vmap), name=item.name)
+            new_eta.set_predicate(_mpred(item.predicate, vmap))
+            dst.append(new_eta)
+            vmap[item] = new_eta
+        else:
+            dst.append(clone_instruction(item, vmap))  # type: ignore[arg-type]
+
+
+def clone_item(item, vmap: ValueMap):
+    """Clone an instruction or a loop (dispatch helper)."""
+    if isinstance(item, Loop):
+        return clone_loop(item, vmap)
+    return clone_instruction(item, vmap)
+
+
+__all__ = ["clone_instruction", "clone_loop", "clone_item", "ValueMap"]

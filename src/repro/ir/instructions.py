@@ -1,0 +1,717 @@
+"""Instructions of the predicated-SSA IR (paper Fig. 3).
+
+An *item* is anything that lives in a scope body: an instruction or a
+loop.  Every item carries an execution predicate.  There are no basic
+blocks and no branches; control flow is encoded entirely in predicates and
+in the loop hierarchy, which is what makes the global code motion the
+versioning framework performs (hoisting checks, duplicating guarded
+instructions) a purely local list edit.
+
+Uses are tracked for *all* value references an item makes: its operands,
+its predicate's literals, and — for phis — the incoming-edge predicates.
+The materializer (Fig. 14) relies on this when it reroutes uses of a
+versioned instruction to the joining phi, including uses that occur inside
+predicates (see the ``c_phi`` rewrite in the paper's Fig. 15a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from .predicates import Predicate
+from .types import BOOL, FLOAT, INT, PTR, Type, VectorType, vector_of
+from .values import Constant, Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .loops import Loop, Scope
+
+
+# ---------------------------------------------------------------------------
+# Item base
+# ---------------------------------------------------------------------------
+
+
+class Item:
+    """Mixin for things that live in a scope body (instructions, loops)."""
+
+    predicate: Predicate
+    parent: Optional["Scope"]
+
+    def is_loop(self) -> bool:
+        return False
+
+    def may_read(self) -> bool:
+        return False
+
+    def may_write(self) -> bool:
+        return False
+
+    def touches_memory(self) -> bool:
+        return self.may_read() or self.may_write()
+
+    def mem_instructions(self) -> list["Instruction"]:
+        """All memory-touching instructions this item contains."""
+        return []
+
+    def set_predicate(self, pred: Predicate) -> None:
+        """Replace the execution predicate, keeping use lists consistent."""
+        for v in self.predicate.values():
+            v._remove_user(self)  # type: ignore[arg-type]
+        self.predicate = pred
+        for v in pred.values():
+            v._add_user(self)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Instruction base
+# ---------------------------------------------------------------------------
+
+
+class Instruction(Value, Item):
+    """An SSA instruction guarded by an execution predicate."""
+
+    __slots__ = ("operands", "predicate", "parent", "metadata")
+
+    opcode: str = "?"
+
+    def __init__(
+        self,
+        type_: Type,
+        operands: Sequence[Value],
+        predicate: Predicate | None = None,
+        name: str = "",
+    ):
+        super().__init__(type_, name)
+        self.operands: list[Value] = []
+        self.predicate = Predicate.true()
+        self.parent = None
+        self.metadata: dict = {}
+        for op in operands:
+            self._append_operand(op)
+        if predicate is not None:
+            self.set_predicate(predicate)
+
+    # -- operand bookkeeping -------------------------------------------
+
+    def _append_operand(self, v: Value) -> None:
+        self.operands.append(v)
+        v._add_user(self)
+
+    def set_operand(self, idx: int, v: Value) -> None:
+        self.operands[idx]._remove_user(self)
+        self.operands[idx] = v
+        v._add_user(self)
+
+    def replace_uses_of(self, old: Value, new: Value) -> None:
+        """Replace every reference to ``old`` (operands and predicates)."""
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.set_operand(i, new)
+        if any(lit.value is old for lit in self.predicate.literals):
+            self.set_predicate(self.predicate.substitute({old: new}))
+        self._replace_extra_uses(old, new)
+
+    def _replace_extra_uses(self, old: Value, new: Value) -> None:
+        """Hook for subclasses with non-operand uses (phi edge predicates)."""
+
+    def drop_all_references(self) -> None:
+        """Detach from every used value (call when erasing)."""
+        for op in self.operands:
+            op._remove_user(self)
+        self.operands.clear()
+        self.set_predicate(Predicate.true())
+
+    def is_instruction(self) -> bool:
+        return True
+
+    # -- memory interface -------------------------------------------------
+
+    @property
+    def pointer(self) -> Optional[Value]:
+        """The address operand of a memory access, else None."""
+        return None
+
+    @property
+    def access_slots(self) -> int:
+        """Slots read/written at ``pointer`` (vector accesses span lanes)."""
+        return 0
+
+    def mem_instructions(self) -> list["Instruction"]:
+        return [self] if self.touches_memory() else []
+
+    # -- misc ---------------------------------------------------------------
+
+    def scope_erase(self) -> None:
+        """Remove this instruction from its parent scope and drop uses."""
+        if self.parent is not None:
+            self.parent.remove(self)
+        self.drop_all_references()
+
+    def brief(self) -> str:
+        ops = ", ".join(o.display_name() for o in self.operands)
+        return f"{self.display_name()} = {self.opcode} {ops}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.brief()} ; {self.predicate}>"
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic / logic
+# ---------------------------------------------------------------------------
+
+BINARY_OPS = {
+    "add", "sub", "mul", "div", "rem", "min", "max",
+    "and", "or", "xor", "shl", "shr", "pow",
+}
+
+UNARY_OPS = {"neg", "not", "sqrt", "abs", "exp", "log", "floor", "sin", "cos"}
+
+CMP_RELS = {"eq", "ne", "lt", "le", "gt", "ge"}
+
+
+class BinOp(Instruction):
+    __slots__ = ("op",)
+    opcode = "bin"
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        super().__init__(lhs.type, [lhs, rhs], name=name)
+        self.op = op
+
+    def brief(self) -> str:
+        a, b = self.operands
+        return f"{self.display_name()} = {self.op} {a.display_name()}, {b.display_name()}"
+
+
+class UnOp(Instruction):
+    __slots__ = ("op",)
+    opcode = "un"
+
+    def __init__(self, op: str, val: Value, name: str = ""):
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        out = BOOL if op == "not" else val.type
+        super().__init__(out, [val], name=name)
+        self.op = op
+
+    def brief(self) -> str:
+        return f"{self.display_name()} = {self.op} {self.operands[0].display_name()}"
+
+
+class Cmp(Instruction):
+    """Comparison producing a boolean.
+
+    ``is_branch_source`` marks comparisons that feed control decisions
+    (if/loop guards and materialized versioning checks); the interpreter's
+    dynamic branch counter — used for the Fig. 22 "branches increase"
+    row — counts executions of such comparisons.
+    """
+
+    __slots__ = ("rel", "is_branch_source", "is_versioning_check")
+    opcode = "cmp"
+
+    def __init__(self, rel: str, lhs: Value, rhs: Value, name: str = ""):
+        if rel not in CMP_RELS:
+            raise ValueError(f"unknown comparison {rel!r}")
+        super().__init__(BOOL, [lhs, rhs], name=name)
+        self.rel = rel
+        self.is_branch_source = False
+        self.is_versioning_check = False
+
+    def brief(self) -> str:
+        a, b = self.operands
+        return f"{self.display_name()} = cmp {self.rel} {a.display_name()}, {b.display_name()}"
+
+
+class Select(Instruction):
+    __slots__ = ()
+    opcode = "select"
+
+    def __init__(self, cond: Value, tval: Value, fval: Value, name: str = ""):
+        super().__init__(tval.type, [cond, tval, fval], name=name)
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def false_value(self) -> Value:
+        return self.operands[2]
+
+
+class Cast(Instruction):
+    __slots__ = ()
+    opcode = "cast"
+
+    def __init__(self, val: Value, to: Type, name: str = ""):
+        super().__init__(to, [val], name=name)
+
+    def brief(self) -> str:
+        return f"{self.display_name()} = cast {self.operands[0].display_name()} to {self.type}"
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+
+
+class PtrAdd(Instruction):
+    """Pointer plus element index (all elements are one slot wide)."""
+
+    __slots__ = ()
+    opcode = "ptradd"
+
+    def __init__(self, base: Value, index: Value, name: str = ""):
+        super().__init__(PTR, [base, index], name=name)
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+    def brief(self) -> str:
+        return f"{self.display_name()} = &{self.base.display_name()}[{self.index.display_name()}]"
+
+
+class Load(Instruction):
+    __slots__ = ()
+    opcode = "load"
+
+    def __init__(self, ptr: Value, type_: Type = FLOAT, name: str = ""):
+        super().__init__(type_, [ptr], name=name)
+
+    def may_read(self) -> bool:
+        return True
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def access_slots(self) -> int:
+        return 1
+
+    def brief(self) -> str:
+        return f"{self.display_name()} = load {self.pointer.display_name()}"
+
+
+class Store(Instruction):
+    __slots__ = ()
+    opcode = "store"
+
+    def __init__(self, ptr: Value, value: Value, name: str = ""):
+        from .types import VOID
+
+        super().__init__(VOID, [ptr, value], name=name)
+
+    def may_write(self) -> bool:
+        return True
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def access_slots(self) -> int:
+        return 1
+
+    def brief(self) -> str:
+        return f"store {self.pointer.display_name()}, {self.value.display_name()}"
+
+
+class Alloca(Instruction):
+    """Function-local allocation of ``size`` contiguous slots."""
+
+    __slots__ = ("size",)
+    opcode = "alloca"
+
+    def __init__(self, size: int, name: str = ""):
+        super().__init__(PTR, [], name=name)
+        self.size = size
+
+    def brief(self) -> str:
+        return f"{self.display_name()} = alloca {self.size}"
+
+
+@dataclass(frozen=True)
+class Effects:
+    """Memory effects of a call."""
+
+    may_read: bool = True
+    may_write: bool = True
+
+    @staticmethod
+    def pure() -> "Effects":
+        return Effects(False, False)
+
+    @staticmethod
+    def readonly() -> "Effects":
+        return Effects(True, False)
+
+
+class Call(Instruction):
+    """Call to an opaque external function.
+
+    Unless annotated otherwise, a call may read and write arbitrary
+    memory, which is exactly the dependence-analysis poison the running
+    example's ``cold_func()`` introduces.
+    """
+
+    __slots__ = ("callee", "effects")
+    opcode = "call"
+
+    def __init__(
+        self,
+        callee: str,
+        args: Sequence[Value],
+        ret_type: Type,
+        effects: Effects | None = None,
+        name: str = "",
+    ):
+        super().__init__(ret_type, list(args), name=name)
+        self.callee = callee
+        self.effects = effects if effects is not None else Effects()
+
+    def may_read(self) -> bool:
+        return self.effects.may_read
+
+    def may_write(self) -> bool:
+        return self.effects.may_write
+
+    def brief(self) -> str:
+        args = ", ".join(o.display_name() for o in self.operands)
+        lhs = "" if str(self.type) == "void" else f"{self.display_name()} = "
+        return f"{lhs}call {self.callee}({args})"
+
+
+# ---------------------------------------------------------------------------
+# SSA joins: phi, mu, eta
+# ---------------------------------------------------------------------------
+
+
+class Phi(Instruction):
+    """Predicated phi: ``phi(v1: p1, ..., vn: pn)`` (paper Fig. 3).
+
+    Its value is the operand whose predicate holds at run time.  Incoming
+    predicates are uses: rerouting a value through a versioning phi must
+    also rewrite predicates that mention it.
+    """
+
+    __slots__ = ("incoming_preds",)
+    opcode = "phi"
+
+    def __init__(
+        self,
+        incomings: Sequence[tuple[Value, Predicate]],
+        type_: Type | None = None,
+        name: str = "",
+    ):
+        values = [v for v, _ in incomings]
+        ty = type_ if type_ is not None else values[0].type
+        super().__init__(ty, values, name=name)
+        self.incoming_preds: list[Predicate] = []
+        for _, p in incomings:
+            self.incoming_preds.append(p)
+            for pv in p.values():
+                pv._add_user(self)
+
+    def incomings(self) -> list[tuple[Value, Predicate]]:
+        return list(zip(self.operands, self.incoming_preds))
+
+    def set_incoming_value(self, idx: int, v: Value) -> None:
+        self.set_operand(idx, v)
+
+    def set_incoming_pred(self, idx: int, p: Predicate) -> None:
+        for pv in self.incoming_preds[idx].values():
+            pv._remove_user(self)
+        self.incoming_preds[idx] = p
+        for pv in p.values():
+            pv._add_user(self)
+
+    def _replace_extra_uses(self, old: Value, new: Value) -> None:
+        for i, p in enumerate(self.incoming_preds):
+            if any(lit.value is old for lit in p.literals):
+                self.set_incoming_pred(i, p.substitute({old: new}))
+
+    def drop_all_references(self) -> None:
+        for p in self.incoming_preds:
+            for pv in p.values():
+                pv._remove_user(self)
+        self.incoming_preds.clear()
+        super().drop_all_references()
+
+    def brief(self) -> str:
+        inc = ", ".join(
+            f"{p}: {v.display_name()}" for v, p in self.incomings()
+        )
+        return f"{self.display_name()} = phi({inc})"
+
+
+class Mu(Instruction):
+    """Loop-header recurrence ``mu(v_init, v_rec)`` (paper Fig. 3).
+
+    Evaluates to ``v_init`` on the first iteration and to the previous
+    iteration's ``v_rec`` afterwards.  The recurrence operand may be set
+    after construction since it is usually defined later in the body.
+    """
+
+    __slots__ = ("loop",)
+    opcode = "mu"
+
+    def __init__(self, init: Value, rec: Value | None = None, name: str = ""):
+        ops = [init] if rec is None else [init, rec]
+        super().__init__(init.type, ops, name=name)
+        self.loop: Optional["Loop"] = None
+
+    @property
+    def init(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rec(self) -> Optional[Value]:
+        return self.operands[1] if len(self.operands) > 1 else None
+
+    def set_rec(self, v: Value) -> None:
+        if len(self.operands) > 1:
+            self.set_operand(1, v)
+        else:
+            self._append_operand(v)
+
+    def brief(self) -> str:
+        rec = self.rec.display_name() if self.rec is not None else "?"
+        return f"{self.display_name()} = mu({self.init.display_name()}, {rec})"
+
+
+class Eta(Instruction):
+    """Loop live-out: the value ``inner`` held on the loop's final iteration.
+
+    Lives in the loop's *parent* scope, immediately after the loop.  If the
+    loop never executes the eta is undefined; the front end guards such
+    uses with a phi over the loop-entry condition.
+    """
+
+    __slots__ = ("loop",)
+    opcode = "eta"
+
+    def __init__(self, loop: "Loop", inner: Value, name: str = ""):
+        super().__init__(inner.type, [inner], name=name)
+        self.loop = loop
+        loop.etas.append(self)
+
+    @property
+    def inner(self) -> Value:
+        return self.operands[0]
+
+    def brief(self) -> str:
+        return f"{self.display_name()} = eta({self.loop.display_name()}, {self.inner.display_name()})"
+
+
+# ---------------------------------------------------------------------------
+# Vector instructions
+# ---------------------------------------------------------------------------
+
+
+class VecLoad(Instruction):
+    __slots__ = ()
+    opcode = "vload"
+
+    def __init__(self, ptr: Value, vec_type: VectorType, name: str = ""):
+        super().__init__(vec_type, [ptr], name=name)
+
+    def may_read(self) -> bool:
+        return True
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def access_slots(self) -> int:
+        return self.type.slots
+
+    def brief(self) -> str:
+        return f"{self.display_name()} = vload {self.pointer.display_name()} x{self.type.slots}"
+
+
+class VecStore(Instruction):
+    __slots__ = ()
+    opcode = "vstore"
+
+    def __init__(self, ptr: Value, value: Value, name: str = ""):
+        from .types import VOID
+
+        if not value.type.is_vector():
+            raise ValueError("vstore requires a vector value")
+        super().__init__(VOID, [ptr, value], name=name)
+
+    def may_write(self) -> bool:
+        return True
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def access_slots(self) -> int:
+        return self.value.type.slots
+
+    def brief(self) -> str:
+        return f"vstore {self.pointer.display_name()}, {self.value.display_name()}"
+
+
+class VecBin(Instruction):
+    __slots__ = ("op",)
+    opcode = "vbin"
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        super().__init__(lhs.type, [lhs, rhs], name=name)
+        self.op = op
+
+    def brief(self) -> str:
+        a, b = self.operands
+        return f"{self.display_name()} = v{self.op} {a.display_name()}, {b.display_name()}"
+
+
+class VecUn(Instruction):
+    __slots__ = ("op",)
+    opcode = "vun"
+
+    def __init__(self, op: str, val: Value, name: str = ""):
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        super().__init__(val.type, [val], name=name)
+        self.op = op
+
+
+class VecCmp(Instruction):
+    __slots__ = ("rel",)
+    opcode = "vcmp"
+
+    def __init__(self, rel: str, lhs: Value, rhs: Value, name: str = ""):
+        if rel not in CMP_RELS:
+            raise ValueError(f"unknown comparison {rel!r}")
+        lanes = lhs.type.lanes
+        super().__init__(vector_of(BOOL, lanes), [lhs, rhs], name=name)
+        self.rel = rel
+
+
+class VecSelect(Instruction):
+    __slots__ = ()
+    opcode = "vselect"
+
+    def __init__(self, mask: Value, tval: Value, fval: Value, name: str = ""):
+        super().__init__(tval.type, [mask, tval, fval], name=name)
+
+
+class BuildVector(Instruction):
+    """Gather scalars into a vector (the SLP 'gather' fallback)."""
+
+    __slots__ = ()
+    opcode = "buildvec"
+
+    def __init__(self, elems: Sequence[Value], name: str = ""):
+        ty = vector_of(elems[0].type, len(elems))
+        super().__init__(ty, list(elems), name=name)
+
+    def brief(self) -> str:
+        elems = ", ".join(o.display_name() for o in self.operands)
+        return f"{self.display_name()} = buildvec [{elems}]"
+
+
+class ExtractLane(Instruction):
+    __slots__ = ("lane",)
+    opcode = "extract"
+
+    def __init__(self, vec: Value, lane: int, name: str = ""):
+        super().__init__(vec.type.elem, [vec], name=name)
+        self.lane = lane
+
+    def brief(self) -> str:
+        return f"{self.display_name()} = extract {self.operands[0].display_name()}[{self.lane}]"
+
+
+class Shuffle(Instruction):
+    """Permute lanes of one or two vectors by a constant mask."""
+
+    __slots__ = ("mask",)
+    opcode = "shuffle"
+
+    def __init__(self, a: Value, b: Value | None, mask: Sequence[int], name: str = ""):
+        ty = vector_of(a.type.elem, len(mask))
+        ops = [a] if b is None else [a, b]
+        super().__init__(ty, ops, name=name)
+        self.mask = list(mask)
+
+
+class Broadcast(Instruction):
+    __slots__ = ()
+    opcode = "broadcast"
+
+    def __init__(self, val: Value, lanes: int, name: str = ""):
+        super().__init__(vector_of(val.type, lanes), [val], name=name)
+
+
+class Reduce(Instruction):
+    """Horizontal reduction of a vector (used for sum/min/max idioms)."""
+
+    __slots__ = ("op",)
+    opcode = "reduce"
+
+    def __init__(self, op: str, vec: Value, name: str = ""):
+        if op not in {"add", "mul", "min", "max", "or", "and"}:
+            raise ValueError(f"cannot reduce with {op!r}")
+        super().__init__(vec.type.elem, [vec], name=name)
+        self.op = op
+
+
+__all__ = [
+    "Item",
+    "Instruction",
+    "BinOp",
+    "UnOp",
+    "Cmp",
+    "Select",
+    "Cast",
+    "PtrAdd",
+    "Load",
+    "Store",
+    "Alloca",
+    "Call",
+    "Effects",
+    "Phi",
+    "Mu",
+    "Eta",
+    "VecLoad",
+    "VecStore",
+    "VecBin",
+    "VecUn",
+    "VecCmp",
+    "VecSelect",
+    "BuildVector",
+    "ExtractLane",
+    "Shuffle",
+    "Broadcast",
+    "Reduce",
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "CMP_RELS",
+]

@@ -1,0 +1,258 @@
+"""Scopes, loops, functions, and modules.
+
+Predicated SSA has no CFG: a function is a flat list of *items*
+(instructions and loops), and each loop is itself a flat list of items plus
+header recurrences (mu nodes) and a continuation value, per the paper's
+Fig. 3 grammar::
+
+    fn   ::= item_1 : p_1, ..., item_n : p_n
+    loop ::= with v_1 = mu_1, ... do item_1 : p_1, ... while p_cont
+
+Loops use do-while semantics: when a loop's predicate holds, the body runs
+at least once and repeats while the continuation value is true.  Rotated
+loop form (the entry guard folded into the loop predicate) is produced by
+the front end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Optional
+
+from .instructions import Instruction, Item, Mu
+from .predicates import Predicate
+from .types import PTR, Type
+from .values import Argument, Value
+
+_loop_ids = itertools.count()
+
+
+class GlobalArray(Value):
+    """A module-level array: a pointer to a distinct static allocation.
+
+    Distinct globals never alias each other — this models TSVC's global
+    arrays, and flipping ``as_parameters`` in a workload demotes them to
+    may-alias arguments (the paper's two-level-versioning s258 variant).
+    """
+
+    __slots__ = ("size",)
+
+    def __init__(self, name: str, size: int):
+        super().__init__(PTR, name)
+        self.size = size
+
+
+class ScopeMixin:
+    """List-of-items manipulation shared by functions and loops."""
+
+    items: list[Item]
+
+    def _adopt(self, item: Item) -> None:
+        item.parent = self  # type: ignore[assignment]
+
+    def append(self, item: Item) -> None:
+        self._adopt(item)
+        self.items.append(item)
+
+    def insert(self, idx: int, item: Item) -> None:
+        self._adopt(item)
+        self.items.insert(idx, item)
+
+    def index_of(self, item: Item) -> int:
+        for i, it in enumerate(self.items):
+            if it is item:
+                return i
+        raise ValueError(f"{item!r} not in scope")
+
+    def insert_before(self, anchor: Item, item: Item) -> None:
+        self.insert(self.index_of(anchor), item)
+
+    def insert_after(self, anchor: Item, item: Item) -> None:
+        self.insert(self.index_of(anchor) + 1, item)
+
+    def remove(self, item: Item) -> None:
+        self.items.remove(item)
+        item.parent = None  # type: ignore[assignment]
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in this scope, recursively, in program order."""
+        for item in self.items:
+            if isinstance(item, Loop):
+                yield from item.header_and_body_instructions()
+            else:
+                yield item  # type: ignore[misc]
+
+    def walk_items(self) -> Iterator[Item]:
+        """All items (loops included as items), recursively, pre-order."""
+        for item in self.items:
+            yield item
+            if isinstance(item, Loop):
+                for mu in item.mus:
+                    yield mu
+                yield from item.walk_items()
+
+
+class Loop(ScopeMixin, Item):
+    """A loop item: header mus, a body of items, and a continuation value."""
+
+    def __init__(self, name: str = ""):
+        self.vid = next(_loop_ids) + 10_000_000  # distinct id space from values
+        self.name = name or f"loop{self.vid - 10_000_000}"
+        self.predicate = Predicate.true()
+        self.parent: Optional[ScopeMixin] = None
+        self.mus: list[Mu] = []
+        self.items: list[Item] = []
+        self.cont: Optional[Value] = None
+        self.etas: list = []  # Eta instructions in the parent scope
+        self.metadata: dict = {}
+
+    # -- structure -------------------------------------------------------
+
+    def is_loop(self) -> bool:
+        return True
+
+    def add_mu(self, mu: Mu) -> None:
+        mu.loop = self
+        mu.parent = self
+        self.mus.append(mu)
+
+    def set_cont(self, v: Value) -> None:
+        if self.cont is not None:
+            self.cont._remove_user(self)  # type: ignore[arg-type]
+        self.cont = v
+        v._add_user(self)  # type: ignore[arg-type]
+
+    def replace_uses_of(self, old: Value, new: Value) -> None:
+        """Rewrite the loop's own references (cont, predicate)."""
+        if self.cont is old:
+            self.set_cont(new)
+        if any(lit.value is old for lit in self.predicate.literals):
+            self.set_predicate(self.predicate.substitute({old: new}))
+
+    def header_and_body_instructions(self) -> Iterator[Instruction]:
+        yield from self.mus
+        yield from self.instructions()
+
+    # -- memory summary ----------------------------------------------------
+
+    def mem_instructions(self) -> list[Instruction]:
+        out: list[Instruction] = []
+        for inst in self.instructions():
+            if inst.touches_memory():
+                out.append(inst)
+        return out
+
+    def may_read(self) -> bool:
+        return any(i.may_read() for i in self.mem_instructions())
+
+    def may_write(self) -> bool:
+        return any(i.may_write() for i in self.mem_instructions())
+
+    # -- misc -----------------------------------------------------------
+
+    def display_name(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<Loop {self.name} [{len(self.items)} items] ; {self.predicate}>"
+
+
+class Function(ScopeMixin):
+    """A function: arguments plus a top-level scope of items."""
+
+    def __init__(self, name: str, args: Iterable[Argument] = ()):
+        self.name = name
+        self.args: list[Argument] = list(args)
+        self.items: list[Item] = []
+        self.return_value: Optional[Value] = None
+        self.module: Optional["Module"] = None
+
+    def arg(self, name: str) -> Argument:
+        for a in self.args:
+            if a.name == name:
+                return a
+        raise KeyError(f"no argument named {name!r} in {self.name}")
+
+    def set_return(self, v: Optional[Value]) -> None:
+        self.return_value = v
+
+    def loops(self, recursive: bool = True) -> list[Loop]:
+        found: list[Loop] = []
+
+        def visit(scope: ScopeMixin) -> None:
+            for item in scope.items:
+                if isinstance(item, Loop):
+                    found.append(item)
+                    if recursive:
+                        visit(item)
+
+        visit(self)
+        return found
+
+    def code_size(self) -> int:
+        """Static instruction count (the Fig. 22 code-size metric)."""
+        return sum(1 for _ in self.instructions())
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name}({', '.join(a.name for a in self.args)})>"
+
+
+class Module:
+    """A translation unit: functions plus global arrays."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalArray] = {}
+        # free-form metadata (the front end records C types of params and
+        # globals here so workload drivers know array shapes)
+        self.meta: dict = {}
+
+    def add_function(self, fn: Function) -> Function:
+        fn.module = self
+        self.functions[fn.name] = fn
+        return fn
+
+    def add_global(self, name: str, size: int) -> GlobalArray:
+        g = GlobalArray(name, size)
+        self.globals[name] = g
+        return g
+
+    def __getitem__(self, name: str) -> Function:
+        return self.functions[name]
+
+
+def program_order(fn: Function) -> dict[Item, int]:
+    """Assign each item a program-order number.
+
+    The order is a topological order of the dependence graph (the paper
+    uses it to prove plan-inference termination): loops are numbered before
+    their contents' successors but after everything preceding them, and an
+    item depends only on lower-numbered items (mu back-edges excepted).
+    """
+
+    order: dict[Item, int] = {}
+    counter = itertools.count()
+
+    def visit(scope: ScopeMixin) -> None:
+        for item in scope.items:
+            if isinstance(item, Loop):
+                for mu in item.mus:
+                    order[mu] = next(counter)
+                visit(item)
+                order[item] = next(counter)
+            else:
+                order[item] = next(counter)
+
+    visit(fn)
+    return order
+
+
+__all__ = [
+    "GlobalArray",
+    "ScopeMixin",
+    "Loop",
+    "Function",
+    "Module",
+    "program_order",
+]

@@ -1,0 +1,135 @@
+"""Control predicates for predicated SSA (Fig. 3 of the paper).
+
+An execution predicate is a *conjunction of literals*, where each literal
+is a boolean IR value, possibly negated.  ``true`` is the empty
+conjunction.  This canonical form makes the two queries the versioning
+framework needs cheap and exact:
+
+* ``p.implies(q)`` — for conjunctions, ``p`` implies ``q`` iff ``q``'s
+  literal set is a subset of ``p``'s (p is *stronger*, i.e. more specific).
+* equality/hashing — literal sets compare structurally.
+
+Disjunctions appear only in *dependence conditions* (Fig. 5), which live in
+:mod:`repro.versioning.conditions`; execution guards never need them
+because structured control flow only ever *refines* a guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .values import Value
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A boolean IR value, possibly negated."""
+
+    value: "Value"
+    negated: bool = False
+
+    def negate(self) -> "Literal":
+        return Literal(self.value, not self.negated)
+
+    def __str__(self) -> str:
+        disp = getattr(self.value, "display_name", None)
+        name = disp() if callable(disp) else str(self.value)
+        return f"!{name}" if self.negated else f"{name}"
+
+
+class Predicate:
+    """An immutable conjunction of :class:`Literal` terms.
+
+    The empty conjunction is the ``true`` predicate.  A predicate that
+    contains both a literal and its negation is *unsatisfiable*; such
+    predicates can arise transiently during versioning (a phi operand whose
+    guard became impossible) and are detected with :meth:`is_false`.
+    """
+
+    __slots__ = ("_literals",)
+
+    def __init__(self, literals: Iterable[Literal] = ()):
+        self._literals = frozenset(literals)
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def true() -> "Predicate":
+        return _TRUE
+
+    @staticmethod
+    def of(value: "Value", negated: bool = False) -> "Predicate":
+        return Predicate([Literal(value, negated)])
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def literals(self) -> frozenset[Literal]:
+        return self._literals
+
+    def is_true(self) -> bool:
+        return not self._literals
+
+    def is_false(self) -> bool:
+        """True when the conjunction is syntactically unsatisfiable."""
+        return any(lit.negate() in self._literals for lit in self._literals)
+
+    def implies(self, other: "Predicate") -> bool:
+        """``self -> other`` for conjunctions: other ⊆ self.
+
+        An unsatisfiable predicate implies everything.
+        """
+        if self.is_false():
+            return True
+        return other._literals <= self._literals
+
+    def values(self) -> Iterator["Value"]:
+        """The IR values this predicate reads (its literal operands)."""
+        for lit in self._literals:
+            yield lit.value
+
+    # -- combinators ----------------------------------------------------
+
+    def conjoin(self, other: "Predicate") -> "Predicate":
+        if other.is_true():
+            return self
+        if self.is_true():
+            return other
+        return Predicate(self._literals | other._literals)
+
+    def and_value(self, value: "Value", negated: bool = False) -> "Predicate":
+        return Predicate(self._literals | {Literal(value, negated)})
+
+    def without(self, values: Iterable["Value"]) -> "Predicate":
+        """Drop literals over any of ``values`` (used when hoisting)."""
+        drop = set(values)
+        return Predicate(l for l in self._literals if l.value not in drop)
+
+    def substitute(self, mapping: dict["Value", "Value"]) -> "Predicate":
+        """Rewrite literal operands through ``mapping`` (used by cloning)."""
+        if not any(l.value in mapping for l in self._literals):
+            return self
+        return Predicate(
+            Literal(mapping.get(l.value, l.value), l.negated) for l in self._literals
+        )
+
+    # -- dunder ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Predicate) and self._literals == other._literals
+
+    def __hash__(self) -> int:
+        return hash(self._literals)
+
+    def __str__(self) -> str:
+        if self.is_true():
+            return "true"
+        return " & ".join(sorted(str(l) for l in self._literals))
+
+    def __repr__(self) -> str:
+        return f"Predicate({self})"
+
+
+_TRUE = Predicate()

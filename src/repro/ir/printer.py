@@ -1,0 +1,45 @@
+"""Textual dump of predicated-SSA functions (in the style of paper Fig. 4)."""
+
+from __future__ import annotations
+
+from .instructions import Instruction
+from .loops import Function, Loop, Module, ScopeMixin
+
+
+def _format_scope(scope: ScopeMixin, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    for item in scope.items:
+        if isinstance(item, Loop):
+            header = ", ".join(m.brief() for m in item.mus)
+            lines.append(f"{pad}{item.name}: with {header} do".rstrip() + f"  ; {item.predicate}")
+            _format_scope(item, indent + 1, lines)
+            cont = item.cont.display_name() if item.cont is not None else "?"
+            lines.append(f"{pad}while {cont}")
+        else:
+            inst: Instruction = item  # type: ignore[assignment]
+            lines.append(f"{pad}{inst.brief():<48s} ; {inst.predicate}")
+
+
+def print_function(fn: Function) -> str:
+    args = ", ".join(
+        f"{'restrict ' if getattr(a, 'restrict', False) else ''}{a.name}: {a.type}"
+        for a in fn.args
+    )
+    lines = [f"func {fn.name}({args}) {{"]
+    _format_scope(fn, 1, lines)
+    if fn.return_value is not None:
+        lines.append(f"  return {fn.return_value.display_name()}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    parts = []
+    for name, g in module.globals.items():
+        parts.append(f"global {name}[{g.size}]")
+    for fn in module.functions.values():
+        parts.append(print_function(fn))
+    return "\n\n".join(parts)
+
+
+__all__ = ["print_function", "print_module"]

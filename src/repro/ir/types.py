@@ -1,0 +1,115 @@
+"""Type system for the predicated-SSA IR.
+
+The IR is deliberately small: 64-bit integers, 64-bit floats, booleans,
+pointers, and fixed-width vectors of the scalar types.  All scalar types
+occupy exactly one memory *slot* (the interpreter's unit of addressing),
+which keeps address arithmetic and intersection checks element-granular,
+exactly the granularity the paper's ``intersects`` conditions reason at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def is_vector(self) -> bool:
+        return False
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_bool(self) -> bool:
+        return False
+
+    def is_float(self) -> bool:
+        return False
+
+    def is_int(self) -> bool:
+        return False
+
+    @property
+    def slots(self) -> int:
+        """Number of memory slots a value of this type occupies."""
+        return 1
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    def is_int(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "i64"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    def is_float(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "f64"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    def is_bool(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "i1"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    def is_pointer(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "ptr"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    elem: Type
+    lanes: int
+
+    def is_vector(self) -> bool:
+        return True
+
+    @property
+    def slots(self) -> int:
+        return self.lanes
+
+    def __str__(self) -> str:
+        return f"<{self.lanes} x {self.elem}>"
+
+
+INT = IntType()
+FLOAT = FloatType()
+BOOL = BoolType()
+PTR = PointerType()
+VOID = VoidType()
+
+_VECTOR_CACHE: dict[tuple[Type, int], VectorType] = {}
+
+
+def vector_of(elem: Type, lanes: int) -> VectorType:
+    """Return the (interned) vector type with ``lanes`` lanes of ``elem``."""
+    if lanes < 2:
+        raise ValueError(f"vector types need at least 2 lanes, got {lanes}")
+    if elem.is_vector() or isinstance(elem, VoidType):
+        raise ValueError(f"invalid vector element type: {elem}")
+    key = (elem, lanes)
+    if key not in _VECTOR_CACHE:
+        _VECTOR_CACHE[key] = VectorType(elem, lanes)
+    return _VECTOR_CACHE[key]

@@ -1,0 +1,139 @@
+"""Core value classes for the predicated-SSA IR.
+
+Everything that can be an operand is a :class:`Value`.  Values track their
+users so that the versioning materializer (paper Fig. 14) can repair
+def-use relations after cloning, and so clients like redundant load
+elimination can query ``inst.users()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from .types import BOOL, FLOAT, INT, PTR, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .instructions import Instruction
+
+_value_ids = itertools.count()
+
+
+class Value:
+    """Base class of everything usable as an operand."""
+
+    __slots__ = ("type", "name", "vid", "_users", "__weakref__")
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+        self.vid = next(_value_ids)
+        # Multiset of users: an instruction may use the same value in more
+        # than one operand slot (e.g. ``add x, x``).
+        self._users: dict["Instruction", int] = {}
+
+    # -- def-use maintenance (called by Instruction only) ---------------
+
+    def _add_user(self, user: "Instruction") -> None:
+        self._users[user] = self._users.get(user, 0) + 1
+
+    def _remove_user(self, user: "Instruction") -> None:
+        n = self._users.get(user, 0)
+        if n <= 1:
+            self._users.pop(user, None)
+        else:
+            self._users[user] = n - 1
+
+    def users(self) -> list["Instruction"]:
+        """Instructions using this value as an operand (deduplicated)."""
+        return sorted(self._users, key=lambda u: u.vid)
+
+    def has_users(self) -> bool:
+        return bool(self._users)
+
+    # -- convenience -----------------------------------------------------
+
+    def is_instruction(self) -> bool:
+        return False
+
+    def is_constant(self) -> bool:
+        return False
+
+    def display_name(self) -> str:
+        return self.name if self.name else f"v{self.vid}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.display_name()}: {self.type}>"
+
+
+class Constant(Value):
+    """An immediate constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, type_: Type):
+        super().__init__(type_)
+        self.value = value
+
+    def is_constant(self) -> bool:
+        return True
+
+    def display_name(self) -> str:
+        if self.type.is_float():
+            return repr(float(self.value))
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"<Constant {self.display_name()}: {self.type}>"
+
+
+def const_int(v: int) -> Constant:
+    return Constant(int(v), INT)
+
+
+def const_float(v: float) -> Constant:
+    return Constant(float(v), FLOAT)
+
+
+def const_bool(v: bool) -> Constant:
+    return Constant(bool(v), BOOL)
+
+
+class Argument(Value):
+    """A function argument.
+
+    ``restrict`` mirrors the C qualifier: a restrict pointer argument is
+    assumed not to alias any other restrict pointer or allocation, which is
+    the toggle the PolyBench experiment (paper Fig. 16) flips.
+    """
+
+    __slots__ = ("restrict",)
+
+    def __init__(self, name: str, type_: Type, restrict: bool = False):
+        super().__init__(type_, name)
+        self.restrict = restrict
+
+
+class Undef(Value):
+    """Placeholder for operands whose guard became impossible (Fig. 14)."""
+
+    def __init__(self, type_: Type):
+        super().__init__(type_, "undef")
+
+    def display_name(self) -> str:
+        return "undef"
+
+
+__all__ = [
+    "Value",
+    "Constant",
+    "Argument",
+    "Undef",
+    "const_int",
+    "const_float",
+    "const_bool",
+    "BOOL",
+    "FLOAT",
+    "INT",
+    "PTR",
+]

@@ -1,0 +1,127 @@
+"""Structural verifier for predicated-SSA functions.
+
+Checks the invariants every pass in this repository must preserve:
+
+* **def-before-use** in program order, with mu recurrences as the single
+  sanctioned back edge;
+* **scope visibility** — an operand must be defined in an enclosing scope
+  (values do not escape loops except through eta nodes);
+* **predicate well-formedness** — every predicate literal is a boolean
+  value defined before the guarded item, and the literal's own guard is
+  implied by the user's guard (so "missing value => predicate false"
+  evaluation is sound);
+* loops have a continuation value defined in their body, and mus have
+  recurrence operands.
+
+Passes call :func:`verify_function` after mutating IR; the test suite
+treats a verifier failure as a bug in the pass.
+"""
+
+from __future__ import annotations
+
+from .instructions import Eta, Instruction, Mu, Phi
+from .loops import Function, GlobalArray, Loop, ScopeMixin, program_order
+from .values import Argument, Constant, Undef, Value
+
+
+class VerificationError(Exception):
+    pass
+
+
+def _enclosing_scopes(item) -> list[ScopeMixin]:
+    scopes = []
+    scope = item.parent
+    while scope is not None:
+        scopes.append(scope)
+        scope = getattr(scope, "parent", None)
+    return scopes
+
+
+def verify_function(fn: Function) -> None:
+    order = program_order(fn)
+    defined: set[Value] = set(fn.args)
+    if fn.module is not None:
+        defined.update(fn.module.globals.values())
+
+    def is_available(v: Value) -> bool:
+        return (
+            v in defined
+            or isinstance(v, (Constant, Argument, Undef, GlobalArray))
+        )
+
+    def check_operand(user, v: Value, what: str) -> None:
+        if not is_available(v):
+            raise VerificationError(
+                f"{fn.name}: {what} of {user!r} uses {v!r} before its definition"
+            )
+
+    def visit(scope: ScopeMixin) -> None:
+        for item in scope.items:
+            if isinstance(item, Loop):
+                loop = item
+                for lit in loop.predicate.literals:
+                    check_operand(loop, lit.value, "predicate")
+                for mu in loop.mus:
+                    if mu.loop is not loop:
+                        raise VerificationError(f"mu {mu!r} not linked to {loop!r}")
+                    check_operand(mu, mu.init, "mu init")
+                    if mu.rec is None:
+                        raise VerificationError(f"mu {mu!r} has no recurrence operand")
+                    defined.add(mu)
+                visit(loop)
+                if loop.cont is None:
+                    raise VerificationError(f"{loop!r} has no continuation value")
+                check_operand(loop, loop.cont, "continuation")
+                for mu in loop.mus:
+                    check_operand(mu, mu.rec, "mu recurrence")
+                # values defined inside the loop are not visible afterwards
+                for inner in loop.header_and_body_instructions():
+                    defined.discard(inner)
+            else:
+                inst: Instruction = item  # type: ignore[assignment]
+                if inst.parent is not scope:
+                    raise VerificationError(f"{inst!r} has stale parent link")
+                for lit in inst.predicate.literals:
+                    check_operand(inst, lit.value, "predicate")
+                    if not lit.value.type.is_bool():
+                        raise VerificationError(
+                            f"{inst!r} predicate literal {lit.value!r} is not boolean"
+                        )
+                if isinstance(inst, Eta):
+                    if inst.loop.parent is not scope:
+                        raise VerificationError(
+                            f"eta {inst!r} not in its loop's parent scope"
+                        )
+                    # the inner value must come from within the loop
+                    inner_insts = set(inst.loop.header_and_body_instructions())
+                    if inst.inner not in inner_insts and not isinstance(
+                        inst.inner, (Constant, Argument, Undef, GlobalArray)
+                    ):
+                        raise VerificationError(
+                            f"eta {inst!r} names a value not defined in its loop"
+                        )
+                elif isinstance(inst, Phi):
+                    for v, p in inst.incomings():
+                        check_operand(inst, v, "phi operand")
+                        for lit in p.literals:
+                            check_operand(inst, lit.value, "phi edge predicate")
+                else:
+                    for op in inst.operands:
+                        check_operand(inst, op, "operand")
+                defined.add(inst)
+
+    visit(fn)
+    if fn.return_value is not None and not is_available(fn.return_value):
+        raise VerificationError(f"{fn.name}: return value not defined at exit")
+    # program order sanity: every item was numbered
+    for item in fn.walk_items():
+        if item not in order:
+            raise VerificationError(f"{item!r} missing from program order")
+
+
+def verify_module(module) -> None:
+    for fn in module.functions.values():
+        verify_function(fn)
+
+
+__all__ = ["verify_function", "verify_module", "VerificationError"]

@@ -1,0 +1,18 @@
+"""Scalar optimizations and loop transforms: DCE, simplification, GVN,
+LICM, and loop unrolling (the SLP loop-vectorization enabler)."""
+
+from .dce import run_dce
+from .gvn import run_gvn
+from .licm import run_licm
+from .simplify import run_simplify
+from .unroll import can_unroll, unroll_innermost_loops, unroll_loop
+
+__all__ = [
+    "run_dce",
+    "run_gvn",
+    "run_licm",
+    "run_simplify",
+    "can_unroll",
+    "unroll_innermost_loops",
+    "unroll_loop",
+]

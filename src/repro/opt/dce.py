@@ -1,0 +1,113 @@
+"""Dead code elimination over predicated SSA.
+
+Worklist-based: erasing an instruction enqueues its operands'
+definitions, so chains die in one pass.  Loops whose bodies have no side
+effects and whose live-outs are unused are erased afterwards (innermost
+first, repeated until stable — the loop count is tiny).
+
+Uses (operands, predicate literals, phi edge predicates, loop
+continuations) are all tracked by the IR's def-use machinery, so a
+comparison that only guards a predicate is correctly considered live.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Call, Eta, Instruction, Store, VecStore
+from repro.ir.loops import Function, Loop, ScopeMixin
+from repro.ir.predicates import Predicate
+from repro.ir.values import Value
+
+
+def _has_side_effects(inst: Instruction) -> bool:
+    if isinstance(inst, (Store, VecStore)):
+        return True
+    if isinstance(inst, Call):
+        return inst.may_write() or inst.may_read()
+    return False
+
+
+def _operand_insts(inst: Instruction) -> list[Instruction]:
+    out = []
+    for op in inst.operands:
+        if isinstance(op, Instruction):
+            out.append(op)
+    for v in inst.predicate.values():
+        if isinstance(v, Instruction):
+            out.append(v)
+    return out
+
+
+def run_dce(fn: Function) -> int:
+    """Delete dead instructions and loops; returns the number removed."""
+    keep = {fn.return_value} if fn.return_value is not None else set()
+    removed = 0
+
+    worklist: list[Instruction] = [
+        i for i in fn.instructions() if not isinstance(i, (Store, VecStore))
+    ]
+    seen = set(map(id, worklist))
+    while worklist:
+        inst = worklist.pop()
+        seen.discard(id(inst))
+        if (
+            inst.parent is None
+            or inst in keep
+            or _has_side_effects(inst)
+            or inst.has_users()
+        ):
+            continue
+        if isinstance(inst.parent, Loop) and inst.parent.cont is inst:
+            continue
+        feeders = _operand_insts(inst)
+        if isinstance(inst, Eta) and inst.loop is not None:
+            try:
+                inst.loop.etas.remove(inst)
+            except ValueError:
+                pass
+        inst.scope_erase()
+        removed += 1
+        for f in feeders:
+            if id(f) not in seen:
+                seen.add(id(f))
+                worklist.append(f)
+
+    removed += _erase_dead_loops(fn)
+    return removed
+
+
+def _erase_dead_loops(fn: Function) -> int:
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for loop in reversed(fn.loops()):  # innermost last in pre-order
+            if loop.parent is None:
+                continue
+            if any(_has_side_effects(i) for i in loop.instructions()):
+                continue
+            live_etas = [e for e in loop.etas if e.parent is not None]
+            if any(e.has_users() or e is fn.return_value for e in live_etas):
+                continue
+            for e in live_etas:
+                e.scope_erase()
+                removed += 1
+            _erase_loop(loop)
+            removed += 1
+            changed = True
+    return removed
+
+
+def _erase_loop(loop: Loop) -> None:
+    for inst in list(loop.instructions()):
+        inst.drop_all_references()
+    for mu in loop.mus:
+        mu.drop_all_references()
+    if loop.cont is not None:
+        loop.cont._remove_user(loop)  # type: ignore[arg-type]
+        loop.cont = None
+    loop.set_predicate(Predicate.true())
+    if loop.parent is not None:
+        loop.parent.remove(loop)
+
+
+__all__ = ["run_dce"]

@@ -1,0 +1,111 @@
+"""Global value numbering over predicated SSA.
+
+Within one scope (and descending into loop bodies), pure instructions
+computing the same expression are merged: a later instruction reuses an
+earlier one when the earlier is guaranteed to have executed (the later's
+predicate implies the earlier's).
+
+Loads participate too — a load is redundant with an identical earlier load
+when no may-write instruction sits between them (checked with the alias
+analysis, which honours the noalias scope groups that versioning stamps —
+this is the "GVN deleted 8.5% more instructions" downstream effect in the
+paper's Fig. 22).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.ir.instructions import (
+    BinOp,
+    Cast,
+    Cmp,
+    Instruction,
+    Load,
+    PtrAdd,
+    Select,
+    UnOp,
+)
+from repro.ir.loops import Function, Loop, ScopeMixin
+
+
+def _opkey(v):
+    from repro.ir.values import Constant
+
+    if isinstance(v, Constant):
+        return ("c", str(v.type), v.value)
+    return id(v)
+
+
+def _key(inst: Instruction):
+    ops = tuple(_opkey(o) for o in inst.operands)
+    if isinstance(inst, BinOp):
+        if inst.op in ("add", "mul", "and", "or", "min", "max"):
+            ops = tuple(sorted(ops, key=repr))
+        return ("bin", inst.op, ops)
+    if isinstance(inst, UnOp):
+        return ("un", inst.op, ops)
+    if isinstance(inst, Cmp):
+        return ("cmp", inst.rel, ops)
+    if isinstance(inst, Cast):
+        return ("cast", str(inst.type), ops)
+    if isinstance(inst, PtrAdd):
+        return ("ptradd", ops)
+    if isinstance(inst, Select):
+        return ("select", ops)
+    if isinstance(inst, Load):
+        return ("load", ops)
+    return None
+
+
+def run_gvn(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
+    """Merge redundant pure computations; returns #instructions deleted."""
+    aa = alias if alias is not None else AliasAnalysis()
+    deleted = 0
+
+    def visit(scope: ScopeMixin) -> None:
+        nonlocal deleted
+        table: dict = {}
+        writes_since: dict[int, list[Instruction]] = {}
+        mem_writes: list[Instruction] = []
+        for item in list(scope.items):
+            if isinstance(item, Loop):
+                visit(item)
+                if item.may_write():
+                    mem_writes.extend(
+                        m for m in item.mem_instructions() if m.may_write()
+                    )
+                continue
+            inst: Instruction = item  # type: ignore[assignment]
+            if inst.may_write():
+                mem_writes.append(inst)
+                continue
+            k = _key(inst)
+            if k is None:
+                continue
+            prior = table.get(k)
+            if prior is not None and inst.predicate.implies(prior[0].predicate):
+                earlier, write_mark = prior
+                if isinstance(inst, Load):
+                    clobbered = any(
+                        aa.alias(inst, w) != AliasResult.NO
+                        for w in mem_writes[write_mark:]
+                    )
+                    if clobbered:
+                        table[k] = (inst, len(mem_writes))
+                        continue
+                for user in list(inst.users()):
+                    user.replace_uses_of(inst, earlier)
+                if fn.return_value is inst:
+                    fn.set_return(earlier)
+                inst.scope_erase()
+                deleted += 1
+                continue
+            table[k] = (inst, len(mem_writes))
+
+    visit(fn)
+    return deleted
+
+
+__all__ = ["run_gvn"]

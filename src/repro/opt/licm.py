@@ -1,0 +1,85 @@
+"""Loop-invariant code motion over predicated SSA.
+
+Hoists pure, unconditionally-executed, loop-invariant instructions out of
+loop bodies into the parent scope (before the loop).  Loads are hoisted
+when no may-write in the loop can alias them — which is where the noalias
+scope groups stamped by versioning pay off downstream ("LICM hoisted 6.4%
+more instructions", paper Fig. 22).
+
+Hoisting is sound in rotated-loop form: the loop predicate guards entry,
+so the hoisted instruction executes at least as often as it used to; we
+predicate it with the loop's predicate to avoid executing it when the
+loop is skipped entirely (loads could otherwise fault).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.ir.instructions import (
+    BinOp,
+    Cast,
+    Cmp,
+    Instruction,
+    Load,
+    PtrAdd,
+    Select,
+    UnOp,
+)
+from repro.ir.loops import Function, Loop, ScopeMixin
+
+
+_HOISTABLE = (BinOp, UnOp, Cmp, Cast, PtrAdd, Select, Load)
+
+
+def run_licm(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
+    """Hoist invariant instructions; returns the number hoisted."""
+    aa = alias if alias is not None else AliasAnalysis()
+    hoisted = 0
+
+    def visit(scope: ScopeMixin) -> None:
+        nonlocal hoisted
+        for item in list(scope.items):
+            if isinstance(item, Loop):
+                visit(item)  # innermost first
+                hoisted += _hoist_from(scope, item, aa)
+
+    visit(fn)
+    return hoisted
+
+
+def _hoist_from(parent: ScopeMixin, loop: Loop, aa: AliasAnalysis) -> int:
+    inner: set = set(loop.header_and_body_instructions())
+    writes = [m for m in loop.mem_instructions() if m.may_write()]
+    count = 0
+    changed = True
+    while changed:
+        changed = False
+        for item in list(loop.items):
+            if isinstance(item, Loop) or not isinstance(item, _HOISTABLE):
+                continue
+            inst: Instruction = item
+            if inst is loop.cont:
+                continue
+            if not inst.predicate.is_true():
+                continue  # conditionally executed: not guaranteed invariant
+            if any(op in inner for op in inst.operands):
+                continue
+            from repro.ir.instructions import Eta
+
+            if any(isinstance(u, Eta) for u in inst.users()):
+                continue  # live-out anchor must stay in the loop
+            if isinstance(inst, Load):
+                if any(aa.alias(inst, w) != AliasResult.NO for w in writes):
+                    continue
+            loop.remove(inst)
+            parent.insert_before(loop, inst)
+            inst.set_predicate(loop.predicate)
+            inner.discard(inst)
+            count += 1
+            changed = True
+    return count
+
+
+__all__ = ["run_licm"]

@@ -1,0 +1,152 @@
+"""Instruction simplification: constant folding and algebraic identities.
+
+Keeps versioned programs tidy (materialization introduces ``and``/``not``
+chains and constant-footed phis) and gives the cost model honest inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.instructions import BinOp, Cast, Cmp, Instruction, Phi, Select, UnOp
+from repro.ir.loops import Function, Loop, ScopeMixin
+from repro.ir.values import Constant, Value, const_bool, const_float, const_int
+
+
+def _const(v: Value):
+    return v.value if isinstance(v, Constant) else None
+
+
+def _make_const(value, like: Value) -> Constant:
+    if like.type.is_bool():
+        return const_bool(bool(value))
+    if like.type.is_int():
+        return const_int(int(value))
+    return const_float(float(value))
+
+
+def _fold_binop(inst: BinOp):
+    a, b = _const(inst.operands[0]), _const(inst.operands[1])
+    op = inst.op
+    x, y = inst.operands
+    if a is not None and b is not None:
+        from repro.interp.interpreter import _binop
+
+        try:
+            return _make_const(_binop(op, a, b), inst)
+        except (ZeroDivisionError, ValueError):
+            return None
+    # identities
+    if op == "add":
+        if a == 0:
+            return y
+        if b == 0:
+            return x
+    elif op == "sub" and b == 0:
+        return x
+    elif op == "mul":
+        if a == 1:
+            return y
+        if b == 1:
+            return x
+        if (a == 0 or b == 0) and inst.type.is_int():
+            return _make_const(0, inst)
+    elif op == "div" and b == 1:
+        return x
+    elif op == "and":
+        if a is not None:
+            return y if bool(a) else _make_const(False, inst)
+        if b is not None:
+            return x if bool(b) else _make_const(False, inst)
+        if x is y:
+            return x
+    elif op == "or":
+        if a is not None:
+            return _make_const(True, inst) if bool(a) else y
+        if b is not None:
+            return _make_const(True, inst) if bool(b) else x
+        if x is y:
+            return x
+    return None
+
+
+def _fold_instruction(inst: Instruction):
+    if isinstance(inst, BinOp):
+        return _fold_binop(inst)
+    if isinstance(inst, Cmp):
+        a, b = _const(inst.operands[0]), _const(inst.operands[1])
+        if a is not None and b is not None:
+            from repro.interp.interpreter import _cmp
+
+            return const_bool(_cmp(inst.rel, a, b))
+        if inst.operands[0] is inst.operands[1]:
+            return const_bool(inst.rel in ("eq", "le", "ge"))
+        return None
+    if isinstance(inst, UnOp):
+        a = _const(inst.operands[0])
+        if a is None:
+            return None
+        from repro.interp.interpreter import _unop
+
+        try:
+            return _make_const(_unop(inst.op, a), inst)
+        except ValueError:
+            return None
+    if isinstance(inst, Select):
+        c = _const(inst.cond)
+        if c is not None:
+            return inst.true_value if bool(c) else inst.false_value
+        if inst.true_value is inst.false_value:
+            return inst.true_value
+        return None
+    if isinstance(inst, Cast):
+        a = _const(inst.operands[0])
+        if a is None:
+            return None
+        if inst.type.is_int():
+            return const_int(int(a))
+        if inst.type.is_float():
+            return const_float(float(a))
+        if inst.type.is_bool():
+            return const_bool(bool(a))
+        return None
+    if isinstance(inst, Phi):
+        # collapse a phi whose single live edge is always taken whenever
+        # the phi executes (edges with unsatisfiable guards are dead)
+        live = [(v, p) for v, p in inst.incomings() if not p.is_false()]
+        if len(live) == 1 and inst.predicate.implies(live[0][1]):
+            return live[0][0]
+        return None
+    return None
+
+
+def run_simplify(fn: Function) -> int:
+    """Fold constants and identities to a fixpoint; returns #rewrites."""
+    total = 0
+    changed = True
+    while changed:
+        changed = False
+        for inst in list(fn.instructions()):
+            if inst.parent is None:
+                continue
+            replacement = _fold_instruction(inst)
+            if replacement is None or replacement is inst:
+                continue
+            for user in list(inst.users()):
+                user.replace_uses_of(inst, replacement)
+            _fix_loop_refs(fn, inst, replacement)
+            if fn.return_value is inst:
+                fn.set_return(replacement)
+            if not inst.has_users():
+                inst.scope_erase()
+            total += 1
+            changed = True
+    return total
+
+
+def _fix_loop_refs(fn: Function, old: Value, new: Value) -> None:
+    for loop in fn.loops():
+        loop.replace_uses_of(old, new)
+
+
+__all__ = ["run_simplify"]

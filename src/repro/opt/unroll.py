@@ -1,0 +1,179 @@
+"""Loop unrolling for counted loops, with an epilogue for remainders.
+
+SLP vectorization of loops works by unrolling the innermost loop by the
+vector length and letting the packer fuse the unrolled copies (the paper
+illustrates exactly this with the unroll-by-2 view of floyd-warshall,
+Fig. 17/18).  The transformation is purely structural — no dependence
+analysis is needed, because each unrolled body copy preserves the original
+iteration order:
+
+    main loop (runs while >= F full iterations remain):
+        F chained copies of the body, loop-carried mus threaded through
+    epilogue = the original loop, its mu inits rewired to the main loop's
+        live-outs, entered only when iterations remain
+
+Requires a loop whose trip count is computable before entry
+(:func:`repro.analysis.affine.trip_count_affine`) and whose live-outs are
+recurrence values (which is what the front end generates).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.affine import Affine, trip_count_affine
+from repro.ir.clone import clone_item
+from repro.ir.instructions import BinOp, Cmp, Eta, Instruction, Mu, Phi
+from repro.ir.loops import Function, Loop, ScopeMixin
+from repro.ir.predicates import Predicate
+from repro.ir.values import Value, const_int
+
+
+def _materialize_affine(aff: Affine, insert_scope: ScopeMixin, anchor, pred) -> Value:
+    acc: Optional[Value] = None
+
+    def emit(inst: Instruction) -> Instruction:
+        inst.set_predicate(pred)
+        insert_scope.insert_before(anchor, inst)
+        return inst
+
+    for sym, coeff in sorted(aff.terms.items(), key=lambda kv: kv[0].vid):
+        term: Value = sym
+        if coeff != 1:
+            term = emit(BinOp("mul", sym, const_int(coeff)))
+        acc = term if acc is None else emit(BinOp("add", acc, term))
+    if acc is None:
+        return const_int(aff.const)
+    if aff.const != 0:
+        acc = emit(BinOp("add", acc, const_int(aff.const)))
+    return acc
+
+
+def can_unroll(loop: Loop) -> bool:
+    if trip_count_affine(loop) is None:
+        return False
+    recs = {id(m.rec) for m in loop.mus}
+    return all(id(e.inner) in recs for e in loop.etas if e.parent is not None)
+
+
+def unroll_loop(fn: Function, loop: Loop, factor: int) -> bool:
+    """Unroll ``loop`` by ``factor`` in place; returns False when the loop
+    shape is unsupported."""
+    if factor < 2:
+        return False
+    scope = loop.parent
+    if scope is None or not can_unroll(loop):
+        return False
+    tc = trip_count_affine(loop)
+    assert tc is not None
+    p0 = loop.predicate
+
+    def emit_before(inst: Instruction, pred: Predicate) -> Instruction:
+        inst.set_predicate(pred)
+        scope.insert_before(loop, inst)
+        return inst
+
+    trips = _materialize_affine(tc, scope, loop, p0)
+    ge_f = emit_before(Cmp("ge", trips, const_int(factor), name="unroll.main"), p0)
+    ge_f.is_branch_source = True
+    p_main = p0.and_value(ge_f)
+    p_skip_main = p0.and_value(ge_f, negated=True)
+
+    main = Loop(loop.name + ".unrolled")
+    main.set_predicate(p_main)
+    main.metadata["unrolled"] = True
+    main.metadata["unroll_main"] = factor
+    scope.insert_before(loop, main)
+
+    counter = Mu(const_int(0), name="unroll.iter")
+    main.add_mu(counter)
+    mus1: dict[Mu, Mu] = {}
+    for m in loop.mus:
+        m1 = Mu(m.init, name=m.name)
+        main.add_mu(m1)
+        mus1[m] = m1
+
+    current: dict[Mu, Value] = dict(mus1)
+    for _k in range(factor):
+        vmap: dict = {m: cur for m, cur in current.items()}
+        for item in loop.items:
+            clone = clone_item(item, vmap)
+            main.append(clone)
+        current = {m: vmap.get(m.rec, m.rec) for m in loop.mus}
+    for m, m1 in mus1.items():
+        m1.set_rec(current[m])
+
+    c_next = BinOp("add", counter, const_int(factor), name="unroll.next")
+    c_next.set_predicate(Predicate.true())
+    main.append(c_next)
+    counter.set_rec(c_next)
+    lookahead = BinOp("add", c_next, const_int(factor))
+    lookahead.set_predicate(Predicate.true())
+    main.append(lookahead)
+    cont = Cmp("le", lookahead, trips, name="unroll.cont")
+    cont.set_predicate(Predicate.true())
+    cont.is_branch_source = True
+    main.append(cont)
+    main.set_cont(cont)
+
+    # live-outs of the main loop joined with the skip path
+    after: dict[Mu, Value] = {}
+    for m in loop.mus:
+        eta = Eta(main, current[m], name=f"{m.name}.main")
+        emit_before(eta, p_main)
+        phi = Phi([(eta, p_main), (m.init, p_skip_main)], name=f"{m.name}.mid")
+        emit_before(phi, p0)
+        after[m] = phi
+    c_eta = Eta(main, c_next, name="unroll.done")
+    emit_before(c_eta, p_main)
+    done = Phi([(c_eta, p_main), (const_int(0), p_skip_main)], name="unroll.donephi")
+    emit_before(done, p0)
+
+    # epilogue = the original loop, entered only when iterations remain
+    entry_epi = Cmp("lt", done, trips, name="unroll.epi")
+    entry_epi.is_branch_source = True
+    emit_before(entry_epi, p0)
+    p_epi = p0.and_value(entry_epi)
+    loop.set_predicate(p_epi)
+    for m in loop.mus:
+        m.set_operand(0, after[m])
+
+    rec_to_mu = {id(m.rec): m for m in loop.mus}
+    for eta in list(loop.etas):
+        if eta.parent is None:
+            continue
+        p_eta = eta.predicate
+        eta.set_predicate(p_eta.and_value(entry_epi))
+        m = rec_to_mu[id(eta.inner)]
+        final = Phi(
+            [(eta, eta.predicate), (after[m], p_eta.and_value(entry_epi, negated=True))],
+            name=f"{eta.name}.fin",
+        )
+        final.set_predicate(p_eta)
+        eta.parent.insert_after(eta, final)
+        for user in list(eta.users()):
+            if user is final:
+                continue
+            user.replace_uses_of(eta, final)
+        if fn.return_value is eta:
+            fn.set_return(final)
+
+    return True
+
+
+def unroll_innermost_loops(fn: Function, factor: int) -> int:
+    """Unroll every innermost unrollable loop by ``factor``; returns the
+    number of loops transformed."""
+    done = 0
+    for loop in fn.loops():
+        if any(isinstance(it, Loop) for it in loop.items):
+            continue  # not innermost
+        if loop.metadata.get("unrolled"):
+            continue
+        if unroll_loop(fn, loop, factor):
+            loop.metadata["unrolled"] = True
+            done += 1
+    return done
+
+
+__all__ = ["unroll_loop", "unroll_innermost_loops", "can_unroll"]

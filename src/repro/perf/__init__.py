@@ -1,0 +1,20 @@
+"""Measurement harness: workloads, verified runs, cycle counting, tables."""
+
+from .measure import (
+    AliasArg,
+    ArrayArg,
+    ChecksumMismatch,
+    RunResult,
+    ScalarArg,
+    Workload,
+    build,
+    execute,
+    geomean,
+    run_workload,
+    verified_run,
+)
+
+__all__ = [
+    "AliasArg", "ArrayArg", "ChecksumMismatch", "RunResult", "ScalarArg",
+    "Workload", "build", "execute", "geomean", "run_workload", "verified_run",
+]

@@ -1,0 +1,157 @@
+"""Workload definition and cycle measurement.
+
+A :class:`Workload` is a mini-C kernel plus an input specification.  The
+harness compiles it under a chosen pipeline, executes it on the
+interpreter, checksums the output arrays (so every configuration is
+verified against the O0 reference before its cycles count), and reports
+the deterministic cycle counts that stand in for the paper's wall-clock
+medians.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.frontend import compile_c
+from repro.interp import Counters, Interpreter, Memory
+from repro.pipeline.pipelines import PipelineStats, optimize
+
+
+@dataclass
+class ArrayArg:
+    """An array argument: ``init(i)`` gives element i's initial value."""
+
+    name: str
+    size: int
+    init: Callable[[int], float] = lambda i: 0.0
+    check: bool = True  # include in the output checksum
+
+
+@dataclass
+class ScalarArg:
+    name: str
+    value: float | int = 0
+
+
+@dataclass
+class AliasArg:
+    """A pointer argument aliasing a previously declared array argument
+    at a slot offset — how workloads express real run-time overlap."""
+
+    name: str
+    of: str
+    offset: int = 0
+
+
+@dataclass
+class Workload:
+    name: str
+    source: str
+    args: list = field(default_factory=list)  # ArrayArg | ScalarArg
+    entry: str = "kernel"
+    externals: Optional[dict] = None
+    globals_init: dict = field(default_factory=dict)  # global name -> init fn
+
+
+@dataclass
+class RunResult:
+    cycles: float
+    counters: Counters
+    checksum: float
+    return_value: object
+    code_size: int
+    pipeline_stats: Optional[PipelineStats] = None
+
+
+class ChecksumMismatch(AssertionError):
+    pass
+
+
+def build(workload: Workload, level: str, honor_restrict: bool = True,
+          vl: int = 4, rle: bool = False):
+    module = compile_c(workload.source, name=workload.name)
+    stats = optimize(module, level, honor_restrict=honor_restrict, vl=vl, rle=rle)
+    return module, stats
+
+
+def execute(module, workload: Workload, stats: Optional[PipelineStats] = None) -> RunResult:
+    interp = Interpreter(module, externals=workload.externals)
+    for gname, init in workload.globals_init.items():
+        base = interp.global_base(gname)
+        g = module.globals[gname]
+        interp.memory.write_array(base, [float(init(i)) for i in range(g.size)])
+    argv = []
+    arrays = []
+    bases: dict[str, int] = {}
+    for a in workload.args:
+        if isinstance(a, ArrayArg):
+            base = interp.memory.alloc(a.size, a.name)
+            interp.memory.write_array(base, [float(a.init(i)) for i in range(a.size)])
+            argv.append(base)
+            arrays.append((a, base))
+            bases[a.name] = base
+        elif isinstance(a, AliasArg):
+            argv.append(bases[a.of] + a.offset)
+        else:
+            argv.append(a.value)
+    res = interp.run(module.functions[workload.entry], argv)
+    checksum = 0.0
+    for a, base in arrays:
+        if a.check:
+            for k, v in enumerate(interp.memory.read_array(base, a.size)):
+                checksum += float(v) * math.sin(k * 0.7 + 0.1)
+    for gname, _ in workload.globals_init.items():
+        g = module.globals[gname]
+        base = interp.global_base(gname)
+        for k, v in enumerate(interp.memory.read_array(base, g.size)):
+            checksum += float(v) * math.sin(k * 0.7 + 0.1)
+    if res.return_value is not None:
+        checksum += float(res.return_value)
+    code_size = sum(fn.code_size() for fn in module.functions.values())
+    return RunResult(res.cycles, res.counters, checksum, res.return_value,
+                     code_size, stats)
+
+
+def run_workload(workload: Workload, level: str, honor_restrict: bool = True,
+                 vl: int = 4, rle: bool = False) -> RunResult:
+    module, stats = build(workload, level, honor_restrict, vl, rle)
+    return execute(module, workload, stats)
+
+
+def verified_run(workload: Workload, level: str, reference: Optional[RunResult] = None,
+                 honor_restrict: bool = True, rle: bool = False,
+                 rel_tol: float = 1e-6) -> RunResult:
+    """Run under ``level`` and check the output checksum against O0."""
+    if reference is None:
+        reference = run_workload(workload, "O0", honor_restrict=honor_restrict)
+    result = run_workload(workload, level, honor_restrict=honor_restrict, rle=rle)
+    ref, got = reference.checksum, result.checksum
+    if not math.isclose(ref, got, rel_tol=rel_tol, abs_tol=1e-6):
+        raise ChecksumMismatch(
+            f"{workload.name} @ {level}: checksum {got!r} != reference {ref!r}"
+        )
+    return result
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+__all__ = [
+    "AliasArg",
+    "ArrayArg",
+    "ScalarArg",
+    "Workload",
+    "RunResult",
+    "ChecksumMismatch",
+    "build",
+    "execute",
+    "run_workload",
+    "verified_run",
+    "geomean",
+]

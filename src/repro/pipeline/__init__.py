@@ -1,0 +1,5 @@
+"""Named optimization pipelines mirroring the paper's comparison points."""
+
+from .pipelines import PIPELINES, PipelineStats, compile_and_optimize, optimize
+
+__all__ = ["PIPELINES", "PipelineStats", "compile_and_optimize", "optimize"]

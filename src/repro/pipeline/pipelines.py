@@ -1,0 +1,97 @@
+"""Optimization pipelines mirroring the paper's comparison points (§V).
+
+* ``O0``          — straight from the front end.
+* ``O3-scalar``   — scalar cleanups only (simplify, GVN, LICM, DCE); the
+  Fig. 16 "LLVM -O3 without vectorization" baseline.
+* ``O3``          — scalar cleanups + the loop-versioning vectorizer
+  (SLP restricted to hoistable checks); stands in for LLVM's -O3 with
+  its loop + SLP vectorizers.
+* ``supervec``    — scalar cleanups + SLP *without* versioning
+  (SuperVectorization as published).
+* ``supervec+v``  — scalar cleanups + SLP with the fine-grained
+  versioning framework (the paper's system).
+
+Each pipeline takes ``honor_restrict`` so the Fig. 16 restrict on/off
+toggle is one flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.frontend import compile_c
+from repro.ir import Module, verify_module
+from repro.opt import run_dce, run_gvn, run_licm, run_simplify
+from repro.analysis.alias import AliasAnalysis
+from repro.rle import RLEStats, run_rle
+from repro.vectorizer import SLPStats, VectorizeConfig, vectorize_function
+
+
+@dataclass
+class PipelineStats:
+    slp: dict = field(default_factory=dict)  # fn name -> SLPStats
+    rle: dict = field(default_factory=dict)  # fn name -> RLEStats
+    licm_hoisted: int = 0
+    gvn_deleted: int = 0
+
+
+def _scalar_cleanup(module: Module, honor_restrict: bool, stats: PipelineStats) -> None:
+    aa = AliasAnalysis(honor_restrict=honor_restrict)
+    for fn in module.functions.values():
+        run_simplify(fn)
+        stats.gvn_deleted += run_gvn(fn, aa)
+        stats.licm_hoisted += run_licm(fn, aa)
+        run_dce(fn)
+
+
+def optimize(
+    module: Module,
+    level: str = "supervec+v",
+    honor_restrict: bool = True,
+    vl: int = 4,
+    rle: bool = False,
+) -> PipelineStats:
+    """Run a named pipeline in place; returns per-pass statistics."""
+    stats = PipelineStats()
+    if level == "O0":
+        return stats
+    _scalar_cleanup(module, honor_restrict, stats)
+    if rle:
+        for name, fn in module.functions.items():
+            stats.rle[name] = run_rle(fn, honor_restrict=honor_restrict)
+        # RLE unlocks more LICM/GVN downstream (the paper's Fig. 22 rows)
+        _scalar_cleanup(module, honor_restrict, stats)
+    mode = {
+        "O3-scalar": None,
+        "O3": "loop",
+        "supervec": "none",
+        "supervec+v": "fine",
+    }.get(level, "unknown")
+    if mode == "unknown":
+        raise ValueError(f"unknown pipeline level {level!r}")
+    if mode is not None:
+        for name, fn in module.functions.items():
+            cfg = VectorizeConfig(mode=mode, honor_restrict=honor_restrict, vl=vl)
+            stats.slp[name] = vectorize_function(fn, cfg)
+    _scalar_cleanup(module, honor_restrict, stats)
+    verify_module(module)
+    return stats
+
+
+def compile_and_optimize(
+    source: str,
+    level: str = "supervec+v",
+    honor_restrict: bool = True,
+    vl: int = 4,
+    rle: bool = False,
+    name: str = "module",
+) -> tuple[Module, PipelineStats]:
+    module = compile_c(source, name)
+    stats = optimize(module, level, honor_restrict, vl, rle)
+    return module, stats
+
+
+PIPELINES = ["O0", "O3-scalar", "O3", "supervec", "supervec+v"]
+
+__all__ = ["optimize", "compile_and_optimize", "PipelineStats", "PIPELINES"]

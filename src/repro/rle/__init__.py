@@ -1,0 +1,5 @@
+"""Redundant load elimination via versioning (paper §V-B)."""
+
+from .rle import RLEStats, run_rle
+
+__all__ = ["RLEStats", "run_rle"]

@@ -1,0 +1,175 @@
+"""Redundant load elimination with versioning (paper §V-B).
+
+A set of loads from one address is redundant if the loads are all
+*independent* — then the group's leader can be hoisted above the others
+and replace them.  Spurious intervening writes (may-alias stores, opaque
+calls) normally force compilers to keep every load; the versioning
+framework rules those writes out at run time instead.  The paper's four
+steps, verbatim:
+
+1. collect groups of same-address, same-type loads with a *leader* whose
+   execution is implied by every other member;
+2. infer a versioning plan making each group independent (drop the group
+   when infeasible);
+3. materialize the plans;
+4. hoist each leader above its group and replace the other loads.
+
+The conservative baseline is ordinary GVN load-merging (no intervening
+may-writes), which both pipelines already run — Fig. 22's comparison is
+"pipeline with versioned RLE" vs "pipeline without".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.affine import affine_of
+from repro.analysis.depgraph import DependenceGraph
+from repro.analysis.memloc import mem_location
+from repro.ir.instructions import Instruction, Load
+from repro.ir.loops import Function, Loop, ScopeMixin
+from repro.opt import run_dce
+from repro.ir.verifier import verify_function
+from repro.vectorizer.codegen import schedule_with_group
+from repro.versioning import VersioningFramework
+from repro.versioning.materialize import MaterializationError
+from repro.versioning.plans import VersioningPlan, merge_plans
+
+
+@dataclass
+class RLEStats:
+    groups_found: int = 0
+    groups_committed: int = 0
+    loads_removed: int = 0
+    plans_materialized: int = 0
+    infeasible: int = 0
+
+
+def _load_groups(scope: ScopeMixin) -> list[list[Load]]:
+    """Same-address, same-type load groups at this scope level."""
+    buckets: dict = {}
+    for item in scope.items:
+        if not isinstance(item, Load):
+            continue
+        loc = mem_location(item)
+        if loc is None:
+            continue
+        key = (
+            id(loc.base),
+            frozenset(loc.offset.terms.items()),
+            loc.offset.const,
+            str(item.type),
+        )
+        buckets.setdefault(key, []).append(item)
+    return [g for g in buckets.values() if len(g) >= 2]
+
+
+def _pick_leader(group: list[Load]) -> Optional[Load]:
+    """A member whose execution is implied by every other member's."""
+    for cand in group:
+        if all(o.predicate.implies(cand.predicate) for o in group):
+            return cand
+    return None
+
+
+def run_rle(
+    fn: Function,
+    honor_restrict: bool = True,
+    use_versioning: bool = True,
+) -> RLEStats:
+    """Eliminate redundant loads across spurious writes; returns stats."""
+    stats = RLEStats()
+    vf = VersioningFramework(fn, honor_restrict=honor_restrict)
+    for scope in [fn] + list(fn.loops()):
+        _rle_scope(fn, scope, vf, stats, use_versioning)
+    run_dce(fn)
+    verify_function(fn)
+    return stats
+
+
+def _rle_scope(
+    fn: Function,
+    scope: ScopeMixin,
+    vf: VersioningFramework,
+    stats: RLEStats,
+    use_versioning: bool,
+) -> None:
+    for group in _load_groups(scope):
+        stats.groups_found += 1
+        leader = _pick_leader(group)
+        if leader is None:
+            continue
+        # contiguity (not just pairwise independence): the leader must be
+        # hoistable above every member, crossing whatever sits between
+        plan = vf.infer_schedulability(group)
+        if plan is None:
+            stats.infeasible += 1
+            continue
+        if not plan.is_empty():
+            if not use_versioning:
+                stats.infeasible += 1
+                continue
+            try:
+                vf.materialize([plan], optimize=True, verify=False)
+            except MaterializationError:
+                stats.infeasible += 1
+                continue
+            stats.plans_materialized += 1
+        graph = DependenceGraph(
+            scope, vf.alias, assume_independent=set(plan.removed_edges)
+        )
+        if not schedule_with_group(scope, group, graph):
+            continue
+        # after scheduling the group is contiguous; make the leader first
+        order = {id(it): i for i, it in enumerate(scope.items)}
+        group_sorted = sorted(group, key=lambda l: order[id(l)])
+        if group_sorted[0] is not leader:
+            _move_with_chain(scope, leader, group_sorted[0])
+        removed_here = 0
+        for other in group_sorted:
+            if other is leader:
+                continue
+            for user in list(other.users()):
+                user.replace_uses_of(other, leader)
+            if fn.return_value is other:
+                fn.set_return(leader)
+            if not other.has_users():
+                other.scope_erase()
+                removed_here += 1
+        if removed_here:
+            stats.groups_committed += 1
+            stats.loads_removed += removed_here
+        vf.invalidate()
+
+
+def _move_with_chain(scope: ScopeMixin, item: Instruction, anchor: Instruction) -> None:
+    """Move ``item`` (plus any of its pure operand chain that sits after
+    ``anchor``) to just before ``anchor``.  The chain is address
+    arithmetic — moving it upward is always safe; moving the load itself
+    is what the versioning plan licensed."""
+    from repro.analysis.depgraph import _item_defined, _item_used
+
+    pos = {id(it): i for i, it in enumerate(scope.items)}
+    def_map = {}
+    for it in scope.items:
+        for v in _item_defined(it):
+            def_map[v] = it
+    anchor_idx = pos[id(anchor)]
+    needed = {id(item)}
+    work = list(_item_used(item))
+    while work:
+        v = work.pop()
+        d = def_map.get(v)
+        if d is None or id(d) in needed or pos.get(id(d), -1) <= anchor_idx:
+            continue
+        needed.add(id(d))
+        work.extend(_item_used(d))
+    to_move = [it for it in scope.items if id(it) in needed]
+    for it in to_move:
+        scope.remove(it)
+    for it in to_move:
+        scope.insert_before(anchor, it)
+
+
+__all__ = ["run_rle", "RLEStats"]

@@ -1,0 +1,25 @@
+"""SLP vectorization with pluggable versioning, plus vector codegen.
+
+``vectorize_function(fn, VectorizeConfig(mode=...))`` with modes:
+``fine`` (the paper's framework), ``loop`` (LLVM-style whole-loop
+versioning baseline), ``none`` (no versioning).
+"""
+
+from .codegen import VectorEmitter, schedule_with_group
+from .cost import TreeCost, tree_cost
+from .packs import OperandSlot, TreeBuilder, TreeNode, consecutive_direction
+from .slp import SLPStats, VectorizeConfig, vectorize_function
+
+__all__ = [
+    "VectorEmitter",
+    "schedule_with_group",
+    "TreeCost",
+    "tree_cost",
+    "OperandSlot",
+    "TreeBuilder",
+    "TreeNode",
+    "consecutive_direction",
+    "SLPStats",
+    "VectorizeConfig",
+    "vectorize_function",
+]

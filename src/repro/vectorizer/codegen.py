@@ -1,0 +1,273 @@
+"""Vector code generation: scheduling + emission.
+
+Predicated SSA makes placement a pure list problem (the paper's point
+about global code motion): we contract a tree's members into one
+supernode, topologically re-order the scope by the (versioning-aware)
+dependence graph, and — if acyclic — the members become contiguous with
+every operand ahead of the block.  Vector instructions are then inserted
+at the block head, external lane uses are extracted, and the scalar
+members die.
+
+Cyclic contraction means the tree cannot be scheduled (some outside
+instruction both feeds and consumes the pack); the tree is abandoned and
+the scalar code stays — correct, merely unvectorized.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.analysis.depgraph import DependenceGraph
+from repro.ir.instructions import (
+    Broadcast,
+    BuildVector,
+    ExtractLane,
+    Instruction,
+    Shuffle,
+    VecBin,
+    VecCmp,
+    VecLoad,
+    VecSelect,
+    VecStore,
+    VecUn,
+)
+from repro.ir.loops import ScopeMixin
+from repro.ir.types import vector_of
+from repro.ir.values import Value
+
+from .packs import OperandSlot, TreeNode
+
+
+def schedule_with_group(
+    scope: ScopeMixin, group: list[Instruction], graph: DependenceGraph
+) -> bool:
+    """Re-order ``scope.items`` so ``group`` is contiguous, respecting
+    every dependence edge in ``graph``.  Returns False when the
+    contraction is cyclic (the group cannot be scheduled)."""
+    items = list(scope.items)
+    pos = {id(it): i for i, it in enumerate(items)}
+    gset = {id(m) for m in group if id(m) in pos}
+    if not gset:
+        return True
+    GROUP = -1
+
+    def rep(it_id: int):
+        return GROUP if it_id in gset else it_id
+
+    # adjacency: an item's dependencies must come first
+    preds: dict = {}  # node -> set of nodes that must precede it
+    nodes = {GROUP} | {id(it) for it in items if id(it) not in gset}
+    for n in nodes:
+        preds[n] = set()
+    for e in graph.all_edges():
+        if id(e.src) not in pos or id(e.dst) not in pos:
+            continue
+        a, b = rep(id(e.src)), rep(id(e.dst))
+        if a != b:
+            preds[a].add(b)
+
+    first_pos = {n: (min(pos[g] for g in gset) if n == GROUP else pos[n]) for n in nodes}
+    succs: dict = {n: set() for n in nodes}
+    indeg = {n: 0 for n in nodes}
+    for n, ps in preds.items():
+        for p in ps:
+            succs[p].add(n)
+            indeg[n] += 1
+
+    heap = [(first_pos[n], n) for n in nodes if indeg[n] == 0]
+    heapq.heapify(heap)
+    order: list[int] = []
+    while heap:
+        _, n = heapq.heappop(heap)
+        order.append(n)
+        for s in succs[n]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                heapq.heappush(heap, (first_pos[s], s))
+    if len(order) != len(nodes):
+        return False  # cycle: unschedulable
+
+    by_id = {id(it): it for it in items}
+    new_items: list = []
+    group_sorted = sorted((m for m in group if id(m) in pos), key=lambda m: pos[id(m)])
+    for n in order:
+        if n == GROUP:
+            new_items.extend(group_sorted)
+        else:
+            new_items.append(by_id[n])
+    scope.items[:] = new_items
+    return True
+
+
+class VectorEmitter:
+    """Emits the vector form of a scheduled tree."""
+
+    def __init__(self, scope: ScopeMixin, vl: int):
+        self.scope = scope
+        self.vl = vl
+        self._vec_of: dict[int, Value] = {}  # id(TreeNode) -> vector value
+        self._in_progress: set[int] = set()
+        self._member_map: dict[int, tuple[TreeNode, int]] = {}
+        self.emitted: list[Instruction] = []
+
+    def _insert(self, inst: Instruction, anchor: Instruction, pred) -> Instruction:
+        inst.set_predicate(pred)
+        self.scope.insert_before(anchor, inst)
+        self.emitted.append(inst)
+        return inst
+
+    def emit_tree(self, tree: TreeNode) -> Optional[Value]:
+        """Emit vector code for ``tree``, anchored before its earliest
+        member in the (post-scheduling) scope order; returns the root's
+        vector value (None for store roots)."""
+        pos = {id(it): i for i, it in enumerate(self.scope.items)}
+        members = tree.all_members()
+        anchor = min(members, key=lambda m: pos.get(id(m), 1 << 30))
+        for node in tree.all_nodes():
+            if node.kind != "store":
+                for lane, m in enumerate(node.members):
+                    self._member_map.setdefault(id(m), (node, lane))
+        return self._emit_node(tree, anchor)
+
+    def _emit_node(self, node: TreeNode, anchor: Instruction) -> Optional[Value]:
+        cached = self._vec_of.get(id(node))
+        if cached is not None:
+            return cached
+        self._in_progress.add(id(node))
+        pred = node.members[0].predicate
+        operand_vecs: list[Value] = []
+        for slot in node.operands:
+            operand_vecs.append(self._emit_slot(slot, anchor, pred))
+
+        first = node.members[0]
+        result: Optional[Value] = None
+        if node.kind == "store":
+            vec = operand_vecs[0]
+            self._insert(VecStore(first.pointer, vec), anchor, pred)
+        elif node.kind in ("load", "load_reverse"):
+            lane0 = node.members[0 if node.kind == "load" else -1]
+            ty = vector_of(first.type, self.vl)
+            v = self._insert(VecLoad(lane0.pointer, ty, name="vld"), anchor, pred)
+            if node.kind == "load_reverse":
+                v = self._insert(
+                    Shuffle(v, None, list(reversed(range(self.vl))), name="vrev"),
+                    anchor,
+                    pred,
+                )
+            result = v
+        elif node.kind == "bin":
+            result = self._insert(
+                VecBin(first.op, operand_vecs[0], operand_vecs[1], name="vbin"),
+                anchor,
+                pred,
+            )
+        elif node.kind == "un":
+            result = self._insert(
+                VecUn(first.op, operand_vecs[0], name="vun"), anchor, pred
+            )
+        elif node.kind == "cmp":
+            result = self._insert(
+                VecCmp(first.rel, operand_vecs[0], operand_vecs[1], name="vcmp"),
+                anchor,
+                pred,
+            )
+        elif node.kind == "select":
+            result = self._insert(
+                VecSelect(operand_vecs[0], operand_vecs[1], operand_vecs[2], name="vsel"),
+                anchor,
+                pred,
+            )
+        elif node.kind == "cast":
+            # elementwise cast: model as unary vector op via gather-free path
+            from repro.ir.instructions import Cast
+
+            # emit lane-wise casts gathered; rare in kernels, keep simple
+            lanes = []
+            for m in node.members:
+                c = Cast(m.operands[0], m.type)
+                self._insert(c, anchor, pred)
+                lanes.append(c)
+            result = self._insert(BuildVector(lanes, name="vcast"), anchor, pred)
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(node.kind)
+        if result is not None:
+            self._vec_of[id(node)] = result
+        self._in_progress.discard(id(node))
+        return result
+
+    def _emit_slot(self, slot: OperandSlot, anchor: Instruction, pred) -> Value:
+        if slot.kind == "node":
+            assert slot.node is not None
+            v = self._emit_node(slot.node, anchor)
+            assert v is not None
+            return v
+        if slot.kind == "broadcast":
+            bval = self._lane_value(slot.values[0], anchor, pred)
+            return self._insert(Broadcast(bval, self.vl, name="vsplat"), anchor, pred)
+        lanes = [self._lane_value(v, anchor, pred) for v in slot.values]
+        return self._insert(BuildVector(lanes, name="vgather"), anchor, pred)
+
+    def _lane_value(self, v: Value, anchor: Instruction, pred) -> Value:
+        """A gathered scalar that is itself a packed member must come from
+        its pack's vector (the scalar will be erased); a member of a pack
+        currently mid-emission stays scalar (and therefore stays alive)."""
+        hit = self._member_map.get(id(v))
+        if hit is None:
+            return v
+        node, lane = hit
+        if id(node) in self._in_progress:
+            return v
+        vec = self._emit_node(node, anchor)
+        if vec is None:
+            return v
+        ext = ExtractLane(vec, lane, name="vx")
+        return self._insert(ext, anchor, pred)
+
+
+def extract_external_uses(
+    scope: ScopeMixin,
+    tree: TreeNode,
+    emitter: VectorEmitter,
+) -> None:
+    """Replace uses of packed values outside the tree with lane extracts."""
+    member_ids = {id(m) for m in tree.all_members()}
+    member_ids |= {id(e) for e in emitter.emitted}
+    for node in tree.all_nodes():
+        if node.kind == "store":
+            continue
+        vec = emitter._vec_of.get(id(node))
+        if vec is None:
+            continue
+        for lane, m in enumerate(node.members):
+            src_lane = lane if node.kind != "load_reverse" else lane
+            external = [u for u in m.users() if id(u) not in member_ids]
+            if not external:
+                continue
+            ext = ExtractLane(vec, src_lane, name=f"{m.display_name()}.x")
+            ext.set_predicate(m.predicate)
+            scope.insert_after(vec if isinstance(vec, Instruction) else m, ext)
+            for u in external:
+                u.replace_uses_of(m, ext)
+
+
+def erase_tree_members(tree: TreeNode, scope: ScopeMixin) -> int:
+    """Delete the scalar members (reverse program order so users die
+    before their operands).  Returns the number erased."""
+    members = [m for m in tree.all_members() if m.parent is not None]
+    pos = {id(it): i for i, it in enumerate(scope.items)}
+    members.sort(key=lambda m: pos.get(id(m), 0), reverse=True)
+    erased = 0
+    for m in members:
+        if m.opcode == "store" or not m.has_users():
+            m.scope_erase()
+            erased += 1
+    return erased
+
+
+__all__ = [
+    "schedule_with_group",
+    "VectorEmitter",
+    "extract_external_uses",
+    "erase_tree_members",
+]

@@ -1,0 +1,85 @@
+"""SLP profitability model.
+
+Compares the scalar cost of a pack tree's members against the vector
+cost: one wide op per node, gathers/broadcasts/shuffles for unpacked
+operands, extracts for externally-used lanes, and the run-time checks of
+any versioning plans the tree needs (amortized when the check was
+promoted out of the enclosing loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interp.costmodel import DEFAULT_COST_MODEL, CostModel
+
+from .packs import OperandSlot, TreeNode
+
+# rough per-check instruction cost: bound computations fold into
+# addressing; two compares + a combine
+CHECK_COST = 3.5
+# assumed trip count for amortizing checks hoisted out of a loop
+AMORTIZE_TRIPS = 64.0
+
+
+@dataclass
+class TreeCost:
+    scalar: float
+    vector: float
+    checks: float
+
+    @property
+    def profitable(self) -> bool:
+        return self.vector + self.checks < self.scalar
+
+
+def tree_cost(
+    tree: TreeNode,
+    vl: int,
+    n_checks_inline: int,
+    n_checks_hoisted: int,
+    cm: CostModel = DEFAULT_COST_MODEL,
+) -> TreeCost:
+    scalar = 0.0
+    vector = 0.0
+    members_in_tree = {id(m) for m in tree.all_members()}
+    for node in tree.all_nodes():
+        scalar += sum(cm.instruction_cost(m) for m in node.members)
+        vector += _node_cost(node, vl, cm)
+        # lanes used outside the tree must be extracted
+        for m in node.members:
+            if node.kind == "store":
+                continue
+            if any(id(u) not in members_in_tree for u in m.users()):
+                vector += cm.lane_move
+        for slot in node.operands:
+            if slot.kind == "gather":
+                vector += cm.lane_move * vl
+            elif slot.kind == "broadcast":
+                vector += cm.lane_move
+    checks = CHECK_COST * n_checks_inline + (
+        CHECK_COST * n_checks_hoisted / AMORTIZE_TRIPS
+    )
+    return TreeCost(scalar, vector, checks)
+
+
+def _node_cost(node: TreeNode, vl: int, cm: CostModel) -> float:
+    if node.kind in ("store", "load"):
+        return cm.mem
+    if node.kind == "load_reverse":
+        return cm.mem + cm.shuffle
+    if node.kind in ("bin", "un"):
+        op = getattr(node.members[0], "op", "add")
+        from repro.interp.costmodel import _EXPENSIVE_OPS, _EXPENSIVE_UNOPS
+
+        if op in _EXPENSIVE_OPS or op in _EXPENSIVE_UNOPS:
+            return cm.expensive_alu
+        return cm.alu
+    if node.kind == "cmp":
+        return cm.alu
+    if node.kind == "select":
+        return cm.select
+    return cm.alu
+
+
+__all__ = ["TreeCost", "tree_cost", "CHECK_COST", "AMORTIZE_TRIPS"]

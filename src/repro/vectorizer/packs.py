@@ -1,0 +1,200 @@
+"""SLP pack trees.
+
+A *pack* is a group of isomorphic scalar instructions that become one
+vector instruction; a *tree* is a pack plus recursively packed operands.
+Operand positions that cannot be packed become gathers (``BuildVector``),
+broadcasts, or — for consecutive loads — wide loads, possibly reversed
+through a shuffle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.affine import affine_of, difference
+from repro.analysis.memloc import mem_location
+from repro.ir.instructions import (
+    BinOp,
+    Cast,
+    Cmp,
+    Instruction,
+    Load,
+    Select,
+    Store,
+    UnOp,
+)
+from repro.ir.values import Constant, Value
+
+
+@dataclass
+class TreeNode:
+    """A packed group of isomorphic instructions."""
+
+    kind: str  # 'store' | 'load' | 'load_reverse' | 'bin' | 'un' | 'cmp' | 'select' | 'cast'
+    members: list[Instruction]
+    operands: list["OperandSlot"] = field(default_factory=list)
+
+    def all_members(self) -> list[Instruction]:
+        """Every packed instruction in the tree, deduplicated (shared
+        sub-packs appear in several operand slots via memoization)."""
+        out: list[Instruction] = []
+        seen: set[int] = set()
+        for node in self.all_nodes():
+            for m in node.members:
+                if id(m) not in seen:
+                    seen.add(id(m))
+                    out.append(m)
+        return out
+
+    def all_nodes(self) -> list["TreeNode"]:
+        out: list[TreeNode] = []
+        seen: set[int] = set()
+
+        def visit(node: "TreeNode") -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            out.append(node)
+            for slot in node.operands:
+                if slot.node is not None:
+                    visit(slot.node)
+
+        visit(self)
+        return out
+
+
+@dataclass
+class OperandSlot:
+    """One operand position of a pack: a sub-pack, a broadcast, or a
+    gather of arbitrary scalar values."""
+
+    kind: str  # 'node' | 'broadcast' | 'gather'
+    values: list[Value] = field(default_factory=list)
+    node: Optional[TreeNode] = None
+
+
+def consecutive_direction(insts: list[Instruction]) -> Optional[int]:
+    """+1 / -1 when the memory accesses are unit-stride consecutive in
+    order (or exactly reversed); None otherwise."""
+    locs = [mem_location(i) for i in insts]
+    if any(l is None for l in locs):
+        return None
+    base = locs[0].base
+    if any(l.base is not base for l in locs):
+        return None
+    deltas = []
+    for prev, cur in zip(locs, locs[1:]):
+        d = difference(cur.offset, prev.offset)
+        if d is None:
+            return None
+        deltas.append(d)
+    if all(d == 1 for d in deltas):
+        return 1
+    if all(d == -1 for d in deltas):
+        return -1
+    return None
+
+
+def _isomorphic(insts: list[Instruction]) -> Optional[str]:
+    """The node kind if the instructions are pack-compatible."""
+    first = insts[0]
+    if len(set(map(id, insts))) != len(insts):
+        return None
+    if any(type(i) is not type(first) for i in insts):
+        return None
+    if any(i.predicate != first.predicate for i in insts):
+        return None
+    if isinstance(first, Store):
+        return "store"
+    if isinstance(first, Load):
+        return "load"
+    if isinstance(first, BinOp):
+        return "bin" if all(i.op == first.op for i in insts) else None
+    if isinstance(first, UnOp):
+        return "un" if all(i.op == first.op for i in insts) else None
+    if isinstance(first, Cmp):
+        if any(i.is_branch_source for i in insts):
+            return None
+        return "cmp" if all(i.rel == first.rel for i in insts) else None
+    if isinstance(first, Select):
+        return "select"
+    if isinstance(first, Cast):
+        return "cast" if all(str(i.type) == str(first.type) for i in insts) else None
+    return None
+
+
+class TreeBuilder:
+    """Builds a pack tree from a seed, sharing sub-packs via memoization.
+
+    ``legal`` is a callback deciding whether a candidate pack's members
+    may be packed (mutual independence — where the versioning framework
+    plugs in) — it returns True/False and records any plan it made.
+    """
+
+    def __init__(self, legal, max_depth: int = 8):
+        self.legal = legal
+        self.max_depth = max_depth
+        self._memo: dict[tuple, Optional[TreeNode]] = {}
+
+    def build(self, seed: list[Instruction]) -> Optional[TreeNode]:
+        return self._build(seed, 0)
+
+    def _build(self, insts: list[Instruction], depth: int) -> Optional[TreeNode]:
+        key = tuple(id(i) for i in insts)
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = None  # break cycles
+        node = self._build_uncached(insts, depth)
+        self._memo[key] = node
+        return node
+
+    def _build_uncached(self, insts: list[Instruction], depth: int) -> Optional[TreeNode]:
+        kind = _isomorphic(insts)
+        if kind is None:
+            return None
+        if kind == "load":
+            direction = consecutive_direction(insts)
+            if direction is None:
+                return None  # caller falls back to a gather of scalars
+            if not self.legal(insts):
+                return None
+            return TreeNode("load" if direction == 1 else "load_reverse", list(insts))
+        if kind == "store":
+            if consecutive_direction(insts) != 1:
+                return None
+            if not self.legal(insts):
+                return None
+            node = TreeNode("store", list(insts))
+            node.operands.append(
+                self._operand_slot([i.value for i in insts], depth)  # type: ignore[attr-defined]
+            )
+            return node
+        if not self.legal(insts):
+            return None
+        node = TreeNode(kind, list(insts))
+        first = insts[0]
+        skip = set()
+        if kind == "select":
+            # operand 0 is the condition; pack it like any value
+            pass
+        for idx in range(len(first.operands)):
+            vals = [i.operands[idx] for i in insts]
+            node.operands.append(self._operand_slot(vals, depth))
+        return node
+
+    def _operand_slot(self, vals: list[Value], depth: int) -> OperandSlot:
+        if all(v is vals[0] for v in vals):
+            return OperandSlot("broadcast", vals)
+        if all(isinstance(v, Constant) for v in vals):
+            return OperandSlot("gather", vals)
+        if depth < self.max_depth and all(
+            isinstance(v, Instruction) for v in vals
+        ):
+            sub = self._build(vals, depth + 1)  # type: ignore[arg-type]
+            if sub is not None:
+                return OperandSlot("node", vals, node=sub)
+        return OperandSlot("gather", vals)
+
+
+__all__ = ["TreeNode", "OperandSlot", "TreeBuilder", "consecutive_direction"]

@@ -1,0 +1,448 @@
+"""The SLP vectorizer, with pluggable versioning (paper §V-A).
+
+Modes mirror the paper's comparison points:
+
+* ``fine``  — SuperVectorization + our fine-grained versioning framework:
+  a pack whose members are conditionally dependent is accepted whenever a
+  versioning plan exists; checks may run inside loops when they must.
+* ``loop``  — the LLVM-style baseline: packs are accepted only when the
+  plan's checks can all be *promoted out of the enclosing loop* (classic
+  whole-loop versioning).  Loop-variant conditions (in-place updates,
+  triangular interference, guard-value speculation) are rejected — these
+  are exactly the programs the paper uses to separate the approaches.
+* ``none``  — SLP with no versioning at all: packs must be statically
+  independent.
+
+The integration with the framework is the paper's two-line story: the
+legality filter forwards conditionally-dependent packs to plan inference,
+and the driver materializes collected plans before vector code
+generation.  Loops are vectorized by unrolling the innermost loop by VL
+first and letting the packer fuse the copies (the paper's Fig. 18 view);
+loop-carried reductions are rewritten to vector accumulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.affine import affine_of, difference
+from repro.analysis.depgraph import DependenceGraph
+from repro.analysis.memloc import mem_location
+from repro.ir.instructions import (
+    BinOp,
+    BuildVector,
+    Eta,
+    Instruction,
+    Mu,
+    Phi,
+    Reduce,
+    Store,
+    VecBin,
+)
+from repro.ir.loops import Function, Loop, ScopeMixin
+from repro.ir.predicates import Predicate
+from repro.ir.values import const_float, const_int
+from repro.ir.verifier import verify_function
+from repro.opt import run_dce, run_simplify, unroll_innermost_loops
+from repro.versioning import VersioningFramework
+from repro.versioning.condopt import optimize_plan
+from repro.versioning.materialize import MaterializationError
+from repro.versioning.plans import VersioningPlan, merge_plans
+
+from .codegen import (
+    VectorEmitter,
+    erase_tree_members,
+    extract_external_uses,
+    schedule_with_group,
+)
+from .cost import tree_cost
+from .packs import TreeBuilder, TreeNode
+
+_REDUCTION_OPS = {"add", "mul", "min", "max"}
+_NEUTRAL = {"add": 0.0, "mul": 1.0}
+
+
+@dataclass
+class VectorizeConfig:
+    vl: int = 4
+    mode: str = "fine"  # 'fine' | 'loop' | 'none'
+    honor_restrict: bool = True
+    unroll: bool = True
+    reductions: bool = True
+    cost_gate: bool = True
+
+
+@dataclass
+class SLPStats:
+    trees: int = 0
+    packed_instructions: int = 0
+    plans_materialized: int = 0
+    reductions: int = 0
+    rejected_infeasible: int = 0
+    rejected_cost: int = 0
+    rejected_schedule: int = 0
+
+    @property
+    def vectorized(self) -> bool:
+        return self.trees > 0 or self.reductions > 0
+
+
+class _ScopeVectorizer:
+    def __init__(
+        self,
+        fn: Function,
+        scope: ScopeMixin,
+        vf: VersioningFramework,
+        config: VectorizeConfig,
+        stats: SLPStats,
+    ):
+        self.fn = fn
+        self.scope = scope
+        self.vf = vf
+        self.config = config
+        self.stats = stats
+        self.claimed: set[int] = set()
+        self.removed_edges: set = set()
+        self._plans: dict[tuple, Optional[VersioningPlan]] = {}
+
+    # -- legality: the versioning integration point ---------------------------
+
+    def _legal(self, members: list[Instruction]) -> bool:
+        if any(id(m) in self.claimed for m in members):
+            return False
+        if any(m.parent is not self.scope for m in members):
+            return False
+        key = tuple(sorted(id(m) for m in members))
+        if key in self._plans:
+            return self._plans[key] is not None
+        plan = self.vf.infer_for_items(members)
+        if plan is not None and not plan.is_empty():
+            if self.config.mode == "none":
+                plan = None
+            elif self.config.mode == "loop":
+                optimize_plan(plan)
+                if not self._fully_hoisted(plan):
+                    plan = None
+        if plan is None:
+            self.stats.rejected_infeasible += 1
+        self._plans[key] = plan
+        return plan is not None
+
+    def _fully_hoisted(self, plan: VersioningPlan) -> bool:
+        """loop-mode gate: every (nested) plan's check must have been
+        promoted out of this loop."""
+        if not isinstance(self.scope, Loop):
+            return True  # straight-line code: checks are upfront anyway
+        p: Optional[VersioningPlan] = plan
+        while p is not None:
+            if p.conditions:  # residual in-loop checks remain
+                return False
+            p = p.secondary
+        return True
+
+    def _plans_for_tree(self, tree: TreeNode) -> list[VersioningPlan]:
+        plans = []
+        for node in tree.all_nodes():
+            key = tuple(sorted(id(m) for m in node.members))
+            plan = self._plans.get(key)
+            if plan is not None and not plan.is_empty():
+                # RCE + hull coalescing + promotion before costing; the
+                # coalesced form is the paper's Fig. 18 shape: one range
+                # check per base pair guarding the vectorized group
+                optimize_plan(plan, coalesce=True)
+                plans.append(plan)
+        return plans
+
+    def _check_split(self, plans: list[VersioningPlan]) -> tuple[int, int]:
+        inline = hoisted = 0
+        for plan in plans:
+            p: Optional[VersioningPlan] = plan
+            while p is not None:
+                hoisted += len(p.hoisted_conditions)
+                if isinstance(self.scope, Loop):
+                    inline += len(p.conditions)
+                else:
+                    hoisted += len(p.conditions)  # runs once anyway
+                p = p.secondary
+        return inline, hoisted
+
+    # -- seeds ---------------------------------------------------------------
+
+    def _store_seeds(self) -> list[list[Instruction]]:
+        vl = self.config.vl
+        stores = [
+            it
+            for it in self.scope.items
+            if isinstance(it, Store) and id(it) not in self.claimed
+        ]
+        buckets: dict = {}
+        for s in stores:
+            loc = mem_location(s)
+            if loc is None:
+                continue
+            sig = (id(loc.base), frozenset(loc.offset.terms.items()), s.predicate)
+            buckets.setdefault(sig, []).append((loc.offset.const, s))
+        seeds = []
+        for group in buckets.values():
+            group.sort(key=lambda t: t[0])
+            run: list[Instruction] = []
+            last = None
+            for off, s in group:
+                if last is not None and off == last + 1:
+                    run.append(s)
+                else:
+                    run = [s]
+                last = off
+                if len(run) == vl:
+                    seeds.append(list(run))
+                    run = []
+                    last = None
+        return seeds
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> None:
+        if self.config.reductions and isinstance(self.scope, Loop):
+            self._vectorize_reductions()
+        for seed in self._store_seeds():
+            self._try_tree(seed)
+
+    def _try_tree(self, seed: list[Instruction]) -> None:
+        if any(id(m) in self.claimed for m in seed):
+            return
+        builder = TreeBuilder(self._legal)
+        tree = builder.build(seed)
+        if tree is None:
+            return
+        plans = self._plans_for_tree(tree)
+        # schedulability: no dependence path may leave the tree's member
+        # set and re-enter it (the contiguous-fusion condition); the
+        # framework versions such paths away like any other
+        sched = self.vf.infer_schedulability(tree.all_members())
+        if sched is None:
+            self.stats.rejected_infeasible += 1
+            return
+        if not sched.is_empty():
+            if self.config.mode == "none":
+                self.stats.rejected_infeasible += 1
+                return
+            optimize_plan(sched, coalesce=True)
+            if self.config.mode == "loop" and not self._fully_hoisted(sched):
+                self.stats.rejected_infeasible += 1
+                return
+            plans.append(sched)
+        # merge per-pack plans into one uniform plan (one combined check
+        # guards the whole tree, keeping member predicates equal)
+        merged = merge_plans(plans) if plans else None
+        if self.config.cost_gate:
+            inline, hoisted = self._check_split([merged] if merged else [])
+            cost = tree_cost(tree, self.config.vl, inline, hoisted)
+            if not cost.profitable:
+                self.stats.rejected_cost += 1
+                return
+        if merged is not None:
+            try:
+                self.vf.materialize([merged], optimize=False, verify=False)
+            except MaterializationError:
+                self.stats.rejected_infeasible += 1
+                return
+            self.removed_edges |= merged.removed_edges
+            self.stats.plans_materialized += 1
+            self._plans.clear()  # the IR changed; cached plans are stale
+        graph = DependenceGraph(
+            self.scope, self.vf.alias, assume_independent=set(self.removed_edges)
+        )
+        members = tree.all_members()
+        if not schedule_with_group(self.scope, members, graph):
+            self.stats.rejected_schedule += 1
+            return
+        emitter = VectorEmitter(self.scope, self.config.vl)
+        emitter.emit_tree(tree)
+        extract_external_uses(self.scope, tree, emitter)
+        erase_tree_members(tree, self.scope)
+        self.claimed.update(id(m) for m in members)
+        self.stats.trees += 1
+        self.stats.packed_instructions += len(members)
+        self.vf.invalidate()
+
+    # -- reductions -------------------------------------------------------------
+
+    def _vectorize_reductions(self) -> None:
+        loop: Loop = self.scope  # type: ignore[assignment]
+        vl = self.config.vl
+        if loop.metadata.get("unroll_main") != vl:
+            return
+        for mu in list(loop.mus):
+            chain = self._reduction_chain(loop, mu, vl)
+            if chain is None:
+                continue
+            op, links, terms = chain
+            self._rewrite_reduction(loop, mu, op, links, terms)
+
+    def _reduction_chain(self, loop: Loop, mu: Mu, vl: int):
+        """Detect ``mu.rec`` as a chain of ``vl`` same-op binops each
+        folding one term into the previous value, starting at ``mu``."""
+        if not mu.type.is_float() and not mu.type.is_int():
+            return None
+        rec = mu.rec
+        links: list[BinOp] = []
+        cur = rec
+        while isinstance(cur, BinOp) and cur.op in _REDUCTION_OPS and len(links) < vl:
+            links.append(cur)
+            nxt = None
+            if cur.operands[0] is mu or isinstance(cur.operands[0], BinOp):
+                nxt = cur.operands[0]
+            links_ok = True
+            cur = nxt
+            if cur is None:
+                break
+        links.reverse()
+        if len(links) != vl:
+            return None
+        op = links[0].op
+        if any(l.op != op for l in links):
+            return None
+        if op not in _NEUTRAL and op not in ("min", "max"):
+            return None
+        # validate chain shape: link0 folds into mu, link k into link k-1
+        prev = mu
+        terms = []
+        for l in links:
+            if l.operands[0] is prev:
+                terms.append(l.operands[1])
+            elif l.operands[1] is prev and op in ("add", "mul", "min", "max"):
+                terms.append(l.operands[0])
+            else:
+                return None
+            if not l.predicate.is_true():
+                return None
+            prev = l
+        # intermediate links must feed only the next link; the final link
+        # may feed the mu recurrence and etas only
+        for k, l in enumerate(links):
+            users = l.users()
+            if k < len(links) - 1:
+                if any(u is not links[k + 1] for u in users):
+                    return None
+            else:
+                if any(
+                    not (u is mu or isinstance(u, Eta)) for u in users
+                ):
+                    return None
+        # the mu itself must only feed the first link (plus its own rec slot)
+        if any(not (u is links[0] or u is mu) for u in mu.users()):
+            return None
+        return op, links, terms
+
+    def _rewrite_reduction(self, loop: Loop, mu: Mu, op: str, links, terms) -> None:
+        vl = self.config.vl
+        parent = loop.parent
+        assert parent is not None
+        is_float = mu.type.is_float()
+
+        def const(v):
+            return const_float(v) if is_float else const_int(int(v))
+
+        # initial accumulator vector in the parent scope
+        if op in _NEUTRAL:
+            lanes = [mu.init] + [const(_NEUTRAL[op])] * (vl - 1)
+        else:  # min/max: the init value is idempotent
+            lanes = [mu.init] * vl
+        init_vec = BuildVector(lanes, name=f"{mu.name}.vinit")
+        init_vec.set_predicate(loop.predicate)
+        parent.insert_before(loop, init_vec)
+
+        acc = Mu(init_vec, name=f"{mu.name}.vacc")
+        loop.add_mu(acc)
+
+        # pack the folded terms (SLP tree if possible, gather otherwise)
+        anchor = links[-1]
+        tvec = None
+        if all(isinstance(t, Instruction) for t in terms):
+            builder = TreeBuilder(self._legal)
+            tnode = builder.build(list(terms))
+            if tnode is not None:
+                # a versioned term tree would run only on the check-pass
+                # path while the vector accumulator updates
+                # unconditionally — so reductions accept only packs that
+                # are *statically* independent (empty plans); anything
+                # conditional falls back to gathering the scalar terms,
+                # which later versioning reroutes through phis correctly
+                plans = self._plans_for_tree(tnode)
+                sched = self.vf.infer_schedulability(
+                    tnode.all_members() + list(links)
+                )
+                if plans or sched is None or not sched.is_empty():
+                    tnode = None
+            if tnode is not None:
+                graph = DependenceGraph(
+                    self.scope, self.vf.alias,
+                    assume_independent=set(self.removed_edges),
+                )
+                group = tnode.all_members() + list(links)
+                if schedule_with_group(self.scope, group, graph):
+                    emitter = VectorEmitter(self.scope, vl)
+                    tvec = emitter.emit_tree(tnode)
+                    extract_external_uses(self.scope, tnode, emitter)
+                    erase_tree_members(tnode, self.scope)
+                    self.claimed.update(id(m) for m in tnode.all_members())
+        if tvec is None:
+            tvec = BuildVector(list(terms), name=f"{mu.name}.vterms")
+            tvec.set_predicate(Predicate.true())
+            loop.insert_before(anchor, tvec)
+
+        vrec = VecBin(op, acc, tvec, name=f"{mu.name}.vred")
+        vrec.set_predicate(Predicate.true())
+        loop.insert_before(anchor, vrec)
+        acc.set_rec(vrec)
+
+        # rewire live-outs: reduce the accumulator after the loop
+        last = links[-1]
+        for eta in [u for u in last.users() if isinstance(u, Eta)]:
+            vec_eta = Eta(loop, vrec, name=eta.name + ".v")
+            vec_eta.set_predicate(eta.predicate)
+            eta.parent.insert_after(eta, vec_eta)
+            red = Reduce(op, vec_eta, name=eta.name + ".red")
+            red.set_predicate(eta.predicate)
+            eta.parent.insert_after(vec_eta, red)
+            for u in list(eta.users()):
+                u.replace_uses_of(eta, red)
+            if self.fn.return_value is eta:
+                self.fn.set_return(red)
+            eta.scope_erase()
+            loop.etas.remove(eta)
+
+        # delete the scalar chain and the old mu
+        mu.set_rec(mu)  # break the self-reference through the chain
+        for l in reversed(links):
+            if not l.has_users():
+                l.scope_erase()
+        if not mu.has_users() or all(u is mu for u in mu.users()):
+            mu.drop_all_references()
+            loop.mus.remove(mu)
+        self.stats.reductions += 1
+        self.claimed.update(id(l) for l in links)
+        self.vf.invalidate()
+        self._plans.clear()  # the IR changed; cached plans are stale
+
+
+def vectorize_function(fn: Function, config: Optional[VectorizeConfig] = None) -> SLPStats:
+    """Run the SLP pipeline on ``fn``; returns vectorization statistics."""
+    cfg = config if config is not None else VectorizeConfig()
+    stats = SLPStats()
+    if cfg.unroll:
+        unroll_innermost_loops(fn, cfg.vl)
+        run_simplify(fn)
+        run_dce(fn)
+    vf = VersioningFramework(fn, honor_restrict=cfg.honor_restrict)
+    scopes: list[ScopeMixin] = [fn] + list(fn.loops())
+    for scope in scopes:
+        _ScopeVectorizer(fn, scope, vf, cfg, stats).run()
+    run_simplify(fn)
+    run_dce(fn)
+    verify_function(fn)
+    return stats
+
+
+__all__ = ["VectorizeConfig", "SLPStats", "vectorize_function"]

@@ -1,0 +1,42 @@
+"""The fine-grained versioning framework — the paper's core contribution.
+
+Plan inference (min-cut over the conditional dependence graph, with nested
+secondary plans), condition optimization (RCE / coalescing / promotion),
+and materialization (checks, clones, versioning phis, noalias scopes).
+"""
+
+from .api import VersioningFramework, make_independent
+from .condopt import (
+    coalesce_conditions,
+    eliminate_redundant_conditions,
+    optimize_plan,
+    promote_plan,
+)
+from .flowgraph import Cut, find_cut
+from .materialize import MaterializationError, Materializer, materialize_plans
+from .mincut import FlowNetwork
+from .plans import (
+    PlanInferenceError,
+    VersioningPlan,
+    infer_plan_for_items,
+    infer_versioning_plan,
+)
+
+__all__ = [
+    "VersioningFramework",
+    "make_independent",
+    "coalesce_conditions",
+    "eliminate_redundant_conditions",
+    "optimize_plan",
+    "promote_plan",
+    "Cut",
+    "find_cut",
+    "MaterializationError",
+    "Materializer",
+    "materialize_plans",
+    "FlowNetwork",
+    "PlanInferenceError",
+    "VersioningPlan",
+    "infer_plan_for_items",
+    "infer_versioning_plan",
+]

@@ -1,0 +1,142 @@
+"""Public interface of the versioning framework.
+
+The paper's library exposes exactly two entry points (§IV): plan
+inference over a group of instructions/loops, and plan materialization.
+:class:`VersioningFramework` wraps both, caching one dependence graph per
+scope and invalidating the caches after materialization mutates the IR.
+
+Typical client shape (this is all the SLP integration needed, §V-A):
+
+    vf = VersioningFramework(fn)
+    plan = vf.infer_for_items(pack_members)     # None -> reject the pack
+    ...collect plans during planning...
+    vf.materialize(plans)                       # then generate code
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.depgraph import DepEdge, DependenceGraph
+from repro.ir.instructions import Item
+from repro.ir.loops import Function, ScopeMixin
+from repro.ir.verifier import verify_function
+
+from .condopt import optimize_plan
+from .materialize import Materializer
+from .plans import VersioningPlan, infer_plan_for_items, infer_versioning_plan
+
+
+class VersioningFramework:
+    """Plan inference + materialization over one function."""
+
+    def __init__(
+        self,
+        fn: Function,
+        honor_restrict: bool = True,
+        likelihood: Optional[Callable[[DepEdge], float]] = None,
+    ):
+        self.fn = fn
+        self.alias = AliasAnalysis(honor_restrict=honor_restrict)
+        self.likelihood = likelihood
+        self._graphs: dict[int, DependenceGraph] = {}
+
+    # -- graphs ---------------------------------------------------------------
+
+    def graph_for(self, scope: ScopeMixin) -> DependenceGraph:
+        g = self._graphs.get(id(scope))
+        if g is None or g.items != list(scope.items):
+            g = DependenceGraph(scope, self.alias)
+            self._graphs[id(scope)] = g
+        return g
+
+    def invalidate(self) -> None:
+        self._graphs.clear()
+
+    # -- inference (API function 1) -------------------------------------------
+
+    def infer_for_items(self, items: Iterable[Item]) -> Optional[VersioningPlan]:
+        """Infer a plan making ``items`` (same scope) mutually independent.
+
+        Returns None when infeasible.  An *empty* plan (``is_empty()``)
+        means the items are already independent — the client may proceed
+        with no run-time checks.
+        """
+        items = list(items)
+        if not items:
+            return None
+        scope = items[0].parent
+        if any(it.parent is not scope for it in items):
+            raise ValueError("all items must share one scope")
+        graph = self.graph_for(scope)
+        return infer_plan_for_items(graph, items, likelihood=self.likelihood)
+
+    def infer_independence(
+        self, nodes: Iterable[Item], input_nodes: Iterable[Item]
+    ) -> Optional[VersioningPlan]:
+        """Infer a plan making ``nodes`` independent of ``input_nodes``."""
+        nodes = list(nodes)
+        input_nodes = list(input_nodes)
+        scope = (nodes + input_nodes)[0].parent
+        graph = self.graph_for(scope)
+        return infer_versioning_plan(
+            graph, nodes, input_nodes, likelihood=self.likelihood
+        )
+
+    def infer_schedulability(self, members: Iterable[Item]) -> Optional[VersioningPlan]:
+        """Infer a plan eliminating every dependence path that *leaves and
+        re-enters* ``members`` — the condition for fusing the members into
+        one contiguous group (an SLP tree) while intra-group edges keep
+        their relative order."""
+        members = list(members)
+        if not members:
+            return None
+        scope = members[0].parent
+        graph = self.graph_for(scope)
+        return infer_versioning_plan(
+            graph,
+            members,
+            members,
+            likelihood=self.likelihood,
+            internal=set(map(id, members)),
+        )
+
+    # -- materialization (API function 2) ------------------------------------------
+
+    def materialize(
+        self,
+        plans: Iterable[VersioningPlan],
+        optimize: bool = True,
+        coalesce: bool = False,
+        verify: bool = True,
+    ) -> None:
+        """Lower ``plans`` into checks and duplicated code (§III-D), after
+        optionally optimizing their conditions (§IV-A)."""
+        plan_list = [p for p in plans if p is not None and not p.is_empty()]
+        if optimize:
+            for p in plan_list:
+                optimize_plan(p, coalesce=coalesce)
+        mat = Materializer(self.fn)
+        mat.materialize_plans(plan_list)
+        self.invalidate()
+        if verify:
+            verify_function(self.fn)
+
+
+def make_independent(fn: Function, items: Iterable[Item], **kwargs) -> bool:
+    """One-shot convenience: version ``fn`` so ``items`` are independent.
+
+    Returns True on success (plan inferred and materialized), False when
+    versioning is infeasible.
+    """
+    vf = VersioningFramework(fn, **kwargs)
+    plan = vf.infer_for_items(items)
+    if plan is None:
+        return False
+    if not plan.is_empty():
+        vf.materialize([plan])
+    return True
+
+
+__all__ = ["VersioningFramework", "make_independent"]

@@ -1,0 +1,207 @@
+"""Versioning-condition optimizations (paper §IV-A).
+
+Run between plan inference and materialization:
+
+* **Redundant condition elimination** — two ``intersects`` checks are
+  equivalent when one's ranges are both the other's shifted by one common
+  constant offset (possibly with the ranges swapped); equivalence classes
+  keep a single representative.
+* **Condition coalescing** — checks over the same pair of base objects
+  whose ranges differ by constants merge into one hull check.  The hull
+  over-approximates (fails more often), so coalescing runs after RCE and
+  is off by default for clients that prefer precision.
+* **Condition promotion** — when a plan lives inside a loop and all its
+  conditions can be promoted loop-invariant (precisely, or imprecisely via
+  the trip count), the check is re-anchored to the loop's parent scope so
+  it executes once per loop entry instead of once per iteration.  This is
+  what amortizes the two-level s258 checks in the paper's experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.affine import difference
+from repro.analysis.conditions import DepCond, IntersectCond, PredCond
+from repro.analysis.promote import promote_intersect
+from repro.ir.instructions import Item
+from repro.ir.loops import Function, Loop, ScopeMixin
+
+from .plans import VersioningPlan
+
+
+# ---------------------------------------------------------------------------
+# Redundant condition elimination
+# ---------------------------------------------------------------------------
+
+
+def _shift_delta(x: IntersectCond, y: IntersectCond) -> Optional[int]:
+    """The common constant d with x = y shifted by d, else None."""
+
+    def range_delta(rx, ry) -> Optional[int]:
+        if rx.base is not ry.base:
+            return None
+        lo = difference(rx.lo, ry.lo)
+        hi = difference(rx.hi, ry.hi)
+        if lo is None or hi is None or lo != hi:
+            return None  # paper: offset undefined when bounds shift unevenly
+        return lo
+
+    d1 = range_delta(x.a, y.a)
+    d2 = range_delta(x.b, y.b)
+    if d1 is not None and d1 == d2:
+        return d1
+    d1 = range_delta(x.a, y.b)
+    d2 = range_delta(x.b, y.a)
+    if d1 is not None and d1 == d2:
+        return d1
+    return None
+
+
+def eliminate_redundant_conditions(conds: list[DepCond]) -> list[DepCond]:
+    """Partition into equivalence classes; keep one representative each."""
+    out: list[DepCond] = []
+    reps: list[IntersectCond] = []
+    for c in conds:
+        if not isinstance(c, IntersectCond):
+            if c not in out:
+                out.append(c)
+            continue
+        if any(_shift_delta(c, r) is not None for r in reps):
+            continue
+        reps.append(c)
+        out.append(c)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Condition coalescing
+# ---------------------------------------------------------------------------
+
+
+def _try_coalesce(x: IntersectCond, y: IntersectCond) -> Optional[IntersectCond]:
+    """Hull of two checks over the same base pair, when bounds differ by
+    constants.  The hull check is implied false => both originals false."""
+
+    def hull(r1, r2):
+        if r1.base is not r2.base:
+            return None
+        dlo = difference(r2.lo, r1.lo)
+        dhi = difference(r2.hi, r1.hi)
+        if dlo is None or dhi is None:
+            return None
+        lo = r1.lo if dlo >= 0 else r2.lo
+        hi = r1.hi if dhi <= 0 else r2.hi
+        from repro.analysis.conditions import SymRange
+
+        return SymRange(r1.base, lo, hi)
+
+    ha = hull(x.a, y.a)
+    hb = hull(x.b, y.b)
+    if ha is not None and hb is not None:
+        return IntersectCond(ha, hb)
+    ha = hull(x.a, y.b)
+    hb = hull(x.b, y.a)
+    if ha is not None and hb is not None:
+        return IntersectCond(ha, hb)
+    return None
+
+
+def coalesce_conditions(conds: list[DepCond]) -> list[DepCond]:
+    """Greedy pairwise coalescing of intersects checks."""
+    intersects = [c for c in conds if isinstance(c, IntersectCond)]
+    others = [c for c in conds if not isinstance(c, IntersectCond)]
+    changed = True
+    while changed and len(intersects) > 1:
+        changed = False
+        for i in range(len(intersects)):
+            for j in range(i + 1, len(intersects)):
+                merged = _try_coalesce(intersects[i], intersects[j])
+                if merged is not None:
+                    intersects[i] = merged
+                    del intersects[j]
+                    changed = True
+                    break
+            if changed:
+                break
+    return others + intersects
+
+
+# ---------------------------------------------------------------------------
+# Condition promotion (check hoisting)
+# ---------------------------------------------------------------------------
+
+
+def promote_plan(plan: VersioningPlan) -> None:
+    """Hoist each condition out of enclosing loops as far as it promotes.
+
+    Promotion is per-condition: a check whose ranges all promote walks
+    outward loop by loop and lands in ``plan.hoisted_conditions`` as
+    ``(condition, (outer_scope, loop_item))``; conditions that resist at
+    the innermost level (same-object iteration-variant interference,
+    guard-value speculation) stay in ``plan.conditions`` and execute
+    inside the loop.  The paper's s258 experiment relies on exactly this
+    split — the alias checks hoist and amortize while the fine-grained
+    machinery keeps the loop versionable at all.
+
+    ``plan.check_anchor`` is kept (legacy single-anchor form) when every
+    condition hoisted to one common anchor.
+    """
+    graph = plan.graph
+    if graph is None or not isinstance(graph.scope, Loop):
+        return
+    residual: list[DepCond] = []
+    hoisted: list[tuple[DepCond, tuple]] = list(
+        getattr(plan, "hoisted_conditions", [])
+    )
+    for c in plan.conditions:
+        cur = c
+        anchor = None
+        s = graph.scope
+        while isinstance(s, Loop) and s.parent is not None:
+            if not isinstance(cur, IntersectCond):
+                break
+            p = promote_intersect(cur, s)
+            if p is None:
+                break
+            cur = p
+            anchor = (s.parent, s)
+            s = s.parent
+        if anchor is not None:
+            hoisted.append((cur, anchor))
+        else:
+            residual.append(cur)
+    plan.conditions = residual
+    setattr(plan, "hoisted_conditions", hoisted)
+    if not residual and hoisted:
+        anchors = {id(a[1][1]) for a in hoisted}
+        if len(anchors) == 1:
+            setattr(plan, "check_anchor", hoisted[0][1])
+
+
+def optimize_plan(
+    plan: VersioningPlan,
+    rce: bool = True,
+    coalesce: bool = False,
+    promote: bool = True,
+) -> VersioningPlan:
+    """Apply §IV-A optimizations to a (nested) plan, in the paper's order:
+    RCE first, then coalescing, then promotion."""
+    if plan.secondary is not None:
+        optimize_plan(plan.secondary, rce=rce, coalesce=coalesce, promote=promote)
+    if rce:
+        plan.conditions = eliminate_redundant_conditions(plan.conditions)
+    if coalesce:
+        plan.conditions = coalesce_conditions(plan.conditions)
+    if promote:
+        promote_plan(plan)
+    return plan
+
+
+__all__ = [
+    "eliminate_redundant_conditions",
+    "coalesce_conditions",
+    "promote_plan",
+    "optimize_plan",
+]

@@ -1,0 +1,225 @@
+"""Dependence-graph cuts via the node-split flow network (paper Fig. 8).
+
+``find_cut(graph, S, T)`` answers: which *conditional* dependence edges
+must be removed so that no node in S (transitively) depends on a node in
+T?  Construction follows the paper exactly:
+
+1. DFS from S over dependence edges (conditional and unconditional) to
+   collect the relevant subgraph.
+2. Split every node v into ``in(v) -> out(v)`` (auxiliary edge); each
+   dependence edge ``i -> j`` becomes ``out(i) -> in(j)``.  Splitting
+   matters: without it the sink stays reachable through a node even after
+   all its conditional in-edges are cut.
+3. ``source -> out(s)`` for s in S, ``in(t) -> sink`` for t in T.
+4. Conditional edges get capacity 1 (or a caller-supplied likelihood);
+   unconditional and auxiliary edges get an "infinite" capacity chosen
+   larger than the sum of all conditional capacities, so a min cut that
+   meets it proves versioning infeasible.
+
+Trivial reachability ``s -> s`` for ``s ∈ S ∩ T`` is ignored (the paper's
+footnote): node splitting gives this for free, since ``source -> out(s)``
+and ``in(s) -> sink`` touch different halves of the split node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.analysis.depgraph import DepEdge, DependenceGraph
+from repro.ir.instructions import Item
+from repro.ir.loops import program_order
+
+from .mincut import FlowNetwork
+
+_SCALE = 1024  # fixed-point scale for float likelihoods
+
+
+@dataclass
+class Cut:
+    """Result of a feasible cut."""
+
+    cut_edges: list[DepEdge]
+    source_nodes: list[Item]  # source side of the cut that can reach T
+    value: float = 0.0
+
+    @property
+    def empty(self) -> bool:
+        return not self.cut_edges
+
+
+EdgeKey = tuple[int, int]
+
+
+def _edge_key(e: DepEdge) -> EdgeKey:
+    return (id(e.src), id(e.dst))
+
+
+def find_cut(
+    graph: DependenceGraph,
+    sources: Iterable[Item],
+    targets: Iterable[Item],
+    removed: Optional[set[EdgeKey]] = None,
+    likelihood: Optional[Callable[[DepEdge], float]] = None,
+    internal: Optional[set[int]] = None,
+) -> Optional[Cut]:
+    """Find a minimal conditional cut separating ``sources`` from
+    ``targets``; None when infeasible (an unconditional path exists).
+
+    ``removed`` holds keys of dependence edges already eliminated by other
+    (secondary) versioning plans; they are excluded from the graph, which
+    implements the paper's ``update_cut``.
+
+    ``internal`` holds item ids whose mutual edges are exempt: an SLP
+    client passes the whole pack-tree member set so that a member may
+    depend on another member *directly* (vector lanes preserve relative
+    order), while paths that leave the set and come back must still be
+    cut — that is the schedulability condition for fusing the members
+    into adjacent vector lanes.
+    """
+    S = list(dict.fromkeys(sources))
+    T = list(dict.fromkeys(targets))
+    removed = removed or set()
+    internal = internal or set()
+    t_set = set(map(id, T))
+
+    # 1. DFS from S over live dependence edges
+    live_edges: list[DepEdge] = []
+    reach: dict[int, Item] = {}
+    stack = list(S)
+    seen = set(map(id, S))
+    while stack:
+        node = stack.pop()
+        reach[id(node)] = node
+        for e in graph.deps(node):
+            if _edge_key(e) in removed:
+                continue
+            if id(e.src) in internal and id(e.dst) in internal:
+                continue  # intra-group edge: relative order is preserved
+            live_edges.append(e)
+            if id(e.dst) not in seen:
+                seen.add(id(e.dst))
+                stack.append(e.dst)
+
+    if not _reaches(live_edges, S, t_set):
+        # S already independent of T (paper: two empty sets)
+        return Cut([], [])
+
+    # capacities
+    cond_edges = [e for e in live_edges if e.conditional]
+    if likelihood is not None:
+        caps = {id(e): max(1, int(likelihood(e) * _SCALE)) for e in cond_edges}
+    else:
+        caps = {id(e): _SCALE for e in cond_edges}
+    inf_cap = sum(caps.values()) + _SCALE
+
+    # 2-3. node-split network
+    ids = list(reach.keys())
+    for t in T:  # ensure targets present even if unreached (harmless)
+        if id(t) not in reach:
+            reach[id(t)] = t
+            ids.append(id(t))
+    index: dict[int, int] = {}
+    for nid in ids:
+        index[nid] = len(index)
+    n_items = len(index)
+
+    def node_in(nid: int) -> int:
+        return 2 + 2 * index[nid]
+
+    def node_out(nid: int) -> int:
+        return 2 + 2 * index[nid] + 1
+
+    net = FlowNetwork(2 + 2 * n_items)
+    SOURCE, SINK = 0, 1
+    for nid in ids:
+        net.add_edge(node_in(nid), node_out(nid), inf_cap)
+    edge_handles: list[tuple[DepEdge, tuple[int, int]]] = []
+    for e in live_edges:
+        cap = caps.get(id(e), inf_cap)
+        h = net.add_edge(node_out(id(e.src)), node_in(id(e.dst)), cap)
+        edge_handles.append((e, h))
+    for s in S:
+        net.add_edge(SOURCE, node_out(id(s)), inf_cap)
+    for t in T:
+        net.add_edge(node_in(id(t)), SINK, inf_cap)
+
+    # 4. max-flow + feasibility
+    flow = net.max_flow(SOURCE, SINK)
+    if flow >= inf_cap:
+        return None
+
+    side = net.min_cut_side(SOURCE)
+    cut_edges = []
+    for e, (u, i) in edge_handles:
+        src_out = node_out(id(e.src))
+        dst_in = node_in(id(e.dst))
+        if src_out in side and dst_in not in side:
+            cut_edges.append(e)
+
+    # source-side items that can reach T through dependence edges
+    source_nodes = _source_side_reaching(
+        graph, live_edges, side, node_out, reach, t_set
+    )
+    return Cut(cut_edges, source_nodes, value=flow / _SCALE)
+
+
+def _reaches(edges: list[DepEdge], sources: list[Item], t_set: set[int]) -> bool:
+    adj: dict[int, list[int]] = {}
+    for e in edges:
+        adj.setdefault(id(e.src), []).append(id(e.dst))
+    stack = [id(s) for s in sources]
+    seen: set[int] = set()
+    while stack:
+        u = stack.pop()
+        for v in adj.get(u, ()):
+            if v in t_set:
+                return True
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return False
+
+
+def _source_side_reaching(
+    graph: DependenceGraph,
+    live_edges: list[DepEdge],
+    side: set[int],
+    node_out,
+    reach: dict[int, Item],
+    t_set: set[int],
+) -> list[Item]:
+    # reverse-reachability from T over *all* live dependence edges
+    radj: dict[int, list[int]] = {}
+    for e in live_edges:
+        radj.setdefault(id(e.dst), []).append(id(e.src))
+    reaches_t: set[int] = set()
+    stack = list(t_set)
+    while stack:
+        u = stack.pop()
+        for v in radj.get(u, ()):
+            if v not in reaches_t:
+                reaches_t.add(v)
+                stack.append(v)
+    out: list[Item] = []
+    for nid, item in reach.items():
+        if nid in reaches_t and node_out(nid) in side:
+            out.append(item)
+    # keep a stable program order
+    fn = _owning_function(graph)
+    if fn is not None:
+        order = program_order(fn)
+        out.sort(key=lambda it: order.get(it, 1 << 30))
+    return out
+
+
+def _owning_function(graph: DependenceGraph):
+    from repro.ir.loops import Function
+
+    scope = graph.scope
+    while scope is not None and not isinstance(scope, Function):
+        scope = getattr(scope, "parent", None)
+    return scope
+
+
+__all__ = ["Cut", "find_cut"]

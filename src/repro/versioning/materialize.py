@@ -1,0 +1,419 @@
+"""Versioning-plan materialization (paper Fig. 14 / Fig. 15).
+
+Plans are lowered secondary-first.  For one plan:
+
+1. **Hoist** the defining chains of the plan's condition operands in front
+   of the first versioned item.  This is the step the secondary plan makes
+   legal: post-secondary, the check-passing copies of those chains are
+   guaranteed independent of the versioned nodes (in the running example
+   the ``x = load X`` / ``c = cmp`` pair moves above the stores).
+2. **Emit the check**: one boolean ``ok`` asserting *none* of the
+   versioning conditions hold.  Predicate conditions lower to a
+   default-false phi (sound under the interpreter's missing-is-false
+   rule: if the guard never ran, the dependence cannot occur), and
+   intersects conditions lower to materialized affine bounds plus two
+   range comparisons.  Identical condition sets share one check.
+3. **Clone** every versioned item: the original's predicate is
+   strengthened with ``ok``, the clone's with ``!ok``; a clone's operands
+   and predicates reference the clones of other versioned items.
+4. **Repair def-use**: each versioned value feeding a non-versioned user
+   is routed through a versioning phi ``phi(ok: orig, !ok: clone)``; loop
+   live-outs get cloned etas joined the same way; the function return is
+   rerouted too.  Dead phis are swept.
+5. **Annotate** (§IV-B): the check-passing copies of the plan's input
+   memory instructions are stamped with a fresh noalias scope group, so
+   LLVM-style alias queries — and therefore any downstream client — see
+   their independence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.analysis.alias import add_noalias_group
+from repro.analysis.conditions import (
+    DepCond,
+    IntersectCond,
+    OrCond,
+    PredCond,
+    SymRange,
+)
+from repro.analysis.affine import Affine
+from repro.ir.clone import clone_item
+from repro.ir.instructions import (
+    BinOp,
+    Cmp,
+    Eta,
+    Instruction,
+    Item,
+    Phi,
+    PtrAdd,
+    UnOp,
+)
+from repro.ir.loops import Function, Loop, ScopeMixin
+from repro.ir.predicates import Predicate
+from repro.ir.types import VOID
+from repro.ir.values import Value, const_bool, const_int
+
+from .plans import VersioningPlan
+
+_group_ids = itertools.count(1)
+
+
+class MaterializationError(Exception):
+    pass
+
+
+class Materializer:
+    """Lowers versioning plans into checks, clones, and phis."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        # (scope id, condition-set) -> ok value, for check sharing
+        self._check_cache: dict[tuple[int, frozenset], Value] = {}
+
+    # -- public ----------------------------------------------------------------
+
+    def materialize_plans(self, plans: list[VersioningPlan]) -> None:
+        for plan in plans:
+            self.materialize(plan)
+
+    def materialize(self, plan: VersioningPlan) -> None:
+        if plan.secondary is not None:
+            self.materialize(plan.secondary)
+        if plan.is_empty() or not plan.nodes:
+            return
+        assert plan.graph is not None
+        scope = plan.graph.scope
+        nodes = [n for n in plan.nodes if not isinstance(n, Eta)]
+        for n in nodes:
+            if n.parent is not scope:
+                raise MaterializationError(
+                    f"versioned item {n!r} is not in the plan's scope"
+                )
+        order = {id(it): i for i, it in enumerate(scope.items)}
+        nodes.sort(key=lambda n: order[id(n)])
+        anchor = nodes[0]
+
+        # condition promotion (§IV-A) may have re-anchored some checks to
+        # outer scopes; each anchor group gets its own check, residual
+        # conditions are checked in place, and the ok values combine
+        ok_vals: list[Value] = []
+        groups: dict[int, tuple] = {}
+        for cond, (h_scope, h_anchor) in plan.hoisted_conditions:
+            entry = groups.setdefault(id(h_anchor), (h_scope, h_anchor, []))
+            entry[2].append(cond)
+        for h_scope, h_anchor, conds in groups.values():
+            self._hoist_condition_chains(h_scope, conds, h_anchor, set())
+            ok_vals.append(self._emit_check(h_scope, conds, h_anchor))
+        if plan.conditions:
+            self._hoist_condition_chains(
+                scope, plan.conditions, anchor, {id(n) for n in nodes}
+            )
+            ok_vals.append(self._emit_check(scope, plan.conditions, anchor))
+        if len(ok_vals) == 1:
+            ok = ok_vals[0]
+        else:
+            acc = ok_vals[0]
+            for v in ok_vals[1:]:
+                combined = BinOp("and", acc, v, name="vchk")
+                combined.set_predicate(Predicate.true())
+                scope.insert_before(anchor, combined)
+                acc = combined
+            ok = acc
+
+        vmap: dict = {}
+        clones: dict[int, Item] = {}
+        for node in nodes:
+            orig_pred = node.predicate
+            clone = clone_item(node, vmap)
+            clone.set_predicate(
+                orig_pred.substitute(vmap).and_value(ok, negated=True)
+            )
+            node.set_predicate(orig_pred.and_value(ok))
+            scope.insert_after(node, clone)
+            clones[id(node)] = clone
+
+        versioned_ids = {id(n) for n in nodes} | {id(c) for c in clones.values()}
+        new_phis: list[Phi] = []
+        for node in nodes:
+            clone = clones[id(node)]
+            if isinstance(node, Loop):
+                self._join_loop_liveouts(
+                    scope, node, clone, vmap, ok, versioned_ids, new_phis
+                )
+            else:
+                self._join_instruction(
+                    scope, node, clone, versioned_ids, new_phis
+                )
+
+        # sweep dead versioning phis
+        for phi in new_phis:
+            if not phi.has_users() and self.fn.return_value is not phi:
+                phi.scope_erase()
+
+        self._undef_dead_edges(plan)
+        self._annotate_noalias(plan)
+
+    # -- hoisting ----------------------------------------------------------------
+
+    def _hoist_condition_chains(
+        self,
+        scope: ScopeMixin,
+        conditions: list[DepCond],
+        anchor: Item,
+        versioned_ids: set[int],
+    ) -> None:
+        from repro.analysis.depgraph import _item_defined, _item_used
+
+        def_map: dict[Value, Item] = {}
+        for it in scope.items:
+            for v in _item_defined(it):
+                def_map[v] = it
+
+        anchor_idx = scope.index_of(anchor)
+        position = {id(it): i for i, it in enumerate(scope.items)}
+
+        needed: set[int] = set()
+        work: list[Value] = []
+        for cond in conditions:
+            work.extend(cond.operands())
+        while work:
+            v = work.pop()
+            item = def_map.get(v)
+            if item is None or id(item) in needed:
+                continue
+            if position[id(item)] <= anchor_idx:
+                continue
+            if id(item) in versioned_ids:
+                raise MaterializationError(
+                    "condition operand chain reaches a versioned node; "
+                    "the plan is not materializable"
+                )
+            needed.add(id(item))
+            work.extend(_item_used(item))
+
+        if not needed:
+            return
+        to_move = [it for it in scope.items if id(it) in needed]
+        for it in to_move:
+            scope.remove(it)
+        for it in to_move:
+            scope.insert_before(anchor, it)
+
+    # -- check emission ---------------------------------------------------------------
+
+    def _emit_check(
+        self, scope: ScopeMixin, conditions: list[DepCond], anchor: Item
+    ) -> Value:
+        key = (id(scope), frozenset(conditions))
+        cached = self._check_cache.get(key)
+        if cached is not None:
+            pos = {id(it): i for i, it in enumerate(scope.items)}
+            holder = cached if isinstance(cached, Instruction) else None
+            if holder is not None and pos.get(id(holder), 1 << 30) < pos[id(anchor)]:
+                return cached
+
+        emitted: list[Instruction] = []
+
+        def emit(inst: Instruction, pred: Predicate = Predicate.true()) -> Instruction:
+            inst.set_predicate(pred)
+            scope.insert_before(anchor, inst)
+            emitted.append(inst)
+            return inst
+
+        occur_values: list[Value] = []
+        for cond in conditions:
+            occur_values.append(self._emit_condition(cond, emit))
+
+        ok: Value
+        if not occur_values:
+            ok = const_bool(True)
+        else:
+            acc: Optional[Instruction] = None
+            for ov in occur_values:
+                neg = emit(UnOp("not", ov, name="no_dep"))
+                acc = neg if acc is None else emit(BinOp("and", acc, neg, name="vchk"))
+            ok = acc  # type: ignore[assignment]
+            ok.name = "vchk"
+        self._check_cache[key] = ok
+        return ok
+
+    def _emit_condition(self, cond: DepCond, emit) -> Value:
+        """Emit IR computing whether ``cond`` holds; returns a bool value."""
+        if isinstance(cond, OrCond):
+            acc: Optional[Value] = None
+            for part in cond.parts:
+                v = self._emit_condition(part, emit)
+                acc = v if acc is None else emit(BinOp("or", acc, v, name="dep_or"))
+            assert acc is not None
+            return acc
+        if isinstance(cond, PredCond):
+            # default-false phi: true iff the guard actually held
+            phi = Phi(
+                [
+                    (const_bool(True), cond.pred),
+                    (const_bool(False), Predicate.true()),
+                ],
+                name="dep_pred",
+            )
+            return emit(phi)
+        if isinstance(cond, IntersectCond):
+            lo_a = self._emit_bound(cond.a, cond.a.lo, emit, "lo")
+            hi_a = self._emit_bound(cond.a, cond.a.hi, emit, "hi")
+            lo_b = self._emit_bound(cond.b, cond.b.lo, emit, "lo")
+            hi_b = self._emit_bound(cond.b, cond.b.hi, emit, "hi")
+            c1 = emit(Cmp("lt", lo_a, hi_b, name="ovl1"))
+            c2 = emit(Cmp("lt", lo_b, hi_a, name="ovl2"))
+            for c in (c1, c2):
+                c.is_versioning_check = True
+                c.is_branch_source = True
+            return emit(BinOp("and", c1, c2, name="intersects"))
+        if cond.is_true():
+            return const_bool(True)
+        if cond.is_false():
+            return const_bool(False)
+        raise MaterializationError(f"cannot emit condition {cond!r}")
+
+    def _emit_bound(self, rng: SymRange, bound: Affine, emit, tag: str) -> Value:
+        off = self._emit_affine(bound, emit)
+        return emit(PtrAdd(rng.base, off, name=f"{tag}"))
+
+    def _emit_affine(self, aff: Affine, emit) -> Value:
+        acc: Optional[Value] = None
+        for sym, coeff in sorted(aff.terms.items(), key=lambda kv: kv[0].vid):
+            term: Value = sym
+            if coeff != 1:
+                term = emit(BinOp("mul", sym, const_int(coeff)))
+            acc = term if acc is None else emit(BinOp("add", acc, term))
+        if acc is None:
+            return const_int(aff.const)
+        if aff.const != 0:
+            acc = emit(BinOp("add", acc, const_int(aff.const)))
+        return acc
+
+    # -- def-use repair -------------------------------------------------------------
+
+    def _join_instruction(
+        self,
+        scope: ScopeMixin,
+        node: Instruction,
+        clone: Instruction,
+        versioned_ids: set[int],
+        new_phis: list[Phi],
+    ) -> None:
+        if node.type is VOID or isinstance(node.type, type(VOID)):
+            return
+        external = [
+            u for u in node.users()
+            if id(u) not in versioned_ids and u is not clone
+        ]
+        needs_return = self.fn.return_value is node
+        if not external and not needs_return:
+            return
+        phi = Phi(
+            [(node, node.predicate), (clone, clone.predicate)],
+            name=(node.name or "v") + ".ver",
+        )
+        phi.set_predicate(_common_pred(node.predicate, clone.predicate))
+        scope.insert_after(clone, phi)
+        new_phis.append(phi)
+        for u in external:
+            u.replace_uses_of(node, phi)
+        if needs_return:
+            self.fn.set_return(phi)
+
+    def _join_loop_liveouts(
+        self,
+        scope: ScopeMixin,
+        loop: Loop,
+        clone: Loop,
+        vmap: dict,
+        ok: Value,
+        versioned_ids: set[int],
+        new_phis: list[Phi],
+    ) -> None:
+        for eta in list(loop.etas):
+            if eta.parent is not scope:
+                continue
+            orig_eta_pred = eta.predicate
+            inner_clone = vmap.get(eta.inner, eta.inner)
+            eta_clone = Eta(clone, inner_clone, name=eta.name + ".c")
+            eta_clone.set_predicate(
+                orig_eta_pred.substitute(vmap).and_value(ok, negated=True)
+            )
+            scope.insert_after(eta, eta_clone)
+            eta.set_predicate(orig_eta_pred.and_value(ok))
+            phi = Phi(
+                [(eta, eta.predicate), (eta_clone, eta_clone.predicate)],
+                name=eta.name + ".ver",
+            )
+            phi.set_predicate(orig_eta_pred)
+            scope.insert_after(eta_clone, phi)
+            new_phis.append(phi)
+            for u in eta.users():
+                if u is phi or id(u) in versioned_ids or u is eta_clone:
+                    continue
+                u.replace_uses_of(eta, phi)
+            if self.fn.return_value is eta:
+                self.fn.set_return(phi)
+
+    # -- dead phi/select edges (Fig. 14 lines 66-73) --------------------------
+
+    def _undef_dead_edges(self, plan: VersioningPlan) -> None:
+        """A cut phi (or select-arm) edge means the edge's guard is
+        asserted false on the check-pass path: the original's operand is
+        never read there, so replace it with UNDEFINED — the clone keeps
+        the real operand for the fallback path.  Without this, the dead
+        operand would still impose a textual def-before-use constraint
+        that scheduling could not satisfy."""
+        from repro.analysis.depgraph import _item_defined
+        from repro.ir.instructions import Select
+        from repro.ir.values import Undef
+
+        for src, dst in plan.cut_pairs:
+            if isinstance(src, Phi):
+                defined = _item_defined(dst)
+                for idx, (v, _p) in enumerate(src.incomings()):
+                    if v in defined:
+                        src.set_incoming_value(idx, Undef(v.type))
+            elif isinstance(src, Select):
+                defined = _item_defined(dst)
+                for idx in (1, 2):
+                    if src.operands[idx] in defined:
+                        src.set_operand(idx, Undef(src.operands[idx].type))
+
+    # -- noalias (§IV-B) --------------------------------------------------------------
+
+    def _annotate_noalias(self, plan: VersioningPlan) -> None:
+        gid = next(_group_ids)
+        for item in plan.input_nodes:
+            for mem in item.mem_instructions():
+                add_noalias_group(mem, gid)
+        # each discharged dependence edge: the two endpoints provably do
+        # not conflict once the check passes — share a scope per pair so
+        # alias queries (GVN's clobber walk, LICM's hoist test) see it
+        for src, dst in plan.cut_pairs:
+            src_mems = src.mem_instructions()
+            dst_mems = dst.mem_instructions()
+            if len(src_mems) == 1 and len(dst_mems) == 1:
+                # only single-instruction endpoints: a shared scope on a
+                # loop's own mems would wrongly disambiguate them from
+                # each other
+                pair_gid = next(_group_ids)
+                add_noalias_group(src_mems[0], pair_gid)
+                add_noalias_group(dst_mems[0], pair_gid)
+
+
+def _common_pred(a: Predicate, b: Predicate) -> Predicate:
+    """Literals shared by both predicates (the join point's guard)."""
+    return Predicate(a.literals & b.literals)
+
+
+def materialize_plans(fn: Function, plans: list[VersioningPlan]) -> None:
+    """Materialize ``plans`` into ``fn`` (paper's second API entry point)."""
+    Materializer(fn).materialize_plans(plans)
+
+
+__all__ = ["Materializer", "MaterializationError", "materialize_plans"]

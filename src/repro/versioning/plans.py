@@ -1,0 +1,278 @@
+"""Versioning-plan inference (paper Fig. 13).
+
+A plan is ``V = (N, C, V')``: the nodes to duplicate, the conditions to
+assert false at run time, and an optional secondary plan that makes the
+conditions themselves evaluable before the versioned code (the paper's
+*nested versioning*).
+
+The recursion mirrors Fig. 13 line by line:
+
+* find a cut separating ``nodes`` from ``input_nodes``;
+* its cut-set conditions become the candidate versioning conditions;
+* bail out if any condition *directly* uses an input node (line 16 —
+  recursion could never fix an unconditional use);
+* recurse to make the condition operands independent of the input nodes;
+* update the cut to account for the dependence edges the secondary plan
+  eliminated (we re-run ``find_cut`` with those edges removed, the
+  alternative the paper explicitly sanctions), and take the final
+  conditions from the updated cut — in the running example this is what
+  shrinks the primary conditions from {c, intersects} to {c} (Fig. 12);
+* version the source side of the cut that can reach the inputs, plus the
+  inputs themselves (line 31).
+
+Termination follows the paper's program-order argument; a defensive depth
+cap turns a violation into a hard error rather than a hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.analysis.conditions import DepCond, flatten
+from repro.analysis.depgraph import DepEdge, DependenceGraph
+from repro.ir.instructions import Item
+from repro.ir.loops import program_order
+
+from .flowgraph import Cut, EdgeKey, _edge_key, find_cut
+
+_MAX_DEPTH = 32
+
+
+@dataclass
+class VersioningPlan:
+    """``(N, C, V')`` plus bookkeeping for cut updates and annotation."""
+
+    nodes: list[Item]
+    conditions: list[DepCond]
+    secondary: Optional["VersioningPlan"]
+    input_nodes: list[Item]
+    removed_edges: set[EdgeKey] = field(default_factory=set)
+    graph: Optional[DependenceGraph] = None
+    # conditions promoted out of the plan's loop by §IV-A promotion:
+    # (condition, (outer_scope, loop_item)) pairs
+    hoisted_conditions: list = field(default_factory=list)
+    # the dependence-edge endpoints this plan's checks discharge; the
+    # materializer gives each pair a shared noalias scope (§IV-B) so
+    # downstream passes (GVN, LICM) see the independence
+    cut_pairs: list = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        """True when the inputs were already independent — nothing to do."""
+        return not self.conditions and not self.hoisted_conditions
+
+    def depth(self) -> int:
+        return 1 + (self.secondary.depth() if self.secondary is not None else 0)
+
+    def all_conditions(self) -> list[DepCond]:
+        out = list(self.conditions) + [c for c, _ in self.hoisted_conditions]
+        if self.secondary is not None:
+            out.extend(self.secondary.all_conditions())
+        return out
+
+    def check_count(self) -> int:
+        """Number of atomic run-time checks this plan (nested) implies."""
+        return sum(len(flatten(c)) for c in self.all_conditions())
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}VersioningPlan:"]
+        lines.append(f"{pad}  N = {[n.display_name() for n in self.nodes]}")
+        lines.append(f"{pad}  C = {self.conditions}")
+        if self.secondary is not None:
+            lines.append(f"{pad}  V' =")
+            lines.append(self.secondary.describe(indent + 2))
+        return "\n".join(lines)
+
+
+class PlanInferenceError(Exception):
+    pass
+
+
+def infer_versioning_plan(
+    graph: DependenceGraph,
+    nodes: Iterable[Item],
+    input_nodes: Iterable[Item],
+    removed: Optional[set[EdgeKey]] = None,
+    likelihood: Optional[Callable[[DepEdge], float]] = None,
+    internal: Optional[set[int]] = None,
+    _depth: int = 0,
+) -> Optional[VersioningPlan]:
+    """Infer a (possibly nested) plan making ``nodes`` independent of
+    ``input_nodes``, or None when infeasible."""
+    if _depth > _MAX_DEPTH:
+        raise PlanInferenceError("plan recursion exceeded depth bound")
+    nodes = list(dict.fromkeys(nodes))
+    input_nodes = list(dict.fromkeys(input_nodes))
+    removed = set(removed or ())
+
+    cut = find_cut(graph, nodes, input_nodes, removed, likelihood, internal)
+    if cut is None:
+        return None
+    if cut.empty:
+        return VersioningPlan([], [], None, input_nodes, set(), graph)
+
+    dep_conds = _unique_conds(cut.cut_edges)
+
+    # line 16: conditions must not *directly* use an input node
+    cond_items = _condition_items(graph, dep_conds)
+    if set(map(id, cond_items)) & set(map(id, input_nodes)):
+        return None
+
+    secondary: Optional[VersioningPlan] = None
+    if cond_items:
+        secondary = infer_versioning_plan(
+            graph, cond_items, input_nodes, removed, likelihood, _depth=_depth + 1
+        )
+        if secondary is None:
+            return None
+        if secondary.removed_edges:
+            # update the cut: re-solve with secondary-eliminated edges gone
+            cut = find_cut(
+                graph, nodes, input_nodes, removed | secondary.removed_edges,
+                likelihood, internal,
+            )
+            if cut is None:  # pragma: no cover - removal only helps
+                return None
+            dep_conds = _unique_conds(cut.cut_edges)
+        if secondary.is_empty():
+            secondary = None
+
+    removed_here = {_edge_key(e) for e in cut.cut_edges}
+    if secondary is not None:
+        removed_here |= secondary.removed_edges
+
+    plan_nodes = _ordered_union(graph, cut.source_nodes, input_nodes)
+    cut_pairs = [(e.src, e.dst) for e in cut.cut_edges]
+    if secondary is not None:
+        cut_pairs.extend(secondary.cut_pairs)
+    return VersioningPlan(
+        nodes=plan_nodes,
+        conditions=dep_conds,
+        secondary=secondary,
+        input_nodes=input_nodes,
+        removed_edges=removed_here,
+        graph=graph,
+        cut_pairs=cut_pairs,
+    )
+
+
+def infer_plan_for_items(
+    graph: DependenceGraph,
+    items: Iterable[Item],
+    likelihood: Optional[Callable[[DepEdge], float]] = None,
+) -> Optional[VersioningPlan]:
+    """Paper Fig. 13 ``infer_version_plans_for_insts``: make ``items``
+    mutually independent."""
+    items = list(items)
+    return infer_versioning_plan(graph, items, items, likelihood=likelihood)
+
+
+def _unique_conds(edges: list[DepEdge]) -> list[DepCond]:
+    out: list[DepCond] = []
+    seen: set[DepCond] = set()
+    for e in edges:
+        for atom in flatten(e.cond):
+            if atom not in seen:
+                seen.add(atom)
+                out.append(atom)
+    return out
+
+
+def _condition_items(graph: DependenceGraph, conds: list[DepCond]) -> list[Item]:
+    """Scope items defining the operands of ``conds`` (arguments, globals
+    and constants have no defining item and need no versioning)."""
+    items: list[Item] = []
+    seen: set[int] = set()
+    for c in conds:
+        for v in c.operands():
+            it = graph.defining_item(v)
+            if it is not None and id(it) not in seen:
+                seen.add(id(it))
+                items.append(it)
+    return items
+
+
+def _ordered_union(graph: DependenceGraph, a: list[Item], b: list[Item]) -> list[Item]:
+    seen: set[int] = set()
+    out: list[Item] = []
+    for it in list(a) + list(b):
+        if id(it) not in seen:
+            seen.add(id(it))
+            out.append(it)
+    fn = None
+    scope = graph.scope
+    from repro.ir.loops import Function
+
+    while scope is not None and not isinstance(scope, Function):
+        scope = getattr(scope, "parent", None)
+    fn = scope
+    if fn is not None:
+        order = program_order(fn)
+        out.sort(key=lambda it: order.get(it, 1 << 30))
+    return out
+
+
+def merge_plans(plans: list[VersioningPlan]) -> Optional[VersioningPlan]:
+    """Merge several plans over one scope into a single uniform plan.
+
+    The merged plan versions the union of the nodes under the union of the
+    conditions (redundant conditions eliminated).  Asserting a superset of
+    conditions false removes a superset of dependence edges, so every
+    constituent plan's independence guarantee still holds — and every
+    versioned item ends up under the *same* check, which is what keeps the
+    members of an SLP tree's packs predicate-uniform for vector codegen
+    (one combined check guarding the vectorized group, as in the paper's
+    Fig. 18).  This realizes the effect of Fig. 14's per-instruction
+    condition-union table in the common case where a client versions a
+    cluster of interdependent packs together.
+    """
+    plans = [p for p in plans if p is not None and not p.is_empty()]
+    if not plans:
+        return None
+    if len(plans) == 1:
+        return plans[0]
+    from .condopt import coalesce_conditions, eliminate_redundant_conditions
+
+    graph = plans[0].graph
+    assert all(p.graph is graph for p in plans), "merge requires one scope"
+    nodes = _ordered_union(graph, [], [n for p in plans for n in p.nodes])
+    conditions = coalesce_conditions(
+        eliminate_redundant_conditions([c for p in plans for c in p.conditions])
+    )
+    input_nodes = _ordered_union(graph, [], [n for p in plans for n in p.input_nodes])
+    removed: set[EdgeKey] = set()
+    for p in plans:
+        removed |= p.removed_edges
+    # merge hoisted conditions per anchor, deduplicating equivalent checks
+    by_anchor: dict[int, tuple] = {}
+    for p in plans:
+        for cond, anchor in p.hoisted_conditions:
+            key = id(anchor[1])
+            scope_, item_, conds_ = by_anchor.setdefault(key, (anchor[0], anchor[1], []))
+            conds_.append(cond)
+    hoisted: list = []
+    for scope_, item_, conds_ in by_anchor.values():
+        for c in coalesce_conditions(eliminate_redundant_conditions(conds_)):
+            hoisted.append((c, (scope_, item_)))
+    secondary = merge_plans([p.secondary for p in plans if p.secondary is not None])
+    merged = VersioningPlan(
+        nodes=nodes,
+        conditions=conditions,
+        secondary=secondary,
+        input_nodes=input_nodes,
+        removed_edges=removed,
+        graph=graph,
+        hoisted_conditions=hoisted,
+        cut_pairs=[pair for p in plans for pair in p.cut_pairs],
+    )
+    return merged
+
+
+__all__ = [
+    "VersioningPlan",
+    "PlanInferenceError",
+    "infer_versioning_plan",
+    "infer_plan_for_items",
+    "merge_plans",
+]

@@ -1,0 +1,5 @@
+"""Benchmark workloads: PolyBench, TSVC, and SPEC-2017-FP-like kernels."""
+
+from . import polybench, speclike, tsvc
+
+__all__ = ["polybench", "speclike", "tsvc"]

@@ -1,0 +1,475 @@
+"""PolyBench kernels transcribed into mini-C (paper Fig. 16 workloads).
+
+Array sizes are scaled down from PolyBench's MINI/SMALL datasets so the
+interpreter (our "testbed") finishes in seconds; the dependence structure
+— which is what versioning interacts with — is unchanged.  All pointer
+parameters carry ``restrict`` in the source; the Fig. 16 restrict-off
+configuration is the pipeline's ``honor_restrict=False`` switch, exactly
+mirroring how the paper disables the keyword.
+
+The five kernels the paper highlights as vectorizable *only* with
+fine-grained versioning — correlation, covariance, floyd-warshall, lu,
+ludcmp — are all here, with their triangular/in-place structure intact.
+"""
+
+from __future__ import annotations
+
+from repro.perf.measure import ArrayArg, ScalarArg, Workload
+
+N = 14  # cubic kernels
+M = 28  # quadratic kernels
+L = 96  # linear kernels
+
+
+def _init(seed: int):
+    def f(i: int) -> float:
+        return ((i * 7 + seed * 13) % 11) / 11.0 + 0.5
+
+    return f
+
+
+def _w(name: str, source: str, args) -> Workload:
+    return Workload(name=name, source=source, args=args, entry="kernel")
+
+
+def gemm() -> Workload:
+    src = f"""
+    const int N = {N};
+    void kernel(double C[restrict N][N], double A[restrict N][N],
+                double B[restrict N][N], double alpha, double beta) {{
+      for (int i = 0; i < N; i++) {{
+        for (int j = 0; j < N; j++) C[i][j] = C[i][j] * beta;
+        for (int k = 0; k < N; k++)
+          for (int j = 0; j < N; j++)
+            C[i][j] += alpha * A[i][k] * B[k][j];
+      }}
+    }}
+    """
+    return _w("gemm", src, [
+        ArrayArg("C", N * N, _init(1)),
+        ArrayArg("A", N * N, _init(2)),
+        ArrayArg("B", N * N, _init(3)),
+        ScalarArg("alpha", 1.5), ScalarArg("beta", 1.2),
+    ])
+
+
+def atax() -> Workload:
+    src = f"""
+    const int M = {M};
+    void kernel(double A[restrict M][M], double x[restrict M],
+                double y[restrict M], double tmp[restrict M]) {{
+      for (int i = 0; i < M; i++) y[i] = 0.0;
+      for (int i = 0; i < M; i++) {{
+        double t = 0.0;
+        for (int j = 0; j < M; j++) t += A[i][j] * x[j];
+        tmp[i] = t;
+        for (int j = 0; j < M; j++) y[j] = y[j] + A[i][j] * t;
+      }}
+    }}
+    """
+    return _w("atax", src, [
+        ArrayArg("A", M * M, _init(1)), ArrayArg("x", M, _init(2)),
+        ArrayArg("y", M, lambda i: 0.0), ArrayArg("tmp", M, lambda i: 0.0),
+    ])
+
+
+def bicg() -> Workload:
+    src = f"""
+    const int M = {M};
+    void kernel(double A[restrict M][M], double s[restrict M], double q[restrict M],
+                double p[restrict M], double r[restrict M]) {{
+      for (int i = 0; i < M; i++) s[i] = 0.0;
+      for (int i = 0; i < M; i++) {{
+        q[i] = 0.0;
+        for (int j = 0; j < M; j++) {{
+          s[j] = s[j] + r[i] * A[i][j];
+          q[i] = q[i] + A[i][j] * p[j];
+        }}
+      }}
+    }}
+    """
+    return _w("bicg", src, [
+        ArrayArg("A", M * M, _init(1)), ArrayArg("s", M, lambda i: 0.0),
+        ArrayArg("q", M, lambda i: 0.0), ArrayArg("p", M, _init(2)),
+        ArrayArg("r", M, _init(3)),
+    ])
+
+
+def mvt() -> Workload:
+    src = f"""
+    const int M = {M};
+    void kernel(double x1[restrict M], double x2[restrict M], double y1[restrict M],
+                double y2[restrict M], double A[restrict M][M]) {{
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < M; j++)
+          x1[i] = x1[i] + A[i][j] * y1[j];
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < M; j++)
+          x2[i] = x2[i] + A[j][i] * y2[j];
+    }}
+    """
+    return _w("mvt", src, [
+        ArrayArg("x1", M, _init(1)), ArrayArg("x2", M, _init(2)),
+        ArrayArg("y1", M, _init(3)), ArrayArg("y2", M, _init(4)),
+        ArrayArg("A", M * M, _init(5)),
+    ])
+
+
+def gesummv() -> Workload:
+    src = f"""
+    const int M = {M};
+    void kernel(double A[restrict M][M], double B[restrict M][M], double tmp[restrict M],
+                double x[restrict M], double y[restrict M], double alpha, double beta) {{
+      for (int i = 0; i < M; i++) {{
+        double t = 0.0;
+        double yv = 0.0;
+        for (int j = 0; j < M; j++) {{
+          t += A[i][j] * x[j];
+          yv += B[i][j] * x[j];
+        }}
+        tmp[i] = t;
+        y[i] = alpha * t + beta * yv;
+      }}
+    }}
+    """
+    return _w("gesummv", src, [
+        ArrayArg("A", M * M, _init(1)), ArrayArg("B", M * M, _init(2)),
+        ArrayArg("tmp", M, lambda i: 0.0), ArrayArg("x", M, _init(3)),
+        ArrayArg("y", M, lambda i: 0.0),
+        ScalarArg("alpha", 1.3), ScalarArg("beta", 0.7),
+    ])
+
+
+def jacobi_1d() -> Workload:
+    src = f"""
+    const int L = {L};
+    void kernel(double A[restrict L], double B[restrict L], int tsteps) {{
+      for (int t = 0; t < tsteps; t++) {{
+        for (int i = 1; i < L - 1; i++)
+          B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);
+        for (int i = 1; i < L - 1; i++)
+          A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1]);
+      }}
+    }}
+    """
+    return _w("jacobi-1d", src, [
+        ArrayArg("A", L, _init(1)), ArrayArg("B", L, _init(2)),
+        ScalarArg("tsteps", 6),
+    ])
+
+
+def trisolv() -> Workload:
+    src = f"""
+    const int M = {M};
+    void kernel(double Lm[restrict M][M], double x[restrict M], double b[restrict M]) {{
+      for (int i = 0; i < M; i++) {{
+        double t = b[i];
+        for (int j = 0; j < i; j++) t -= Lm[i][j] * x[j];
+        x[i] = t / Lm[i][i];
+      }}
+    }}
+    """
+    return _w("trisolv", src, [
+        ArrayArg("Lm", M * M, lambda i: 2.0 if i % (M + 1) == 0 else ((i % 5) / 10.0)),
+        ArrayArg("x", M, lambda i: 0.0), ArrayArg("b", M, _init(2)),
+    ])
+
+
+def floyd_warshall() -> Workload:
+    """In-place shortest paths (paper Fig. 17): the read-write conflict on
+    ``path`` defeats loop versioning; fine-grained checks enable SLP."""
+    src = f"""
+    const int N = {N};
+    void kernel(double path[restrict N][N]) {{
+      for (int k = 0; k < N; k++)
+        for (int i = 0; i < N; i++)
+          for (int j = 0; j < N; j++)
+            path[i][j] = path[i][j] < path[i][k] + path[k][j]
+                         ? path[i][j] : path[i][k] + path[k][j];
+    }}
+    """
+    return _w("floyd-warshall", src, [
+        ArrayArg("path", N * N, lambda i: float((i * 11) % 17 + 1)),
+    ])
+
+
+def lu() -> Workload:
+    """In-place LU decomposition with triangular iteration space."""
+    src = f"""
+    const int N = {N};
+    void kernel(double A[restrict N][N]) {{
+      for (int i = 0; i < N; i++) {{
+        for (int j = 0; j < i; j++) {{
+          double w = A[i][j];
+          for (int k = 0; k < j; k++) w -= A[i][k] * A[k][j];
+          A[i][j] = w / A[j][j];
+        }}
+        for (int j = i; j < N; j++) {{
+          double w = A[i][j];
+          for (int k = 0; k < i; k++) w -= A[i][k] * A[k][j];
+          A[i][j] = w;
+        }}
+      }}
+    }}
+    """
+    return _w("lu", src, [
+        ArrayArg("A", N * N, lambda i: 4.0 if i % (N + 1) == 0 else ((i % 7) / 8.0)),
+    ])
+
+
+def ludcmp() -> Workload:
+    """LU decomposition plus forward/back substitution."""
+    src = f"""
+    const int N = {N};
+    void kernel(double A[restrict N][N], double b[restrict N],
+                double x[restrict N], double y[restrict N]) {{
+      for (int i = 0; i < N; i++) {{
+        for (int j = 0; j < i; j++) {{
+          double w = A[i][j];
+          for (int k = 0; k < j; k++) w -= A[i][k] * A[k][j];
+          A[i][j] = w / A[j][j];
+        }}
+        for (int j = i; j < N; j++) {{
+          double w = A[i][j];
+          for (int k = 0; k < i; k++) w -= A[i][k] * A[k][j];
+          A[i][j] = w;
+        }}
+      }}
+      for (int i = 0; i < N; i++) {{
+        double w = b[i];
+        for (int j = 0; j < i; j++) w -= A[i][j] * y[j];
+        y[i] = w;
+      }}
+      for (int i = N - 1; i >= 0; i--) {{
+        double w = y[i];
+        for (int j = i + 1; j < N; j++) w -= A[i][j] * x[j];
+        x[i] = w / A[i][i];
+      }}
+    }}
+    """
+    return _w("ludcmp", src, [
+        ArrayArg("A", N * N, lambda i: 4.0 if i % (N + 1) == 0 else ((i % 7) / 8.0)),
+        ArrayArg("b", N, _init(2)),
+        ArrayArg("x", N, lambda i: 0.0), ArrayArg("y", N, lambda i: 0.0),
+    ])
+
+
+def correlation() -> Workload:
+    src = f"""
+    const int M = {M};
+    void kernel(double data[restrict M][M], double corr[restrict M][M],
+                double mean[restrict M], double stddev[restrict M], double float_n) {{
+      for (int j = 0; j < M; j++) {{
+        double m = 0.0;
+        for (int i = 0; i < M; i++) m += data[i][j];
+        mean[j] = m / float_n;
+      }}
+      for (int j = 0; j < M; j++) {{
+        double s = 0.0;
+        for (int i = 0; i < M; i++)
+          s += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+        s = sqrt(s / float_n);
+        stddev[j] = s <= 0.1 ? 1.0 : s;
+      }}
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < M; j++)
+          data[i][j] = (data[i][j] - mean[j]) / (sqrt(float_n) * stddev[j]);
+      for (int i = 0; i < M - 1; i++) {{
+        corr[i][i] = 1.0;
+        for (int j = i + 1; j < M; j++) {{
+          double c = 0.0;
+          for (int k = 0; k < M; k++) c += data[k][i] * data[k][j];
+          corr[i][j] = c;
+          corr[j][i] = c;
+        }}
+      }}
+      corr[M-1][M-1] = 1.0;
+    }}
+    """
+    return _w("correlation", src, [
+        ArrayArg("data", M * M, _init(3)),
+        ArrayArg("corr", M * M, lambda i: 0.0),
+        ArrayArg("mean", M, lambda i: 0.0),
+        ArrayArg("stddev", M, lambda i: 0.0),
+        ScalarArg("float_n", float(M)),
+    ])
+
+
+def covariance() -> Workload:
+    src = f"""
+    const int M = {M};
+    void kernel(double data[restrict M][M], double cov[restrict M][M],
+                double mean[restrict M], double float_n) {{
+      for (int j = 0; j < M; j++) {{
+        double m = 0.0;
+        for (int i = 0; i < M; i++) m += data[i][j];
+        mean[j] = m / float_n;
+      }}
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < M; j++)
+          data[i][j] -= mean[j];
+      for (int i = 0; i < M; i++)
+        for (int j = i; j < M; j++) {{
+          double c = 0.0;
+          for (int k = 0; k < M; k++) c += data[k][i] * data[k][j];
+          c = c / (float_n - 1.0);
+          cov[i][j] = c;
+          cov[j][i] = c;
+        }}
+    }}
+    """
+    return _w("covariance", src, [
+        ArrayArg("data", M * M, _init(4)),
+        ArrayArg("cov", M * M, lambda i: 0.0),
+        ArrayArg("mean", M, lambda i: 0.0),
+        ScalarArg("float_n", float(M)),
+    ])
+
+
+def syrk() -> Workload:
+    src = f"""
+    const int N = {N};
+    void kernel(double C[restrict N][N], double A[restrict N][N],
+                double alpha, double beta) {{
+      for (int i = 0; i < N; i++) {{
+        for (int j = 0; j <= i; j++) C[i][j] = C[i][j] * beta;
+        for (int k = 0; k < N; k++)
+          for (int j = 0; j <= i; j++)
+            C[i][j] += alpha * A[i][k] * A[j][k];
+      }}
+    }}
+    """
+    return _w("syrk", src, [
+        ArrayArg("C", N * N, _init(1)), ArrayArg("A", N * N, _init(2)),
+        ScalarArg("alpha", 1.5), ScalarArg("beta", 1.2),
+    ])
+
+
+def gemver() -> Workload:
+    src = f"""
+    const int M = {M};
+    void kernel(double A[restrict M][M], double u1[restrict M], double v1[restrict M],
+                double u2[restrict M], double v2[restrict M], double w[restrict M],
+                double x[restrict M], double y[restrict M], double z[restrict M],
+                double alpha, double beta) {{
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < M; j++)
+          A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < M; j++)
+          x[i] = x[i] + beta * A[j][i] * y[j];
+      for (int i = 0; i < M; i++)
+        x[i] = x[i] + z[i];
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < M; j++)
+          w[i] = w[i] + alpha * A[i][j] * x[j];
+    }}
+    """
+    return _w("gemver", src, [
+        ArrayArg("A", M * M, _init(1)),
+        ArrayArg("u1", M, _init(2)), ArrayArg("v1", M, _init(3)),
+        ArrayArg("u2", M, _init(4)), ArrayArg("v2", M, _init(5)),
+        ArrayArg("w", M, lambda i: 0.0), ArrayArg("x", M, lambda i: 0.0),
+        ArrayArg("y", M, _init(6)), ArrayArg("z", M, _init(7)),
+        ScalarArg("alpha", 1.1), ScalarArg("beta", 0.9),
+    ])
+
+
+def two_mm() -> Workload:
+    src = f"""
+    const int N = {N};
+    void kernel(double tmp[restrict N][N], double A[restrict N][N],
+                double B[restrict N][N], double C[restrict N][N],
+                double D[restrict N][N], double alpha, double beta) {{
+      for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++) {{
+          double t = 0.0;
+          for (int k = 0; k < N; k++) t += alpha * A[i][k] * B[k][j];
+          tmp[i][j] = t;
+        }}
+      for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++) {{
+          double t = D[i][j] * beta;
+          for (int k = 0; k < N; k++) t += tmp[i][k] * C[k][j];
+          D[i][j] = t;
+        }}
+    }}
+    """
+    return _w("2mm", src, [
+        ArrayArg("tmp", N * N, lambda i: 0.0), ArrayArg("A", N * N, _init(1)),
+        ArrayArg("B", N * N, _init(2)), ArrayArg("C", N * N, _init(3)),
+        ArrayArg("D", N * N, _init(4)),
+        ScalarArg("alpha", 1.5), ScalarArg("beta", 1.2),
+    ])
+
+
+def three_mm() -> Workload:
+    src = f"""
+    const int N = {N};
+    void kernel(double E[restrict N][N], double A[restrict N][N],
+                double B[restrict N][N], double F[restrict N][N],
+                double C[restrict N][N], double D[restrict N][N],
+                double G[restrict N][N]) {{
+      for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++) {{
+          double t = 0.0;
+          for (int k = 0; k < N; k++) t += A[i][k] * B[k][j];
+          E[i][j] = t;
+        }}
+      for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++) {{
+          double t = 0.0;
+          for (int k = 0; k < N; k++) t += C[i][k] * D[k][j];
+          F[i][j] = t;
+        }}
+      for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++) {{
+          double t = 0.0;
+          for (int k = 0; k < N; k++) t += E[i][k] * F[k][j];
+          G[i][j] = t;
+        }}
+    }}
+    """
+    return _w("3mm", src, [
+        ArrayArg("E", N * N, lambda i: 0.0), ArrayArg("A", N * N, _init(1)),
+        ArrayArg("B", N * N, _init(2)), ArrayArg("F", N * N, lambda i: 0.0),
+        ArrayArg("C", N * N, _init(3)), ArrayArg("D", N * N, _init(4)),
+        ArrayArg("G", N * N, lambda i: 0.0),
+    ])
+
+
+def jacobi_2d() -> Workload:
+    src = f"""
+    const int N = {N};
+    void kernel(double A[restrict N][N], double B[restrict N][N], int tsteps) {{
+      for (int t = 0; t < tsteps; t++) {{
+        for (int i = 1; i < N - 1; i++)
+          for (int j = 1; j < N - 1; j++)
+            B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1] + A[i+1][j] + A[i-1][j]);
+        for (int i = 1; i < N - 1; i++)
+          for (int j = 1; j < N - 1; j++)
+            A[i][j] = 0.2 * (B[i][j] + B[i][j-1] + B[i][j+1] + B[i+1][j] + B[i-1][j]);
+      }}
+    }}
+    """
+    return _w("jacobi-2d", src, [
+        ArrayArg("A", N * N, _init(1)), ArrayArg("B", N * N, _init(2)),
+        ScalarArg("tsteps", 3),
+    ])
+
+
+ALL = [
+    gemm, two_mm, three_mm, syrk, gemver, atax, bicg, mvt, gesummv,
+    jacobi_1d, jacobi_2d, trisolv, floyd_warshall, lu, ludcmp,
+    correlation, covariance,
+]
+
+# the five kernels the paper says only versioning vectorizes (Fig. 16 text)
+VERSIONING_ONLY = {"correlation", "covariance", "floyd-warshall", "lu", "ludcmp"}
+
+
+def workloads() -> list[Workload]:
+    return [f() for f in ALL]
+
+
+__all__ = ["workloads", "ALL", "VERSIONING_ONLY", "N", "M", "L"]

@@ -1,0 +1,473 @@
+"""TSVC loops transcribed into mini-C (paper Fig. 19 workloads).
+
+TSVC declares its arrays as globals — distinct allocations our alias
+analysis disambiguates for free, just as LLVM does for the real suite —
+so versioning earns its keep on *intra-array* conflicts (s281's reversed
+read-write, s113's a[0] reuse, s131's runtime offset) rather than on
+pointer aliasing.  A subset of the 151 loops is implemented: every loop
+the paper discusses plus representatives of each vectorization category
+(plain streams, strided/reversed access, scalar expansion, reductions,
+control flow, recurrences).  Loops with true loop-carried recurrences
+(s112, s211, s221, ...) are included deliberately: no configuration may
+vectorize them, and their presence keeps the geomean honest.
+
+``as_parameters(w)`` rewrites a workload's globals into pointer
+parameters — the paper's s258 two-level-versioning experiment, where the
+compiler must additionally disambiguate the arrays themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.perf.measure import ArrayArg, ScalarArg, Workload
+
+LEN = 64
+LEN2 = 12
+
+_G1 = f"""
+const int LEN = {LEN};
+double a[LEN];
+double b[LEN];
+double c[LEN];
+double d[LEN];
+double e[LEN];
+"""
+
+_G2 = f"""
+const int LEN2 = {LEN2};
+double aa[LEN2][LEN2];
+double bb[LEN2][LEN2];
+double cc[LEN2][LEN2];
+"""
+
+
+def _initf(seed: int):
+    def f(i: int) -> float:
+        return ((i * 3 + seed * 7) % 13) / 13.0 + 0.25
+
+    return f
+
+
+def _w(name: str, body: str, use_2d: bool = False, extra_args=None,
+       init_overrides=None) -> Workload:
+    src = (_G1 + (_G2 if use_2d else "")) + body
+    ginit = {
+        "a": _initf(1), "b": _initf(2), "c": _initf(3),
+        "d": _initf(4), "e": _initf(5),
+    }
+    if use_2d:
+        ginit.update({"aa": _initf(6), "bb": _initf(7), "cc": _initf(8)})
+    if init_overrides:
+        ginit.update(init_overrides)
+    return Workload(
+        name=name,
+        source=src,
+        args=list(extra_args or []),
+        entry="kernel",
+        globals_init=ginit,
+    )
+
+
+def workloads() -> list[Workload]:
+    ws: list[Workload] = []
+
+    ws.append(_w("s000", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) a[i] = b[i] + 1.0;
+    }
+    """))
+
+    ws.append(_w("vpv", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) a[i] = a[i] + b[i];
+    }
+    """))
+
+    ws.append(_w("vtv", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) a[i] = a[i] * b[i];
+    }
+    """))
+
+    ws.append(_w("vpvtv", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) a[i] = a[i] + b[i] * c[i];
+    }
+    """))
+
+    ws.append(_w("vbor", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) {
+        double a1 = b[i];
+        double b1 = c[i];
+        double c1 = d[i];
+        a[i] = a1 * b1 * c1 + a1 * b1 + a1 * c1 + b1 * c1 + a1 + b1 + c1;
+      }
+    }
+    """))
+
+    ws.append(_w("s1111", """
+    void kernel() {
+      for (int i = 0; i < LEN / 2; i++)
+        a[2*i] = c[i] * b[i] + d[i] * b[i] + c[i] * c[i] + d[i] * b[i] + c[i] * d[i];
+    }
+    """))
+
+    # true forward recurrence: never vectorizable
+    ws.append(_w("s112", """
+    void kernel() {
+      for (int i = 0; i < LEN - 1; i++) a[i+1] = a[i] + b[i];
+    }
+    """))
+
+    # a[0] is read every iteration while a[i] is written (i >= 1)
+    ws.append(_w("s113", """
+    void kernel() {
+      for (int i = 1; i < LEN; i++) a[i] = a[0] + b[i];
+    }
+    """))
+
+    # write a[i], read a[i+1]: WAR across iterations, fine for SLP
+    ws.append(_w("s121", """
+    void kernel() {
+      for (int i = 0; i < LEN - 1; i++) a[i] = a[i+1] + b[i];
+    }
+    """))
+
+    # dependence distance 4 == VL: groups never self-conflict
+    ws.append(_w("s1221", """
+    void kernel() {
+      for (int i = 4; i < LEN; i++) b[i] = b[i-4] + a[i];
+    }
+    """))
+
+    # run-time offset m: dependence unknowable statically
+    ws.append(_w("s131", """
+    void kernel(int m) {
+      for (int i = 0; i < LEN - 1; i++) a[i] = a[i+m] + b[i];
+    }
+    """, extra_args=[ScalarArg("m", 1)]))
+
+    # scalar expansion
+    ws.append(_w("s251", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) {
+        double s = b[i] + c[i] * d[i];
+        a[i] = s * s;
+      }
+    }
+    """))
+
+    ws.append(_w("s1251", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) {
+        double s = b[i] + c[i];
+        b[i] = a[i] + d[i];
+        a[i] = s * e[i];
+      }
+    }
+    """))
+
+    # loop-carried scalar through t
+    ws.append(_w("s252", """
+    void kernel() {
+      double t = 0.0;
+      for (int i = 0; i < LEN; i++) {
+        double s = b[i] * c[i];
+        a[i] = s + t;
+        t = s;
+      }
+    }
+    """))
+
+    # the paper's s258 (Fig. 21): conditionally updated loop-carried scalar
+    ws.append(_w("s258", """
+    void kernel() {
+      double s = 0.0;
+      for (int i = 0; i < LEN; i++) {
+        if (a[i] > 0.0) { s = d[i] * d[i]; }
+        b[i] = s * c[i] + d[i];
+        e[i] = (s + 1.0) * a[i];
+      }
+    }
+    """))
+
+    # control flow: conditional store (needs if-conversion/masking)
+    ws.append(_w("s271", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) {
+        if (b[i] > 0.0) { a[i] += b[i] * c[i]; }
+      }
+    }
+    """))
+
+    # the paper's s281 (Fig. 20): reversed read-write conflict on a
+    ws.append(_w("s281", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) {
+        double x = a[LEN-i-1] + b[i] * c[i];
+        a[i] = x - 1.0;
+        b[i] = x;
+      }
+    }
+    """))
+
+    # statement reordering chains
+    ws.append(_w("s211", """
+    void kernel() {
+      for (int i = 1; i < LEN - 1; i++) {
+        a[i] = b[i-1] + c[i] * d[i];
+        b[i] = b[i+1] - e[i] * d[i];
+      }
+    }
+    """))
+
+    ws.append(_w("s221", """
+    void kernel() {
+      for (int i = 1; i < LEN; i++) {
+        a[i] = a[i] + c[i] * d[i];
+        b[i] = b[i-1] + a[i] + d[i];
+      }
+    }
+    """))
+
+    ws.append(_w("s241", """
+    void kernel() {
+      for (int i = 0; i < LEN - 1; i++) {
+        a[i] = b[i] * c[i] * d[i];
+        b[i] = a[i] * a[i+1] * d[i];
+      }
+    }
+    """))
+
+    ws.append(_w("s243", """
+    void kernel() {
+      for (int i = 0; i < LEN - 1; i++) {
+        a[i] = b[i] + c[i] * d[i];
+        b[i] = a[i] + d[i] * e[i];
+        a[i] = b[i] + a[i+1] * d[i];
+      }
+    }
+    """))
+
+    # 2D: inner loop independent rows
+    ws.append(_w("s231", """
+    void kernel() {
+      for (int i = 0; i < LEN2; i++)
+        for (int j = 1; j < LEN2; j++)
+          aa[j][i] = aa[j-1][i] + bb[j][i];
+    }
+    """, use_2d=True))
+
+    ws.append(_w("s2233", """
+    void kernel() {
+      for (int i = 1; i < LEN2; i++) {
+        for (int j = 1; j < LEN2; j++)
+          aa[j][i] = aa[j-1][i] + cc[j][i];
+        for (int j = 1; j < LEN2; j++)
+          bb[i][j] = bb[i][j-1] + cc[i][j];
+      }
+    }
+    """, use_2d=True))
+
+    # reductions
+    ws.append(_w("s311", """
+    double kernel() {
+      double sum = 0.0;
+      for (int i = 0; i < LEN; i++) sum += a[i];
+      return sum;
+    }
+    """))
+
+    ws.append(_w("s312", """
+    double kernel() {
+      double prod = 1.0;
+      for (int i = 0; i < LEN; i++) prod *= (1.0 + a[i] * 0.01);
+      return prod;
+    }
+    """))
+
+    ws.append(_w("s313", """
+    double kernel() {
+      double dot = 0.0;
+      for (int i = 0; i < LEN; i++) dot += a[i] * b[i];
+      return dot;
+    }
+    """))
+
+    ws.append(_w("s314", """
+    double kernel() {
+      double x = a[0];
+      for (int i = 0; i < LEN; i++) x = max(x, a[i]);
+      return x;
+    }
+    """))
+
+    ws.append(_w("s316", """
+    double kernel() {
+      double x = a[0];
+      for (int i = 0; i < LEN; i++) x = min(x, a[i]);
+      return x;
+    }
+    """))
+
+    # saxpy with a loop-invariant loaded coefficient
+    ws.append(_w("s351", """
+    void kernel() {
+      double alpha = c[0];
+      for (int i = 0; i < LEN; i++) a[i] += alpha * b[i];
+    }
+    """))
+
+    # induction variable in the computation (int->double casts per lane)
+    ws.append(_w("s452", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++)
+        a[i] = b[i] + c[i] * (double)(i + 1);
+    }
+    """))
+
+    # reverse-order stream (decreasing loop: stays scalar everywhere)
+    ws.append(_w("s1112", """
+    void kernel() {
+      for (int i = LEN - 1; i >= 0; i--)
+        a[i] = b[i] + 1.0;
+    }
+    """))
+
+    # triangular saxpy over the same array
+    ws.append(_w("s115", """
+    void kernel() {
+      for (int j = 0; j < LEN2; j++)
+        for (int i = j + 1; i < LEN2; i++)
+          a[i] = a[i] - aa[j][i] * a[j];
+    }
+    """, use_2d=True))
+
+    # 2D diagonal recurrence: unvectorizable inner conflict
+    ws.append(_w("s119", """
+    void kernel() {
+      for (int i = 1; i < LEN2; i++)
+        for (int j = 1; j < LEN2; j++)
+          aa[i][j] = aa[i-1][j-1] + bb[i][j];
+    }
+    """, use_2d=True))
+
+    # forward branch flow (both arms write different arrays)
+    ws.append(_w("s161", """
+    void kernel() {
+      for (int i = 0; i < LEN - 1; i++) {
+        if (b[i] < 0.0) {
+          c[i+1] = a[i] + d[i] * d[i];
+        } else {
+          a[i] = c[i] + d[i] * e[i];
+        }
+      }
+    }
+    """))
+
+    # scalar and array expansion combined
+    ws.append(_w("s253", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) {
+        if (a[i] > b[i]) {
+          double s = a[i] - b[i] * d[i];
+          c[i] += s;
+          a[i] = s;
+        }
+      }
+    }
+    """))
+
+    # loop with expensive math (unary op packs)
+    ws.append(_w("s272", """
+    void kernel(double t) {
+      for (int i = 0; i < LEN; i++) {
+        if (e[i] >= t) {
+          a[i] += c[i] * d[i];
+          b[i] += c[i] * c[i];
+        }
+      }
+    }
+    """, extra_args=[ScalarArg("t", 0.5)]))
+
+    # three conditionally updated streams
+    ws.append(_w("s274", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++) {
+        a[i] = c[i] + e[i] * d[i];
+        if (a[i] > 0.0) {
+          b[i] = a[i] + b[i];
+        } else {
+          a[i] = d[i] * e[i];
+        }
+      }
+    }
+    """))
+
+    # if-to-else value selection (select idiom)
+    ws.append(_w("s293", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++)
+        a[i] = a[0] > 0.0 ? b[i] : c[i];
+    }
+    """))
+
+    # unary intrinsics per lane
+    ws.append(_w("s351x", """
+    void kernel() {
+      for (int i = 0; i < LEN; i++)
+        a[i] = sqrt(b[i] * b[i] + c[i] * c[i]);
+    }
+    """))
+
+    return ws
+
+
+def s258_parameter_variant() -> Workload:
+    """The paper's second s258 experiment: arrays become pointer
+    parameters, so speculating on ``a[i] > 0`` additionally requires
+    hoisting the loads of ``a`` past the stores to ``b``/``e`` — a second
+    level of versioning whose checks must be hoisted out of the loop."""
+    src = f"""
+    const int LEN = {LEN};
+    void kernel(double *a, double *b, double *c, double *d, double *e) {{
+      double s = 0.0;
+      for (int i = 0; i < LEN; i++) {{
+        if (a[i] > 0.0) {{ s = d[i] * d[i]; }}
+        b[i] = s * c[i] + d[i];
+        e[i] = (s + 1.0) * a[i];
+      }}
+    }}
+    """
+    return Workload(
+        name="s258-params",
+        source=src,
+        args=[
+            ArrayArg("a", LEN, _initf(1)),
+            ArrayArg("b", LEN, _initf(2)),
+            ArrayArg("c", LEN, _initf(3)),
+            ArrayArg("d", LEN, _initf(4)),
+            ArrayArg("e", LEN, _initf(5)),
+        ],
+        entry="kernel",
+    )
+
+
+def s258_biased(positive_fraction: float = 0.995) -> Workload:
+    """s258 with ``a`` initialized so >99% of entries are positive (the
+    paper's 2.0x speculation experiment)."""
+    def init_a(i: int) -> float:
+        return -1.0 if (i * 2654435761 % 1000) / 1000.0 > positive_fraction else 1.0 + i % 5
+
+    base = [w for w in workloads() if w.name == "s258"][0]
+    return replace(base, name="s258-biased",
+                   globals_init={**base.globals_init, "a": init_a})
+
+
+# loops the paper's Fig. 19 text says only versioning vectorizes
+VERSIONING_ONLY = {"s281", "s113", "s131", "s121"}
+
+__all__ = ["workloads", "s258_parameter_variant", "s258_biased",
+           "VERSIONING_ONLY", "LEN", "LEN2"]

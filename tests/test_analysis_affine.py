@@ -1,0 +1,246 @@
+"""Tests for affine expressions, add-recurrences, and trip counts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Affine,
+    addrec_of,
+    affine_of,
+    difference,
+    is_invariant,
+    mu_step,
+    trip_count_affine,
+)
+from repro.ir import (
+    INT,
+    PTR,
+    Argument,
+    Function,
+    IRBuilder,
+    Module,
+    const_int,
+)
+
+
+def setup_fn(args=("p", "n")):
+    m = Module("t")
+    types = {"p": PTR, "q": PTR}
+    fn = m.add_function(
+        Function("f", [Argument(a, types.get(a, INT)) for a in args])
+    )
+    return m, fn, IRBuilder(fn)
+
+
+class TestAffine:
+    def test_constant(self):
+        a = Affine.constant(5)
+        assert a.is_constant() and a.const == 5
+
+    def test_add_sub_cancel(self):
+        _, fn, b = setup_fn()
+        n = fn.args[1]
+        x = Affine.symbol(n).add(Affine.constant(3))
+        y = Affine.symbol(n).add(Affine.constant(1))
+        assert difference(x, y) == 2
+
+    def test_scale(self):
+        _, fn, _ = setup_fn()
+        n = fn.args[1]
+        a = Affine.symbol(n).scale(3)
+        assert a.coeff(n) == 3
+
+    def test_scale_zero_clears(self):
+        _, fn, _ = setup_fn()
+        n = fn.args[1]
+        assert Affine.symbol(n).scale(0).is_constant()
+
+    def test_difference_symbolic_none(self):
+        _, fn, b = setup_fn(args=("p", "n", "m"))
+        n, m_ = fn.args[1], fn.args[2]
+        assert difference(Affine.symbol(n), Affine.symbol(m_)) is None
+
+    def test_eq_hash(self):
+        _, fn, _ = setup_fn()
+        n = fn.args[1]
+        a = Affine({n: 2}, 1)
+        b = Affine({n: 2}, 1)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestAffineOf:
+    def test_linear_expression(self):
+        _, fn, b = setup_fn()
+        n = fn.args[1]
+        # 3*n + 5 via IR
+        t = b.mul(n, const_int(3))
+        e = b.add(t, const_int(5))
+        aff = affine_of(e)
+        assert aff.coeff(n) == 3 and aff.const == 5
+
+    def test_sub_and_neg(self):
+        _, fn, b = setup_fn()
+        n = fn.args[1]
+        e = b.sub(const_int(10), n)
+        aff = affine_of(e)
+        assert aff.coeff(n) == -1 and aff.const == 10
+
+    def test_shl_as_scale(self):
+        _, fn, b = setup_fn()
+        n = fn.args[1]
+        e = b.binop("shl", n, const_int(2))
+        assert affine_of(e).coeff(n) == 4
+
+    def test_nonlinear_is_opaque(self):
+        _, fn, b = setup_fn(args=("p", "n", "m"))
+        n, m_ = fn.args[1], fn.args[2]
+        e = b.mul(n, m_)
+        aff = affine_of(e)
+        assert aff.coeff(e) == 1  # the mul itself is the symbol
+
+    def test_ptradd_combines(self):
+        _, fn, b = setup_fn()
+        p, n = fn.args
+        e = b.ptradd(p, b.add(n, const_int(2)))
+        aff = affine_of(e)
+        assert aff.coeff(p) == 1 and aff.coeff(n) == 1 and aff.const == 2
+
+    def test_exactness_random(self):
+        """affine_of result evaluates to the same number as the IR."""
+        _, fn, b = setup_fn()
+        n = fn.args[1]
+        e = b.add(b.mul(b.sub(n, const_int(2)), const_int(4)), const_int(7))
+        aff = affine_of(e)
+        for val in (-3, 0, 11):
+            expect = (val - 2) * 4 + 7
+            got = aff.const + aff.coeff(n) * val
+            assert got == expect
+
+
+def canonical_loop(b, fn, n_val=10, step=1, start=0):
+    loop = b.make_loop("L")
+    i = b.mu(loop, const_int(start), name="i")
+    with b.at(loop):
+        nxt = b.add(i, const_int(step))
+        cond = b.cmp("lt", nxt, fn.args[1] if n_val is None else const_int(n_val))
+    i.set_rec(nxt)
+    loop.set_cont(cond)
+    return loop, i, nxt
+
+
+class TestAddRec:
+    def test_basic_iv(self):
+        _, fn, b = setup_fn()
+        loop, i, nxt = canonical_loop(b, fn)
+        rec = addrec_of(i, loop)
+        assert rec is not None
+        assert rec.base.is_constant() and rec.base.const == 0
+        assert rec.step.is_constant() and rec.step.const == 1
+
+    def test_scaled_iv(self):
+        _, fn, b = setup_fn()
+        loop, i, nxt = canonical_loop(b, fn)
+        with b.at(loop):
+            e = b.add(b.mul(i, const_int(4)), const_int(100))
+        rec = addrec_of(e, loop)
+        assert rec.base.const == 100 and rec.step.const == 4
+
+    def test_mu_step(self):
+        _, fn, b = setup_fn()
+        loop, i, nxt = canonical_loop(b, fn, step=3)
+        s = mu_step(i)
+        assert s is not None and s.const == 3
+
+    def test_non_affine_recurrence_rejected(self):
+        _, fn, b = setup_fn()
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(1), name="i")
+        with b.at(loop):
+            nxt = b.mul(i, const_int(2))  # geometric, not affine
+            cond = b.cmp("lt", nxt, const_int(100))
+        i.set_rec(nxt)
+        loop.set_cont(cond)
+        assert mu_step(i) is None
+        assert addrec_of(i, loop) is None
+
+    def test_loop_variant_symbol_rejected(self):
+        m, fn, b = setup_fn()
+        p = fn.args[0]
+        loop, i, nxt = canonical_loop(b, fn)
+        with b.at(loop):
+            x = b.load(b.ptradd(p, i))  # loop-variant non-IV
+            e = b.add(i, b.cast(x, INT))
+        assert addrec_of(e, loop) is None
+
+    def test_invariant_symbol_in_base(self):
+        _, fn, b = setup_fn()
+        n = fn.args[1]
+        loop, i, nxt = canonical_loop(b, fn)
+        with b.at(loop):
+            e = b.add(i, n)
+        rec = addrec_of(e, loop)
+        assert rec is not None and rec.base.coeff(n) == 1
+
+
+class TestTripCount:
+    def test_constant_bound(self):
+        _, fn, b = setup_fn()
+        loop, i, nxt = canonical_loop(b, fn, n_val=10)
+        tc = trip_count_affine(loop)
+        assert tc is not None and tc.is_constant() and tc.const == 10
+
+    def test_symbolic_bound(self):
+        _, fn, b = setup_fn()
+        n = fn.args[1]
+        loop, i, nxt = canonical_loop(b, fn, n_val=None)
+        tc = trip_count_affine(loop)
+        assert tc is not None and tc.coeff(n) == 1 and tc.const == 0
+
+    def test_le_bound(self):
+        _, fn, b = setup_fn()
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0), name="i")
+        with b.at(loop):
+            nxt = b.add(i, const_int(1))
+            cond = b.cmp("le", nxt, const_int(10))
+        i.set_rec(nxt)
+        loop.set_cont(cond)
+        tc = trip_count_affine(loop)
+        assert tc.const == 11
+
+    def test_non_unit_step_rejected(self):
+        _, fn, b = setup_fn()
+        loop, i, nxt = canonical_loop(b, fn, step=2)
+        assert trip_count_affine(loop) is None
+
+    def test_variant_bound_rejected(self):
+        m, fn, b = setup_fn()
+        p = fn.args[0]
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0), name="i")
+        with b.at(loop):
+            x = b.load(b.ptradd(p, i))
+            nxt = b.add(i, const_int(1))
+            cond = b.cmp("lt", nxt, b.cast(x, INT))
+        i.set_rec(nxt)
+        loop.set_cont(cond)
+        assert trip_count_affine(loop) is None
+
+
+@given(
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+)
+def test_affine_ring_laws(c1, k1, c2, k2):
+    m = Module("t")
+    fn = m.add_function(Function("f", [Argument("n", INT)]))
+    n = fn.args[0]
+    a = Affine({n: k1}, c1)
+    b = Affine({n: k2}, c2)
+    assert a.add(b) == b.add(a)
+    assert a.sub(b) == a.add(b.scale(-1))
+    assert a.add(b).sub(b) == a
+    assert a.scale(3).coeff(n) == 3 * k1

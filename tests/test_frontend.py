@@ -1,0 +1,422 @@
+"""End-to-end front-end tests: mini-C -> predicated SSA -> interpreter."""
+
+import math
+
+import pytest
+
+from repro.frontend import LoweringError, ParseError, compile_c, parse, tokenize
+from repro.frontend.lexer import LexError
+from repro.interp import Interpreter
+from repro.ir import verify_module
+
+
+def run(source, fn="f", args=(), arrays=None, mem_out=None, externals=None):
+    """Compile, run, and return (result, interpreter).
+
+    ``arrays`` maps arg-name -> list of initial values; those args get
+    allocated in memory and their base addresses passed.
+    """
+    m = compile_c(source)
+    verify_module(m)
+    interp = Interpreter(m, externals=externals)
+    func = m.functions[fn]
+    argv = []
+    bases = {}
+    for a in func.args:
+        if arrays and a.name in arrays:
+            data = arrays[a.name]
+            base = interp.memory.alloc(len(data), a.name)
+            interp.memory.write_array(base, data)
+            bases[a.name] = base
+            argv.append(base)
+        else:
+            argv.append((args or {}).get(a.name, 0) if isinstance(args, dict) else 0)
+    if isinstance(args, (list, tuple)) and args:
+        argv = list(args)
+    res = interp.run(func, argv)
+    return res, interp, bases
+
+
+class TestLexer:
+    def test_tokens_basic(self):
+        toks = tokenize("int x = 42; // comment\n double y;")
+        texts = [t.text for t in toks if t.kind != "eof"]
+        assert texts == ["int", "x", "=", "42", ";", "double", "y", ";"]
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 2e3 .5 1.0f")
+        kinds = [t.kind for t in toks[:-1]]
+        assert kinds == ["float", "float", "float", "float"]
+
+    def test_block_comment(self):
+        toks = tokenize("a /* stuff \n more */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_two_char_symbols(self):
+        toks = tokenize("a<=b&&c!=d")
+        assert [t.text for t in toks[:-1]] == ["a", "<=", "b", "&&", "c", "!=", "d"]
+
+    def test_bad_char(self):
+        with pytest.raises(LexError):
+            tokenize("int @x;")
+
+
+class TestParser:
+    def test_function_with_params(self):
+        prog = parse("void f(double *a, double * restrict b, int n) { }")
+        f = prog.functions[0]
+        assert [p.name for p in f.params] == ["a", "b", "n"]
+        assert f.params[1].ctype.restrict
+        assert not f.params[0].ctype.restrict
+
+    def test_array_param_dims(self):
+        prog = parse("const int N = 8;\nvoid f(double A[N][N]) { }")
+        p = prog.functions[0].params[0]
+        assert p.ctype.dims == (8, 8)
+
+    def test_global_array(self):
+        prog = parse("const int N = 4;\ndouble a[N + 1];\nvoid f() { }")
+        assert prog.globals[1].ctype.dims == (5,)
+
+    def test_const_expr_arith(self):
+        prog = parse("const int N = 3;\nconst int M = N * N + 1;\nvoid f() {}")
+        assert prog.globals[1].const_value == 10
+
+    def test_extern_attrs(self):
+        prog = parse("extern double g(double) __pure;\nvoid f() {}")
+        assert prog.externs[0].pure
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int x = 1 }")
+
+    def test_for_with_decl_init(self):
+        prog = parse("void f() { for (int i = 0; i < 3; i++) { } }")
+        assert prog.functions[0].body[0].init is not None
+
+    def test_unknown_const_in_dim(self):
+        with pytest.raises(ParseError):
+            parse("double a[K]; void f() {}")
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        res, _, _ = run("double f() { return (1.0 + 2.0) * 3.0 - 4.0 / 2.0; }")
+        assert res.return_value == 7.0
+
+    def test_int_arith_and_promotion(self):
+        res, _, _ = run("double f() { int i = 7; return i / 2 + 0.5; }")
+        assert res.return_value == 3.5
+
+    def test_modulo(self):
+        res, _, _ = run("int f() { return 17 % 5; }")
+        assert res.return_value == 2
+
+    def test_unary_minus(self):
+        res, _, _ = run("double f() { double x = 3.0; return -x; }")
+        assert res.return_value == -3.0
+
+    def test_ternary(self):
+        res, _, _ = run("double f() { int i = 3; return i > 2 ? 1.0 : 2.0; }")
+        assert res.return_value == 1.0
+
+    def test_logical_ops(self):
+        src = "int f() { int a = 1; int b = 0; int r = 0; if (a && !b) { r = 5; } return r; }"
+        res, _, _ = run(src)
+        assert res.return_value == 5
+
+    def test_math_builtins(self):
+        res, _, _ = run("double f() { return sqrt(16.0) + fabs(-2.0) + pow(2.0, 3.0); }")
+        assert res.return_value == pytest.approx(4 + 2 + 8)
+
+    def test_cast(self):
+        res, _, _ = run("int f() { double x = 3.9; return (int) x; }")
+        assert res.return_value == 3
+
+    def test_comparison_chain(self):
+        res, _, _ = run("int f() { int x = 0; if (1 < 2 && 2 <= 2 && 3 != 4) { x = 9; } return x; }")
+        assert res.return_value == 9
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = """
+        double f(double x) {
+          double r = 0.0;
+          if (x > 0.0) { r = 1.0; } else { r = -1.0; }
+          return r;
+        }
+        """
+        res, _, _ = run(src, args=[5.0])
+        assert res.return_value == 1.0
+        res, _, _ = run(src, args=[-5.0])
+        assert res.return_value == -1.0
+
+    def test_if_without_else(self):
+        src = "double f(double x) { double r = 7.0; if (x > 0.0) r = 1.0; return r; }"
+        assert run(src, args=[1.0])[0].return_value == 1.0
+        assert run(src, args=[-1.0])[0].return_value == 7.0
+
+    def test_nested_if(self):
+        src = """
+        int f(int x) {
+          int r = 0;
+          if (x > 0) { if (x > 10) { r = 2; } else { r = 1; } }
+          return r;
+        }
+        """
+        assert run(src, args=[20])[0].return_value == 2
+        assert run(src, args=[5])[0].return_value == 1
+        assert run(src, args=[-1])[0].return_value == 0
+
+    def test_for_sum(self):
+        src = """
+        double f(double *a, int n) {
+          double s = 0.0;
+          for (int i = 0; i < n; i++) { s += a[i]; }
+          return s;
+        }
+        """
+        res, interp, bases = run(src, arrays={"a": [1.0, 2.0, 3.0]}, args=None)
+        # need n: rebuild argv manually
+        m = compile_c(src)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(3)
+        interp.memory.write_array(base, [1.0, 2.0, 3.0])
+        assert interp.run(m["f"], [base, 3]).return_value == 6.0
+
+    def test_zero_trip_for(self):
+        src = """
+        double f(int n) {
+          double s = 5.0;
+          for (int i = 0; i < n; i++) { s += 1.0; }
+          return s;
+        }
+        """
+        assert run(src, args=[0])[0].return_value == 5.0
+
+    def test_while(self):
+        src = """
+        int f(int n) {
+          int i = 0;
+          int c = 0;
+          while (i < n) { i = i + 2; c = c + 1; }
+          return c;
+        }
+        """
+        assert run(src, args=[7])[0].return_value == 4
+
+    def test_nested_loops_triangular(self):
+        src = """
+        int f(int n) {
+          int c = 0;
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j <= i; j++)
+              c = c + 1;
+          return c;
+        }
+        """
+        assert run(src, args=[5])[0].return_value == 15
+
+    def test_loop_with_if_inside(self):
+        src = """
+        int f(int n) {
+          int c = 0;
+          for (int i = 0; i < n; i++) {
+            if (i % 2 == 0) { c = c + 1; }
+          }
+          return c;
+        }
+        """
+        assert run(src, args=[10])[0].return_value == 5
+
+    def test_scalar_carried_through_condition(self):
+        """s258-style pattern: a conditionally updated loop-carried scalar."""
+        src = """
+        double f(double *a, double *d, int n) {
+          double s = 0.0;
+          double acc = 0.0;
+          for (int i = 0; i < n; i++) {
+            if (a[i] > 0.0) { s = d[i] * d[i]; }
+            acc += s;
+          }
+          return acc;
+        }
+        """
+        m = compile_c(src)
+        interp = Interpreter(m)
+        a = interp.memory.alloc(4)
+        d = interp.memory.alloc(4)
+        interp.memory.write_array(a, [1.0, -1.0, 1.0, -1.0])
+        interp.memory.write_array(d, [2.0, 3.0, 4.0, 5.0])
+        # s: 4, 4, 16, 16 -> acc = 40
+        assert interp.run(m["f"], [a, d, 4]).return_value == 40.0
+
+
+class TestArrays:
+    def test_1d_store_load(self):
+        src = """
+        void f(double *a, int n) {
+          for (int i = 0; i < n; i++) a[i] = i * 2.0;
+        }
+        """
+        m = compile_c(src)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(4)
+        interp.run(m["f"], [base, 4])
+        assert interp.memory.read_array(base, 4) == [0.0, 2.0, 4.0, 6.0]
+
+    def test_2d_param_array(self):
+        src = """
+        const int N = 3;
+        void f(double A[N][N]) {
+          for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++)
+              A[i][j] = i * 10.0 + j;
+        }
+        """
+        m = compile_c(src)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(9)
+        interp.run(m["f"], [base])
+        assert interp.memory.read_array(base, 9) == [0, 1, 2, 10, 11, 12, 20, 21, 22]
+
+    def test_global_array(self):
+        src = """
+        const int N = 4;
+        double g[N];
+        double f() {
+          for (int i = 0; i < N; i++) g[i] = 1.0;
+          double s = 0.0;
+          for (int i = 0; i < N; i++) s += g[i];
+          return s;
+        }
+        """
+        res, _, _ = run(src)
+        assert res.return_value == 4.0
+
+    def test_local_array(self):
+        src = """
+        double f() {
+          double buf[8];
+          for (int i = 0; i < 8; i++) buf[i] = i;
+          return buf[5];
+        }
+        """
+        assert run(src)[0].return_value == 5.0
+
+    def test_compound_assign_element(self):
+        src = """
+        double f() {
+          double buf[2];
+          buf[0] = 3.0;
+          buf[0] += 4.0;
+          buf[0] *= 2.0;
+          return buf[0];
+        }
+        """
+        assert run(src)[0].return_value == 14.0
+
+    def test_in_place_update_aliasing(self):
+        """Reads and writes to the same array observe each other."""
+        src = """
+        void f(double *a, int n) {
+          for (int i = 1; i < n; i++) a[i] = a[i-1] + 1.0;
+        }
+        """
+        m = compile_c(src)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(4)
+        interp.memory.write_array(base, [5.0, 0.0, 0.0, 0.0])
+        interp.run(m["f"], [base, 4])
+        assert interp.memory.read_array(base, 4) == [5.0, 6.0, 7.0, 8.0]
+
+
+class TestCalls:
+    def test_extern_call(self):
+        src = """
+        extern double getval(void) __pure;
+        double f() { return getval() + 1.0; }
+        """
+        res, _, _ = run(src, externals={"getval": lambda i, m, a: 41.0})
+        assert res.return_value == 42.0
+
+    def test_extern_effects(self):
+        src = """
+        extern void clobber(void);
+        extern double peek(void) __readonly;
+        void f() { clobber(); }
+        """
+        m = compile_c(src)
+        calls = [i for i in m["f"].instructions() if i.opcode == "call"]
+        assert calls[0].may_read() and calls[0].may_write()
+
+    def test_undeclared_call_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_c("void f() { mystery(); }")
+
+
+class TestErrors:
+    def test_undeclared_var(self):
+        with pytest.raises(LoweringError):
+            compile_c("void f() { x = 1; }")
+
+    def test_conditional_return_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_c("int f(int x) { if (x > 0) return 1; return 0; }")
+
+    def test_statements_after_return_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_c("int f() { return 1; int x = 2; }")
+
+    def test_wrong_index_count(self):
+        with pytest.raises(LoweringError):
+            compile_c("const int N = 2;\nvoid f(double A[N][N]) { A[0] = 1.0; }")
+
+
+class TestRunningExample:
+    """The paper's Fig. 1 snippet compiles and behaves correctly."""
+
+    SRC = """
+    extern void cold_func(void);
+    void f(double *X, double *Y) {
+      Y[0] = 0.0;
+      if (X[0] != 0.0) cold_func();
+      Y[1] = 0.0;
+    }
+    """
+
+    def test_no_alias_no_call(self):
+        m = compile_c(self.SRC)
+        interp = Interpreter(m)
+        x = interp.memory.alloc(1)
+        y = interp.memory.alloc(2)
+        interp.memory.write_array(x, [0.0])
+        interp.memory.write_array(y, [7.0, 7.0])
+        res = interp.run(m["f"], [x, y])
+        assert interp.memory.read_array(y, 2) == [0.0, 0.0]
+        assert res.counters.calls == 0
+
+    def test_call_taken_when_x_nonzero(self):
+        m = compile_c(self.SRC)
+        interp = Interpreter(m)
+        x = interp.memory.alloc(1)
+        y = interp.memory.alloc(2)
+        interp.memory.write_array(x, [1.0])
+        res = interp.run(m["f"], [x, y])
+        assert res.counters.calls == 1
+
+    def test_aliased_pointers(self):
+        """X == Y+1: the first store feeds the load."""
+        m = compile_c(self.SRC)
+        interp = Interpreter(m)
+        y = interp.memory.alloc(2)
+        x = y  # X aliases Y[0]
+        interp.memory.write_array(y, [3.0, 3.0])
+        res = interp.run(m["f"], [x, y])
+        # Y[0]=0 first, then load X (==Y[0]) reads 0 -> no call
+        assert res.counters.calls == 0

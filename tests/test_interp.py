@@ -1,0 +1,419 @@
+"""Tests for the interpreter, memory model, and cost model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.interp import Counters, Interpreter, InterpreterError, Memory, StepLimitExceeded
+from repro.interp.memory import MemoryError_
+from repro.ir import (
+    FLOAT,
+    INT,
+    PTR,
+    Argument,
+    Function,
+    IRBuilder,
+    Module,
+    Predicate,
+    const_float,
+    const_int,
+    verify_function,
+)
+
+
+def fresh(args=("X", "Y")):
+    m = Module("t")
+    fn = m.add_function(Function("f", [Argument(a, PTR) for a in args]))
+    return m, fn, IRBuilder(fn)
+
+
+class TestMemory:
+    def test_alloc_disjoint(self):
+        mem = Memory(1024)
+        a = mem.alloc(10)
+        b = mem.alloc(10)
+        assert b >= a + 10
+
+    def test_store_load_roundtrip(self):
+        mem = Memory(1024)
+        a = mem.alloc(4)
+        mem.store(a + 2, 7.5)
+        assert mem.load(a + 2) == 7.5
+
+    def test_block_ops(self):
+        mem = Memory(1024)
+        a = mem.alloc(8)
+        mem.store_block(a, [1, 2, 3, 4])
+        assert mem.load_block(a, 4) == [1, 2, 3, 4]
+
+    def test_oob_raises(self):
+        mem = Memory(64)
+        a = mem.alloc(4)
+        with pytest.raises(MemoryError_):
+            mem.load(a + 1000)
+
+    def test_out_of_memory(self):
+        mem = Memory(32)
+        with pytest.raises(MemoryError_):
+            mem.alloc(100)
+
+    def test_overlapping_views_alias(self):
+        """Pointers are raw addresses: overlapping views see each other."""
+        mem = Memory(128)
+        a = mem.alloc(16)
+        b = a + 8  # overlapping 'array'
+        mem.store(b, 42.0)
+        assert mem.load(a + 8) == 42.0
+
+
+class TestScalarExecution:
+    def test_store_then_load(self):
+        m, fn, b = fresh()
+        X = fn.args[0]
+        p = b.ptradd(X, const_int(3))
+        b.store(p, const_float(2.5))
+        v = b.load(b.ptradd(X, const_int(3)))
+        fn.set_return(v)
+        verify_function(fn)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(8)
+        res = interp.run(fn, [base, 0])
+        assert res.return_value == 2.5
+
+    def test_arith(self):
+        m, fn, b = fresh(args=())
+        t = b.add(const_float(1.5), const_float(2.0))
+        t = b.mul(t, const_float(2.0))
+        t = b.sub(t, const_float(1.0))
+        fn.set_return(t)
+        res = Interpreter(m).run(fn, [])
+        assert res.return_value == 6.0
+
+    def test_int_division_truncates_toward_zero(self):
+        m, fn, b = fresh(args=())
+        q = b.div(const_int(-7), const_int(2))
+        fn.set_return(q)
+        assert Interpreter(m).run(fn, []).return_value == -3
+
+    def test_rem_matches_c(self):
+        m, fn, b = fresh(args=())
+        r = b.binop("rem", const_int(-7), const_int(2))
+        fn.set_return(r)
+        assert Interpreter(m).run(fn, []).return_value == -1
+
+    def test_select(self):
+        m, fn, b = fresh(args=())
+        c = b.cmp("lt", const_int(1), const_int(2))
+        s = b.select(c, const_float(10.0), const_float(20.0))
+        fn.set_return(s)
+        assert Interpreter(m).run(fn, []).return_value == 10.0
+
+    def test_predicated_store_skipped(self):
+        m, fn, b = fresh()
+        X = fn.args[0]
+        c = b.cmp("lt", const_int(2), const_int(1))  # false
+        with b.under(c):
+            b.store(b.ptradd(X, const_int(0)), const_float(9.0))
+        v = b.load(b.ptradd(X, const_int(0)))
+        fn.set_return(v)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(4)
+        assert interp.run(fn, [base, 0]).return_value == 0.0
+
+    def test_predicated_store_taken(self):
+        m, fn, b = fresh()
+        X = fn.args[0]
+        c = b.cmp("lt", const_int(1), const_int(2))  # true
+        with b.under(c):
+            b.store(b.ptradd(X, const_int(0)), const_float(9.0))
+        v = b.load(b.ptradd(X, const_int(0)))
+        fn.set_return(v)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(4)
+        assert interp.run(fn, [base, 0]).return_value == 9.0
+
+    def test_phi_selects_matching_edge(self):
+        m, fn, b = fresh(args=())
+        c = b.cmp("lt", const_int(5), const_int(3))  # false
+        t = b.add(const_float(1.0), const_float(1.0))
+        with b.under(c, negated=True):
+            e = b.add(const_float(2.0), const_float(3.0))
+        phi = b.phi([(t, Predicate.of(c)), (e, Predicate.of(c, True))])
+        fn.set_return(phi)
+        assert Interpreter(m).run(fn, []).return_value == 5.0
+
+    def test_alloca(self):
+        m, fn, b = fresh(args=())
+        buf = b.alloca(8, name="buf")
+        b.store(b.ptradd(buf, const_int(1)), const_float(4.0))
+        v = b.load(b.ptradd(buf, const_int(1)))
+        fn.set_return(v)
+        assert Interpreter(m).run(fn, []).return_value == 4.0
+
+    def test_missing_external_raises(self):
+        m, fn, b = fresh(args=())
+        b.call("does_not_exist")
+        with pytest.raises(InterpreterError):
+            Interpreter(m).run(fn, [])
+
+    def test_external_call_executes(self):
+        m, fn, b = fresh(args=())
+        r = b.call("fortytwo", [], ret_type=INT, name="r")
+        fn.set_return(r)
+        interp = Interpreter(m, externals={"fortytwo": lambda i, mem, a: 42})
+        assert interp.run(fn, []).return_value == 42
+
+    def test_wrong_arity_rejected(self):
+        m, fn, b = fresh()
+        with pytest.raises(InterpreterError):
+            Interpreter(m).run(fn, [1])
+
+
+class TestLoops:
+    def _sum_loop(self, n):
+        """sum of X[0..n) -- do-while with entry guard."""
+        m, fn, b = fresh(args=("X",))
+        X = fn.args[0]
+        entry = b.cmp("lt", const_int(0), const_int(n), branch=True)
+        with b.under(entry):
+            loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0), name="i")
+        s = b.mu(loop, const_float(0.0), name="s")
+        with b.at(loop, Predicate.true()):
+            v = b.load(b.ptradd(X, i))
+            s2 = b.add(s, v)
+            nxt = b.add(i, const_int(1))
+            cond = b.cmp("lt", nxt, const_int(n), branch=True)
+        i.set_rec(nxt)
+        s.set_rec(s2)
+        loop.set_cont(cond)
+        with b.under(entry):
+            out = b.eta(loop, s2, name="sum")
+        final = b.phi([(out, Predicate.of(entry)), (const_float(0.0), Predicate.of(entry, True))])
+        fn.set_return(final)
+        verify_function(fn)
+        return m, fn
+
+    def test_sum_loop(self):
+        m, fn = self._sum_loop(5)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(8)
+        interp.memory.write_array(base, [1.0, 2.0, 3.0, 4.0, 5.0])
+        res = interp.run(fn, [base])
+        assert res.return_value == 15.0
+
+    def test_zero_trip_loop_not_entered(self):
+        m, fn = self._sum_loop(0)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(8)
+        res = interp.run(fn, [base])
+        assert res.return_value == 0.0
+        assert res.counters.backedges == 0
+
+    def test_backedges_counted(self):
+        m, fn = self._sum_loop(5)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(8)
+        res = interp.run(fn, [base])
+        assert res.counters.backedges == 5
+
+    def test_nested_loop(self):
+        """for i in 0..3: for j in 0..4: X[i*4+j] = i*10 + j"""
+        m, fn, b = fresh(args=("X",))
+        X = fn.args[0]
+        outer = b.make_loop("outer")
+        i = b.mu(outer, const_int(0), name="i")
+        with b.at(outer):
+            inner = b.make_loop("inner")
+            j = b.mu(inner, const_int(0), name="j")
+            with b.at(inner):
+                addr = b.ptradd(X, b.add(b.mul(i, const_int(4)), j))
+                val = b.add(b.mul(i, const_int(10)), j)
+                b.store(addr, val)
+                jn = b.add(j, const_int(1))
+                jc = b.cmp("lt", jn, const_int(4), branch=True)
+            j.set_rec(jn)
+            inner.set_cont(jc)
+            inx = b.add(i, const_int(1))
+            ic = b.cmp("lt", inx, const_int(3), branch=True)
+        i.set_rec(inx)
+        outer.set_cont(ic)
+        verify_function(fn)
+        interp = Interpreter(m)
+        base = interp.memory.alloc(12)
+        interp.run(fn, [base])
+        expect = [i * 10 + j for i in range(3) for j in range(4)]
+        assert interp.memory.read_array(base, 12) == expect
+
+    def test_step_limit(self):
+        m, fn, b = fresh(args=())
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0))
+        with b.at(loop):
+            nxt = b.add(i, const_int(1))
+            cond = b.cmp("lt", const_int(0), const_int(1))  # always true
+        i.set_rec(nxt)
+        loop.set_cont(cond)
+        interp = Interpreter(m, max_steps=1000)
+        with pytest.raises(StepLimitExceeded):
+            interp.run(fn, [])
+
+
+class TestVectors:
+    def test_vload_vstore_roundtrip(self):
+        m, fn, b = fresh(args=("X", "Y"))
+        X, Y = fn.args
+        v = b.vload(b.ptradd(X, const_int(0)), 4)
+        b.vstore(b.ptradd(Y, const_int(0)), v)
+        interp = Interpreter(m)
+        x = interp.memory.alloc(4)
+        y = interp.memory.alloc(4)
+        interp.memory.write_array(x, [1.0, 2.0, 3.0, 4.0])
+        interp.run(fn, [x, y])
+        assert interp.memory.read_array(y, 4) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_vector_arith_matches_scalar(self):
+        m, fn, b = fresh(args=("X", "Y"))
+        X, Y = fn.args
+        a = b.vload(b.ptradd(X, const_int(0)), 4)
+        bb = b.vload(b.ptradd(X, const_int(4)), 4)
+        s = b.vbin("mul", a, bb)
+        b.vstore(b.ptradd(Y, const_int(0)), s)
+        interp = Interpreter(m)
+        x = interp.memory.alloc(8)
+        y = interp.memory.alloc(4)
+        interp.memory.write_array(x, [1, 2, 3, 4, 10, 20, 30, 40])
+        interp.run(fn, [x, y])
+        assert interp.memory.read_array(y, 4) == [10, 40, 90, 160]
+
+    def test_buildvec_extract(self):
+        m, fn, b = fresh(args=())
+        v = b.buildvec([const_float(1.0), const_float(2.0), const_float(3.0)])
+        e = b.extract(v, 2)
+        fn.set_return(e)
+        assert Interpreter(m).run(fn, []).return_value == 3.0
+
+    def test_shuffle_two_vectors(self):
+        m, fn, b = fresh(args=())
+        a = b.buildvec([const_float(0.0), const_float(1.0)])
+        c = b.buildvec([const_float(2.0), const_float(3.0)])
+        sh = b.shuffle(a, c, [3, 0])
+        e0 = b.extract(sh, 0)
+        fn.set_return(e0)
+        assert Interpreter(m).run(fn, []).return_value == 3.0
+
+    def test_broadcast(self):
+        m, fn, b = fresh(args=())
+        v = b.broadcast(const_float(7.0), 4)
+        e = b.extract(v, 3)
+        fn.set_return(e)
+        assert Interpreter(m).run(fn, []).return_value == 7.0
+
+    def test_reduce_add(self):
+        m, fn, b = fresh(args=())
+        v = b.buildvec([const_float(x) for x in (1.0, 2.0, 3.0, 4.0)])
+        r = b.reduce("add", v)
+        fn.set_return(r)
+        assert Interpreter(m).run(fn, []).return_value == 10.0
+
+    def test_vselect(self):
+        m, fn, b = fresh(args=())
+        mask = b.vcmp("lt", b.buildvec([const_float(1.0), const_float(5.0)]),
+                      b.broadcast(const_float(3.0), 2))
+        sel = b.vselect(mask,
+                        b.broadcast(const_float(1.0), 2),
+                        b.broadcast(const_float(0.0), 2))
+        r = b.reduce("add", sel)
+        fn.set_return(r)
+        assert Interpreter(m).run(fn, []).return_value == 1.0
+
+
+class TestCostAndCounters:
+    def test_vector_op_cheaper_than_scalars(self):
+        """4 scalar adds cost more than 1 vector add: the premise of SLP."""
+
+        def scalar_version():
+            m, fn, b = fresh(args=())
+            for i in range(4):
+                b.add(const_float(i), const_float(1.0))
+            return m, fn
+
+        def vector_version():
+            m, fn, b = fresh(args=())
+            a = b.broadcast(const_float(1.0), 4)
+            b.vbin("add", a, a)
+            return m, fn
+
+        ms, fs = scalar_version()
+        mv, fv = vector_version()
+        cs = Interpreter(ms).run(fs, []).cycles
+        cv = Interpreter(mv).run(fv, []).cycles
+        assert cs > cv - 1e-9 and cs >= 4.0
+
+    def test_branch_counter(self):
+        m, fn, b = fresh(args=())
+        b.cmp("lt", const_int(0), const_int(1), branch=True)
+        b.cmp("lt", const_int(0), const_int(1))  # not a branch source
+        res = Interpreter(m).run(fn, [])
+        assert res.counters.branches == 1
+
+    def test_check_counter(self):
+        m, fn, b = fresh(args=())
+        chk = b.cmp("ne", const_int(0), const_int(1))
+        chk.is_versioning_check = True
+        res = Interpreter(m).run(fn, [])
+        assert res.counters.checks == 1
+
+    def test_load_store_counters(self):
+        m, fn, b = fresh()
+        X = fn.args[0]
+        b.store(b.ptradd(X, const_int(0)), const_float(1.0))
+        b.load(b.ptradd(X, const_int(0)))
+        interp = Interpreter(m)
+        base = interp.memory.alloc(4)
+        res = interp.run(fn, [base, 0])
+        assert res.counters.loads == 1 and res.counters.stores == 1
+
+    def test_globals_allocated_and_disjoint(self):
+        m = Module("g")
+        m.add_global("A", 16)
+        m.add_global("B", 16)
+        fn = m.add_function(Function("f", []))
+        b = IRBuilder(fn)
+        A, B = m.globals["A"], m.globals["B"]
+        b.store(b.ptradd(A, const_int(0)), const_float(1.0))
+        b.store(b.ptradd(B, const_int(0)), const_float(2.0))
+        va = b.load(b.ptradd(A, const_int(0)))
+        fn.set_return(va)
+        interp = Interpreter(m)
+        assert interp.run(fn, []).return_value == 1.0
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=20))
+def test_sum_loop_matches_python(xs):
+    """Property: the interpreter's loop semantics match Python's sum."""
+    m = Module("t")
+    fn = m.add_function(Function("f", [Argument("X", PTR)]))
+    b = IRBuilder(fn)
+    X = fn.args[0]
+    n = len(xs)
+    loop = b.make_loop("L")
+    i = b.mu(loop, const_int(0), name="i")
+    s = b.mu(loop, const_float(0.0), name="s")
+    with b.at(loop):
+        v = b.load(b.ptradd(X, i))
+        s2 = b.add(s, v)
+        nxt = b.add(i, const_int(1))
+        cond = b.cmp("lt", nxt, const_int(n), branch=True)
+    i.set_rec(nxt)
+    s.set_rec(s2)
+    loop.set_cont(cond)
+    out = b.eta(loop, s2, name="sum")
+    fn.set_return(out)
+    interp = Interpreter(m)
+    base = interp.memory.alloc(len(xs))
+    interp.memory.write_array(base, xs)
+    res = interp.run(fn, [base])
+    assert res.return_value == pytest.approx(sum(xs))

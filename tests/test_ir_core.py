@@ -1,0 +1,316 @@
+"""Tests for IR values, instructions, scopes, loops, and cloning."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    FLOAT,
+    INT,
+    PTR,
+    Argument,
+    BinOp,
+    Cmp,
+    Eta,
+    Function,
+    IRBuilder,
+    Load,
+    Loop,
+    Module,
+    Mu,
+    Phi,
+    Predicate,
+    Store,
+    Undef,
+    VerificationError,
+    clone_instruction,
+    clone_loop,
+    const_float,
+    const_int,
+    print_function,
+    program_order,
+    vector_of,
+    verify_function,
+)
+
+
+def make_fn(name="f", args=("X", "Y")):
+    m = Module("t")
+    fn = m.add_function(Function(name, [Argument(a, PTR) for a in args]))
+    return m, fn, IRBuilder(fn)
+
+
+class TestUseDef:
+    def test_operands_register_users(self):
+        _, fn, b = make_fn()
+        x = b.load(b.ptradd(fn.args[0], const_int(0)))
+        y = b.add(x, x)
+        assert y in x.users()
+
+    def test_duplicate_operand_single_user_entry(self):
+        _, fn, b = make_fn()
+        x = b.load(b.ptradd(fn.args[0], const_int(0)))
+        y = b.add(x, x)
+        assert x.users().count(y) == 1
+
+    def test_replace_uses_of_operand(self):
+        _, fn, b = make_fn()
+        x = b.load(b.ptradd(fn.args[0], const_int(0)))
+        z = b.load(b.ptradd(fn.args[1], const_int(0)))
+        y = b.add(x, x)
+        y.replace_uses_of(x, z)
+        assert y.operands == [z, z]
+        assert y not in x.users()
+        assert y in z.users()
+
+    def test_replace_uses_in_predicate(self):
+        _, fn, b = make_fn()
+        c1 = b.cmp("ne", const_int(1), const_int(0), name="c1")
+        c2 = b.cmp("ne", const_int(2), const_int(0), name="c2")
+        with b.under(c1):
+            s = b.store(b.ptradd(fn.args[0], const_int(0)), const_float(1.0))
+        s.replace_uses_of(c1, c2)
+        assert list(s.predicate.values()) == [c2]
+        assert s in c2.users()
+        assert s not in c1.users()
+
+    def test_replace_uses_in_phi_edge_predicate(self):
+        _, fn, b = make_fn()
+        c1 = b.cmp("ne", const_int(1), const_int(0), name="c1")
+        c2 = b.cmp("ne", const_int(2), const_int(0), name="c2")
+        v1 = b.load(b.ptradd(fn.args[0], const_int(0)))
+        v2 = b.load(b.ptradd(fn.args[1], const_int(0)))
+        phi = b.phi([(v1, Predicate.of(c1)), (v2, Predicate.of(c1, True))])
+        phi.replace_uses_of(c1, c2)
+        assert all(list(p.values()) == [c2] for _, p in phi.incomings())
+
+    def test_erase_drops_uses(self):
+        _, fn, b = make_fn()
+        x = b.load(b.ptradd(fn.args[0], const_int(0)))
+        y = b.add(x, x)
+        y.scope_erase()
+        assert not x.users()
+        assert y.parent is None
+
+    def test_set_predicate_updates_users(self):
+        _, fn, b = make_fn()
+        c = b.cmp("ne", const_int(1), const_int(0))
+        s = b.store(b.ptradd(fn.args[0], const_int(0)), const_float(0.0))
+        s.set_predicate(Predicate.of(c))
+        assert s in c.users()
+        s.set_predicate(Predicate.true())
+        assert s not in c.users()
+
+
+class TestScopes:
+    def test_insert_before_after(self):
+        _, fn, b = make_fn()
+        a = b.load(b.ptradd(fn.args[0], const_int(0)))
+        c = b.load(b.ptradd(fn.args[0], const_int(2)))
+        mid = Load(a, FLOAT)  # placeholder load (not meaningful, just an item)
+        fn.insert_before(c, mid)
+        assert fn.items.index(mid) == fn.items.index(c) - 1
+        late = Load(a, FLOAT)
+        fn.insert_after(c, late)
+        assert fn.items.index(late) == fn.items.index(c) + 1
+
+    def test_program_order_monotonic_in_scope(self):
+        _, fn, b = make_fn()
+        i1 = b.load(b.ptradd(fn.args[0], const_int(0)))
+        i2 = b.add(i1, i1)
+        order = program_order(fn)
+        assert order[i1] < order[i2]
+
+    def test_program_order_loop_after_contents(self):
+        _, fn, b = make_fn()
+        loop = b.make_loop("L")
+        i0 = b.mu(loop, const_int(0), name="i")
+        with b.at(loop):
+            nxt = b.add(i0, const_int(1))
+            cond = b.cmp("lt", nxt, const_int(10), branch=True)
+        i0.set_rec(nxt)
+        loop.set_cont(cond)
+        after = Load(fn.args[0], FLOAT)
+        fn.append(after)
+        order = program_order(fn)
+        assert order[i0] < order[nxt] < order[loop] < order[after]
+
+
+class TestLoops:
+    def _simple_loop(self, n=10):
+        m, fn, b = make_fn()
+        X = fn.args[0]
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0), name="i")
+        with b.at(loop):
+            ptr = b.ptradd(X, i)
+            b.store(ptr, const_float(1.0))
+            nxt = b.add(i, const_int(1))
+            cond = b.cmp("lt", nxt, const_int(n), branch=True)
+        i.set_rec(nxt)
+        loop.set_cont(cond)
+        return m, fn, b, loop
+
+    def test_loop_mem_instructions(self):
+        _, fn, b, loop = self._simple_loop()
+        mems = loop.mem_instructions()
+        assert len(mems) == 1 and mems[0].opcode == "store"
+        assert loop.may_write() and not loop.may_read()
+
+    def test_verify_simple_loop(self):
+        _, fn, _, _ = self._simple_loop()
+        verify_function(fn)
+
+    def test_verify_rejects_missing_cont(self):
+        m, fn, b = make_fn()
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0))
+        with b.at(loop):
+            nxt = b.add(i, const_int(1))
+        i.set_rec(nxt)
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_verify_rejects_use_after_loop_without_eta(self):
+        m, fn, b = make_fn()
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0))
+        with b.at(loop):
+            nxt = b.add(i, const_int(1))
+            cond = b.cmp("lt", nxt, const_int(4))
+        i.set_rec(nxt)
+        loop.set_cont(cond)
+        b.add(nxt, const_int(1))  # illegal: inner value used outside
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_eta_exposes_liveout(self):
+        m, fn, b, loop = self._simple_loop()
+        # find the add feeding the mu
+        nxt = loop.mus[0].rec
+        out = b.eta(loop, nxt, name="i_final")
+        b.add(out, const_int(0))
+        verify_function(fn)
+
+    def test_loop_replace_uses_of_cont(self):
+        _, fn, b, loop = self._simple_loop()
+        other = Cmp("lt", const_int(0), const_int(1))
+        loop.append(other)
+        old = loop.cont
+        loop.replace_uses_of(old, other)
+        assert loop.cont is other
+
+
+class TestCloning:
+    def test_clone_instruction_maps_operands(self):
+        _, fn, b = make_fn()
+        x = b.load(b.ptradd(fn.args[0], const_int(0)), name="x")
+        y = b.load(b.ptradd(fn.args[1], const_int(0)), name="y")
+        s = b.add(x, y)
+        vmap = {x: y}
+        c = clone_instruction(s, vmap)
+        assert c.operands == [y, y]
+        assert vmap[s] is c
+
+    def test_clone_substitutes_predicate(self):
+        _, fn, b = make_fn()
+        c1 = b.cmp("ne", const_int(1), const_int(0), name="c1")
+        c2 = b.cmp("ne", const_int(2), const_int(0), name="c2")
+        with b.under(c1):
+            s = b.store(b.ptradd(fn.args[0], const_int(0)), const_float(0.0))
+        clone = clone_instruction(s, {c1: c2})
+        assert list(clone.predicate.values()) == [c2]
+
+    def test_clone_preserves_metadata(self):
+        _, fn, b = make_fn()
+        x = b.load(b.ptradd(fn.args[0], const_int(0)))
+        x.metadata["noalias_scopes"] = {1, 2}
+        c = clone_instruction(x, {})
+        assert c.metadata["noalias_scopes"] == {1, 2}
+        # and it is a copy, not a shared dict
+        c.metadata["noalias_scopes"].add(3)
+        assert 3 not in x.metadata["noalias_scopes"]
+
+    def test_clone_loop_rewires_internals(self):
+        m, fn, b = make_fn()
+        X = fn.args[0]
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0), name="i")
+        with b.at(loop):
+            ptr = b.ptradd(X, i)
+            b.store(ptr, const_float(1.0))
+            nxt = b.add(i, const_int(1))
+            cond = b.cmp("lt", nxt, const_int(8))
+        i.set_rec(nxt)
+        loop.set_cont(cond)
+        vmap = {}
+        c = clone_loop(loop, vmap)
+        # cloned mu's recurrence is the cloned add, not the original
+        assert c.mus[0].rec is vmap[nxt]
+        assert c.cont is vmap[cond]
+        # cloned body instructions use the cloned mu
+        cloned_ptr = vmap[ptr]
+        assert cloned_ptr.operands[1] is vmap[i]
+
+    def test_clone_nested_loop(self):
+        m, fn, b = make_fn()
+        X = fn.args[0]
+        outer = b.make_loop("outer")
+        i = b.mu(outer, const_int(0), name="i")
+        with b.at(outer):
+            inner = b.make_loop("inner")
+            j = b.mu(inner, const_int(0), name="j")
+            with b.at(inner):
+                b.store(b.ptradd(X, b.add(i, j)), const_float(0.0))
+                jn = b.add(j, const_int(1))
+                jc = b.cmp("lt", jn, const_int(4))
+            j.set_rec(jn)
+            inner.set_cont(jc)
+            inext = b.add(i, const_int(1))
+            ic = b.cmp("lt", inext, const_int(4))
+        i.set_rec(inext)
+        outer.set_cont(ic)
+        vmap = {}
+        c = clone_loop(outer, vmap)
+        inner_clone = [it for it in c.items if isinstance(it, Loop)][0]
+        assert inner_clone is vmap[inner]
+        assert inner_clone.mus[0].rec is vmap[jn]
+
+
+class TestPrinter:
+    def test_print_contains_predicates(self):
+        _, fn, b = make_fn()
+        c = b.cmp("ne", const_int(1), const_int(0), name="c")
+        with b.under(c):
+            b.store(b.ptradd(fn.args[0], const_int(0)), const_float(0.0))
+        text = print_function(fn)
+        assert "; c" in text
+        assert "func f" in text
+
+    def test_print_loop_structure(self):
+        m, fn, b = make_fn()
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0), name="i")
+        with b.at(loop):
+            nxt = b.add(i, const_int(1))
+            cond = b.cmp("lt", nxt, const_int(4))
+        i.set_rec(nxt)
+        loop.set_cont(cond)
+        text = print_function(fn)
+        assert "with" in text and "while" in text
+
+
+class TestTypes:
+    def test_vector_type_interned(self):
+        assert vector_of(FLOAT, 4) is vector_of(FLOAT, 4)
+
+    def test_vector_slots(self):
+        assert vector_of(FLOAT, 4).slots == 4
+        assert FLOAT.slots == 1
+
+    def test_vector_of_vector_rejected(self):
+        with pytest.raises(ValueError):
+            vector_of(vector_of(FLOAT, 2), 2)
+
+    def test_single_lane_vector_rejected(self):
+        with pytest.raises(ValueError):
+            vector_of(FLOAT, 1)

@@ -1,0 +1,158 @@
+"""Tests for the execution-predicate algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import BOOL, Cmp, Predicate, const_bool, const_int
+from repro.ir.predicates import Literal
+
+
+def _bools(n):
+    return [Cmp("ne", const_int(i), const_int(0), name=f"b{i}") for i in range(n)]
+
+
+class TestBasics:
+    def test_true_is_empty_conjunction(self):
+        assert Predicate.true().is_true()
+        assert not Predicate.true().is_false()
+
+    def test_of_single_literal(self):
+        (b,) = _bools(1)
+        p = Predicate.of(b)
+        assert not p.is_true()
+        assert list(p.values()) == [b]
+
+    def test_negated_literal_str(self):
+        (b,) = _bools(1)
+        assert str(Predicate.of(b, negated=True)) == "!b0"
+
+    def test_conjoin_accumulates_literals(self):
+        a, b = _bools(2)
+        p = Predicate.of(a).conjoin(Predicate.of(b))
+        assert len(p.literals) == 2
+
+    def test_conjoin_with_true_is_identity(self):
+        (a,) = _bools(1)
+        p = Predicate.of(a)
+        assert p.conjoin(Predicate.true()) == p
+        assert Predicate.true().conjoin(p) == p
+
+    def test_conjoin_idempotent(self):
+        (a,) = _bools(1)
+        p = Predicate.of(a)
+        assert p.conjoin(p) == p
+
+    def test_and_value(self):
+        a, b = _bools(2)
+        p = Predicate.of(a).and_value(b, negated=True)
+        assert Literal(b, True) in p.literals
+
+    def test_contradiction_is_false(self):
+        (a,) = _bools(1)
+        p = Predicate.of(a).and_value(a, negated=True)
+        assert p.is_false()
+
+    def test_equality_and_hash(self):
+        a, b = _bools(2)
+        p1 = Predicate.of(a).and_value(b)
+        p2 = Predicate.of(b).and_value(a)
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+
+class TestImplication:
+    def test_everything_implies_true(self):
+        (a,) = _bools(1)
+        assert Predicate.of(a).implies(Predicate.true())
+        assert Predicate.true().implies(Predicate.true())
+
+    def test_true_does_not_imply_literal(self):
+        (a,) = _bools(1)
+        assert not Predicate.true().implies(Predicate.of(a))
+
+    def test_stronger_implies_weaker(self):
+        a, b = _bools(2)
+        strong = Predicate.of(a).and_value(b)
+        weak = Predicate.of(a)
+        assert strong.implies(weak)
+        assert not weak.implies(strong)
+
+    def test_literal_does_not_imply_negation(self):
+        (a,) = _bools(1)
+        assert not Predicate.of(a).implies(Predicate.of(a, negated=True))
+
+    def test_false_implies_everything(self):
+        a, b = _bools(2)
+        contradiction = Predicate.of(a).and_value(a, negated=True)
+        assert contradiction.implies(Predicate.of(b))
+
+    def test_implies_is_reflexive(self):
+        a, b = _bools(2)
+        p = Predicate.of(a).and_value(b, negated=True)
+        assert p.implies(p)
+
+
+class TestSubstitution:
+    def test_substitute_rewrites_literal(self):
+        a, b = _bools(2)
+        p = Predicate.of(a)
+        q = p.substitute({a: b})
+        assert list(q.values()) == [b]
+
+    def test_substitute_preserves_negation(self):
+        a, b = _bools(2)
+        p = Predicate.of(a, negated=True)
+        q = p.substitute({a: b})
+        assert Literal(b, True) in q.literals
+
+    def test_substitute_no_match_returns_same_object(self):
+        a, b = _bools(2)
+        p = Predicate.of(a)
+        assert p.substitute({b: a}) is p
+
+    def test_without_drops_literals(self):
+        a, b = _bools(2)
+        p = Predicate.of(a).and_value(b)
+        q = p.without([a])
+        assert list(q.values()) == [b]
+
+
+@given(st.data())
+def test_implication_transitive(data):
+    """Random conjunction triples: implication must be transitive."""
+    bools = _bools(4)
+    def rand_pred():
+        lits = data.draw(
+            st.lists(
+                st.tuples(st.sampled_from(range(4)), st.booleans()),
+                max_size=4,
+            )
+        )
+        p = Predicate.true()
+        for i, neg in lits:
+            p = p.and_value(bools[i], neg)
+        return p
+
+    p, q = rand_pred(), rand_pred()
+    r = p.conjoin(q)
+    # r is stronger than both
+    assert r.implies(p) and r.implies(q)
+    # transitivity through q
+    if p.implies(q) and q.implies(r):
+        assert p.implies(r)
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.booleans()), max_size=5))
+def test_conjoin_commutative_associative(pairs):
+    bools = _bools(4)
+    preds = [Predicate.of(bools[i], neg) for i, neg in pairs]
+    if not preds:
+        return
+    left = Predicate.true()
+    for p in preds:
+        left = left.conjoin(p)
+    right = Predicate.true()
+    for p in reversed(preds):
+        right = p.conjoin(right)
+    assert left == right

@@ -1,0 +1,351 @@
+"""Tests for DCE, simplify, GVN, LICM, and the loop unroller."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import Loop, verify_function
+from repro.opt import (
+    run_dce,
+    run_gvn,
+    run_licm,
+    run_simplify,
+    unroll_innermost_loops,
+    unroll_loop,
+)
+
+
+def compiled(src, name="f"):
+    m = compile_c(src)
+    return m, m[name]
+
+
+def count_ops(fn, opcode):
+    return sum(1 for i in fn.instructions() if i.opcode == opcode)
+
+
+class TestDCE:
+    def test_removes_unused_arith(self):
+        m, fn = compiled("double f(double x) { double y = x * 2.0; return x; }")
+        removed = run_dce(fn)
+        assert removed >= 1
+        verify_function(fn)
+        assert count_ops(fn, "bin") == 0
+
+    def test_keeps_stores(self):
+        m, fn = compiled("void f(double *a) { a[0] = 1.0; }")
+        run_dce(fn)
+        assert count_ops(fn, "store") == 1
+
+    def test_keeps_return_chain(self):
+        m, fn = compiled("double f(double x) { return x * 2.0 + 1.0; }")
+        assert run_dce(fn) == 0
+        assert count_ops(fn, "bin") == 2
+
+    def test_removes_dead_loop(self):
+        m, fn = compiled(
+            """
+            double f(double x, int n) {
+              double s = 0.0;
+              for (int i = 0; i < n; i++) { s = s + 1.0; }
+              return x;
+            }
+            """
+        )
+        run_dce(fn)
+        verify_function(fn)
+        assert not fn.loops()
+
+    def test_keeps_loop_with_store(self):
+        m, fn = compiled(
+            "void f(double *a, int n) { for (int i = 0; i < n; i++) a[i] = 1.0; }"
+        )
+        run_dce(fn)
+        assert len(fn.loops()) == 1
+
+    def test_transitive_chains(self):
+        m, fn = compiled(
+            "double f(double x) { double a = x + 1.0; double b = a * 2.0; double c = b - a; return x; }"
+        )
+        run_dce(fn)
+        assert count_ops(fn, "bin") == 0
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        m, fn = compiled("double f() { return 2.0 * 3.0 + 4.0; }")
+        run_simplify(fn)
+        verify_function(fn)
+        from repro.ir.values import Constant
+
+        assert isinstance(fn.return_value, Constant)
+        assert fn.return_value.value == 10.0
+
+    def test_identities(self):
+        m, fn = compiled("double f(double x) { return x * 1.0 + 0.0; }")
+        run_simplify(fn)
+        run_dce(fn)
+        assert fn.return_value is fn.args[0]
+
+    def test_cmp_folding(self):
+        m, fn = compiled("double f(double x) { double r = 0.0; if (1 < 2) { r = x; } return r; }")
+        n = run_simplify(fn)
+        assert n >= 1
+        verify_function(fn)
+
+    def test_select_const_cond(self):
+        m, fn = compiled("double f(double x) { return 1 > 0 ? x : 0.0; }")
+        run_simplify(fn)
+        run_dce(fn)
+        assert fn.return_value is fn.args[0]
+
+    def test_semantics_preserved(self):
+        src = "double f(double x) { return (x + 0.0) * 1.0 + 2.0 * 3.0 - 0.0 / 4.0; }"
+        m1, f1 = compiled(src)
+        m2, f2 = compiled(src)
+        run_simplify(f2)
+        run_dce(f2)
+        verify_function(f2)
+        for x in (0.0, -2.5, 7.0):
+            assert (
+                Interpreter(m1).run(f1, [x]).return_value
+                == Interpreter(m2).run(f2, [x]).return_value
+            )
+
+
+class TestGVN:
+    def test_merges_duplicate_arith(self):
+        m, fn = compiled("double f(double x, double y) { return (x + y) * (x + y); }")
+        deleted = run_gvn(fn)
+        assert deleted == 1
+        verify_function(fn)
+
+    def test_respects_predicates(self):
+        """A guarded computation cannot serve an unguarded duplicate."""
+        src = """
+        double f(double x, double c) {
+          double a = 0.0;
+          if (c > 0.0) { a = x * 2.0; }
+          double b = x * 2.0;
+          return a + b;
+        }
+        """
+        m, fn = compiled(src)
+        deleted = run_gvn(fn)
+        assert deleted == 0
+
+    def test_load_merged_when_no_clobber(self):
+        m, fn = compiled("double f(double *a) { return a[0] + a[0]; }")
+        deleted = run_gvn(fn)
+        assert deleted >= 1
+        verify_function(fn)
+
+    def test_load_not_merged_across_clobber(self):
+        src = "double f(double *a, double *b) { double x = a[0]; b[0] = 9.0; return x + a[0]; }"
+        m, fn = compiled(src)
+        before = count_ops(fn, "load")
+        run_gvn(fn)
+        assert count_ops(fn, "load") == before
+
+    def test_load_merged_across_noalias_clobber(self):
+        src = "double f(double * restrict a, double * restrict b) { double x = a[0]; b[0] = 9.0; return x + a[0]; }"
+        m, fn = compiled(src)
+        run_gvn(fn)
+        assert count_ops(fn, "load") == 1
+
+    def test_gvn_semantics(self):
+        src = "double f(double *a, double x) { return (x + a[0]) * (x + a[0]) - a[0]; }"
+        m1, f1 = compiled(src)
+        m2, f2 = compiled(src)
+        run_gvn(f2)
+        run_dce(f2)
+        for init in (2.0, -1.0):
+            i1, i2 = Interpreter(m1), Interpreter(m2)
+            a1, a2 = i1.memory.alloc(1), i2.memory.alloc(1)
+            i1.memory.store(a1, init)
+            i2.memory.store(a2, init)
+            assert i1.run(f1, [a1, 3.0]).return_value == i2.run(f2, [a2, 3.0]).return_value
+
+
+class TestLICM:
+    def test_hoists_invariant_arith(self):
+        src = """
+        void f(double *a, double x, int n) {
+          for (int i = 0; i < n; i++) a[i] = x * 2.0;
+        }
+        """
+        m, fn = compiled(src)
+        hoisted = run_licm(fn)
+        assert hoisted >= 1
+        verify_function(fn)
+        loop = fn.loops()[0]
+        assert all(i.opcode != "bin" or i.op != "mul" for i in loop.instructions() if hasattr(i, "op"))
+
+    def test_does_not_hoist_variant(self):
+        src = "void f(double *a, int n) { for (int i = 0; i < n; i++) a[i] = i * 2.0; }"
+        m, fn = compiled(src)
+        loop = fn.loops()[0]
+        before = len(loop.items)
+        run_licm(fn)
+        # the iv-dependent mul stays put
+        assert any(
+            getattr(i, "op", None) == "mul" for i in loop.instructions()
+        )
+
+    def test_load_not_hoisted_past_may_alias_store(self):
+        src = """
+        void f(double *a, double *b, int n) {
+          for (int i = 0; i < n; i++) a[i] = b[0] + 1.0;
+        }
+        """
+        m, fn = compiled(src)
+        run_licm(fn)
+        loop = fn.loops()[0]
+        assert any(i.opcode == "load" for i in loop.instructions())
+
+    def test_load_hoisted_with_restrict(self):
+        src = """
+        void f(double * restrict a, double * restrict b, int n) {
+          for (int i = 0; i < n; i++) a[i] = b[0] + 1.0;
+        }
+        """
+        m, fn = compiled(src)
+        hoisted = run_licm(fn)
+        loop = fn.loops()[0]
+        assert all(i.opcode != "load" for i in loop.instructions())
+
+    def test_licm_semantics(self):
+        src = """
+        double f(double *a, double x, int n) {
+          double s = 0.0;
+          for (int i = 0; i < n; i++) { a[i] = x * 3.0; s += a[i]; }
+          return s;
+        }
+        """
+        m1, f1 = compiled(src)
+        m2, f2 = compiled(src)
+        run_licm(f2)
+        verify_function(f2)
+        for n in (0, 1, 5):
+            i1, i2 = Interpreter(m1), Interpreter(m2)
+            a1, a2 = i1.memory.alloc(8), i2.memory.alloc(8)
+            r1 = i1.run(f1, [a1, 2.0, n]).return_value
+            r2 = i2.run(f2, [a2, 2.0, n]).return_value
+            assert r1 == r2
+            assert i1.memory.read_array(a1, 8) == i2.memory.read_array(a2, 8)
+
+
+UNROLL_SRC = """
+double f(double *a, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] * 2.0;
+    s += a[i];
+  }
+  return s;
+}
+"""
+
+
+class TestUnroll:
+    def _run(self, module, n, size=16):
+        interp = Interpreter(module)
+        a = interp.memory.alloc(size)
+        interp.memory.write_array(a, [float(i + 1) for i in range(size)])
+        res = interp.run(module["f"], [a, n])
+        return res.return_value, interp.memory.read_array(a, size), res
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 5, 7, 8, 16])
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_unroll_semantics(self, n, factor):
+        m1, f1 = compiled(UNROLL_SRC)
+        m2, f2 = compiled(UNROLL_SRC)
+        loop = f2.loops()[0]
+        assert unroll_loop(f2, loop, factor)
+        verify_function(f2)
+        r1 = self._run(m1, n)
+        r2 = self._run(m2, n)
+        assert r1[0] == pytest.approx(r2[0])
+        assert r1[1] == r2[1]
+
+    def test_fewer_backedges_after_unroll(self):
+        m1, f1 = compiled(UNROLL_SRC)
+        m2, f2 = compiled(UNROLL_SRC)
+        assert unroll_innermost_loops(f2, 4) == 1
+        verify_function(f2)
+        _, _, res1 = self._run(m1, 16)
+        _, _, res2 = self._run(m2, 16)
+        assert res2.counters.backedges < res1.counters.backedges
+
+    def test_nested_only_innermost(self):
+        src = """
+        void f(double *a, int n) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+              a[i*8+j] = 1.0;
+        }
+        """
+        m, fn = compiled(src)
+        assert unroll_innermost_loops(fn, 2) == 1
+        verify_function(fn)
+        interp = Interpreter(m)
+        a = interp.memory.alloc(64)
+        interp.run(fn, [a, 8])
+        assert interp.memory.read_array(a, 64) == [1.0] * 64
+
+    def test_unknown_trip_count_rejected(self):
+        src = """
+        void f(double *a, int *stop) {
+          int i = 0;
+          while (stop[i] > 0) { a[i] = 1.0; i = i + 1; }
+        }
+        """
+        m, fn = compiled(src)
+        loop = fn.loops()[0]
+        assert not unroll_loop(fn, loop, 4)
+
+    def test_conditional_body_unrolls(self):
+        src = """
+        double f(double *a, int n) {
+          double s = 0.0;
+          for (int i = 0; i < n; i++) {
+            if (a[i] > 0.0) { s += a[i]; }
+          }
+          return s;
+        }
+        """
+        m1, f1 = compiled(src)
+        m2, f2 = compiled(src)
+        assert unroll_innermost_loops(f2, 2) == 1
+        verify_function(f2)
+
+        def run(mod):
+            interp = Interpreter(mod)
+            a = interp.memory.alloc(8)
+            interp.memory.write_array(a, [1.0, -2.0, 3.0, -4.0, 5.0, 6.0, -7.0, 8.0])
+            return interp.run(mod["f"], [a, 7]).return_value
+
+        assert run(m1) == run(m2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(0, 12),
+    factor=st.sampled_from([2, 3, 4]),
+    data=st.lists(st.floats(-100, 100, allow_nan=False), min_size=12, max_size=12),
+)
+def test_unroll_property(n, factor, data):
+    """Unrolling by any factor preserves results for any trip count."""
+    m1, f1 = compiled(UNROLL_SRC)
+    m2, f2 = compiled(UNROLL_SRC)
+    assert unroll_loop(f2, f2.loops()[0], factor)
+    i1, i2 = Interpreter(m1), Interpreter(m2)
+    a1, a2 = i1.memory.alloc(12), i2.memory.alloc(12)
+    i1.memory.write_array(a1, data)
+    i2.memory.write_array(a2, data)
+    r1 = i1.run(f1, [a1, n]).return_value
+    r2 = i2.run(f2, [a2, n]).return_value
+    assert r1 == pytest.approx(r2)
+    assert i1.memory.read_array(a1, 12) == i2.memory.read_array(a2, 12)

@@ -1,0 +1,179 @@
+"""Tests for versioned redundant load elimination (paper §V-B)."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import verify_function
+from repro.rle import run_rle
+
+SPURIOUS_STORE = """
+double f(double *a, double *b) {
+  double x = a[0];
+  b[0] = 99.0;
+  double y = a[0];
+  return x + y;
+}
+"""
+
+CALL_BETWEEN = """
+extern void touch(void);
+double f(double *a) {
+  double x = a[0];
+  touch();
+  double y = a[0];
+  return x + y;
+}
+"""
+
+CONDITIONAL_SECOND = """
+double f(double *a, double *b, double c) {
+  double x = a[0];
+  b[0] = 5.0;
+  double r = x;
+  if (c > 0.0) { r = a[0] + x; }
+  return r;
+}
+"""
+
+
+def loads_in(fn):
+    return sum(1 for i in fn.instructions() if i.opcode == "load")
+
+
+class TestRLE:
+    def test_eliminates_across_spurious_store(self):
+        m = compile_c(SPURIOUS_STORE)
+        fn = m["f"]
+        stats = run_rle(fn)
+        verify_function(fn)
+        assert stats.loads_removed == 1
+        assert stats.plans_materialized == 1
+
+    def test_semantics_disjoint_and_aliased(self):
+        for overlap in (False, True):
+            m_ref = compile_c(SPURIOUS_STORE)
+            m_opt = compile_c(SPURIOUS_STORE)
+            run_rle(m_opt["f"])
+
+            def run(m):
+                interp = Interpreter(m)
+                if overlap:
+                    a = interp.memory.alloc(2)
+                    b = a  # store b[0] clobbers a[0] between the loads
+                else:
+                    a = interp.memory.alloc(2)
+                    b = interp.memory.alloc(2)
+                interp.memory.store(a, 3.0)
+                return interp.run(m["f"], [a, b]).return_value
+
+            assert run(m_ref) == run(m_opt), f"overlap={overlap}"
+
+    def test_dynamic_loads_reduced_when_disjoint(self):
+        m_ref = compile_c(SPURIOUS_STORE)
+        m_opt = compile_c(SPURIOUS_STORE)
+        run_rle(m_opt["f"])
+
+        def loads(m):
+            interp = Interpreter(m)
+            a = interp.memory.alloc(2)
+            b = interp.memory.alloc(2)
+            return interp.run(m["f"], [a, b]).counters.loads
+
+        assert loads(m_opt) < loads(m_ref)
+
+    def test_call_blocks_without_versioning_framework_check(self):
+        """An opaque call cannot be checked -> group infeasible."""
+        m = compile_c(CALL_BETWEEN)
+        stats = run_rle(m["f"])
+        assert stats.loads_removed == 0
+        assert stats.infeasible == 1
+
+    def test_conditional_member_leader(self):
+        """The guarded a[0] reuses the unconditional leader."""
+        m_ref = compile_c(CONDITIONAL_SECOND)
+        m_opt = compile_c(CONDITIONAL_SECOND)
+        stats = run_rle(m_opt["f"])
+        verify_function(m_opt["f"])
+        assert stats.loads_removed == 1
+
+        def run(m, c, overlap):
+            interp = Interpreter(m)
+            if overlap:
+                a = interp.memory.alloc(2); b = a
+            else:
+                a = interp.memory.alloc(2); b = interp.memory.alloc(2)
+            interp.memory.store(a, 2.0)
+            return interp.run(m["f"], [a, b, c]).return_value
+
+        for c in (1.0, -1.0):
+            for ov in (False, True):
+                assert run(m_ref, c, ov) == run(m_opt, c, ov)
+
+    def test_no_versioning_mode_conservative(self):
+        m = compile_c(SPURIOUS_STORE)
+        stats = run_rle(m["f"], use_versioning=False)
+        assert stats.loads_removed == 0
+
+    def test_restrict_group_needs_no_plan(self):
+        src = """
+        double f(double * restrict a, double * restrict b) {
+          double x = a[0];
+          b[0] = 1.0;
+          return x + a[0];
+        }
+        """
+        m = compile_c(src)
+        stats = run_rle(m["f"])
+        assert stats.loads_removed == 1
+        assert stats.plans_materialized == 0
+
+    def test_unremovable_true_dependence(self):
+        src = """
+        double f(double *a) {
+          double x = a[0];
+          a[0] = x + 1.0;
+          return x + a[0];
+        }
+        """
+        m_ref = compile_c(src)
+        m_opt = compile_c(src)
+        stats = run_rle(m_opt["f"])
+        assert stats.loads_removed == 0
+
+        def run(m):
+            interp = Interpreter(m)
+            a = interp.memory.alloc(1)
+            interp.memory.store(a, 1.0)
+            return interp.run(m["f"], [a]).return_value
+
+        assert run(m_ref) == run(m_opt) == 3.0
+
+    def test_loads_in_loop_scope(self):
+        src = """
+        double f(double *a, double *b, int n) {
+          double s = 0.0;
+          for (int i = 0; i < n; i++) {
+            double x = a[0];
+            b[i] = x;
+            s += a[0];
+          }
+          return s;
+        }
+        """
+        m_ref = compile_c(src)
+        m_opt = compile_c(src)
+        stats = run_rle(m_opt["f"])
+        verify_function(m_opt["f"])
+
+        def run(m, overlap):
+            interp = Interpreter(m)
+            if overlap:
+                a = interp.memory.alloc(8); b = a
+            else:
+                a = interp.memory.alloc(8); b = interp.memory.alloc(8)
+            interp.memory.store(a, 4.0)
+            return interp.run(m["f"], [a, b, 5]).return_value
+
+        for ov in (False, True):
+            assert run(m_ref, ov) == run(m_opt, ov)

@@ -1,0 +1,320 @@
+"""Tests for the SLP vectorizer and its three versioning modes."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import verify_function
+from repro.vectorizer import VectorizeConfig, vectorize_function
+
+MAY_ALIAS = """
+void f(double *a, double *b, double *c, int n) {
+  for (int i = 0; i < n; i++) c[i] = a[i] * b[i] + 1.0;
+}
+"""
+
+RESTRICT = """
+void f(double * restrict a, double * restrict b, double * restrict c, int n) {
+  for (int i = 0; i < n; i++) c[i] = a[i] * b[i] + 1.0;
+}
+"""
+
+S281_LIKE = """
+const int LEN = 32;
+void f(double *a, double *b, double *c, int n) {
+  for (int i = 0; i < n; i++) {
+    double x = a[LEN-i-1] + b[i] * c[i];
+    a[i] = x - 1.0;
+    b[i] = x;
+  }
+}
+"""
+
+STRAIGHTLINE = """
+void f(double *x, double *y) {
+  y[0] = x[0] + 1.0;
+  y[1] = x[1] + 1.0;
+  y[2] = x[2] + 1.0;
+  y[3] = x[3] + 1.0;
+}
+"""
+
+DOT = """
+double f(double * restrict a, double * restrict b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += a[i] * b[i];
+  return s;
+}
+"""
+
+
+def vec(src, mode="fine", fn="f", **kw):
+    m = compile_c(src)
+    stats = vectorize_function(m[fn], VectorizeConfig(mode=mode, **kw))
+    verify_function(m[fn])
+    return m, stats
+
+
+def run_three_arrays(m, n=16, overlap=False, fn="f", seed_vals=None):
+    interp = Interpreter(m)
+    if overlap:
+        base = interp.memory.alloc(64)
+        a, b, c = base, base + 3, base + 7
+        interp.memory.write_array(base, [float(i % 9 + 1) for i in range(64)])
+    else:
+        a = interp.memory.alloc(32)
+        b = interp.memory.alloc(32)
+        c = interp.memory.alloc(32)
+        interp.memory.write_array(a, seed_vals or [float(i) for i in range(32)])
+        interp.memory.write_array(b, [2.0] * 32)
+        interp.memory.write_array(c, [3.0] * 32)
+    res = interp.run(m[fn], [a, b, c, n])
+    probe = interp.memory.read_array(a, 40 if overlap else 32)
+    return probe, res
+
+
+class TestModes:
+    def test_none_rejects_may_alias(self):
+        _, stats = vec(MAY_ALIAS, mode="none")
+        assert stats.trees == 0 and stats.rejected_infeasible > 0
+
+    def test_loop_vectorizes_may_alias_with_hoisted_checks(self):
+        m, stats = vec(MAY_ALIAS, mode="loop")
+        assert stats.trees == 1 and stats.plans_materialized == 1
+
+    def test_fine_vectorizes_may_alias(self):
+        _, stats = vec(MAY_ALIAS, mode="fine")
+        assert stats.trees == 1
+
+    def test_all_modes_vectorize_restrict(self):
+        for mode in ("none", "loop", "fine"):
+            _, stats = vec(RESTRICT, mode=mode)
+            assert stats.trees == 1, mode
+            assert stats.plans_materialized == 0, mode
+
+    def test_only_fine_handles_loop_variant_conflict(self):
+        """The s281 story: loop versioning cannot rule out an in-place
+        reversed read; fine-grained versioning checks per iteration."""
+        _, s_none = vec(S281_LIKE, mode="none")
+        _, s_loop = vec(S281_LIKE, mode="loop")
+        _, s_fine = vec(S281_LIKE, mode="fine")
+        assert s_none.trees == 0
+        assert s_loop.trees == 0
+        assert s_fine.trees >= 1
+
+    def test_straightline_slp(self):
+        """Non-loop SLP: the flexibility loop versioning lacks."""
+        for mode in ("loop", "fine"):
+            m, stats = vec(STRAIGHTLINE, mode=mode, unroll=False)
+            assert stats.trees == 1, mode
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mode", ["loop", "fine"])
+    @pytest.mark.parametrize("overlap", [False, True])
+    @pytest.mark.parametrize("n", [0, 3, 16, 17])
+    def test_may_alias_kernel(self, mode, overlap, n):
+        m_ref = compile_c(MAY_ALIAS)
+        m_vec, _ = vec(MAY_ALIAS, mode=mode)
+        r1, _ = run_three_arrays(m_ref, n=n, overlap=overlap)
+        r2, _ = run_three_arrays(m_vec, n=n, overlap=overlap)
+        assert r1 == r2
+
+    @pytest.mark.parametrize("n", [0, 4, 15, 24])
+    def test_s281_like(self, n):
+        m_ref = compile_c(S281_LIKE)
+        m_vec, _ = vec(S281_LIKE, mode="fine")
+
+        def run(m):
+            interp = Interpreter(m)
+            a = interp.memory.alloc(32)
+            b = interp.memory.alloc(32)
+            c = interp.memory.alloc(32)
+            interp.memory.write_array(a, [float(i) for i in range(32)])
+            interp.memory.write_array(b, [0.5] * 32)
+            interp.memory.write_array(c, [2.0] * 32)
+            interp.run(m["f"], [a, b, c, n])
+            return interp.memory.read_array(a, 32), interp.memory.read_array(b, 32)
+
+        assert run(m_ref) == run(m_vec)
+
+    def test_straightline_semantics(self):
+        m_ref = compile_c(STRAIGHTLINE)
+        m_vec, _ = vec(STRAIGHTLINE, mode="fine", unroll=False)
+        for overlap in (False, True):
+            def run(m):
+                interp = Interpreter(m)
+                if overlap:
+                    x = interp.memory.alloc(8)
+                    y = x + 2
+                else:
+                    x = interp.memory.alloc(4)
+                    y = interp.memory.alloc(4)
+                interp.memory.write_array(x, [1.0, 2.0, 3.0, 4.0] + ([0.0] * 4 if overlap else []))
+                interp.run(m["f"], [x, y])
+                return interp.memory.read_array(x, 8 if overlap else 4)
+            assert run(m_ref) == run(m_vec), f"overlap={overlap}"
+
+
+class TestSpeedup:
+    def test_restrict_kernel_speedup(self):
+        m_ref = compile_c(RESTRICT)
+        m_vec, _ = vec(RESTRICT, mode="fine")
+        _, r1 = run_three_arrays(m_ref, n=16)
+        _, r2 = run_three_arrays(m_vec, n=16)
+        assert r2.cycles < r1.cycles
+
+    def test_versioned_kernel_speedup_when_disjoint(self):
+        m_ref = compile_c(MAY_ALIAS)
+        m_vec, _ = vec(MAY_ALIAS, mode="fine")
+        _, r1 = run_three_arrays(m_ref, n=16)
+        _, r2 = run_three_arrays(m_vec, n=16)
+        assert r2.cycles < r1.cycles
+        assert r2.counters.checks > 0
+
+    def test_benign_overlap_still_vectorizes(self):
+        """a/b/c offset so groups never self-conflict: the fine-grained
+        checks pass and the vector path runs, correctly."""
+        m_ref = compile_c(MAY_ALIAS)
+        m_vec, _ = vec(MAY_ALIAS, mode="fine")
+        p1, r1 = run_three_arrays(m_ref, n=16, overlap=True)
+        p2, r2 = run_three_arrays(m_vec, n=16, overlap=True)
+        assert p1 == p2
+        assert r2.counters.vector_ops > 0
+
+    def test_fallback_when_truly_conflicting(self):
+        """c = a+1: the store into c[i] feeds the load a[i+1] within one
+        vector group, so the checks fail and the scalar clone runs."""
+        m_ref = compile_c(MAY_ALIAS)
+        m_vec, _ = vec(MAY_ALIAS, mode="fine")
+
+        def run(m):
+            interp = Interpreter(m)
+            base = interp.memory.alloc(64)
+            a, b, c = base, base + 40, base + 1
+            interp.memory.write_array(base, [float(i % 7 + 1) for i in range(64)])
+            res = interp.run(m["f"], [a, b, c, 16])
+            return interp.memory.read_array(base, 40), res
+
+        p1, r1 = run(m_ref)
+        p2, r2 = run(m_vec)
+        assert p1 == p2
+        assert r2.counters.vector_ops == 0  # vector path never taken
+
+
+class TestReductions:
+    def test_dot_product_vectorized(self):
+        m, stats = vec(DOT, mode="fine")
+        assert stats.reductions == 1
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 9, 16])
+    def test_dot_product_correct(self, n):
+        m_ref = compile_c(DOT)
+        m_vec, _ = vec(DOT, mode="fine")
+
+        def run(m):
+            interp = Interpreter(m)
+            a = interp.memory.alloc(16)
+            b = interp.memory.alloc(16)
+            interp.memory.write_array(a, [float(i + 1) for i in range(16)])
+            interp.memory.write_array(b, [0.25 * i for i in range(16)])
+            return interp.run(m["f"], [a, b, n])
+
+        r1, r2 = run(m_ref), run(m_vec)
+        assert r1.return_value == pytest.approx(r2.return_value)
+
+    def test_dot_product_faster(self):
+        m_ref = compile_c(DOT)
+        m_vec, _ = vec(DOT, mode="fine")
+
+        def cycles(m):
+            interp = Interpreter(m)
+            a = interp.memory.alloc(64)
+            b = interp.memory.alloc(64)
+            interp.memory.write_array(a, [1.0] * 64)
+            interp.memory.write_array(b, [2.0] * 64)
+            return interp.run(m["f"], [a, b, 64]).cycles
+
+        assert cycles(m_vec) < cycles(m_ref)
+
+    def test_max_reduction(self):
+        src = """
+        double f(double * restrict a, int n) {
+          double m = a[0];
+          for (int i = 0; i < n; i++) m = max(m, a[i]);
+          return m;
+        }
+        """
+        m_ref = compile_c(src)
+        m_vec, stats = vec(src, mode="fine")
+
+        def run(m):
+            interp = Interpreter(m)
+            a = interp.memory.alloc(16)
+            interp.memory.write_array(a, [3.0, -1.0, 7.5, 2.0, 7.4, 0.0, 1.0, 2.0,
+                                          3.0, 4.0, 5.0, 6.0, 6.9, 6.0, 5.0, 4.0])
+            return interp.run(m["f"], [a, 16]).return_value
+
+        assert run(m_ref) == run(m_vec) == 7.5
+
+
+class TestMisc:
+    def test_reversed_load_pack(self):
+        src = """
+        void f(double * restrict a, double * restrict b, int n) {
+          for (int i = 0; i < n; i++) b[i] = a[31-i];
+        }
+        """
+        m_ref = compile_c(src)
+        m_vec, stats = vec(src, mode="fine")
+        assert stats.trees == 1
+
+        def run(m):
+            interp = Interpreter(m)
+            a = interp.memory.alloc(32)
+            b = interp.memory.alloc(32)
+            interp.memory.write_array(a, [float(i) for i in range(32)])
+            interp.run(m["f"], [a, b, 16])
+            return interp.memory.read_array(b, 16)
+
+        assert run(m_ref) == run(m_vec)
+
+    def test_strided_access_falls_back_to_gather(self):
+        src = """
+        void f(double * restrict a, double * restrict b, int n) {
+          for (int i = 0; i < n; i++) b[i] = a[2*i] + 1.0;
+        }
+        """
+        m_ref = compile_c(src)
+        m_vec, stats = vec(src, mode="fine")
+        verify_function(m_vec["f"])
+
+        def run(m):
+            interp = Interpreter(m)
+            a = interp.memory.alloc(40)
+            b = interp.memory.alloc(20)
+            interp.memory.write_array(a, [float(i) for i in range(40)])
+            interp.run(m["f"], [a, b, 12])
+            return interp.memory.read_array(b, 12)
+
+        assert run(m_ref) == run(m_vec)
+
+    def test_unconditional_chain_never_vectorized(self):
+        src = """
+        void f(double *a, int n) {
+          for (int i = 4; i < n; i++) a[i] = a[i-1] * 0.5;
+        }
+        """
+        for mode in ("none", "loop", "fine"):
+            m, stats = vec(src, mode=mode)
+            assert stats.trees == 0, mode
+            # and it still runs correctly
+            interp = Interpreter(m)
+            a = interp.memory.alloc(16)
+            interp.memory.write_array(a, [256.0] * 16)
+            interp.run(m["f"], [a, 12])
+            assert interp.memory.read_array(a, 6)[4:6] == [128.0, 64.0]
+
+    def test_cost_gate_can_be_disabled(self):
+        m, stats = vec(S281_LIKE, mode="fine", cost_gate=False)
+        assert stats.rejected_cost == 0

@@ -1,0 +1,259 @@
+"""Tests for condition optimizations (§IV-A): RCE, coalescing, promotion."""
+
+import pytest
+
+from repro.analysis import Affine, IntersectCond, PredCond, SymRange
+from repro.analysis.promote import promote_intersect
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import INT, PTR, Argument, Function, IRBuilder, Loop, Module, const_int, verify_function
+from repro.versioning import (
+    VersioningFramework,
+    coalesce_conditions,
+    eliminate_redundant_conditions,
+)
+from repro.versioning.condopt import promote_plan
+
+
+def make_args():
+    m = Module("t")
+    fn = m.add_function(Function("f", [Argument("a", PTR), Argument("b", PTR)]))
+    return fn.args
+
+
+def rng(base, lo, hi):
+    return SymRange(base, Affine.constant(lo), Affine.constant(hi))
+
+
+class TestRCE:
+    def test_shifted_pair_eliminated(self):
+        """The paper's example: [a,a+10) vs [b,b+2) is equivalent to
+        [a+100,a+110) vs [b+100,b+102)."""
+        a, b = make_args()
+        c1 = IntersectCond(rng(a, 0, 10), rng(b, 0, 2))
+        c2 = IntersectCond(rng(a, 100, 110), rng(b, 100, 102))
+        out = eliminate_redundant_conditions([c1, c2])
+        assert out == [c1]
+
+    def test_swapped_ranges_eliminated(self):
+        a, b = make_args()
+        c1 = IntersectCond(rng(a, 0, 4), rng(b, 0, 4))
+        c2 = IntersectCond(rng(b, 5, 9), rng(a, 5, 9))
+        out = eliminate_redundant_conditions([c1, c2])
+        assert len(out) == 1
+
+    def test_uneven_shift_not_eliminated(self):
+        """offset undefined when the bounds shift by different amounts."""
+        a, b = make_args()
+        c1 = IntersectCond(rng(a, 0, 10), rng(b, 0, 2))
+        c2 = IntersectCond(rng(a, 100, 120), rng(b, 100, 102))  # a grew
+        out = eliminate_redundant_conditions([c1, c2])
+        assert len(out) == 2
+
+    def test_mismatched_delta_not_eliminated(self):
+        a, b = make_args()
+        c1 = IntersectCond(rng(a, 0, 10), rng(b, 0, 2))
+        c2 = IntersectCond(rng(a, 100, 110), rng(b, 50, 52))
+        out = eliminate_redundant_conditions([c1, c2])
+        assert len(out) == 2
+
+    def test_different_bases_kept(self):
+        a, b = make_args()
+        c1 = IntersectCond(rng(a, 0, 4), rng(b, 0, 4))
+        c2 = IntersectCond(rng(b, 0, 4), rng(b, 8, 12))
+        out = eliminate_redundant_conditions([c1, c2])
+        assert len(out) == 2
+
+    def test_non_intersect_conditions_deduped_only(self):
+        from repro.ir import Predicate, Cmp, const_int as ci
+
+        a, b = make_args()
+        c = Cmp("ne", ci(0), ci(1))
+        p1 = PredCond(Predicate.of(c))
+        p2 = PredCond(Predicate.of(c))
+        out = eliminate_redundant_conditions([p1, p2])
+        assert out == [p1]
+
+
+class TestCoalescing:
+    def test_paper_example(self):
+        """intersects([a,a+10),[b,b+10)) + intersects([a+20,a+30),[b+40,b+50))
+        -> intersects([a,a+30),[b,b+50))."""
+        a, b = make_args()
+        c1 = IntersectCond(rng(a, 0, 10), rng(b, 0, 10))
+        c2 = IntersectCond(rng(a, 20, 30), rng(b, 40, 50))
+        out = coalesce_conditions([c1, c2])
+        assert len(out) == 1
+        merged = out[0]
+        assert merged.a.lo.const == 0 and merged.a.hi.const == 30
+        assert merged.b.lo.const == 0 and merged.b.hi.const == 50
+
+    def test_hull_conservative(self):
+        """The hull passing implies both originals pass (soundness)."""
+        a, b = make_args()
+        c1 = IntersectCond(rng(a, 0, 10), rng(b, 0, 10))
+        c2 = IntersectCond(rng(a, 20, 30), rng(b, 40, 50))
+        (merged,) = coalesce_conditions([c1, c2])
+
+        def overlaps(c, abase, bbase):
+            # concrete evaluation of the range overlap with numeric bases
+            alo, ahi = abase + c.a.lo.const, abase + c.a.hi.const
+            blo, bhi = bbase + c.b.lo.const, bbase + c.b.hi.const
+            return alo < bhi and blo < ahi
+
+        for abase in range(0, 60, 7):
+            for bbase in range(0, 60, 7):
+                if not overlaps(merged, abase, bbase):
+                    assert not overlaps(c1, abase, bbase)
+                    assert not overlaps(c2, abase, bbase)
+
+    def test_symbolic_delta_not_coalesced(self):
+        m = Module("t")
+        fn = m.add_function(
+            Function("f", [Argument("a", PTR), Argument("b", PTR), Argument("k", INT)])
+        )
+        a, b, k = fn.args
+        c1 = IntersectCond(rng(a, 0, 4), rng(b, 0, 4))
+        c2 = IntersectCond(
+            SymRange(a, Affine.symbol(k), Affine.symbol(k).add(Affine.constant(4))),
+            rng(b, 0, 4),
+        )
+        out = coalesce_conditions([c1, c2])
+        assert len(out) == 2
+
+
+def loop_with_ranges():
+    """for i: ... with accesses a[i] and b[i] -> loop-variant ranges."""
+    src = """
+    void f(double *a, double *b, int n) {
+      for (int i = 0; i < n; i++) a[i] = b[i] + 1.0;
+    }
+    """
+    m = compile_c(src)
+    fn = m["f"]
+    loop = [it for it in fn.items if isinstance(it, Loop)][0]
+    return m, fn, loop
+
+
+class TestPromotion:
+    def test_precise_promotion_cancels_shared_iv(self):
+        m, fn, loop = loop_with_ranges()
+        load = [i for i in loop.instructions() if i.opcode == "load"][0]
+        store = [i for i in loop.instructions() if i.opcode == "store"][0]
+        from repro.analysis.depgraph import range_of
+
+        ra, rb = range_of(store), range_of(load)
+        cond = IntersectCond(ra, rb)
+        promoted = promote_intersect(cond, loop)
+        assert promoted is not None
+        from repro.analysis import is_invariant
+
+        for bound in (promoted.a.lo, promoted.a.hi, promoted.b.lo, promoted.b.hi):
+            assert is_invariant(bound, loop)
+
+    def test_imprecise_promotion_uses_trip_count(self):
+        """a[i] vs b[2*i]: different steps, different bases -> widen by N."""
+        src = """
+        void f(double *a, double *b, int n) {
+          for (int i = 0; i < n; i++) a[i] = b[2*i] + 1.0;
+        }
+        """
+        m = compile_c(src)
+        fn = m["f"]
+        loop = [it for it in fn.items if isinstance(it, Loop)][0]
+        load = [i for i in loop.instructions() if i.opcode == "load"][0]
+        store = [i for i in loop.instructions() if i.opcode == "store"][0]
+        from repro.analysis.depgraph import range_of
+
+        cond = IntersectCond(range_of(store), range_of(load))
+        promoted = promote_intersect(cond, loop)
+        assert promoted is not None
+        # b side widened by 2*(N-1): hi contains the trip count symbol
+        n_arg = fn.args[2]
+        assert promoted.b.hi.coeff(n_arg) == 2
+
+    def test_same_base_imprecise_rejected(self):
+        """In-place update: a[i] vs a[2*i] must NOT be widened (paper rule)."""
+        src = """
+        void f(double *a, int n) {
+          for (int i = 1; i < n; i++) a[i] = a[2*i] + 1.0;
+        }
+        """
+        m = compile_c(src)
+        fn = m["f"]
+        loop = [it for it in fn.items if isinstance(it, Loop)][0]
+        load = [i for i in loop.instructions() if i.opcode == "load"][0]
+        store = [i for i in loop.instructions() if i.opcode == "store"][0]
+        from repro.analysis.depgraph import range_of
+
+        cond = IntersectCond(range_of(store), range_of(load))
+        assert promote_intersect(cond, loop) is None
+
+    def test_plan_promotion_hoists_check_out_of_loop(self):
+        """A versioned in-loop pack gets its check re-anchored before the
+        loop, so the dynamic check count is O(1), not O(n)."""
+        src = """
+        void f(double *a, double *b, int n) {
+          for (int i = 0; i < n; i++) {
+            a[i] = 1.0;
+            b[i] = 2.0;
+          }
+        }
+        """
+
+        def build_and_run(optimize):
+            m = compile_c(src)
+            fn = m["f"]
+            loop = [it for it in fn.items if isinstance(it, Loop)][0]
+            stores = [i for i in loop.instructions() if i.opcode == "store"]
+            vf = VersioningFramework(fn)
+            plan = vf.infer_for_items(stores)
+            assert plan is not None and not plan.is_empty()
+            vf.materialize([plan], optimize=optimize)
+            verify_function(fn)
+            interp = Interpreter(m)
+            a = interp.memory.alloc(32)
+            b = interp.memory.alloc(32)
+            res = interp.run(fn, [a, b, 32])
+            return res.counters.checks, interp.memory.read_array(a, 32), interp.memory.read_array(b, 32)
+
+        checks_opt, a_opt, b_opt = build_and_run(True)
+        checks_raw, a_raw, b_raw = build_and_run(False)
+        assert a_opt == a_raw and b_opt == b_raw
+        assert checks_opt < checks_raw  # hoisted: once vs per-iteration
+        assert checks_opt <= 2
+
+    def test_promoted_check_still_correct_under_overlap(self):
+        src = """
+        void f(double *a, double *b, int n) {
+          for (int i = 0; i < n; i++) {
+            a[i] = a[i] + 1.0;
+            b[i] = b[i] + 10.0;
+          }
+        }
+        """
+
+        def run(module, overlap):
+            interp = Interpreter(module)
+            if overlap:
+                a = interp.memory.alloc(16)
+                b = a + 3
+                interp.memory.write_array(a, [float(i) for i in range(16)])
+            else:
+                a = interp.memory.alloc(8)
+                b = interp.memory.alloc(8)
+                interp.memory.write_array(a, [float(i) for i in range(8)])
+                interp.memory.write_array(b, [float(i) for i in range(8)])
+            interp.run(module["f"], [a, b, 8])
+            return interp.memory.read_array(a, 11 if overlap else 8)
+
+        for overlap in (False, True):
+            m_ref = compile_c(src)
+            m_ver = compile_c(src)
+            fn = m_ver["f"]
+            loop = [it for it in fn.items if isinstance(it, Loop)][0]
+            stores = [i for i in loop.instructions() if i.opcode == "store"]
+            vf = VersioningFramework(fn)
+            plan = vf.infer_for_items(stores)
+            vf.materialize([plan], optimize=True)
+            assert run(m_ref, overlap) == run(m_ver, overlap)

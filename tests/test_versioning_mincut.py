@@ -1,0 +1,182 @@
+"""Tests for the max-flow solver and dependence-graph cuts."""
+
+import pytest
+
+from repro.analysis import DependenceGraph, IntersectCond, PredCond
+from repro.frontend import compile_c
+from repro.versioning import FlowNetwork, find_cut
+from repro.versioning.flowgraph import _edge_key
+
+
+class TestDinic:
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 1) == 5
+
+    def test_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 10)
+        net.add_edge(1, 2, 3)
+        assert net.max_flow(0, 2) == 3
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(0, 2, 3)
+        net.add_edge(2, 3, 3)
+        assert net.max_flow(0, 3) == 5
+
+    def test_classic_cross_graph(self):
+        # max-flow needs the residual back edge to reach 2000 here
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1000)
+        net.add_edge(0, 2, 1000)
+        net.add_edge(1, 2, 1)
+        net.add_edge(1, 3, 1000)
+        net.add_edge(2, 3, 1000)
+        assert net.max_flow(0, 3) == 2000
+
+    def test_disconnected(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 5)
+        net.add_edge(2, 3, 5)
+        assert net.max_flow(0, 3) == 0
+
+    def test_min_cut_side(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 2, 10)
+        net.max_flow(0, 2)
+        assert net.min_cut_side(0) == {0}
+
+    def test_same_source_sink_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.max_flow(0, 0)
+
+    def test_matches_networkx(self):
+        """Cross-check against networkx on a random-ish graph."""
+        import networkx as nx
+        import random
+
+        rng = random.Random(7)
+        for _ in range(10):
+            n = 8
+            edges = []
+            for _e in range(16):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v:
+                    edges.append((u, v, rng.randint(1, 9)))
+            net = FlowNetwork(n)
+            g = nx.DiGraph()
+            for u, v, c in edges:
+                net.add_edge(u, v, c)
+                if g.has_edge(u, v):
+                    g[u][v]["capacity"] += c
+                else:
+                    g.add_edge(u, v, capacity=c)
+            g.add_nodes_from(range(n))
+            ours = net.max_flow(0, n - 1)
+            theirs = nx.maximum_flow_value(g, 0, n - 1) if g.has_node(0) else 0
+            assert ours == theirs
+
+
+def running_example():
+    src = """
+    extern void cold_func(void);
+    void f(double *X, double *Y) {
+      Y[0] = 0.0;
+      if (X[0] != 0.0) cold_func();
+      Y[1] = 0.0;
+    }
+    """
+    m = compile_c(src)
+    fn = m["f"]
+    g = DependenceGraph(fn)
+    by_op = {}
+    for inst in fn.instructions():
+        by_op.setdefault(inst.opcode, []).append(inst)
+    return m, fn, g, by_op
+
+
+class TestFindCutRunningExample:
+    def test_primary_cut_two_conditional_edges(self):
+        """The Fig. 9 cut: {store1 -> call (c), load -> store0 (intersects)}."""
+        _, _, g, ops = running_example()
+        stores = ops["store"]
+        cut = find_cut(g, stores, stores)
+        assert cut is not None
+        kinds = sorted(type(e.cond).__name__ for e in cut.cut_edges)
+        assert kinds == ["IntersectCond", "PredCond"]
+        pairs = {(e.src.opcode, e.dst.opcode) for e in cut.cut_edges}
+        assert ("store", "call") in pairs
+        # the intersects edge is either load->store0 (the paper's Fig. 9)
+        # or the equally minimal store1->load cut
+        assert ("load", "store") in pairs or ("store", "load") in pairs
+
+    def test_updated_cut_after_secondary(self):
+        """Fig. 11: with load->store0 removed, only {store1->call} remains
+        and the source side shrinks to the second store."""
+        _, _, g, ops = running_example()
+        stores = ops["store"]
+        load_edge = [
+            e for e in g.all_edges()
+            if e.src.opcode == "load" and e.dst.opcode == "store"
+        ][0]
+        cut = find_cut(g, stores, stores, removed={_edge_key(load_edge)})
+        assert cut is not None
+        assert len(cut.cut_edges) == 1
+        (e,) = cut.cut_edges
+        assert e.src.opcode == "store" and e.dst.opcode == "call"
+        assert isinstance(e.cond, PredCond)
+        assert cut.source_nodes == [stores[1]]
+
+    def test_secondary_cut(self):
+        """Fig. 10: separating the comparison from the stores cuts exactly
+        the load -> store0 intersects edge."""
+        _, _, g, ops = running_example()
+        stores = ops["store"]
+        cmp = ops["cmp"][0]
+        cut = find_cut(g, [cmp], stores)
+        assert cut is not None
+        assert len(cut.cut_edges) == 1
+        (e,) = cut.cut_edges
+        assert e.src.opcode == "load" and isinstance(e.cond, IntersectCond)
+        # source side that reaches the stores: the cmp and the load
+        assert {n.opcode for n in cut.source_nodes} == {"cmp", "load"}
+
+    def test_already_independent_returns_empty(self):
+        src = "void f(double * restrict a, double * restrict b) { a[0] = 1.0; b[0] = 2.0; }"
+        m = compile_c(src)
+        fn = m["f"]
+        g = DependenceGraph(fn)
+        stores = [i for i in fn.instructions() if i.opcode == "store"]
+        cut = find_cut(g, stores, stores)
+        assert cut is not None and cut.empty
+
+    def test_unconditional_dependence_infeasible(self):
+        src = """
+        void f(double *a) {
+          a[1] = a[0] + 1.0;
+          a[2] = a[1] * 2.0;
+        }
+        """
+        m = compile_c(src)
+        fn = m["f"]
+        g = DependenceGraph(fn)
+        stores = [i for i in fn.instructions() if i.opcode == "store"]
+        # store a[2] unconditionally depends on store a[1] via the load
+        cut = find_cut(g, stores, stores)
+        assert cut is None
+
+    def test_likelihood_biases_cut_choice(self):
+        """With profile capacities, the cut prefers low-likelihood edges."""
+        _, _, g, ops = running_example()
+        stores = ops["store"]
+        # make the call edge "hot" so the min cut must look identical in
+        # size but cheapest overall; here both cuts have one candidate
+        # each so we just verify the API accepts a likelihood function.
+        cut = find_cut(g, stores, stores, likelihood=lambda e: 0.5)
+        assert cut is not None and len(cut.cut_edges) == 2

@@ -1,0 +1,259 @@
+"""Tests for nested versioning-plan inference and materialization.
+
+The heart of the reproduction: the running example must produce the
+paper's nested plan (Fig. 12) and, once materialized, behave identically
+to the original program on every aliasing scenario (Fig. 15).
+"""
+
+import pytest
+
+from repro.analysis import DependenceGraph, IntersectCond, PredCond
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import print_function, verify_function
+from repro.versioning import (
+    VersioningFramework,
+    infer_plan_for_items,
+    make_independent,
+)
+
+RUNNING_EXAMPLE = """
+extern void cold_func(void);
+void f(double *X, double *Y) {
+  Y[0] = 0.0;
+  if (X[0] != 0.0) cold_func();
+  Y[1] = 0.0;
+}
+"""
+
+
+def compiled(src):
+    m = compile_c(src)
+    fn = list(m.functions.values())[0]
+    ops = {}
+    for inst in fn.instructions():
+        ops.setdefault(inst.opcode, []).append(inst)
+    return m, fn, ops
+
+
+class TestInference:
+    def test_running_example_nested_plan(self):
+        m, fn, ops = compiled(RUNNING_EXAMPLE)
+        g = DependenceGraph(fn)
+        stores = ops["store"]
+        plan = infer_plan_for_items(g, stores)
+        assert plan is not None
+        # Fig 12: primary versions both stores under {c}
+        assert set(map(id, plan.nodes)) >= set(map(id, stores))
+        assert len(plan.conditions) == 1
+        assert isinstance(plan.conditions[0], PredCond)
+        # and a secondary plan with the intersects condition exists
+        assert plan.secondary is not None
+        sec = plan.secondary
+        assert any(isinstance(c, IntersectCond) for c in sec.conditions)
+        assert plan.depth() == 2
+
+    def test_secondary_versions_load_and_cmp(self):
+        m, fn, ops = compiled(RUNNING_EXAMPLE)
+        g = DependenceGraph(fn)
+        plan = infer_plan_for_items(g, ops["store"])
+        sec_ops = {n.opcode for n in plan.secondary.nodes}
+        assert "store" in sec_ops  # input nodes are versioned too
+
+    def test_independent_items_give_empty_plan(self):
+        m, fn, ops = compiled(
+            "void f(double * restrict a, double * restrict b) { a[0]=1.0; b[0]=2.0; }"
+        )
+        g = DependenceGraph(fn)
+        plan = infer_plan_for_items(g, ops["store"])
+        assert plan is not None and plan.is_empty()
+
+    def test_unconditional_chain_infeasible(self):
+        m, fn, ops = compiled(
+            "void f(double *a) { a[1] = a[0] + 1.0; a[2] = a[1] * 2.0; }"
+        )
+        g = DependenceGraph(fn)
+        plan = infer_plan_for_items(g, ops["store"])
+        assert plan is None
+
+    def test_framework_api(self):
+        m, fn, ops = compiled(RUNNING_EXAMPLE)
+        vf = VersioningFramework(fn)
+        plan = vf.infer_for_items(ops["store"])
+        assert plan is not None and not plan.is_empty()
+
+    def test_mixed_scope_rejected(self):
+        m, fn, ops = compiled(
+            "void f(double *a, int n) { a[0]=1.0; for (int i=0;i<n;i++) a[i]=2.0; }"
+        )
+        vf = VersioningFramework(fn)
+        loop_store = [i for i in ops["store"] if i.parent is not fn][0]
+        top_store = [i for i in ops["store"] if i.parent is fn][0]
+        with pytest.raises(ValueError):
+            vf.infer_for_items([top_store, loop_store])
+
+
+def run_fig1(fn_module, x_init, alias_mode):
+    """Run the (possibly versioned) running example.
+
+    alias_mode: 'disjoint', 'x_is_y0' (X == &Y[0]), 'x_is_y1' (X == &Y[1]).
+    Returns (y values, calls, checks, mem of X cell).
+    """
+    m = fn_module
+    calls = []
+    interp = Interpreter(
+        m, externals={"cold_func": lambda i, mem, a: calls.append(1)}
+    )
+    if alias_mode == "disjoint":
+        x = interp.memory.alloc(1)
+        y = interp.memory.alloc(2)
+    else:
+        y = interp.memory.alloc(2)
+        x = y if alias_mode == "x_is_y0" else y + 1
+    interp.memory.store(x, x_init)
+    res = interp.run(m["f"], [x, y])
+    return interp.memory.read_array(y, 2), len(calls), res.counters.checks
+
+
+SCENARIOS = [
+    ("disjoint", 0.0),
+    ("disjoint", 5.0),
+    ("x_is_y0", 0.0),
+    ("x_is_y0", 5.0),
+    ("x_is_y1", 0.0),
+    ("x_is_y1", 5.0),
+]
+
+
+class TestMaterializationSemantics:
+    """Versioned and original programs agree on every aliasing scenario."""
+
+    @pytest.mark.parametrize("alias_mode,x_init", SCENARIOS)
+    def test_semantics_preserved(self, alias_mode, x_init):
+        m_ref, fn_ref, ops_ref = compiled(RUNNING_EXAMPLE)
+        m_ver, fn_ver, ops_ver = compiled(RUNNING_EXAMPLE)
+        assert make_independent(fn_ver, ops_ver["store"])
+        verify_function(fn_ver)
+        ref = run_fig1(m_ref, x_init, alias_mode)
+        ver = run_fig1(m_ver, x_init, alias_mode)
+        assert ver[0] == ref[0], print_function(fn_ver)
+        assert ver[1] == ref[1]  # same number of cold_func calls
+
+    def test_checks_execute_in_versioned_program(self):
+        m_ver, fn_ver, ops_ver = compiled(RUNNING_EXAMPLE)
+        make_independent(fn_ver, ops_ver["store"])
+        _, _, checks = run_fig1(m_ver, 0.0, "disjoint")
+        assert checks > 0
+
+    def test_stores_duplicated(self):
+        m_ver, fn_ver, ops_ver = compiled(RUNNING_EXAMPLE)
+        n_before = sum(1 for i in fn_ver.instructions() if i.opcode == "store")
+        make_independent(fn_ver, ops_ver["store"])
+        n_after = sum(1 for i in fn_ver.instructions() if i.opcode == "store")
+        assert n_after > n_before
+
+    def test_versioned_originals_get_noalias_groups(self):
+        m_ver, fn_ver, ops_ver = compiled(RUNNING_EXAMPLE)
+        stores = ops_ver["store"]
+        make_independent(fn_ver, stores)
+        from repro.analysis.alias import NOALIAS_GROUPS_KEY
+
+        for s in stores:
+            assert s.metadata.get(NOALIAS_GROUPS_KEY)
+
+    def test_post_materialization_originals_independent(self):
+        """With the plan's removed edges assumed independent, a fresh graph
+        shows no path between the versioned stores."""
+        m_ver, fn_ver, ops_ver = compiled(RUNNING_EXAMPLE)
+        stores = ops_ver["store"]
+        vf = VersioningFramework(fn_ver)
+        plan = vf.infer_for_items(stores)
+        removed = set(plan.removed_edges)
+        vf.materialize([plan])
+        g = DependenceGraph(fn_ver, assume_independent=removed)
+        from repro.versioning import find_cut
+
+        cut = find_cut(g, stores, stores)
+        assert cut is not None and cut.empty
+
+
+class TestLoopVersioningSemantics:
+    """Whole-loop granularity: two may-alias loops made independent."""
+
+    SRC = """
+    void f(double *a, double *b, int n) {
+      for (int i = 0; i < n; i++) a[i] = a[i] + 1.0;
+      for (int i = 0; i < n; i++) b[i] = b[i] * 2.0;
+    }
+    """
+
+    def _run(self, module, overlap):
+        interp = Interpreter(module)
+        if overlap:
+            a = interp.memory.alloc(12)  # b = a+4 overlaps a[4..10)
+            b = a + 4
+            interp.memory.write_array(a, [1.0] * 12)
+        else:
+            a = interp.memory.alloc(8)
+            b = interp.memory.alloc(8)
+            interp.memory.write_array(a, [1.0] * 8)
+            interp.memory.write_array(b, [3.0] * 8)
+        interp.run(module["f"], [a, b, 6])
+        return interp.memory.read_array(a, 8), interp.memory.read_array(b, 6)
+
+    def test_loops_versionable(self):
+        m, fn, ops = compiled(self.SRC)
+        from repro.ir import Loop
+
+        loops = [it for it in fn.items if isinstance(it, Loop)]
+        vf = VersioningFramework(fn)
+        plan = vf.infer_for_items(loops)
+        assert plan is not None and not plan.is_empty()
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_loop_versioning_preserves_semantics(self, overlap):
+        from repro.ir import Loop
+
+        m_ref, fn_ref, _ = compiled(self.SRC)
+        m_ver, fn_ver, _ = compiled(self.SRC)
+        loops = [it for it in fn_ver.items if isinstance(it, Loop)]
+        assert make_independent(fn_ver, loops)
+        verify_function(fn_ver)
+        assert self._run(m_ref, overlap) == self._run(m_ver, overlap)
+
+
+class TestScalarChainVersioning:
+    """Versioning a value-producing instruction reroutes its users via a
+    versioning phi, including the function return value."""
+
+    SRC = """
+    double f(double *a, double *b) {
+      b[0] = 7.0;
+      double x = a[0];
+      return x * 2.0;
+    }
+    """
+
+    def _run(self, module, overlap):
+        interp = Interpreter(module)
+        if overlap:
+            a = interp.memory.alloc(2)
+            b = a
+        else:
+            a = interp.memory.alloc(2)
+            b = interp.memory.alloc(2)
+        interp.memory.store(a, 3.0)
+        return interp.run(module["f"], [a, b]).return_value
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_load_versioned_against_store(self, overlap):
+        m_ref, fn_ref, ops_ref = compiled(self.SRC)
+        m_ver, fn_ver, ops_ver = compiled(self.SRC)
+        load = ops_ver["load"][0]
+        store = ops_ver["store"][0]
+        vf = VersioningFramework(fn_ver)
+        plan = vf.infer_independence([load], [store])
+        assert plan is not None and not plan.is_empty()
+        vf.materialize([plan])
+        verify_function(fn_ver)
+        assert self._run(m_ref, overlap) == self._run(m_ver, overlap)

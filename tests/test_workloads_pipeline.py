@@ -1,0 +1,142 @@
+"""Integration tests: pipelines × workloads, verified against O0.
+
+Every configuration run in the benchmarks must produce bit-identical (or
+float-tolerant) results to the unoptimized build; these tests pin that
+for a representative sample so the benches can't silently miscompile.
+"""
+
+import pytest
+
+from repro.perf.measure import (
+    ChecksumMismatch,
+    geomean,
+    run_workload,
+    verified_run,
+)
+from repro.pipeline.pipelines import PIPELINES, compile_and_optimize
+from repro.workloads import polybench, speclike, tsvc
+
+POLY_SAMPLE = ["gemm", "atax", "floyd-warshall", "lu", "correlation", "trisolv"]
+TSVC_SAMPLE = ["s000", "s113", "s121", "s258", "s281", "s311", "s313", "s452"]
+
+
+def poly(name):
+    return next(f() for f in polybench.ALL if f().name == name)
+
+
+def tsv(name):
+    return next(w for w in tsvc.workloads() if w.name == name)
+
+
+class TestPolybenchVerified:
+    @pytest.mark.parametrize("name", POLY_SAMPLE)
+    @pytest.mark.parametrize("level", ["O3-scalar", "O3", "supervec", "supervec+v"])
+    def test_verified(self, name, level):
+        w = poly(name)
+        ref = run_workload(w, "O0")
+        verified_run(w, level, reference=ref)
+
+    @pytest.mark.parametrize("name", POLY_SAMPLE)
+    def test_verified_no_restrict(self, name):
+        w = poly(name)
+        ref = run_workload(w, "O0", honor_restrict=False)
+        verified_run(w, "supervec+v", reference=ref, honor_restrict=False)
+
+    def test_versioning_only_kernels_win(self):
+        """The Fig. 16 claim, strongest on floyd-warshall: the in-place
+        update is vectorizable only with fine-grained checks.  (lu's
+        inner dot products are pure-load reductions both configurations
+        handle, so it only needs to be no worse here.)"""
+        w = poly("floyd-warshall")
+        ref = run_workload(w, "O0")
+        o3 = verified_run(w, "O3", reference=ref)
+        svv = verified_run(w, "supervec+v", reference=ref)
+        assert svv.cycles < o3.cycles
+        w = poly("lu")
+        ref = run_workload(w, "O0")
+        o3 = verified_run(w, "O3", reference=ref)
+        svv = verified_run(w, "supervec+v", reference=ref)
+        assert svv.cycles <= o3.cycles
+
+
+class TestTSVCVerified:
+    @pytest.mark.parametrize("name", TSVC_SAMPLE)
+    @pytest.mark.parametrize("level", ["O3", "supervec", "supervec+v"])
+    def test_verified(self, name, level):
+        w = tsv(name)
+        ref = run_workload(w, "O0")
+        verified_run(w, level, reference=ref)
+
+    def test_s281_versioning_beats_loop_versioning(self):
+        w = tsv("s281")
+        ref = run_workload(w, "O0")
+        o3 = verified_run(w, "O3", reference=ref)
+        svv = verified_run(w, "supervec+v", reference=ref)
+        assert svv.cycles < o3.cycles
+
+    def test_s258_parameter_variant_verified(self):
+        w = tsvc.s258_parameter_variant()
+        ref = run_workload(w, "O0")
+        r = verified_run(w, "supervec+v", reference=ref)
+        assert r.counters.checks <= r.counters.backedges  # hoisted checks
+
+    def test_s258_biased_data(self):
+        w = tsvc.s258_biased()
+        ref = run_workload(w, "O0")
+        verified_run(w, "supervec+v", reference=ref)
+
+
+class TestSpecLikeVerified:
+    @pytest.mark.parametrize("factory", speclike.ALL, ids=lambda f: f.__name__)
+    def test_rle_verified(self, factory):
+        w = factory()
+        base = run_workload(w, "O3-scalar", rle=False)
+        verified_run(w, "O3-scalar", reference=base, rle=True)
+
+    def test_lbm_profile(self):
+        w = speclike.lbm_r()
+        base = run_workload(w, "O3-scalar", rle=False)
+        opt = verified_run(w, "O3-scalar", reference=base, rle=True)
+        assert opt.counters.loads < base.counters.loads
+        assert opt.cycles < base.cycles
+
+    def test_povray_checks_fail(self):
+        """hit == ray: the checks fail, results stay exact, no gain."""
+        w = speclike.povray_r()
+        base = run_workload(w, "O3-scalar", rle=False)
+        opt = verified_run(w, "O3-scalar", reference=base, rle=True)
+        assert opt.counters.loads >= base.counters.loads  # nothing saved
+        assert opt.cycles >= base.cycles  # pure overhead
+
+
+class TestHarness:
+    def test_checksum_mismatch_detected(self):
+        """The harness must catch a miscompile: corrupt a module by hand
+        and confirm verified_run raises."""
+        from repro.perf.measure import ArrayArg, Workload, build, execute
+
+        w = Workload(
+            "broken",
+            "void kernel(double *a, int n) { for (int i = 0; i < n; i++) a[i] = 1.0; }",
+            [ArrayArg("a", 8), __import__("repro.perf.measure", fromlist=["ScalarArg"]).ScalarArg("n", 8)],
+            entry="kernel",
+        )
+        ref = run_workload(w, "O0")
+        module, stats = build(w, "O0")
+        # sabotage: flip the stored constant
+        from repro.ir.values import const_float
+
+        store = [i for i in module["kernel"].instructions() if i.opcode == "store"][0]
+        store.set_operand(1, const_float(2.0))
+        result = execute(module, w, stats)
+        assert result.checksum != ref.checksum
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_pipeline_levels_all_run(self):
+        src = "double f(double * restrict a, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }"
+        for level in PIPELINES:
+            module, stats = compile_and_optimize(src, level)
+            assert "f" in module.functions
