@@ -15,7 +15,8 @@ showing gains exclusively in the SV+V column.
 
 from conftest import report
 
-from repro.perf.measure import geomean, run_workload, verified_run
+from repro.perf.measure import run_workload, verified_run
+from repro.perf.report import geomean
 from repro.workloads import polybench
 
 CONFIGS = [("O3", "LLVM-O3"), ("supervec", "SuperVec"), ("supervec+v", "SuperVec+V")]

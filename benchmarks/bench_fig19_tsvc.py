@@ -10,7 +10,8 @@ s113, s131, ...), which whole-loop versioning cannot check.
 
 from conftest import report
 
-from repro.perf.measure import geomean, run_workload, verified_run
+from repro.perf.measure import run_workload, verified_run
+from repro.perf.report import geomean
 from repro.workloads import tsvc
 
 

@@ -12,7 +12,8 @@ writes, neutral-to-negative rows where checks buy nothing.
 
 from conftest import report
 
-from repro.perf.measure import geomean, run_workload, verified_run
+from repro.perf.measure import run_workload, verified_run
+from repro.perf.report import geomean
 from repro.workloads import speclike
 
 

@@ -1,0 +1,142 @@
+"""Wall-clock comparison of the execution backends on the Fig. 16 kernels.
+
+Times each phase honestly (caches cleared, same built module handed to
+both executors):
+
+* **build**    — front end + optimization pipeline (shared by backends)
+* **compile**  — PSSA-to-closure translation (compiled backend only,
+  paid once per function thanks to the compile cache)
+* **exec ref** — reference tree-walking interpreter
+* **exec jit** — closure-compiled executor
+
+and verifies on every kernel that the two backends return bit-identical
+cycles, counters, and checksums before any timing is reported.  Results
+go to ``BENCH_interp.json`` at the repo root: per-kernel phase timings,
+the geomean execute-phase speedup, and the aggregate dynamic-counter
+profile (including the per-opcode breakdown) of the kernel set.
+
+Run standalone (``python bench_wallclock.py``) or under pytest, where
+the ≥3x execute-phase speedup is asserted.
+"""
+
+import json
+import os
+import time
+
+from repro.interp import clear_compile_cache, compile_function
+from repro.interp.interpreter import Counters
+from repro.perf import measure
+from repro.perf.report import counters_report, format_table, geomean
+from repro.workloads import polybench
+
+LEVEL = "supervec+v"
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_interp.json")
+
+
+def _best_of(f, n=3):
+    """Best-of-n wall time for a phase; returns (seconds, last result)."""
+    best, result = float("inf"), None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        result = f()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def measure_kernel(workload):
+    t0 = time.perf_counter()
+    module, stats = measure.build(workload, LEVEL, use_cache=False)
+    t_build = time.perf_counter() - t0
+
+    t_ref, ref = _best_of(
+        lambda: measure.execute(module, workload, stats, backend="reference")
+    )
+
+    clear_compile_cache()
+    t0 = time.perf_counter()
+    for fn in module.functions.values():
+        compile_function(fn)
+    t_compile = time.perf_counter() - t0
+
+    t_jit, got = _best_of(
+        lambda: measure.execute(module, workload, stats, backend="compiled")
+    )
+
+    assert got.cycles == ref.cycles, f"{workload.name}: cycle drift"
+    assert got.checksum == ref.checksum, f"{workload.name}: checksum drift"
+    assert got.counters.as_dict() == ref.counters.as_dict(), (
+        f"{workload.name}: counter drift"
+    )
+    return {
+        "kernel": workload.name,
+        "build_s": round(t_build, 6),
+        "compile_s": round(t_compile, 6),
+        "exec_reference_s": round(t_ref, 6),
+        "exec_compiled_s": round(t_jit, 6),
+        "exec_speedup": round(t_ref / t_jit, 3) if t_jit > 0 else float("inf"),
+        "simulated_cycles": ref.cycles,
+    }, ref.counters
+
+
+def run_wallclock():
+    measure.clear_build_cache()
+    records = []
+    total = Counters()
+    for factory in polybench.ALL:
+        rec, counters = measure_kernel(factory())
+        records.append(rec)
+        total.merge(counters)
+    geo = geomean([r["exec_speedup"] for r in records])
+    payload = {
+        "level": LEVEL,
+        "kernel_set": "fig16-polybench",
+        "backends": {
+            "reference": "tree-walking interpreter (repro.interp.interpreter)",
+            "compiled": "closure-compiled executor (repro.interp.compile)",
+        },
+        "kernels": records,
+        "geomean_exec_speedup": round(geo, 3),
+        "total_counters": total.as_dict(),
+    }
+    with open(JSON_PATH, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    return payload
+
+
+def render(payload) -> str:
+    rows = [
+        (
+            r["kernel"], r["build_s"] * 1e3, r["compile_s"] * 1e3,
+            r["exec_reference_s"] * 1e3, r["exec_compiled_s"] * 1e3,
+            r["exec_speedup"],
+        )
+        for r in payload["kernels"]
+    ]
+    table = format_table(
+        ["kernel", "build ms", "compile ms", "ref ms", "jit ms", "speedup"],
+        rows,
+    )
+    profile = counters_report(
+        payload["total_counters"], title="aggregate dynamic profile:", top=10
+    )
+    return (
+        f"Execution-backend wall clock @ {payload['level']}\n{table}\n"
+        f"geomean execute speedup: {payload['geomean_exec_speedup']:.2f}x\n"
+        f"{profile}\n[written to {JSON_PATH}]"
+    )
+
+
+def test_wallclock_compiled_3x():
+    payload = run_wallclock()
+    print()
+    print(render(payload))
+    assert payload["geomean_exec_speedup"] >= 3.0, (
+        "compiled backend must execute >=3x faster than the reference "
+        f"interpreter, got {payload['geomean_exec_speedup']}x"
+    )
+
+
+if __name__ == "__main__":
+    print(render(run_wallclock()))

@@ -5,11 +5,33 @@ simulated-cycle speedups are printed as the paper-style rows/series and
 also written to ``benchmarks/results/<name>.txt``.  pytest-benchmark
 times the (deterministic) harness run itself; the numbers that matter are
 the printed cycle ratios.
+
+Benchmarks execute on the measurement harness's default backend — the
+closure-compiled executor (see :mod:`repro.interp.compile`), which
+charges cycles and counters bit-identical to the reference interpreter.
+Set ``REPRO_BACKEND=reference`` to rerun every figure on the
+tree-walking interpreter instead; the printed cycle numbers must not
+change, only the wall-clock does.
 """
 
 import os
 
+from repro.perf import measure
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_configure(config):
+    # honor an explicit backend request and start from cold caches so a
+    # benchmark session measures what a fresh checkout would
+    backend = os.environ.get("REPRO_BACKEND")
+    if backend:
+        measure.set_default_backend(backend)
+    measure.clear_reference_cache()
+
+
+def pytest_report_header(config):
+    return f"repro execution backend: {measure.get_default_backend()}"
 
 
 def report(name: str, text: str) -> None:

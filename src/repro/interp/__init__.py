@@ -1,10 +1,27 @@
-"""IR interpreter, flat memory model, and the cycle cost model.
+"""IR execution backends, flat memory model, and the cycle cost model.
 
-This package is the reproduction's "hardware": programs execute on a
-deterministic interpreter whose cost model makes vector lanes parallel, so
-benchmark speedups are cycle-count ratios rather than wall-clock medians.
+This package is the reproduction's "hardware".  Programs execute on one
+of two backends sharing a cost model, so benchmark speedups are
+deterministic cycle-count ratios rather than wall-clock medians:
+
+* ``Interpreter`` — the reference tree-walking interpreter; the
+  semantics of record.
+* ``CompiledExecutor`` — a template-JIT-style backend that translates
+  each function once into specialized Python closures; several times
+  faster in wall-clock while charging bit-identical cycles and counters
+  (see :mod:`repro.interp.compile`).
+
+``BACKENDS`` maps harness-facing names (``"reference"``, ``"compiled"``)
+to executor classes with identical constructor/run contracts.
 """
 
+from .compile import (
+    BACKENDS,
+    CompiledExecutor,
+    CompiledProgram,
+    clear_compile_cache,
+    compile_function,
+)
 from .costmodel import DEFAULT_COST_MODEL, CostModel
 from .interpreter import (
     Counters,
@@ -16,6 +33,9 @@ from .interpreter import (
 from .memory import Memory, MemoryError_
 
 __all__ = [
+    "BACKENDS",
+    "CompiledExecutor",
+    "CompiledProgram",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "Counters",
@@ -25,4 +45,6 @@ __all__ = [
     "StepLimitExceeded",
     "Memory",
     "MemoryError_",
+    "clear_compile_cache",
+    "compile_function",
 ]

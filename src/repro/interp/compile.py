@@ -1,0 +1,1022 @@
+"""Closure-compiled execution backend for predicated SSA.
+
+The reference :class:`~repro.interp.interpreter.Interpreter` is a tree
+walker: every dynamic item pays isinstance dispatch, dict-based operand
+lookup, cost-model dispatch, and predicate re-evaluation.  This module is
+a template-JIT-style alternative in the spirit of single-pass back ends
+like TPDE: **one pass** over a :class:`~repro.ir.loops.Function` turns
+each item into a *specialized Python closure* whose behavior is baked in
+at compile time —
+
+* operand slots are resolved to indices into a flat register file (a
+  plain Python list), so there is no dict lookup and no ``isinstance``
+  dispatch at run time;
+* execution predicates are pre-flattened into short-circuit literal
+  lists (constants folded away, statically-false items dropped, the
+  common single-literal guard fused straight into the item's closure);
+* the opcode's behavior and its :class:`CostModel` cycle cost are baked
+  into the closure as default-argument locals; hot scalar opcodes are
+  instantiated from per-shape *step templates* (source text compiled
+  once per shape and reused across all functions), so an ``add`` of two
+  slots executes as a single bytecode expression with no inner calls;
+* loops become native Python ``while`` loops with simultaneous mu-update
+  buffers, exactly mirroring the reference back-edge semantics.
+
+The backend charges **bit-identical cycles and Counters** through the
+same cost model: cycles are accumulated in the same order with the same
+per-item float costs, and dynamic counters are derived from per-item
+execution counts whose static deltas match the interpreter's updates.
+``tests/test_exec_compiled.py`` proves the identity differentially over
+every workload suite at every pipeline level; the reference interpreter
+stays the semantics of record.
+
+Predicated SSA keeps every definition's guard explicit (the psi/predicated
+SSA literature's precondition for direct execution), which is what lets
+the translator decompose each item's guard into a closed check ahead of
+time instead of re-deriving control flow dynamically.
+
+Compilation is cached per ``Function`` (weakly, keyed by cost model and
+step limit), so ``build()`` output can be executed many times across
+restrict/vl/rle configurations while paying the translation cost once.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+from weakref import WeakKeyDictionary
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Broadcast,
+    BuildVector,
+    Call,
+    Cast,
+    Cmp,
+    Eta,
+    ExtractLane,
+    Instruction,
+    Load,
+    Mu,
+    Phi,
+    PtrAdd,
+    Reduce,
+    Select,
+    Shuffle,
+    Store,
+    UnOp,
+    VecBin,
+    VecCmp,
+    VecLoad,
+    VecSelect,
+    VecStore,
+    VecUn,
+)
+from repro.ir.loops import Function, GlobalArray, Loop, Module, ScopeMixin
+from repro.ir.predicates import Predicate
+from repro.ir.values import Constant, Undef, Value
+
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .interpreter import (
+    Counters,
+    ExecutionResult,
+    InterpreterError,
+    StepLimitExceeded,
+    _default_externals,
+    _int_div,
+    _int_rem,
+)
+from .memory import Memory, MemoryError_
+
+# Sentinel for "this SSA value's defining item has not executed" — the
+# compiled equivalent of a missing env binding (missing-is-false).
+_MISSING = object()
+
+# Reserved register-file slots: 0 holds the executor (externals for Call),
+# 1 holds the Memory so loads/stores inline its slot array access.
+_CTX = 0
+_MEM = 1
+_FIRST_SLOT = 2
+
+
+# ---------------------------------------------------------------------------
+# Opcode implementations (identical semantics to the reference interpreter)
+# ---------------------------------------------------------------------------
+
+
+def _div(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return _int_div(a, b)
+    return a / b
+
+
+def _rem(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return _int_rem(a, b)
+    return math.fmod(a, b)
+
+
+_BIN_IMPL: dict[str, Callable] = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+    "div": _div,
+    "rem": _rem,
+    "min": min,
+    "max": max,
+    "and": lambda a, b: int(a) & int(b),
+    "or": lambda a, b: int(a) | int(b),
+    "xor": lambda a, b: int(a) ^ int(b),
+    "shl": lambda a, b: int(a) << int(b),
+    "shr": lambda a, b: int(a) >> int(b),
+    "pow": operator.pow,
+}
+
+_UN_IMPL: dict[str, Callable] = {
+    "neg": operator.neg,
+    "not": lambda a: not bool(a),
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "exp": math.exp,
+    "log": math.log,
+    "floor": math.floor,
+    "sin": math.sin,
+    "cos": math.cos,
+}
+
+_CMP_IMPL: dict[str, Callable] = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+# Opcodes whose semantics are a plain Python infix expression; everything
+# else goes through the matching impl function.
+_BIN_SYM = {"add": "+", "sub": "-", "mul": "*", "pow": "**"}
+_CMP_SYM = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+# ---------------------------------------------------------------------------
+# Step templates
+# ---------------------------------------------------------------------------
+#
+# A step takes the register file R, the per-item execution-count list C,
+# and the running cycle count; it returns the updated cycle count.  Hot
+# scalar steps are instantiated from source templates: the template for a
+# given *shape* (guard kind x operand kinds x opcode expression) is
+# exec-compiled once into a factory, and each instruction calls the
+# factory with its concrete slots/constants, which land in the closure as
+# default-argument locals — the fastest name access CPython offers.
+
+Step = Callable[[list, list, float], float]
+
+_TEMPLATE_CACHE: dict[tuple, Callable] = {}
+
+
+def _instantiate(key: tuple, lines: Sequence[str], used: Sequence[str],
+                 values: dict) -> Step:
+    mk = _TEMPLATE_CACHE.get(key)
+    if mk is None:
+        params = ", ".join(used)
+        defaults = ", ".join(f"{p}={p}" for p in used)
+        sep = ", " if defaults else ""
+        src = (
+            f"def _make({params}):\n"
+            f"    def step(R, C, cy{sep}{defaults}):\n"
+            + "".join(f"        {ln}\n" for ln in lines)
+            + "    return step\n"
+        )
+        ns: dict = {}
+        exec(src, ns)  # noqa: S102 - generated from fixed templates
+        mk = _TEMPLATE_CACHE[key] = ns["_make"]
+    return mk(*[values[p] for p in used])
+
+
+def _guarded(chk: Callable, inner: Step) -> Step:
+    """Wrap a step so it only runs (and only charges) when its predicate
+    holds — used for the cold emitters; hot templates fuse the guard."""
+
+    def step(R, C, cy, chk=chk, inner=inner):
+        if chk(R):
+            return inner(R, C, cy)
+        return cy
+
+    return step
+
+
+# ---------------------------------------------------------------------------
+# Compiled program
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompiledProgram:
+    """The closure chain for one function plus its static metadata."""
+
+    fn_name: str
+    steps: tuple
+    n_slots: int
+    n_items: int
+    arg_slots: tuple
+    global_pairs: tuple  # (GlobalArray, slot)
+    counter_table: tuple  # per item: (opcode|None, ins, ld, st, br, be, ck, vec, call)
+    read_ret: Callable[[list], object]
+
+    def make_counters(self, counts: list) -> Counters:
+        """Aggregate per-item execution counts into interpreter Counters."""
+        c = Counters()
+        by = c.by_opcode
+        for n, (op, ins, ld, st, br, be, ck, vec, call) in zip(
+            counts, self.counter_table
+        ):
+            if not n:
+                continue
+            if ins:
+                c.instructions += ins * n
+            if ld:
+                c.loads += ld * n
+            if st:
+                c.stores += st * n
+            if br:
+                c.branches += br * n
+            if be:
+                c.backedges += be * n
+            if ck:
+                c.checks += ck * n
+            if vec:
+                c.vector_ops += vec * n
+            if call:
+                c.calls += call * n
+            if op is not None:
+                by[op] = by.get(op, 0) + n
+        return c
+
+
+# ---------------------------------------------------------------------------
+# The one-pass translator
+# ---------------------------------------------------------------------------
+
+
+class _FunctionCompiler:
+    def __init__(self, fn: Function, cost_model: CostModel, max_steps: int):
+        self.fn = fn
+        self.cost = cost_model
+        self.max_steps = max_steps
+        self._slots: dict[Value, int] = {}
+        self._n_slots = _FIRST_SLOT
+        self._globals: dict[GlobalArray, int] = {}
+        self._table: list[tuple] = []
+
+    # -- slot allocation -------------------------------------------------
+
+    def slot(self, v: Value) -> int:
+        s = self._slots.get(v)
+        if s is None:
+            s = self._slots[v] = self._n_slots
+            self._n_slots += 1
+            if isinstance(v, GlobalArray):
+                self._globals[v] = s
+        return s
+
+    def operand(self, v: Value) -> tuple[str, object]:
+        """Resolve an operand at compile time: ('c', value) | ('s', slot)."""
+        if isinstance(v, Constant):
+            return ("c", v.value)
+        if isinstance(v, Undef):
+            return ("c", 0)
+        return ("s", self.slot(v))
+
+    def getter(self, v: Value) -> Callable[[list], object]:
+        kind, payload = self.operand(v)
+        if kind == "c":
+            return lambda R, k=payload: k
+        return lambda R, s=payload: R[s]
+
+    # -- predicate flattening --------------------------------------------
+
+    def pred(self, p: Predicate):
+        """Flatten a predicate at compile time.
+
+        Returns ``True`` (always runs), ``False`` (never runs),
+        ``("lit", slot, negated)`` for the common single-literal guard,
+        or ``("chk", callable)`` for multi-literal conjunctions.
+        """
+        if p.is_true():
+            return True
+        terms: list[tuple[int, bool]] = []
+        for lit in p.literals:
+            v = lit.value
+            if isinstance(v, Constant):
+                if bool(v.value) == lit.negated:
+                    return False
+                continue  # statically-true literal
+            if isinstance(v, Undef):
+                # the reference lookup yields 0 -> literal holds iff negated
+                if not lit.negated:
+                    return False
+                continue
+            terms.append((self.slot(v), lit.negated))
+        if not terms:
+            return True
+        if len(terms) == 1:
+            return ("lit", terms[0][0], terms[0][1])
+        tterms = tuple(terms)
+
+        def chk(R, terms=tterms, MISSING=_MISSING):
+            for s, neg in terms:
+                v = R[s]
+                if v is MISSING or bool(v) == neg:
+                    return False
+            return True
+
+        return ("chk", chk)
+
+    def _as_chk(self, p) -> Callable:
+        """A callable R -> bool for a flattened (non-constant) predicate."""
+        if isinstance(p, tuple) and p[0] == "lit":
+            _, s, neg = p
+            if neg:
+
+                def chk(R, s=s, MISSING=_MISSING):
+                    v = R[s]
+                    return v is not MISSING and not v
+
+            else:
+
+                def chk(R, s=s, MISSING=_MISSING):
+                    v = R[s]
+                    return v is not MISSING and bool(v)
+
+            return chk
+        return p[1]
+
+    # -- counter bookkeeping ---------------------------------------------
+
+    def _item_index(self, entry: tuple) -> int:
+        self._table.append(entry)
+        return len(self._table) - 1
+
+    def _inst_index(self, inst: Instruction) -> int:
+        ld = st = br = ck = vec = call = 0
+        if isinstance(inst, (Load, VecLoad)):
+            ld = 1
+        if isinstance(inst, (Store, VecStore)):
+            st = 1
+        if isinstance(inst, Cmp):
+            if inst.is_branch_source:
+                br = 1
+            if inst.is_versioning_check:
+                ck = 1
+        if isinstance(
+            inst,
+            (VecLoad, VecStore, VecBin, VecUn, VecCmp, VecSelect, BuildVector,
+             Shuffle, Broadcast, Reduce),
+        ):
+            vec = 1
+        if isinstance(inst, Call):
+            call = 1
+        return self._item_index((inst.opcode, 1, ld, st, br, 0, ck, vec, call))
+
+    def _loop_index(self, loop: Loop) -> int:
+        # one back edge and one branch per iteration, no instruction count
+        return self._item_index((None, 0, 0, 0, 1, 1, 0, 0, 0))
+
+    # -- top level -------------------------------------------------------
+
+    def compile(self) -> CompiledProgram:
+        fn = self.fn
+        arg_slots = tuple(self.slot(a) for a in fn.args)
+        steps = self._compile_scope(fn)
+        read_ret = self._compile_return(fn.return_value)
+        return CompiledProgram(
+            fn_name=fn.name,
+            steps=steps,
+            n_slots=self._n_slots,
+            n_items=len(self._table),
+            arg_slots=arg_slots,
+            global_pairs=tuple(self._globals.items()),
+            counter_table=tuple(self._table),
+            read_ret=read_ret,
+        )
+
+    def _compile_return(self, rv: Optional[Value]):
+        if rv is None:
+            return lambda R: None
+        if isinstance(rv, Constant):
+            return lambda R, k=rv.value: k
+        if isinstance(rv, Undef):
+            return lambda R: 0
+        s = self.slot(rv)
+        label = rv.display_name()
+
+        def read_ret(R, s=s, label=label, MISSING=_MISSING):
+            v = R[s]
+            if v is MISSING:
+                raise InterpreterError(
+                    f"value {label} has no binding (did it execute?)"
+                )
+            return v
+
+        return read_ret
+
+    def _compile_scope(self, scope: ScopeMixin) -> tuple:
+        steps = []
+        for item in scope.items:
+            step = (
+                self._compile_loop(item)
+                if isinstance(item, Loop)
+                else self._compile_instruction(item)
+            )
+            if step is not None:
+                steps.append(step)
+        return tuple(steps)
+
+    # -- loops -----------------------------------------------------------
+
+    def _compile_loop(self, loop: Loop) -> Optional[Step]:
+        p = self.pred(loop.predicate)
+        if p is False:
+            return None
+        li = self._loop_index(loop)
+        # mu slots and init getters are resolved before the body so the
+        # body's operand references land on the same slots
+        mu_slots = tuple(self.slot(mu) for mu in loop.mus)
+        init_getters = tuple(self.getter(mu.init) for mu in loop.mus)
+        body = self._compile_scope(loop)
+        rec_ops = tuple(
+            self.operand(mu.rec) if mu.rec is not None else None
+            for mu in loop.mus
+        )
+        rec_getters = tuple(self._rec_getter(mu) for mu in loop.mus)
+        assert loop.cont is not None, f"loop {loop.name} has no continuation"
+        cont_kind, cont_payload = self.operand(loop.cont)
+        becost = self.cost.loop_backedge
+        limit = self.max_steps
+        lname = loop.name
+
+        if (
+            cont_kind == "s"
+            and len(mu_slots) == 1
+            and rec_ops[0] is not None
+            and rec_ops[0][0] == "s"
+        ):
+            # hot path: single induction recurrence held in a slot,
+            # dynamic continuation — a plain register-to-register move
+            # on the back edge
+            ms, gi = mu_slots[0], init_getters[0]
+            rs = rec_ops[0][1]
+            cs = cont_payload
+
+            def step(R, C, cy, body=body, ms=ms, gi=gi, rs=rs, cs=cs, li=li,
+                     becost=becost, limit=limit, MISSING=_MISSING,
+                     lname=lname):
+                R[ms] = gi(R)
+                while True:
+                    for s in body:
+                        cy = s(R, C, cy)
+                    n = C[li] + 1
+                    C[li] = n
+                    if n > limit:
+                        raise StepLimitExceeded(
+                            f"loop {lname} exceeded {limit} iterations"
+                        )
+                    cy = cy + becost
+                    v = R[cs]
+                    if v is MISSING or not v:
+                        break
+                    R[ms] = R[rs]
+                return cy
+
+        else:
+
+            def step(R, C, cy, body=body, mu_slots=mu_slots,
+                     init_getters=init_getters, rec_getters=rec_getters,
+                     cont_kind=cont_kind, cont_payload=cont_payload, li=li,
+                     becost=becost, limit=limit, MISSING=_MISSING,
+                     lname=lname):
+                for s, g in zip(mu_slots, init_getters):
+                    R[s] = g(R)
+                while True:
+                    for s in body:
+                        cy = s(R, C, cy)
+                    n = C[li] + 1
+                    C[li] = n
+                    if n > limit:
+                        raise StepLimitExceeded(
+                            f"loop {lname} exceeded {limit} iterations"
+                        )
+                    cy = cy + becost
+                    v = R[cont_payload] if cont_kind == "s" else cont_payload
+                    if v is MISSING or not v:
+                        break
+                    # simultaneous mu update: read every recurrence before
+                    # writing any header slot (the interpreter's two-phase
+                    # next-value buffer)
+                    nexts = [g(R) for g in rec_getters]
+                    for s, v2 in zip(mu_slots, nexts):
+                        R[s] = v2
+                return cy
+
+        if p is not True:
+            step = _guarded(self._as_chk(p), step)
+        return step
+
+    def _rec_getter(self, mu: Mu):
+        if mu.rec is None:
+            name = mu.display_name()
+
+            def missing_rec(R, name=name):
+                raise InterpreterError(f"mu {name} has no recurrence operand")
+
+            return missing_rec
+        return self.getter(mu.rec)
+
+    # -- instructions ----------------------------------------------------
+
+    def _compile_instruction(self, inst: Instruction) -> Optional[Step]:
+        p = self.pred(inst.predicate)
+        if p is False:
+            return None
+        i = self._inst_index(inst)
+        cost = self.cost.instruction_cost(inst)
+        step = self._emit_templated(inst, i, cost, p)
+        if step is not None:
+            return step
+        step = self._emit_cold(inst, i, cost)
+        if p is not True:
+            step = _guarded(self._as_chk(p), step)
+        return step
+
+    # -- templated hot emitters ------------------------------------------
+
+    def _template_prologue(self, i: int, p) -> tuple[list, list, dict, tuple]:
+        """Guard + count lines shared by every templated step."""
+        used = []
+        values: dict = {}
+        lines: list[str] = []
+        if p is True:
+            gkey: tuple = ("t",)
+        elif isinstance(p, tuple) and p[0] == "lit":
+            _, ps, neg = p
+            used += ["ps", "M"]
+            values.update(ps=ps, M=_MISSING)
+            lines.append("v = R[ps]")
+            lines.append(f"if v is M or {'v' if neg else 'not v'}:")
+            lines.append("    return cy")
+            gkey = ("g", neg)
+        else:
+            used.append("chk")
+            values["chk"] = self._as_chk(p)
+            lines.append("if not chk(R):")
+            lines.append("    return cy")
+            gkey = ("c",)
+        used.append("i")
+        values["i"] = i
+        lines.append("C[i] += 1")
+        return lines, used, values, gkey
+
+    @staticmethod
+    def _epilogue(cost: float) -> tuple[str, tuple]:
+        if cost == 0.0:
+            # x + 0.0 == x for the non-negative accumulator, so skip the add
+            return "return cy", ("z",)
+        return "return cy + cost", ("k",)
+
+    def _operand_expr(self, v: Value, pname: str, used: list, values: dict,
+                      wrap: str = "") -> tuple[str, str]:
+        """Expression text for an operand; returns (expr, shape-key-part)."""
+        kind, payload = self.operand(v)
+        used.append(pname)
+        if kind == "c":
+            values[pname] = int(payload) if wrap == "int" else payload
+            return pname, "c"
+        values[pname] = payload
+        expr = f"R[{pname}]"
+        if wrap == "int":
+            expr = f"int({expr})"
+        return expr, "s"
+
+    def _emit_templated(self, inst, i, cost, p) -> Optional[Step]:
+        lines, used, values, gkey = self._template_prologue(i, p)
+        ret, ckey = self._epilogue(cost)
+        if ckey == ("k",):
+            used.append("cost")
+            values["cost"] = cost
+
+        if isinstance(inst, (BinOp, Cmp)):
+            sym = _BIN_SYM.get(inst.op) if isinstance(inst, BinOp) \
+                else _CMP_SYM.get(inst.rel)
+            ea, ka = self._operand_expr(inst.operands[0], "a", used, values)
+            eb, kb = self._operand_expr(inst.operands[1], "b", used, values)
+            used.append("d")
+            values["d"] = self.slot(inst)
+            if sym is not None:
+                lines.append(f"R[d] = {ea} {sym} {eb}")
+                okey = ("bin", sym, ka, kb)
+            else:
+                f = _BIN_IMPL[inst.op] if isinstance(inst, BinOp) \
+                    else _CMP_IMPL[inst.rel]
+                used.append("f")
+                values["f"] = f
+                lines.append(f"R[d] = f({ea}, {eb})")
+                okey = ("binf", ka, kb)
+        elif isinstance(inst, UnOp):
+            ea, ka = self._operand_expr(inst.operands[0], "a", used, values)
+            used.append("d")
+            values["d"] = self.slot(inst)
+            if inst.op == "neg":
+                lines.append(f"R[d] = -{ea}")
+                okey = ("neg", ka)
+            elif inst.op == "not":
+                lines.append(f"R[d] = not {ea}")
+                okey = ("not", ka)
+            else:
+                used.append("f")
+                values["f"] = _UN_IMPL[inst.op]
+                lines.append(f"R[d] = f({ea})")
+                okey = ("unf", ka)
+        elif isinstance(inst, Select):
+            ec, kc = self._operand_expr(inst.cond, "a", used, values)
+            et, kt = self._operand_expr(inst.true_value, "b", used, values)
+            ef, kf = self._operand_expr(inst.false_value, "c", used, values)
+            used.append("d")
+            values["d"] = self.slot(inst)
+            lines.append(f"R[d] = {et} if {ec} else {ef}")
+            okey = ("sel", kc, kt, kf)
+        elif isinstance(inst, Cast):
+            ty = inst.type
+            conv = int if ty.is_int() else float if ty.is_float() else \
+                bool if ty.is_bool() else None
+            kind, payload = self.operand(inst.operands[0])
+            used.append("d")
+            values["d"] = self.slot(inst)
+            if kind == "c":
+                used.append("a")
+                values["a"] = conv(payload) if conv is not None else payload
+                lines.append("R[d] = a")
+                okey = ("cast", "c")
+            elif conv is None:
+                used.append("a")
+                values["a"] = payload
+                lines.append("R[d] = R[a]")
+                okey = ("cast", "id")
+            else:
+                used += ["a", "f"]
+                values.update(a=payload, f=conv)
+                lines.append("R[d] = f(R[a])")
+                okey = ("cast", "s")
+        elif isinstance(inst, PtrAdd):
+            ea, ka = self._operand_expr(inst.base, "a", used, values, wrap="int")
+            eb, kb = self._operand_expr(inst.index, "b", used, values, wrap="int")
+            used.append("d")
+            values["d"] = self.slot(inst)
+            lines.append(f"R[d] = {ea} + {eb}")
+            okey = ("ptradd", ka, kb)
+        elif isinstance(inst, Load):
+            ep, kp = self._operand_expr(inst.pointer, "a", used, values,
+                                        wrap="int")
+            used += ["d", "E"]
+            values.update(d=self.slot(inst), E=MemoryError_)
+            lines.append("m = R[1]")
+            lines.append(f"p = {ep}")
+            lines.append("if p < 0 or p >= m._next:")
+            lines.append("    raise E(f'access to unallocated address {p}')")
+            lines.append("R[d] = m._slots[p]")
+            okey = ("load", kp)
+        elif isinstance(inst, Store):
+            ep, kp = self._operand_expr(inst.pointer, "a", used, values,
+                                        wrap="int")
+            ev, kv = self._operand_expr(inst.value, "b", used, values)
+            used.append("E")
+            values["E"] = MemoryError_
+            lines.append("m = R[1]")
+            lines.append(f"p = {ep}")
+            lines.append("if p < 0 or p >= m._next:")
+            lines.append("    raise E(f'access to unallocated address {p}')")
+            lines.append(f"m._slots[p] = {ev}")
+            okey = ("store", kp, kv)
+        elif isinstance(inst, Eta):
+            ea, ka = self._operand_expr(inst.inner, "a", used, values)
+            used.append("d")
+            values["d"] = self.slot(inst)
+            lines.append(f"R[d] = {ea}")
+            okey = ("eta", ka)
+        else:
+            return None
+
+        lines.append(ret)
+        return _instantiate((gkey, okey, ckey), lines, used, values)
+
+    # -- cold emitters (vector ops, calls, joins) ------------------------
+
+    def _emit_cold(self, inst: Instruction, i: int, cost: float) -> Step:
+        if isinstance(inst, (VecBin, VecCmp)):
+            f = _BIN_IMPL[inst.op] if isinstance(inst, VecBin) \
+                else _CMP_IMPL[inst.rel]
+            d = self.slot(inst)
+            ga = self.getter(inst.operands[0])
+            gb = self.getter(inst.operands[1])
+
+            def step(R, C, cy, i=i, d=d, ga=ga, gb=gb, f=f, cost=cost):
+                C[i] += 1
+                R[d] = [f(x, y) for x, y in zip(ga(R), gb(R))]
+                return cy + cost
+
+            return step
+        if isinstance(inst, VecUn):
+            d = self.slot(inst)
+            ga = self.getter(inst.operands[0])
+            f = _UN_IMPL[inst.op]
+
+            def step(R, C, cy, i=i, d=d, ga=ga, f=f, cost=cost):
+                C[i] += 1
+                R[d] = [f(x) for x in ga(R)]
+                return cy + cost
+
+            return step
+        if isinstance(inst, Alloca):
+            d = self.slot(inst)
+
+            def step(R, C, cy, i=i, d=d, n=inst.size, name=inst.name,
+                     cost=cost):
+                C[i] += 1
+                R[d] = R[1].alloc(n, name)
+                return cy + cost
+
+            return step
+        if isinstance(inst, Call):
+            d = self.slot(inst)
+            gs = tuple(self.getter(o) for o in inst.operands)
+
+            def step(R, C, cy, i=i, d=d, name=inst.callee, gs=gs, cost=cost):
+                C[i] += 1
+                ex = R[0]
+                fn = ex.externals.get(name)
+                if fn is None:
+                    raise InterpreterError(f"no external function {name!r}")
+                R[d] = fn(ex, ex.memory, [g(R) for g in gs])
+                return cy + cost
+
+            return step
+        if isinstance(inst, Phi):
+            return self._emit_phi(inst, i, cost)
+        if isinstance(inst, Mu):
+            raise InterpreterError("mu compiled outside loop header")
+        if isinstance(inst, VecLoad):
+            d = self.slot(inst)
+            ga = self.getter(inst.pointer)
+
+            def step(R, C, cy, i=i, d=d, ga=ga, n=inst.access_slots,
+                     cost=cost):
+                C[i] += 1
+                R[d] = R[1].load_block(ga(R), n)
+                return cy + cost
+
+            return step
+        if isinstance(inst, VecStore):
+            gp = self.getter(inst.pointer)
+            gv = self.getter(inst.value)
+
+            def step(R, C, cy, i=i, gp=gp, gv=gv, cost=cost):
+                C[i] += 1
+                R[1].store_block(gp(R), gv(R))
+                return cy + cost
+
+            return step
+        if isinstance(inst, VecSelect):
+            d = self.slot(inst)
+            gm = self.getter(inst.operands[0])
+            gt = self.getter(inst.operands[1])
+            gf = self.getter(inst.operands[2])
+
+            def step(R, C, cy, i=i, d=d, gm=gm, gt=gt, gf=gf, cost=cost):
+                C[i] += 1
+                R[d] = [
+                    tv if bool(m) else fv
+                    for m, tv, fv in zip(gm(R), gt(R), gf(R))
+                ]
+                return cy + cost
+
+            return step
+        if isinstance(inst, BuildVector):
+            d = self.slot(inst)
+            gs = tuple(self.getter(o) for o in inst.operands)
+
+            def step(R, C, cy, i=i, d=d, gs=gs, cost=cost):
+                C[i] += 1
+                R[d] = [g(R) for g in gs]
+                return cy + cost
+
+            return step
+        if isinstance(inst, ExtractLane):
+            d = self.slot(inst)
+            ga = self.getter(inst.operands[0])
+
+            def step(R, C, cy, i=i, d=d, ga=ga, lane=inst.lane, cost=cost):
+                C[i] += 1
+                R[d] = ga(R)[lane]
+                return cy + cost
+
+            return step
+        if isinstance(inst, Shuffle):
+            d = self.slot(inst)
+            ga = self.getter(inst.operands[0])
+            mask = tuple(inst.mask)
+            if len(inst.operands) > 1:
+                gb = self.getter(inst.operands[1])
+
+                def step(R, C, cy, i=i, d=d, ga=ga, gb=gb, mask=mask,
+                         cost=cost):
+                    C[i] += 1
+                    pool = list(ga(R)) + list(gb(R))
+                    R[d] = [pool[j] for j in mask]
+                    return cy + cost
+
+            else:
+
+                def step(R, C, cy, i=i, d=d, ga=ga, mask=mask, cost=cost):
+                    C[i] += 1
+                    a = ga(R)
+                    R[d] = [a[j] for j in mask]
+                    return cy + cost
+
+            return step
+        if isinstance(inst, Broadcast):
+            d = self.slot(inst)
+            ga = self.getter(inst.operands[0])
+
+            def step(R, C, cy, i=i, d=d, ga=ga, lanes=inst.type.lanes,
+                     cost=cost):
+                C[i] += 1
+                R[d] = [ga(R)] * lanes
+                return cy + cost
+
+            return step
+        if isinstance(inst, Reduce):
+            d = self.slot(inst)
+            ga = self.getter(inst.operands[0])
+            f = _BIN_IMPL[inst.op]
+
+            def step(R, C, cy, i=i, d=d, ga=ga, f=f, cost=cost):
+                C[i] += 1
+                vec = ga(R)
+                acc = vec[0]
+                for x in vec[1:]:
+                    acc = f(acc, x)
+                R[d] = acc
+                return cy + cost
+
+            return step
+        raise InterpreterError(f"cannot compile {type(inst).__name__}")
+
+    def _emit_phi(self, inst: Phi, i, cost) -> Step:
+        d = self.slot(inst)
+        cases = []
+        for v, p in inst.incomings():
+            cp = self.pred(p)
+            if cp is False:
+                continue
+            g = self.getter(v)
+            if cp is True:
+                cases.append((None, g))
+                break  # later incomings are unreachable
+            cases.append((self._as_chk(cp), g))
+        tcases = tuple(cases)
+
+        def step(R, C, cy, i=i, d=d, cases=tcases, cost=cost):
+            C[i] += 1
+            for chk, g in cases:
+                if chk is None or chk(R):
+                    R[d] = g(R)
+                    break
+            else:
+                R[d] = 0
+            return cy + cost
+
+        return step
+
+
+# ---------------------------------------------------------------------------
+# Compile cache and executor
+# ---------------------------------------------------------------------------
+
+_COMPILE_CACHE: "WeakKeyDictionary[Function, dict]" = WeakKeyDictionary()
+
+
+def compile_function(
+    fn: Function,
+    cost_model: Optional[CostModel] = None,
+    max_steps: int = 200_000_000,
+) -> CompiledProgram:
+    """Translate ``fn`` into a :class:`CompiledProgram` (cached).
+
+    The cache is weak on the function and keyed by cost model identity
+    and step limit, so repeated executions of a built module — across
+    executors, memories, and argument sets — pay translation once.
+    Compiled programs assume the function is not mutated afterwards; a
+    pipeline that edits a function must do so before first execution.
+    """
+    cm = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    per_fn = _COMPILE_CACHE.get(fn)
+    if per_fn is None:
+        per_fn = _COMPILE_CACHE[fn] = {}
+    key = (id(cm), max_steps)
+    prog = per_fn.get(key)
+    if prog is None:
+        prog = per_fn[key] = _FunctionCompiler(fn, cm, max_steps).compile()
+    return prog
+
+
+def clear_compile_cache() -> None:
+    _COMPILE_CACHE.clear()
+
+
+class CompiledExecutor:
+    """Drop-in replacement for :class:`Interpreter` running compiled code.
+
+    Same constructor contract (module, memory, cost model, externals,
+    step limit), same :meth:`run` result type, and — by construction and
+    by differential test — the same cycles, counters, memory effects,
+    checksums, and return values.  The step limit is enforced per loop
+    (a loop raising after ``max_steps`` iterations) rather than per
+    instruction, which bounds runaway programs with the same knob.
+    """
+
+    def __init__(
+        self,
+        module: Optional[Module] = None,
+        memory: Optional[Memory] = None,
+        cost_model: Optional[CostModel] = None,
+        externals: Optional[dict] = None,
+        max_steps: int = 200_000_000,
+    ):
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.externals = _default_externals()
+        if externals:
+            self.externals.update(externals)
+        self.max_steps = max_steps
+        self.global_bases: dict[GlobalArray, int] = {}
+        if module is not None:
+            for g in module.globals.values():
+                self.global_bases[g] = self.memory.alloc(g.size, g.name)
+
+    def global_base(self, name: str) -> int:
+        assert self.module is not None
+        return self.global_bases[self.module.globals[name]]
+
+    def run(self, fn: Function | str, args: Sequence = ()) -> ExecutionResult:
+        if isinstance(fn, str):
+            assert self.module is not None
+            fn = self.module.functions[fn]
+        prog = compile_function(fn, self.cost_model, self.max_steps)
+        if len(args) != len(prog.arg_slots):
+            raise InterpreterError(
+                f"{fn.name} expects {len(prog.arg_slots)} args, got {len(args)}"
+            )
+        mem = self.memory
+        R = [_MISSING] * prog.n_slots
+        R[_CTX] = self
+        R[_MEM] = mem
+        for s, v in zip(prog.arg_slots, args):
+            R[s] = v
+        for g, s in prog.global_pairs:
+            base = self.global_bases.get(g)
+            if base is None:
+                raise InterpreterError(f"global {g.name} not allocated")
+            R[s] = base
+        C = [0] * prog.n_items
+        cy = 0.0
+        for step in prog.steps:
+            cy = step(R, C, cy)
+        return ExecutionResult(prog.read_ret(R), cy, prog.make_counters(C), mem)
+
+
+# Executor registry for harness-level backend selection.
+BACKENDS: dict[str, type] = {}
+
+
+def _register_backends() -> None:
+    from .interpreter import Interpreter
+
+    BACKENDS["reference"] = Interpreter
+    BACKENDS["compiled"] = CompiledExecutor
+
+
+_register_backends()
+
+
+__all__ = [
+    "BACKENDS",
+    "CompiledExecutor",
+    "CompiledProgram",
+    "clear_compile_cache",
+    "compile_function",
+]

@@ -77,7 +77,7 @@ class Counters:
     by_opcode: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        d = {
+        return {
             "instructions": self.instructions,
             "loads": self.loads,
             "stores": self.stores,
@@ -86,8 +86,22 @@ class Counters:
             "checks": self.checks,
             "vector_ops": self.vector_ops,
             "calls": self.calls,
+            "by_opcode": dict(self.by_opcode),
         }
-        return d
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Accumulate ``other`` into self (for aggregate profiles)."""
+        self.instructions += other.instructions
+        self.loads += other.loads
+        self.stores += other.stores
+        self.branches += other.branches
+        self.backedges += other.backedges
+        self.checks += other.checks
+        self.vector_ops += other.vector_ops
+        self.calls += other.calls
+        for op, n in other.by_opcode.items():
+            self.by_opcode[op] = self.by_opcode.get(op, 0) + n
+        return self
 
 
 @dataclass

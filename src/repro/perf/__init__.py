@@ -8,13 +8,21 @@ from .measure import (
     ScalarArg,
     Workload,
     build,
+    clear_build_cache,
+    clear_reference_cache,
     execute,
     geomean,
+    get_default_backend,
     run_workload,
+    set_default_backend,
     verified_run,
 )
+from .report import counters_report, format_table, speedup_table
 
 __all__ = [
     "AliasArg", "ArrayArg", "ChecksumMismatch", "RunResult", "ScalarArg",
-    "Workload", "build", "execute", "geomean", "run_workload", "verified_run",
+    "Workload", "build", "clear_build_cache", "clear_reference_cache",
+    "counters_report", "execute", "format_table", "geomean",
+    "get_default_backend", "run_workload", "set_default_backend",
+    "speedup_table", "verified_run",
 ]

@@ -1,22 +1,41 @@
 """Workload definition and cycle measurement.
 
 A :class:`Workload` is a mini-C kernel plus an input specification.  The
-harness compiles it under a chosen pipeline, executes it on the
-interpreter, checksums the output arrays (so every configuration is
-verified against the O0 reference before its cycles count), and reports
-the deterministic cycle counts that stand in for the paper's wall-clock
-medians.
+harness compiles it under a chosen pipeline, executes it on one of the
+execution backends (the reference tree-walking interpreter or the
+closure-compiled backend — bit-identical cycles and counters, see
+:mod:`repro.interp.compile`), checksums the output arrays (so every
+configuration is verified against the O0 reference before its cycles
+count), and reports the deterministic cycle counts that stand in for the
+paper's wall-clock medians.
+
+Two caches keep repeated measurement cheap:
+
+* a **build cache** keyed by source and pipeline configuration, so the
+  same workload built at the same (level, restrict, vl, rle) point is
+  compiled and optimized once and executed many times — this is what
+  makes the compiled backend's compile-once/run-many pay off across the
+  restrict/vl/rle sweeps the benchmarks perform;
+* a **reference cache** in :func:`verified_run`, so the O0 reference for
+  a workload is compiled and run once per ``honor_restrict`` setting
+  rather than once per configuration under test.
+
+``clear_reference_cache()`` / ``clear_build_cache()`` reset them (tests
+use this to isolate cache behavior).
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 from repro.frontend import compile_c
-from repro.interp import Counters, Interpreter, Memory
+from repro.interp import BACKENDS, Counters
 from repro.pipeline.pipelines import PipelineStats, optimize
+
+from .report import geomean  # re-exported; canonical home is perf.report
 
 
 @dataclass
@@ -69,15 +88,103 @@ class ChecksumMismatch(AssertionError):
     pass
 
 
+# -- backend selection -------------------------------------------------------
+
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "compiled")
+
+
+def set_default_backend(name: str) -> None:
+    """Select the executor used when callers don't pass ``backend=``."""
+    global DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
+        )
+    DEFAULT_BACKEND = name
+
+
+def get_default_backend() -> str:
+    return DEFAULT_BACKEND
+
+
+# -- build + reference caches ------------------------------------------------
+
+_BUILD_CACHE: dict = {}
+_REFERENCE_CACHE: dict = {}
+_RUN_CACHE: dict = {}
+
+
+def _data_signature(workload: Workload) -> tuple:
+    """A hashable fingerprint of the workload's *input data*, probing the
+    init callables at a few indices.  Two workloads sharing a name but
+    initialized differently (e.g. the biased s258 variants) must not
+    share cached reference results."""
+    parts: list = []
+    for a in workload.args:
+        if isinstance(a, ArrayArg):
+            probes = tuple(
+                float(a.init(i)) for i in range(min(a.size, 7))
+            ) + ((float(a.init(a.size - 1)),) if a.size else ())
+            parts.append(("arr", a.name, a.size, a.check, probes))
+        elif isinstance(a, AliasArg):
+            parts.append(("alias", a.name, a.of, a.offset))
+        else:
+            parts.append(("scalar", a.name, a.value))
+    for gname in sorted(workload.globals_init):
+        init = workload.globals_init[gname]
+        parts.append(("global", gname, tuple(float(init(i)) for i in range(7))))
+    return tuple(parts)
+
+
+def clear_build_cache() -> None:
+    _BUILD_CACHE.clear()
+    _RUN_CACHE.clear()
+
+
+def clear_reference_cache() -> None:
+    """Drop cached O0 reference results (and built modules and runs)."""
+    _REFERENCE_CACHE.clear()
+    _BUILD_CACHE.clear()
+    _RUN_CACHE.clear()
+
+
 def build(workload: Workload, level: str, honor_restrict: bool = True,
-          vl: int = 4, rle: bool = False):
+          vl: int = 4, rle: bool = False, use_cache: bool = False):
+    """Compile + optimize a workload; returns ``(module, stats)``.
+
+    With ``use_cache=True`` the built module is memoized per (source,
+    level, restrict, vl, rle); callers must then treat the module as
+    immutable (executing it is fine — execution never mutates the IR —
+    but running further passes on it would poison the cache).
+    """
+    if use_cache:
+        key = (workload.name, workload.entry, workload.source,
+               level, honor_restrict, vl, rle)
+        hit = _BUILD_CACHE.get(key)
+        if hit is not None:
+            return hit
     module = compile_c(workload.source, name=workload.name)
     stats = optimize(module, level, honor_restrict=honor_restrict, vl=vl, rle=rle)
+    if use_cache:
+        _BUILD_CACHE[key] = (module, stats)
     return module, stats
 
 
-def execute(module, workload: Workload, stats: Optional[PipelineStats] = None) -> RunResult:
-    interp = Interpreter(module, externals=workload.externals)
+def execute(module, workload: Workload, stats: Optional[PipelineStats] = None,
+            backend: Optional[str] = None) -> RunResult:
+    """Run ``workload`` on a built module and checksum the outputs.
+
+    ``backend`` picks the executor: ``"reference"`` (tree-walking
+    interpreter) or ``"compiled"`` (closure-compiled, the default for
+    measurement).  Both charge identical cycles and counters.
+    """
+    name = backend if backend is not None else DEFAULT_BACKEND
+    executor_cls = BACKENDS.get(name)
+    if executor_cls is None:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
+        )
+    interp = executor_cls(module, externals=workload.externals)
     for gname, init in workload.globals_init.items():
         base = interp.global_base(gname)
         g = module.globals[gname]
@@ -115,31 +222,62 @@ def execute(module, workload: Workload, stats: Optional[PipelineStats] = None) -
 
 
 def run_workload(workload: Workload, level: str, honor_restrict: bool = True,
-                 vl: int = 4, rle: bool = False) -> RunResult:
-    module, stats = build(workload, level, honor_restrict, vl, rle)
-    return execute(module, workload, stats)
+                 vl: int = 4, rle: bool = False, backend: Optional[str] = None,
+                 use_cache: bool = True) -> RunResult:
+    """Build and execute one configuration.
+
+    Execution is a deterministic simulation — the same source, pipeline
+    configuration, and input data always produce the same cycles,
+    counters, and checksum — so with ``use_cache=True`` the whole
+    :class:`RunResult` is memoized and repeated sweeps over the same
+    configuration (as the figure benchmarks perform) cost one run.
+    """
+    # custom externals are opaque callables we cannot fingerprint; never
+    # serve a memoized result for such workloads
+    use_run_cache = use_cache and workload.externals is None
+    if use_run_cache:
+        key = (workload.name, workload.entry, workload.source, level,
+               honor_restrict, vl, rle,
+               backend if backend is not None else DEFAULT_BACKEND,
+               _data_signature(workload))
+        hit = _RUN_CACHE.get(key)
+        if hit is not None:
+            return hit
+    module, stats = build(workload, level, honor_restrict, vl, rle,
+                          use_cache=use_cache)
+    result = execute(module, workload, stats, backend=backend)
+    if use_run_cache:
+        _RUN_CACHE[key] = result
+    return result
 
 
 def verified_run(workload: Workload, level: str, reference: Optional[RunResult] = None,
                  honor_restrict: bool = True, rle: bool = False,
-                 rel_tol: float = 1e-6) -> RunResult:
-    """Run under ``level`` and check the output checksum against O0."""
+                 rel_tol: float = 1e-6, backend: Optional[str] = None,
+                 use_cache: bool = True) -> RunResult:
+    """Run under ``level`` and check the output checksum against O0.
+
+    The O0 reference is cached per (workload name, honor_restrict, input
+    data), so sweeping many configurations of the same workload compiles
+    and executes the reference once instead of once per configuration.
+    """
     if reference is None:
-        reference = run_workload(workload, "O0", honor_restrict=honor_restrict)
-    result = run_workload(workload, level, honor_restrict=honor_restrict, rle=rle)
+        use_ref_cache = use_cache and workload.externals is None
+        ref_key = (workload.name, honor_restrict, _data_signature(workload))
+        reference = _REFERENCE_CACHE.get(ref_key) if use_ref_cache else None
+        if reference is None:
+            reference = run_workload(workload, "O0", honor_restrict=honor_restrict,
+                                     backend=backend, use_cache=use_cache)
+            if use_ref_cache:
+                _REFERENCE_CACHE[ref_key] = reference
+    result = run_workload(workload, level, honor_restrict=honor_restrict, rle=rle,
+                          backend=backend, use_cache=use_cache)
     ref, got = reference.checksum, result.checksum
     if not math.isclose(ref, got, rel_tol=rel_tol, abs_tol=1e-6):
         raise ChecksumMismatch(
             f"{workload.name} @ {level}: checksum {got!r} != reference {ref!r}"
         )
     return result
-
-
-def geomean(values: Sequence[float]) -> float:
-    vals = [v for v in values if v > 0]
-    if not vals:
-        return 0.0
-    return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
 __all__ = [
@@ -150,8 +288,12 @@ __all__ = [
     "RunResult",
     "ChecksumMismatch",
     "build",
+    "clear_build_cache",
+    "clear_reference_cache",
     "execute",
-    "run_workload",
-    "verified_run",
     "geomean",
+    "get_default_backend",
+    "run_workload",
+    "set_default_backend",
+    "verified_run",
 ]

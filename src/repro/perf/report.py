@@ -1,0 +1,108 @@
+"""Result tables and summaries (the DESIGN.md §2 ``perf/report.py``).
+
+Formatting helpers shared by the benchmark scripts: fixed-width tables,
+geometric-mean summary rows, and dynamic-counter reports including the
+per-opcode breakdown that :meth:`Counters.as_dict` carries.  Pure
+presentation — no measurement logic lives here, so benchmarks and tests
+can import it without touching the harness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean over the positive entries of ``values``."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _fmt_cell(v, width: int, floatfmt: str) -> str:
+    if isinstance(v, float):
+        return f"{v:>{width}{floatfmt}}"
+    return f"{v!s:>{width}}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    floatfmt: str = ".2f",
+    min_width: int = 8,
+) -> str:
+    """Render a fixed-width text table; first column is left-aligned."""
+    cols = len(headers)
+    widths = [max(min_width, len(h)) for h in headers]
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for j in range(cols):
+            v = row[j] if j < len(row) else ""
+            cell = (
+                f"{v:{floatfmt}}" if isinstance(v, float) else str(v)
+            )
+            widths[j] = max(widths[j], len(cell))
+            cells.append(cell)
+        rendered.append(cells)
+    lines = [
+        f"{headers[0]:<{widths[0]}}  "
+        + "  ".join(f"{h:>{widths[j + 1]}}" for j, h in enumerate(headers[1:]))
+    ]
+    for cells in rendered:
+        lines.append(
+            f"{cells[0]:<{widths[0]}}  "
+            + "  ".join(f"{c:>{widths[j + 1]}}" for j, c in enumerate(cells[1:]))
+        )
+    return "\n".join(lines)
+
+
+def speedup_table(
+    rows: Sequence[tuple],
+    series: Sequence[str],
+    kernel_header: str = "kernel",
+    with_geomean: bool = True,
+) -> str:
+    """Table of per-kernel speedups with an optional geomean footer.
+
+    ``rows`` is a sequence of ``(name, v1, v2, ...)`` tuples aligned with
+    ``series`` labels.
+    """
+    body = [list(r) for r in rows]
+    if with_geomean:
+        geo: list = ["geomean"]
+        for j in range(len(series)):
+            geo.append(geomean([r[j + 1] for r in rows]))
+        body.append(geo)
+    return format_table([kernel_header, *series], body)
+
+
+def counters_report(counters, title: str = "", top: Optional[int] = None) -> str:
+    """Human-readable dynamic-counter summary with the by-opcode breakdown.
+
+    ``counters`` is a :class:`repro.interp.Counters` or its ``as_dict()``
+    form.  The per-opcode rows are sorted by descending dynamic count;
+    ``top`` truncates the breakdown.
+    """
+    d: Mapping = counters.as_dict() if hasattr(counters, "as_dict") else dict(counters)
+    by = dict(d.get("by_opcode", {}))
+    lines = [title] if title else []
+    for key in (
+        "instructions", "loads", "stores", "branches", "backedges",
+        "checks", "vector_ops", "calls",
+    ):
+        lines.append(f"  {key:12s} {d.get(key, 0):>12}")
+    if by:
+        lines.append("  by opcode:")
+        ranked = sorted(by.items(), key=lambda kv: (-kv[1], kv[0]))
+        if top is not None:
+            ranked = ranked[:top]
+        total = max(d.get("instructions", 0), 1)
+        for op, n in ranked:
+            lines.append(f"    {op:10s} {n:>12}  ({n / total * 100:5.1f}%)")
+    return "\n".join(lines)
+
+
+__all__ = ["counters_report", "format_table", "geomean", "speedup_table"]

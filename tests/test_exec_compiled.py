@@ -1,0 +1,215 @@
+"""Differential tests: the compiled backend is bit-identical to the reference.
+
+Every workload suite is built once per pipeline level and executed on
+both backends against the *same* module object; return value, checksum,
+cycle count, and every dynamic counter (including the per-opcode
+breakdown) must match exactly — no tolerances.  This is the contract
+that lets the measurement harness default to the compiled executor while
+the tree-walking interpreter stays the semantics of record.
+"""
+
+import pytest
+
+from repro.interp import (
+    BACKENDS,
+    CompiledExecutor,
+    Interpreter,
+    StepLimitExceeded,
+    clear_compile_cache,
+    compile_function,
+)
+from repro.interp.compile import CompiledProgram
+from repro.perf import measure
+from repro.workloads import polybench, speclike, tsvc
+
+LEVELS = ["O0", "O3", "supervec", "supervec+v"]
+
+POLYBENCH = polybench.workloads()
+TSVC = tsvc.workloads()
+SPECLIKE = speclike.workloads()
+
+
+def _ids(ws):
+    return [w.name for w in ws]
+
+
+def assert_backends_agree(workload, level, honor_restrict=True, rle=False):
+    """Build once, run on both backends, demand exact equality."""
+    module, stats = measure.build(
+        workload, level, honor_restrict=honor_restrict, rle=rle, use_cache=True
+    )
+    ref = measure.execute(module, workload, stats, backend="reference")
+    got = measure.execute(module, workload, stats, backend="compiled")
+    assert got.return_value == ref.return_value
+    assert got.checksum == ref.checksum, (
+        f"{workload.name} @ {level}: checksum drift"
+    )
+    assert got.cycles == ref.cycles, (
+        f"{workload.name} @ {level}: cycle drift "
+        f"{got.cycles!r} != {ref.cycles!r}"
+    )
+    assert got.counters.as_dict() == ref.counters.as_dict(), (
+        f"{workload.name} @ {level}: counter drift"
+    )
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("workload", POLYBENCH, ids=_ids(POLYBENCH))
+def test_polybench_identical(workload, level):
+    assert_backends_agree(workload, level)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("workload", TSVC, ids=_ids(TSVC))
+def test_tsvc_identical(workload, level):
+    assert_backends_agree(workload, level)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("workload", SPECLIKE, ids=_ids(SPECLIKE))
+def test_speclike_identical(workload, level):
+    assert_backends_agree(workload, level)
+
+
+@pytest.mark.parametrize("workload", POLYBENCH[:5], ids=_ids(POLYBENCH[:5]))
+def test_restrict_off_identical(workload):
+    """No-restrict builds exercise the versioning checks dynamically."""
+    assert_backends_agree(workload, "supervec+v", honor_restrict=False)
+
+
+@pytest.mark.parametrize("workload", SPECLIKE[:3], ids=_ids(SPECLIKE[:3]))
+def test_rle_identical(workload):
+    """RLE-enabled builds (the Fig. 22 configuration)."""
+    assert_backends_agree(workload, "supervec+v", rle=True)
+
+
+def test_s258_variants_identical():
+    """The speculation workloads: parameter aliasing and biased data."""
+    for w in (tsvc.s258_parameter_variant(), tsvc.s258_biased()):
+        for level in ("O0", "supervec+v"):
+            assert_backends_agree(w, level)
+
+
+# -- compile cache -----------------------------------------------------------
+
+
+def test_compile_cache_reuses_programs():
+    module, _ = measure.build(POLYBENCH[0], "O3", use_cache=False)
+    fn = module.functions[POLYBENCH[0].entry]
+    p1 = compile_function(fn)
+    p2 = compile_function(fn)
+    assert p1 is p2, "same function + cost model must hit the compile cache"
+    clear_compile_cache()
+    p3 = compile_function(fn)
+    assert p3 is not p1
+    assert isinstance(p3, CompiledProgram)
+
+
+def test_compiled_executor_shares_programs_across_instances():
+    """compile-once/run-many: two executors over one module reuse the
+    compiled program, and repeated runs agree with themselves."""
+    w = POLYBENCH[0]
+    module, _ = measure.build(w, "supervec+v", use_cache=False)
+    r1 = measure.execute(module, w, backend="compiled")
+    r2 = measure.execute(module, w, backend="compiled")
+    assert r1.cycles == r2.cycles
+    assert r1.checksum == r2.checksum
+
+
+# -- harness-level behavior --------------------------------------------------
+
+
+def test_unknown_backend_rejected():
+    w = POLYBENCH[0]
+    module, _ = measure.build(w, "O0", use_cache=True)
+    with pytest.raises(ValueError, match="unknown backend"):
+        measure.execute(module, w, backend="tracing")
+    with pytest.raises(ValueError, match="unknown backend"):
+        measure.set_default_backend("tracing")
+
+
+def test_backend_registry_complete():
+    assert BACKENDS["reference"] is Interpreter
+    assert BACKENDS["compiled"] is CompiledExecutor
+
+
+def test_reference_cache_hit_and_clear():
+    measure.clear_reference_cache()
+    w = POLYBENCH[0]
+    measure.verified_run(w, "O3")
+    assert len(measure._REFERENCE_CACHE) == 1
+    measure.verified_run(w, "supervec")  # same workload: reference reused
+    assert len(measure._REFERENCE_CACHE) == 1
+    measure.clear_reference_cache()
+    assert len(measure._REFERENCE_CACHE) == 0
+    assert len(measure._RUN_CACHE) == 0
+
+
+def test_reference_cache_keyed_by_input_data():
+    """s258-biased variants share a name but not input data; the cached
+    O0 reference must not leak across them."""
+    measure.clear_reference_cache()
+    a = tsvc.s258_biased(positive_fraction=0.995)
+    b = tsvc.s258_biased(positive_fraction=0.0)
+    measure.verified_run(a, "supervec+v")
+    measure.verified_run(b, "supervec+v")
+    assert len(measure._REFERENCE_CACHE) == 2
+
+
+def test_externals_bypass_run_cache():
+    """Workloads with opaque external callables must never serve memoized
+    results (the callable cannot be fingerprinted)."""
+    calls = []
+
+    def ext(interp, mem, args):
+        calls.append(1)
+        return 1.0
+
+    w = measure.Workload(
+        name="ext-cache-probe",
+        source=(
+            "extern double cold_func(void);\n"
+            "float kernel() { return cold_func(); }"
+        ),
+        args=[],
+        externals={"cold_func": ext},
+    )
+    measure.clear_reference_cache()
+    measure.run_workload(w, "O0", backend="compiled")
+    measure.run_workload(w, "O0", backend="compiled")
+    assert len(calls) == 2
+
+
+# -- step limit --------------------------------------------------------------
+
+
+def test_compiled_step_limit():
+    """A runaway loop is bounded by the same max_steps knob."""
+    from repro.frontend import compile_c
+
+    src = """
+    float kernel(float* X, int n) {
+        float s = 0.0;
+        for (int i = 0; i < n; i = i) {  /* i never advances */
+            s = s + X[0];
+        }
+        return s;
+    }
+    """
+    module = compile_c(src, name="runaway")
+    ex = CompiledExecutor(module, max_steps=100)
+    base = ex.memory.alloc(4)
+    with pytest.raises(StepLimitExceeded):
+        ex.run(module.functions["kernel"], [base, 10])
+
+
+# -- counters satellite ------------------------------------------------------
+
+
+def test_counters_as_dict_includes_by_opcode():
+    w = POLYBENCH[0]
+    res = measure.run_workload(w, "O0", backend="reference", use_cache=False)
+    d = res.counters.as_dict()
+    assert "by_opcode" in d
+    assert d["by_opcode"] == dict(res.counters.by_opcode)
+    assert sum(d["by_opcode"].values()) == d["instructions"]
