@@ -1,0 +1,54 @@
+"""Compiler-wide diagnostics: remarks, pass instrumentation, profiles.
+
+The observability layer of the reproduction (mirroring LLVM's ``-Rpass``
+remarks and pass-manager instrumentation):
+
+* :mod:`repro.diag.context` — :class:`DiagnosticContext` collecting
+  typed ``Passed`` / ``Missed`` / ``Analysis`` remarks from every pass,
+  the versioning framework, and the RLE/SLP clients.
+* :mod:`repro.diag.passmanager` — per-pass wall time, instruction/loop
+  deltas, and ``REPRO_DUMP_IR`` before/after IR snapshots.
+* :mod:`repro.diag.profile` — exact per-loop cycle attribution from the
+  execution backends' item counts.
+* :mod:`repro.diag.export` — JSONL and Chrome ``trace_event`` output.
+* ``python -m repro.diag report`` — renders remarks, pass timings, and
+  hot-spot tables (see :mod:`repro.diag.report`).
+
+Diagnostics are off by default (``REPRO_DIAG=1`` or
+:func:`collect` turns them on) and never perturb measurement: cycles and
+counters are bit-identical with collection enabled or disabled.
+"""
+
+from .context import (
+    DiagnosticContext,
+    PassRecord,
+    ProfileRecord,
+    Remark,
+    REMARK_KINDS,
+    collect,
+    diagnostics_enabled,
+    get_context,
+    set_context,
+)
+from .export import chrome_trace, write_chrome_trace, write_jsonl
+from .passmanager import PassManager
+from .profile import RegionProfile, build_profile, hotspot_rows
+
+__all__ = [
+    "DiagnosticContext",
+    "PassManager",
+    "PassRecord",
+    "ProfileRecord",
+    "RegionProfile",
+    "Remark",
+    "REMARK_KINDS",
+    "build_profile",
+    "chrome_trace",
+    "collect",
+    "diagnostics_enabled",
+    "get_context",
+    "hotspot_rows",
+    "set_context",
+    "write_chrome_trace",
+    "write_jsonl",
+]

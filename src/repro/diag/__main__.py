@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.diag report [...]``."""
+
+import sys
+
+from repro.diag.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

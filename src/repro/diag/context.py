@@ -1,0 +1,252 @@
+"""Diagnostic context: typed optimization remarks and instrumentation records.
+
+This module is the hub of the diagnostics subsystem (DESIGN.md
+"observability").  Every compiler layer reports *why* it did or did not
+transform something through one :class:`DiagnosticContext`:
+
+* **Remarks** mirror LLVM's ``-Rpass`` taxonomy: ``Passed`` (a transform
+  fired), ``Missed`` (a transform bailed, with the reason), ``Analysis``
+  (a fact the pass derived — dependence conditions considered, computed
+  costs, plan shapes).
+* **Pass records** come from :mod:`repro.diag.passmanager`: per-pass wall
+  time and instruction/loop deltas.
+* **Profile records** come from the execution backends: per-loop cycle
+  attribution (see :mod:`repro.diag.profile`).
+
+Collection is **off by default** and the disabled path is designed to be
+free: instrumentation sites read the module-global context once and test
+its ``enabled`` flag (a plain attribute load) before building any record,
+so the measurement pipeline's cycles and counters are bit-identical with
+diagnostics on or off — diagnostics only *observe* the deterministic
+simulation, they never participate in it.
+
+Enable globally with ``REPRO_DIAG=1`` in the environment, or locally with
+the :func:`collect` context manager (what the tests and the
+``python -m repro.diag report`` CLI use)::
+
+    with collect() as dc:
+        module, stats = build(workload, "supervec+v", use_cache=False)
+    for r in dc.remarks:
+        print(r.render())
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+REMARK_KINDS = ("Passed", "Missed", "Analysis")
+
+
+@dataclass
+class Remark:
+    """One typed optimization remark.
+
+    ``message`` is a ``str.format`` template over ``args`` so consumers
+    can filter/aggregate on the structured values (e.g. every cost-model
+    rejection's computed costs) while :meth:`render` gives the
+    human-readable line.
+    """
+
+    pass_name: str
+    kind: str  # one of REMARK_KINDS
+    function: str
+    loc: str  # anchoring scope: loop name, instruction name, or ""
+    message: str
+    args: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = self.message.format(**self.args) if self.args else self.message
+        where = f"{self.function}/{self.loc}" if self.loc else self.function
+        return f"[{self.kind}] {self.pass_name} @ {where}: {text}"
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "remark",
+            "pass": self.pass_name,
+            "kind": self.kind,
+            "function": self.function,
+            "loc": self.loc,
+            "message": self.render().split(": ", 1)[1],
+            "args": {k: _jsonable(v) for k, v in self.args.items()},
+        }
+
+
+@dataclass
+class PassRecord:
+    """One pass execution: wall time plus static IR deltas."""
+
+    pass_name: str
+    function: str
+    start_us: float  # offset from the pass manager's creation, microseconds
+    dur_us: float
+    inst_before: int
+    inst_after: int
+    loops_before: int
+    loops_after: int
+
+    @property
+    def inst_delta(self) -> int:
+        return self.inst_after - self.inst_before
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "pass",
+            "pass": self.pass_name,
+            "function": self.function,
+            "start_us": round(self.start_us, 3),
+            "dur_us": round(self.dur_us, 3),
+            "inst_before": self.inst_before,
+            "inst_after": self.inst_after,
+            "loops_before": self.loops_before,
+            "loops_after": self.loops_after,
+        }
+
+
+@dataclass
+class ProfileRecord:
+    """Per-region execution profile of one workload run.
+
+    ``regions`` is the pre-order region list produced by
+    :func:`repro.diag.profile.build_profile` — each entry is a
+    :class:`~repro.diag.profile.RegionProfile`.
+    """
+
+    workload: str
+    function: str
+    backend: str
+    total_cycles: float
+    regions: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "profile",
+            "workload": self.workload,
+            "function": self.function,
+            "backend": self.backend,
+            "total_cycles": self.total_cycles,
+            "regions": [r.as_dict() for r in self.regions],
+        }
+
+
+def _jsonable(v):
+    if isinstance(v, (int, float, str, bool)) or v is None:
+        return v
+    if isinstance(v, (list, tuple)):
+        return [_jsonable(x) for x in v]
+    return str(v)
+
+
+class DiagnosticContext:
+    """Collects remarks, pass records, and execution profiles.
+
+    One context is installed globally (:func:`get_context`); a disabled
+    context's :meth:`remark` returns immediately, and instrumentation
+    sites additionally guard on :attr:`enabled` so no argument
+    formatting happens when diagnostics are off.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.remarks: list[Remark] = []
+        self.passes: list[PassRecord] = []
+        self.profiles: list[ProfileRecord] = []
+
+    # -- emission ---------------------------------------------------------
+
+    def remark(
+        self,
+        pass_name: str,
+        kind: str,
+        function: str,
+        loc: str,
+        message: str,
+        **args,
+    ) -> None:
+        if not self.enabled:
+            return
+        if kind not in REMARK_KINDS:
+            raise ValueError(f"unknown remark kind {kind!r}; expected {REMARK_KINDS}")
+        self.remarks.append(Remark(pass_name, kind, function, loc, message, args))
+
+    def add_pass(self, record: PassRecord) -> None:
+        if self.enabled:
+            self.passes.append(record)
+
+    def add_profile(self, record: ProfileRecord) -> None:
+        if self.enabled:
+            self.profiles.append(record)
+
+    # -- views ------------------------------------------------------------
+
+    def records(self) -> Iterator:
+        """All records in collection order groups: remarks, passes, profiles."""
+        yield from self.remarks
+        yield from self.passes
+        yield from self.profiles
+
+    def clear(self) -> None:
+        self.remarks.clear()
+        self.passes.clear()
+        self.profiles.clear()
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_DIAG", "0").lower() in ("1", "true", "on", "yes")
+
+
+_CONTEXT = DiagnosticContext(enabled=_env_enabled())
+
+
+def get_context() -> DiagnosticContext:
+    """The currently installed context (cheap; call per instrumentation site)."""
+    return _CONTEXT
+
+
+def set_context(ctx: DiagnosticContext) -> DiagnosticContext:
+    """Install ``ctx`` globally; returns the previous context."""
+    global _CONTEXT
+    prev = _CONTEXT
+    _CONTEXT = ctx
+    return prev
+
+
+def diagnostics_enabled() -> bool:
+    return _CONTEXT.enabled
+
+
+@contextmanager
+def collect(enabled: bool = True):
+    """Install a fresh context for the duration of the block.
+
+    Yields the new :class:`DiagnosticContext`; the previous context is
+    restored on exit, so nested/test usage cannot leak collection state.
+    """
+    ctx = DiagnosticContext(enabled=enabled)
+    prev = set_context(ctx)
+    try:
+        yield ctx
+    finally:
+        set_context(prev)
+
+
+def dump_ir_dir() -> Optional[str]:
+    """The ``REPRO_DUMP_IR`` snapshot directory, or None when disabled."""
+    d = os.environ.get("REPRO_DUMP_IR", "").strip()
+    return d or None
+
+
+__all__ = [
+    "DiagnosticContext",
+    "PassRecord",
+    "ProfileRecord",
+    "Remark",
+    "REMARK_KINDS",
+    "collect",
+    "diagnostics_enabled",
+    "dump_ir_dir",
+    "get_context",
+    "set_context",
+]

@@ -1,0 +1,116 @@
+"""Serialization of diagnostic records: JSONL and Chrome ``trace_event``.
+
+Two interchange formats:
+
+* **JSONL** — one JSON object per line, each with a ``type`` field
+  (``remark`` | ``pass`` | ``profile``), suitable for ``jq``/pandas
+  post-processing and for CI artifacts.
+* **Chrome trace** — the ``trace_event`` JSON the ``about://tracing`` /
+  Perfetto viewers load.  Pass executions become complete ("X") events
+  on one track in real microseconds; execution-profile regions become a
+  synthetic flame on a second track where 1 simulated cycle renders as
+  1 microsecond (the simulation has no wall-clock timeline, but the
+  nesting and relative widths are exact).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from .context import DiagnosticContext
+
+
+def records(dc: DiagnosticContext) -> list[dict]:
+    """Every collected record as a JSON-ready dict (remarks, passes, profiles)."""
+    return [r.as_dict() for r in dc.records()]
+
+
+def write_jsonl(dc: DiagnosticContext, out: IO[str]) -> int:
+    """Write one record per line; returns the number of lines written."""
+    n = 0
+    for rec in records(dc):
+        out.write(json.dumps(rec, sort_keys=True) + "\n")
+        n += 1
+    return n
+
+
+def _pass_events(dc: DiagnosticContext) -> Iterable[dict]:
+    for p in dc.passes:
+        yield {
+            "name": f"{p.pass_name}({p.function})",
+            "cat": "pass",
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "ts": round(p.start_us, 3),
+            "dur": max(round(p.dur_us, 3), 0.001),
+            "args": {
+                "inst_before": p.inst_before,
+                "inst_after": p.inst_after,
+                "loops_before": p.loops_before,
+                "loops_after": p.loops_after,
+            },
+        }
+
+
+def _profile_events(dc: DiagnosticContext) -> Iterable[dict]:
+    # lay workload profiles end-to-end; within one profile, nest regions
+    # by pre-order: each child starts after the previous sibling, inside
+    # its parent's span
+    cursor = 0.0
+    for prof in dc.profiles:
+        starts: dict[str, float] = {}
+        next_free: dict[str, float] = {}
+        for r in prof.regions:
+            parent = r.region.rsplit("/", 1)[0] if "/" in r.region else None
+            if parent is None:
+                start = cursor
+            else:
+                start = next_free.get(parent, starts[parent])
+            starts[r.region] = start
+            next_free[r.region] = start
+            next_free[parent or ""] = start + r.cycles
+            yield {
+                "name": r.region.split("/")[-1],
+                "cat": "exec",
+                "ph": "X",
+                "pid": 2,
+                "tid": 2,
+                "ts": round(start, 3),
+                "dur": max(round(r.cycles, 3), 0.001),
+                "args": {
+                    "workload": prof.workload,
+                    "backend": prof.backend,
+                    "iterations": r.iterations,
+                    "self_cycles": r.self_cycles,
+                    "checks": r.checks,
+                    "check_cycles": r.check_cycles,
+                },
+            }
+        if prof.regions:
+            cursor += prof.regions[0].cycles + 1.0
+
+
+def chrome_trace(dc: DiagnosticContext) -> dict:
+    """The full ``trace_event`` JSON object (``traceEvents`` container)."""
+    events = list(_pass_events(dc)) + list(_profile_events(dc))
+    events.append(
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "compile (passes)"}}
+    )
+    events.append(
+        {"name": "process_name", "ph": "M", "pid": 2, "tid": 0,
+         "args": {"name": "execute (simulated cycles as us)"}}
+    )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(dc: DiagnosticContext, out: IO[str]) -> int:
+    trace = chrome_trace(dc)
+    json.dump(trace, out)
+    out.write("\n")
+    return len(trace["traceEvents"])
+
+
+__all__ = ["chrome_trace", "records", "write_chrome_trace", "write_jsonl"]

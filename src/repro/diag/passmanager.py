@@ -1,0 +1,85 @@
+"""Pass-pipeline instrumentation (the LLVM pass-manager analogue).
+
+:class:`PassManager` wraps every pass invocation the pipeline performs:
+it records per-pass wall time and static instruction/loop deltas into
+the active :class:`~repro.diag.context.DiagnosticContext`, and — when
+``REPRO_DUMP_IR=<dir>`` is set — writes a before/after textual IR
+snapshot of the transformed function via :mod:`repro.ir.printer`.
+
+With diagnostics disabled and no dump directory the wrapper degenerates
+to a direct call: no timing, no counting, no allocation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional
+
+from repro.ir.loops import Function
+from repro.ir.printer import print_function
+
+from .context import PassRecord, dump_ir_dir, get_context
+
+
+class PassManager:
+    """Runs named passes over functions, recording instrumentation.
+
+    One manager is created per ``optimize()`` invocation; ``seq`` numbers
+    the pass executions so IR snapshots sort in pipeline order.
+    """
+
+    def __init__(self, module_name: str = "module",
+                 dump_dir: Optional[str] = None):
+        self.module_name = module_name
+        self.dump_dir = dump_dir if dump_dir is not None else dump_ir_dir()
+        self.seq = 0
+        self._t0 = time.perf_counter()
+        if self.dump_dir:
+            os.makedirs(self.dump_dir, exist_ok=True)
+
+    def _dump(self, tag: str, pass_name: str, fn: Function) -> None:
+        path = os.path.join(
+            self.dump_dir,
+            f"{self.module_name}.{self.seq:03d}.{pass_name}.{fn.name}.{tag}.ir",
+        )
+        with open(path, "w") as f:
+            f.write(print_function(fn) + "\n")
+
+    def run(self, pass_name: str, fn: Function, thunk: Callable):
+        """Execute ``thunk`` (the pass, closed over ``fn``) instrumented.
+
+        Returns the thunk's result so call sites keep their pass-statistic
+        plumbing (``run_gvn`` returns a deletion count, etc.).
+        """
+        dc = get_context()
+        dump = self.dump_dir
+        if not dc.enabled and not dump:
+            return thunk()
+        self.seq += 1
+        if dump:
+            self._dump("before", pass_name, fn)
+        inst_before = fn.code_size()
+        loops_before = len(fn.loops())
+        start = time.perf_counter()
+        result = thunk()
+        end = time.perf_counter()
+        if dump:
+            self._dump("after", pass_name, fn)
+        if dc.enabled:
+            dc.add_pass(
+                PassRecord(
+                    pass_name=pass_name,
+                    function=fn.name,
+                    start_us=(start - self._t0) * 1e6,
+                    dur_us=(end - start) * 1e6,
+                    inst_before=inst_before,
+                    inst_after=fn.code_size(),
+                    loops_before=loops_before,
+                    loops_after=len(fn.loops()),
+                )
+            )
+        return result
+
+
+__all__ = ["PassManager"]

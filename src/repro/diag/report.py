@@ -1,0 +1,279 @@
+"""``python -m repro.diag report`` — render collected diagnostics.
+
+Runs a workload suite with diagnostics enabled (fresh builds, no caches,
+so every remark-producing decision actually re-fires), then renders
+three sections out of the collected records:
+
+* **optimization remarks** per workload (the -Rpass-style stream);
+* **pass timings** aggregated per pass across the suite (runs, wall
+  time, net instruction delta);
+* **execution hot spots** per workload: the per-region cycle
+  attribution, with versioning-check overhead broken out per region.
+
+``--jsonl`` / ``--trace`` additionally export the raw records (JSONL)
+and a Chrome ``trace_event`` file loadable in ``about://tracing`` or
+Perfetto.  ``--check`` runs a one-workload smoke pass that validates the
+whole chain (remarks collected, profile sums to the measured cycles,
+trace JSON well-formed) and exits non-zero on any failure — CI runs it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.diag.context import DiagnosticContext, collect
+from repro.diag.export import chrome_trace, write_chrome_trace, write_jsonl
+from repro.diag.profile import hotspot_rows, total_cycles
+from repro.perf.measure import build, execute
+from repro.perf.report import format_table
+from repro.workloads import polybench, tsvc
+
+
+def suite_workloads(suite: str, workload: Optional[str] = None) -> list:
+    """The workload objects the report runs over."""
+    pool = []
+    if suite in ("polybench", "all"):
+        pool += [factory() for factory in polybench.ALL]
+    if suite in ("tsvc", "all"):
+        pool += tsvc.workloads()
+    if workload is not None:
+        pool = [w for w in pool if w.name == workload]
+        if not pool:
+            raise SystemExit(
+                f"error: no workload named {workload!r} in suite {suite!r}"
+            )
+    return pool
+
+
+def collect_suite(
+    workloads: list,
+    level: str,
+    honor_restrict: bool = True,
+    vl: int = 4,
+    rle: bool = False,
+    backend: Optional[str] = None,
+) -> list[tuple[str, DiagnosticContext]]:
+    """Build + run each workload under its own fresh context.
+
+    Fresh, uncached builds: the measurement caches would otherwise
+    short-circuit the optimizer (and with it every remark site) on
+    repeated invocations.
+    """
+    out = []
+    for w in workloads:
+        with collect() as dc:
+            module, stats = build(
+                w, level, honor_restrict=honor_restrict, vl=vl, rle=rle,
+                use_cache=False,
+            )
+            execute(module, w, stats, backend=backend)
+        out.append((w.name, dc))
+    return out
+
+
+def merge_contexts(
+    per_workload: list[tuple[str, DiagnosticContext]]
+) -> DiagnosticContext:
+    """One context holding every workload's records, in suite order."""
+    merged = DiagnosticContext(enabled=True)
+    for _, dc in per_workload:
+        merged.remarks.extend(dc.remarks)
+        merged.passes.extend(dc.passes)
+        merged.profiles.extend(dc.profiles)
+    return merged
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def render_remarks(
+    per_workload: list[tuple[str, DiagnosticContext]],
+    kinds: Optional[set[str]] = None,
+) -> str:
+    lines = ["== optimization remarks =="]
+    for name, dc in per_workload:
+        remarks = [
+            r for r in dc.remarks if kinds is None or r.kind in kinds
+        ]
+        if not remarks:
+            continue
+        lines.append(f"-- {name} --")
+        lines.extend(f"  {r.render()}" for r in remarks)
+    if len(lines) == 1:
+        lines.append("(no remarks collected)")
+    return "\n".join(lines)
+
+
+def render_pass_timings(merged: DiagnosticContext) -> str:
+    agg: dict[str, list] = {}
+    for p in merged.passes:
+        row = agg.setdefault(p.pass_name, [0, 0.0, 0])
+        row[0] += 1
+        row[1] += p.dur_us
+        row[2] += p.inst_delta
+    rows = [
+        (name, runs, total_us / 1000.0, delta)
+        for name, (runs, total_us, delta) in sorted(
+            agg.items(), key=lambda kv: -kv[1][1]
+        )
+    ]
+    table = format_table(["pass", "runs", "total ms", "inst delta"], rows,
+                         floatfmt=".3f")
+    return "== pass timings ==\n" + (
+        table if rows else "(no pass records collected)"
+    )
+
+
+def render_hotspots(merged: DiagnosticContext, top: int = 5) -> str:
+    lines = ["== execution hot spots =="]
+    for prof in merged.profiles:
+        lines.append(
+            f"-- {prof.workload} ({prof.backend}, "
+            f"{prof.total_cycles:.1f} cycles) --"
+        )
+        rows = [
+            (region, iters, cycles, self_cy, pct, checks, check_cy)
+            for region, iters, cycles, self_cy, pct, checks, check_cy
+            in hotspot_rows(prof.regions, top=top)
+        ]
+        lines.append(format_table(
+            ["region", "iters", "cycles", "self", "%total", "checks",
+             "check cy"],
+            rows, floatfmt=".1f",
+        ))
+    if len(lines) == 1:
+        lines.append("(no profiles collected)")
+    return "\n".join(lines)
+
+
+def render_report(
+    per_workload: list[tuple[str, DiagnosticContext]],
+    top: int = 5,
+    kinds: Optional[set[str]] = None,
+) -> str:
+    merged = merge_contexts(per_workload)
+    return "\n\n".join([
+        render_remarks(per_workload, kinds=kinds),
+        render_pass_timings(merged),
+        render_hotspots(merged, top=top),
+    ])
+
+
+# -- --check smoke -----------------------------------------------------------
+
+
+def run_check(backend: Optional[str] = None) -> int:
+    """One-workload end-to-end validation of the diagnostics chain."""
+    failures = []
+    wl = [w for w in tsvc.workloads() if w.name == "s000"][0]
+    per = collect_suite([wl], "supervec+v", backend=backend)
+    dc = per[0][1]
+    if not dc.remarks:
+        failures.append("no remarks collected from s000 @ supervec+v")
+    if not dc.passes:
+        failures.append("no pass records collected")
+    if not dc.profiles:
+        failures.append("no execution profile collected")
+    else:
+        prof = dc.profiles[0]
+        if abs(total_cycles(prof.regions) - prof.total_cycles) > 1e-9:
+            failures.append(
+                f"profile does not sum to measured cycles: "
+                f"{total_cycles(prof.regions)} != {prof.total_cycles}"
+            )
+    trace = json.loads(json.dumps(chrome_trace(dc)))
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        failures.append("chrome trace has no traceEvents")
+    elif not all(
+        isinstance(e, dict) and "ph" in e and "pid" in e for e in events
+    ):
+        failures.append("chrome trace events missing ph/pid fields")
+    import io
+
+    buf = io.StringIO()
+    n = write_jsonl(dc, buf)
+    parsed = [json.loads(line) for line in buf.getvalue().splitlines()]
+    if len(parsed) != n or any("type" not in rec for rec in parsed):
+        failures.append("JSONL export does not round-trip")
+    if failures:
+        for f in failures:
+            print(f"diagnostics check FAILED: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"diagnostics check OK: {len(dc.remarks)} remark(s), "
+        f"{len(dc.passes)} pass record(s), {len(events)} trace event(s)"
+    )
+    return 0
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.diag",
+        description="Render compiler diagnostics: remarks, pass timings, "
+                    "and execution hot spots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser("report", help="run a suite and render diagnostics")
+    rep.add_argument("--suite", choices=["polybench", "tsvc", "all"],
+                     default="polybench")
+    rep.add_argument("--workload", help="restrict to one workload by name")
+    rep.add_argument("--level", default="supervec+v",
+                     help="pipeline level (default: supervec+v)")
+    rep.add_argument("--no-restrict", action="store_true",
+                     help="ignore restrict qualifiers")
+    rep.add_argument("--vl", type=int, default=4, help="vector length")
+    rep.add_argument("--rle", action="store_true",
+                     help="enable versioned redundant load elimination")
+    rep.add_argument("--backend", choices=["reference", "compiled"],
+                     default=None)
+    rep.add_argument("--kind", action="append", dest="kinds",
+                     choices=["Passed", "Missed", "Analysis"],
+                     help="only show these remark kinds (repeatable)")
+    rep.add_argument("--top", type=int, default=5,
+                     help="hot-spot rows per workload")
+    rep.add_argument("--jsonl", metavar="PATH",
+                     help="write all records as JSON lines")
+    rep.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome trace_event JSON file")
+    rep.add_argument("--check", action="store_true",
+                     help="run a one-workload smoke validation and exit")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return run_check(backend=args.backend)
+
+    workloads = suite_workloads(args.suite, args.workload)
+    per = collect_suite(
+        workloads, args.level,
+        honor_restrict=not args.no_restrict,
+        vl=args.vl, rle=args.rle, backend=args.backend,
+    )
+    kinds = set(args.kinds) if args.kinds else None
+    print(render_report(per, top=args.top, kinds=kinds))
+    merged = merge_contexts(per)
+    if args.jsonl:
+        with open(args.jsonl, "w") as f:
+            n = write_jsonl(merged, f)
+        print(f"\nwrote {n} record(s) to {args.jsonl}")
+    if args.trace:
+        with open(args.trace, "w") as f:
+            n = write_chrome_trace(merged, f)
+        print(f"wrote {n} trace event(s) to {args.trace}")
+    return 0
+
+
+__all__ = [
+    "collect_suite",
+    "main",
+    "merge_contexts",
+    "render_report",
+    "run_check",
+    "suite_workloads",
+]

@@ -75,6 +75,7 @@ from repro.ir.instructions import (
     VecStore,
     VecUn,
 )
+from repro.diag.context import get_context
 from repro.ir.loops import Function, GlobalArray, Loop, Module, ScopeMixin
 from repro.ir.predicates import Predicate
 from repro.ir.values import Constant, Undef, Value
@@ -227,6 +228,10 @@ class CompiledProgram:
     global_pairs: tuple  # (GlobalArray, slot)
     counter_table: tuple  # per item: (opcode|None, ins, ld, st, br, be, ck, vec, call)
     read_ret: Callable[[list], object]
+    # id(IR item) per counter_table row (loops have opcode None); valid for
+    # the function's lifetime, which the weak compile cache ties us to —
+    # lets the region profiler map execution counts back onto the IR
+    item_ids: tuple = ()
 
     def make_counters(self, counts: list) -> Counters:
         """Aggregate per-item execution counts into interpreter Counters."""
@@ -272,6 +277,7 @@ class _FunctionCompiler:
         self._n_slots = _FIRST_SLOT
         self._globals: dict[GlobalArray, int] = {}
         self._table: list[tuple] = []
+        self._ids: list[int] = []
 
     # -- slot allocation -------------------------------------------------
 
@@ -381,10 +387,12 @@ class _FunctionCompiler:
             vec = 1
         if isinstance(inst, Call):
             call = 1
+        self._ids.append(id(inst))
         return self._item_index((inst.opcode, 1, ld, st, br, 0, ck, vec, call))
 
     def _loop_index(self, loop: Loop) -> int:
         # one back edge and one branch per iteration, no instruction count
+        self._ids.append(id(loop))
         return self._item_index((None, 0, 0, 0, 1, 1, 0, 0, 0))
 
     # -- top level -------------------------------------------------------
@@ -403,6 +411,7 @@ class _FunctionCompiler:
             global_pairs=tuple(self._globals.items()),
             counter_table=tuple(self._table),
             read_ret=read_ret,
+            item_ids=tuple(self._ids),
         )
 
     def _compile_return(self, rv: Optional[Value]):
@@ -996,7 +1005,23 @@ class CompiledExecutor:
         cy = 0.0
         for step in prog.steps:
             cy = step(R, C, cy)
-        return ExecutionResult(prog.read_ret(R), cy, prog.make_counters(C), mem)
+        profile = None
+        if get_context().enabled:
+            # derive the region profile from the per-item counts the
+            # backend maintains anyway — execution itself is untouched
+            from repro.diag.profile import build_profile
+
+            counts: dict[int, int] = {}
+            iters: dict[int, int] = {}
+            for item_id, entry, n in zip(prog.item_ids, prog.counter_table, C):
+                if entry[0] is None:  # loop row: back-edge count
+                    iters[item_id] = n
+                else:
+                    counts[item_id] = n
+            profile = build_profile(fn, counts, iters, self.cost_model)
+        return ExecutionResult(
+            prog.read_ret(R), cy, prog.make_counters(C), mem, profile
+        )
 
 
 # Executor registry for harness-level backend selection.

@@ -46,6 +46,7 @@ from repro.ir.instructions import (
     VecStore,
     VecUn,
 )
+from repro.diag.context import get_context
 from repro.ir.loops import Function, GlobalArray, Loop, Module, ScopeMixin
 from repro.ir.predicates import Predicate
 from repro.ir.values import Argument, Constant, Undef, Value
@@ -110,6 +111,9 @@ class ExecutionResult:
     cycles: float
     counters: Counters
     memory: Memory
+    # per-region cycle attribution (list of RegionProfile), populated only
+    # when the diagnostic context is enabled — see repro.diag.profile
+    profile: Optional[list] = None
 
 
 # external function: (interpreter, memory, args) -> return value
@@ -252,11 +256,25 @@ class Interpreter:
         self._cycles = 0.0
         self._steps = 0
         self._env = env
+        # per-item execution counts for the region profile: collected only
+        # when diagnostics are on; cycles/counters are unaffected either way
+        profiling = get_context().enabled
+        self._prof_counts: Optional[dict[int, int]] = {} if profiling else None
+        self._prof_iters: Optional[dict[int, int]] = {} if profiling else None
         self._execute_scope(fn)
         ret = None
         if fn.return_value is not None:
             ret = self._lookup(fn.return_value)
-        return ExecutionResult(ret, self._cycles, self._counters, self.memory)
+        profile = None
+        if profiling:
+            from repro.diag.profile import build_profile
+
+            profile = build_profile(
+                fn, self._prof_counts, self._prof_iters, self.cost_model
+            )
+        return ExecutionResult(
+            ret, self._cycles, self._counters, self.memory, profile
+        )
 
     # -- value lookup --------------------------------------------------------
 
@@ -314,12 +332,16 @@ class Interpreter:
         env = self._env
         for mu in loop.mus:
             env[mu] = self._lookup(mu.init)
+        pi = self._prof_iters
         while True:
             self._tick()
             self._execute_scope(loop)
             self._counters.backedges += 1
             self._counters.branches += 1
             self._cycles += self.cost_model.loop_backedge
+            if pi is not None:
+                k = id(loop)
+                pi[k] = pi.get(k, 0) + 1
             assert loop.cont is not None
             cont_raw = self._try_lookup(loop.cont)
             if cont_raw is _MISSING or not bool(cont_raw):
@@ -337,6 +359,10 @@ class Interpreter:
         c.instructions += 1
         c.by_opcode[inst.opcode] = c.by_opcode.get(inst.opcode, 0) + 1
         self._cycles += self.cost_model.instruction_cost(inst)
+        pc = self._prof_counts
+        if pc is not None:
+            k = id(inst)
+            pc[k] = pc.get(k, 0) + 1
         look = self._lookup
         env = self._env
 

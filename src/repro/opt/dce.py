@@ -12,6 +12,7 @@ comparison that only guards a predicate is correctly considered live.
 
 from __future__ import annotations
 
+from repro.diag.context import get_context
 from repro.ir.instructions import Call, Eta, Instruction, Store, VecStore
 from repro.ir.loops import Function, Loop, ScopeMixin
 from repro.ir.predicates import Predicate
@@ -72,6 +73,12 @@ def run_dce(fn: Function) -> int:
                 worklist.append(f)
 
     removed += _erase_dead_loops(fn)
+    dc = get_context()
+    if dc.enabled and removed:
+        dc.remark(
+            "dce", "Passed", fn.name, "",
+            "removed {n} dead instructions/loops", n=removed,
+        )
     return removed
 
 

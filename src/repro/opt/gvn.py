@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.diag.context import get_context
 from repro.ir.instructions import (
     BinOp,
     Cast,
@@ -63,9 +64,11 @@ def run_gvn(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
     """Merge redundant pure computations; returns #instructions deleted."""
     aa = alias if alias is not None else AliasAnalysis()
     deleted = 0
+    dc = get_context()
 
     def visit(scope: ScopeMixin) -> None:
         nonlocal deleted
+        loc = scope.name if isinstance(scope, Loop) else ""
         table: dict = {}
         writes_since: dict[int, list[Instruction]] = {}
         mem_writes: list[Instruction] = []
@@ -93,6 +96,14 @@ def run_gvn(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
                         for w in mem_writes[write_mark:]
                     )
                     if clobbered:
+                        if dc.enabled:
+                            dc.remark(
+                                "gvn", "Missed", fn.name, loc,
+                                "load {load} not merged with {prior}: "
+                                "intervening write may alias",
+                                load=inst.display_name(),
+                                prior=earlier.display_name(),
+                            )
                         table[k] = (inst, len(mem_writes))
                         continue
                 for user in list(inst.users()):
@@ -105,6 +116,11 @@ def run_gvn(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
             table[k] = (inst, len(mem_writes))
 
     visit(fn)
+    if dc.enabled and deleted:
+        dc.remark(
+            "gvn", "Passed", fn.name, "",
+            "deleted {n} redundant instructions", n=deleted,
+        )
     return deleted
 
 

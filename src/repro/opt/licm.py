@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.diag.context import get_context
 from repro.ir.instructions import (
     BinOp,
     Cast,
@@ -38,12 +39,21 @@ def run_licm(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
     aa = alias if alias is not None else AliasAnalysis()
     hoisted = 0
 
+    dc = get_context()
+
     def visit(scope: ScopeMixin) -> None:
         nonlocal hoisted
         for item in list(scope.items):
             if isinstance(item, Loop):
                 visit(item)  # innermost first
-                hoisted += _hoist_from(scope, item, aa)
+                n = _hoist_from(scope, item, aa)
+                hoisted += n
+                if dc.enabled and n:
+                    dc.remark(
+                        "licm", "Passed", fn.name, item.name,
+                        "hoisted {n} loop-invariant instructions out of {loop}",
+                        n=n, loop=item.name,
+                    )
 
     visit(fn)
     return hoisted

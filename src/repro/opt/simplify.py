@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import math
 
+from repro.diag.context import get_context
 from repro.ir.instructions import BinOp, Cast, Cmp, Instruction, Phi, Select, UnOp
 from repro.ir.loops import Function, Loop, ScopeMixin
 from repro.ir.values import Constant, Value, const_bool, const_float, const_int
@@ -141,6 +142,13 @@ def run_simplify(fn: Function) -> int:
                 inst.scope_erase()
             total += 1
             changed = True
+    dc = get_context()
+    if dc.enabled and total:
+        dc.remark(
+            "simplify", "Passed", fn.name, "",
+            "folded {n} instructions (constants, identities, trivial phis)",
+            n=total,
+        )
     return total
 
 

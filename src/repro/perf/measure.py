@@ -31,6 +31,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.diag.context import ProfileRecord, get_context
 from repro.frontend import compile_c
 from repro.interp import BACKENDS, Counters
 from repro.pipeline.pipelines import PipelineStats, optimize
@@ -85,7 +86,30 @@ class RunResult:
 
 
 class ChecksumMismatch(AssertionError):
-    pass
+    """A configuration's output checksum diverged from its O0 reference.
+
+    Carries the full run configuration so a failure deep inside a sweep
+    is self-describing: workload, pipeline level, backend, vectorization
+    and RLE settings, and both checksums.
+    """
+
+    def __init__(self, workload: str, level: str, backend: str,
+                 honor_restrict: bool, vl: int, rle: bool,
+                 expected: float, actual: float):
+        self.workload = workload
+        self.level = level
+        self.backend = backend
+        self.honor_restrict = honor_restrict
+        self.vl = vl
+        self.rle = rle
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"{workload} @ {level} [backend={backend}, "
+            f"restrict={'on' if honor_restrict else 'off'}, vl={vl}, "
+            f"rle={'on' if rle else 'off'}]: checksum {actual!r} != "
+            f"reference {expected!r}"
+        )
 
 
 # -- backend selection -------------------------------------------------------
@@ -94,12 +118,20 @@ DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "compiled")
 
 
 def set_default_backend(name: str) -> None:
-    """Select the executor used when callers don't pass ``backend=``."""
+    """Select the executor used when callers don't pass ``backend=``.
+
+    Switching backends drops the build/run/reference caches: cached
+    :class:`RunResult` objects (the reference cache in particular, whose
+    key does not include the backend) were produced by the previously
+    selected executor and must not be served as results of the new one.
+    """
     global DEFAULT_BACKEND
     if name not in BACKENDS:
         raise ValueError(
             f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
         )
+    if name != DEFAULT_BACKEND:
+        clear_reference_cache()
     DEFAULT_BACKEND = name
 
 
@@ -204,6 +236,15 @@ def execute(module, workload: Workload, stats: Optional[PipelineStats] = None,
         else:
             argv.append(a.value)
     res = interp.run(module.functions[workload.entry], argv)
+    dc = get_context()
+    if dc.enabled and res.profile is not None:
+        dc.add_profile(ProfileRecord(
+            workload=workload.name,
+            function=workload.entry,
+            backend=name,
+            total_cycles=res.cycles,
+            regions=res.profile,
+        ))
     checksum = 0.0
     for a, base in arrays:
         if a.check:
@@ -252,7 +293,7 @@ def run_workload(workload: Workload, level: str, honor_restrict: bool = True,
 
 
 def verified_run(workload: Workload, level: str, reference: Optional[RunResult] = None,
-                 honor_restrict: bool = True, rle: bool = False,
+                 honor_restrict: bool = True, vl: int = 4, rle: bool = False,
                  rel_tol: float = 1e-6, backend: Optional[str] = None,
                  use_cache: bool = True) -> RunResult:
     """Run under ``level`` and check the output checksum against O0.
@@ -270,12 +311,15 @@ def verified_run(workload: Workload, level: str, reference: Optional[RunResult] 
                                      backend=backend, use_cache=use_cache)
             if use_ref_cache:
                 _REFERENCE_CACHE[ref_key] = reference
-    result = run_workload(workload, level, honor_restrict=honor_restrict, rle=rle,
-                          backend=backend, use_cache=use_cache)
+    result = run_workload(workload, level, honor_restrict=honor_restrict,
+                          vl=vl, rle=rle, backend=backend, use_cache=use_cache)
     ref, got = reference.checksum, result.checksum
     if not math.isclose(ref, got, rel_tol=rel_tol, abs_tol=1e-6):
         raise ChecksumMismatch(
-            f"{workload.name} @ {level}: checksum {got!r} != reference {ref!r}"
+            workload=workload.name, level=level,
+            backend=backend if backend is not None else DEFAULT_BACKEND,
+            honor_restrict=honor_restrict, vl=vl, rle=rle,
+            expected=ref, actual=got,
         )
     return result
 

@@ -13,13 +13,19 @@
 
 Each pipeline takes ``honor_restrict`` so the Fig. 16 restrict on/off
 toggle is one flag.
+
+Every pass invocation goes through a :class:`repro.diag.PassManager`, so
+with diagnostics enabled (``REPRO_DIAG=1`` or ``repro.diag.collect()``)
+the pipeline records per-pass wall time and instruction/loop deltas, and
+``REPRO_DUMP_IR=<dir>`` writes before/after IR snapshots of every pass.
+With diagnostics off the wrapper is a direct call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
+from repro.diag import PassManager
 from repro.frontend import compile_c
 from repro.ir import Module, verify_module
 from repro.opt import run_dce, run_gvn, run_licm, run_simplify
@@ -30,19 +36,42 @@ from repro.vectorizer import SLPStats, VectorizeConfig, vectorize_function
 
 @dataclass
 class PipelineStats:
+    """Per-pass statistics, keyed by function name for every pass.
+
+    ``gvn`` / ``licm`` map function name -> instructions deleted/hoisted
+    (summed over all cleanup rounds the pipeline runs); the historical
+    module-wide totals remain available as ``gvn_deleted`` and
+    ``licm_hoisted`` properties.
+    """
+
     slp: dict = field(default_factory=dict)  # fn name -> SLPStats
     rle: dict = field(default_factory=dict)  # fn name -> RLEStats
-    licm_hoisted: int = 0
-    gvn_deleted: int = 0
+    gvn: dict = field(default_factory=dict)  # fn name -> #deleted
+    licm: dict = field(default_factory=dict)  # fn name -> #hoisted
+
+    @property
+    def gvn_deleted(self) -> int:
+        return sum(self.gvn.values())
+
+    @property
+    def licm_hoisted(self) -> int:
+        return sum(self.licm.values())
 
 
-def _scalar_cleanup(module: Module, honor_restrict: bool, stats: PipelineStats) -> None:
+def _scalar_cleanup(
+    module: Module,
+    honor_restrict: bool,
+    stats: PipelineStats,
+    pm: PassManager,
+) -> None:
     aa = AliasAnalysis(honor_restrict=honor_restrict)
-    for fn in module.functions.values():
-        run_simplify(fn)
-        stats.gvn_deleted += run_gvn(fn, aa)
-        stats.licm_hoisted += run_licm(fn, aa)
-        run_dce(fn)
+    for name, fn in module.functions.items():
+        pm.run("simplify", fn, lambda fn=fn: run_simplify(fn))
+        deleted = pm.run("gvn", fn, lambda fn=fn: run_gvn(fn, aa))
+        stats.gvn[name] = stats.gvn.get(name, 0) + deleted
+        hoisted = pm.run("licm", fn, lambda fn=fn: run_licm(fn, aa))
+        stats.licm[name] = stats.licm.get(name, 0) + hoisted
+        pm.run("dce", fn, lambda fn=fn: run_dce(fn))
 
 
 def optimize(
@@ -56,12 +85,16 @@ def optimize(
     stats = PipelineStats()
     if level == "O0":
         return stats
-    _scalar_cleanup(module, honor_restrict, stats)
+    pm = PassManager(module_name=module.name)
+    _scalar_cleanup(module, honor_restrict, stats, pm)
     if rle:
         for name, fn in module.functions.items():
-            stats.rle[name] = run_rle(fn, honor_restrict=honor_restrict)
+            stats.rle[name] = pm.run(
+                "rle", fn,
+                lambda fn=fn: run_rle(fn, honor_restrict=honor_restrict),
+            )
         # RLE unlocks more LICM/GVN downstream (the paper's Fig. 22 rows)
-        _scalar_cleanup(module, honor_restrict, stats)
+        _scalar_cleanup(module, honor_restrict, stats, pm)
     mode = {
         "O3-scalar": None,
         "O3": "loop",
@@ -73,8 +106,10 @@ def optimize(
     if mode is not None:
         for name, fn in module.functions.items():
             cfg = VectorizeConfig(mode=mode, honor_restrict=honor_restrict, vl=vl)
-            stats.slp[name] = vectorize_function(fn, cfg)
-    _scalar_cleanup(module, honor_restrict, stats)
+            stats.slp[name] = pm.run(
+                "slp", fn, lambda fn=fn, cfg=cfg: vectorize_function(fn, cfg)
+            )
+    _scalar_cleanup(module, honor_restrict, stats, pm)
     verify_module(module)
     return stats
 

@@ -27,6 +27,7 @@ from typing import Optional
 from repro.analysis.affine import affine_of
 from repro.analysis.depgraph import DependenceGraph
 from repro.analysis.memloc import mem_location
+from repro.diag.context import get_context
 from repro.ir.instructions import Instruction, Load
 from repro.ir.loops import Function, Loop, ScopeMixin
 from repro.opt import run_dce
@@ -95,24 +96,54 @@ def _rle_scope(
     stats: RLEStats,
     use_versioning: bool,
 ) -> None:
+    dc = get_context()
+    loc = scope.name if isinstance(scope, Loop) else ""
     for group in _load_groups(scope):
         stats.groups_found += 1
         leader = _pick_leader(group)
         if leader is None:
+            if dc.enabled:
+                dc.remark(
+                    "rle", "Missed", fn.name, loc,
+                    "load group of {n} ({first}, ...) has no leader whose "
+                    "execution every member implies",
+                    n=len(group), first=group[0].display_name(),
+                )
             continue
         # contiguity (not just pairwise independence): the leader must be
         # hoistable above every member, crossing whatever sits between
         plan = vf.infer_schedulability(group)
         if plan is None:
+            if dc.enabled:
+                dc.remark(
+                    "rle", "Missed", fn.name, loc,
+                    "load group at {leader} dropped: no versioning plan "
+                    "makes the group independent",
+                    leader=leader.display_name(),
+                )
             stats.infeasible += 1
             continue
         if not plan.is_empty():
             if not use_versioning:
+                if dc.enabled:
+                    dc.remark(
+                        "rle", "Missed", fn.name, loc,
+                        "load group at {leader} needs run-time checks but "
+                        "versioning is disabled",
+                        leader=leader.display_name(),
+                    )
                 stats.infeasible += 1
                 continue
             try:
                 vf.materialize([plan], optimize=True, verify=False)
             except MaterializationError:
+                if dc.enabled:
+                    dc.remark(
+                        "rle", "Missed", fn.name, loc,
+                        "load group at {leader} dropped: plan failed to "
+                        "materialize",
+                        leader=leader.display_name(),
+                    )
                 stats.infeasible += 1
                 continue
             stats.plans_materialized += 1
@@ -120,6 +151,13 @@ def _rle_scope(
             scope, vf.alias, assume_independent=set(plan.removed_edges)
         )
         if not schedule_with_group(scope, group, graph):
+            if dc.enabled:
+                dc.remark(
+                    "rle", "Missed", fn.name, loc,
+                    "load group at {leader} dropped: cannot schedule the "
+                    "group contiguously",
+                    leader=leader.display_name(),
+                )
             continue
         # after scheduling the group is contiguous; make the leader first
         order = {id(it): i for i, it in enumerate(scope.items)}

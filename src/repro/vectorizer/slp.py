@@ -29,6 +29,7 @@ from typing import Optional
 from repro.analysis.affine import affine_of, difference
 from repro.analysis.depgraph import DependenceGraph
 from repro.analysis.memloc import mem_location
+from repro.diag.context import get_context
 from repro.ir.instructions import (
     BinOp,
     BuildVector,
@@ -105,6 +106,12 @@ class _ScopeVectorizer:
         self.claimed: set[int] = set()
         self.removed_edges: set = set()
         self._plans: dict[tuple, Optional[VersioningPlan]] = {}
+        self._loc = scope.name if isinstance(scope, Loop) else ""
+
+    def _remark(self, kind: str, message: str, **args) -> None:
+        dc = get_context()
+        if dc.enabled:
+            dc.remark("slp", kind, self.fn.name, self._loc, message, **args)
 
     # -- legality: the versioning integration point ---------------------------
 
@@ -119,10 +126,23 @@ class _ScopeVectorizer:
         plan = self.vf.infer_for_items(members)
         if plan is not None and not plan.is_empty():
             if self.config.mode == "none":
+                self._remark(
+                    "Missed",
+                    "pack of {n} ({first}, ...) needs run-time checks but "
+                    "versioning is disabled (mode=none)",
+                    n=len(members), first=members[0].display_name(),
+                )
                 plan = None
             elif self.config.mode == "loop":
                 optimize_plan(plan)
                 if not self._fully_hoisted(plan):
+                    self._remark(
+                        "Missed",
+                        "pack of {n} ({first}, ...) rejected: residual "
+                        "in-loop checks cannot be hoisted (mode=loop only "
+                        "accepts whole-loop versioning)",
+                        n=len(members), first=members[0].display_name(),
+                    )
                     plan = None
         if plan is None:
             self.stats.rejected_infeasible += 1
@@ -214,21 +234,53 @@ class _ScopeVectorizer:
         builder = TreeBuilder(self._legal)
         tree = builder.build(seed)
         if tree is None:
+            self._remark(
+                "Missed",
+                "no SLP tree from store seed {store}: operand packs "
+                "illegal or non-isomorphic",
+                store=seed[0].display_name(),
+            )
             return
+        nodes = list(tree.all_nodes())
+        self._remark(
+            "Analysis",
+            "built SLP tree from seed {store}: {packs} pack(s), "
+            "{members} instruction(s)",
+            store=seed[0].display_name(), packs=len(nodes),
+            members=len(tree.all_members()),
+        )
         plans = self._plans_for_tree(tree)
         # schedulability: no dependence path may leave the tree's member
         # set and re-enter it (the contiguous-fusion condition); the
         # framework versions such paths away like any other
         sched = self.vf.infer_schedulability(tree.all_members())
         if sched is None:
+            self._remark(
+                "Missed",
+                "tree at seed {store} rejected: dependence paths re-enter "
+                "the member set and cannot be versioned away",
+                store=seed[0].display_name(),
+            )
             self.stats.rejected_infeasible += 1
             return
         if not sched.is_empty():
             if self.config.mode == "none":
+                self._remark(
+                    "Missed",
+                    "tree at seed {store} needs schedulability checks but "
+                    "versioning is disabled (mode=none)",
+                    store=seed[0].display_name(),
+                )
                 self.stats.rejected_infeasible += 1
                 return
             optimize_plan(sched, coalesce=True)
             if self.config.mode == "loop" and not self._fully_hoisted(sched):
+                self._remark(
+                    "Missed",
+                    "tree at seed {store} rejected: schedulability checks "
+                    "stay in the loop (mode=loop)",
+                    store=seed[0].display_name(),
+                )
                 self.stats.rejected_infeasible += 1
                 return
             plans.append(sched)
@@ -239,12 +291,35 @@ class _ScopeVectorizer:
             inline, hoisted = self._check_split([merged] if merged else [])
             cost = tree_cost(tree, self.config.vl, inline, hoisted)
             if not cost.profitable:
+                self._remark(
+                    "Missed",
+                    "tree at seed {store} rejected by cost model: scalar "
+                    "{scalar} vs vector {vector} + checks {checks} "
+                    "({inline} in-loop, {hoisted} hoisted)",
+                    store=seed[0].display_name(),
+                    scalar=round(cost.scalar, 2), vector=round(cost.vector, 2),
+                    checks=round(cost.checks, 2), inline=inline,
+                    hoisted=hoisted,
+                )
                 self.stats.rejected_cost += 1
                 return
+            self._remark(
+                "Analysis",
+                "cost model accepts tree at seed {store}: scalar {scalar} "
+                "vs vector {vector} + checks {checks}",
+                store=seed[0].display_name(), scalar=round(cost.scalar, 2),
+                vector=round(cost.vector, 2), checks=round(cost.checks, 2),
+            )
         if merged is not None:
             try:
                 self.vf.materialize([merged], optimize=False, verify=False)
             except MaterializationError:
+                self._remark(
+                    "Missed",
+                    "tree at seed {store} rejected: versioning plan failed "
+                    "to materialize",
+                    store=seed[0].display_name(),
+                )
                 self.stats.rejected_infeasible += 1
                 return
             self.removed_edges |= merged.removed_edges
@@ -255,6 +330,12 @@ class _ScopeVectorizer:
         )
         members = tree.all_members()
         if not schedule_with_group(self.scope, members, graph):
+            self._remark(
+                "Missed",
+                "tree at seed {store} rejected: members cannot be "
+                "scheduled as one contiguous group",
+                store=seed[0].display_name(),
+            )
             self.stats.rejected_schedule += 1
             return
         emitter = VectorEmitter(self.scope, self.config.vl)
@@ -264,6 +345,14 @@ class _ScopeVectorizer:
         self.claimed.update(id(m) for m in members)
         self.stats.trees += 1
         self.stats.packed_instructions += len(members)
+        self._remark(
+            "Passed",
+            "vectorized tree at seed {store}: {members} instruction(s) "
+            "-> VL={vl} vector code{versioned}",
+            store=seed[0].display_name(), members=len(members),
+            vl=self.config.vl,
+            versioned=" under a versioning plan" if merged is not None else "",
+        )
         self.vf.invalidate()
 
     # -- reductions -------------------------------------------------------------
@@ -423,6 +512,12 @@ class _ScopeVectorizer:
             loop.mus.remove(mu)
         self.stats.reductions += 1
         self.claimed.update(id(l) for l in links)
+        self._remark(
+            "Passed",
+            "vectorized {op} reduction over {mu}: {n} scalar links -> "
+            "vector accumulator + horizontal reduce",
+            op=op, mu=mu.display_name(), n=len(links),
+        )
         self.vf.invalidate()
         self._plans.clear()  # the IR changed; cached plans are stale
 
@@ -442,6 +537,18 @@ def vectorize_function(fn: Function, config: Optional[VectorizeConfig] = None) -
     run_simplify(fn)
     run_dce(fn)
     verify_function(fn)
+    dc = get_context()
+    if dc.enabled:
+        dc.remark(
+            "slp", "Analysis", fn.name, "",
+            "summary (mode={mode}): {trees} tree(s) / {packed} packed, "
+            "{reductions} reduction(s), {plans} plan(s) materialized; "
+            "rejected {inf} infeasible, {cost} cost, {sched} schedule",
+            mode=cfg.mode, trees=stats.trees, packed=stats.packed_instructions,
+            reductions=stats.reductions, plans=stats.plans_materialized,
+            inf=stats.rejected_infeasible, cost=stats.rejected_cost,
+            sched=stats.rejected_schedule,
+        )
     return stats
 
 

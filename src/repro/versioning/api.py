@@ -18,14 +18,55 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional
 
 from repro.analysis.alias import AliasAnalysis
+from repro.analysis.conditions import flatten
 from repro.analysis.depgraph import DepEdge, DependenceGraph
+from repro.diag.context import get_context
 from repro.ir.instructions import Item
-from repro.ir.loops import Function, ScopeMixin
+from repro.ir.loops import Function, Loop, ScopeMixin
 from repro.ir.verifier import verify_function
 
 from .condopt import optimize_plan
 from .materialize import Materializer
 from .plans import VersioningPlan, infer_plan_for_items, infer_versioning_plan
+
+
+def _scope_loc(scope) -> str:
+    return scope.name if isinstance(scope, Loop) else ""
+
+
+def _conds_text(plan: VersioningPlan) -> str:
+    """Stable one-line rendering of a plan's (nested) conditions."""
+    return "; ".join(str(c) for c in plan.all_conditions())
+
+
+def _remark_inference(
+    dc, fn_name: str, query: str, scope, n_items: int,
+    plan: Optional[VersioningPlan],
+) -> None:
+    """Trace one plan-inference query: the dependence conditions the
+    min-cut selected (Analysis) or the infeasibility (Missed)."""
+    loc = _scope_loc(scope)
+    if plan is None:
+        dc.remark(
+            "versioning", "Missed", fn_name, loc,
+            "{query}: no versioning plan makes {n} items independent",
+            query=query, n=n_items,
+        )
+    elif plan.is_empty():
+        dc.remark(
+            "versioning", "Analysis", fn_name, loc,
+            "{query}: {n} items already independent (no checks needed)",
+            query=query, n=n_items,
+        )
+    else:
+        dc.remark(
+            "versioning", "Analysis", fn_name, loc,
+            "{query}: min-cut plan over {n} items cuts {edges} dependence "
+            "edge(s), {checks} check(s), depth {depth}: {conds}",
+            query=query, n=n_items, edges=len(plan.removed_edges),
+            checks=plan.check_count(), depth=plan.depth(),
+            conds=_conds_text(plan),
+        )
 
 
 class VersioningFramework:
@@ -70,7 +111,12 @@ class VersioningFramework:
         if any(it.parent is not scope for it in items):
             raise ValueError("all items must share one scope")
         graph = self.graph_for(scope)
-        return infer_plan_for_items(graph, items, likelihood=self.likelihood)
+        plan = infer_plan_for_items(graph, items, likelihood=self.likelihood)
+        dc = get_context()
+        if dc.enabled:
+            _remark_inference(dc, self.fn.name, "independence", scope,
+                              len(items), plan)
+        return plan
 
     def infer_independence(
         self, nodes: Iterable[Item], input_nodes: Iterable[Item]
@@ -80,9 +126,14 @@ class VersioningFramework:
         input_nodes = list(input_nodes)
         scope = (nodes + input_nodes)[0].parent
         graph = self.graph_for(scope)
-        return infer_versioning_plan(
+        plan = infer_versioning_plan(
             graph, nodes, input_nodes, likelihood=self.likelihood
         )
+        dc = get_context()
+        if dc.enabled:
+            _remark_inference(dc, self.fn.name, "independence-of-inputs",
+                              scope, len(nodes), plan)
+        return plan
 
     def infer_schedulability(self, members: Iterable[Item]) -> Optional[VersioningPlan]:
         """Infer a plan eliminating every dependence path that *leaves and
@@ -94,13 +145,18 @@ class VersioningFramework:
             return None
         scope = members[0].parent
         graph = self.graph_for(scope)
-        return infer_versioning_plan(
+        plan = infer_versioning_plan(
             graph,
             members,
             members,
             likelihood=self.likelihood,
             internal=set(map(id, members)),
         )
+        dc = get_context()
+        if dc.enabled:
+            _remark_inference(dc, self.fn.name, "schedulability", scope,
+                              len(members), plan)
+        return plan
 
     # -- materialization (API function 2) ------------------------------------------
 
@@ -117,6 +173,36 @@ class VersioningFramework:
         if optimize:
             for p in plan_list:
                 optimize_plan(p, coalesce=coalesce)
+        dc = get_context()
+        if dc.enabled:
+            # predicted overhead mirrors the SLP profitability model:
+            # CHECK_COST per residual in-scope check, amortized over
+            # AMORTIZE_TRIPS iterations for checks promoted out of a loop
+            from repro.vectorizer.cost import AMORTIZE_TRIPS, CHECK_COST
+
+            for p in plan_list:
+                inline = hoisted = 0
+                q: Optional[VersioningPlan] = p
+                while q is not None:
+                    inline += sum(len(flatten(c)) for c in q.conditions)
+                    hoisted += sum(
+                        len(flatten(c)) for c, _ in q.hoisted_conditions
+                    )
+                    q = q.secondary
+                overhead = CHECK_COST * inline + (
+                    CHECK_COST * hoisted / AMORTIZE_TRIPS
+                )
+                scope = p.nodes[0].parent if p.nodes else self.fn
+                dc.remark(
+                    "versioning", "Passed", self.fn.name, _scope_loc(scope),
+                    "materialized plan: {checks} check(s) "
+                    "({inline} in-scope, {hoisted} hoisted), {dup} node(s) "
+                    "duplicated, predicted overhead ~{ov} cycles/entry: "
+                    "{conds}",
+                    checks=inline + hoisted, inline=inline, hoisted=hoisted,
+                    dup=len(p.nodes), ov=round(overhead, 2),
+                    conds=_conds_text(p),
+                )
         mat = Materializer(self.fn)
         mat.materialize_plans(plan_list)
         self.invalidate()

@@ -1,0 +1,311 @@
+"""Diagnostics subsystem: remarks, pass records, profiles, exports.
+
+Covers the observability acceptance criteria:
+
+* golden-file remark streams for one PolyBench and one TSVC kernel at
+  ``supervec+v`` (value numbers normalized — they depend on process-wide
+  allocation order, everything else is deterministic);
+* diagnostics-off and diagnostics-on runs are bit-identical in cycles,
+  counters, and checksums on both backends;
+* region profiles sum exactly to the measured cycles and agree across
+  backends;
+* per-function pipeline statistics, the enriched ChecksumMismatch, and
+  backend-switch cache invalidation;
+* JSONL and Chrome ``trace_event`` export well-formedness, IR snapshot
+  dumping, and the ``repro.diag report`` CLI.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import re
+
+import pytest
+
+from repro.diag import (
+    DiagnosticContext,
+    chrome_trace,
+    collect,
+    get_context,
+    write_jsonl,
+)
+from repro.diag.profile import total_cycles
+from repro.diag.report import collect_suite, render_report, run_check
+from repro.perf import measure
+from repro.perf.measure import (
+    ChecksumMismatch,
+    RunResult,
+    build,
+    clear_reference_cache,
+    get_default_backend,
+    run_workload,
+    set_default_backend,
+    verified_run,
+)
+from repro.pipeline.pipelines import compile_and_optimize
+from repro.workloads import polybench, tsvc
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def _tsvc(name: str):
+    return [w for w in tsvc.workloads() if w.name == name][0]
+
+
+def _normalize(text: str) -> str:
+    """Mask SSA value numbers, which depend on process allocation order."""
+    return re.sub(r"\bv\d+\b", "v#", text)
+
+
+def _collect_remarks(workload, level="supervec+v", rle=False) -> list[str]:
+    with collect() as dc:
+        build(workload, level=level, rle=rle, use_cache=False)
+    return [_normalize(r.render()) for r in dc.remarks]
+
+
+# -- golden remark streams ---------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "workload_name, factory, golden",
+    [
+        ("trisolv", polybench.trisolv, "remarks_trisolv_supervec_v.txt"),
+        ("s113", lambda: _tsvc("s113"), "remarks_s113_supervec_v.txt"),
+    ],
+)
+def test_remarks_golden(workload_name, factory, golden):
+    got = _collect_remarks(factory())
+    with open(os.path.join(GOLDEN_DIR, golden)) as f:
+        want = f.read().splitlines()
+    assert got == want, f"remark stream for {workload_name} changed"
+
+
+def test_remark_stream_is_deterministic():
+    w = _tsvc("s113")
+    assert _collect_remarks(w) == _collect_remarks(w)
+
+
+def test_s113_remarks_tell_the_versioning_story():
+    """The remark stream alone explains s113: the a[0] reuse needs one
+    run-time check, the cost model accepts, and the tree vectorizes."""
+    text = "\n".join(_collect_remarks(_tsvc("s113")))
+    assert "min-cut plan" in text
+    assert "intersects(" in text
+    assert "cost model accepts" in text
+    assert "[Passed] slp" in text and "VL=4" in text
+
+
+# -- zero-cost-when-disabled -------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["compiled", "reference"])
+def test_diagnostics_do_not_perturb_measurement(backend):
+    """Cycles, counters, and checksums are bit-identical with diagnostics
+    off (the default) and on."""
+    for w in (polybench.trisolv(), _tsvc("s113")):
+        off = run_workload(w, "supervec+v", backend=backend, use_cache=False)
+        with collect():
+            on = run_workload(w, "supervec+v", backend=backend,
+                              use_cache=False)
+        assert on.cycles == off.cycles
+        assert on.checksum == off.checksum
+        assert on.counters.as_dict() == off.counters.as_dict()
+
+
+def test_disabled_context_collects_nothing():
+    with collect(enabled=False) as dc:
+        assert not get_context().enabled
+        build(polybench.trisolv(), level="supervec+v", use_cache=False)
+    assert dc.remarks == [] and dc.passes == [] and dc.profiles == []
+
+
+# -- execution profiles ------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["compiled", "reference"])
+def test_profile_sums_to_measured_cycles(backend):
+    w = _tsvc("s113")
+    with collect() as dc:
+        res = run_workload(w, "supervec+v", backend=backend, use_cache=False)
+    (prof,) = dc.profiles
+    assert prof.backend == backend
+    assert prof.total_cycles == res.cycles
+    assert total_cycles(prof.regions) == pytest.approx(res.cycles, abs=1e-9)
+    # inclusive cycles decompose: function = self + direct children
+    by_region = {r.region: r for r in prof.regions}
+    for r in prof.regions:
+        kids = [
+            c for c in prof.regions
+            if c.region.startswith(r.region + "/")
+            and "/" not in c.region[len(r.region) + 1:]
+        ]
+        assert r.cycles == pytest.approx(
+            r.self_cycles + sum(k.cycles for k in kids), abs=1e-9
+        )
+    assert by_region[prof.function].kind == "function"
+
+
+def test_profiles_agree_across_backends():
+    w = polybench.atax()
+
+    def regions(backend):
+        with collect() as dc:
+            run_workload(w, "supervec+v", backend=backend, use_cache=False)
+        return [r.as_dict() for r in dc.profiles[0].regions]
+
+    assert regions("compiled") == regions("reference")
+
+
+def test_profile_attributes_check_overhead_to_versioned_region():
+    with collect() as dc:
+        run_workload(_tsvc("s113"), "supervec+v", use_cache=False)
+    (prof,) = dc.profiles
+    checked = [r for r in prof.regions if r.checks > 0]
+    assert checked, "versioned s113 run shows no check overhead"
+    assert all(r.check_cycles > 0 for r in checked)
+    assert sum(r.checks for r in prof.regions) > 0
+
+
+# -- pass instrumentation ----------------------------------------------------
+
+
+def test_pass_records_cover_the_pipeline():
+    with collect() as dc:
+        build(polybench.trisolv(), level="supervec+v", use_cache=False)
+    names = {p.pass_name for p in dc.passes}
+    assert {"simplify", "gvn", "licm", "dce", "slp"} <= names
+    for p in dc.passes:
+        assert p.dur_us >= 0.0
+        assert p.inst_before >= 0 and p.inst_after >= 0
+
+
+def test_dump_ir_snapshots(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_DUMP_IR", str(tmp_path))
+    compile_and_optimize("void kernel(double * restrict a) { "
+                         "for (int i = 0; i < 8; i++) a[i] = a[i] + 1.0; }",
+                         level="supervec+v", name="snap")
+    files = sorted(os.listdir(tmp_path))
+    assert files, "REPRO_DUMP_IR produced no snapshots"
+    assert any(f.endswith(".before.ir") for f in files)
+    assert any(f.endswith(".after.ir") for f in files)
+    assert all(f.startswith("snap.") for f in files)
+    sample = (tmp_path / files[0]).read_text()
+    assert "kernel" in sample
+
+
+def test_pipeline_stats_per_function():
+    src = """
+    void kernel(double * restrict a) {
+      double t = a[0] + a[0];
+      for (int i = 0; i < 8; i++) a[i] = a[i] + t;
+    }
+    void helper(double * restrict b) {
+      for (int i = 0; i < 8; i++) b[i] = b[i] * 2.0;
+    }
+    """
+    _, stats = compile_and_optimize(src, level="supervec+v", name="two")
+    assert set(stats.gvn) == {"kernel", "helper"}
+    assert set(stats.licm) == {"kernel", "helper"}
+    assert stats.gvn_deleted == sum(stats.gvn.values())
+    assert stats.licm_hoisted == sum(stats.licm.values())
+    assert set(stats.slp) == {"kernel", "helper"}
+
+
+# -- measurement satellites --------------------------------------------------
+
+
+def test_checksum_mismatch_is_self_describing():
+    w = polybench.trisolv()
+    fake_ref = RunResult(
+        cycles=1.0, counters=measure.Counters(), checksum=12345.678,
+        return_value=None, code_size=0,
+    )
+    with pytest.raises(ChecksumMismatch) as exc_info:
+        verified_run(w, "supervec+v", reference=fake_ref, vl=4,
+                     use_cache=False)
+    e = exc_info.value
+    assert e.workload == "trisolv"
+    assert e.level == "supervec+v"
+    assert e.backend == get_default_backend()
+    assert e.vl == 4 and e.rle is False and e.honor_restrict is True
+    assert e.expected == 12345.678
+    msg = str(e)
+    for needle in ("trisolv", "supervec+v", "backend=", "vl=4", "rle=off",
+                   "restrict=on", "12345.678"):
+        assert needle in msg
+
+
+def test_set_default_backend_invalidates_caches():
+    prev = get_default_backend()
+    try:
+        clear_reference_cache()
+        set_default_backend("compiled")
+        verified_run(polybench.trisolv(), "supervec+v", use_cache=True)
+        assert measure._REFERENCE_CACHE and measure._RUN_CACHE
+        set_default_backend("reference")
+        assert not measure._REFERENCE_CACHE
+        assert not measure._RUN_CACHE
+        assert not measure._BUILD_CACHE
+        # re-selecting the current backend must NOT drop warm caches
+        verified_run(polybench.trisolv(), "supervec+v", use_cache=True)
+        assert measure._REFERENCE_CACHE
+        set_default_backend("reference")
+        assert measure._REFERENCE_CACHE
+        with pytest.raises(ValueError):
+            set_default_backend("no-such-backend")
+    finally:
+        set_default_backend(prev)
+        clear_reference_cache()
+
+
+# -- export + CLI ------------------------------------------------------------
+
+
+def _collected_context() -> DiagnosticContext:
+    per = collect_suite([_tsvc("s113")], "supervec+v")
+    return per[0][1]
+
+
+def test_jsonl_export_round_trips():
+    dc = _collected_context()
+    buf = io.StringIO()
+    n = write_jsonl(dc, buf)
+    lines = buf.getvalue().splitlines()
+    assert n == len(lines) == (
+        len(dc.remarks) + len(dc.passes) + len(dc.profiles)
+    )
+    recs = [json.loads(line) for line in lines]
+    kinds = {r["type"] for r in recs}
+    assert kinds == {"remark", "pass", "profile"}
+    prof = [r for r in recs if r["type"] == "profile"][0]
+    assert prof["workload"] == "s113" and prof["regions"]
+
+
+def test_chrome_trace_is_valid_trace_event_json():
+    dc = _collected_context()
+    trace = json.loads(json.dumps(chrome_trace(dc)))
+    events = trace["traceEvents"]
+    assert isinstance(events, list) and events
+    for e in events:
+        assert e["ph"] in ("X", "M")
+        assert isinstance(e["pid"], int)
+        if e["ph"] == "X":
+            assert e["dur"] > 0 and e["ts"] >= 0
+    # both tracks present: compile-time passes and execution regions
+    assert any(e.get("cat") == "pass" for e in events)
+    assert any(e.get("cat") == "exec" for e in events)
+
+
+def test_report_renders_all_sections():
+    per = collect_suite([_tsvc("s113")], "supervec+v")
+    text = render_report(per, top=3)
+    assert "== optimization remarks ==" in text
+    assert "== pass timings ==" in text
+    assert "== execution hot spots ==" in text
+    assert "s113" in text and "kernel/loop@10.unrolled" in text
+
+
+def test_report_check_smoke():
+    assert run_check() == 0
