@@ -41,7 +41,26 @@ _TYPE_KEYWORDS = {"double", "float", "int", "void"}
 
 
 class ParseError(Exception):
-    pass
+    """Syntax error carrying the 1-based source position of the failure.
+
+    ``line``/``col`` come from the lexer token at the point of failure
+    (``None`` when no token position applies); the rendered message is
+    prefixed with the position so callers need not format it themselves.
+    """
+
+    def __init__(self, msg: str, line: int | None = None,
+                 col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None and col is not None:
+            msg = f"line {line}, column {col}: {msg}"
+        elif line is not None:
+            msg = f"line {line}: {msg}"
+        super().__init__(msg)
+
+    @classmethod
+    def at(cls, msg: str, tok: Token) -> "ParseError":
+        return cls(msg, line=tok.line, col=tok.col)
 
 
 class Parser:
@@ -73,11 +92,12 @@ class Parser:
     def expect(self, text: str) -> Token:
         tok = self.peek()
         if not self.accept(text):
-            raise ParseError(f"expected {text!r}, found {tok}")
+            raise ParseError.at(f"expected {text!r}, found {tok.text!r}", tok)
         return tok
 
     def error(self, msg: str) -> ParseError:
-        return ParseError(f"{msg} (at {self.peek()})")
+        tok = self.peek()
+        return ParseError.at(f"{msg} (found {tok.text!r})", tok)
 
     # -- program ---------------------------------------------------------------
 
@@ -148,7 +168,10 @@ class Parser:
             self.expect("]")
         self.expect(";")
         if not dims:
-            raise ParseError(f"global scalar {name!r} not supported; use a 1-element array")
+            raise ParseError(
+                f"global scalar {name!r} not supported; use a 1-element array",
+                line=line,
+            )
         return GlobalDecl(name, CType(base, dims=tuple(dims)), line=line)
 
     def parse_function(self) -> FuncDef:
@@ -199,13 +222,13 @@ class Parser:
     def parse_base_type(self) -> str:
         tok = self.next()
         if tok.text not in _TYPE_KEYWORDS:
-            raise ParseError(f"expected a type, found {tok}")
+            raise ParseError.at(f"expected a type, found {tok.text!r}", tok)
         return "double" if tok.text == "float" else tok.text
 
     def expect_ident(self) -> str:
         tok = self.next()
         if tok.kind != "ident":
-            raise ParseError(f"expected identifier, found {tok}")
+            raise ParseError.at(f"expected identifier, found {tok.text!r}", tok)
         return tok.text
 
     def parse_const_expr(self) -> int:
@@ -234,13 +257,15 @@ class Parser:
             return int(tok.text)
         if tok.kind == "ident":
             if tok.text not in self.const_ints:
-                raise ParseError(f"{tok.text!r} is not a const int ({tok})")
+                raise ParseError.at(f"{tok.text!r} is not a const int", tok)
             return self.const_ints[tok.text]
         if tok.text == "(":
             v = self.parse_const_expr()
             self.expect(")")
             return v
-        raise ParseError(f"expected constant expression, found {tok}")
+        raise ParseError.at(
+            f"expected constant expression, found {tok.text!r}", tok
+        )
 
     # -- statements --------------------------------------------------------------------
 
@@ -369,12 +394,12 @@ class Parser:
             value = self.parse_expression()
             op = None if tok.text == "=" else tok.text[0]
             if not isinstance(expr, (VarRef, Index)):
-                raise ParseError(f"invalid assignment target at line {line}")
+                raise ParseError("invalid assignment target", line=line)
             return AssignStmt(expr, value, op=op, line=line)
         if tok.text in ("++", "--"):
             self.next()
             if not isinstance(expr, (VarRef, Index)):
-                raise ParseError(f"invalid increment target at line {line}")
+                raise ParseError("invalid increment target", line=line)
             one = NumLit(1, False, line=line)
             return AssignStmt(expr, one, op="+" if tok.text == "++" else "-", line=line)
         return ExprStmt(expr, line=line)
@@ -492,7 +517,9 @@ class Parser:
             e = self.parse_expression()
             self.expect(")")
             return e
-        raise ParseError(f"unexpected token {tok} in expression")
+        raise ParseError.at(
+            f"unexpected token {tok.text!r} in expression", tok
+        )
 
 
 def parse(source: str) -> Program:

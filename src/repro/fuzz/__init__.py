@@ -1,0 +1,58 @@
+"""Differential compiler fuzzing and test-case reduction.
+
+The correctness-tooling leg of the reproduction: a seed-deterministic
+grammar-based kernel generator (:mod:`.generator`), a differential
+oracle checking every optimization level x backend x VL x restrict x RLE
+configuration against the O0 reference (:mod:`.oracle`), a
+dependency-aware delta-debugging reducer (:mod:`.reduce`), a persistent
+failure corpus with auto-generated repro commands (:mod:`.corpus`), and
+planted pass bugs that prove the loop end to end (:mod:`.plant`).
+
+Driver: ``python -m repro.fuzz {run,reduce,replay}``.
+"""
+
+from .corpus import (
+    CorpusEntry,
+    DEFAULT_CORPUS_DIR,
+    iter_entries,
+    load_entry,
+    replay_entry,
+    replay_ok,
+    save_entry,
+)
+from .generator import Kernel, UnsafeAccess, generate_kernel
+from .oracle import (
+    Config,
+    KernelSpec,
+    Mismatch,
+    OracleReport,
+    check_kernel,
+    default_configs,
+    full_configs,
+)
+from .plant import PLANTED_BUGS
+from .reduce import NotFailing, ReduceResult, reduce_kernel
+
+__all__ = [
+    "Config",
+    "CorpusEntry",
+    "DEFAULT_CORPUS_DIR",
+    "Kernel",
+    "KernelSpec",
+    "Mismatch",
+    "NotFailing",
+    "OracleReport",
+    "PLANTED_BUGS",
+    "ReduceResult",
+    "UnsafeAccess",
+    "check_kernel",
+    "default_configs",
+    "full_configs",
+    "generate_kernel",
+    "iter_entries",
+    "load_entry",
+    "reduce_kernel",
+    "replay_entry",
+    "replay_ok",
+    "save_entry",
+]

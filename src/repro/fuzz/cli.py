@@ -1,0 +1,176 @@
+"""``python -m repro.fuzz {run,reduce,replay}`` — the fuzzing driver.
+
+* ``run``    — generate seed-deterministic kernels and push each through
+  the differential oracle; failures are saved to the corpus with a
+  ready-made repro command.
+* ``reduce`` — shrink a failing kernel (by seed, or a corpus file) to a
+  minimal statement sequence that preserves the failure.
+* ``replay`` — re-run corpus entries and check each against its expected
+  outcome (the CI regression mode).
+
+Exit status is 0 iff everything matched expectations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .corpus import (
+    DEFAULT_CORPUS_DIR,
+    iter_entries,
+    load_entry,
+    replay_entry,
+    replay_ok,
+    save_entry,
+)
+from .generator import generate_kernel
+from .oracle import check_kernel
+from .plant import PLANTED_BUGS
+from .reduce import NotFailing, reduce_kernel
+
+
+def _cmd_run(args) -> int:
+    t0 = time.perf_counter()
+    failures = 0
+    for seed in range(args.start, args.start + args.seeds):
+        kernel = generate_kernel(seed, name=f"fz{seed:06d}")
+        report = check_kernel(
+            kernel, bug=args.bug, full=args.full,
+            verify_each_pass=args.verify_each_pass,
+        )
+        if report.ok:
+            if args.verbose:
+                print(f"  {kernel.name}: ok "
+                      f"({report.configs_run} configs, "
+                      f"features={sorted(kernel.features)})")
+            continue
+        failures += 1
+        print(f"FAIL {kernel.name} (seed {seed}):")
+        for m in report.mismatches:
+            print(f"  {m}")
+        if args.save:
+            path = save_entry(kernel, args.corpus, seed=seed, bug=args.bug,
+                              expect="fail",
+                              note="fuzzer-found failure (unreduced)")
+            print(f"  saved -> {path}")
+            print(f"  repro: PYTHONPATH=src python -m repro.fuzz replay {path}")
+        print(f"  re-find: PYTHONPATH=src python -m repro.fuzz run "
+              f"--start {seed} --seeds 1"
+              + (f" --bug {args.bug}" if args.bug else ""))
+    dt = time.perf_counter() - t0
+    print(f"fuzz run: {args.seeds} seeds, {failures} failing kernels, "
+          f"{dt:.1f}s"
+          + (f" [planted bug: {args.bug}]" if args.bug else ""))
+    return 1 if failures else 0
+
+
+def _cmd_reduce(args) -> int:
+    if args.entry:
+        entry = load_entry(args.entry)
+        if entry.seed is None:
+            print("corpus entry has no seed; reduce needs the structured "
+                  "kernel, which only the generator provides", file=sys.stderr)
+            return 2
+        kernel = generate_kernel(entry.seed, name=entry.name)
+        bug = args.bug or entry.bug
+    else:
+        kernel = generate_kernel(args.seed, name=f"fz{args.seed:06d}")
+        bug = args.bug
+    print(f"reducing {kernel.name} "
+          f"({kernel.stmt_count()} statements)"
+          + (f" under planted bug {bug!r}" if bug else ""))
+    try:
+        result = reduce_kernel(kernel, bug=bug, max_steps=args.max_steps)
+    except NotFailing as e:
+        print(f"nothing to reduce: {e}", file=sys.stderr)
+        return 2
+    k = result.kernel
+    print(f"reduced to {result.stmt_count} statements in {result.rounds} "
+          f"rounds ({result.candidates_tried} candidates, "
+          f"{result.candidates_accepted} accepted)")
+    print(f"failure preserved: kinds={sorted(result.fail_kinds)} "
+          f"@ {result.fail_config.describe()}")
+    print("----")
+    print(k.source)
+    print("----")
+    if args.save:
+        k.name = f"{kernel.name}_reduced"
+        path = save_entry(k, args.corpus, seed=kernel.seed, bug=bug,
+                          expect="fail",
+                          note=f"reduced from {kernel.stmt_count()} to "
+                               f"{result.stmt_count} statements")
+        print(f"saved -> {path}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    bad = 0
+    total = 0
+    for path in (p for target in args.paths for p in iter_entries(target)):
+        entry = load_entry(path)
+        report = replay_entry(entry, full=args.full)
+        total += 1
+        ok = replay_ok(entry, report)
+        status = "ok" if ok else "UNEXPECTED"
+        outcome = "pass" if report.ok else "fail"
+        print(f"  {path}: expected {entry.expect}, got {outcome} [{status}]")
+        if not ok:
+            bad += 1
+            for m in report.mismatches:
+                print(f"    {m}")
+            if entry.repro:
+                print(f"    repro: {entry.repro}")
+    print(f"replay: {total} entries, {bad} unexpected outcomes")
+    return 1 if bad else 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential compiler fuzzing and test-case reduction",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_run = sub.add_parser("run", help="generate kernels and run the oracle")
+    p_run.add_argument("--seeds", type=int, default=50,
+                       help="number of seeds (default 50)")
+    p_run.add_argument("--start", type=int, default=0,
+                       help="first seed (default 0)")
+    p_run.add_argument("--bug", choices=sorted(PLANTED_BUGS),
+                       help="apply a planted pass bug to optimized builds")
+    p_run.add_argument("--full", action="store_true",
+                       help="full level x restrict x vl x rle matrix")
+    p_run.add_argument("--verify-each-pass", action="store_true",
+                       help="run the IR verifier after every pass")
+    p_run.add_argument("--save", action="store_true",
+                       help="save failing kernels to the corpus")
+    p_run.add_argument("--corpus", default=str(DEFAULT_CORPUS_DIR))
+    p_run.add_argument("-v", "--verbose", action="store_true")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_red = sub.add_parser("reduce", help="shrink a failing kernel")
+    group = p_red.add_mutually_exclusive_group(required=True)
+    group.add_argument("--seed", type=int, help="generator seed to reduce")
+    group.add_argument("--entry", help="corpus JSON file to reduce")
+    p_red.add_argument("--bug", choices=sorted(PLANTED_BUGS),
+                       help="planted pass bug the kernel fails under")
+    p_red.add_argument("--max-steps", type=int, default=500_000,
+                       help="execution step cap per candidate")
+    p_red.add_argument("--save", action="store_true",
+                       help="save the reduced kernel to the corpus")
+    p_red.add_argument("--corpus", default=str(DEFAULT_CORPUS_DIR))
+    p_red.set_defaults(fn=_cmd_reduce)
+
+    p_rep = sub.add_parser("replay", help="replay corpus entries")
+    p_rep.add_argument("paths", nargs="*", default=[str(DEFAULT_CORPUS_DIR)],
+                       help="corpus files or directories")
+    p_rep.add_argument("--full", action="store_true")
+    p_rep.set_defaults(fn=_cmd_replay)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+__all__ = ["main"]

@@ -1,0 +1,145 @@
+"""Persistent failure corpus: save, load, and replay kernels.
+
+Every interesting kernel — a fuzzer-found failure, its reduced form, or
+a coverage specimen worth pinning — is stored as one self-contained JSON
+file under ``tests/corpus/``: rendered source, explicit argument
+bindings (initial array *values*, not init formulas), the planted bug it
+was found under (if any), the expected replay outcome, and the exact
+command that reproduces it.  CI replays the whole directory as
+regression tests, so a once-found miscompile can never silently return.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .oracle import KernelSpec, OracleReport, check_kernel
+
+DEFAULT_CORPUS_DIR = Path("tests") / "corpus"
+
+
+@dataclass
+class CorpusEntry:
+    name: str
+    source: str
+    bindings: list
+    seed: Optional[int] = None
+    bug: Optional[str] = None
+    expect: str = "pass"  # "pass" | "fail"
+    note: str = ""
+    repro: str = ""
+
+    def spec(self) -> KernelSpec:
+        return KernelSpec(self.name, self.source, self.bindings)
+
+
+def _bindings_to_json(bindings: list) -> list:
+    out = []
+    for b in bindings:
+        if b[0] == "array":
+            out.append({"kind": "array", "name": b[1], "size": b[2],
+                        "values": list(b[3])})
+        elif b[0] == "alias":
+            out.append({"kind": "alias", "name": b[1], "of": b[2],
+                        "offset": b[3]})
+        else:
+            out.append({"kind": "scalar", "name": b[1], "value": b[2]})
+    return out
+
+
+def _bindings_from_json(items: list) -> list:
+    out: list = []
+    for d in items:
+        if d["kind"] == "array":
+            out.append(("array", d["name"], d["size"], list(d["values"])))
+        elif d["kind"] == "alias":
+            out.append(("alias", d["name"], d["of"], d["offset"]))
+        else:
+            out.append(("scalar", d["name"], d["value"]))
+    return out
+
+
+def save_entry(
+    kernel,
+    directory: Path | str = DEFAULT_CORPUS_DIR,
+    seed: Optional[int] = None,
+    bug: Optional[str] = None,
+    expect: str = "pass",
+    note: str = "",
+) -> Path:
+    """Write one corpus entry; returns the file path.
+
+    ``kernel`` is anything with ``name``/``source``/``bindings``.  The
+    auto-generated ``repro`` field is the exact replay command for this
+    file, so a failing CI log points straight at a local repro.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = kernel.name
+    if seed is not None and f"{seed}" not in stem:
+        stem = f"{stem}-s{seed}"
+    if bug:
+        stem = f"{stem}-{bug}"
+    path = directory / f"{stem}.json"
+    payload = {
+        "name": kernel.name,
+        "seed": seed,
+        "bug": bug,
+        "expect": expect,
+        "note": note,
+        "repro": (
+            f"PYTHONPATH=src python -m repro.fuzz replay {path.as_posix()}"
+        ),
+        "bindings": _bindings_to_json(kernel.bindings),
+        "source": kernel.source,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_entry(path: Path | str) -> CorpusEntry:
+    d = json.loads(Path(path).read_text())
+    return CorpusEntry(
+        name=d["name"],
+        source=d["source"],
+        bindings=_bindings_from_json(d["bindings"]),
+        seed=d.get("seed"),
+        bug=d.get("bug"),
+        expect=d.get("expect", "pass"),
+        note=d.get("note", ""),
+        repro=d.get("repro", ""),
+    )
+
+
+def iter_entries(path: Path | str = DEFAULT_CORPUS_DIR) -> Iterator[Path]:
+    p = Path(path)
+    if p.is_file():
+        yield p
+        return
+    yield from sorted(p.glob("*.json"))
+
+
+def replay_entry(entry: CorpusEntry, full: bool = False) -> OracleReport:
+    """Run an entry's kernel through the oracle under its recorded bug."""
+    return check_kernel(entry.spec(), bug=entry.bug, full=full)
+
+
+def replay_ok(entry: CorpusEntry, report: OracleReport) -> bool:
+    """Did the replay match the entry's expected outcome?
+
+    A parse failure never satisfies ``expect == "fail"`` — a pinned
+    miscompile that stops even compiling is a corpus bug, not a replay
+    of the recorded failure.
+    """
+    if entry.expect == "pass":
+        return report.ok
+    return not report.ok and "parse" not in report.kinds()
+
+
+__all__ = [
+    "CorpusEntry", "DEFAULT_CORPUS_DIR", "iter_entries", "load_entry",
+    "replay_entry", "replay_ok", "save_entry",
+]

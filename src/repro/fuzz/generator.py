@@ -1,0 +1,623 @@
+"""Seed-deterministic grammar-based mini-C kernel generator.
+
+Replaces (and vastly extends) the 11 hand-written statement templates the
+differential suite used to draw from.  A :class:`Kernel` is a *structured*
+program — statement and expression trees plus an argument binding spec —
+that renders to mini-C source the front end accepts.  Keeping the
+structure (rather than only text) is what makes syntax-guided reduction
+possible: :mod:`repro.fuzz.reduce` edits the trees at statement / loop /
+expression granularity and re-renders, so every candidate is well-formed
+by construction (the DRReduce insight).
+
+Coverage beyond the old templates:
+
+* nested rectangular loops, triangular loops, ``while`` loops;
+* multiple arrays with *overlapping / offset views* (one pointer argument
+  aliasing another's allocation at a seed-chosen offset) — the exact
+  dynamic-aliasing scenario the versioning framework exists for;
+* scalar recurrences, dot-product reductions, conditionals with and
+  without ``else``, reversed accesses, read-modify-write updates;
+* ``restrict`` toggles (only ever emitted when the binding really is
+  disjoint, so ``honor_restrict=True`` stays sound);
+* int/float mixes: an ``int`` array, an ``int`` scalar accumulator, and
+  explicit ``(double)`` casts.
+
+Determinism is absolute: ``generate_kernel(seed)`` uses one
+``random.Random(seed)`` stream and nothing else, so the same seed always
+yields the same source, bindings, and initial data.  Array sizes are
+*computed* from the accesses the body performs (interval arithmetic over
+index expressions with the runtime ``n`` known), so no generated kernel
+can read or write out of bounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+# ---------------------------------------------------------------------------
+# Expression / statement trees
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Num:
+    value: Union[int, float]
+    is_float: bool = True
+
+    def render(self) -> str:
+        if self.is_float:
+            v = repr(float(self.value))
+            return f"({v})" if self.value < 0 else v
+        return f"({self.value})" if self.value < 0 else str(self.value)
+
+
+@dataclass
+class Var:
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass
+class Load:
+    array: str
+    index: "Node"
+
+    def render(self) -> str:
+        return f"{self.array}[{self.index.render()}]"
+
+
+@dataclass
+class Cast:
+    to: str  # "double" | "int"
+    operand: "Node"
+
+    def render(self) -> str:
+        return f"(({self.to})({self.operand.render()}))"
+
+
+@dataclass
+class Bin:
+    op: str  # + - * / plus relationals for conditions
+    lhs: "Node"
+    rhs: "Node"
+
+    def render(self) -> str:
+        return f"({self.lhs.render()} {self.op} {self.rhs.render()})"
+
+
+Node = Union[Num, Var, Load, Cast, Bin]
+
+
+@dataclass
+class Assign:
+    target: Union[Var, Load]
+    expr: Node
+
+    def render(self, ind: str) -> str:
+        return f"{ind}{self.target.render()} = {self.expr.render()};"
+
+
+@dataclass
+class If:
+    cond: Node
+    then: list = field(default_factory=list)
+    els: list = field(default_factory=list)
+
+    def render(self, ind: str) -> str:
+        out = [f"{ind}if ({self.cond.render()}) {{"]
+        for st in self.then:
+            out.append(st.render(ind + "  "))
+        if self.els:
+            out.append(f"{ind}}} else {{")
+            for st in self.els:
+                out.append(st.render(ind + "  "))
+        out.append(f"{ind}}}")
+        return "\n".join(out)
+
+
+@dataclass
+class ForLoop:
+    var: str
+    bound: Node
+    body: list = field(default_factory=list)
+    kind: str = "for"  # "for" | "while"
+
+    def render(self, ind: str) -> str:
+        out = []
+        if self.kind == "while":
+            out.append(f"{ind}int {self.var} = 0;")
+            out.append(f"{ind}while ({self.var} < {self.bound.render()}) {{")
+        else:
+            out.append(
+                f"{ind}for (int {self.var} = 0; {self.var} < "
+                f"{self.bound.render()}; {self.var}++) {{"
+            )
+        for st in self.body:
+            out.append(st.render(ind + "  "))
+        if self.kind == "while":
+            out.append(f"{ind}  {self.var} = {self.var} + 1;")
+        out.append(f"{ind}}}")
+        return "\n".join(out)
+
+
+Stmt = Union[Assign, If, ForLoop]
+
+
+# ---------------------------------------------------------------------------
+# Interval arithmetic over index / bound expressions
+# ---------------------------------------------------------------------------
+
+
+class UnsafeAccess(Exception):
+    """An index expression could evaluate out of bounds (or is not a pure
+    integer expression over loop variables, ``n`` and constants)."""
+
+
+def interval(node: Node, env: dict[str, tuple[int, int]]) -> tuple[int, int]:
+    """Sound integer range of an index/bound expression.
+
+    ``env`` maps variable names (loop vars and ``n``) to inclusive ranges.
+    Only ``+ - *`` over Num/Var appear in index positions by construction;
+    anything else is rejected (the reducer relies on that rejection).
+    """
+    if isinstance(node, Num):
+        v = int(node.value)
+        return v, v
+    if isinstance(node, Var):
+        if node.name not in env:
+            raise UnsafeAccess(f"variable {node.name!r} not in scope")
+        return env[node.name]
+    if isinstance(node, Bin) and node.op in ("+", "-", "*"):
+        alo, ahi = interval(node.lhs, env)
+        blo, bhi = interval(node.rhs, env)
+        if node.op == "+":
+            return alo + blo, ahi + bhi
+        if node.op == "-":
+            return alo - bhi, ahi - blo
+        prods = (alo * blo, alo * bhi, ahi * blo, ahi * bhi)
+        return min(prods), max(prods)
+    raise UnsafeAccess(f"unsupported index expression {node!r}")
+
+
+def collect_extents(body: list, n_val: int) -> dict[str, int]:
+    """Required allocation size per array, from every access in ``body``.
+
+    Raises :class:`UnsafeAccess` if any index could be negative — used
+    both to size arrays at generation time and to validate reducer
+    candidates against the kernel's *fixed* bindings.
+    """
+    req: dict[str, int] = {}
+
+    def visit_expr(node: Node, env) -> None:
+        if isinstance(node, Load):
+            lo, hi = interval(node.index, env)
+            if lo < 0:
+                raise UnsafeAccess(
+                    f"index of {node.array} may be negative ({lo})"
+                )
+            req[node.array] = max(req.get(node.array, 1), hi + 1)
+        elif isinstance(node, Bin):
+            visit_expr(node.lhs, env)
+            visit_expr(node.rhs, env)
+        elif isinstance(node, Cast):
+            visit_expr(node.operand, env)
+
+    def visit_stmts(stmts: list, env) -> None:
+        for st in stmts:
+            if isinstance(st, ForLoop):
+                _, bhi = interval(st.bound, env)
+                if bhi <= 0:
+                    continue  # zero-trip loop: the body never executes
+                env2 = dict(env)
+                env2[st.var] = (0, bhi - 1)
+                visit_stmts(st.body, env2)
+            elif isinstance(st, If):
+                visit_expr(st.cond, env)
+                visit_stmts(st.then, env)
+                visit_stmts(st.els, env)
+            else:
+                visit_expr(st.target, env)
+                visit_expr(st.expr, env)
+
+    visit_stmts(body, {"n": (n_val, n_val)})
+    return req
+
+
+# ---------------------------------------------------------------------------
+# Kernel
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParamSpec:
+    name: str
+    elem: str  # "double" | "int" (arrays) or "int" scalar
+    is_array: bool
+    restrict: bool = False
+
+
+@dataclass
+class Kernel:
+    """A generated kernel: structure + rendered source + run bindings.
+
+    ``bindings`` is a list of tuples the oracle turns into measurement
+    arguments, in parameter order:
+
+    * ``("array", name, size, values)`` — fresh allocation with explicit
+      initial contents;
+    * ``("alias", name, of, offset)`` — a view of ``of``'s allocation at
+      a slot offset (genuine runtime overlap);
+    * ``("scalar", name, value)``.
+    """
+
+    seed: int
+    name: str
+    params: list
+    decls: list  # (name, kind, init literal string)
+    body: list
+    bindings: list
+    features: set = field(default_factory=set)
+
+    @property
+    def source(self) -> str:
+        sig = []
+        for p in self.params:
+            if p.is_array:
+                r = " restrict" if p.restrict else ""
+                sig.append(f"{p.elem} *{r} {p.name}")
+            else:
+                sig.append(f"{p.elem} {p.name}")
+        lines = [f"double {self.name}({', '.join(sig)}) {{"]
+        for nm, kind, init in self.decls:
+            lines.append(f"  {kind} {nm} = {init};")
+        for st in self.body:
+            lines.append(st.render("  "))
+        lines.append("  return s;")
+        lines.append("}")
+        return "\n".join(lines)
+
+    @property
+    def n_val(self) -> int:
+        for b in self.bindings:
+            if b[0] == "scalar" and b[1] == "n":
+                return b[2]
+        return 0
+
+    @property
+    def has_restrict(self) -> bool:
+        return any(p.restrict for p in self.params if p.is_array)
+
+    def stmt_count(self) -> int:
+        """Statements in the body, counting loops/ifs as one plus their
+        contents (the reduction-size metric)."""
+
+        def count(stmts: list) -> int:
+            total = 0
+            for st in stmts:
+                total += 1
+                if isinstance(st, ForLoop):
+                    total += count(st.body)
+                elif isinstance(st, If):
+                    total += count(st.then) + count(st.els)
+            return total
+
+        return count(self.body)
+
+    def validate(self) -> None:
+        """Check every access stays inside the *fixed* bindings.
+
+        Reducer candidates must pass this: reductions may never turn an
+        in-bounds kernel into an out-of-bounds one.
+        """
+        req = collect_extents(self.body, self.n_val)
+        sizes: dict[str, int] = {}
+        for b in self.bindings:
+            if b[0] == "array":
+                sizes[b[1]] = b[2]
+        for b in self.bindings:
+            if b[0] == "alias":
+                _, name, of, offset = b
+                sizes[name] = sizes[of] - offset
+        for arr, need in req.items():
+            if arr not in sizes:
+                raise UnsafeAccess(f"access to unbound array {arr!r}")
+            if need > sizes[arr]:
+                raise UnsafeAccess(
+                    f"{arr} needs {need} slots but only {sizes[arr]} bound"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+_CONSTS = [0.5, 1.5, 2.0, -0.5, -1.5, 0.25, 3.0, 0.75]
+_DIVISORS = [2.0, 4.0, -2.0, 1.5]
+_CMPS = ["<", ">", "<=", ">=", "==", "!="]
+
+
+class _Gen:
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.features: set[str] = set()
+        self.farrays: list[str] = []
+        self.iarrays: list[str] = []
+        self.scalars: list[str] = ["s"]
+        self.int_scalars: list[str] = []
+        self.while_counter = 0
+
+    # -- expressions -----------------------------------------------------
+
+    def const(self) -> Num:
+        return Num(self.rng.choice(_CONSTS), True)
+
+    def index(self, loop_vars: list[tuple[str, Node]]) -> Node:
+        """An in-bounds index form for the current loop context.
+
+        ``loop_vars`` is the stack of (var, bound) pairs, outermost first.
+        With no loops in scope only small constants are available.
+        """
+        rng = self.rng
+        if not loop_vars:
+            return Num(rng.randint(0, 2), False)
+        var, bound = loop_vars[-1]
+        forms = ["plain", "plain", "plain", "offset", "const"]
+        if isinstance(bound, Var) and bound.name == "n":
+            forms.append("reversed")
+        if len(loop_vars) >= 2:
+            forms.append("outer")
+            outer_var, _ = loop_vars[-2]
+            if isinstance(bound, Num):
+                forms.append("flat2d")
+        pick = rng.choice(forms)
+        if pick == "plain":
+            return Var(var)
+        if pick == "offset":
+            return Bin("+", Var(var), Num(rng.randint(1, 3), False))
+        if pick == "reversed":
+            self.features.add("reversal")
+            return Bin("-", Bin("-", Var("n"), Num(1, False)), Var(var))
+        if pick == "outer":
+            return Var(loop_vars[-2][0])
+        if pick == "flat2d":
+            self.features.add("flat2d")
+            stride = int(bound.value)
+            return Bin("+", Bin("*", Var(loop_vars[-2][0]), Num(stride, False)), Var(var))
+        return Num(rng.randint(0, 2), False)
+
+    def leaf(self, loop_vars) -> Node:
+        rng = self.rng
+        choices = ["load", "load", "load", "const", "scalar"]
+        if self.int_scalars:
+            choices.append("int_scalar")
+        if self.iarrays:
+            choices.append("iload")
+        pick = rng.choice(choices)
+        if pick == "load":
+            return Load(rng.choice(self.farrays), self.index(loop_vars))
+        if pick == "iload":
+            self.features.add("int-array")
+            ld = Load(rng.choice(self.iarrays), self.index(loop_vars))
+            if rng.random() < 0.5:
+                return Cast("double", ld)
+            return ld
+        if pick == "scalar":
+            return Var("s")
+        if pick == "int_scalar":
+            v = Var(rng.choice(self.int_scalars))
+            if rng.random() < 0.5:
+                return Cast("double", v)
+            return v
+        return self.const()
+
+    def expr(self, loop_vars, depth: int = 2) -> Node:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.35:
+            return self.leaf(loop_vars)
+        op = rng.choice(["+", "+", "-", "*", "*", "/"])
+        if op == "/":
+            return Bin("/", self.expr(loop_vars, depth - 1),
+                       Num(rng.choice(_DIVISORS), True))
+        return Bin(op, self.expr(loop_vars, depth - 1),
+                   self.expr(loop_vars, depth - 1))
+
+    def condition(self, loop_vars) -> Node:
+        rng = self.rng
+        lhs = Load(rng.choice(self.farrays), self.index(loop_vars))
+        return Bin(rng.choice(_CMPS), lhs, self.const())
+
+    # -- statements ------------------------------------------------------
+
+    def statement(self, loop_vars, depth: int) -> Stmt:
+        rng = self.rng
+        kinds = [
+            "store", "store", "store", "update", "update",
+            "recurrence", "reduction", "copy",
+        ]
+        if depth > 0:
+            kinds += ["if", "if"]
+        if self.int_scalars:
+            kinds.append("int_update")
+        if self.iarrays:
+            kinds.append("iarray_update")
+        pick = rng.choice(kinds)
+        if pick == "store":
+            arr = rng.choice(self.farrays)
+            return Assign(Load(arr, self.index(loop_vars)),
+                          self.expr(loop_vars))
+        if pick == "update":
+            arr = rng.choice(self.farrays)
+            idx = self.index(loop_vars)
+            op = rng.choice(["+", "*", "-"])
+            return Assign(Load(arr, idx),
+                          Bin(op, Load(arr, idx), self.expr(loop_vars, 1)))
+        if pick == "recurrence":
+            self.features.add("recurrence")
+            return Assign(Var("s"),
+                          Bin("+", Bin("*", Var("s"), self.const()),
+                              self.leaf(loop_vars)))
+        if pick == "reduction":
+            self.features.add("reduction")
+            a = Load(rng.choice(self.farrays), self.index(loop_vars))
+            b = Load(rng.choice(self.farrays), self.index(loop_vars))
+            return Assign(Var("s"), Bin("+", Var("s"), Bin("*", a, b)))
+        if pick == "copy":
+            dst = rng.choice(self.farrays)
+            src = rng.choice(self.farrays)
+            return Assign(Load(dst, self.index(loop_vars)),
+                          Bin("*", Load(src, self.index(loop_vars)),
+                              self.const()))
+        if pick == "if":
+            self.features.add("if")
+            then = [self.statement(loop_vars, depth - 1)]
+            if rng.random() < 0.35:
+                then.append(self.statement(loop_vars, depth - 1))
+            els = []
+            if rng.random() < 0.4:
+                self.features.add("else")
+                els = [self.statement(loop_vars, depth - 1)]
+            return If(self.condition(loop_vars), then, els)
+        if pick == "int_update":
+            t = rng.choice(self.int_scalars)
+            return Assign(Var(t), Bin("+", Var(t), Num(1, False)))
+        # iarray_update
+        self.features.add("int-array")
+        arr = rng.choice(self.iarrays)
+        idx = self.index(loop_vars)
+        return Assign(Load(arr, idx),
+                      Bin("+", Load(arr, idx), Num(rng.randint(1, 2), False)))
+
+    def loop_body(self, loop_vars, nstmts: int, depth: int) -> list:
+        return [self.statement(loop_vars, depth) for _ in range(nstmts)]
+
+    def construct(self, top_depth: int) -> Stmt:
+        """One top-level construct: a loop nest, a while loop, or a
+        straight-line statement."""
+        rng = self.rng
+        pick = rng.choice(
+            ["simple", "simple", "simple", "nested", "triangular",
+             "while", "straight"]
+        )
+        if pick == "straight":
+            return self.statement([], 0)
+        if pick == "while":
+            self.features.add("while")
+            var = f"k{self.while_counter}"
+            self.while_counter += 1
+            lv = [(var, Var("n"))]
+            return ForLoop(var, Var("n"),
+                           self.loop_body(lv, rng.randint(1, 3), 1),
+                           kind="while")
+        if pick == "nested":
+            self.features.add("nested")
+            inner_bound: Node = (
+                Num(rng.choice([2, 3, 4]), False)
+                if rng.random() < 0.7 else Var("n")
+            )
+            outer = [("i", Var("n"))]
+            inner = outer + [("j", inner_bound)]
+            inner_loop = ForLoop("j", inner_bound,
+                                 self.loop_body(inner, rng.randint(1, 2), 1))
+            body = [inner_loop]
+            if rng.random() < 0.5:
+                body.append(self.statement(outer, 1))
+            if rng.random() < 0.3:
+                body.insert(0, self.statement(outer, 0))
+            return ForLoop("i", Var("n"), body)
+        if pick == "triangular":
+            self.features.add("triangular")
+            outer = [("i", Var("n"))]
+            tri_bound = Bin("+", Var("i"), Num(1, False))
+            inner = outer + [("j", tri_bound)]
+            inner_loop = ForLoop("j", tri_bound,
+                                 self.loop_body(inner, rng.randint(1, 2), 1))
+            body: list = [inner_loop]
+            if rng.random() < 0.4:
+                body.append(self.statement(outer, 1))
+            return ForLoop("i", Var("n"), body)
+        # simple
+        lv = [("i", Var("n"))]
+        return ForLoop("i", Var("n"),
+                       self.loop_body(lv, rng.randint(1, 4), 2))
+
+
+def generate_kernel(seed: int, name: Optional[str] = None) -> Kernel:
+    """Deterministically generate one kernel from ``seed``."""
+    g = _Gen(seed)
+    rng = g.rng
+
+    n_val = rng.choice([0, 1, 4, 8, 12, 12, 16, 16])
+    nf = rng.choice([2, 2, 2, 3])
+    g.farrays = ["A", "B", "C"][:nf]
+    if rng.random() < 0.3:
+        g.iarrays = ["P"]
+
+    # aliasing decision before restrict: overlapping views forbid restrict
+    alias: Optional[tuple[str, str, int]] = None  # (viewer, base, offset)
+    if nf >= 2 and rng.random() < 0.45:
+        viewer, base = (("B", "A") if rng.random() < 0.7 else
+                        (g.farrays[-1], "A"))
+        alias = (viewer, base, rng.randint(0, 4))
+        g.features.add("overlap")
+
+    params = [ParamSpec(a, "double", True) for a in g.farrays]
+    params += [ParamSpec(p, "int", True) for p in g.iarrays]
+    params.append(ParamSpec("n", "int", False))
+    if alias is None:
+        for p in params:
+            if p.is_array and rng.random() < 0.4:
+                p.restrict = True
+                g.features.add("restrict")
+
+    decls = [("s", "double", repr(rng.choice(_CONSTS)))]
+    if rng.random() < 0.5:
+        g.int_scalars = ["t"]
+        decls.append(("t", "int", str(rng.randint(0, 3))))
+
+    body = [g.construct(2) for _ in range(rng.randint(1, 3))]
+
+    # size arrays from the accesses actually emitted
+    req = collect_extents(body, n_val)
+    sizes = {a: max(req.get(a, 1), 1) for a in g.farrays + g.iarrays}
+
+    def init_values(arr: str, size: int) -> list:
+        salt = sum(ord(c) for c in arr)
+        if arr in g.iarrays:
+            return [float((i * 3 + salt + seed) % 5) for i in range(size)]
+        return [((i * 7 + salt + seed) % 11) / 11.0 + 0.25
+                for i in range(size)]
+
+    bindings: list = []
+    if alias is not None:
+        viewer, base, offset = alias
+        sizes[base] = max(sizes[base], offset + sizes[viewer])
+    for p in params:
+        if not p.is_array:
+            bindings.append(("scalar", p.name, n_val))
+        elif alias is not None and p.name == alias[0]:
+            bindings.append(("alias", p.name, alias[1], alias[2]))
+        else:
+            sz = sizes[p.name]
+            bindings.append(("array", p.name, sz, init_values(p.name, sz)))
+
+    return Kernel(
+        seed=seed,
+        name=name or "kernel",
+        params=params,
+        decls=decls,
+        body=body,
+        bindings=bindings,
+        features=g.features,
+    )
+
+
+__all__ = [
+    "Assign", "Bin", "Cast", "ForLoop", "If", "Kernel", "Load", "Node",
+    "Num", "ParamSpec", "Stmt", "UnsafeAccess", "Var", "collect_extents",
+    "generate_kernel", "interval",
+]

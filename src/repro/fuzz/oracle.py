@@ -1,0 +1,328 @@
+"""Differential oracle: every configuration must match the O0 reference.
+
+For one kernel the oracle runs the full configuration matrix —
+optimization level × execution backend × vector length × restrict × RLE —
+and demands that return value, full final memory (every array argument,
+element by element), and checksum agree with the unoptimized (``O0``)
+build executed on the reference interpreter.  At one designated
+configuration it additionally runs *both* backends and demands exact
+(bit-identical) agreement of cycles and every dynamic counter, the
+contract :mod:`repro.interp.compile` promises.
+
+Outcomes are classified so the reducer can preserve a failure's *kind*:
+
+* ``parse``  — the front end rejected the source (generator/reducer bug);
+* ``verify`` — a pass broke an IR invariant (:class:`VerificationError`);
+* ``crash``  — execution raised (step limit, memory fault, ...);
+* ``return`` / ``memory`` / ``checksum`` — a genuine miscompile;
+* ``cycles`` / ``counters`` — backend accounting drift.
+
+An intentionally planted pass bug (see :mod:`repro.fuzz.plant`) can be
+applied to the optimized module — never to the O0 reference — to prove
+end to end that the oracle detects and the reducer localizes miscompiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.frontend import LoweringError, ParseError, compile_c
+from repro.frontend.lexer import LexError
+from repro.interp import InterpreterError, MemoryError_
+from repro.ir import VerificationError
+from repro.perf.measure import AliasArg, ArrayArg, ScalarArg, Workload, execute
+from repro.pipeline.pipelines import optimize
+
+from .plant import PLANTED_BUGS
+
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class Config:
+    """One point in the differential matrix."""
+
+    level: str
+    honor_restrict: bool = True
+    vl: int = 4
+    rle: bool = False
+    backend: str = "compiled"
+
+    def describe(self) -> str:
+        return (
+            f"{self.level} [backend={self.backend}, "
+            f"restrict={'on' if self.honor_restrict else 'off'}, "
+            f"vl={self.vl}, rle={'on' if self.rle else 'off'}]"
+        )
+
+
+@dataclass
+class Mismatch:
+    kind: str  # parse | verify | crash | return | memory | checksum | cycles | counters
+    detail: str
+    config: Optional[Config] = None
+
+    def __str__(self) -> str:
+        where = f" @ {self.config.describe()}" if self.config else ""
+        return f"[{self.kind}]{where}: {self.detail}"
+
+
+@dataclass
+class KernelSpec:
+    """The oracle's minimal view of a kernel: source + argument bindings.
+
+    ``bindings`` uses the :class:`repro.fuzz.generator.Kernel` encoding
+    (``("array", name, size, values)`` / ``("alias", name, of, offset)``
+    / ``("scalar", name, value)``) so corpus entries replay without the
+    generator's structured trees.
+    """
+
+    name: str
+    source: str
+    bindings: list
+
+    @property
+    def has_restrict(self) -> bool:
+        return "restrict" in self.source
+
+
+@dataclass
+class OracleReport:
+    name: str
+    mismatches: list = field(default_factory=list)
+    configs_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def kinds(self) -> set:
+        return {m.kind for m in self.mismatches}
+
+
+# -- configuration matrices --------------------------------------------------
+
+CROSS_BACKEND_CONFIG = Config("supervec+v", True, 4, False)
+
+_LEVELS = ["O3-scalar", "O3", "supervec", "supervec+v"]
+
+
+def default_configs(has_restrict: bool) -> list[Config]:
+    cfgs = [
+        Config("O3-scalar"),
+        Config("O3"),
+        Config("supervec"),
+        Config("supervec+v"),
+        Config("supervec+v", rle=True),
+        Config("supervec+v", vl=8),
+        Config("supervec+v", vl=2),
+    ]
+    if has_restrict:
+        cfgs.append(Config("supervec+v", honor_restrict=False))
+    return cfgs
+
+
+def full_configs(has_restrict: bool) -> list[Config]:
+    restricts = [True, False] if has_restrict else [True]
+    return [
+        Config(level, hr, vl, rle)
+        for level in _LEVELS
+        for hr in restricts
+        for vl in (2, 4, 8)
+        for rle in (False, True)
+    ]
+
+
+# -- running one configuration -----------------------------------------------
+
+
+def _workload(spec: KernelSpec) -> Workload:
+    args: list = []
+    for b in spec.bindings:
+        if b[0] == "array":
+            _, name, size, values = b
+            args.append(ArrayArg(name, size, init=lambda i, v=values: v[i]))
+        elif b[0] == "alias":
+            _, name, of, offset = b
+            args.append(AliasArg(name, of, offset))
+        else:
+            args.append(ScalarArg(b[1], b[2]))
+    return Workload(name=spec.name, source=spec.source, entry=spec.name,
+                    args=args)
+
+
+def _run_config(
+    spec: KernelSpec,
+    cfg: Config,
+    bug: Optional[Callable],
+    max_steps: Optional[int],
+    verify_each_pass: bool,
+):
+    """Build + optimize + (optionally corrupt) + execute one config.
+
+    Returns ``(result, mismatch)`` — exactly one is non-None.
+    """
+    w = _workload(spec)
+    try:
+        module = compile_c(spec.source, name=spec.name)
+    except (ParseError, LexError, LoweringError) as e:
+        return None, Mismatch("parse", str(e), cfg)
+    try:
+        stats = optimize(
+            module, cfg.level, honor_restrict=cfg.honor_restrict,
+            vl=cfg.vl, rle=cfg.rle, verify_each_pass=verify_each_pass,
+        )
+    except VerificationError as e:
+        return None, Mismatch("verify", str(e), cfg)
+    except Exception as e:  # a pass crashed outright
+        return None, Mismatch("crash", f"{type(e).__name__}: {e}", cfg)
+    if bug is not None and cfg.level != "O0":
+        bug(module)
+    try:
+        res = execute(module, w, stats, backend=cfg.backend,
+                      capture_arrays=True, max_steps=max_steps)
+    except (InterpreterError, MemoryError_) as e:
+        return None, Mismatch("crash", f"{type(e).__name__}: {e}", cfg)
+    except Exception as e:
+        # corrupted IR (e.g. a planted bug) can blow up the executors in
+        # arbitrary ways; any such escape is still a "crash" outcome
+        return None, Mismatch("crash", f"{type(e).__name__}: {e}", cfg)
+    return res, None
+
+
+def _isclose(a: float, b: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+def _exact(a, b) -> bool:
+    """Bit-level equality for cross-backend comparison (NaN == NaN)."""
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(map(_exact, a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _exact(v, b[k]) for k, v in a.items()
+        )
+    return a == b
+
+
+def _compare(ref, got, cfg: Config) -> list[Mismatch]:
+    out: list[Mismatch] = []
+    rv, gv = ref.return_value, got.return_value
+    if (rv is None) != (gv is None) or (
+        rv is not None and not _isclose(float(rv), float(gv))
+    ):
+        out.append(Mismatch("return", f"{gv!r} != reference {rv!r}", cfg))
+    for name, ref_vals in (ref.arrays or {}).items():
+        got_vals = (got.arrays or {}).get(name)
+        if got_vals is None or len(got_vals) != len(ref_vals):
+            out.append(Mismatch("memory", f"array {name} shape drift", cfg))
+            continue
+        for k, (x, y) in enumerate(zip(ref_vals, got_vals)):
+            if not _isclose(float(x), float(y)):
+                out.append(Mismatch(
+                    "memory",
+                    f"{name}[{k}] = {y!r} != reference {x!r}", cfg,
+                ))
+                break
+    if not _isclose(ref.checksum, got.checksum):
+        out.append(Mismatch(
+            "checksum", f"{got.checksum!r} != reference {ref.checksum!r}", cfg
+        ))
+    return out
+
+
+# -- the oracle ---------------------------------------------------------------
+
+
+def check_kernel(
+    spec,
+    bug: Optional[str] = None,
+    configs: Optional[list[Config]] = None,
+    full: bool = False,
+    max_steps: Optional[int] = None,
+    verify_each_pass: bool = False,
+    cross_backend: bool = True,
+) -> OracleReport:
+    """Run the differential matrix for one kernel.
+
+    ``spec`` is anything with ``name``/``source``/``bindings`` (a
+    generator :class:`~repro.fuzz.generator.Kernel` or a
+    :class:`KernelSpec`).  ``bug`` names a planted pass bug from
+    :data:`repro.fuzz.plant.PLANTED_BUGS`, applied to every optimized
+    build but never to the O0 reference.
+    """
+    spec = KernelSpec(spec.name, spec.source, spec.bindings)
+    bug_fn = PLANTED_BUGS[bug] if bug else None
+    report = OracleReport(name=spec.name)
+
+    ref, err = _run_config(
+        spec, Config("O0", backend="reference"), None, max_steps, False
+    )
+    report.configs_run += 1
+    if err is not None:
+        report.mismatches.append(err)
+        return report
+
+    if configs is None:
+        configs = (full_configs if full else default_configs)(
+            spec.has_restrict
+        )
+    for cfg in configs:
+        got, err = _run_config(spec, cfg, bug_fn, max_steps, verify_each_pass)
+        report.configs_run += 1
+        if err is not None:
+            report.mismatches.append(err)
+            continue
+        report.mismatches.extend(_compare(ref, got, cfg))
+
+    if cross_backend:
+        # backend accounting agreement: both executors at one fixed
+        # config must be *exactly* identical (cycles, counters, memory)
+        base = CROSS_BACKEND_CONFIG
+        a, err_a = _run_config(spec, base, bug_fn, max_steps, False)
+        b, err_b = _run_config(
+            spec,
+            Config(base.level, base.honor_restrict, base.vl, base.rle,
+                   backend="reference"),
+            bug_fn, max_steps, False,
+        )
+        report.configs_run += 2
+        if err_a is not None or err_b is not None:
+            for e in (err_a, err_b):
+                if e is not None and str(e) not in {
+                    str(m) for m in report.mismatches
+                }:
+                    report.mismatches.append(e)
+        else:
+            if a.cycles != b.cycles:
+                report.mismatches.append(Mismatch(
+                    "cycles",
+                    f"compiled {a.cycles!r} != reference {b.cycles!r}", base,
+                ))
+            if a.counters.as_dict() != b.counters.as_dict():
+                report.mismatches.append(Mismatch(
+                    "counters", "per-opcode counter drift between backends",
+                    base,
+                ))
+            if not _exact(a.arrays, b.arrays) or not _exact(
+                a.return_value, b.return_value
+            ):
+                report.mismatches.append(Mismatch(
+                    "memory", "backend memory/return drift at fixed config",
+                    base,
+                ))
+    return report
+
+
+__all__ = [
+    "ABS_TOL", "CROSS_BACKEND_CONFIG", "Config", "KernelSpec", "Mismatch",
+    "OracleReport", "REL_TOL", "check_kernel", "default_configs",
+    "full_configs",
+]

@@ -1,0 +1,77 @@
+"""Intentionally planted pass bugs for exercising the oracle and reducer.
+
+Each entry deterministically corrupts an *optimized* module the way a
+buggy pass would, while keeping the IR verifier-clean — so the failure
+surfaces as a genuine miscompile (memory/checksum divergence from the O0
+reference), which is exactly the class of bug the fuzzer exists to
+catch.  The oracle applies a planted bug to every optimized build and
+never to the reference, and the reducer then shrinks the triggering
+kernel to a minimal statement sequence while preserving the failure.
+
+These are test fixtures, not fault injection for production use: they
+let the test suite assert, on a HEAD with no known bugs, that the whole
+find→reduce→replay loop actually works.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import BinOp, Store, VecBin
+
+
+def _swap_sub(module) -> int:
+    """Swap the operands of every (scalar or vector) subtraction.
+
+    Models an operand-ordering bug in an instruction-rewriting pass; any
+    executed ``a - b`` with ``a != b`` diverges from the reference.
+    """
+    n = 0
+    for fn in module.functions.values():
+        for inst in fn.instructions():
+            if isinstance(inst, (BinOp, VecBin)) and inst.op == "sub":
+                a, b = inst.operands
+                inst.set_operand(0, b)
+                inst.set_operand(1, a)
+                n += 1
+    return n
+
+
+def _drop_guard(module) -> int:
+    """Erase the execution predicate of every guarded store.
+
+    Models a predication bug in code motion: a conditional store runs
+    unconditionally, clobbering memory whenever its guard was false.
+    """
+    from repro.ir.predicates import Predicate
+
+    n = 0
+    for fn in module.functions.values():
+        for inst in fn.instructions():
+            if isinstance(inst, Store) and not inst.predicate.is_true():
+                inst.set_predicate(Predicate.true())
+                n += 1
+    return n
+
+
+def _stale_mul(module) -> int:
+    """Turn every multiplication into an addition.
+
+    A blunt strength-reduction-gone-wrong bug; fires on almost any
+    kernel, which makes it useful for reduction demos where the seed
+    kernel should shrink to a single-statement loop.
+    """
+    n = 0
+    for fn in module.functions.values():
+        for inst in fn.instructions():
+            if isinstance(inst, (BinOp, VecBin)) and inst.op == "mul":
+                inst.op = "add"
+                n += 1
+    return n
+
+
+PLANTED_BUGS = {
+    "swap-sub": _swap_sub,
+    "drop-guard": _drop_guard,
+    "mul-to-add": _stale_mul,
+}
+
+__all__ = ["PLANTED_BUGS"]

@@ -1,0 +1,366 @@
+"""Syntax-guided test-case reduction for failing kernels.
+
+Classic ddmin treats the program as a token soup and wastes most of its
+budget on syntactically broken candidates.  Following DRReduce, this
+reducer edits the generator's *structured* statement/expression trees, so
+every candidate renders to well-formed mini-C, and re-validates each
+accepted step through both the differential oracle (same failure *kind*
+at the same configuration) and the kernel's bounds checker (reductions
+may never introduce out-of-bounds accesses the original didn't have).
+IR well-formedness is enforced on every candidate too: the oracle runs
+the pipeline verifier, and ``verify_each_pass=True`` pins a corrupted
+invariant to the pass that broke it.
+
+Granularities, applied to a fixpoint:
+
+1. **statements** — greedy one-minimal removal of statements, inner-most
+   first (removing an ``if`` or a whole loop removes its subtree);
+2. **loops / branches** — unwrap a loop into its body with the induction
+   variable pinned to 0, collapse a loop to a single iteration, replace
+   an ``if`` by either branch;
+3. **expressions** — replace an operator node by either operand, a cast
+   by its operand, any value expression by a literal, any index by 0,
+   any bound by 1;
+4. **declarations** — drop scalar declarations that are no longer used.
+
+Each candidate is tested *in place* with undo (no per-candidate deep
+copies); the working kernel is a deep copy of the input, which is never
+mutated.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .generator import (
+    Assign,
+    Bin,
+    Cast,
+    ForLoop,
+    If,
+    Kernel,
+    Load,
+    Num,
+    UnsafeAccess,
+    Var,
+)
+from .oracle import Config, OracleReport, check_kernel
+
+
+@dataclass
+class ReduceResult:
+    kernel: Kernel
+    original_report: OracleReport
+    fail_config: Optional[Config]
+    fail_kinds: set
+    candidates_tried: int = 0
+    candidates_accepted: int = 0
+    rounds: int = 0
+
+    @property
+    def stmt_count(self) -> int:
+        return self.kernel.stmt_count()
+
+
+class NotFailing(ValueError):
+    """The kernel to reduce does not fail the oracle."""
+
+
+# -- tree helpers ------------------------------------------------------------
+
+
+def _subst_var(node, name: str, repl):
+    if isinstance(node, Var) and node.name == name:
+        return copy.deepcopy(repl)
+    if isinstance(node, Bin):
+        node.lhs = _subst_var(node.lhs, name, repl)
+        node.rhs = _subst_var(node.rhs, name, repl)
+    elif isinstance(node, Cast):
+        node.operand = _subst_var(node.operand, name, repl)
+    elif isinstance(node, Load):
+        node.index = _subst_var(node.index, name, repl)
+    return node
+
+
+def _subst_in_stmts(stmts: list, name: str, repl) -> list:
+    for st in stmts:
+        if isinstance(st, Assign):
+            st.target = _subst_var(st.target, name, repl)
+            st.expr = _subst_var(st.expr, name, repl)
+        elif isinstance(st, If):
+            st.cond = _subst_var(st.cond, name, repl)
+            _subst_in_stmts(st.then, name, repl)
+            _subst_in_stmts(st.els, name, repl)
+        elif isinstance(st, ForLoop):
+            st.bound = _subst_var(st.bound, name, repl)
+            _subst_in_stmts(st.body, name, repl)
+    return stmts
+
+
+def _stmt_sites(body: list) -> list:
+    """(container, index) for every statement, children after parents."""
+    sites: list = []
+
+    def walk(stmts: list) -> None:
+        for i, st in enumerate(stmts):
+            sites.append((stmts, i))
+            if isinstance(st, ForLoop):
+                walk(st.body)
+            elif isinstance(st, If):
+                walk(st.then)
+                walk(st.els)
+
+    walk(body)
+    return sites
+
+
+def _names_used(body: list) -> set:
+    used: set = set()
+
+    def visit_expr(node) -> None:
+        if isinstance(node, Var):
+            used.add(node.name)
+        elif isinstance(node, Bin):
+            visit_expr(node.lhs)
+            visit_expr(node.rhs)
+        elif isinstance(node, Cast):
+            visit_expr(node.operand)
+        elif isinstance(node, Load):
+            visit_expr(node.index)
+
+    for stmts, i in _stmt_sites(body):
+        st = stmts[i]
+        if isinstance(st, Assign):
+            visit_expr(st.target)
+            visit_expr(st.expr)
+        elif isinstance(st, If):
+            visit_expr(st.cond)
+        elif isinstance(st, ForLoop):
+            visit_expr(st.bound)
+    return used
+
+
+# -- the reducer --------------------------------------------------------------
+
+
+class _Reducer:
+    def __init__(self, kernel: Kernel, predicate: Callable[[Kernel], bool]):
+        self.k = kernel
+        self.predicate = predicate
+        self.tried = 0
+        self.accepted = 0
+
+    def _ok(self) -> bool:
+        self.tried += 1
+        try:
+            self.k.validate()
+        except UnsafeAccess:
+            return False
+        if self.predicate(self.k):
+            self.accepted += 1
+            return True
+        return False
+
+    # each pass returns True if it accepted at least one change
+
+    def remove_statements(self) -> bool:
+        any_change = False
+        progress = True
+        while progress:
+            progress = False
+            for stmts, i in reversed(_stmt_sites(self.k.body)):
+                if i >= len(stmts):
+                    continue  # container shrank under us this sweep
+                saved = stmts[i]
+                del stmts[i]
+                if self._ok():
+                    any_change = progress = True
+                else:
+                    stmts.insert(i, saved)
+            # a sweep that removed nothing is the one-minimal fixpoint
+        return any_change
+
+    def simplify_structure(self) -> bool:
+        any_change = False
+        progress = True
+        while progress:
+            progress = False
+            for stmts, i in _stmt_sites(self.k.body):
+                if i >= len(stmts):
+                    continue
+                st = stmts[i]
+                candidates: list = []
+                if isinstance(st, ForLoop):
+                    # unwrap: body with the induction variable pinned to 0
+                    body = _subst_in_stmts(
+                        copy.deepcopy(st.body), st.var, Num(0, False)
+                    )
+                    candidates.append(body)
+                    if not (isinstance(st.bound, Num) and st.bound.value == 1):
+                        one = copy.deepcopy(st)
+                        one.bound = Num(1, False)
+                        candidates.append([one])
+                elif isinstance(st, If):
+                    candidates.append(copy.deepcopy(st.then))
+                    if st.els:
+                        candidates.append(copy.deepcopy(st.els))
+                for repl in candidates:
+                    saved = stmts[i : i + 1]
+                    stmts[i : i + 1] = repl
+                    if self._ok():
+                        any_change = progress = True
+                        break
+                    stmts[i : i + len(repl)] = saved
+                if progress:
+                    break  # sites are stale; re-enumerate
+        return any_change
+
+    def _expr_candidates(self, node, ctx: str) -> list:
+        out: list = []
+        if isinstance(node, Bin):
+            out += [node.lhs, node.rhs]
+        elif isinstance(node, Cast):
+            out.append(node.operand)
+        if ctx == "value" and not isinstance(node, (Num, Var)):
+            out.append(Num(1.0, True))
+        elif ctx == "index" and not (
+            isinstance(node, Num) and node.value == 0
+        ):
+            out.append(Num(0, False))
+        elif ctx == "bound" and not (
+            isinstance(node, Num) and node.value == 1
+        ):
+            out.append(Num(1, False))
+        return out
+
+    def _try_slots(self, node, set_node, ctx: str) -> bool:
+        """Depth-first over one expression tree; True on accepted change."""
+        for repl in self._expr_candidates(node, ctx):
+            set_node(repl)
+            if self._ok():
+                return True
+            set_node(node)
+        if isinstance(node, Bin):
+            sub_ctx = ctx if ctx != "cond" else "value"
+            return self._try_slots(
+                node.lhs, lambda v: setattr(node, "lhs", v), sub_ctx
+            ) or self._try_slots(
+                node.rhs, lambda v: setattr(node, "rhs", v), sub_ctx
+            )
+        if isinstance(node, Cast):
+            return self._try_slots(
+                node.operand, lambda v: setattr(node, "operand", v), ctx
+            )
+        if isinstance(node, Load):
+            return self._try_slots(
+                node.index, lambda v: setattr(node, "index", v), "index"
+            )
+        return False
+
+    def simplify_exprs(self) -> bool:
+        any_change = False
+        progress = True
+        while progress:
+            progress = False
+            for stmts, i in _stmt_sites(self.k.body):
+                if i >= len(stmts):
+                    continue
+                st = stmts[i]
+                if isinstance(st, Assign):
+                    if isinstance(st.target, Load):
+                        tgt = st.target
+                        progress = self._try_slots(
+                            tgt.index,
+                            lambda v, t=tgt: setattr(t, "index", v),
+                            "index",
+                        )
+                    progress = progress or self._try_slots(
+                        st.expr, lambda v, s=st: setattr(s, "expr", v), "value"
+                    )
+                elif isinstance(st, If):
+                    progress = self._try_slots(
+                        st.cond, lambda v, s=st: setattr(s, "cond", v), "cond"
+                    )
+                elif isinstance(st, ForLoop):
+                    progress = self._try_slots(
+                        st.bound, lambda v, s=st: setattr(s, "bound", v),
+                        "bound",
+                    )
+                if progress:
+                    any_change = True
+                    break  # mutated; re-enumerate sites
+        return any_change
+
+    def drop_decls(self) -> bool:
+        any_change = False
+        used = _names_used(self.k.body)
+        for d in list(self.k.decls):
+            name = d[0]
+            if name == "s" or name in used:
+                continue  # "s" is the return value
+            self.k.decls.remove(d)
+            if self._ok():
+                any_change = True
+            else:
+                self.k.decls.append(d)
+        return any_change
+
+
+def reduce_kernel(
+    kernel: Kernel,
+    bug: Optional[str] = None,
+    max_steps: int = 500_000,
+    max_rounds: int = 12,
+    configs: Optional[list] = None,
+) -> ReduceResult:
+    """Shrink a failing kernel while preserving its failure.
+
+    First runs the full oracle to establish the failure (configuration +
+    kinds), then iterates the reduction passes against a fast predicate:
+    the candidate must reproduce a mismatch of the *same kind* at the
+    *same configuration*.  Raises :class:`NotFailing` if the input kernel
+    passes the oracle.
+    """
+    original = check_kernel(kernel, bug=bug, configs=configs,
+                            max_steps=max_steps)
+    if original.ok:
+        raise NotFailing(f"{kernel.name}: oracle reports no mismatch")
+    first = next(m for m in original.mismatches if m.config is not None)
+    fail_config = first.config
+    fail_kinds = {
+        m.kind for m in original.mismatches if m.config == fail_config
+    }
+
+    def predicate(k: Kernel) -> bool:
+        rep = check_kernel(
+            k, bug=bug, configs=[fail_config], cross_backend=False,
+            max_steps=max_steps, verify_each_pass=True,
+        )
+        return bool(rep.kinds() & fail_kinds)
+
+    working = copy.deepcopy(kernel)
+    working.name = kernel.name
+    r = _Reducer(working, predicate)
+    rounds = 0
+    changed = True
+    while changed and rounds < max_rounds:
+        rounds += 1
+        changed = r.remove_statements()
+        changed = r.simplify_structure() or changed
+        changed = r.simplify_exprs() or changed
+        changed = r.drop_decls() or changed
+
+    return ReduceResult(
+        kernel=working,
+        original_report=original,
+        fail_config=fail_config,
+        fail_kinds=fail_kinds,
+        candidates_tried=r.tried,
+        candidates_accepted=r.accepted,
+        rounds=rounds,
+    )
+
+
+__all__ = ["NotFailing", "ReduceResult", "reduce_kernel"]

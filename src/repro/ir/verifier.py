@@ -10,8 +10,13 @@ Checks the invariants every pass in this repository must preserve:
   value defined before the guarded item, and the literal's own guard is
   implied by the user's guard (so "missing value => predicate false"
   evaluation is sound);
-* loops have a continuation value defined in their body, and mus have
-  recurrence operands.
+* **predicate operand types** — predicate literals (on instructions,
+  loops, and phi edges alike) must be boolean-typed values;
+* **terminator placement** — a loop's continuation value is boolean and
+  defined inside that loop (not hoisted past the back edge);
+* **loop-scope well-nestedness** — parent links match the containing
+  scope, mus live only in their loop's header and agree in type with
+  both their init and recurrence operands.
 
 Passes call :func:`verify_function` after mutating IR; the test suite
 treats a verifier failure as a bug in the pass.
@@ -55,16 +60,38 @@ def verify_function(fn: Function) -> None:
                 f"{fn.name}: {what} of {user!r} uses {v!r} before its definition"
             )
 
+    def check_pred_literals(owner, pred, what: str) -> None:
+        for lit in pred.literals:
+            check_operand(owner, lit.value, what)
+            if not lit.value.type.is_bool():
+                raise VerificationError(
+                    f"{fn.name}: {what} literal {lit.value!r} of "
+                    f"{owner!r} is not boolean"
+                )
+
     def visit(scope: ScopeMixin) -> None:
         for item in scope.items:
+            if isinstance(item, Mu):
+                raise VerificationError(
+                    f"mu {item!r} appears as a scope item; mus live only "
+                    f"in their loop's header"
+                )
             if isinstance(item, Loop):
                 loop = item
-                for lit in loop.predicate.literals:
-                    check_operand(loop, lit.value, "predicate")
+                if loop.parent is not scope:
+                    raise VerificationError(f"{loop!r} has stale parent link")
+                check_pred_literals(loop, loop.predicate, "predicate")
                 for mu in loop.mus:
                     if mu.loop is not loop:
                         raise VerificationError(f"mu {mu!r} not linked to {loop!r}")
+                    if mu.parent is not loop:
+                        raise VerificationError(f"mu {mu!r} has stale parent link")
                     check_operand(mu, mu.init, "mu init")
+                    if str(mu.init.type) != str(mu.type):
+                        raise VerificationError(
+                            f"mu {mu!r} has type {mu.type} but its init "
+                            f"{mu.init!r} has type {mu.init.type}"
+                        )
                     if mu.rec is None:
                         raise VerificationError(f"mu {mu!r} has no recurrence operand")
                     defined.add(mu)
@@ -72,8 +99,24 @@ def verify_function(fn: Function) -> None:
                 if loop.cont is None:
                     raise VerificationError(f"{loop!r} has no continuation value")
                 check_operand(loop, loop.cont, "continuation")
+                if not loop.cont.type.is_bool():
+                    raise VerificationError(
+                        f"{loop!r} continuation {loop.cont!r} is not boolean"
+                    )
+                if not isinstance(loop.cont, (Constant, Undef)):
+                    inner = set(loop.header_and_body_instructions())
+                    if loop.cont not in inner:
+                        raise VerificationError(
+                            f"{loop!r} continuation {loop.cont!r} is not "
+                            f"defined inside the loop"
+                        )
                 for mu in loop.mus:
                     check_operand(mu, mu.rec, "mu recurrence")
+                    if str(mu.rec.type) != str(mu.type):
+                        raise VerificationError(
+                            f"mu {mu!r} has type {mu.type} but its "
+                            f"recurrence {mu.rec!r} has type {mu.rec.type}"
+                        )
                 # values defined inside the loop are not visible afterwards
                 for inner in loop.header_and_body_instructions():
                     defined.discard(inner)
@@ -81,12 +124,7 @@ def verify_function(fn: Function) -> None:
                 inst: Instruction = item  # type: ignore[assignment]
                 if inst.parent is not scope:
                     raise VerificationError(f"{inst!r} has stale parent link")
-                for lit in inst.predicate.literals:
-                    check_operand(inst, lit.value, "predicate")
-                    if not lit.value.type.is_bool():
-                        raise VerificationError(
-                            f"{inst!r} predicate literal {lit.value!r} is not boolean"
-                        )
+                check_pred_literals(inst, inst.predicate, "predicate")
                 if isinstance(inst, Eta):
                     if inst.loop.parent is not scope:
                         raise VerificationError(
@@ -103,8 +141,7 @@ def verify_function(fn: Function) -> None:
                 elif isinstance(inst, Phi):
                     for v, p in inst.incomings():
                         check_operand(inst, v, "phi operand")
-                        for lit in p.literals:
-                            check_operand(inst, lit.value, "phi edge predicate")
+                        check_pred_literals(inst, p, "phi edge predicate")
                 else:
                     for op in inst.operands:
                         check_operand(inst, op, "operand")

@@ -83,6 +83,10 @@ class RunResult:
     return_value: object
     code_size: int
     pipeline_stats: Optional[PipelineStats] = None
+    # full contents of every ArrayArg after the run, keyed by arg name;
+    # populated only when ``execute(..., capture_arrays=True)`` (the fuzz
+    # oracle's memory-equality checks need more than the checksum)
+    arrays: Optional[dict] = None
 
 
 class ChecksumMismatch(AssertionError):
@@ -203,12 +207,19 @@ def build(workload: Workload, level: str, honor_restrict: bool = True,
 
 
 def execute(module, workload: Workload, stats: Optional[PipelineStats] = None,
-            backend: Optional[str] = None) -> RunResult:
+            backend: Optional[str] = None, capture_arrays: bool = False,
+            max_steps: Optional[int] = None) -> RunResult:
     """Run ``workload`` on a built module and checksum the outputs.
 
     ``backend`` picks the executor: ``"reference"`` (tree-walking
     interpreter) or ``"compiled"`` (closure-compiled, the default for
     measurement).  Both charge identical cycles and counters.
+
+    ``capture_arrays=True`` additionally snapshots every ``ArrayArg``'s
+    final contents into ``RunResult.arrays`` — the differential fuzz
+    oracle compares full memory, not just the checksum.  ``max_steps``
+    overrides the executor's runaway bound (reducers use a small cap so
+    degenerate candidates fail fast).
     """
     name = backend if backend is not None else DEFAULT_BACKEND
     executor_cls = BACKENDS.get(name)
@@ -216,7 +227,8 @@ def execute(module, workload: Workload, stats: Optional[PipelineStats] = None,
         raise ValueError(
             f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
         )
-    interp = executor_cls(module, externals=workload.externals)
+    kwargs = {} if max_steps is None else {"max_steps": max_steps}
+    interp = executor_cls(module, externals=workload.externals, **kwargs)
     for gname, init in workload.globals_init.items():
         base = interp.global_base(gname)
         g = module.globals[gname]
@@ -245,6 +257,12 @@ def execute(module, workload: Workload, stats: Optional[PipelineStats] = None,
             total_cycles=res.cycles,
             regions=res.profile,
         ))
+    captured: Optional[dict] = None
+    if capture_arrays:
+        captured = {
+            a.name: list(interp.memory.read_array(base, a.size))
+            for a, base in arrays
+        }
     checksum = 0.0
     for a, base in arrays:
         if a.check:
@@ -259,7 +277,7 @@ def execute(module, workload: Workload, stats: Optional[PipelineStats] = None,
         checksum += float(res.return_value)
     code_size = sum(fn.code_size() for fn in module.functions.values())
     return RunResult(res.cycles, res.counters, checksum, res.return_value,
-                     code_size, stats)
+                     code_size, stats, captured)
 
 
 def run_workload(workload: Workload, level: str, honor_restrict: bool = True,

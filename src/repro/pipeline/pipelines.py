@@ -23,11 +23,12 @@ With diagnostics off the wrapper is a direct call.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.diag import PassManager
 from repro.frontend import compile_c
-from repro.ir import Module, verify_module
+from repro.ir import Module, VerificationError, verify_function, verify_module
 from repro.opt import run_dce, run_gvn, run_licm, run_simplify
 from repro.analysis.alias import AliasAnalysis
 from repro.rle import RLEStats, run_rle
@@ -62,16 +63,16 @@ def _scalar_cleanup(
     module: Module,
     honor_restrict: bool,
     stats: PipelineStats,
-    pm: PassManager,
+    run_pass,
 ) -> None:
     aa = AliasAnalysis(honor_restrict=honor_restrict)
     for name, fn in module.functions.items():
-        pm.run("simplify", fn, lambda fn=fn: run_simplify(fn))
-        deleted = pm.run("gvn", fn, lambda fn=fn: run_gvn(fn, aa))
+        run_pass("simplify", fn, lambda fn=fn: run_simplify(fn))
+        deleted = run_pass("gvn", fn, lambda fn=fn: run_gvn(fn, aa))
         stats.gvn[name] = stats.gvn.get(name, 0) + deleted
-        hoisted = pm.run("licm", fn, lambda fn=fn: run_licm(fn, aa))
+        hoisted = run_pass("licm", fn, lambda fn=fn: run_licm(fn, aa))
         stats.licm[name] = stats.licm.get(name, 0) + hoisted
-        pm.run("dce", fn, lambda fn=fn: run_dce(fn))
+        run_pass("dce", fn, lambda fn=fn: run_dce(fn))
 
 
 def optimize(
@@ -80,21 +81,47 @@ def optimize(
     honor_restrict: bool = True,
     vl: int = 4,
     rle: bool = False,
+    verify_each_pass: bool | None = None,
 ) -> PipelineStats:
-    """Run a named pipeline in place; returns per-pass statistics."""
+    """Run a named pipeline in place; returns per-pass statistics.
+
+    ``verify_each_pass`` runs :func:`verify_function` after *every* pass
+    invocation (not just at pipeline end), so a pass that corrupts the IR
+    is localized by name the moment it runs — the fuzzer enables this to
+    distinguish "pass N miscompiles" from "pass N broke an invariant and
+    pass N+1 tripped over it".  Defaults to the ``REPRO_VERIFY_EACH_PASS``
+    environment variable.
+    """
+    if verify_each_pass is None:
+        verify_each_pass = os.environ.get(
+            "REPRO_VERIFY_EACH_PASS", ""
+        ).lower() in ("1", "true", "yes")
     stats = PipelineStats()
     if level == "O0":
         return stats
     pm = PassManager(module_name=module.name)
-    _scalar_cleanup(module, honor_restrict, stats, pm)
+
+    def run_pass(pass_name, fn, thunk):
+        out = pm.run(pass_name, fn, thunk)
+        if verify_each_pass:
+            try:
+                verify_function(fn)
+            except VerificationError as e:
+                raise VerificationError(
+                    f"IR invalid after pass {pass_name!r} on "
+                    f"{fn.name!r}: {e}"
+                ) from e
+        return out
+
+    _scalar_cleanup(module, honor_restrict, stats, run_pass)
     if rle:
         for name, fn in module.functions.items():
-            stats.rle[name] = pm.run(
+            stats.rle[name] = run_pass(
                 "rle", fn,
                 lambda fn=fn: run_rle(fn, honor_restrict=honor_restrict),
             )
         # RLE unlocks more LICM/GVN downstream (the paper's Fig. 22 rows)
-        _scalar_cleanup(module, honor_restrict, stats, pm)
+        _scalar_cleanup(module, honor_restrict, stats, run_pass)
     mode = {
         "O3-scalar": None,
         "O3": "loop",
@@ -106,10 +133,10 @@ def optimize(
     if mode is not None:
         for name, fn in module.functions.items():
             cfg = VectorizeConfig(mode=mode, honor_restrict=honor_restrict, vl=vl)
-            stats.slp[name] = pm.run(
+            stats.slp[name] = run_pass(
                 "slp", fn, lambda fn=fn, cfg=cfg: vectorize_function(fn, cfg)
             )
-    _scalar_cleanup(module, honor_restrict, stats, pm)
+    _scalar_cleanup(module, honor_restrict, stats, run_pass)
     verify_module(module)
     return stats
 

@@ -137,8 +137,9 @@ class VectorEmitter:
         self._in_progress.add(id(node))
         pred = node.members[0].predicate
         operand_vecs: list[Value] = []
-        for slot in node.operands:
-            operand_vecs.append(self._emit_slot(slot, anchor, pred))
+        if node.kind != "cast":
+            for slot in node.operands:
+                operand_vecs.append(self._emit_slot(slot, anchor, pred))
 
         first = node.members[0]
         result: Optional[Value] = None
@@ -179,13 +180,18 @@ class VectorEmitter:
                 pred,
             )
         elif node.kind == "cast":
-            # elementwise cast: model as unary vector op via gather-free path
+            # elementwise cast: lane-wise scalar casts gathered into a
+            # vector.  Lane operands go through _lane_value: an operand
+            # that is itself a packed member (e.g. a load sub-pack) is
+            # rematerialized as vector + extract ahead of the anchor —
+            # referencing the original scalar directly would use a value
+            # scheduled *inside* the group, after the insertion point.
             from repro.ir.instructions import Cast
 
-            # emit lane-wise casts gathered; rare in kernels, keep simple
             lanes = []
             for m in node.members:
-                c = Cast(m.operands[0], m.type)
+                sv = self._lane_value(m.operands[0], anchor, pred)
+                c = Cast(sv, m.type)
                 self._insert(c, anchor, pred)
                 lanes.append(c)
             result = self._insert(BuildVector(lanes, name="vcast"), anchor, pred)

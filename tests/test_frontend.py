@@ -420,3 +420,41 @@ class TestRunningExample:
         res = interp.run(m["f"], [x, y])
         # Y[0]=0 first, then load X (==Y[0]) reads 0 -> no call
         assert res.counters.calls == 0
+
+
+class TestParseErrorPositions:
+    """ParseError carries the 1-based line/column of the failing token."""
+
+    def test_expect_failure_has_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse("void f() {\n  int x = 1\n}")
+        assert exc.value.line == 3
+        assert exc.value.col == 1
+        assert "line 3" in str(exc.value)
+
+    def test_bad_expression_token_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse("double f(double * A) { A[0] = ; return 0.0; }")
+        assert exc.value.line == 1
+        assert exc.value.col == 31
+        assert "column 31" in str(exc.value)
+
+    def test_bad_type_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse("void f() {\n  frobnicate y;\n}")
+        assert exc.value.line == 2
+
+    def test_invalid_assignment_target_has_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse("void f() {\n\n  3 = 4;\n}")
+        assert exc.value.line == 3
+        assert exc.value.col is None
+
+    def test_position_survives_reraise(self):
+        try:
+            parse("void f() { int x = 1 }")
+        except ParseError as e:
+            assert isinstance(e.line, int)
+            assert isinstance(e.col, int)
+        else:
+            raise AssertionError("expected ParseError")

@@ -314,3 +314,78 @@ class TestTypes:
     def test_single_lane_vector_rejected(self):
         with pytest.raises(ValueError):
             vector_of(FLOAT, 1)
+
+
+class TestVerifierHardening:
+    """The stricter invariants: predicate types, terminator placement,
+    loop-scope well-nestedness, mu type agreement."""
+
+    def _loop_fn(self):
+        m, fn, b = make_fn()
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0), name="i")
+        with b.at(loop):
+            nxt = b.add(i, const_int(1))
+            cond = b.cmp("lt", nxt, const_int(4), branch=True)
+        i.set_rec(nxt)
+        loop.set_cont(cond)
+        return m, fn, b, loop
+
+    def test_rejects_non_bool_instruction_predicate(self):
+        m, fn, b = make_fn()
+        x = b.load(b.ptradd(fn.args[0], const_int(0)))  # f64, not bool
+        st = b.store(b.ptradd(fn.args[0], const_int(1)), const_float(1.0))
+        st.set_predicate(Predicate.true().and_value(x))
+        with pytest.raises(VerificationError, match="not boolean"):
+            verify_function(fn)
+
+    def test_rejects_non_bool_loop_predicate(self):
+        m, fn, b, loop = self._loop_fn()
+        x = b.load(fn.args[0])  # f64, not bool
+        fn.remove(x)
+        fn.insert(0, x)  # defined before the loop
+        loop.set_predicate(Predicate.true().and_value(x))
+        with pytest.raises(VerificationError, match="not boolean"):
+            verify_function(fn)
+
+    def test_rejects_non_bool_continuation(self):
+        m, fn, b, loop = self._loop_fn()
+        loop.set_cont(loop.mus[0].rec)  # an int add, not a cmp
+        with pytest.raises(VerificationError, match="not boolean"):
+            verify_function(fn)
+
+    def test_rejects_continuation_defined_outside_loop(self):
+        m, fn, b = make_fn()
+        outer = b.cmp("lt", const_int(0), const_int(4))
+        loop = b.make_loop("L")
+        i = b.mu(loop, const_int(0), name="i")
+        with b.at(loop):
+            nxt = b.add(i, const_int(1))
+        i.set_rec(nxt)
+        loop.set_cont(outer)
+        with pytest.raises(VerificationError, match="not defined inside"):
+            verify_function(fn)
+
+    def test_rejects_mu_type_disagreement(self):
+        m, fn, b, loop = self._loop_fn()
+        with b.at(loop):
+            f = b.add(const_float(1.0), const_float(2.0))
+        loop.mus[0].set_rec(f)  # f64 recurrence into an i32 mu
+        with pytest.raises(VerificationError, match="type"):
+            verify_function(fn)
+
+    def test_rejects_stale_loop_parent(self):
+        m, fn, b, loop = self._loop_fn()
+        loop.parent = None
+        with pytest.raises(VerificationError, match="stale parent"):
+            verify_function(fn)
+
+    def test_rejects_mu_as_scope_item(self):
+        m, fn, b, loop = self._loop_fn()
+        fn.items.append(loop.mus[0])
+        with pytest.raises(VerificationError, match="scope item"):
+            verify_function(fn)
+
+    def test_accepts_well_formed_loop(self):
+        _, fn, _, _ = self._loop_fn()
+        verify_function(fn)
