@@ -1,32 +1,45 @@
 """Wall-clock comparison of the execution backends on the Fig. 16 kernels.
 
-Times each phase honestly (caches cleared, same built module handed to
-both executors):
+Times each phase honestly (caches cleared, the same built module handed
+to every executor):
 
-* **build**    — front end + optimization pipeline (shared by backends)
-* **compile**  — PSSA-to-closure translation (compiled backend only,
-  paid once per function thanks to the compile cache)
-* **exec ref** — reference tree-walking interpreter
-* **exec jit** — closure-compiled executor
+* **build**      — front end + optimization pipeline (shared by backends)
+* **compile**    — PSSA-to-closure translation (compiled backend)
+* **fuse**       — PSSA-to-straight-line translation (fused backend)
+* **exec ref**   — reference tree-walking interpreter
+* **exec jit**   — closure-compiled executor
+* **exec fused** — superblock-fused executor
 
-and verifies on every kernel that the two backends return bit-identical
+and verifies on every kernel that all three backends return bit-identical
 cycles, counters, and checksums before any timing is reported.  Results
-go to ``BENCH_interp.json`` at the repo root: per-kernel phase timings,
-the geomean execute-phase speedup, and the aggregate dynamic-counter
-profile (including the per-opcode breakdown) of the kernel set.
+go to ``BENCH_interp.json`` at the repo root: per-kernel phase timings, a
+per-backend geomean table (each backend's execute-phase speedup over the
+reference), and the aggregate dynamic-counter profile (including the
+per-opcode breakdown) of the kernel set.
 
 Run standalone (``python bench_wallclock.py``) or under pytest, where
-the ≥3x execute-phase speedup is asserted.
+the compiled ≥3x and fused ≥2x-over-compiled execute-phase speedups are
+asserted.
 """
 
 import json
 import os
 import time
 
-from repro.interp import clear_compile_cache, compile_function
+from repro.interp import (
+    clear_compile_cache,
+    clear_fuse_cache,
+    compile_function,
+    fuse_function,
+)
 from repro.interp.interpreter import Counters
 from repro.perf import measure
-from repro.perf.report import counters_report, format_table, geomean
+from repro.perf.report import (
+    backend_geomean_table,
+    counters_report,
+    format_table,
+    geomean,
+)
 from repro.workloads import polybench
 
 LEVEL = "supervec+v"
@@ -44,6 +57,16 @@ def _best_of(f, n=3):
     return best, result
 
 
+def _assert_identical(workload, ref, got, backend):
+    assert got.cycles == ref.cycles, f"{workload.name}: {backend} cycle drift"
+    assert got.checksum == ref.checksum, (
+        f"{workload.name}: {backend} checksum drift"
+    )
+    assert got.counters.as_dict() == ref.counters.as_dict(), (
+        f"{workload.name}: {backend} counter drift"
+    )
+
+
 def measure_kernel(workload):
     t0 = time.perf_counter()
     module, stats = measure.build(workload, LEVEL, use_cache=False)
@@ -59,22 +82,37 @@ def measure_kernel(workload):
         compile_function(fn)
     t_compile = time.perf_counter() - t0
 
-    t_jit, got = _best_of(
+    t_jit, got_jit = _best_of(
         lambda: measure.execute(module, workload, stats, backend="compiled")
     )
+    _assert_identical(workload, ref, got_jit, "compiled")
 
-    assert got.cycles == ref.cycles, f"{workload.name}: cycle drift"
-    assert got.checksum == ref.checksum, f"{workload.name}: checksum drift"
-    assert got.counters.as_dict() == ref.counters.as_dict(), (
-        f"{workload.name}: counter drift"
+    clear_fuse_cache()
+    t0 = time.perf_counter()
+    for fn in module.functions.values():
+        fuse_function(fn)
+    t_fuse = time.perf_counter() - t0
+
+    t_fused, got_fused = _best_of(
+        lambda: measure.execute(module, workload, stats, backend="fused")
     )
+    _assert_identical(workload, ref, got_fused, "fused")
+
     return {
         "kernel": workload.name,
         "build_s": round(t_build, 6),
         "compile_s": round(t_compile, 6),
+        "fuse_s": round(t_fuse, 6),
         "exec_reference_s": round(t_ref, 6),
         "exec_compiled_s": round(t_jit, 6),
+        "exec_fused_s": round(t_fused, 6),
         "exec_speedup": round(t_ref / t_jit, 3) if t_jit > 0 else float("inf"),
+        "exec_speedup_fused": (
+            round(t_ref / t_fused, 3) if t_fused > 0 else float("inf")
+        ),
+        "fused_over_compiled": (
+            round(t_jit / t_fused, 3) if t_fused > 0 else float("inf")
+        ),
         "simulated_cycles": ref.cycles,
     }, ref.counters
 
@@ -87,16 +125,26 @@ def run_wallclock():
         rec, counters = measure_kernel(factory())
         records.append(rec)
         total.merge(counters)
-    geo = geomean([r["exec_speedup"] for r in records])
+    geo_jit = geomean([r["exec_speedup"] for r in records])
+    geo_fused = geomean([r["exec_speedup_fused"] for r in records])
+    geo_f_over_c = geomean([r["fused_over_compiled"] for r in records])
     payload = {
         "level": LEVEL,
         "kernel_set": "fig16-polybench",
         "backends": {
             "reference": "tree-walking interpreter (repro.interp.interpreter)",
             "compiled": "closure-compiled executor (repro.interp.compile)",
+            "fused": "superblock-fused executor (repro.interp.fuse)",
         },
         "kernels": records,
-        "geomean_exec_speedup": round(geo, 3),
+        # per-backend geomean table: execute-phase speedup over reference
+        "geomean_exec_speedup_by_backend": {
+            "reference": 1.0,
+            "compiled": round(geo_jit, 3),
+            "fused": round(geo_fused, 3),
+        },
+        "geomean_exec_speedup": round(geo_jit, 3),
+        "geomean_fused_over_compiled": round(geo_f_over_c, 3),
         "total_counters": total.as_dict(),
     }
     with open(JSON_PATH, "w") as f:
@@ -108,22 +156,28 @@ def run_wallclock():
 def render(payload) -> str:
     rows = [
         (
-            r["kernel"], r["build_s"] * 1e3, r["compile_s"] * 1e3,
+            r["kernel"], r["build_s"] * 1e3,
+            r["compile_s"] * 1e3, r["fuse_s"] * 1e3,
             r["exec_reference_s"] * 1e3, r["exec_compiled_s"] * 1e3,
-            r["exec_speedup"],
+            r["exec_fused_s"] * 1e3,
+            r["exec_speedup"], r["exec_speedup_fused"],
         )
         for r in payload["kernels"]
     ]
     table = format_table(
-        ["kernel", "build ms", "compile ms", "ref ms", "jit ms", "speedup"],
+        ["kernel", "build ms", "compile ms", "fuse ms",
+         "ref ms", "jit ms", "fused ms", "jit x", "fused x"],
         rows,
     )
+    geo_table = backend_geomean_table(payload["geomean_exec_speedup_by_backend"])
     profile = counters_report(
         payload["total_counters"], title="aggregate dynamic profile:", top=10
     )
     return (
         f"Execution-backend wall clock @ {payload['level']}\n{table}\n"
-        f"geomean execute speedup: {payload['geomean_exec_speedup']:.2f}x\n"
+        f"{geo_table}\n"
+        f"fused over compiled: "
+        f"{payload['geomean_fused_over_compiled']:.2f}x\n"
         f"{profile}\n[written to {JSON_PATH}]"
     )
 
@@ -135,6 +189,10 @@ def test_wallclock_compiled_3x():
     assert payload["geomean_exec_speedup"] >= 3.0, (
         "compiled backend must execute >=3x faster than the reference "
         f"interpreter, got {payload['geomean_exec_speedup']}x"
+    )
+    assert payload["geomean_fused_over_compiled"] >= 2.0, (
+        "fused backend must execute >=2x faster than the compiled "
+        f"backend, got {payload['geomean_fused_over_compiled']}x"
     )
 
 

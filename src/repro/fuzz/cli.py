@@ -14,6 +14,7 @@ Exit status is 0 iff everything matched expectations.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -31,26 +32,59 @@ from .plant import PLANTED_BUGS
 from .reduce import NotFailing, reduce_kernel
 
 
+def _check_seed(task) -> tuple:
+    """Worker body: one seed through the oracle.
+
+    Module-level so it pickles under multiprocessing.  Returns plain
+    data only (seed, ok flag, rendered mismatches, configs, features) —
+    the parent regenerates the kernel deterministically from the seed
+    when it needs the full object (e.g. ``--save``).
+    """
+    seed, bug, full, verify_each_pass = task
+    kernel = generate_kernel(seed, name=f"fz{seed:06d}")
+    report = check_kernel(
+        kernel, bug=bug, full=full, verify_each_pass=verify_each_pass,
+    )
+    return (seed, report.ok, [str(m) for m in report.mismatches],
+            report.configs_run, sorted(kernel.features))
+
+
+def _iter_reports(args):
+    """Yield per-seed results in seed order, optionally via a pool.
+
+    Worker results are merged deterministically: ``Pool.map`` over
+    chunked seed ranges preserves submission order, so the output (and
+    any saved corpus entries) is identical whatever ``-j`` is.
+    """
+    seeds = range(args.start, args.start + args.seeds)
+    tasks = [(s, args.bug, args.full, args.verify_each_pass) for s in seeds]
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    if jobs <= 1 or len(tasks) <= 1:
+        for t in tasks:
+            yield _check_seed(t)
+        return
+    import multiprocessing as mp
+
+    chunk = max(1, len(tasks) // (4 * jobs))
+    with mp.Pool(min(jobs, len(tasks))) as pool:
+        yield from pool.map(_check_seed, tasks, chunksize=chunk)
+
+
 def _cmd_run(args) -> int:
     t0 = time.perf_counter()
     failures = 0
-    for seed in range(args.start, args.start + args.seeds):
-        kernel = generate_kernel(seed, name=f"fz{seed:06d}")
-        report = check_kernel(
-            kernel, bug=args.bug, full=args.full,
-            verify_each_pass=args.verify_each_pass,
-        )
-        if report.ok:
+    for seed, ok, mismatches, configs_run, features in _iter_reports(args):
+        if ok:
             if args.verbose:
-                print(f"  {kernel.name}: ok "
-                      f"({report.configs_run} configs, "
-                      f"features={sorted(kernel.features)})")
+                print(f"  fz{seed:06d}: ok "
+                      f"({configs_run} configs, features={features})")
             continue
         failures += 1
-        print(f"FAIL {kernel.name} (seed {seed}):")
-        for m in report.mismatches:
+        print(f"FAIL fz{seed:06d} (seed {seed}):")
+        for m in mismatches:
             print(f"  {m}")
         if args.save:
+            kernel = generate_kernel(seed, name=f"fz{seed:06d}")
             path = save_entry(kernel, args.corpus, seed=seed, bug=args.bug,
                               expect="fail",
                               note="fuzzer-found failure (unreduced)")
@@ -146,6 +180,9 @@ def main(argv=None) -> int:
                        help="run the IR verifier after every pass")
     p_run.add_argument("--save", action="store_true",
                        help="save failing kernels to the corpus")
+    p_run.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes for the seed sweep "
+                            "(0 = all cores; default 1)")
     p_run.add_argument("--corpus", default=str(DEFAULT_CORPUS_DIR))
     p_run.add_argument("-v", "--verbose", action="store_true")
     p_run.set_defaults(fn=_cmd_run)

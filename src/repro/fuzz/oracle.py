@@ -5,9 +5,10 @@ optimization level × execution backend × vector length × restrict × RLE —
 and demands that return value, full final memory (every array argument,
 element by element), and checksum agree with the unoptimized (``O0``)
 build executed on the reference interpreter.  At one designated
-configuration it additionally runs *both* backends and demands exact
-(bit-identical) agreement of cycles and every dynamic counter, the
-contract :mod:`repro.interp.compile` promises.
+configuration it additionally runs *all three* backends (reference,
+compiled, fused) and demands exact (bit-identical) agreement of cycles
+and every dynamic counter, the contract :mod:`repro.interp.compile` and
+:mod:`repro.interp.fuse` promise.
 
 Outcomes are classified so the reducer can preserve a failure's *kind*:
 
@@ -107,6 +108,10 @@ class OracleReport:
 
 CROSS_BACKEND_CONFIG = Config("supervec+v", True, 4, False)
 
+#: every registered executor pinned against the reference at the fixed
+#: cross-backend config — the three-way accounting identity check
+CROSS_BACKENDS = ("reference", "compiled", "fused")
+
 _LEVELS = ["O3-scalar", "O3", "supervec", "supervec+v"]
 
 
@@ -119,6 +124,7 @@ def default_configs(has_restrict: bool) -> list[Config]:
         Config("supervec+v", rle=True),
         Config("supervec+v", vl=8),
         Config("supervec+v", vl=2),
+        Config("supervec+v", backend="fused"),
     ]
     if has_restrict:
         cfgs.append(Config("supervec+v", honor_restrict=False))
@@ -283,46 +289,57 @@ def check_kernel(
         report.mismatches.extend(_compare(ref, got, cfg))
 
     if cross_backend:
-        # backend accounting agreement: both executors at one fixed
+        # backend accounting agreement: all three executors at one fixed
         # config must be *exactly* identical (cycles, counters, memory)
         base = CROSS_BACKEND_CONFIG
-        a, err_a = _run_config(spec, base, bug_fn, max_steps, False)
-        b, err_b = _run_config(
-            spec,
-            Config(base.level, base.honor_restrict, base.vl, base.rle,
-                   backend="reference"),
-            bug_fn, max_steps, False,
-        )
-        report.configs_run += 2
-        if err_a is not None or err_b is not None:
-            for e in (err_a, err_b):
-                if e is not None and str(e) not in {
-                    str(m) for m in report.mismatches
-                }:
-                    report.mismatches.append(e)
-        else:
-            if a.cycles != b.cycles:
-                report.mismatches.append(Mismatch(
-                    "cycles",
-                    f"compiled {a.cycles!r} != reference {b.cycles!r}", base,
-                ))
-            if a.counters.as_dict() != b.counters.as_dict():
-                report.mismatches.append(Mismatch(
-                    "counters", "per-opcode counter drift between backends",
-                    base,
-                ))
-            if not _exact(a.arrays, b.arrays) or not _exact(
-                a.return_value, b.return_value
-            ):
-                report.mismatches.append(Mismatch(
-                    "memory", "backend memory/return drift at fixed config",
-                    base,
-                ))
+        runs = {}
+        errs = []
+        for backend in CROSS_BACKENDS:
+            cfg = Config(base.level, base.honor_restrict, base.vl, base.rle,
+                         backend=backend)
+            got, err = _run_config(spec, cfg, bug_fn, max_steps, False)
+            report.configs_run += 1
+            if err is not None:
+                errs.append(err)
+            else:
+                runs[backend] = got
+        seen = {str(m) for m in report.mismatches}
+        for e in errs:
+            if str(e) not in seen:
+                report.mismatches.append(e)
+                seen.add(str(e))
+        b = runs.get("reference")
+        if b is not None and not errs:
+            for backend, a in runs.items():
+                if backend == "reference":
+                    continue
+                cfg = Config(base.level, base.honor_restrict, base.vl,
+                             base.rle, backend=backend)
+                if a.cycles != b.cycles:
+                    report.mismatches.append(Mismatch(
+                        "cycles",
+                        f"{backend} {a.cycles!r} != reference {b.cycles!r}",
+                        cfg,
+                    ))
+                if a.counters.as_dict() != b.counters.as_dict():
+                    report.mismatches.append(Mismatch(
+                        "counters",
+                        f"per-opcode counter drift: {backend} vs reference",
+                        cfg,
+                    ))
+                if not _exact(a.arrays, b.arrays) or not _exact(
+                    a.return_value, b.return_value
+                ):
+                    report.mismatches.append(Mismatch(
+                        "memory",
+                        f"{backend} memory/return drift at fixed config",
+                        cfg,
+                    ))
     return report
 
 
 __all__ = [
-    "ABS_TOL", "CROSS_BACKEND_CONFIG", "Config", "KernelSpec", "Mismatch",
-    "OracleReport", "REL_TOL", "check_kernel", "default_configs",
-    "full_configs",
+    "ABS_TOL", "CROSS_BACKENDS", "CROSS_BACKEND_CONFIG", "Config",
+    "KernelSpec", "Mismatch", "OracleReport", "REL_TOL", "check_kernel",
+    "default_configs", "full_configs",
 ]

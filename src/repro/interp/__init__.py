@@ -1,7 +1,7 @@
 """IR execution backends, flat memory model, and the cycle cost model.
 
 This package is the reproduction's "hardware".  Programs execute on one
-of two backends sharing a cost model, so benchmark speedups are
+of three backends sharing a cost model, so benchmark speedups are
 deterministic cycle-count ratios rather than wall-clock medians:
 
 * ``Interpreter`` — the reference tree-walking interpreter; the
@@ -10,9 +10,14 @@ deterministic cycle-count ratios rather than wall-clock medians:
   each function once into specialized Python closures; several times
   faster in wall-clock while charging bit-identical cycles and counters
   (see :mod:`repro.interp.compile`).
+* ``FusedExecutor`` — the superblock-fused tier: one exec-generated
+  straight-line Python function per IR function, with constant-folded
+  cycle/counter accounting; the fastest backend and the measurement
+  default (see :mod:`repro.interp.fuse`).
 
-``BACKENDS`` maps harness-facing names (``"reference"``, ``"compiled"``)
-to executor classes with identical constructor/run contracts.
+``BACKENDS`` maps harness-facing names (``"reference"``, ``"compiled"``,
+``"fused"``) to executor classes with identical constructor/run
+contracts.
 """
 
 from .compile import (
@@ -23,6 +28,12 @@ from .compile import (
     compile_function,
 )
 from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .fuse import (
+    FusedExecutor,
+    FusedProgram,
+    clear_fuse_cache,
+    fuse_function,
+)
 from .interpreter import (
     Counters,
     ExecutionResult,
@@ -40,11 +51,15 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "Counters",
     "ExecutionResult",
+    "FusedExecutor",
+    "FusedProgram",
     "Interpreter",
     "InterpreterError",
     "StepLimitExceeded",
     "Memory",
     "MemoryError_",
     "clear_compile_cache",
+    "clear_fuse_cache",
     "compile_function",
+    "fuse_function",
 ]

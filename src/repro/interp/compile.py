@@ -90,7 +90,7 @@ from .interpreter import (
     _int_div,
     _int_rem,
 )
-from .memory import Memory, MemoryError_
+from .memory import Memory, MemoryError_, NULL_PAGE
 
 # Sentinel for "this SSA value's defining item has not executed" — the
 # compiled equivalent of a missing env binding (missing-is-false).
@@ -694,9 +694,9 @@ class _FunctionCompiler:
             values.update(d=self.slot(inst), E=MemoryError_)
             lines.append("m = R[1]")
             lines.append(f"p = {ep}")
-            lines.append("if p < 0 or p >= m._next:")
+            lines.append(f"if p < {NULL_PAGE} or p >= m._next:")
             lines.append("    raise E(f'access to unallocated address {p}')")
-            lines.append("R[d] = m._slots[p]")
+            lines.append("R[d] = m._arr.item(p) if not m._exo else m.load(p)")
             okey = ("load", kp)
         elif isinstance(inst, Store):
             ep, kp = self._operand_expr(inst.pointer, "a", used, values,
@@ -706,9 +706,13 @@ class _FunctionCompiler:
             values["E"] = MemoryError_
             lines.append("m = R[1]")
             lines.append(f"p = {ep}")
-            lines.append("if p < 0 or p >= m._next:")
+            lines.append(f"v = {ev}")
+            lines.append(f"if p < {NULL_PAGE} or p >= m._next:")
             lines.append("    raise E(f'access to unallocated address {p}')")
-            lines.append(f"m._slots[p] = {ev}")
+            lines.append("if type(v) is float and not m._exo:")
+            lines.append("    m._arr[p] = v")
+            lines.append("else:")
+            lines.append("    m.store(p, v)")
             okey = ("store", kp, kv)
         elif isinstance(inst, Eta):
             ea, ka = self._operand_expr(inst.inner, "a", used, values)

@@ -1,0 +1,885 @@
+"""Superblock-fused execution backend for predicated SSA.
+
+The third (fastest) execution tier.  Where the reference interpreter
+dispatches per item per iteration and the closure-compiled backend
+(:mod:`repro.interp.compile`) still pays one Python *call* per item per
+iteration, this backend emits **one** ``exec``-generated Python function
+per :class:`~repro.ir.loops.Function` containing the whole program as
+straight-line code:
+
+* every loop body becomes a native ``while`` loop whose body is inline
+  bytecode — no per-instruction closures, no dispatch of any kind;
+* SSA values become Python *locals* (the fastest storage CPython has),
+  pre-initialized to a ``MISSING`` sentinel so missing-is-false
+  predicate semantics survive;
+* runs of consecutive items that share the same flattened execution
+  predicate form a *superblock*: the predicate is evaluated once, the
+  block gets a single shared execution counter, and (when exact — see
+  below) its cycle charges collapse into a single constant add;
+* scalar memory accesses inline the NumPy-slab fast path of
+  :class:`~repro.interp.memory.Memory` with the same bounds check and
+  error text as the other tiers; VL-wide loads/stores go through the
+  slab's slice-based block transfers.
+
+**Accounting invariant** (same contract as the compiled tier, enforced
+by the three-way differential fuzz oracle): cycles and
+:class:`~repro.interp.interpreter.Counters` — including ``by_opcode``
+and the per-region diagnostic attribution — are bit-identical to the
+reference interpreter.  Counter identity is structural: a superblock
+counts once per execution and per-item counts are reconstructed from the
+block counts, whose static deltas match the interpreter's updates
+exactly.  Cycle identity under folding needs care because float addition
+is not associative: the per-path constant folding (one ``cy += k`` per
+block / per loop iteration) is applied **only when every cost the
+function can charge is integer-valued** (the default cost model is), in
+which case the accumulator stays an exact integer and folded and
+sequential addition are provably bit-identical; for fractional cost
+models the backend falls back to emitting the reference's per-item adds
+in the reference's order, preserving bit-identity at straight-line speed.
+
+Like the compiled tier, translation is cached weakly per function and
+keyed by cost model and step limit; the step limit is enforced per loop
+iteration.  Vector *arithmetic* is emitted as inline per-lane
+expressions rather than NumPy ufuncs deliberately: ``np.float64``
+scalars diverge from Python floats on division-by-zero and NaN min/max
+ordering, and at VL∈{2,4,8} ufunc launch overhead exceeds the loop — the
+NumPy win lives in the memory slab's block transfers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+from weakref import WeakKeyDictionary
+
+from repro.diag.context import get_context
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Broadcast,
+    BuildVector,
+    Call,
+    Cast,
+    Cmp,
+    Eta,
+    ExtractLane,
+    Instruction,
+    Load,
+    Mu,
+    Phi,
+    PtrAdd,
+    Reduce,
+    Select,
+    Shuffle,
+    Store,
+    UnOp,
+    VecBin,
+    VecCmp,
+    VecLoad,
+    VecSelect,
+    VecStore,
+    VecUn,
+)
+from repro.ir.loops import Function, GlobalArray, Loop, Module, ScopeMixin
+from repro.ir.values import Constant, Undef, Value
+
+from .compile import (
+    BACKENDS,
+    _BIN_IMPL,
+    _BIN_SYM,
+    _CMP_SYM,
+    _UN_IMPL,
+    _div,
+    _rem,
+)
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .interpreter import (
+    Counters,
+    ExecutionResult,
+    InterpreterError,
+    StepLimitExceeded,
+    _default_externals,
+)
+from . import memory as _memory
+from .memory import Memory, MemoryError_, NULL_PAGE
+
+_MISSING = object()
+
+# infix spellings for the ops the reference implements via int coercion
+_INT_BIN_SYM = {"and": "&", "or": "|", "xor": "^", "shl": "<<", "shr": ">>"}
+
+
+# ---------------------------------------------------------------------------
+# Fused program
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FusedProgram:
+    """One exec-compiled function plus the metadata to rebuild Counters."""
+
+    fn_name: str
+    run: Callable  # run(A, M, EX, C, G) -> (return_value, cycles)
+    source: str  # generated text, kept for debugging/inspection
+    n_counters: int
+    arg_count: int
+    globals_used: tuple  # GlobalArray objects in G-vector order
+    # per IR item: (counter idx, opcode|None, ins, ld, st, br, be, ck, vec, call)
+    counter_table: tuple
+    item_ids: tuple  # id(IR item) per counter_table row
+
+    def make_counters(self, C: list) -> Counters:
+        """Aggregate superblock execution counts into interpreter Counters."""
+        c = Counters()
+        by = c.by_opcode
+        for cidx, op, ins, ld, st, br, be, ck, vec, call in self.counter_table:
+            n = C[cidx]
+            if not n:
+                continue
+            if ins:
+                c.instructions += ins * n
+            if ld:
+                c.loads += ld * n
+            if st:
+                c.stores += st * n
+            if br:
+                c.branches += br * n
+            if be:
+                c.backedges += be * n
+            if ck:
+                c.checks += ck * n
+            if vec:
+                c.vector_ops += vec * n
+            if call:
+                c.calls += call * n
+            if op is not None:
+                by[op] = by.get(op, 0) + n
+        return c
+
+    def profile_counts(self, C: list) -> tuple[dict, dict]:
+        """(inst counts, loop iteration counts) keyed by id(IR item)."""
+        counts: dict[int, int] = {}
+        iters: dict[int, int] = {}
+        for (cidx, op, *_), item_id in zip(self.counter_table, self.item_ids):
+            if op is None:
+                iters[item_id] = C[cidx]
+            else:
+                counts[item_id] = C[cidx]
+        return counts, iters
+
+
+# ---------------------------------------------------------------------------
+# The translator
+# ---------------------------------------------------------------------------
+
+
+class _FusedCompiler:
+    def __init__(self, fn: Function, cost_model: CostModel, max_steps: int):
+        self.fn = fn
+        self.cost = cost_model
+        self.max_steps = max_steps
+        self.body: list[str] = []
+        self.consts: dict[str, object] = {}
+        self._names: dict[Value, str] = {}
+        self._bound: set[str] = set()  # names assigned in the prelude
+        self._globals: list[GlobalArray] = []
+        self._n_counters = 0
+        self._tmp = 0
+        self._table: list[tuple] = []
+        self._ids: list[int] = []
+        self.int_mode = False
+        # With no Alloca and no Call the allocation high-water mark is
+        # fixed for the whole run, so bounds checks can read a local.
+        self.nx = "M._next"
+        # Inline block transfers only on the NumPy slab (list slices have
+        # no .tolist() and go through Memory.load_block/store_block).
+        self._np_slab = _memory._np is not None
+
+    # -- small emission helpers ------------------------------------------
+
+    def w(self, ind: int, text: str) -> None:
+        self.body.append("    " * ind + text)
+
+    def tmp(self) -> str:
+        self._tmp += 1
+        return f"t{self._tmp}"
+
+    def new_counter(self) -> int:
+        k = self._n_counters
+        self._n_counters += 1
+        return k
+
+    def name(self, v: Value) -> str:
+        n = self._names.get(v)
+        if n is None:
+            n = self._names[v] = f"v{len(self._names)}"
+            if isinstance(v, GlobalArray):
+                self._globals.append(v)
+                self._bound.add(n)
+        return n
+
+    def hoist(self, nm: str, val) -> str:
+        self.consts[nm] = val
+        return nm
+
+    def hoist_value(self, val) -> str:
+        nm = f"K{len(self.consts)}"
+        self.consts[nm] = val
+        return nm
+
+    def lit(self, val) -> str:
+        """A source literal that evaluates to exactly ``val``."""
+        if val is None:
+            return "None"
+        if isinstance(val, bool):
+            return repr(val)
+        if isinstance(val, int) or (isinstance(val, float) and math.isfinite(val)):
+            r = repr(val)  # repr round-trips exactly in Python 3
+            # parenthesize negatives: bare `-2 ** x` would parse as -(2**x)
+            return f"({r})" if r.startswith("-") else r
+        return self.hoist_value(val)
+
+    def flit(self, cost: float) -> str:
+        return self.lit(float(cost))
+
+    def expr(self, v: Value, wrap: str = "") -> str:
+        if isinstance(v, Constant):
+            val = int(v.value) if wrap == "int" else v.value
+            return self.lit(val)
+        if isinstance(v, Undef):
+            return "0"
+        n = self.name(v)
+        return f"int({n})" if wrap == "int" else n
+
+    # -- predicate flattening --------------------------------------------
+
+    def pred(self, p):
+        """``True`` | ``False`` | tuple of ``(local name, negated)`` terms."""
+        if p.is_true():
+            return True
+        terms: list[tuple[str, bool]] = []
+        for lit in p.literals:
+            v = lit.value
+            if isinstance(v, Constant):
+                if bool(v.value) == lit.negated:
+                    return False
+                continue  # statically-true literal
+            if isinstance(v, Undef):
+                # reference lookup yields 0 -> literal holds iff negated
+                if not lit.negated:
+                    return False
+                continue
+            terms.append((self.name(v), lit.negated))
+        if not terms:
+            return True
+        return tuple(terms)
+
+    @staticmethod
+    def cond(terms) -> str:
+        parts = []
+        for n, neg in terms:
+            if neg:
+                parts.append(f"({n} is not MISS and not {n})")
+            else:
+                parts.append(f"({n} is not MISS and {n})")
+        return " and ".join(parts)
+
+    # -- counter bookkeeping (same static deltas as the other tiers) -----
+
+    def inst_row(self, inst: Instruction, cidx: int) -> None:
+        ld = st = br = ck = vec = call = 0
+        if isinstance(inst, (Load, VecLoad)):
+            ld = 1
+        if isinstance(inst, (Store, VecStore)):
+            st = 1
+        if isinstance(inst, Cmp):
+            if inst.is_branch_source:
+                br = 1
+            if inst.is_versioning_check:
+                ck = 1
+        if isinstance(
+            inst,
+            (VecLoad, VecStore, VecBin, VecUn, VecCmp, VecSelect, BuildVector,
+             Shuffle, Broadcast, Reduce),
+        ):
+            vec = 1
+        if isinstance(inst, Call):
+            call = 1
+        self._ids.append(id(inst))
+        self._table.append((cidx, inst.opcode, 1, ld, st, br, 0, ck, vec, call))
+
+    def loop_row(self, loop: Loop, cidx: int) -> None:
+        # one back edge and one branch per iteration, no instruction count
+        self._ids.append(id(loop))
+        self._table.append((cidx, None, 0, 0, 0, 1, 1, 0, 0, 0))
+
+    # -- integral-cost scan ----------------------------------------------
+
+    def _all_integral(self) -> bool:
+        if not float(self.cost.loop_backedge).is_integer():
+            return False
+
+        def walk(scope: ScopeMixin) -> bool:
+            for item in scope.items:
+                if isinstance(item, Loop):
+                    if not walk(item):
+                        return False
+                elif not float(self.cost.instruction_cost(item)).is_integer():
+                    return False
+            return True
+
+        return walk(self.fn)
+
+    def _allocates(self) -> bool:
+        """Whether any item can move the allocation high-water mark."""
+
+        def walk(scope: ScopeMixin) -> bool:
+            for item in scope.items:
+                if isinstance(item, Loop):
+                    if walk(item):
+                        return True
+                elif isinstance(item, (Alloca, Call)):
+                    # externals get the Memory and may alloc through it
+                    return True
+            return False
+
+        return walk(self.fn)
+
+    # -- scopes and superblocks ------------------------------------------
+
+    def emit_scope(self, scope: ScopeMixin, ind: int, scope_cidx: int) -> float:
+        """Emit a scope's items; returns the summed cost of unconditional
+        instructions (int mode — charged once by the scope's owner)."""
+        pending = []
+        for item in scope.items:
+            p = self.pred(item.predicate)
+            if p is False:
+                continue  # statically dead, like the other tiers
+            pending.append((p, item))
+        uncond = 0.0
+        i = 0
+        while i < len(pending):
+            p, item = pending[i]
+            if p is True:
+                if isinstance(item, Loop):
+                    self.emit_loop(item, ind)
+                else:
+                    uncond += self.emit_inst(item, ind, scope_cidx,
+                                             folded=self.int_mode)
+                i += 1
+                continue
+            # superblock: consecutive items sharing one flattened predicate.
+            # SSA guarantees no item inside the run redefines a predicate
+            # term (an item defining a term cannot carry the same
+            # predicate), so one evaluation covers the whole block.
+            j = i
+            group = []
+            while j < len(pending) and pending[j][0] == p:
+                group.append(pending[j][1])
+                j += 1
+            gidx = self.new_counter()
+            self.w(ind, f"if {self.cond(p)}:")
+            self.w(ind + 1, f"C[{gidx}] += 1")
+            gsum = 0.0
+            for it in group:
+                if isinstance(it, Loop):
+                    self.emit_loop(it, ind + 1)
+                else:
+                    gsum += self.emit_inst(it, ind + 1, gidx,
+                                           folded=self.int_mode)
+            if self.int_mode and gsum:
+                self.w(ind + 1, f"cy += {int(gsum)}")
+            i = j
+        return uncond
+
+    # -- loops -----------------------------------------------------------
+
+    def emit_loop(self, loop: Loop, ind: int) -> None:
+        k = self.new_counter()
+        self.loop_row(loop, k)
+        for mu in loop.mus:  # sequential init reads, like the reference
+            self.w(ind, f"{self.name(mu)} = {self.expr(mu.init)}")
+        self.w(ind, "while True:")
+        bind = ind + 1
+        uncond = self.emit_scope(loop, bind, k)
+        t = self.tmp()
+        self.w(bind, f"{t} = C[{k}] + 1")
+        self.w(bind, f"C[{k}] = {t}")
+        self.w(bind, f"if {t} > {self.max_steps}:")
+        msg = f"loop {loop.name} exceeded {self.max_steps} iterations"
+        self.w(bind + 1, f"raise SLE({msg!r})")
+        be = float(self.cost.loop_backedge)
+        if self.int_mode:
+            total = int(uncond + be)
+            if total:
+                self.w(bind, f"cy += {total}")
+        elif be != 0.0:
+            self.w(bind, f"cy += {self.flit(be)}")
+        cont = loop.cont
+        assert cont is not None, f"loop {loop.name} has no continuation"
+        if isinstance(cont, Constant):
+            if not bool(cont.value):
+                self.w(bind, "break")
+                return
+            cname = None  # statically-true continuation: run to the limit
+        elif isinstance(cont, Undef):
+            self.w(bind, "break")
+            return
+        else:
+            cname = self.name(cont)
+        if cname is not None:
+            self.w(bind, f"if {cname} is MISS or not {cname}:")
+            self.w(bind + 1, "break")
+        mus = list(loop.mus)
+        if not mus:
+            return
+        broken = [mu for mu in mus if mu.rec is None]
+        if broken:
+            m2 = f"mu {broken[0].display_name()} has no recurrence operand"
+            self.w(bind, f"raise IE({m2!r})")
+        elif len(mus) == 1:
+            self.w(bind, f"{self.name(mus[0])} = {self.expr(mus[0].rec)}")
+        else:
+            # simultaneous mu update: tuple assignment reads every
+            # recurrence before writing any header local (the reference's
+            # two-phase next-value buffer)
+            lhs = ", ".join(self.name(mu) for mu in mus)
+            rhs = ", ".join(self.expr(mu.rec) for mu in mus)
+            self.w(bind, f"{lhs} = {rhs}")
+
+    # -- instructions ----------------------------------------------------
+
+    def emit_inst(self, inst: Instruction, ind: int, cidx: int,
+                  folded: bool) -> float:
+        cost = float(self.cost.instruction_cost(inst))
+        self.inst_row(inst, cidx)
+        if not folded and cost != 0.0:
+            # fractional cost model: charge per item in reference order
+            self.w(ind, f"cy += {self.flit(cost)}")
+
+        if isinstance(inst, BinOp):
+            self._emit_binop_like(inst, ind, self.name(inst), inst.op,
+                                  inst.operands[0], inst.operands[1])
+        elif isinstance(inst, Cmp):
+            d = self.name(inst)
+            a, b = self.expr(inst.operands[0]), self.expr(inst.operands[1])
+            self.w(ind, f"{d} = {a} {_CMP_SYM[inst.rel]} {b}")
+        elif isinstance(inst, UnOp):
+            d = self.name(inst)
+            a = self.expr(inst.operands[0])
+            if inst.op == "neg":
+                self.w(ind, f"{d} = -{a}")
+            elif inst.op == "not":
+                self.w(ind, f"{d} = not {a}")
+            elif inst.op == "abs":
+                self.w(ind, f"{d} = abs({a})")
+            else:
+                f = self.hoist(f"F_{inst.op}", _UN_IMPL[inst.op])
+                self.w(ind, f"{d} = {f}({a})")
+        elif isinstance(inst, Select):
+            d = self.name(inst)
+            c = self.expr(inst.cond)
+            t, f = self.expr(inst.true_value), self.expr(inst.false_value)
+            self.w(ind, f"{d} = {t} if {c} else {f}")
+        elif isinstance(inst, Cast):
+            self._emit_cast(inst, ind)
+        elif isinstance(inst, PtrAdd):
+            d = self.name(inst)
+            a = self.expr(inst.base, wrap="int")
+            b = self.expr(inst.index, wrap="int")
+            self.w(ind, f"{d} = {a} + {b}")
+        elif isinstance(inst, Load):
+            d = self.name(inst)
+            t = self.tmp()
+            self.w(ind, f"{t} = {self.expr(inst.pointer, wrap='int')}")
+            self.w(ind, f"if {t} < {NULL_PAGE} or {t} >= {self.nx}:")
+            self.w(ind + 1,
+                   f"raise E('access to unallocated address %d' % {t})")
+            self.w(ind, f"{d} = AI({t}) if not EXO else ML({t})")
+        elif isinstance(inst, Store):
+            tp, tv = self.tmp(), self.tmp()
+            self.w(ind, f"{tp} = {self.expr(inst.pointer, wrap='int')}")
+            self.w(ind, f"{tv} = {self.expr(inst.value)}")
+            self.w(ind, f"if {tp} < {NULL_PAGE} or {tp} >= {self.nx}:")
+            self.w(ind + 1,
+                   f"raise E('access to unallocated address %d' % {tp})")
+            self.w(ind, f"if type({tv}) is float and not EXO:")
+            self.w(ind + 1, f"ARR[{tp}] = {tv}")
+            self.w(ind, "else:")
+            self.w(ind + 1, f"MS({tp}, {tv})")
+        elif isinstance(inst, Alloca):
+            d = self.name(inst)
+            self.w(ind, f"{d} = M.alloc({inst.size}, {inst.name!r})")
+        elif isinstance(inst, Call):
+            d = self.name(inst)
+            tf = self.tmp()
+            self.w(ind, f"{tf} = EXT.get({inst.callee!r})")
+            self.w(ind, f"if {tf} is None:")
+            m = f"no external function {inst.callee!r}"
+            self.w(ind + 1, f"raise IE({m!r})")
+            args = ", ".join(self.expr(o) for o in inst.operands)
+            self.w(ind, f"{d} = {tf}(EX, M, [{args}])")
+        elif isinstance(inst, Phi):
+            self._emit_phi(inst, ind)
+        elif isinstance(inst, Mu):
+            raise InterpreterError("mu compiled outside loop header")
+        elif isinstance(inst, Eta):
+            self.w(ind, f"{self.name(inst)} = {self.expr(inst.inner)}")
+        elif isinstance(inst, VecLoad):
+            d = self.name(inst)
+            n = inst.access_slots
+            if self._np_slab and n > 0:
+                t = self.tmp()
+                self.w(ind, f"{t} = {self.expr(inst.pointer, wrap='int')}")
+                self._emit_block_check(t, n, ind)
+                self.w(ind, f"{d} = ARR[{t}:{t}+{n}].tolist() "
+                            f"if not EXO else LV({t}, {n})")
+            else:
+                self.w(ind, f"{d} = LV({self.expr(inst.pointer)}, {n})")
+        elif isinstance(inst, VecStore):
+            n = inst.access_slots
+            if self._np_slab and n > 0:
+                t, tv = self.tmp(), self.tmp()
+                self.w(ind, f"{t} = {self.expr(inst.pointer, wrap='int')}")
+                self.w(ind, f"{tv} = {self.expr(inst.value)}")
+                self._emit_block_check(t, n, ind)
+                lanes = " and ".join(
+                    f"type({tv}[{k}]) is float" for k in range(n)
+                )
+                self.w(ind, f"if not EXO and {lanes}:")
+                self.w(ind + 1, f"ARR[{t}:{t}+{n}] = {tv}")
+                self.w(ind, "else:")
+                self.w(ind + 1, f"SV({t}, {tv})")
+            else:
+                p, v = self.expr(inst.pointer), self.expr(inst.value)
+                self.w(ind, f"SV({p}, {v})")
+        elif isinstance(inst, (VecBin, VecCmp)):
+            d = self.name(inst)
+            a, b = self.expr(inst.operands[0]), self.expr(inst.operands[1])
+            if isinstance(inst, VecCmp):
+                e = f"x {_CMP_SYM[inst.rel]} y"
+            else:
+                e = self._lane_binexpr(inst.op, "x", "y")
+            self.w(ind, f"{d} = [{e} for x, y in zip({a}, {b})]")
+        elif isinstance(inst, VecUn):
+            d = self.name(inst)
+            a = self.expr(inst.operands[0])
+            if inst.op == "neg":
+                e = "-x"
+            elif inst.op == "not":
+                e = "not x"
+            elif inst.op == "abs":
+                e = "abs(x)"
+            else:
+                f = self.hoist(f"F_{inst.op}", _UN_IMPL[inst.op])
+                e = f"{f}(x)"
+            self.w(ind, f"{d} = [{e} for x in {a}]")
+        elif isinstance(inst, VecSelect):
+            d = self.name(inst)
+            m_ = self.expr(inst.operands[0])
+            t_ = self.expr(inst.operands[1])
+            f_ = self.expr(inst.operands[2])
+            self.w(ind, f"{d} = [t if m else f "
+                        f"for m, t, f in zip({m_}, {t_}, {f_})]")
+        elif isinstance(inst, BuildVector):
+            d = self.name(inst)
+            lanes = ", ".join(self.expr(o) for o in inst.operands)
+            self.w(ind, f"{d} = [{lanes}]")
+        elif isinstance(inst, ExtractLane):
+            d = self.name(inst)
+            self.w(ind, f"{d} = {self.expr(inst.operands[0])}[{inst.lane}]")
+        elif isinstance(inst, Shuffle):
+            d = self.name(inst)
+            t = self.tmp()
+            if len(inst.operands) > 1:
+                a, b = self.expr(inst.operands[0]), self.expr(inst.operands[1])
+                self.w(ind, f"{t} = list({a}) + list({b})")
+            else:
+                self.w(ind, f"{t} = {self.expr(inst.operands[0])}")
+            picks = ", ".join(f"{t}[{j}]" for j in inst.mask)
+            self.w(ind, f"{d} = [{picks}]")
+        elif isinstance(inst, Broadcast):
+            d = self.name(inst)
+            self.w(ind,
+                   f"{d} = [{self.expr(inst.operands[0])}] * {inst.type.lanes}")
+        elif isinstance(inst, Reduce):
+            d = self.name(inst)
+            tv, ta, tx = self.tmp(), self.tmp(), self.tmp()
+            self.w(ind, f"{tv} = {self.expr(inst.operands[0])}")
+            self.w(ind, f"{ta} = {tv}[0]")
+            self.w(ind, f"for {tx} in {tv}[1:]:")
+            self.w(ind + 1, f"{ta} = {self._lane_binexpr(inst.op, ta, tx)}")
+            self.w(ind, f"{d} = {ta}")
+        else:
+            raise InterpreterError(f"cannot compile {type(inst).__name__}")
+        return cost if folded else 0.0
+
+    def _emit_block_check(self, t: str, n: int, ind: int) -> None:
+        """Same two bounds probes (and messages) as Memory.load_block."""
+        self.w(ind, f"if {t} < {NULL_PAGE} or {t} >= {self.nx}:")
+        self.w(ind + 1, f"raise E('access to unallocated address %d' % {t})")
+        if n > 1:
+            self.w(ind, f"if {t} + {n - 1} >= {self.nx}:")
+            self.w(ind + 1, "raise E('access to unallocated address %d'"
+                            f" % ({t} + {n - 1}))")
+
+    def _lane_binexpr(self, op: str, x: str, y: str) -> str:
+        """Expression applying scalar BinOp semantics to operands x, y."""
+        sym = _BIN_SYM.get(op)
+        if sym is not None:
+            return f"{x} {sym} {y}"
+        if op in ("min", "max"):
+            return f"{op}({x}, {y})"
+        if op == "div":
+            return f"_div({x}, {y})"
+        if op == "rem":
+            return f"_rem({x}, {y})"
+        isym = _INT_BIN_SYM.get(op)
+        if isym is not None:
+            return f"int({x}) {isym} int({y})"
+        f = self.hoist(f"B_{op}", _BIN_IMPL[op])
+        return f"{f}({x}, {y})"
+
+    def _emit_binop_like(self, inst, ind, d, op, va, vb) -> None:
+        isym = _INT_BIN_SYM.get(op)
+        if isym is not None:
+            a = self.expr(va, wrap="int")
+            b = self.expr(vb, wrap="int")
+            self.w(ind, f"{d} = {a} {isym} {b}")
+            return
+        a, b = self.expr(va), self.expr(vb)
+        self.w(ind, f"{d} = {self._lane_binexpr(op, a, b)}")
+
+    def _emit_cast(self, inst: Cast, ind: int) -> None:
+        d = self.name(inst)
+        ty = inst.type
+        conv = ("int" if ty.is_int() else "float" if ty.is_float()
+                else "bool" if ty.is_bool() else None)
+        src = inst.operands[0]
+        if isinstance(src, (Constant, Undef)):
+            val = 0 if isinstance(src, Undef) else src.value
+            if conv is not None:
+                val = {"int": int, "float": float, "bool": bool}[conv](val)
+            self.w(ind, f"{d} = {self.lit(val)}")
+            return
+        a = self.name(src)
+        if conv is None:
+            self.w(ind, f"{d} = {a}")
+        else:
+            self.w(ind, f"{d} = {conv}({a})")
+
+    def _emit_phi(self, inst: Phi, ind: int) -> None:
+        d = self.name(inst)
+        cases: list[tuple[object, str]] = []
+        for v, p in inst.incomings():
+            cp = self.pred(p)
+            if cp is False:
+                continue
+            cases.append((cp, self.expr(v)))
+            if cp is True:
+                break  # later incomings are unreachable
+        if not cases:
+            self.w(ind, f"{d} = 0")
+            return
+        if cases[0][0] is True:
+            self.w(ind, f"{d} = {cases[0][1]}")
+            return
+        kw = "if"
+        terminal = False
+        for cp, e in cases:
+            if cp is True:
+                self.w(ind, "else:")
+                self.w(ind + 1, f"{d} = {e}")
+                terminal = True
+                break
+            self.w(ind, f"{kw} {self.cond(cp)}:")
+            self.w(ind + 1, f"{d} = {e}")
+            kw = "elif"
+        if not terminal:
+            self.w(ind, "else:")
+            self.w(ind + 1, f"{d} = 0")
+
+    # -- top level -------------------------------------------------------
+
+    def compile(self) -> FusedProgram:
+        fn = self.fn
+        self.int_mode = self._all_integral()
+        hoist_next = not self._allocates()
+        if hoist_next:
+            self.nx = "NX"
+        arg_names = [self.name(a) for a in fn.args]
+        self._bound.update(arg_names)
+
+        top = self.new_counter()  # counter 0: the function's own scope
+        self.w(1, f"C[{top}] = 1")
+        uncond = self.emit_scope(fn, 1, top)
+        if self.int_mode and uncond:
+            self.w(1, f"cy += {int(uncond)}")
+        self._emit_return(fn.return_value)
+
+        prelude = [
+            "def run(A, M, EX, C, G):",
+            "    ARR = M._arr",
+            "    EXO = M._exo",
+            "    AI = ARR.item",
+            "    ML = M.load",
+            "    MS = M.store",
+            "    LV = M.load_block",
+            "    SV = M.store_block",
+            "    EXT = EX.externals",
+        ]
+        if hoist_next:
+            prelude.append("    NX = M._next")
+        if arg_names:
+            sep = "," if len(arg_names) == 1 else ""
+            prelude.append(f"    {', '.join(arg_names)}{sep} = A")
+        for j, g in enumerate(self._globals):
+            prelude.append(f"    {self._names[g]} = G[{j}]")
+        unbound = [n for v, n in self._names.items() if n not in self._bound]
+        for i in range(0, len(unbound), 16):
+            chunk = unbound[i : i + 16]
+            prelude.append(f"    {' = '.join(chunk)} = MISS")
+        prelude.append("    cy = 0" if self.int_mode else "    cy = 0.0")
+
+        src = "\n".join(prelude + self.body) + "\n"
+        ns: dict = {
+            "MISS": _MISSING,
+            "E": MemoryError_,
+            "IE": InterpreterError,
+            "SLE": StepLimitExceeded,
+            "_div": _div,
+            "_rem": _rem,
+        }
+        ns.update(self.consts)
+        code = compile(src, f"<fused:{fn.name}>", "exec")
+        exec(code, ns)  # noqa: S102 - generated from the checked IR above
+        return FusedProgram(
+            fn_name=fn.name,
+            run=ns["run"],
+            source=src,
+            n_counters=self._n_counters,
+            arg_count=len(fn.args),
+            globals_used=tuple(self._globals),
+            counter_table=tuple(self._table),
+            item_ids=tuple(self._ids),
+        )
+
+    def _emit_return(self, rv: Optional[Value]) -> None:
+        tail = "float(cy)" if self.int_mode else "cy"
+        if rv is None:
+            self.w(1, f"return None, {tail}")
+            return
+        if isinstance(rv, (Constant, Undef)):
+            val = 0 if isinstance(rv, Undef) else rv.value
+            self.w(1, f"return {self.lit(val)}, {tail}")
+            return
+        n = self.name(rv)
+        msg = f"value {rv.display_name()} has no binding (did it execute?)"
+        self.w(1, f"if {n} is MISS:")
+        self.w(2, f"raise IE({msg!r})")
+        self.w(1, f"return {n}, {tail}")
+
+
+# ---------------------------------------------------------------------------
+# Fuse cache and executor
+# ---------------------------------------------------------------------------
+
+_FUSE_CACHE: "WeakKeyDictionary[Function, dict]" = WeakKeyDictionary()
+
+
+def fuse_function(
+    fn: Function,
+    cost_model: Optional[CostModel] = None,
+    max_steps: int = 200_000_000,
+) -> FusedProgram:
+    """Translate ``fn`` into a :class:`FusedProgram` (cached).
+
+    Weak on the function, keyed by cost model identity and step limit —
+    the same compile-once/run-many contract as the compiled tier.
+    Functions must not be mutated after their first fused execution.
+    """
+    cm = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    per_fn = _FUSE_CACHE.get(fn)
+    if per_fn is None:
+        per_fn = _FUSE_CACHE[fn] = {}
+    key = (id(cm), max_steps)
+    prog = per_fn.get(key)
+    if prog is None:
+        prog = per_fn[key] = _FusedCompiler(fn, cm, max_steps).compile()
+    return prog
+
+
+def clear_fuse_cache() -> None:
+    _FUSE_CACHE.clear()
+
+
+class FusedExecutor:
+    """Drop-in executor running superblock-fused code.
+
+    Same constructor and :meth:`run` contract as the other two backends;
+    bit-identical cycles, counters, memory effects, checksums, and return
+    values by construction and by the three-way differential suite.  The
+    step limit bounds loop iterations, like the compiled tier.
+    """
+
+    def __init__(
+        self,
+        module: Optional[Module] = None,
+        memory: Optional[Memory] = None,
+        cost_model: Optional[CostModel] = None,
+        externals: Optional[dict] = None,
+        max_steps: int = 200_000_000,
+    ):
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.externals = _default_externals()
+        if externals:
+            self.externals.update(externals)
+        self.max_steps = max_steps
+        self.global_bases: dict[GlobalArray, int] = {}
+        if module is not None:
+            for g in module.globals.values():
+                self.global_bases[g] = self.memory.alloc(g.size, g.name)
+
+    def global_base(self, name: str) -> int:
+        assert self.module is not None
+        return self.global_bases[self.module.globals[name]]
+
+    def run(self, fn: Function | str, args: Sequence = ()) -> ExecutionResult:
+        if isinstance(fn, str):
+            assert self.module is not None
+            fn = self.module.functions[fn]
+        prog = fuse_function(fn, self.cost_model, self.max_steps)
+        if len(args) != prog.arg_count:
+            raise InterpreterError(
+                f"{fn.name} expects {prog.arg_count} args, got {len(args)}"
+            )
+        G = []
+        for g in prog.globals_used:
+            base = self.global_bases.get(g)
+            if base is None:
+                raise InterpreterError(f"global {g.name} not allocated")
+            G.append(base)
+        C = [0] * prog.n_counters
+        ret, cy = prog.run(tuple(args), self.memory, self, C, G)
+        profile = None
+        if get_context().enabled:
+            from repro.diag.profile import build_profile
+
+            counts, iters = prog.profile_counts(C)
+            profile = build_profile(fn, counts, iters, self.cost_model)
+        return ExecutionResult(ret, cy, prog.make_counters(C), self.memory,
+                               profile)
+
+
+BACKENDS["fused"] = FusedExecutor
+
+
+__all__ = [
+    "FusedExecutor",
+    "FusedProgram",
+    "clear_fuse_cache",
+    "fuse_function",
+]

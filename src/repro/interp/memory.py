@@ -6,11 +6,43 @@ views.  This is essential: the whole point of run-time versioning checks is
 that aliasing is a dynamic property, and the experiments (e.g. PolyBench
 with ``restrict`` disabled, the s258 parameter-array variant) pass
 overlapping and non-overlapping pointers to the same compiled code.
+
+The slab is a flat NumPy ``float64`` array when NumPy is available (a
+plain Python list otherwise — same API, same semantics), which makes the
+block transfers behind vector loads/stores and workload initialization
+single slice operations.  Exactness is preserved by an *overlay*: any
+value that is not a plain Python ``float`` (ints, bools, or anything an
+external function stores) lives in a sparse ``{addr: object}`` dict and
+is returned on load exactly as it was stored, so integer semantics
+(C-style truncating division, bit ops) survive a memory round trip on
+every backend.
+
+Addresses below :data:`NULL_PAGE` are a reserved null page: allocation
+starts at 16 and any load or store below the first allocation raises
+:class:`MemoryError_` instead of silently reading 0.0, so null-pointer
+dereferences fail loudly.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
+
+try:  # the slab is numpy-backed when available; the fallback is identical
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+#: first valid slot address; 0..15 form the reserved null page
+NULL_PAGE = 16
+
+_ABSENT = object()
+
+
+class _PySlab(list):
+    """Pure-Python stand-in for the NumPy slab (numpy-less installs)."""
+
+    def item(self, i):
+        return self[i]
 
 
 class MemoryError_(Exception):
@@ -18,11 +50,23 @@ class MemoryError_(Exception):
 
 
 class Memory:
-    """A flat array of numeric slots with a bump allocator."""
+    """A flat array of numeric slots with a bump allocator.
+
+    Internals (relied on by the compiled/fused backends' inlined access
+    paths, so they are stable attributes rather than private details):
+
+    * ``_arr``  — the float64 slab; ``_arr.item(a)`` yields a plain float
+    * ``_exo``  — the non-float overlay dict (never rebound, only mutated)
+    * ``_next`` — the bump-allocation high-water mark
+    """
 
     def __init__(self, size: int = 1 << 20):
-        self._slots: list[float] = [0.0] * size
-        self._next = 16  # keep low addresses unused so 0 is a safe "null"
+        if _np is not None:
+            self._arr = _np.zeros(size, dtype=_np.float64)
+        else:
+            self._arr = _PySlab([0.0] * size)
+        self._exo: dict = {}
+        self._next = NULL_PAGE  # low addresses reserved so 0 is "null"
         self.size = size
 
     # -- allocation ---------------------------------------------------------
@@ -46,30 +90,61 @@ class Memory:
     # -- access -------------------------------------------------------------
 
     def _check(self, addr: int) -> None:
-        if not (0 <= addr < self._next):
+        if not (NULL_PAGE <= addr < self._next):
             raise MemoryError_(f"access to unallocated address {addr}")
 
     def load(self, addr: int):
         addr = int(addr)
         self._check(addr)
-        return self._slots[addr]
+        if self._exo:
+            v = self._exo.get(addr, _ABSENT)
+            if v is not _ABSENT:
+                return v
+        return self._arr.item(addr)
 
     def store(self, addr: int, value) -> None:
         addr = int(addr)
         self._check(addr)
-        self._slots[addr] = value
+        if type(value) is float:
+            self._arr[addr] = value
+            if self._exo:
+                self._exo.pop(addr, None)
+        else:
+            self._exo[addr] = value
 
     def load_block(self, addr: int, n: int) -> list:
         addr = int(addr)
         self._check(addr)
-        self._check(addr + n - 1)
-        return self._slots[addr : addr + n]
+        if n > 0:
+            self._check(addr + n - 1)
+        out = self._arr[addr : addr + n]
+        if type(out) is not list:
+            out = out.tolist()
+        if self._exo:
+            for k, v in self._exo.items():
+                if addr <= k < addr + n:
+                    out[k - addr] = v
+        return out
 
     def store_block(self, addr: int, values: Sequence) -> None:
         addr = int(addr)
+        vals = list(values)
+        n = len(vals)
         self._check(addr)
-        self._check(addr + len(values) - 1)
-        self._slots[addr : addr + len(values)] = list(values)
+        if n > 0:
+            self._check(addr + n - 1)
+        if all(type(v) is float for v in vals):
+            self._arr[addr : addr + n] = vals
+            if self._exo:
+                for k in [k for k in self._exo if addr <= k < addr + n]:
+                    del self._exo[k]
+        else:
+            for i, v in enumerate(vals):
+                if type(v) is float:
+                    self._arr[addr + i] = v
+                    self._exo.pop(addr + i, None)
+                else:
+                    self._exo[addr + i] = v
 
     # -- bulk helpers for workloads ----------------------------------------
 
@@ -81,4 +156,4 @@ class Memory:
         return self.load_block(base, n)
 
 
-__all__ = ["Memory", "MemoryError_"]
+__all__ = ["Memory", "MemoryError_", "NULL_PAGE"]

@@ -2,24 +2,30 @@
 
 A :class:`Workload` is a mini-C kernel plus an input specification.  The
 harness compiles it under a chosen pipeline, executes it on one of the
-execution backends (the reference tree-walking interpreter or the
-closure-compiled backend — bit-identical cycles and counters, see
-:mod:`repro.interp.compile`), checksums the output arrays (so every
+execution backends (the reference tree-walking interpreter, the
+closure-compiled backend, or the superblock-fused backend — all three
+charge bit-identical cycles and counters, see :mod:`repro.interp.compile`
+and :mod:`repro.interp.fuse`), checksums the output arrays (so every
 configuration is verified against the O0 reference before its cycles
 count), and reports the deterministic cycle counts that stand in for the
 paper's wall-clock medians.
 
-Two caches keep repeated measurement cheap:
+Three caches keep repeated measurement cheap:
 
 * a **build cache** keyed by source and pipeline configuration, so the
   same workload built at the same (level, restrict, vl, rle) point is
   compiled and optimized once and executed many times — this is what
-  makes the compiled backend's compile-once/run-many pay off across the
-  restrict/vl/rle sweeps the benchmarks perform;
+  makes the compiled/fused backends' compile-once/run-many pay off
+  across the restrict/vl/rle sweeps the benchmarks perform;
+* a **run cache** memoizing whole :class:`RunResult` objects per
+  configuration (execution is deterministic);
 * a **reference cache** in :func:`verified_run`, so the O0 reference for
   a workload is compiled and run once per ``honor_restrict`` setting
   rather than once per configuration under test.
 
+All three are LRU-bounded (long fuzz and benchmark sweeps would
+otherwise grow them without bound); ``REPRO_CACHE_CAP`` sets the
+per-cache entry cap (default 256, ``0`` disables caching entirely).
 ``clear_reference_cache()`` / ``clear_build_cache()`` reset them (tests
 use this to isolate cache behavior).
 """
@@ -28,6 +34,7 @@ from __future__ import annotations
 
 import math
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -118,7 +125,7 @@ class ChecksumMismatch(AssertionError):
 
 # -- backend selection -------------------------------------------------------
 
-DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "compiled")
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "fused")
 
 
 def set_default_backend(name: str) -> None:
@@ -145,9 +152,53 @@ def get_default_backend() -> str:
 
 # -- build + reference caches ------------------------------------------------
 
-_BUILD_CACHE: dict = {}
-_REFERENCE_CACHE: dict = {}
-_RUN_CACHE: dict = {}
+
+def _cache_cap() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_CACHE_CAP", "256")))
+    except ValueError:
+        return 256
+
+
+class _LRUCache:
+    """A dict-like memo bounded to ``cap`` entries, evicting least
+    recently used.  ``cap=0`` disables storage (every lookup misses)."""
+
+    def __init__(self, cap: Optional[int] = None):
+        self._cap = _cache_cap() if cap is None else cap
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get(self, key, default=None):
+        hit = self._data.get(key, _LRU_ABSENT)
+        if hit is _LRU_ABSENT:
+            return default
+        self._data.move_to_end(key)
+        return hit
+
+    def __setitem__(self, key, value) -> None:
+        if self._cap <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self._cap:
+            self._data.popitem(last=False)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+_LRU_ABSENT = object()
+
+_BUILD_CACHE = _LRUCache()
+_REFERENCE_CACHE = _LRUCache()
+_RUN_CACHE = _LRUCache()
 
 
 def _data_signature(workload: Workload) -> tuple:
@@ -212,8 +263,9 @@ def execute(module, workload: Workload, stats: Optional[PipelineStats] = None,
     """Run ``workload`` on a built module and checksum the outputs.
 
     ``backend`` picks the executor: ``"reference"`` (tree-walking
-    interpreter) or ``"compiled"`` (closure-compiled, the default for
-    measurement).  Both charge identical cycles and counters.
+    interpreter), ``"compiled"`` (closure-compiled), or ``"fused"``
+    (superblock-fused, the default for measurement).  All three charge
+    identical cycles and counters.
 
     ``capture_arrays=True`` additionally snapshots every ``ArrayArg``'s
     final contents into ``RunResult.arrays`` — the differential fuzz

@@ -79,6 +79,22 @@ def speedup_table(
     return format_table([kernel_header, *series], body)
 
 
+def backend_geomean_table(
+    speedups: Mapping[str, float],
+    order: Sequence[str] = ("reference", "compiled", "fused"),
+) -> str:
+    """Per-backend geomean summary (execute-phase speedup over reference).
+
+    ``speedups`` maps backend name to its geomean speedup factor; the
+    table lists backends in ``order`` followed by any extras, so a new
+    registry entry shows up without touching the benchmarks.
+    """
+    names = [n for n in order if n in speedups]
+    names += [n for n in sorted(speedups) if n not in names]
+    rows = [(n, f"{speedups[n]:.2f}x") for n in names]
+    return format_table(["backend", "geomean exec speedup"], rows)
+
+
 def counters_report(counters, title: str = "", top: Optional[int] = None) -> str:
     """Human-readable dynamic-counter summary with the by-opcode breakdown.
 
@@ -105,4 +121,7 @@ def counters_report(counters, title: str = "", top: Optional[int] = None) -> str
     return "\n".join(lines)
 
 
-__all__ = ["counters_report", "format_table", "geomean", "speedup_table"]
+__all__ = [
+    "backend_geomean_table", "counters_report", "format_table", "geomean",
+    "speedup_table",
+]

@@ -1,74 +1,98 @@
-"""Differential tests: the compiled backend is bit-identical to the reference.
+"""Differential tests: every fast backend is bit-identical to the reference.
 
-Every workload suite is built once per pipeline level and executed on
-both backends against the *same* module object; return value, checksum,
-cycle count, and every dynamic counter (including the per-opcode
-breakdown) must match exactly — no tolerances.  This is the contract
-that lets the measurement harness default to the compiled executor while
-the tree-walking interpreter stays the semantics of record.
+Every workload suite is built once per pipeline configuration and
+executed on all three backends against the *same* module object; return
+value, checksum, cycle count, and every dynamic counter (including the
+per-opcode breakdown) must match exactly — no tolerances.  This is the
+contract that lets the measurement harness default to the fused executor
+while the tree-walking interpreter stays the semantics of record.
+
+The matrix: each suite runs at every optimization level, with the
+vectorizing levels additionally swept across VL in {2, 4, 8}, and each
+point checked for both ``compiled`` and ``fused`` against ``reference``.
+A fused-backend replay of the pinned fuzz corpus rides along.
 """
+
+from pathlib import Path
 
 import pytest
 
+from repro.fuzz.corpus import load_entry
+from repro.fuzz.oracle import Config, check_kernel, default_configs
 from repro.interp import (
     BACKENDS,
     CompiledExecutor,
+    FusedExecutor,
     Interpreter,
     StepLimitExceeded,
     clear_compile_cache,
+    clear_fuse_cache,
     compile_function,
+    fuse_function,
 )
 from repro.interp.compile import CompiledProgram
+from repro.interp.fuse import FusedProgram
 from repro.perf import measure
 from repro.workloads import polybench, speclike, tsvc
 
-LEVELS = ["O0", "O3", "supervec", "supervec+v"]
+JIT_BACKENDS = ["compiled", "fused"]
+
+# scalar levels once at the default VL; vectorizing levels across VLs
+CONFIGS = [("O0", 4), ("O3", 4)] + [
+    (level, vl)
+    for level in ("supervec", "supervec+v")
+    for vl in (2, 4, 8)
+]
+CONFIG_IDS = [f"{level}-vl{vl}" for level, vl in CONFIGS]
 
 POLYBENCH = polybench.workloads()
 TSVC = tsvc.workloads()
 SPECLIKE = speclike.workloads()
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
 
 
 def _ids(ws):
     return [w.name for w in ws]
 
 
-def assert_backends_agree(workload, level, honor_restrict=True, rle=False):
-    """Build once, run on both backends, demand exact equality."""
+def assert_backends_agree(workload, level, vl=4, honor_restrict=True,
+                          rle=False, backends=JIT_BACKENDS):
+    """Build once, run reference + every fast backend, demand equality."""
     module, stats = measure.build(
-        workload, level, honor_restrict=honor_restrict, rle=rle, use_cache=True
+        workload, level, honor_restrict=honor_restrict, vl=vl, rle=rle,
+        use_cache=True,
     )
     ref = measure.execute(module, workload, stats, backend="reference")
-    got = measure.execute(module, workload, stats, backend="compiled")
-    assert got.return_value == ref.return_value
-    assert got.checksum == ref.checksum, (
-        f"{workload.name} @ {level}: checksum drift"
-    )
-    assert got.cycles == ref.cycles, (
-        f"{workload.name} @ {level}: cycle drift "
-        f"{got.cycles!r} != {ref.cycles!r}"
-    )
-    assert got.counters.as_dict() == ref.counters.as_dict(), (
-        f"{workload.name} @ {level}: counter drift"
-    )
+    for backend in backends:
+        got = measure.execute(module, workload, stats, backend=backend)
+        where = f"{workload.name} @ {level} vl={vl} [{backend}]"
+        assert got.return_value == ref.return_value, f"{where}: return drift"
+        assert got.checksum == ref.checksum, f"{where}: checksum drift"
+        assert got.cycles == ref.cycles, (
+            f"{where}: cycle drift {got.cycles!r} != {ref.cycles!r}"
+        )
+        assert got.counters.as_dict() == ref.counters.as_dict(), (
+            f"{where}: counter drift"
+        )
 
 
-@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("level,vl", CONFIGS, ids=CONFIG_IDS)
 @pytest.mark.parametrize("workload", POLYBENCH, ids=_ids(POLYBENCH))
-def test_polybench_identical(workload, level):
-    assert_backends_agree(workload, level)
+def test_polybench_identical(workload, level, vl):
+    assert_backends_agree(workload, level, vl=vl)
 
 
-@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("level,vl", CONFIGS, ids=CONFIG_IDS)
 @pytest.mark.parametrize("workload", TSVC, ids=_ids(TSVC))
-def test_tsvc_identical(workload, level):
-    assert_backends_agree(workload, level)
+def test_tsvc_identical(workload, level, vl):
+    assert_backends_agree(workload, level, vl=vl)
 
 
-@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("level,vl", CONFIGS, ids=CONFIG_IDS)
 @pytest.mark.parametrize("workload", SPECLIKE, ids=_ids(SPECLIKE))
-def test_speclike_identical(workload, level):
-    assert_backends_agree(workload, level)
+def test_speclike_identical(workload, level, vl):
+    assert_backends_agree(workload, level, vl=vl)
 
 
 @pytest.mark.parametrize("workload", POLYBENCH[:5], ids=_ids(POLYBENCH[:5]))
@@ -90,7 +114,30 @@ def test_s258_variants_identical():
             assert_backends_agree(w, level)
 
 
-# -- compile cache -----------------------------------------------------------
+# -- fused corpus replay -----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "path", sorted(CORPUS_DIR.glob("*.json")), ids=lambda p: p.stem
+)
+def test_fused_corpus_replay(path):
+    """Every pinned corpus entry reproduces its recorded outcome when all
+    oracle configurations execute on the fused backend."""
+    entry = load_entry(path)
+    spec = entry.spec()
+    cfgs = [
+        Config(c.level, c.honor_restrict, c.vl, c.rle, backend="fused")
+        for c in default_configs(spec.has_restrict)
+    ]
+    report = check_kernel(spec, bug=entry.bug, configs=cfgs)
+    if entry.expect == "pass":
+        assert report.ok, [str(m) for m in report.mismatches]
+    else:
+        assert not report.ok, f"{path}: expected failure did not reproduce"
+        assert "parse" not in report.kinds()
+
+
+# -- translation caches ------------------------------------------------------
 
 
 def test_compile_cache_reuses_programs():
@@ -105,15 +152,39 @@ def test_compile_cache_reuses_programs():
     assert isinstance(p3, CompiledProgram)
 
 
+def test_fuse_cache_reuses_programs():
+    module, _ = measure.build(POLYBENCH[0], "O3", use_cache=False)
+    fn = module.functions[POLYBENCH[0].entry]
+    p1 = fuse_function(fn)
+    p2 = fuse_function(fn)
+    assert p1 is p2, "same function + cost model must hit the fuse cache"
+    clear_fuse_cache()
+    p3 = fuse_function(fn)
+    assert p3 is not p1
+    assert isinstance(p3, FusedProgram)
+
+
+def test_fused_program_is_straight_line_source():
+    """The fused tier really is one generated function per IR function:
+    the source is kept for inspection and contains the fused loops."""
+    module, _ = measure.build(POLYBENCH[0], "supervec+v", use_cache=False)
+    fn = module.functions[POLYBENCH[0].entry]
+    prog = fuse_function(fn)
+    assert prog.source.startswith("def run(")
+    assert "while True:" in prog.source  # loops are native, not closures
+    assert prog.run.__code__.co_filename == f"<fused:{fn.name}>"
+
+
 def test_compiled_executor_shares_programs_across_instances():
     """compile-once/run-many: two executors over one module reuse the
     compiled program, and repeated runs agree with themselves."""
     w = POLYBENCH[0]
     module, _ = measure.build(w, "supervec+v", use_cache=False)
-    r1 = measure.execute(module, w, backend="compiled")
-    r2 = measure.execute(module, w, backend="compiled")
-    assert r1.cycles == r2.cycles
-    assert r1.checksum == r2.checksum
+    for backend in JIT_BACKENDS:
+        r1 = measure.execute(module, w, backend=backend)
+        r2 = measure.execute(module, w, backend=backend)
+        assert r1.cycles == r2.cycles
+        assert r1.checksum == r2.checksum
 
 
 # -- harness-level behavior --------------------------------------------------
@@ -131,6 +202,7 @@ def test_unknown_backend_rejected():
 def test_backend_registry_complete():
     assert BACKENDS["reference"] is Interpreter
     assert BACKENDS["compiled"] is CompiledExecutor
+    assert BACKENDS["fused"] is FusedExecutor
 
 
 def test_reference_cache_hit_and_clear():
@@ -154,6 +226,34 @@ def test_reference_cache_keyed_by_input_data():
     measure.verified_run(a, "supervec+v")
     measure.verified_run(b, "supervec+v")
     assert len(measure._REFERENCE_CACHE) == 2
+
+
+def test_lru_cache_evicts_least_recently_used():
+    cache = measure._LRUCache(cap=2)
+    cache["a"] = 1
+    cache["b"] = 2
+    assert cache.get("a") == 1  # touch a -> b is now least recent
+    cache["c"] = 3
+    assert len(cache) == 2
+    assert cache.get("b") is None, "LRU entry must be evicted at the cap"
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_lru_cache_cap_zero_disables_storage():
+    cache = measure._LRUCache(cap=0)
+    cache["a"] = 1
+    assert len(cache) == 0 and cache.get("a") is None
+
+
+def test_cache_cap_env_var(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_CAP", "7")
+    assert measure._cache_cap() == 7
+    monkeypatch.setenv("REPRO_CACHE_CAP", "not-a-number")
+    assert measure._cache_cap() == 256
+    monkeypatch.delenv("REPRO_CACHE_CAP")
+    assert measure._cache_cap() == 256
 
 
 def test_externals_bypass_run_cache():
@@ -183,7 +283,9 @@ def test_externals_bypass_run_cache():
 # -- step limit --------------------------------------------------------------
 
 
-def test_compiled_step_limit():
+@pytest.mark.parametrize("executor_cls", [CompiledExecutor, FusedExecutor],
+                         ids=["compiled", "fused"])
+def test_jit_step_limit(executor_cls):
     """A runaway loop is bounded by the same max_steps knob."""
     from repro.frontend import compile_c
 
@@ -197,7 +299,7 @@ def test_compiled_step_limit():
     }
     """
     module = compile_c(src, name="runaway")
-    ex = CompiledExecutor(module, max_steps=100)
+    ex = executor_cls(module, max_steps=100)
     base = ex.memory.alloc(4)
     with pytest.raises(StepLimitExceeded):
         ex.run(module.functions["kernel"], [base, 10])

@@ -67,6 +67,54 @@ class TestMemory:
         mem.store(b, 42.0)
         assert mem.load(a + 8) == 42.0
 
+    def test_null_page_rejected(self):
+        """Addresses 0–15 are the reserved null page: dereferencing them
+        must fail loudly, never silently read 0.0."""
+        from repro.interp.memory import NULL_PAGE
+
+        mem = Memory(128)
+        mem.alloc(16)
+        for addr in (0, 1, NULL_PAGE - 1):
+            with pytest.raises(MemoryError_, match="unallocated"):
+                mem.load(addr)
+            with pytest.raises(MemoryError_, match="unallocated"):
+                mem.store(addr, 1.0)
+        with pytest.raises(MemoryError_, match="unallocated"):
+            mem.load_block(0, 4)
+
+    def test_first_allocation_starts_past_null_page(self):
+        from repro.interp.memory import NULL_PAGE
+
+        mem = Memory(128)
+        assert mem.alloc(4) == NULL_PAGE
+
+    def test_non_float_values_round_trip_exactly(self):
+        """Ints (and anything not a plain float) survive a memory round
+        trip bit-exactly via the overlay — integer semantics (truncating
+        division, bit ops) depend on this on every backend."""
+        mem = Memory(128)
+        a = mem.alloc(8)
+        mem.store(a, 7)
+        assert mem.load(a) == 7 and type(mem.load(a)) is int
+        mem.store(a, True)
+        assert mem.load(a) is True
+        mem.store(a, 2.5)  # a float store purges the overlay slot
+        assert type(mem.load(a)) is float
+        mem.store_block(a, [1, 2.0, 3])
+        out = mem.load_block(a, 3)
+        assert out == [1, 2.0, 3]
+        assert [type(v) for v in out] == [int, float, int]
+
+    def test_float_loads_return_plain_python_floats(self):
+        """The NumPy slab must not leak np.float64 into execution (its
+        division/NaN semantics differ from Python floats)."""
+        mem = Memory(128)
+        a = mem.alloc(4)
+        mem.store(a, 1.5)
+        assert type(mem.load(a)) is float
+        mem.store_block(a, [1.0, 2.0])
+        assert all(type(v) is float for v in mem.load_block(a, 2))
+
 
 class TestScalarExecution:
     def test_store_then_load(self):
