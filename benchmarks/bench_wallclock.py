@@ -17,13 +17,21 @@ per-backend geomean table (each backend's execute-phase speedup over the
 reference), and the aggregate dynamic-counter profile (including the
 per-opcode breakdown) of the kernel set.
 
+A second tier times the *build side* (``BENCH_build.json``): per-kernel
+cold builds (front end + pipeline, no caches) against the pinned
+pre-incrementalization baseline, a parallel cache-populate pass
+(``repro.perf.batch`` with ``-j``), and warm builds served from the
+persistent disk cache (``REPRO_CACHE_DIR``) — verifying per kernel that
+the warm artifact prints identical IR and executes to identical cycles.
+
 Run standalone (``python bench_wallclock.py``) or under pytest, where
-the compiled ≥3x and fused ≥2x-over-compiled execute-phase speedups are
-asserted.
+the compiled ≥3x and fused ≥2x-over-compiled execute-phase speedups —
+and the ≥2x cold / ≥10x warm build speedups — are asserted.
 """
 
 import json
 import os
+import tempfile
 import time
 
 from repro.interp import (
@@ -45,6 +53,19 @@ from repro.workloads import polybench
 LEVEL = "supervec+v"
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_interp.json")
+BUILD_JSON_PATH = os.path.join(REPO_ROOT, "BENCH_build.json")
+
+#: Cold-build seconds (best-of-5, supervec+v) measured at the last
+#: commit before the incremental-analysis work landed — the fixed
+#: baseline the build tier's speedups are computed against.
+BASELINE_BUILD_S = {
+    "gemm": 0.014860, "2mm": 0.014677, "3mm": 0.022012,
+    "syrk": 0.016804, "gemver": 0.025349, "atax": 0.017949,
+    "bicg": 0.026299, "mvt": 0.006913, "gesummv": 0.020312,
+    "jacobi-1d": 0.022907, "jacobi-2d": 0.062965, "trisolv": 0.005014,
+    "floyd-warshall": 0.050477, "lu": 0.009220, "ludcmp": 0.016511,
+    "correlation": 0.034634, "covariance": 0.022076,
+}
 
 
 def _best_of(f, n=3):
@@ -182,6 +203,165 @@ def render(payload) -> str:
     )
 
 
+# ---------------------------------------------------------------------------
+# Build-side tier: cold pipeline vs persistent disk cache (BENCH_build.json)
+# ---------------------------------------------------------------------------
+
+
+def _exec_fingerprint(module, workload, stats):
+    res = measure.execute(module, workload, stats)
+    return res.cycles, res.checksum, res.counters.as_dict()
+
+
+def run_build_bench(jobs: int = 2, runs: int = 5):
+    """Time cold builds, cache stores, warm (disk-cache hit) builds, and
+    a parallel batch-build pass; verify warm artifacts are bit-identical.
+
+    Uses the existing ``REPRO_CACHE_DIR`` when the caller exported one
+    (CI's warm second pass — the store phase then *hits* instead of
+    storing), otherwise a private temporary directory.
+
+    Three per-kernel timings:
+
+    * ``build_cold_s``  — front end + pipeline, no caches (the number
+      the incremental-analysis work speeds up);
+    * ``store_s``       — one ``build(use_cache=True)`` against the disk
+      cache: build + pickle + fused-source dump on a miss, a hit on a
+      pre-warmed cache;
+    * ``build_warm_s``  — disk-cache hit (in-memory LRU cleared each
+      run, so the timed path is what a fresh process would pay).
+
+    The module returned by the store phase *is* the cached artifact, so
+    the warm copy is checked against it for an identical IR print and
+    identical execution (cycles, checksum, counters).
+    """
+    from repro.ir.printer import print_module
+    from repro.perf.batch import BuildSpec, build_many
+
+    own_dir = os.environ.get("REPRO_CACHE_DIR", "").strip() == ""
+    tmpdir = None
+    if own_dir:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        os.environ["REPRO_CACHE_DIR"] = tmpdir.name
+    try:
+        workloads = [f() for f in polybench.ALL]
+        records = []
+        # cold: front end + pipeline only, no caches of any kind (no
+        # other work interleaved — executions would perturb the timing)
+        for w in workloads:
+            t_cold, _ = _best_of(
+                lambda w=w: measure.build(w, LEVEL, use_cache=False), n=runs
+            )
+            records.append({"kernel": w.name, "build_cold_s": round(t_cold, 6)})
+        # store: populate the cache; the returned module is (on a miss)
+        # the very object that was pickled into the cache entry
+        stored = {}
+        for w, rec in zip(workloads, records):
+            measure.clear_build_cache()
+            t0 = time.perf_counter()
+            module, stats = measure.build(w, LEVEL, use_cache=True)
+            rec["store_s"] = round(time.perf_counter() - t0, 6)
+            stored[w.name] = (
+                print_module(module), _exec_fingerprint(module, w, stats)
+            )
+        # warm: every build served from the persistent cache
+        for w, rec in zip(workloads, records):
+            def hit(w=w):
+                measure.clear_build_cache()
+                return measure.build(w, LEVEL, use_cache=True)
+            t_warm, (module, stats) = _best_of(hit, n=runs)
+            ir, fp = stored[w.name]
+            rec["build_warm_s"] = round(t_warm, 6)
+            rec["warm_identical"] = (
+                print_module(module) == ir
+                and _exec_fingerprint(module, w, stats) == fp
+            )
+            base = BASELINE_BUILD_S[w.name]
+            rec["baseline_s"] = base
+            rec["speedup_cold"] = round(base / rec["build_cold_s"], 3)
+            rec["speedup_warm"] = round(base / rec["build_warm_s"], 3)
+        # parallel batch build (the `-j N` path): distinct cache keys
+        # (vl=8) so the workers do real builds, not hits
+        batch = [BuildSpec.of(w, LEVEL, vl=8) for w in workloads]
+        t0 = time.perf_counter()
+        build_many(batch, jobs=jobs)
+        t_batch = time.perf_counter() - t0
+        payload = {
+            "level": LEVEL,
+            "kernel_set": "fig16-polybench",
+            "cache_dir_owned": own_dir,
+            "kernels": records,
+            "geomean_cold_speedup_vs_baseline": round(
+                geomean([r["speedup_cold"] for r in records]), 3
+            ),
+            "geomean_warm_speedup_vs_baseline": round(
+                geomean([r["speedup_warm"] for r in records]), 3
+            ),
+            "geomean_warm_over_cold": round(
+                geomean(
+                    [r["build_cold_s"] / r["build_warm_s"] for r in records]
+                ), 3
+            ),
+            "all_warm_identical": all(r["warm_identical"] for r in records),
+            "batch_jobs": jobs,
+            "batch_kernels": len(batch),
+            "batch_parallel_s": round(t_batch, 6),
+        }
+        with open(BUILD_JSON_PATH, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        return payload
+    finally:
+        if tmpdir is not None:
+            os.environ["REPRO_CACHE_DIR"] = ""
+            tmpdir.cleanup()
+
+
+def render_build(payload) -> str:
+    rows = [
+        (
+            r["kernel"], r["baseline_s"] * 1e3, r["build_cold_s"] * 1e3,
+            r["store_s"] * 1e3, r["build_warm_s"] * 1e3,
+            r["speedup_cold"], r["speedup_warm"],
+        )
+        for r in payload["kernels"]
+    ]
+    table = format_table(
+        ["kernel", "baseline ms", "cold ms", "store ms", "warm ms",
+         "cold x", "warm x"],
+        rows,
+    )
+    return (
+        f"Build wall clock @ {payload['level']}\n{table}\n"
+        f"geomean cold speedup vs baseline: "
+        f"{payload['geomean_cold_speedup_vs_baseline']:.2f}x\n"
+        f"geomean warm (disk-cache) speedup: "
+        f"{payload['geomean_warm_speedup_vs_baseline']:.2f}x\n"
+        f"parallel batch (-j {payload['batch_jobs']}, "
+        f"{payload['batch_kernels']} kernels): "
+        f"{payload['batch_parallel_s'] * 1e3:.1f} ms\n"
+        f"warm artifacts bit-identical: {payload['all_warm_identical']}\n"
+        f"[written to {BUILD_JSON_PATH}]"
+    )
+
+
+def test_build_cold_2x_warm_10x():
+    payload = run_build_bench()
+    print()
+    print(render_build(payload))
+    assert payload["all_warm_identical"], (
+        "disk-cache hits must reproduce the cold build bit-for-bit"
+    )
+    assert payload["geomean_cold_speedup_vs_baseline"] >= 2.0, (
+        "cold builds must be >=2x faster than the pinned baseline, got "
+        f"{payload['geomean_cold_speedup_vs_baseline']}x"
+    )
+    assert payload["geomean_warm_speedup_vs_baseline"] >= 10.0, (
+        "disk-cache hits must be >=10x faster than the pinned baseline, "
+        f"got {payload['geomean_warm_speedup_vs_baseline']}x"
+    )
+
+
 def test_wallclock_compiled_3x():
     payload = run_wallclock()
     print()
@@ -198,3 +378,5 @@ def test_wallclock_compiled_3x():
 
 if __name__ == "__main__":
     print(render(run_wallclock()))
+    print()
+    print(render_build(run_build_bench()))

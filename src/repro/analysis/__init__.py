@@ -25,6 +25,7 @@ from .conditions import (
     make_or,
 )
 from .depgraph import DepEdge, DependenceGraph, range_of
+from .manager import ALIAS, ALL_ANALYSES, DEPGRAPH, AnalysisManager
 from .memloc import MemLoc, mem_location
 from .promote import promote_intersect, promote_intersect_ranges, promote_through_loops
 
@@ -35,6 +36,7 @@ __all__ = [
     "FALSE_COND", "TRUE_COND", "DepCond", "IntersectCond", "OrCond",
     "PredCond", "SymRange", "flatten", "make_or",
     "DepEdge", "DependenceGraph", "range_of",
+    "AnalysisManager", "ALL_ANALYSES", "ALIAS", "DEPGRAPH",
     "MemLoc", "mem_location",
     "promote_intersect", "promote_intersect_ranges", "promote_through_loops",
 ]

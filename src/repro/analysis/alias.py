@@ -78,11 +78,22 @@ class AliasAnalysis:
     # -- instruction-level ------------------------------------------------------
 
     def alias(self, i: Instruction, j: Instruction) -> AliasResult:
+        return self.alias_with_locs(i, j, mem_location(i), mem_location(j))
+
+    def alias_with_locs(
+        self,
+        i: Instruction,
+        j: Instruction,
+        li: Optional[MemLoc],
+        lj: Optional[MemLoc],
+    ) -> AliasResult:
+        """Like :meth:`alias`, with pre-computed locations — so clients
+        holding a location memo (the dependence graph builder) avoid
+        re-deriving the affine decomposition per queried pair."""
         gi = i.metadata.get(NOALIAS_GROUPS_KEY)
         gj = j.metadata.get(NOALIAS_GROUPS_KEY)
         if gi and gj and (set(gi) & set(gj)):
             return AliasResult.NO
-        li, lj = mem_location(i), mem_location(j)
         if li is None or lj is None:
             # a call: unknown location — may touch anything
             return AliasResult.MAY

@@ -129,13 +129,17 @@ class DependenceGraph:
                 self._def_item[v] = it
         self._edges: dict[tuple[int, int], DepEdge] = {}
         self._build()
+        # out-adjacency in edge insertion order; edges are never added
+        # after construction, so this is built once
+        self._out: dict[int, list[DepEdge]] = {}
+        for (si, _), e in self._edges.items():
+            self._out.setdefault(si, []).append(e)
 
     # -- public API -----------------------------------------------------------
 
     def deps(self, item: Item) -> list[DepEdge]:
         """Edges from ``item`` to everything it depends on."""
-        i = self._index[id(item)]
-        return [e for (si, _), e in self._edges.items() if si == i]
+        return list(self._out.get(self._index[id(item)], ()))
 
     def all_edges(self) -> list[DepEdge]:
         return list(self._edges.values())
@@ -153,10 +157,46 @@ class DependenceGraph:
     # -- construction ---------------------------------------------------------
 
     def _build(self) -> None:
+        """Candidate-driven construction.
+
+        Instead of evaluating the dependence condition for all
+        ``O(n^2)`` ordered pairs, discover the pairs that *can* depend:
+        use-def candidates come from looking up each used value's
+        defining item, and memory candidates pair items that touch
+        memory when at least one of the two may write.  Every other pair
+        is provably ``FALSE`` (no shared value, no write between them).
+        Edges are inserted in the same (ii ascending, jj ascending)
+        order the exhaustive scan used, so downstream consumers that
+        iterate edges in insertion order (min-cut plan inference) see an
+        identical graph.
+        """
         n = len(self.items)
+        index = self._index
+        # per-item memory summaries, computed once (not per pair)
+        self._mems = [it.mem_instructions() for it in self.items]
+        has_write = [
+            any(m.may_write() for m in mems) for mems in self._mems
+        ]
+        self._loc_memo: dict[int, object] = {}
+        self._range_memo: dict[int, Optional[SymRange]] = {}
+        self._loops_memo: dict[int, list[Loop]] = {}
+        mem_idxs: list[int] = []  # indices < ii with memory instructions
         for ii in range(n):
             i = self.items[ii]
-            for jj in range(ii):
+            cand: set[int] = set()
+            for v in self._used[id(i)]:
+                it = self._def_item.get(v)
+                if it is not None:
+                    jj = index[id(it)]
+                    if jj < ii:
+                        cand.add(jj)
+            if self._mems[ii]:
+                if has_write[ii]:
+                    cand.update(mem_idxs)
+                else:
+                    cand.update(jj for jj in mem_idxs if has_write[jj])
+                mem_idxs.append(ii)
+            for jj in sorted(cand):
                 j = self.items[jj]
                 cond = self._dep_condition(i, j)
                 if not cond.is_false():
@@ -202,9 +242,33 @@ class DependenceGraph:
 
     # -- memory edges ----------------------------------------------------------------
 
+    def _loc_of(self, inst: Instruction):
+        if id(inst) in self._loc_memo:
+            return self._loc_memo[id(inst)]
+        loc = mem_location(inst)
+        self._loc_memo[id(inst)] = loc
+        return loc
+
+    def _range_of(self, inst: Instruction) -> Optional[SymRange]:
+        if id(inst) in self._range_memo:
+            return self._range_memo[id(inst)]
+        loc = self._loc_of(inst)
+        r = None if loc is None else SymRange(
+            loc.base, loc.offset, loc.offset.add(Affine.constant(loc.size))
+        )
+        self._range_memo[id(inst)] = r
+        return r
+
+    def _loops_of(self, inst: Instruction) -> list[Loop]:
+        loops = self._loops_memo.get(id(inst))
+        if loops is None:
+            loops = _enclosing_loops(inst, self.scope)
+            self._loops_memo[id(inst)] = loops
+        return loops
+
     def _memory_cond(self, i: Item, j: Item) -> DepCond:
-        i_mems = i.mem_instructions()
-        j_mems = j.mem_instructions()
+        i_mems = self._mems[self._index[id(i)]]
+        j_mems = self._mems[self._index[id(j)]]
         if not i_mems or not j_mems:
             return FALSE_COND
         conds: list[DepCond] = []
@@ -221,7 +285,9 @@ class DependenceGraph:
     def _mem_pair_cond(
         self, mi: Instruction, mj: Instruction, top_i: Item, top_j: Item
     ) -> DepCond:
-        res = self.alias.alias(mi, mj)
+        res = self.alias.alias_with_locs(
+            mi, mj, self._loc_of(mi), self._loc_of(mj)
+        )
         if res == AliasResult.NO:
             return FALSE_COND
         same_scope = (mi is top_i) and (mj is top_j)
@@ -235,12 +301,12 @@ class DependenceGraph:
             pi, pj = mi.predicate, mj.predicate
             if pj.implies(pi) and pj != pi:
                 return PredCond(pj)
-        ri, rj = range_of(mi), range_of(mj)
+        ri, rj = self._range_of(mi), self._range_of(mj)
         if ri is None or rj is None:
             return TRUE_COND  # an opaque call: nothing to check
         if res == AliasResult.MUST and same_scope:
             return TRUE_COND
-        loops = _enclosing_loops(mi, self.scope) + _enclosing_loops(mj, self.scope)
+        loops = self._loops_of(mi) + self._loops_of(mj)
         if loops:
             promoted = promote_through_loops(ri, rj, loops)
             if promoted is None:

@@ -1,0 +1,113 @@
+"""Analysis caching with explicit invalidation (LLVM-new-PM style).
+
+Passes consume analyses (alias analysis, affine decomposition, the
+dependence graph); recomputing them from scratch at every query is the
+dominant build cost once execution is fast.  :class:`AnalysisManager`
+owns one cache per analysis kind and a per-function *epoch*:
+
+* ``alias()`` returns one shared :class:`AliasAnalysis` (stateless, so
+  it is never invalidated — passes declare it preserved);
+* ``depgraph(scope)`` caches one :class:`DependenceGraph` per
+  ``(scope, assume_independent)`` key and revalidates it against the
+  scope's current item list;
+* ``invalidate(fn, preserved={...})`` is called by every pass that
+  mutated ``fn``, dropping whatever the pass did not declare preserved
+  and bumping the function's epoch.
+
+The epoch doubles as the *clean-round* tracker the pipeline uses to
+skip whole scalar-cleanup rounds: after a round where every pass
+reported zero changes, the function is marked clean at its current
+epoch; any later invalidation clears the mark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.ir.loops import Function, ScopeMixin
+
+from .alias import AliasAnalysis
+from .depgraph import DependenceGraph
+
+#: Analysis kind names accepted in ``preserved`` sets.
+ALIAS = "alias"
+DEPGRAPH = "depgraph"
+ALL_ANALYSES = frozenset({ALIAS, DEPGRAPH})
+
+
+class AnalysisManager:
+    """Per-module analysis caches with preserved-analyses invalidation."""
+
+    def __init__(self, honor_restrict: bool = True):
+        self.honor_restrict = honor_restrict
+        self._alias: Optional[AliasAnalysis] = None
+        # (id(scope), frozenset(assume_independent)) -> graph; the scope
+        # object is kept alive through graph.scope, so ids stay unique.
+        self._graphs: dict[tuple, DependenceGraph] = {}
+        self._epoch: dict[int, int] = {}
+        self._clean: dict[int, int] = {}
+
+    # -- analyses -------------------------------------------------------------
+
+    def alias(self) -> AliasAnalysis:
+        if self._alias is None:
+            self._alias = AliasAnalysis(honor_restrict=self.honor_restrict)
+        return self._alias
+
+    def depgraph(
+        self,
+        scope: ScopeMixin,
+        assume_independent: Optional[Iterable[tuple[int, int]]] = None,
+    ) -> DependenceGraph:
+        """The dependence graph for ``scope``, rebuilt only when the
+        scope's item list changed or a pass invalidated it."""
+        assume = frozenset(assume_independent or ())
+        key = (id(scope), assume)
+        hit = self._graphs.get(key)
+        if hit is not None and hit.items == list(scope.items):
+            return hit
+        g = DependenceGraph(scope, self.alias(), assume_independent=set(assume))
+        self._graphs[key] = g
+        return g
+
+    # -- invalidation ---------------------------------------------------------
+
+    def epoch(self, fn: Function) -> int:
+        return self._epoch.get(id(fn), 0)
+
+    def invalidate(
+        self, fn: Optional[Function] = None,
+        preserved: frozenset = frozenset((ALIAS,)),
+    ) -> None:
+        """Drop cached results a mutating pass did not declare preserved.
+
+        ``fn=None`` invalidates everything.  ``AliasAnalysis`` is
+        stateless, so passes normally declare it preserved; a pass that
+        changes aliasing structure itself (materialization stamping
+        noalias groups) passes ``preserved=frozenset()``, which also
+        drops the alias instance.
+        """
+        if DEPGRAPH not in preserved:
+            self._graphs.clear()
+        if ALIAS not in preserved:
+            self._alias = None
+        if fn is not None:
+            self._epoch[id(fn)] = self._epoch.get(id(fn), 0) + 1
+            self._clean.pop(id(fn), None)
+        else:
+            for k in list(self._epoch):
+                self._epoch[k] += 1
+            self._clean.clear()
+
+    # -- clean-round tracking -------------------------------------------------
+
+    def mark_clean(self, fn: Function) -> None:
+        """Record that a full cleanup round changed nothing on ``fn``."""
+        self._clean[id(fn)] = self.epoch(fn)
+
+    def is_clean(self, fn: Function) -> bool:
+        """True when no pass has touched ``fn`` since an all-zero round."""
+        return self._clean.get(id(fn)) == self.epoch(fn)
+
+
+__all__ = ["AnalysisManager", "ALL_ANALYSES", "ALIAS", "DEPGRAPH"]

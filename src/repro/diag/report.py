@@ -127,6 +127,51 @@ def render_pass_timings(merged: DiagnosticContext) -> str:
     )
 
 
+def run_build_times(
+    workloads: list,
+    level: str,
+    honor_restrict: bool = True,
+    vl: int = 4,
+    rle: bool = False,
+) -> str:
+    """Build-only sweep: where does a cold build's wall time go?
+
+    Runs no kernels — each workload is compiled and optimized once under
+    a fresh diagnostics context, and the output is (a) the per-pass
+    wall-time table aggregated across the suite and (b) a per-workload
+    breakdown of total build seconds against the slice spent inside
+    instrumented passes (the remainder is front end, verification, and
+    pipeline glue).  Builds are cold by construction: the diagnostics
+    context disables both the in-process and the on-disk build caches.
+    """
+    import time
+
+    per: list[tuple[str, DiagnosticContext]] = []
+    rows = []
+    total_s = 0.0
+    for w in workloads:
+        with collect() as dc:
+            t0 = time.perf_counter()
+            build(w, level, honor_restrict=honor_restrict, vl=vl, rle=rle,
+                  use_cache=False)
+            secs = time.perf_counter() - t0
+        per.append((w.name, dc))
+        in_passes = sum(p.dur_us for p in dc.passes) / 1e6
+        total_s += secs
+        rows.append((w.name, secs * 1000.0, in_passes * 1000.0,
+                     100.0 * in_passes / secs if secs else 0.0))
+    merged = merge_contexts(per)
+    table = format_table(
+        ["workload", "build ms", "in passes ms", "% in passes"],
+        rows, floatfmt=".2f",
+    )
+    return "\n\n".join([
+        render_pass_timings(merged),
+        "== build times ==\n" + table +
+        f"\ntotal: {total_s * 1000.0:.2f} ms over {len(rows)} workload(s)",
+    ])
+
+
 def render_hotspots(merged: DiagnosticContext, top: int = 5) -> str:
     lines = ["== execution hot spots =="]
     for prof in merged.profiles:
@@ -244,12 +289,22 @@ def main(argv: Optional[list[str]] = None) -> int:
                      help="write a Chrome trace_event JSON file")
     rep.add_argument("--check", action="store_true",
                      help="run a one-workload smoke validation and exit")
+    rep.add_argument("--build-times", action="store_true",
+                     help="build-only sweep: per-pass wall-time table and "
+                          "per-workload build totals (no execution)")
     args = parser.parse_args(argv)
 
     if args.check:
         return run_check(backend=args.backend)
 
     workloads = suite_workloads(args.suite, args.workload)
+    if args.build_times:
+        print(run_build_times(
+            workloads, args.level,
+            honor_restrict=not args.no_restrict,
+            vl=args.vl, rle=args.rle,
+        ))
+        return 0
     per = collect_suite(
         workloads, args.level,
         honor_restrict=not args.no_restrict,
@@ -274,6 +329,7 @@ __all__ = [
     "main",
     "merge_contexts",
     "render_report",
+    "run_build_times",
     "run_check",
     "suite_workloads",
 ]

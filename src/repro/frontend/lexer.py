@@ -8,6 +8,7 @@ skipped.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 KEYWORDS = {
@@ -51,87 +52,68 @@ class LexError(Exception):
     pass
 
 
+# one compiled master pattern; per-character scanning in Python is the
+# single hottest part of a cold build's front end.  Alternative order
+# matters: comments before symbols (so ``//`` is not two divisions),
+# numbers before symbols (so ``.5`` is not a stray dot).  The number and
+# exponent shapes mirror the hand lexer exactly: digits with one
+# optional dot, an exponent only when ``e`` is followed by a digit or a
+# sign, and trailing f/F/l/L suffixes consumed but kept out of the text.
+_TOKEN_RE = re.compile(
+    r"[ \t\r\n]+"
+    r"|//[^\n]*"
+    r"|(?P<bc>/\*.*?\*/)"
+    r"|(?P<num>(?:\d+(?:\.\d*)?|\.\d+)(?:[eE](?=[0-9+-])[+-]?\d*)?)"
+    r"(?:[fFlL]*)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<sym>" + "|".join(re.escape(s) for s in SYMBOLS) + r")",
+    re.DOTALL,
+)
+
+
 def tokenize(source: str) -> list[Token]:
     tokens: list[Token] = []
     i = 0
-    line, col = 1, 1
     n = len(source)
-
-    def advance(k: int) -> None:
-        nonlocal i, line, col
-        for _ in range(k):
-            if i < n and source[i] == "\n":
-                line += 1
-                col = 1
-            else:
-                col += 1
-            i += 1
-
+    line = 1
+    line_start = 0  # index just past the most recent newline
+    match = _TOKEN_RE.match
     while i < n:
-        ch = source[i]
-        if ch in " \t\r\n":
-            advance(1)
-            continue
-        if source.startswith("//", i):
-            while i < n and source[i] != "\n":
-                advance(1)
-            continue
-        if source.startswith("/*", i):
-            end = source.find("*/", i + 2)
-            if end < 0:
+        m = match(source, i)
+        if m is None:
+            if source.startswith("/*", i):
                 raise LexError(f"unterminated comment at line {line}")
-            advance(end + 2 - i)
-            continue
-        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
-            start = i
-            start_line, start_col = line, col
-            seen_dot = False
-            seen_exp = False
-            while i < n:
-                c = source[i]
-                if c.isdigit():
-                    advance(1)
-                elif c == "." and not seen_dot and not seen_exp:
-                    seen_dot = True
-                    advance(1)
-                elif c in "eE" and not seen_exp and i + 1 < n and (
-                    source[i + 1].isdigit() or source[i + 1] in "+-"
-                ):
-                    seen_exp = True
-                    advance(1)
-                    if i < n and source[i] in "+-":
-                        advance(1)
-                else:
-                    break
-            text = source[start:i]
-            # trailing f/F/l/L suffixes
-            while i < n and source[i] in "fFlL":
-                advance(1)
-            kind = "float" if (seen_dot or seen_exp) else "int"
-            tokens.append(Token(kind, text, start_line, start_col))
-            continue
-        if ch.isalpha() or ch == "_":
-            start = i
-            start_line, start_col = line, col
-            while i < n and (source[i].isalnum() or source[i] == "_"):
-                advance(1)
-            text = source[start:i]
-            kind = "keyword" if text in KEYWORDS else "ident"
-            tokens.append(Token(kind, text, start_line, start_col))
-            continue
-        if ch == "(" and source.startswith("(float)", i):
-            # common benchmark cast spelling; handled as symbols
+            raise LexError(
+                f"unexpected character {source[i]!r} at line {line}, "
+                f"col {i - line_start + 1}"
+            )
+        kind = m.lastgroup
+        if kind == "num":
+            text = m.group("num")
+            tok_kind = (
+                "float" if "." in text or "e" in text or "E" in text else "int"
+            )
+            tokens.append(Token(tok_kind, text, line, i - line_start + 1))
+        elif kind == "ident":
+            text = m.group()
+            tok_kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(tok_kind, text, line, i - line_start + 1))
+        elif kind == "sym":
+            if source.startswith("/*", i):
+                # the comment alternative failed, so the opener has no
+                # closing */ — don't let it lex as a division
+                raise LexError(f"unterminated comment at line {line}")
+            tokens.append(Token("symbol", m.group(), line, i - line_start + 1))
+        elif kind == "bc" or kind is None:
+            # whitespace / comments: only their newlines matter
             pass
-        matched = False
-        for sym in SYMBOLS:
-            if source.startswith(sym, i):
-                tokens.append(Token("symbol", sym, line, col))
-                advance(len(sym))
-                matched = True
-                break
-        if not matched:
-            raise LexError(f"unexpected character {ch!r} at line {line}, col {col}")
-    tokens.append(Token("eof", "", line, col))
+        end = m.end()
+        nl = source.count("\n", i, end)
+        if nl:
+            line += nl
+            line_start = source.rindex("\n", i, end) + 1
+        i = end
+    tokens.append(Token("eof", "", line, i - line_start + 1))
     return tokens
 
 

@@ -33,6 +33,8 @@ from repro.frontend import LoweringError, ParseError, compile_c
 from repro.frontend.lexer import LexError
 from repro.interp import InterpreterError, MemoryError_
 from repro.ir import VerificationError
+from repro.diag.context import get_context
+from repro.perf import diskcache
 from repro.perf.measure import AliasArg, ArrayArg, ScalarArg, Workload, execute
 from repro.pipeline.pipelines import optimize
 
@@ -160,6 +162,43 @@ def _workload(spec: KernelSpec) -> Workload:
                     args=args)
 
 
+def _build(spec: KernelSpec, cfg: Config, verify_each_pass: bool):
+    """Compile + optimize one config, via the persistent disk cache.
+
+    Fuzz sweeps re-build the same (source, config) pair once per seed
+    replay and once more in every reduction step, so a warm
+    ``REPRO_CACHE_DIR`` collapses most of a campaign's build time —
+    including across the ``-j N`` worker processes, which share the
+    directory.  Each hit is a *fresh unpickle*, so planted bugs (which
+    mutate the optimized module in place, after this returns) can never
+    leak into the cache or between configs.  Caching is bypassed under
+    ``verify_each_pass`` (the point is to run the verifier between
+    passes) and under an active diagnostics context (remark streams must
+    come from a real pass pipeline).
+    """
+    key = None
+    if (
+        not verify_each_pass
+        and diskcache.cache_dir() is not None
+        and not get_context().enabled
+    ):
+        key = diskcache.cache_key(
+            spec.source, spec.name, cfg.level,
+            cfg.honor_restrict, cfg.vl, cfg.rle,
+        )
+        hit = diskcache.load(key)
+        if hit is not None:
+            return hit
+    module = compile_c(spec.source, name=spec.name)
+    stats = optimize(
+        module, cfg.level, honor_restrict=cfg.honor_restrict,
+        vl=cfg.vl, rle=cfg.rle, verify_each_pass=verify_each_pass,
+    )
+    if key is not None:
+        diskcache.store(key, module, stats)
+    return module, stats
+
+
 def _run_config(
     spec: KernelSpec,
     cfg: Config,
@@ -173,14 +212,9 @@ def _run_config(
     """
     w = _workload(spec)
     try:
-        module = compile_c(spec.source, name=spec.name)
+        module, stats = _build(spec, cfg, verify_each_pass)
     except (ParseError, LexError, LoweringError) as e:
         return None, Mismatch("parse", str(e), cfg)
-    try:
-        stats = optimize(
-            module, cfg.level, honor_restrict=cfg.honor_restrict,
-            vl=cfg.vl, rle=cfg.rle, verify_each_pass=verify_each_pass,
-        )
     except VerificationError as e:
         return None, Mismatch("verify", str(e), cfg)
     except Exception as e:  # a pass crashed outright

@@ -75,12 +75,23 @@ class ScopeMixin:
         item.parent = None  # type: ignore[assignment]
 
     def instructions(self) -> Iterator[Instruction]:
-        """All instructions in this scope, recursively, in program order."""
-        for item in self.items:
-            if isinstance(item, Loop):
-                yield from item.header_and_body_instructions()
-            else:
+        """All instructions in this scope, recursively, in program order.
+
+        One flat generator with an explicit stack: nested ``yield from``
+        chains cost a frame hop per level per instruction, and this is
+        the innermost traversal of every pass.
+        """
+        stack = [iter(self.items)]
+        while stack:
+            it = stack[-1]
+            for item in it:
+                if isinstance(item, Loop):
+                    yield from item.mus
+                    stack.append(iter(item.items))
+                    break
                 yield item  # type: ignore[misc]
+            else:
+                stack.pop()
 
     def walk_items(self) -> Iterator[Item]:
         """All items (loops included as items), recursively, pre-order."""

@@ -16,6 +16,7 @@ because structured control flow only ever *refines* a guard.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -46,12 +47,61 @@ class Predicate:
     contains both a literal and its negation is *unsatisfiable*; such
     predicates can arise transiently during versioning (a phi operand whose
     guard became impossible) and are detected with :meth:`is_false`.
+
+    Predicates are *interned*: constructing one from a literal set that
+    already exists returns the existing object, so equality is usually a
+    pointer comparison and ``hash``/``is_false`` are computed once.  The
+    interning is an optimization only — ``__eq__`` keeps the structural
+    fallback.
+
+    Pickling is two-phase: literals reference IR values whose operand
+    predicates can point back at those same literals, so at unpickle time
+    the literal objects may still be cycle stubs with no attributes.  The
+    blank instance therefore stores only the raw literal tuple; the
+    frozenset/hash/unsat triple is materialized by ``__getattr__`` on
+    first use, after the whole object graph exists.
     """
 
-    __slots__ = ("_literals",)
+    __slots__ = ("_literals", "_hash", "_unsat", "_raw", "__weakref__")
+
+    _intern: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, literals: Iterable[Literal] = ()):
+        lits = literals if isinstance(literals, frozenset) else frozenset(literals)
+        self = cls._intern.get(lits)
+        if self is None:
+            self = super().__new__(cls)
+            self._literals = lits
+            self._hash = hash(lits)
+            self._unsat = any(l.negate() in lits for l in lits)
+            cls._intern[lits] = self
+        return self
 
     def __init__(self, literals: Iterable[Literal] = ()):
-        self._literals = frozenset(literals)
+        # state fully established in __new__ (interned instances must not
+        # be re-initialized)
+        pass
+
+    def __reduce__(self):
+        return (_blank_predicate, (), tuple(self._literals))
+
+    def __setstate__(self, raw):
+        self._raw = raw
+
+    def __getattr__(self, name):
+        # only unpickled instances land here: materialize the canonical
+        # form lazily (hashing the literals is only safe once unpickling
+        # has finished building them)
+        if name in ("_literals", "_hash", "_unsat"):
+            lits = frozenset(self._raw)
+            self._literals = lits
+            self._hash = hash(lits)
+            self._unsat = any(l.negate() in lits for l in lits)
+            # adopt this instance as the interned one if the set is new,
+            # so later constructions can return it
+            Predicate._intern.setdefault(lits, self)
+            return getattr(self, name)
+        raise AttributeError(name)
 
     # -- constructors -------------------------------------------------
 
@@ -74,14 +124,14 @@ class Predicate:
 
     def is_false(self) -> bool:
         """True when the conjunction is syntactically unsatisfiable."""
-        return any(lit.negate() in self._literals for lit in self._literals)
+        return self._unsat
 
     def implies(self, other: "Predicate") -> bool:
         """``self -> other`` for conjunctions: other ⊆ self.
 
         An unsatisfiable predicate implies everything.
         """
-        if self.is_false():
+        if other is self or not other._literals or self._unsat:
             return True
         return other._literals <= self._literals
 
@@ -93,7 +143,7 @@ class Predicate:
     # -- combinators ----------------------------------------------------
 
     def conjoin(self, other: "Predicate") -> "Predicate":
-        if other.is_true():
+        if other is self or other.is_true():
             return self
         if self.is_true():
             return other
@@ -118,10 +168,12 @@ class Predicate:
     # -- dunder ---------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Predicate) and self._literals == other._literals
 
     def __hash__(self) -> int:
-        return hash(self._literals)
+        return self._hash
 
     def __str__(self) -> str:
         if self.is_true():
@@ -130,6 +182,11 @@ class Predicate:
 
     def __repr__(self) -> str:
         return f"Predicate({self})"
+
+
+def _blank_predicate() -> "Predicate":
+    """Pickle helper: a bare instance, populated by ``__setstate__``."""
+    return object.__new__(Predicate)
 
 
 _TRUE = Predicate()

@@ -13,7 +13,16 @@ from dataclasses import dataclass
 
 
 class Type:
-    """Base class of all IR types."""
+    """Base class of all IR types.
+
+    The scalar types are singletons and vector types are interned
+    (:func:`vector_of`), so type equality is normally a pointer
+    comparison; ``__reduce__`` re-interns on unpickle to keep that true
+    for modules loaded from the on-disk artifact cache.
+    """
+
+    def __reduce__(self):
+        return (_scalar_type, (str(self),))
 
     def is_vector(self) -> bool:
         return False
@@ -83,6 +92,9 @@ class VectorType(Type):
     elem: Type
     lanes: int
 
+    def __reduce__(self):
+        return (vector_of, (self.elem, self.lanes))
+
     def is_vector(self) -> bool:
         return True
 
@@ -99,6 +111,12 @@ FLOAT = FloatType()
 BOOL = BoolType()
 PTR = PointerType()
 VOID = VoidType()
+
+_SCALARS = {"i64": INT, "f64": FLOAT, "i1": BOOL, "ptr": PTR, "void": VOID}
+
+
+def _scalar_type(name: str) -> Type:
+    return _SCALARS[name]
 
 _VECTOR_CACHE: dict[tuple[Type, int], VectorType] = {}
 

@@ -48,6 +48,18 @@ def verify_function(fn: Function) -> None:
     if fn.module is not None:
         defined.update(fn.module.globals.values())
 
+    # each loop's header+body instruction set is needed by the cont check,
+    # by every eta of the loop, and by the post-loop visibility pass;
+    # materialize it once per loop instead of re-walking the subtree
+    inner_cache: dict[int, set] = {}
+
+    def inner_insts(loop: Loop) -> set:
+        s = inner_cache.get(id(loop))
+        if s is None:
+            s = set(loop.header_and_body_instructions())
+            inner_cache[id(loop)] = s
+        return s
+
     def is_available(v: Value) -> bool:
         return (
             v in defined
@@ -104,8 +116,7 @@ def verify_function(fn: Function) -> None:
                         f"{loop!r} continuation {loop.cont!r} is not boolean"
                     )
                 if not isinstance(loop.cont, (Constant, Undef)):
-                    inner = set(loop.header_and_body_instructions())
-                    if loop.cont not in inner:
+                    if loop.cont not in inner_insts(loop):
                         raise VerificationError(
                             f"{loop!r} continuation {loop.cont!r} is not "
                             f"defined inside the loop"
@@ -118,8 +129,7 @@ def verify_function(fn: Function) -> None:
                             f"recurrence {mu.rec!r} has type {mu.rec.type}"
                         )
                 # values defined inside the loop are not visible afterwards
-                for inner in loop.header_and_body_instructions():
-                    defined.discard(inner)
+                defined.difference_update(inner_insts(loop))
             else:
                 inst: Instruction = item  # type: ignore[assignment]
                 if inst.parent is not scope:
@@ -131,8 +141,7 @@ def verify_function(fn: Function) -> None:
                             f"eta {inst!r} not in its loop's parent scope"
                         )
                     # the inner value must come from within the loop
-                    inner_insts = set(inst.loop.header_and_body_instructions())
-                    if inst.inner not in inner_insts and not isinstance(
+                    if inst.inner not in inner_insts(inst.loop) and not isinstance(
                         inst.inner, (Constant, Argument, Undef, GlobalArray)
                     ):
                         raise VerificationError(

@@ -43,8 +43,12 @@ def run_dce(fn: Function) -> int:
     keep = {fn.return_value} if fn.return_value is not None else set()
     removed = 0
 
+    # only user-free instructions can die now; anything that becomes
+    # user-free later is enqueued as a feeder of an erased instruction,
+    # so the fixpoint (the unique dead set) is unchanged
     worklist: list[Instruction] = [
-        i for i in fn.instructions() if not isinstance(i, (Store, VecStore))
+        i for i in fn.instructions()
+        if not isinstance(i, (Store, VecStore)) and not i.has_users()
     ]
     seen = set(map(id, worklist))
     while worklist:
@@ -83,24 +87,41 @@ def run_dce(fn: Function) -> int:
 
 
 def _erase_dead_loops(fn: Function) -> int:
+    # One reverse pre-order sweep reaches the fixpoint: SSA uses flow
+    # forward, so erasing a later (or inner) loop can only release values
+    # feeding loops visited *afterwards* in this order — an earlier loop
+    # never holds the last use of a later loop's live-outs.
     removed = 0
-    changed = True
-    while changed:
-        changed = False
-        for loop in reversed(fn.loops()):  # innermost last in pre-order
-            if loop.parent is None:
-                continue
-            if any(_has_side_effects(i) for i in loop.instructions()):
-                continue
-            live_etas = [e for e in loop.etas if e.parent is not None]
-            if any(e.has_users() or e is fn.return_value for e in live_etas):
-                continue
-            for e in live_etas:
-                e.scope_erase()
-                removed += 1
-            _erase_loop(loop)
+    # Side-effect summaries in one bottom-up walk: a loop has effects iff
+    # any direct member does or any nested loop does.  The flags stay
+    # valid throughout — the main worklist never erases side-effecting
+    # instructions, and only effect-free loops are erased here.
+    effects: dict[int, bool] = {}
+
+    def _summarize(scope) -> bool:
+        has = False
+        for item in scope.items:
+            if isinstance(item, Loop):
+                has = _summarize(item) or has
+            elif _has_side_effects(item):
+                has = True
+        effects[id(scope)] = has
+        return has
+
+    _summarize(fn)
+    for loop in reversed(fn.loops()):  # innermost last in pre-order
+        if loop.parent is None:
+            continue
+        if effects[id(loop)]:
+            continue
+        live_etas = [e for e in loop.etas if e.parent is not None]
+        if any(e.has_users() or e is fn.return_value for e in live_etas):
+            continue
+        for e in live_etas:
+            e.scope_erase()
             removed += 1
-            changed = True
+        _erase_loop(loop)
+        removed += 1
     return removed
 
 

@@ -35,7 +35,8 @@ def _opkey(v):
     from repro.ir.values import Constant
 
     if isinstance(v, Constant):
-        return ("c", str(v.type), v.value)
+        # type objects are interned, so they hash/compare pointer-fast
+        return ("c", v.type, v.value)
     return id(v)
 
 
@@ -50,7 +51,7 @@ def _key(inst: Instruction):
     if isinstance(inst, Cmp):
         return ("cmp", inst.rel, ops)
     if isinstance(inst, Cast):
-        return ("cast", str(inst.type), ops)
+        return ("cast", inst.type, ops)
     if isinstance(inst, PtrAdd):
         return ("ptradd", ops)
     if isinstance(inst, Select):
@@ -66,6 +67,37 @@ def run_gvn(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
     deleted = 0
     dc = get_context()
 
+    # Alias results between a candidate load and earlier writes are
+    # memoized for the duration of this run.  GVN merges only replace a
+    # value with a structurally identical one, so an instruction's memory
+    # location (and hence its alias relations) never changes mid-run.
+    alias_memo: dict = {}
+
+    def _alias(a, b):
+        k = (a, b)
+        r = alias_memo.get(k)
+        if r is None:
+            r = aa.alias(a, b)
+            alias_memo[k] = r
+        return r
+
+    # Per-loop may-write summaries in one bottom-up walk, instead of
+    # re-walking each loop's whole subtree (``mem_instructions``) every
+    # time the scan meets a loop item.
+    loop_writes: dict[int, list[Instruction]] = {}
+
+    def _collect_writes(scope: ScopeMixin) -> list[Instruction]:
+        writes: list[Instruction] = []
+        for item in scope.items:
+            if isinstance(item, Loop):
+                writes.extend(_collect_writes(item))
+            elif item.may_write():
+                writes.append(item)
+        loop_writes[id(scope)] = writes
+        return writes
+
+    _collect_writes(fn)
+
     def visit(scope: ScopeMixin) -> None:
         nonlocal deleted
         loc = scope.name if isinstance(scope, Loop) else ""
@@ -75,10 +107,7 @@ def run_gvn(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
         for item in list(scope.items):
             if isinstance(item, Loop):
                 visit(item)
-                if item.may_write():
-                    mem_writes.extend(
-                        m for m in item.mem_instructions() if m.may_write()
-                    )
+                mem_writes.extend(loop_writes[id(item)])
                 continue
             inst: Instruction = item  # type: ignore[assignment]
             if inst.may_write():
@@ -92,7 +121,7 @@ def run_gvn(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
                 earlier, write_mark = prior
                 if isinstance(inst, Load):
                     clobbered = any(
-                        aa.alias(inst, w) != AliasResult.NO
+                        _alias(inst, w) != AliasResult.NO
                         for w in mem_writes[write_mark:]
                     )
                     if clobbered:

@@ -41,12 +41,30 @@ def run_licm(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
 
     dc = get_context()
 
+    # Per-loop may-write summaries in one bottom-up walk.  LICM only
+    # moves pure instructions and loads (never writes), and only to the
+    # immediate parent scope, so each loop's write set is fixed for the
+    # whole pass.
+    loop_writes: dict[int, list[Instruction]] = {}
+
+    def _collect_writes(scope: ScopeMixin) -> list[Instruction]:
+        writes: list[Instruction] = []
+        for item in scope.items:
+            if isinstance(item, Loop):
+                writes.extend(_collect_writes(item))
+            elif item.may_write():
+                writes.append(item)
+        loop_writes[id(scope)] = writes
+        return writes
+
+    _collect_writes(fn)
+
     def visit(scope: ScopeMixin) -> None:
         nonlocal hoisted
         for item in list(scope.items):
             if isinstance(item, Loop):
                 visit(item)  # innermost first
-                n = _hoist_from(scope, item, aa)
+                n = _hoist_from(scope, item, aa, loop_writes[id(item)])
                 hoisted += n
                 if dc.enabled and n:
                     dc.remark(
@@ -59,9 +77,15 @@ def run_licm(fn: Function, alias: Optional[AliasAnalysis] = None) -> int:
     return hoisted
 
 
-def _hoist_from(parent: ScopeMixin, loop: Loop, aa: AliasAnalysis) -> int:
+def _hoist_from(
+    parent: ScopeMixin, loop: Loop, aa: AliasAnalysis,
+    writes: list[Instruction],
+) -> int:
     inner: set = set(loop.header_and_body_instructions())
-    writes = [m for m in loop.mem_instructions() if m.may_write()]
+    # The write set is fixed for the whole hoisting fixpoint and hoisting
+    # never rewrites operands, so a load's verdict against the writes is
+    # stable — memoize it across rounds.
+    load_clobbered: dict[int, bool] = {}
     count = 0
     changed = True
     while changed:
@@ -81,7 +105,13 @@ def _hoist_from(parent: ScopeMixin, loop: Loop, aa: AliasAnalysis) -> int:
             if any(isinstance(u, Eta) for u in inst.users()):
                 continue  # live-out anchor must stay in the loop
             if isinstance(inst, Load):
-                if any(aa.alias(inst, w) != AliasResult.NO for w in writes):
+                verdict = load_clobbered.get(id(inst))
+                if verdict is None:
+                    verdict = any(
+                        aa.alias(inst, w) != AliasResult.NO for w in writes
+                    )
+                    load_clobbered[id(inst)] = verdict
+                if verdict:
                     continue
             loop.remove(inst)
             parent.insert_before(loop, inst)

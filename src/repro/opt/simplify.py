@@ -122,26 +122,47 @@ def _fold_instruction(inst: Instruction):
 
 
 def run_simplify(fn: Function) -> int:
-    """Fold constants and identities to a fixpoint; returns #rewrites."""
+    """Fold constants and identities to a fixpoint; returns #rewrites.
+
+    Worklist-driven: rewriting an instruction enqueues its users (whose
+    operands or predicates just changed), so the fixpoint is reached in
+    one sweep instead of repeated whole-function rescans.  Folding is
+    confluent — each instruction folds at most once before it is
+    replaced — so the rewrite count and final IR match the rescan
+    formulation exactly.
+    """
     total = 0
-    changed = True
-    while changed:
-        changed = False
-        for inst in list(fn.instructions()):
-            if inst.parent is None:
-                continue
-            replacement = _fold_instruction(inst)
-            if replacement is None or replacement is inst:
-                continue
-            for user in list(inst.users()):
-                user.replace_uses_of(inst, replacement)
-            _fix_loop_refs(fn, inst, replacement)
-            if fn.return_value is inst:
-                fn.set_return(replacement)
-            if not inst.has_users():
-                inst.scope_erase()
-            total += 1
-            changed = True
+    worklist: list[Instruction] = list(fn.instructions())
+    queued = set(map(id, worklist))
+    while worklist:
+        inst = worklist.pop()
+        queued.discard(id(inst))
+        if inst.parent is None:
+            continue
+        replacement = _fold_instruction(inst)
+        if replacement is None or replacement is inst:
+            continue
+        users = list(inst.users())
+        for user in users:
+            user.replace_uses_of(inst, replacement)
+        _fix_loop_refs(fn, inst, replacement)
+        if fn.return_value is inst:
+            fn.set_return(replacement)
+        if not inst.has_users():
+            inst.scope_erase()
+        total += 1
+        for u in users:
+            if isinstance(u, Instruction) and id(u) not in queued:
+                queued.add(id(u))
+                worklist.append(u)
+        if isinstance(replacement, Instruction) and id(replacement) not in queued:
+            queued.add(id(replacement))
+            worklist.append(replacement)
+        if inst.parent is not None and id(inst) not in queued:
+            # still anchored (a non-tracked reference kept it alive):
+            # revisit, matching the rescan formulation
+            queued.add(id(inst))
+            worklist.append(inst)
     dc = get_context()
     if dc.enabled and total:
         dc.remark(

@@ -17,12 +17,13 @@ from .measure import (
     set_default_backend,
     verified_run,
 )
+from .batch import BuildSpec, build_many
 from .report import counters_report, format_table, speedup_table
 
 __all__ = [
-    "AliasArg", "ArrayArg", "ChecksumMismatch", "RunResult", "ScalarArg",
-    "Workload", "build", "clear_build_cache", "clear_reference_cache",
-    "counters_report", "execute", "format_table", "geomean",
-    "get_default_backend", "run_workload", "set_default_backend",
+    "AliasArg", "ArrayArg", "BuildSpec", "ChecksumMismatch", "RunResult",
+    "ScalarArg", "Workload", "build", "build_many", "clear_build_cache",
+    "clear_reference_cache", "counters_report", "execute", "format_table",
+    "geomean", "get_default_backend", "run_workload", "set_default_backend",
     "speedup_table", "verified_run",
 ]

@@ -1,0 +1,74 @@
+"""Parallel batch building against the persistent artifact cache.
+
+``build_many`` pushes a list of build configurations through worker
+processes (``-j N``), each of which compiles + optimizes its module and
+stores the artifact in the shared ``REPRO_CACHE_DIR`` disk cache.  The
+parent (and any later process) then loads every build as a cache hit —
+this is how ``bench_wallclock`` warms the cache for its warm-build tier
+and how a fuzz sweep's repeated configurations stop paying the pipeline.
+
+Only the *build inputs* cross the process boundary (name, entry, source,
+level, flags — plain strings and scalars), never Workload objects: input
+``init`` callables are lambdas, which do not pickle, and building never
+reads input data anyway.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .measure import Workload, build
+
+
+@dataclass(frozen=True)
+class BuildSpec:
+    """One build configuration, reduced to its picklable inputs."""
+
+    name: str
+    entry: str
+    source: str
+    level: str
+    honor_restrict: bool = True
+    vl: int = 4
+    rle: bool = False
+
+    @staticmethod
+    def of(workload, level: str, honor_restrict: bool = True,
+           vl: int = 4, rle: bool = False) -> "BuildSpec":
+        return BuildSpec(workload.name, workload.entry, workload.source,
+                         level, honor_restrict, vl, rle)
+
+
+def _build_one(spec: BuildSpec) -> tuple[str, float]:
+    """Worker body (module-level so it pickles): build one spec.
+
+    ``use_cache=True`` routes through the disk cache when
+    ``REPRO_CACHE_DIR`` is set (inherited via the environment), so the
+    artifact persists for the parent; a warm entry makes this a no-op.
+    Returns ``(name, seconds)``.
+    """
+    t0 = time.perf_counter()
+    w = Workload(name=spec.name, source=spec.source, entry=spec.entry)
+    build(w, spec.level, honor_restrict=spec.honor_restrict,
+          vl=spec.vl, rle=spec.rle, use_cache=True)
+    return spec.name, time.perf_counter() - t0
+
+
+def build_many(specs, jobs: int = 1) -> list[tuple[str, float]]:
+    """Build every spec, ``jobs`` at a time; returns per-spec timings.
+
+    Results come back in submission order regardless of ``jobs`` (the
+    pool uses ordered ``map``).  With ``jobs <= 1`` everything runs in
+    the calling process — same code path, no pool overhead.
+    """
+    specs = list(specs)
+    if jobs <= 1 or len(specs) <= 1:
+        return [_build_one(s) for s in specs]
+    import multiprocessing as mp
+
+    with mp.Pool(min(jobs, len(specs))) as pool:
+        return pool.map(_build_one, specs)
+
+
+__all__ = ["BuildSpec", "build_many"]

@@ -1,0 +1,203 @@
+"""Persistent content-addressed artifact cache for built modules.
+
+Building a module (front end + optimization pipeline) dominates the cost
+of every measurement sweep — the fuzzer and the benchmarks rebuild
+thousands of modules, most of them identical across processes.  This
+cache stores the *build artifact* — the optimized :class:`Module` plus
+its :class:`PipelineStats`, pickled — on disk, keyed by a SHA-256 over
+everything that determines the build output:
+
+    source text x entry x pipeline level x honor_restrict x vl x rle
+
+(plus a format version and the Python major.minor, since the payload is
+a pickle).  Input *data* is deliberately absent from the key: building
+never reads it.
+
+Alongside the pickle, :func:`store` writes the generated superblock-fused
+executor source of every function (``<key>.exec.txt``) so the end-to-end
+artifact of a build — what the fused backend actually runs — survives
+for inspection without re-deriving it.
+
+Knobs (both honored by :func:`repro.perf.measure.build`):
+
+* ``REPRO_CACHE_DIR`` — cache root; unset/empty disables the disk cache
+  entirely (the in-memory LRU caches still apply).
+* ``REPRO_CACHE_CAP`` — maximum number of cached builds kept on disk
+  (default 256, shared with the in-memory cap; ``0`` disables caching).
+
+Concurrency: writers dump to a private ``.tmp`` file and ``os.replace``
+it into place, so a reader never observes a half-written pickle and
+parallel ``-j N`` builders racing on one key simply last-write-win with
+identical bytes.  Loads unpickle a **fresh object graph per call** —
+two loads never share IR objects, so a caller mutating its copy (the
+fuzzer planting bugs, a pipeline running further passes) cannot poison
+other consumers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+from typing import Optional
+
+#: Bump when the pickled layout (IR object shapes, stats fields) changes;
+#: old entries then miss instead of unpickling garbage.
+FORMAT_VERSION = 1
+
+
+def cache_dir() -> Optional[str]:
+    """The configured cache root, or None when disk caching is off."""
+    d = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if not d:
+        return None
+    try:
+        cap = int(os.environ.get("REPRO_CACHE_CAP", "256"))
+    except ValueError:
+        cap = 256
+    if cap <= 0:
+        return None
+    return d
+
+
+def cache_key(source: str, entry: str, level: str, honor_restrict: bool,
+              vl: int, rle: bool) -> str:
+    """Content hash of one build configuration."""
+    text = "\x00".join((
+        f"v{FORMAT_VERSION}",
+        f"py{sys.version_info.major}.{sys.version_info.minor}",
+        entry, level, f"restrict={int(bool(honor_restrict))}",
+        f"vl={int(vl)}", f"rle={int(bool(rle))}", source,
+    ))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _path(root: str, key: str) -> str:
+    return os.path.join(root, key[:2], key + ".pkl")
+
+
+def load(key: str):
+    """Return a fresh ``(module, stats)`` for ``key``, or None on miss.
+
+    Every call unpickles anew; corrupt or unreadable entries are treated
+    as misses (and removed when possible).
+    """
+    root = cache_dir()
+    if root is None:
+        return None
+    path = _path(root, key)
+    try:
+        with open(path, "rb") as f:
+            module, stats = pickle.load(f)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None
+    try:
+        os.utime(path)  # refresh mtime: eviction is least-recently-used
+    except OSError:
+        pass
+    return module, stats
+
+
+def store(key: str, module, stats) -> Optional[str]:
+    """Persist a build artifact; returns the entry path (None if off).
+
+    Best-effort: an unwritable cache directory never fails the build.
+    """
+    root = cache_dir()
+    if root is None:
+        return None
+    path = _path(root, key)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(tmp, "wb") as f:
+            pickle.dump((module, stats), f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except Exception:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        return None
+    try:
+        _write_exec_source(path, module)
+    except Exception:
+        pass  # the companion dump is best-effort; the pickle is in place
+    _evict(root)
+    return path
+
+
+def _write_exec_source(entry_path: str, module) -> None:
+    """Dump the fused executor source of every function next to the
+    pickle.  The fused translation is memoized weakly per function, so
+    the work is reused when the module is executed in this process."""
+    from repro.interp import fuse_function
+
+    chunks = []
+    for fn in module.functions.values():
+        prog = fuse_function(fn)
+        chunks.append(f"# == fused executor: {fn.name} ==\n{prog.source}")
+    tmp = f"{entry_path}.exec.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        f.write("\n".join(chunks))
+    os.replace(tmp, entry_path[: -len(".pkl")] + ".exec.txt")
+
+
+def _cap() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_CACHE_CAP", "256")))
+    except ValueError:
+        return 256
+
+
+def _evict(root: str) -> None:
+    """Drop least-recently-used entries beyond ``REPRO_CACHE_CAP``."""
+    cap = _cap()
+    entries = []
+    try:
+        for sub in os.listdir(root):
+            subdir = os.path.join(root, sub)
+            if len(sub) != 2 or not os.path.isdir(subdir):
+                continue
+            for name in os.listdir(subdir):
+                if name.endswith(".pkl"):
+                    p = os.path.join(subdir, name)
+                    try:
+                        entries.append((os.path.getmtime(p), p))
+                    except OSError:
+                        pass
+    except OSError:
+        return
+    if len(entries) <= cap:
+        return
+    entries.sort()
+    for _, p in entries[: len(entries) - cap]:
+        for victim in (p, p[: -len(".pkl")] + ".exec.txt"):
+            try:
+                os.remove(victim)
+            except OSError:
+                pass
+
+
+def entry_count() -> int:
+    """Number of cached builds currently on disk (0 when disabled)."""
+    root = cache_dir()
+    if root is None or not os.path.isdir(root):
+        return 0
+    n = 0
+    for sub in os.listdir(root):
+        subdir = os.path.join(root, sub)
+        if len(sub) == 2 and os.path.isdir(subdir):
+            n += sum(1 for f in os.listdir(subdir) if f.endswith(".pkl"))
+    return n
+
+
+__all__ = ["cache_dir", "cache_key", "load", "store", "entry_count",
+           "FORMAT_VERSION"]

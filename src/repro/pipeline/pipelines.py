@@ -27,12 +27,29 @@ import os
 from dataclasses import dataclass, field
 
 from repro.diag import PassManager
+from repro.diag.context import get_context
 from repro.frontend import compile_c
 from repro.ir import Module, VerificationError, verify_function, verify_module
 from repro.opt import run_dce, run_gvn, run_licm, run_simplify
 from repro.analysis.alias import AliasAnalysis
+from repro.analysis.manager import ALIAS, AnalysisManager
 from repro.rle import RLEStats, run_rle
 from repro.vectorizer import SLPStats, VectorizeConfig, vectorize_function
+
+#: What each cleanup pass leaves intact when it reports changes.  All of
+#: them preserve alias analysis (it is stateless over the IR shapes they
+#: produce); none preserve the dependence graph — they delete, move, or
+#: rewrite instructions the graph indexes by identity.
+PASS_PRESERVES = {
+    "simplify": frozenset((ALIAS,)),
+    "gvn": frozenset((ALIAS,)),
+    "licm": frozenset((ALIAS,)),
+    "dce": frozenset((ALIAS,)),
+    "rle": frozenset((ALIAS,)),
+    # SLP materializes versioning plans, which stamp noalias scope
+    # groups: aliasing itself changes, so nothing is preserved.
+    "slp": frozenset(),
+}
 
 
 @dataclass
@@ -64,15 +81,37 @@ def _scalar_cleanup(
     honor_restrict: bool,
     stats: PipelineStats,
     run_pass,
+    am: AnalysisManager | None = None,
 ) -> None:
-    aa = AliasAnalysis(honor_restrict=honor_restrict)
+    aa = am.alias() if am is not None else AliasAnalysis(
+        honor_restrict=honor_restrict
+    )
+    # Clean-function rounds are skipped only with diagnostics off: a
+    # skipped round changes no IR and no stats (the per-round deltas are
+    # all zero), but it would drop the round's pass-timing records and
+    # any zero-change remarks (e.g. GVN "load not merged") from the
+    # diagnostic stream, which is pinned bit-for-bit by the golden tests.
+    may_skip = am is not None and not get_context().enabled
     for name, fn in module.functions.items():
-        run_pass("simplify", fn, lambda fn=fn: run_simplify(fn))
+        if may_skip and am.is_clean(fn):
+            # analysis-cache hit: the round's per-function deltas are
+            # zero — keep the sums accumulated by earlier rounds intact
+            # (and materialize the keys for functions skipped on their
+            # first round).
+            stats.gvn[name] = stats.gvn.get(name, 0)
+            stats.licm[name] = stats.licm.get(name, 0)
+            continue
+        folded = run_pass("simplify", fn, lambda fn=fn: run_simplify(fn))
         deleted = run_pass("gvn", fn, lambda fn=fn: run_gvn(fn, aa))
         stats.gvn[name] = stats.gvn.get(name, 0) + deleted
         hoisted = run_pass("licm", fn, lambda fn=fn: run_licm(fn, aa))
         stats.licm[name] = stats.licm.get(name, 0) + hoisted
-        run_pass("dce", fn, lambda fn=fn: run_dce(fn))
+        removed = run_pass("dce", fn, lambda fn=fn: run_dce(fn))
+        if am is not None:
+            if folded or deleted or hoisted or removed:
+                am.invalidate(fn, preserved=PASS_PRESERVES["dce"])
+            else:
+                am.mark_clean(fn)
 
 
 def optimize(
@@ -99,6 +138,7 @@ def optimize(
     stats = PipelineStats()
     if level == "O0":
         return stats
+    am = AnalysisManager(honor_restrict=honor_restrict)
     pm = PassManager(module_name=module.name)
 
     def run_pass(pass_name, fn, thunk):
@@ -113,15 +153,18 @@ def optimize(
                 ) from e
         return out
 
-    _scalar_cleanup(module, honor_restrict, stats, run_pass)
+    _scalar_cleanup(module, honor_restrict, stats, run_pass, am)
     if rle:
         for name, fn in module.functions.items():
-            stats.rle[name] = run_pass(
+            rs = run_pass(
                 "rle", fn,
                 lambda fn=fn: run_rle(fn, honor_restrict=honor_restrict),
             )
+            stats.rle[name] = rs
+            if rs.loads_removed or rs.plans_materialized or rs.groups_committed:
+                am.invalidate(fn, preserved=PASS_PRESERVES["rle"])
         # RLE unlocks more LICM/GVN downstream (the paper's Fig. 22 rows)
-        _scalar_cleanup(module, honor_restrict, stats, run_pass)
+        _scalar_cleanup(module, honor_restrict, stats, run_pass, am)
     mode = {
         "O3-scalar": None,
         "O3": "loop",
@@ -136,7 +179,8 @@ def optimize(
             stats.slp[name] = run_pass(
                 "slp", fn, lambda fn=fn, cfg=cfg: vectorize_function(fn, cfg)
             )
-    _scalar_cleanup(module, honor_restrict, stats, run_pass)
+            am.invalidate(fn, preserved=PASS_PRESERVES["slp"])
+    _scalar_cleanup(module, honor_restrict, stats, run_pass, am)
     verify_module(module)
     return stats
 

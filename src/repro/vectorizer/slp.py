@@ -27,7 +27,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.affine import affine_of, difference
-from repro.analysis.depgraph import DependenceGraph
 from repro.analysis.memloc import mem_location
 from repro.diag.context import get_context
 from repro.ir.instructions import (
@@ -325,8 +324,8 @@ class _ScopeVectorizer:
             self.removed_edges |= merged.removed_edges
             self.stats.plans_materialized += 1
             self._plans.clear()  # the IR changed; cached plans are stale
-        graph = DependenceGraph(
-            self.scope, self.vf.alias, assume_independent=set(self.removed_edges)
+        graph = self.vf.graph_for(
+            self.scope, assume_independent=self.removed_edges
         )
         members = tree.all_members()
         if not schedule_with_group(self.scope, members, graph):
@@ -465,9 +464,8 @@ class _ScopeVectorizer:
                 if plans or sched is None or not sched.is_empty():
                     tnode = None
             if tnode is not None:
-                graph = DependenceGraph(
-                    self.scope, self.vf.alias,
-                    assume_independent=set(self.removed_edges),
+                graph = self.vf.graph_for(
+                    self.scope, assume_independent=self.removed_edges
                 )
                 group = tnode.all_members() + list(links)
                 if schedule_with_group(self.scope, group, graph):

@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Optional
 from repro.analysis.alias import AliasAnalysis
 from repro.analysis.conditions import flatten
 from repro.analysis.depgraph import DepEdge, DependenceGraph
+from repro.analysis.manager import AnalysisManager
 from repro.diag.context import get_context
 from repro.ir.instructions import Item
 from repro.ir.loops import Function, Loop, ScopeMixin
@@ -77,23 +78,29 @@ class VersioningFramework:
         fn: Function,
         honor_restrict: bool = True,
         likelihood: Optional[Callable[[DepEdge], float]] = None,
+        manager: Optional[AnalysisManager] = None,
     ):
         self.fn = fn
-        self.alias = AliasAnalysis(honor_restrict=honor_restrict)
+        self.am = manager if manager is not None else AnalysisManager(
+            honor_restrict=honor_restrict
+        )
         self.likelihood = likelihood
-        self._graphs: dict[int, DependenceGraph] = {}
+
+    @property
+    def alias(self) -> AliasAnalysis:
+        return self.am.alias()
 
     # -- graphs ---------------------------------------------------------------
 
-    def graph_for(self, scope: ScopeMixin) -> DependenceGraph:
-        g = self._graphs.get(id(scope))
-        if g is None or g.items != list(scope.items):
-            g = DependenceGraph(scope, self.alias)
-            self._graphs[id(scope)] = g
-        return g
+    def graph_for(
+        self, scope: ScopeMixin, assume_independent=None
+    ) -> DependenceGraph:
+        return self.am.depgraph(scope, assume_independent=assume_independent)
 
     def invalidate(self) -> None:
-        self._graphs.clear()
+        # materialization rewrites predicates/operands in place and stamps
+        # noalias groups: nothing is preserved
+        self.am.invalidate(self.fn, preserved=frozenset())
 
     # -- inference (API function 1) -------------------------------------------
 

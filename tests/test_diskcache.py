@@ -1,0 +1,188 @@
+"""Tests for the persistent on-disk build cache (repro.perf.diskcache).
+
+The contract under test: a warm load is *equivalent* to the build that
+stored it (same printed IR, same execution results), the content key is
+sensitive to everything that determines build output, and caches rooted
+at different ``REPRO_CACHE_DIR`` values never see each other's entries.
+"""
+
+import os
+
+import pytest
+
+from repro.ir.printer import print_module
+from repro.perf import diskcache, measure
+from repro.workloads import tsvc
+
+LEVEL = "supervec+v"
+
+
+def _workload(name="s000"):
+    return [w for w in tsvc.workloads() if w.name == name][0]
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    d = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(d))
+    monkeypatch.delenv("REPRO_CACHE_CAP", raising=False)
+    measure.clear_build_cache()
+    yield str(d)
+    measure.clear_build_cache()
+
+
+def _fingerprint(module, w, stats):
+    res = measure.execute(module, w, stats)
+    return res.cycles, res.checksum, res.counters.as_dict()
+
+
+class TestColdWarmEquivalence:
+    def test_warm_load_matches_stored_build(self, cache_dir):
+        w = _workload()
+        # the storing build: this module IS the pickled artifact
+        stored_module, stored_stats = measure.build(w, LEVEL, use_cache=True)
+        stored_print = print_module(stored_module)
+        stored_fp = _fingerprint(stored_module, w, stored_stats)
+        assert diskcache.entry_count() == 1
+
+        # drop in-memory caches so the next build must come from disk
+        measure.clear_build_cache()
+        warm_module, warm_stats = measure.build(w, LEVEL, use_cache=True)
+        assert warm_module is not stored_module  # fresh unpickle
+        assert print_module(warm_module) == stored_print
+        assert _fingerprint(warm_module, w, warm_stats) == stored_fp
+
+    def test_loads_never_share_objects(self, cache_dir):
+        w = _workload()
+        measure.build(w, LEVEL, use_cache=True)
+        key = diskcache.cache_key(w.source, w.entry, LEVEL, True, 4, False)
+        m1, _ = diskcache.load(key)
+        m2, _ = diskcache.load(key)
+        assert m1 is not m2
+        fns1, fns2 = list(m1.functions.values()), list(m2.functions.values())
+        assert all(a is not b for a, b in zip(fns1, fns2))
+
+    def test_exec_source_artifact_written(self, cache_dir):
+        w = _workload()
+        measure.build(w, LEVEL, use_cache=True)
+        key = diskcache.cache_key(w.source, w.entry, LEVEL, True, 4, False)
+        path = diskcache._path(cache_dir, key)
+        exec_txt = path[: -len(".pkl")] + ".exec.txt"
+        assert os.path.exists(exec_txt)
+        with open(exec_txt) as f:
+            text = f.read()
+        assert "fused executor" in text and w.entry in text
+
+
+class TestKeySensitivity:
+    BASE = dict(entry="k", level=LEVEL, honor_restrict=True, vl=4, rle=False)
+
+    def _key(self, source="void k(double* a) {}", **over):
+        kw = dict(self.BASE, **over)
+        return diskcache.cache_key(source, kw["entry"], kw["level"],
+                                   kw["honor_restrict"], kw["vl"], kw["rle"])
+
+    def test_stable_for_identical_inputs(self):
+        assert self._key() == self._key()
+
+    def test_source_edit_changes_key(self):
+        assert self._key() != self._key(source="void k(double* b) {}")
+
+    def test_level_changes_key(self):
+        assert self._key() != self._key(level="O3")
+
+    def test_vl_changes_key(self):
+        assert self._key() != self._key(vl=8)
+
+    def test_honor_restrict_changes_key(self):
+        assert self._key() != self._key(honor_restrict=False)
+
+    def test_rle_changes_key(self):
+        assert self._key() != self._key(rle=True)
+
+    def test_entry_changes_key(self):
+        assert self._key() != self._key(entry="other")
+
+    def test_distinct_configs_cache_distinct_artifacts(self, cache_dir):
+        w = _workload()
+        measure.build(w, LEVEL, use_cache=True)
+        measure.clear_build_cache()
+        measure.build(w, "O3", use_cache=True)
+        assert diskcache.entry_count() == 2
+
+
+class TestIsolationAndKnobs:
+    def test_disabled_when_dir_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert diskcache.cache_dir() is None
+        assert diskcache.load("0" * 64) is None
+        assert diskcache.store("0" * 64, None, None) is None
+
+    def test_disabled_when_cap_zero(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_CAP", "0")
+        assert diskcache.cache_dir() is None
+
+    def test_cache_dirs_are_isolated(self, tmp_path, monkeypatch):
+        w = _workload()
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(dir_a))
+        measure.clear_build_cache()
+        measure.build(w, LEVEL, use_cache=True)
+        assert diskcache.entry_count() == 1
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(dir_b))
+        measure.clear_build_cache()
+        assert diskcache.entry_count() == 0
+        key = diskcache.cache_key(w.source, w.entry, LEVEL, True, 4, False)
+        assert diskcache.load(key) is None  # dir_a's entry is invisible
+        measure.build(w, LEVEL, use_cache=True)
+        assert diskcache.entry_count() == 1
+        measure.clear_build_cache()
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache_dir):
+        w = _workload()
+        measure.build(w, LEVEL, use_cache=True)
+        key = diskcache.cache_key(w.source, w.entry, LEVEL, True, 4, False)
+        path = diskcache._path(cache_dir, key)
+        with open(path, "wb") as f:
+            f.write(b"not a pickle")
+        assert diskcache.load(key) is None
+        assert not os.path.exists(path)
+
+    def test_eviction_respects_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_CAP", "2")
+        for i in range(4):
+            diskcache.store(f"{i:064x}", None, None)
+        assert diskcache.entry_count() <= 2
+
+    def test_key_embeds_format_version(self):
+        k1 = diskcache.cache_key("s", "e", LEVEL, True, 4, False)
+        orig = diskcache.FORMAT_VERSION
+        try:
+            diskcache.FORMAT_VERSION = orig + 1
+            assert diskcache.cache_key("s", "e", LEVEL, True, 4, False) != k1
+        finally:
+            diskcache.FORMAT_VERSION = orig
+
+
+class TestPickleRoundTrip:
+    def test_predicates_reintern_after_unpickle(self, cache_dir):
+        w = _workload("s271")  # has conditional code -> real predicates
+        measure.build(w, LEVEL, use_cache=True)
+        key = diskcache.cache_key(w.source, w.entry, LEVEL, True, 4, False)
+        loaded, _ = diskcache.load(key)
+        preds = [
+            inst.predicate
+            for fn in loaded.functions.values()
+            for inst in fn.instructions()
+        ]
+        assert any(not p.is_true() for p in preds)
+        # interning restored inside the loaded graph: within one module,
+        # predicates with equal literal sets are one object (pointer-fast
+        # equality is what the worklist passes rely on)
+        by_lits = {}
+        for p in preds:
+            other = by_lits.setdefault(p.literals, p)
+            assert other is p
