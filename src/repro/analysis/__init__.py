@@ -4,9 +4,11 @@ conditional dependence graph (paper Figs. 5-7)."""
 from .affine import (
     AddRec,
     Affine,
+    CountedLoop,
     addrec_of,
     addrec_of_affine,
     affine_of,
+    counted_loop_form,
     difference,
     is_invariant,
     mu_step,
@@ -24,18 +26,26 @@ from .conditions import (
     flatten,
     make_or,
 )
-from .depgraph import DepEdge, DependenceGraph, range_of
+from .depgraph import (
+    BatchAccess,
+    DepEdge,
+    DependenceGraph,
+    phase_split_hazards,
+    range_of,
+)
 from .manager import ALIAS, ALL_ANALYSES, DEPGRAPH, AnalysisManager
 from .memloc import MemLoc, mem_location
 from .promote import promote_intersect, promote_intersect_ranges, promote_through_loops
 
 __all__ = [
-    "AddRec", "Affine", "addrec_of", "addrec_of_affine", "affine_of",
-    "difference", "is_invariant", "mu_step", "trip_count_affine",
+    "AddRec", "Affine", "CountedLoop", "addrec_of", "addrec_of_affine",
+    "affine_of", "counted_loop_form", "difference", "is_invariant",
+    "mu_step", "trip_count_affine",
     "NOALIAS_GROUPS_KEY", "AliasAnalysis", "AliasResult", "add_noalias_group",
     "FALSE_COND", "TRUE_COND", "DepCond", "IntersectCond", "OrCond",
     "PredCond", "SymRange", "flatten", "make_or",
-    "DepEdge", "DependenceGraph", "range_of",
+    "BatchAccess", "DepEdge", "DependenceGraph", "phase_split_hazards",
+    "range_of",
     "AnalysisManager", "ALL_ANALYSES", "ALIAS", "DEPGRAPH",
     "MemLoc", "mem_location",
     "promote_intersect", "promote_intersect_ranges", "promote_through_loops",

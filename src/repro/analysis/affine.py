@@ -253,12 +253,85 @@ def trip_count_affine(loop: Loop) -> Optional[Affine]:
     return count
 
 
+@dataclass(frozen=True)
+class CountedLoop:
+    """Closed form of a counted do-while loop's continuation.
+
+    The loop continues while ``iv(k) rel bound`` holds, where
+    ``iv(k) = base + step*k`` on iteration ``k`` (0-based), ``base`` and
+    ``bound`` are loop-invariant affines and ``step`` a nonzero
+    compile-time constant.  The trip count is then ``K + 1`` iterations
+    where ``K`` is the smallest ``k >= 0`` failing the test — for ``lt``
+    with positive step ``K = max(0, ceil((bound - base) / step))``, and
+    one extra step of slack for ``le``; decrementing loops (``gt``/``ge``
+    with negative step) mirror by negation.
+    """
+
+    rel: str  # "lt" | "le" | "gt" | "ge"
+    base: Affine
+    step: int
+    bound: Affine
+
+    def trip_count(self, base: int, bound: int) -> int:
+        """Evaluate the trip count for concrete base/bound values."""
+        rel, s = self.rel, self.step
+        if s < 0:  # mirror a decrementing loop onto an incrementing one
+            base, bound, s = -base, -bound, -s
+            rel = {"gt": "lt", "ge": "le"}[rel]
+        d = bound - base
+        if rel == "lt":
+            k = -(-d // s)  # ceil
+        else:
+            k = d // s + 1
+        return max(0, k) + 1
+
+
+def counted_loop_form(loop: Loop) -> Optional[CountedLoop]:
+    """Recognize ``loop`` as a counted loop with a constant step.
+
+    This is the generalization of :func:`trip_count_affine` the array
+    tier needs: unroll-and-SLP'd loops advance their induction variable
+    by the vector length per iteration, and reversed loops decrement, so
+    the step may be any nonzero constant and the relation any strict or
+    non-strict ordering.  Returns None when the continuation is not a
+    comparison of an add-recurrence against an invariant bound, or when
+    the relation/step combination does not bound the iteration count
+    (e.g. ``lt`` with a negative step never exits by the test).
+    """
+    from repro.ir.instructions import Cmp
+
+    cont = loop.cont
+    if not isinstance(cont, Cmp) or cont.rel not in ("lt", "le", "gt", "ge"):
+        return None
+    inner = _defined_in(loop)
+    rel = cont.rel
+    iv = addrec_of(cont.operands[0], loop)
+    bound = affine_of(cont.operands[1])
+    if iv is None or not is_invariant(bound, loop, inner):
+        # allow the mirrored spelling ``cmp rel bound, iv``
+        iv = addrec_of(cont.operands[1], loop)
+        bound = affine_of(cont.operands[0])
+        if iv is None or not is_invariant(bound, loop, inner):
+            return None
+        rel = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}[rel]
+    if not iv.step.is_constant() or iv.step.const == 0:
+        return None
+    step = iv.step.const
+    if step > 0 and rel not in ("lt", "le"):
+        return None
+    if step < 0 and rel not in ("gt", "ge"):
+        return None
+    return CountedLoop(rel=rel, base=iv.base, step=step, bound=bound)
+
+
 __all__ = [
     "Affine",
     "AddRec",
+    "CountedLoop",
     "affine_of",
     "addrec_of",
     "addrec_of_affine",
+    "counted_loop_form",
     "difference",
     "is_invariant",
     "mu_step",

@@ -340,4 +340,128 @@ def _static_overlap_impl(a: SymRange, b: SymRange) -> Optional[bool]:
     return lo_delta < 0 and hi_delta > 0
 
 
-__all__ = ["DependenceGraph", "DepEdge", "range_of"]
+# ---------------------------------------------------------------------------
+# Phase-split iteration independence (the array tier's legality query)
+# ---------------------------------------------------------------------------
+
+
+class BatchAccess(NamedTuple):
+    """A memory access of an innermost loop in closed form.
+
+    On iteration ``k`` (0-based) the access touches the half-open slot
+    range ``[base + step*k, base + step*k + width)``; ``base`` is a
+    loop-invariant affine and ``step`` a compile-time constant stride.
+    """
+
+    inst: Instruction
+    base: Affine
+    step: int
+    width: int
+
+
+def _overlap_window(d: int, s: int, w_first: int, w_second: int):
+    """Integer ``m`` values with ``-w_second < d + s*m < w_first`` — the
+    iteration distances at which the two strided ranges overlap."""
+    lo_excl, hi_excl = -w_second - d, w_first - d  # bounds on s*m
+    if s == 0:
+        if lo_excl < 0 < hi_excl:
+            return None  # every distance overlaps
+        return range(0)
+    if s < 0:
+        lo_excl, hi_excl, s = -hi_excl, -lo_excl, -s
+        # m ranges are symmetric; solve with positive stride on -m and
+        # negate below
+        lo_m = lo_excl // s + 1
+        hi_m = -(-hi_excl // s) - 1
+        return range(-hi_m, -lo_m + 1)
+    lo_m = lo_excl // s + 1
+    hi_m = -(-hi_excl // s) - 1
+    return range(lo_m, hi_m + 1)
+
+
+def phase_split_hazards(
+    loop: Loop,
+    accesses: list[BatchAccess],
+    alias: Optional[AliasAnalysis] = None,
+) -> Optional[list[tuple[BatchAccess, BatchAccess]]]:
+    """Decide whether an innermost loop admits *phase-split* execution:
+    performing every load of every iteration first, then committing every
+    store.  That reordering is legal iff no store's range can reach a
+    load executed after it (same iteration or any later one) and no two
+    store ranges can collide across iterations — anti-dependences
+    (load-then-store) are preserved by construction.
+
+    Returns ``None`` when a hazard provably exists for some trip count;
+    otherwise the list of access pairs whose address spans must still be
+    proven disjoint by a run-time check (the paper's versioning
+    conditions, reused as a fast-path/fallback dispatch guard).  An empty
+    list means the split is unconditionally legal.
+    """
+    alias = alias if alias is not None else AliasAnalysis(honor_restrict=False)
+    pos: dict[int, int] = {}
+    for i, inst in enumerate(loop.instructions()):
+        pos[id(inst)] = i
+    locs = {id(a.inst): mem_location(a.inst) for a in accesses}
+    runtime: list[tuple[BatchAccess, BatchAccess]] = []
+    seen: set[tuple[int, int]] = set()
+
+    def need_runtime(a: BatchAccess, b: BatchAccess) -> None:
+        key = (min(id(a.inst), id(b.inst)), max(id(a.inst), id(b.inst)))
+        if key not in seen:
+            seen.add(key)
+            runtime.append((a, b))
+
+    def resolve(s: BatchAccess, x: BatchAccess, m_iter) -> Optional[bool]:
+        """True: hazard.  False: provably safe.  None: not static."""
+        # When both strides and the base difference are static, the
+        # overlap window is the authoritative cross-iteration answer.
+        # The alias analysis must NOT pre-empt it: its same-base NO
+        # compares offsets within one environment (the constant delta
+        # cancels the loop mu), so ``b[i]`` vs ``b[i-4]`` disambiguate
+        # per-iteration while still colliding at distance m = 4.
+        if x.step == s.step:
+            d = difference(x.base, s.base)
+            if d is not None:
+                window = _overlap_window(d, s.step, s.width, x.width)
+                if window is None:  # every iteration distance collides
+                    return True
+                if m_iter is None:
+                    return len(window) > 0
+                return any(m_iter(m) for m in window)
+        ls, lx = locs[id(s.inst)], locs[id(x.inst)]
+        if (
+            alias.alias_with_locs(s.inst, x.inst, ls, lx) is AliasResult.NO
+            and (ls is None or lx is None or ls.base is not lx.base)
+        ):
+            # Distinct base objects (or noalias scopes over distinct
+            # objects) are iteration-independent facts: safe at every
+            # distance, not just distance 0.
+            return False
+        return None
+
+    stores = [a for a in accesses if a.inst.may_write()]
+    loads = [a for a in accesses if a.inst.may_read()]
+    for s in stores:
+        for x in loads:
+            # store -> later load: distance m = i_load - i_store, m >= m0
+            m0 = 0 if pos[id(s.inst)] < pos[id(x.inst)] else 1
+            r = resolve(s, x, lambda m, m0=m0: m >= m0)
+            if r is True:
+                return None
+            if r is None:
+                need_runtime(s, x)
+    for i, s1 in enumerate(stores):
+        for s2 in stores[i:]:
+            # two stores colliding at any nonzero distance (or at zero
+            # distance for distinct instructions) commit out of order
+            same = s1.inst is s2.inst
+            r = resolve(s1, s2, (lambda m: m != 0) if same else None)
+            if r is True:
+                return None
+            if r is None:
+                need_runtime(s1, s2)
+    return runtime
+
+
+__all__ = ["BatchAccess", "DependenceGraph", "DepEdge", "phase_split_hazards",
+           "range_of"]

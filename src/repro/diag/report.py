@@ -276,7 +276,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     rep.add_argument("--vl", type=int, default=4, help="vector length")
     rep.add_argument("--rle", action="store_true",
                      help="enable versioned redundant load elimination")
-    rep.add_argument("--backend", choices=["reference", "compiled", "fused"],
+    rep.add_argument("--backend",
+                     choices=["reference", "compiled", "fused", "array"],
                      default=None)
     rep.add_argument("--kind", action="append", dest="kinds",
                      choices=["Passed", "Missed", "Analysis"],

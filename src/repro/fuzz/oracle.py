@@ -5,10 +5,10 @@ optimization level × execution backend × vector length × restrict × RLE —
 and demands that return value, full final memory (every array argument,
 element by element), and checksum agree with the unoptimized (``O0``)
 build executed on the reference interpreter.  At one designated
-configuration it additionally runs *all three* backends (reference,
-compiled, fused) and demands exact (bit-identical) agreement of cycles
-and every dynamic counter, the contract :mod:`repro.interp.compile` and
-:mod:`repro.interp.fuse` promise.
+configuration it additionally runs *all four* backends (reference,
+compiled, fused, array) and demands exact (bit-identical) agreement of
+cycles and every dynamic counter, the contract :mod:`repro.interp.compile`,
+:mod:`repro.interp.fuse`, and :mod:`repro.interp.array` promise.
 
 Outcomes are classified so the reducer can preserve a failure's *kind*:
 
@@ -111,8 +111,10 @@ class OracleReport:
 CROSS_BACKEND_CONFIG = Config("supervec+v", True, 4, False)
 
 #: every registered executor pinned against the reference at the fixed
-#: cross-backend config — the three-way accounting identity check
-CROSS_BACKENDS = ("reference", "compiled", "fused")
+#: cross-backend config — the four-way accounting identity check (the
+#: array tier runs in exact mode here, so its analytic cycles/counters
+#: must match the reference bit for bit)
+CROSS_BACKENDS = ("reference", "compiled", "fused", "array")
 
 _LEVELS = ["O3-scalar", "O3", "supervec", "supervec+v"]
 
@@ -323,7 +325,7 @@ def check_kernel(
         report.mismatches.extend(_compare(ref, got, cfg))
 
     if cross_backend:
-        # backend accounting agreement: all three executors at one fixed
+        # backend accounting agreement: all four executors at one fixed
         # config must be *exactly* identical (cycles, counters, memory)
         base = CROSS_BACKEND_CONFIG
         runs = {}

@@ -12,14 +12,25 @@ deterministic cycle-count ratios rather than wall-clock medians:
   (see :mod:`repro.interp.compile`).
 * ``FusedExecutor`` — the superblock-fused tier: one exec-generated
   straight-line Python function per IR function, with constant-folded
-  cycle/counter accounting; the fastest backend and the measurement
-  default (see :mod:`repro.interp.fuse`).
+  cycle/counter accounting; the measurement default (see
+  :mod:`repro.interp.fuse`).
+* ``ArrayExecutor`` — the batch-vectorized tier: loops proven
+  iteration-independent execute as whole-array NumPy expressions behind
+  runtime version-dispatch guards, with analytic (still bit-identical)
+  accounting, or none at all under ``REPRO_ACCOUNTING=off`` (see
+  :mod:`repro.interp.array`).
 
 ``BACKENDS`` maps harness-facing names (``"reference"``, ``"compiled"``,
-``"fused"``) to executor classes with identical constructor/run
-contracts.
+``"fused"``, ``"array"``) to executor classes with identical
+constructor/run contracts.
 """
 
+from .array import (
+    ArrayExecutor,
+    ArrayProgram,
+    array_function,
+    clear_array_cache,
+)
 from .compile import (
     BACKENDS,
     CompiledExecutor,
@@ -44,6 +55,8 @@ from .interpreter import (
 from .memory import Memory, MemoryError_
 
 __all__ = [
+    "ArrayExecutor",
+    "ArrayProgram",
     "BACKENDS",
     "CompiledExecutor",
     "CompiledProgram",
@@ -58,6 +71,8 @@ __all__ = [
     "StepLimitExceeded",
     "Memory",
     "MemoryError_",
+    "array_function",
+    "clear_array_cache",
     "clear_compile_cache",
     "clear_fuse_cache",
     "compile_function",

@@ -1,0 +1,1445 @@
+"""Batch-vectorized "array" execution tier: whole-loop NumPy execution.
+
+The fourth execution tier.  Where the fused backend still runs one
+Python bytecode iteration per loop iteration, this tier executes an
+entire loop invocation as a handful of whole-array NumPy expressions
+over the float64 memory slab: affine loads/stores become (strided)
+slices, predicated superblocks become boolean masks merged with
+``np.where``, and recognized reductions become ``ufunc.accumulate``
+scans.  It is a *runtime multi-versioning* backend in exactly the
+paper's sense: the legality conditions the dependence analysis cannot
+discharge statically (span disjointness of the phase-split, operand
+types, trip-count bounds) are materialized as cheap scalar guards at
+loop entry, and each invocation dispatches between the batched fast
+path and the superblock-fused scalar fallback — both arms share one
+counter set, so diagnostics cannot tell them apart.
+
+**Legality.**  A loop is batch-eligible when
+
+* its continuation is a counted-loop form (constant step, invariant
+  bound — :func:`repro.analysis.affine.counted_loop_form`),
+* every memory access has a constant-stride add-recurrence address and
+  :func:`repro.analysis.depgraph.phase_split_hazards` proves the
+  all-loads-then-all-stores phase split legal, returning the residual
+  span-disjointness checks to test at runtime,
+* every mu is an integer induction or a recognized float reduction
+  (``add``/``mul``/``min``/``max``), and
+* every step-0 (iteration-invariant address) store is a *memory-cell
+  reduction* — ``x[c] = x[c] op e`` folding over the cell's own prior
+  value — whose cell the guard pins disjoint from every other access.
+
+In speed mode the generator additionally prunes loop locals that are
+dead after the loop (no user outside the loop body): their vectors,
+final-value extractions, and guard conjuncts are never emitted.  Exact
+mode keeps them, since risk conjuncts of dead operations still gate
+data-dependent costs.
+
+The fast path computes every per-iteration value as a vector, assigns
+each SSA local its *final* value by indexing the vector at the last
+(active) iteration, and only then commits stores — so scalar-observable
+state (locals, memory, error behavior) is identical to the fallback.
+
+**Accounting.**  Two modes:
+
+* *exact* (default): cycles and counters are charged analytically —
+  ``C[k] += tn`` for the loop counter, ``C[g] += mask.sum()`` per
+  superblock, ``cy += n * static_cost`` — in integer arithmetic, so
+  they are bit-identical to the reference interpreter (the fold is only
+  applied under the same all-integral-cost condition the fused tier
+  uses; fractional cost models disable batching rather than risk float
+  re-association).
+* *speed* (``REPRO_ACCOUNTING=off``): the accounting layer is folded
+  away entirely so measurement no longer bounds throughput; results
+  carry zero cycles/counters but identical memory effects and return
+  values.
+
+Bit-exactness of the values themselves is by construction: only NumPy
+operations that are IEEE-identical to their scalar Python counterparts
+are emitted (``+ - * /``, ``np.sqrt``, ``np.fmod``, ``np.where``-based
+min/max which preserves Python's tie/NaN behavior), and the cases where
+NumPy diverges (NaN or signed-zero ties inside ``minimum.accumulate``,
+division by zero, negative sqrt, out-of-range int↔float conversion) are
+demoted to runtime *risk* guards that fall back to the scalar arm.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Optional
+from weakref import WeakKeyDictionary
+
+from repro.analysis.affine import (
+    Affine,
+    _defined_in,
+    addrec_of,
+    counted_loop_form,
+    difference,
+)
+from repro.analysis.depgraph import BatchAccess, phase_split_hazards
+from repro.ir.instructions import (
+    BinOp,
+    Broadcast,
+    BuildVector,
+    Cast,
+    Cmp,
+    ExtractLane,
+    Instruction,
+    Load,
+    Mu,
+    Reduce,
+    Select,
+    Shuffle,
+    Store,
+    UnOp,
+    VecBin,
+    VecCmp,
+    VecLoad,
+    VecSelect,
+    VecStore,
+    VecUn,
+)
+from repro.ir.loops import Function, Loop, Module
+from repro.ir.values import Constant, Undef, Value
+
+from .compile import BACKENDS, _BIN_SYM, _CMP_SYM
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .fuse import FusedExecutor, FusedProgram, _FusedCompiler
+from . import memory as _memory
+from .memory import NULL_PAGE
+
+_MAXI = 1 << 53  # ints beyond 2**53 are not exactly representable as f64
+
+
+class _Bail(Exception):
+    """Abort batching this loop; the scalar form is always available."""
+
+
+class _AV:
+    """A value's vectorized form.
+
+    ``tag``: "S" scalar expression, "C1" a ``(tn,)`` array, "ROW" a
+    ``(L,)`` array (iteration-invariant vector), "COL" a ``(tn, 1)``
+    array (lane-invariant vector), "M" a ``(tn, L)`` matrix.
+    ``dt``: "f" float, "i" int, "b" bool.
+    """
+
+    __slots__ = ("tag", "expr", "dt", "acc")
+
+    def __init__(self, tag: str, expr: str, dt: str, acc: Optional[str] = None):
+        self.tag = tag
+        self.expr = expr
+        self.dt = dt
+        self.acc = acc  # reduction accumulator array name (mus only)
+
+
+@dataclass(frozen=True)
+class _Group:
+    key: object  # True | tuple[(Value, negated)]
+    items: tuple
+
+
+@dataclass
+class _Cell:
+    """A reduction through memory: ``x[c] = x[c] op e`` on a step-0
+    (iteration-invariant) address.  Semantically a mu reduction whose
+    initial value is read from the cell and whose result is committed by
+    one store after the scan — legal once the guard pins the cell
+    disjoint from every other access of the loop."""
+
+    load: Load
+    store: Store
+    rec: BinOp  # the store's value
+    op: str
+    addend: Value
+
+
+@dataclass
+class _Plan:
+    cl: object  # CountedLoop
+    groups: list
+    inductions: dict  # Mu -> AddRec
+    reductions: dict  # Mu -> (op, addend, rec item)
+    accesses: dict  # id(inst) -> BatchAccess
+    pairs: list  # runtime span-disjointness checks
+    cells_by_load: dict  # id(Load) -> _Cell
+    cells_by_store: dict  # id(Store) -> _Cell
+
+
+def _pred_terms(p):
+    """Value-level mirror of ``_FusedCompiler.pred`` (same partition)."""
+    if p.is_true():
+        return True
+    terms = []
+    for lit in p.literals:
+        v = lit.value
+        if isinstance(v, Constant):
+            if bool(v.value) == lit.negated:
+                return False
+            continue
+        if isinstance(v, Undef):
+            if not lit.negated:
+                return False
+            continue
+        terms.append((v, lit.negated))
+    return True if not terms else tuple(terms)
+
+
+def _plan_loop(loop: Loop) -> Optional[_Plan]:
+    """Static batch-eligibility; None means 'emit the scalar form only'."""
+    cl = counted_loop_form(loop)
+    if cl is None:
+        return None
+    items = list(loop.items)
+    pos = {id(it): i for i, it in enumerate(items)}
+    pending = []
+    for it in items:
+        if isinstance(it, Loop):
+            return None  # only innermost loops batch
+        p = _pred_terms(it.predicate)
+        if p is False:
+            continue
+        pending.append((p, it))
+    groups: list[_Group] = []
+    i = 0
+    while i < len(pending):
+        p = pending[i][0]
+        j = i
+        grp = []
+        while j < len(pending) and pending[j][0] == p:
+            grp.append(pending[j][1])
+            j += 1
+        groups.append(_Group(p, tuple(grp)))
+        i = j
+    defkey = {}
+    for g in groups:
+        for it in g.items:
+            defkey[it] = g.key
+    cont = loop.cont
+    if defkey.get(cont) is not True:
+        return None  # continuation must be unconditional in this body
+    # mask terms must be readable when the group's first item runs:
+    # loop-invariant, a mu of this loop, or an earlier unconditional item
+    for g in groups:
+        if g.key is True:
+            continue
+        first = pos[id(g.items[0])]
+        for v, _neg in g.key:
+            if isinstance(v, Mu) and v.loop is loop:
+                continue
+            if v in defkey:
+                if defkey[v] is not True or pos[id(v)] >= first:
+                    return None
+            elif isinstance(v, Mu):
+                return None  # mu of some other loop inside us — malformed
+    inductions: dict = {}
+    reductions: dict = {}
+    for mu in loop.mus:
+        if mu.rec is None:
+            return None
+        if mu.type.is_int() or mu.type.is_pointer():
+            ar = addrec_of(mu, loop)
+            if ar is None:
+                return None
+            inductions[mu] = ar
+            continue
+        rec = mu.rec
+        if mu.type.is_vector() and mu.type.elem.is_float():
+            # SLP'd accumulator: per-lane independent scan, batched as a
+            # (tn+1, lanes) accumulate along the iteration axis
+            if (
+                not isinstance(rec, VecBin)
+                or rec.op not in ("add", "sub", "mul", "min", "max")
+                or defkey.get(rec) is not True
+            ):
+                return None
+        elif mu.type.is_float():
+            if (
+                not isinstance(rec, BinOp)
+                or rec.op not in ("add", "sub", "mul", "min", "max")
+                or defkey.get(rec) is not True
+            ):
+                return None
+        else:
+            return None
+        a, b = rec.operands
+        if rec.op == "sub":
+            # sub folds as add-of-negation: the accumulator must be the
+            # left operand
+            other = b if a is mu and b is not mu else None
+        else:
+            other = b if a is mu else a if b is mu else None
+        if other is None or other is mu:
+            return None
+        reductions[mu] = (rec.op, other, rec)
+    accesses: dict = {}
+    mem_ops = []
+    for g in groups:
+        for it in g.items:
+            if not isinstance(it, (Load, Store, VecLoad, VecStore)):
+                continue
+            ar = addrec_of(it.pointer, loop)
+            if ar is None or not ar.step.is_constant():
+                return None
+            step, width = ar.step.const, it.access_slots
+            if width <= 0:
+                return None
+            ba = BatchAccess(it, ar.base, step, width)
+            accesses[id(it)] = ba
+            mem_ops.append(ba)
+    cells_by_load, cells_by_store = _match_cells(mem_ops, defkey, pos)
+    if cells_by_load is None:
+        return None
+    cell_ids = set(cells_by_load) | set(cells_by_store)
+    acc_list = []
+    for ba in mem_ops:
+        it = ba.inst
+        if id(it) in cell_ids:
+            continue
+        if isinstance(it, (Store, VecStore)):
+            vty = it.value.type
+            ok = vty.is_float() or (vty.is_vector() and vty.elem.is_float())
+            if not ok or ba.step == 0:
+                return None  # overlay stores / last-write races: scalar
+        acc_list.append(ba)
+    pairs = phase_split_hazards(loop, acc_list)
+    if pairs is None:
+        return None
+    pairs = list(pairs)
+    # The cell fold reorders its load and store across the whole loop, so
+    # a cell must be disjoint from *every* other access (not merely
+    # phase-split compatible): any colliding load would observe a partial
+    # sum, any colliding store would break the fold.
+    others = [ba for ba in mem_ops if id(ba.inst) not in cell_ids]
+    cell_accs = [accesses[lid] for lid in cells_by_load]
+    for i, ca in enumerate(cell_accs):
+        for ba in others + cell_accs[i + 1:]:
+            d = difference(ba.base, ca.base)
+            if d is not None:
+                if ba.step == 0:
+                    if -ba.width < d < 1:
+                        return None  # statically collides with the cell
+                    continue
+                if ba.step > 0 and d >= 1:
+                    continue  # sweeps upward from above the cell
+                if ba.step < 0 and d + ba.width <= 0:
+                    continue  # sweeps downward from below the cell
+            pairs.append((ca, ba))
+    return _Plan(cl, groups, inductions, reductions, accesses, pairs,
+                 cells_by_load, cells_by_store)
+
+
+def _match_cells(mem_ops, defkey, pos):
+    """Pair every step-0 store with the step-0 load of the same address
+    that it accumulates over.  Returns ``(by_load, by_store)`` keyed by
+    ``id()``; ``(None, None)`` when some step-0 store matches no cell, in
+    which case the loop must stay scalar."""
+    loads0 = [ba for ba in mem_ops
+              if isinstance(ba.inst, Load) and ba.step == 0
+              and ba.width == 1 and ba.inst.type.is_float()
+              and defkey.get(ba.inst) is True]
+    by_load: dict = {}
+    by_store: dict = {}
+    for ba in mem_ops:
+        st = ba.inst
+        if not isinstance(st, Store) or ba.step != 0:
+            continue
+        rec = st.value
+        if (defkey.get(st) is not True
+                or not isinstance(rec, BinOp)
+                or rec.op not in ("add", "sub", "mul", "min", "max")
+                or defkey.get(rec) is not True):
+            return None, None
+        a, b = rec.operands
+        match = None
+        for ld in loads0:
+            if (id(ld.inst) in by_load or pos[id(ld.inst)] >= pos[id(st)]
+                    or difference(ld.base, ba.base) != 0):
+                continue
+            # ``sub`` folds as add-of-negation, so the cell must be the
+            # left operand; the commutative ops accept either side
+            if a is ld.inst and b is not ld.inst:
+                match, addend = ld, b
+                break
+            if b is ld.inst and a is not ld.inst and rec.op != "sub":
+                match, addend = ld, a
+                break
+        if match is None:
+            return None, None
+        cell = _Cell(match.inst, st, rec, rec.op, addend)
+        by_load[id(match.inst)] = by_store[id(st)] = cell
+    return by_load, by_store
+
+
+# ---------------------------------------------------------------------------
+# Per-loop fast-path code generation
+# ---------------------------------------------------------------------------
+
+
+class _LoopGen:
+    def __init__(self, c: "_ArrayCompiler", loop: Loop, plan: _Plan, k: int):
+        self.c = c
+        self.loop = loop
+        self.plan = plan
+        self.k = k
+        self.inner = _defined_in(loop)
+        self.g = c.tmp()
+        self.tn = c.tmp()
+        self.count_lines: list[str] = []
+        self.conj2: list[str] = []
+        self._conj_seen: set[str] = set()
+        self.compute: list[str] = []
+        self.finals: list[tuple[int, str]] = []
+        self.commits: list[str] = []
+        self.probes: dict[str, object] = {}
+        self.av: dict[int, _AV] = {}
+        self._keep: list = []  # id() stability for the av cache
+        self._inprog: set[int] = set()
+        self.need_ar = False
+        self.ar_name = c.tmp()
+        self.need_lane: dict[int, str] = {}
+        self.masks: dict[int, str] = {}
+        self.item_group: dict[int, int] = {}
+        self.acc_base: dict[int, tuple[str, str, str]] = {}
+        self.cell_acc: dict[int, str] = {}
+        # Speed mode: locals dead after the loop need no vectors and no
+        # finals (exact mode keeps everything — its analytic accounting
+        # is the contract under test, and risk conjuncts of dead ops
+        # still gate data-dependent costs).
+        self.live: Optional[set] = None
+        if not c.account:
+            rv = c.fn.return_value
+            self.live = {
+                id(v) for v in self.inner
+                if v is rv or any(u not in self.inner for u in v._users)
+            }
+
+    # -- small helpers ---------------------------------------------------
+
+    def ar(self) -> str:
+        self.need_ar = True
+        return self.ar_name
+
+    def lane_ar(self, lanes: int) -> str:
+        t = self.need_lane.get(lanes)
+        if t is None:
+            t = self.need_lane[lanes] = self.c.tmp()
+        return t
+
+    def add_conj(self, e: str) -> None:
+        if e not in self._conj_seen:
+            self._conj_seen.add(e)
+            self.conj2.append(e)
+
+    def _emit(self, expr: str, tag: str, dt: str) -> _AV:
+        t = self.c.tmp()
+        self.compute.append(f"{t} = {expr}")
+        return _AV(tag, t, dt)
+
+    def risk(self, bad: str, mask: Optional[str], badtag: str) -> None:
+        """Conjoin 'no lane trips this hazard' onto the guard."""
+        g = self.g
+        if mask is not None:
+            if badtag in ("S", "C1"):
+                me = f"({bad}) & {mask}"
+            elif badtag == "ROW":
+                me = f"({bad})[None, :] & {mask}[:, None]"
+            else:  # COL / M
+                me = f"({bad}) & {mask}[:, None]"
+            self.compute.append(f"{g} = {g} and not NP.any({me})")
+        elif badtag == "S":
+            self.compute.append(f"{g} = {g} and not ({bad})")
+        else:
+            self.compute.append(f"{g} = {g} and not NP.any({bad})")
+
+    def affexpr(self, aff: Affine) -> str:
+        """Scalar int expression for an invariant affine, with probes."""
+        parts = []
+        for sym, coeff in aff.terms.items():
+            if isinstance(sym, (Constant, Undef)):
+                raise _Bail()
+            t = sym.type
+            if not (t.is_int() or t.is_pointer()):
+                raise _Bail()
+            if sym in self.inner:
+                raise _Bail()
+            n = self.c.name(sym)
+            self.probes.setdefault(n, "i")
+            parts.append(n if coeff == 1 else f"{coeff}*{n}")
+        if aff.const or not parts:
+            parts.append(str(aff.const))
+        return "(" + " + ".join(parts) + ")"
+
+    # -- trip count and access spans -------------------------------------
+
+    def _emit_count(self) -> None:
+        cl = self.plan.cl
+        eb, ed = self.affexpr(cl.base), self.affexpr(cl.bound)
+        if cl.step < 0:
+            d_expr, s2 = f"{eb} - {ed}", -cl.step
+            rel2 = {"gt": "lt", "ge": "le"}[cl.rel]
+        else:
+            d_expr, s2 = f"{ed} - {eb}", cl.step
+            rel2 = cl.rel
+        td = self.c.tmp()
+        self.count_lines.append(f"{td} = {d_expr}")
+        kx = f"-(-{td} // {s2})" if rel2 == "lt" else f"{td} // {s2} + 1"
+        self.count_lines.append(f"{self.tn} = {kx}")
+        self.count_lines.append(
+            f"{self.tn} = ({self.tn} + 1) if {self.tn} > 0 else 1"
+        )
+        if self.c.account:
+            self.add_conj(f"C[{self.k}] + {self.tn} <= {self.c.max_steps}")
+        else:
+            self.add_conj(f"{self.tn} <= {self.c.max_steps}")
+        if self.plan.accesses:
+            self.add_conj("not EXO")
+        for a in self.plan.accesses.values():
+            t = self.c.tmp()
+            self.count_lines.append(f"{t} = {self.affexpr(a.base)}")
+            s, w = a.step, a.width
+            if s >= 0:
+                lo = t
+                hi = f"({t} + {s}*({self.tn} - 1) + {w})"
+            else:
+                lo = f"({t} + {s}*({self.tn} - 1))"
+                hi = f"({t} + {w})"
+            self.acc_base[id(a.inst)] = (t, lo, hi)
+            self.add_conj(f"{lo} >= {NULL_PAGE}")
+            self.add_conj(f"{hi} <= {self.c.nx}")
+        for a, b in self.plan.pairs:
+            _, loa, hia = self.acc_base[id(a.inst)]
+            _, lob, hib = self.acc_base[id(b.inst)]
+            self.add_conj(f"{hia} <= {lob} or {hib} <= {loa}")
+
+    # -- masks ------------------------------------------------------------
+
+    def mask_for(self, gi: Optional[int]) -> Optional[str]:
+        if gi is None:
+            return None
+        grp = self.plan.groups[gi]
+        if grp.key is True:
+            return None
+        m = self.masks.get(gi)
+        if m is not None:
+            return m
+        arr_parts, s_parts = [], []
+        for v, neg in grp.key:
+            av = self.aval(v)
+            if av.tag == "C1":
+                arr_parts.append(
+                    f"({av.expr} == 0)" if neg else f"({av.expr} != 0)"
+                )
+            elif av.tag == "S":
+                s_parts.append(
+                    f"(not {av.expr})" if neg else f"bool({av.expr})"
+                )
+            else:
+                raise _Bail()
+        m = self.c.tmp()
+        if arr_parts:
+            e = " & ".join(arr_parts)
+            if s_parts:
+                e = f"({' and '.join(s_parts)}) & {e}"
+            self.compute.append(f"{m} = {e}")
+        else:
+            self.compute.append(
+                f"{m} = NP.full({self.tn}, {' and '.join(s_parts)})"
+            )
+        self.masks[gi] = m
+        return m
+
+    # -- value vectorization ----------------------------------------------
+
+    def aval(self, v: Value) -> _AV:
+        key = id(v)
+        got = self.av.get(key)
+        if got is not None:
+            return got
+        if key in self._inprog:
+            raise _Bail()  # true cyclic recurrence — not a simple scan
+        self._inprog.add(key)
+        try:
+            r = self._aval_inner(v)
+        finally:
+            self._inprog.discard(key)
+        self.av[key] = r
+        self._keep.append(v)
+        return r
+
+    def _aval_inner(self, v: Value) -> _AV:
+        c = self.c
+        if isinstance(v, Constant):
+            val = v.value
+            dt = ("b" if isinstance(val, bool)
+                  else "i" if isinstance(val, int) else "f")
+            return _AV("S", c.lit(val), dt)
+        if isinstance(v, Undef):
+            return _AV("S", "0", "i")
+        if isinstance(v, Mu) and v.loop is self.loop:
+            return self._aval_mu(v)
+        if v not in self.inner:
+            # loop-invariant: a named local, guarded by a type probe
+            n = c.name(v)
+            t = v.type
+            if t.is_float():
+                self.probes.setdefault(n, "f")
+                return _AV("S", n, "f")
+            if t.is_int() or t.is_pointer():
+                self.probes.setdefault(n, "i")
+                return _AV("S", n, "i")
+            if t.is_bool():
+                self.probes.setdefault(n, "b")
+                return _AV("S", n, "b")
+            if t.is_vector() and t.elem.is_float():
+                self.probes.setdefault(n, ("v", t.lanes))
+                return self._emit(
+                    f"NP.array({n}, dtype=F64)", "ROW", "f"
+                )
+            raise _Bail()
+        if not isinstance(v, Instruction):
+            raise _Bail()
+        return self._aval_item(v)
+
+    def _aval_mu(self, mu: Mu) -> _AV:
+        ar = self.plan.inductions.get(mu)
+        if ar is not None:
+            return self._materialize_aff(ar.base, ar.step)
+        red = self.plan.reductions.get(mu)
+        if red is None:
+            raise _Bail()
+        return self._emit_reduction(mu, red)
+
+    def _materialize_aff(self, base: Affine, step: Affine) -> _AV:
+        eb, es = self.affexpr(base), self.affexpr(step)
+        e1 = f"({eb} + {es}*({self.tn} - 1))"
+        self.add_conj(f"-{_MAXI} <= {eb} <= {_MAXI}")
+        self.add_conj(f"-{_MAXI} <= {e1} <= {_MAXI}")
+        return self._emit(f"{eb} + {es}*{self.ar()}", "C1", "i")
+
+    def _emit_reduction(self, mu: Mu, red: tuple) -> _AV:
+        op, addend, rec = red
+        if mu.type.is_vector():
+            return self._emit_vec_reduction(mu, op, addend, rec)
+        init = self.aval(mu.init)
+        if init.tag != "S" or init.dt not in ("f", "i"):
+            raise _Bail()
+        if init.dt == "i":
+            self.add_conj(f"-{_MAXI} <= {init.expr} <= {_MAXI}")
+        a = self.aval(addend)
+        if a.tag not in ("S", "C1"):
+            raise _Bail()
+        if a.dt == "i" and a.tag == "S":
+            self.add_conj(f"-{_MAXI} <= {a.expr} <= {_MAXI}")
+        tacc = self.c.tmp()
+        self.compute.append(f"{tacc} = NP.empty({self.tn} + 1)")
+        self.compute.append(f"{tacc}[0] = {init.expr}")
+        neg = "-" if op == "sub" else ""
+        self.compute.append(f"{tacc}[1:] = {neg}({a.expr})")
+        if op == "sub":
+            op = "add"  # IEEE subtraction is addition of the negation
+        if op in ("min", "max"):
+            # np.minimum diverges from Python min on NaN and ±0 ties
+            self.risk(
+                f"NP.isnan({tacc})", None, "C1"
+            )
+            self.risk(f"{tacc} == 0.0", None, "C1")
+            uf = "NP.minimum" if op == "min" else "NP.maximum"
+        else:
+            uf = "NP.add" if op == "add" else "NP.multiply"
+        self.compute.append(f"{uf}.accumulate({tacc}, out={tacc})")
+        # the mu reads the running value at iteration *start*; the rec
+        # item is the value after this iteration's update
+        self.av[id(rec)] = _AV("C1", f"{tacc}[1:]", "f")
+        self._keep.append(rec)
+        return _AV("C1", f"{tacc}[:{self.tn}]", "f", acc=tacc)
+
+    def _emit_vec_reduction(self, mu: Mu, op: str, addend: Value,
+                            rec: Instruction) -> _AV:
+        """An SLP'd vector accumulator: lanes never mix, so the scan is a
+        per-lane ``accumulate`` down a (tn+1, lanes) matrix whose row 0
+        is the incoming value and rows 1..tn are the per-iteration
+        addends — sequential per lane, hence bit-identical."""
+        lanes = mu.type.lanes
+        init = self.aval(mu.init)
+        if init.tag != "ROW" or init.dt != "f":
+            raise _Bail()
+        a = self.aval(addend)
+        if a.dt != "f" or a.tag not in ("S", "ROW", "COL", "M"):
+            raise _Bail()
+        tacc = self.c.tmp()
+        self.compute.append(
+            f"{tacc} = NP.empty(({self.tn} + 1, {lanes}))"
+        )
+        self.compute.append(f"{tacc}[0] = {init.expr}")
+        neg = "-" if op == "sub" else ""
+        self.compute.append(f"{tacc}[1:] = {neg}({self._to_m(a, lanes)})")
+        if op == "sub":
+            op = "add"  # IEEE subtraction is addition of the negation
+        if op in ("min", "max"):
+            # np.minimum diverges from Python min on NaN and ±0 ties
+            self.risk(f"NP.isnan({tacc})", None, "M")
+            self.risk(f"{tacc} == 0.0", None, "M")
+            uf = "NP.minimum" if op == "min" else "NP.maximum"
+        else:
+            uf = "NP.add" if op == "add" else "NP.multiply"
+        self.compute.append(f"{uf}.accumulate({tacc}, axis=0, out={tacc})")
+        self.av[id(rec)] = _AV("M", f"{tacc}[1:]", "f")
+        self._keep.append(rec)
+        return _AV("M", f"{tacc}[:{self.tn}]", "f", acc=tacc)
+
+    # -- per-opcode emitters ----------------------------------------------
+
+    def _aval_item(self, v: Instruction) -> _AV:
+        mask = self.mask_for(self.item_group.get(id(v)))
+        ty = v.type
+        if isinstance(v, Load):
+            return self._aval_load(v)
+        if isinstance(v, VecLoad):
+            return self._aval_vecload(v)
+        if ty.is_int() or ty.is_pointer():
+            ar = addrec_of(v, self.loop)
+            if ar is not None:
+                return self._materialize_aff(ar.base, ar.step)
+            if isinstance(v, Select):
+                return self._aval_select(v)
+            raise _Bail()
+        if isinstance(v, Cmp):
+            return self._aval_cmp(v)
+        if isinstance(v, BinOp):
+            return self._aval_binop(v, mask)
+        if isinstance(v, UnOp):
+            return self._aval_unop(v, mask)
+        if isinstance(v, Select):
+            return self._aval_select(v)
+        if isinstance(v, Cast):
+            return self._aval_cast(v)
+        if isinstance(v, (VecBin, VecCmp)):
+            return self._aval_vecbin(v, mask)
+        if isinstance(v, VecUn):
+            return self._aval_vecun(v, mask)
+        if isinstance(v, VecSelect):
+            return self._aval_vecselect(v)
+        if isinstance(v, BuildVector):
+            return self._aval_buildvector(v)
+        if isinstance(v, ExtractLane):
+            return self._aval_extractlane(v)
+        if isinstance(v, Shuffle):
+            return self._aval_shuffle(v)
+        if isinstance(v, Broadcast):
+            return self._aval_broadcast(v)
+        if isinstance(v, Reduce):
+            return self._aval_reduce(v)
+        raise _Bail()  # Phi/Call/Alloca/Eta/...: scalar only
+
+    @staticmethod
+    def _sc_tag(*avs: _AV) -> str:
+        for a in avs:
+            if a.tag not in ("S", "C1"):
+                raise _Bail()
+        return "C1" if any(a.tag == "C1" for a in avs) else "S"
+
+    def _int_guard(self, *avs: _AV) -> None:
+        """NumPy converts big Python ints via C int64 (raising) where
+        scalar Python arithmetic matches float64 rounding; keep both in
+        the exactly-representable range."""
+        for a in avs:
+            if a.dt == "i" and a.tag == "S":
+                self.add_conj(f"-{_MAXI} <= {a.expr} <= {_MAXI}")
+
+    @staticmethod
+    def _vtag(*avs: _AV) -> str:
+        tags = [a.tag for a in avs]
+        for t in tags:
+            if t not in ("S", "ROW", "COL", "M"):
+                raise _Bail()
+        if "M" in tags or ("ROW" in tags and "COL" in tags):
+            return "M"
+        if "COL" in tags:
+            return "COL"
+        if "ROW" in tags:
+            return "ROW"
+        return "S"
+
+    def _aval_binop(self, v: BinOp, mask: Optional[str]) -> _AV:
+        a, b = self.aval(v.operands[0]), self.aval(v.operands[1])
+        tag = self._sc_tag(a, b)
+        return self._float_bin(v.op, a, b, tag, mask)
+
+    def _float_bin(self, op: str, a: _AV, b: _AV, tag: str,
+                   mask: Optional[str]) -> _AV:
+        arr = tag != "S"
+        if arr:
+            self._int_guard(a, b)
+        if op in ("add", "sub", "mul"):
+            return self._emit(f"{a.expr} {_BIN_SYM[op]} {b.expr}", tag, "f")
+        if op in ("min", "max"):
+            if not arr:
+                return self._emit(f"{op}({a.expr}, {b.expr})", "S", "f")
+            rel = "<" if op == "min" else ">"
+            # where-form matches Python min/max ties and NaN exactly
+            return self._emit(
+                f"NP.where({b.expr} {rel} {a.expr}, {b.expr}, {a.expr})",
+                tag, "f",
+            )
+        if op == "div":
+            self.risk(f"{b.expr} == 0", mask, b.tag)
+            if not arr:
+                return self._emit(
+                    f"({a.expr} / {b.expr}) if {self.g} else 0.0", "S", "f"
+                )
+            return self._emit(f"{a.expr} / {b.expr}", tag, "f")
+        if op == "rem":
+            self.risk(f"{b.expr} == 0", mask, b.tag)
+            if not arr:
+                f = self.c.hoist("FMOD", math.fmod)
+                return self._emit(
+                    f"{f}({a.expr}, {b.expr}) if {self.g} else 0.0", "S", "f"
+                )
+            return self._emit(f"NP.fmod({a.expr}, {b.expr})", tag, "f")
+        raise _Bail()  # pow / int-coercing bitwise ops: scalar only
+
+    def _aval_cmp(self, v: Cmp) -> _AV:
+        a, b = self.aval(v.operands[0]), self.aval(v.operands[1])
+        tag = self._sc_tag(a, b)
+        if tag != "S":
+            self._int_guard(a, b)
+        return self._emit(f"{a.expr} {_CMP_SYM[v.rel]} {b.expr}", tag, "b")
+
+    def _aval_unop(self, v: UnOp, mask: Optional[str]) -> _AV:
+        a = self.aval(v.operands[0])
+        tag = self._sc_tag(a)
+        return self._float_un(v.op, a, tag, mask)
+
+    def _float_un(self, op: str, a: _AV, tag: str,
+                  mask: Optional[str]) -> _AV:
+        arr = tag not in ("S",)
+        if op == "neg":
+            return self._emit(f"-{a.expr}", tag, a.dt)
+        if op == "abs":
+            e = f"NP.abs({a.expr})" if arr else f"abs({a.expr})"
+            return self._emit(e, tag, a.dt)
+        if op == "not":
+            return self._emit(f"{a.expr} == 0", tag, "b")
+        if op == "sqrt":
+            self.risk(f"{a.expr} < 0", mask, a.tag)
+            if not arr:
+                f = self.c.hoist("SQRT", math.sqrt)
+                return self._emit(
+                    f"{f}({a.expr}) if {self.g} else 0.0", "S", "f"
+                )
+            return self._emit(f"NP.sqrt({a.expr})", tag, "f")
+        raise _Bail()  # libm transcendentals: last-ulp risk, scalar only
+
+    def _aval_select(self, v: Select) -> _AV:
+        cnd = self.aval(v.cond)
+        t, f = self.aval(v.true_value), self.aval(v.false_value)
+        tag = self._sc_tag(cnd, t, f)
+        if t.dt != f.dt:
+            raise _Bail()
+        if tag == "S":
+            return self._emit(
+                f"({t.expr}) if ({cnd.expr}) else ({f.expr})", "S", t.dt
+            )
+        self._int_guard(t, f)
+        return self._emit(
+            f"NP.where({cnd.expr}, {t.expr}, {f.expr})", "C1", t.dt
+        )
+
+    def _aval_cast(self, v: Cast) -> _AV:
+        a = self.aval(v.operands[0])
+        if a.tag not in ("S", "C1") or not v.type.is_float():
+            raise _Bail()
+        if a.dt == "f":
+            return _AV(a.tag, a.expr, "f")
+        if a.tag == "C1":
+            return self._emit(f"({a.expr}).astype(F64)", "C1", "f")
+        if a.dt == "i":
+            self.add_conj(f"-{_MAXI} <= {a.expr} <= {_MAXI}")
+        return self._emit(f"float({a.expr})", "S", "f")
+
+    def _emit_cell_reduction(self, cell: _Cell) -> _AV:
+        """Fold ``x[c] = x[c] op e`` exactly like a mu reduction, with the
+        initial value read from the cell; ``sub`` accumulates the negated
+        addend (IEEE subtraction *is* addition of the negation, so the
+        scan stays bit-identical)."""
+        tb, _, _ = self.acc_base[id(cell.load)]
+        a = self.aval(cell.addend)
+        if a.dt != "f" or a.tag not in ("S", "C1"):
+            raise _Bail()
+        tacc = self.c.tmp()
+        self.compute.append(f"{tacc} = NP.empty({self.tn} + 1)")
+        self.compute.append(f"{tacc}[0] = AI({tb})")
+        neg = "-" if cell.op == "sub" else ""
+        self.compute.append(f"{tacc}[1:] = {neg}({a.expr})")
+        op = "add" if cell.op == "sub" else cell.op
+        if op in ("min", "max"):
+            # np.minimum diverges from Python min on NaN and ±0 ties
+            self.risk(f"NP.isnan({tacc})", None, "C1")
+            self.risk(f"{tacc} == 0.0", None, "C1")
+            uf = "NP.minimum" if op == "min" else "NP.maximum"
+        else:
+            uf = "NP.add" if op == "add" else "NP.multiply"
+        self.compute.append(f"{uf}.accumulate({tacc}, out={tacc})")
+        self.av[id(cell.rec)] = _AV("C1", f"{tacc}[1:]", "f")
+        self._keep.append(cell.rec)
+        self.cell_acc[id(cell.store)] = tacc
+        return _AV("C1", f"{tacc}[:{self.tn}]", "f")
+
+    def _aval_load(self, v: Load) -> _AV:
+        cell = self.plan.cells_by_load.get(id(v))
+        if cell is not None:
+            return self._emit_cell_reduction(cell)
+        tb, _, _ = self.acc_base[id(v)]
+        s = self.plan.accesses[id(v)].step
+        if s == 0:
+            return self._emit(f"AI({tb})", "S", "f")
+        if s == 1:
+            e = f"ARR[{tb}:{tb} + {self.tn}]"
+        elif s > 1:
+            e = f"ARR[{tb}:{tb} + {self.tn}*{s}:{s}]"
+        else:
+            e = f"ARR[{tb} + {s}*{self.ar()}]"
+        return self._emit(e, "C1", "f")
+
+    def _aval_vecload(self, v: VecLoad) -> _AV:
+        tb, _, _ = self.acc_base[id(v)]
+        s = self.plan.accesses[id(v)].step
+        lanes = v.type.lanes
+        if s == 0:
+            return self._emit(f"ARR[{tb}:{tb} + {lanes}]", "ROW", "f")
+        if s == lanes and s > 0:
+            e = f"ARR[{tb}:{tb} + {self.tn}*{lanes}].reshape(-1, {lanes})"
+        else:
+            e = (f"ARR[({tb} + {s}*{self.ar()})[:, None]"
+                 f" + {self.lane_ar(lanes)}]")
+        return self._emit(e, "M", "f")
+
+    def _aval_vecbin(self, v, mask: Optional[str]) -> _AV:
+        a, b = self.aval(v.operands[0]), self.aval(v.operands[1])
+        tag = self._vtag(a, b)
+        if isinstance(v, VecCmp):
+            if tag != "S":
+                self._int_guard(a, b)
+            return self._emit(
+                f"{a.expr} {_CMP_SYM[v.rel]} {b.expr}", tag, "b"
+            )
+        return self._float_bin(v.op, a, b, tag, mask)
+
+    def _aval_vecun(self, v: VecUn, mask: Optional[str]) -> _AV:
+        a = self.aval(v.operands[0])
+        return self._float_un(v.op, a, self._vtag(a), mask)
+
+    def _aval_vecselect(self, v: VecSelect) -> _AV:
+        m = self.aval(v.operands[0])
+        t, f = self.aval(v.operands[1]), self.aval(v.operands[2])
+        tag = self._vtag(m, t, f)
+        if t.dt != f.dt:
+            raise _Bail()
+        if tag == "S":
+            return self._emit(
+                f"({t.expr}) if ({m.expr}) else ({f.expr})", "S", t.dt
+            )
+        self._int_guard(t, f)
+        return self._emit(
+            f"NP.where({m.expr}, {t.expr}, {f.expr})", tag, t.dt
+        )
+
+    def _aval_buildvector(self, v: BuildVector) -> _AV:
+        if not (v.type.is_vector() and v.type.elem.is_float()):
+            raise _Bail()
+        els = [self.aval(o) for o in v.operands]
+        for e in els:
+            if e.tag not in ("S", "C1"):
+                raise _Bail()
+        self._int_guard(*els)
+        joined = ", ".join(e.expr for e in els)
+        if all(e.tag == "S" for e in els):
+            return self._emit(f"NP.array([{joined}], dtype=F64)", "ROW", "f")
+        return self._emit(
+            f"NP.stack(NP.broadcast_arrays({joined}), axis=-1)"
+            f".astype(F64, copy=False)",
+            "M", "f",
+        )
+
+    def _aval_extractlane(self, v: ExtractLane) -> _AV:
+        a = self.aval(v.operands[0])
+        j = v.lane
+        if a.tag == "M":
+            return self._emit(f"{a.expr}[:, {j}]", "C1", a.dt)
+        if a.tag == "COL":
+            return self._emit(f"{a.expr}[:, 0]", "C1", a.dt)
+        if a.tag == "ROW":
+            return self._emit(f"({a.expr}).item({j})", "S", a.dt)
+        if a.tag == "S":
+            return _AV("S", a.expr, a.dt)
+        raise _Bail()
+
+    def _to_m(self, a: _AV, lanes: int) -> str:
+        if a.tag == "M":
+            return a.expr
+        if a.tag == "COL":
+            return f"NP.broadcast_to({a.expr}, ({self.tn}, {lanes}))"
+        if a.tag == "ROW":
+            return f"NP.broadcast_to({a.expr}, ({self.tn}, {lanes}))"
+        return f"NP.full(({self.tn}, {lanes}), {a.expr})"
+
+    def _aval_shuffle(self, v: Shuffle) -> _AV:
+        picks = list(v.mask)
+        a = self.aval(v.operands[0])
+        if len(v.operands) == 1:
+            if a.tag in ("S", "COL"):
+                return a  # every lane equal: any permutation is itself
+            if a.tag == "ROW":
+                return self._emit(f"({a.expr})[{picks}]", "ROW", a.dt)
+            if a.tag == "M":
+                return self._emit(f"({a.expr})[:, {picks}]", "M", a.dt)
+            raise _Bail()
+        b = self.aval(v.operands[1])
+        if a.tag == "ROW" and b.tag == "ROW":
+            return self._emit(
+                f"NP.concatenate(({a.expr}, {b.expr}))[{picks}]", "ROW", a.dt
+            )
+        lanes = v.operands[0].type.lanes
+        ea, eb = self._to_m(a, lanes), self._to_m(b, lanes)
+        return self._emit(
+            f"NP.concatenate(({ea}, {eb}), axis=1)[:, {picks}]", "M", a.dt
+        )
+
+    def _aval_broadcast(self, v: Broadcast) -> _AV:
+        a = self.aval(v.operands[0])
+        if a.tag == "S":
+            return _AV("S", a.expr, a.dt)
+        if a.tag == "C1":
+            return self._emit(f"({a.expr})[:, None]", "COL", a.dt)
+        raise _Bail()
+
+    def _aval_reduce(self, v: Reduce) -> _AV:
+        if v.op not in ("add", "mul", "min", "max"):
+            raise _Bail()
+        a = self.aval(v.operands[0])
+        lanes = v.operands[0].type.lanes
+        if a.tag == "M":
+            cols = [f"{a.expr}[:, {j}]" for j in range(lanes)]
+            arr = True
+        elif a.tag == "COL":
+            cols = [f"{a.expr}[:, 0]"] * lanes
+            arr = True
+        elif a.tag == "ROW":
+            cols = [f"({a.expr}).item({j})" for j in range(lanes)]
+            arr = False
+        elif a.tag == "S":
+            cols = [a.expr] * lanes
+            arr = False
+        else:
+            raise _Bail()
+        acc = cols[0]
+        if arr and a.tag == "M":
+            acc = self._emit(acc, "C1", a.dt).expr
+        for x in cols[1:]:
+            acc = self._reduce_step(v.op, acc, x, arr, a.dt)
+        tag = "C1" if arr else "S"
+        if arr and acc == cols[0]:  # lanes == 1: force a temp
+            acc = self._emit(acc, "C1", a.dt).expr
+        return _AV(tag, acc, a.dt)
+
+    def _reduce_step(self, op: str, acc: str, x: str, arr: bool,
+                     dt: str) -> str:
+        if op in ("add", "mul"):
+            sym = "+" if op == "add" else "*"
+            e = f"{acc} {sym} {x}"
+        elif arr:
+            rel = "<" if op == "min" else ">"
+            e = f"NP.where({x} {rel} {acc}, {x}, {acc})"
+        else:
+            e = f"{op}({acc}, {x})"
+        return self._emit(e, "C1" if arr else "S", dt).expr
+
+    # -- finals, commits, counters ----------------------------------------
+
+    def _final_expr(self, it: Instruction, tki: str) -> str:
+        av = self.av[id(it)]
+        if it.type.is_vector():
+            lanes = it.type.lanes
+            if av.tag == "S":
+                return f"[{av.expr}] * {lanes}"
+            if av.tag == "ROW":
+                return f"({av.expr}).tolist()"
+            if av.tag == "COL":
+                return f"[({av.expr}).item({tki}, 0)] * {lanes}"
+            return f"({av.expr})[{tki}].tolist()"
+        if av.tag == "S":
+            return av.expr
+        return f"({av.expr}).item({tki})"
+
+    def _emit_finals(self) -> None:
+        c = self.c
+        live = self.live
+        for mu in self.loop.mus:
+            if live is not None and id(mu) not in live:
+                continue
+            n = c.name(mu)
+            ar = self.plan.inductions.get(mu)
+            if ar is not None:
+                eb, es = self.affexpr(ar.base), self.affexpr(ar.step)
+                self.finals.append((0, f"{n} = {eb} + {es}*({self.tn} - 1)"))
+            else:
+                acc = self.aval(mu).acc
+                if mu.type.is_vector():
+                    self.finals.append(
+                        (0, f"{n} = {acc}[{self.tn} - 1].tolist()")
+                    )
+                else:
+                    self.finals.append(
+                        (0, f"{n} = {acc}.item({self.tn} - 1)")
+                    )
+        for gi, grp in enumerate(self.plan.groups):
+            outs = [
+                it for it in grp.items
+                if not isinstance(it, (Store, VecStore))
+                and (live is None or id(it) in live)
+            ]
+            if not outs:
+                continue
+            if grp.key is True:
+                ind0, tki = 0, f"({self.tn} - 1)"
+            else:
+                m = self.mask_for(gi)
+                self.finals.append((0, f"if {m}.any():"))
+                tki = c.tmp()
+                self.finals.append(
+                    (1, f"{tki} = {self.tn} - 1 - int({m}[::-1].argmax())")
+                )
+                ind0 = 1
+            for it in outs:
+                self.finals.append(
+                    (ind0, f"{c.name(it)} = {self._final_expr(it, tki)}")
+                )
+
+    def _emit_commits(self) -> None:
+        for gi, grp in enumerate(self.plan.groups):
+            mask = self.mask_for(gi if grp.key is not True else None)
+            for it in grp.items:
+                if isinstance(it, Store):
+                    self._commit_store(it, mask)
+                elif isinstance(it, VecStore):
+                    self._commit_vecstore(it, mask)
+        if self.c.account:
+            self._emit_counts()
+
+    def _commit_store(self, it: Store, mask: Optional[str]) -> None:
+        tb, _, _ = self.acc_base[id(it)]
+        tacc = self.cell_acc.get(id(it))
+        if tacc is not None:
+            # cell reduction: the last iteration's store wrote the fully
+            # accumulated value (row tn of the scan)
+            self.commits.append(f"ARR[{tb}] = {tacc}.item({self.tn})")
+            return
+        s = self.plan.accesses[id(it)].step
+        val = self.av[id(it.value)]
+        if s > 0:
+            dst = (f"ARR[{tb}:{tb} + {self.tn}]" if s == 1
+                   else f"ARR[{tb}:{tb} + {self.tn}*{s}:{s}]")
+            if mask is None:
+                self.commits.append(f"{dst} = {val.expr}")
+            else:
+                t = self.c.tmp()
+                self.commits.append(f"{t} = {dst}")
+                self.commits.append(
+                    f"{t}[:] = NP.where({mask}, {val.expr}, {t})"
+                )
+        else:
+            t = self.c.tmp()
+            self.commits.append(f"{t} = {tb} + {s}*{self.ar()}")
+            if mask is None:
+                self.commits.append(f"ARR[{t}] = {val.expr}")
+            else:
+                self.commits.append(
+                    f"ARR[{t}] = NP.where({mask}, {val.expr}, ARR[{t}])"
+                )
+
+    def _commit_vecstore(self, it: VecStore, mask: Optional[str]) -> None:
+        tb, _, _ = self.acc_base[id(it)]
+        s = self.plan.accesses[id(it)].step
+        lanes = it.value.type.lanes
+        val = self.av[id(it.value)]
+        ve = self._to_m(val, lanes) if val.tag in ("S", "ROW", "COL") \
+            else val.expr
+        if s == lanes and s > 0:
+            t = self.c.tmp()
+            self.commits.append(
+                f"{t} = ARR[{tb}:{tb} + {self.tn}*{lanes}]"
+                f".reshape(-1, {lanes})"
+            )
+            if mask is None:
+                self.commits.append(f"{t}[:] = {ve}")
+            else:
+                self.commits.append(
+                    f"{t}[:] = NP.where({mask}[:, None], {ve}, {t})"
+                )
+        else:
+            t = self.c.tmp()
+            self.commits.append(
+                f"{t} = ({tb} + {s}*{self.ar()})[:, None]"
+                f" + {self.lane_ar(lanes)}"
+            )
+            if mask is None:
+                self.commits.append(f"ARR[{t}] = {ve}")
+            else:
+                self.commits.append(
+                    f"ARR[{t}] = NP.where({mask}[:, None], {ve}, ARR[{t}])"
+                )
+
+    def _emit_counts(self) -> None:
+        cost = self.c.cost
+        uncond = 0.0
+        for grp in self.plan.groups:
+            if grp.key is True:
+                for it in grp.items:
+                    uncond += float(cost.instruction_cost(it))
+        uncond += float(cost.loop_backedge)
+        self.commits.append(f"C[{self.k}] += {self.tn}")
+        tot = int(uncond)
+        if tot:
+            self.commits.append(f"cy += {self.tn} * {tot}")
+        for gi, grp in enumerate(self.plan.groups):
+            if grp.key is True:
+                continue
+            m = self.mask_for(gi)
+            gsum = int(sum(
+                float(cost.instruction_cost(it)) for it in grp.items
+            ))
+            t = self.c.tmp()
+            self.commits.append(f"{t} = int({m}.sum())")
+            self.commits.append(f"C[@@G{gi}@@] += {t}")
+            if gsum:
+                self.commits.append(f"cy += {t} * {gsum}")
+
+    # -- top level ---------------------------------------------------------
+
+    def generate(self, ind: int) -> tuple[list[str], str]:
+        c = self.c
+        c.hoist("NP", _memory._np)
+        c.hoist("F64", _memory._np.float64)
+        c.hoist("ERR", _memory._np.errstate)
+        self._emit_count()
+        for gi, grp in enumerate(self.plan.groups):
+            for it in grp.items:
+                self.item_group[id(it)] = gi
+        # Seed the scan accumulators first: their rec items then resolve
+        # to scan rows instead of re-deriving the same values.
+        for cell in self.plan.cells_by_load.values():
+            self.aval(cell.load)
+        for mu in self.plan.reductions:
+            self.aval(mu)
+        live = self.live
+        for grp in self.plan.groups:
+            for it in grp.items:
+                if isinstance(it, (Store, VecStore)):
+                    self.aval(it.value)
+                elif live is None or id(it) in live:
+                    self.aval(it)
+        self._emit_finals()
+        self._emit_commits()
+        return self._assemble(ind), self.g
+
+    def _probe_parts(self) -> list[str]:
+        parts = []
+        for n, kind in sorted(self.probes.items()):
+            if kind == "i":
+                parts.append(f"type({n}) is int")
+            elif kind == "f":
+                parts.append(f"type({n}) is float")
+            elif kind == "b":
+                parts.append(f"type({n}) is bool")
+            else:
+                lanes = kind[1]
+                parts.append(f"type({n}) is list")
+                parts.append(f"len({n}) == {lanes}")
+                for j in range(lanes):
+                    parts.append(f"type({n}[{j}]) is float")
+        return parts
+
+    def _assemble(self, ind: int) -> list[str]:
+        g = self.g
+        p0, p1, p2 = ("    " * (ind + d) for d in (0, 1, 2))
+        lines = []
+        probe = " and ".join(self._probe_parts()) or "True"
+        lines.append(f"{p0}{g} = {probe}")
+        lines.append(f"{p0}if {g}:")
+        lines.extend(p1 + ln for ln in self.count_lines)
+        for e in self.conj2:
+            lines.append(f"{p1}{g} = {g} and ({e})")
+        lines.append(f"{p0}if {g}:")
+        lines.append(f"{p1}with ERR(all='ignore'):")
+        head = []
+        if self.need_ar:
+            head.append(f"{self.ar_name} = NP.arange({self.tn})")
+        for lanes, t in sorted(self.need_lane.items()):
+            head.append(f"{t} = NP.arange({lanes})")
+        lines.extend(p2 + ln for ln in head + self.compute)
+        lines.append(f"{p0}if {g}:")
+        for rel, ln in self.finals:
+            lines.append("    " * (ind + 1 + rel) + ln)
+        lines.extend(p1 + ln for ln in self.commits)
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# Compiler, program, executor
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ArrayProgram(FusedProgram):
+    """A fused program whose eligible loops carry a batched fast path."""
+
+    array_regions: tuple = ()  # loop names with a vectorized fast path
+    accounting: bool = True
+
+
+class _ArrayCompiler(_FusedCompiler):
+    """Emits fused code whose loops dispatch to NumPy fast paths."""
+
+    def __init__(self, fn: Function, cost_model: CostModel, max_steps: int,
+                 account: bool = True):
+        super().__init__(fn, cost_model, max_steps, account=account)
+        self.array_regions: list[str] = []
+        self._np_ok = _memory._np is not None
+
+    def emit_loop(self, loop: Loop, ind: int) -> None:
+        k = self.new_counter()
+        self.loop_row(loop, k)
+        fast = None
+        # exact mode needs the integral-cost fold for analytic accounting
+        if self._np_ok and (self.int_mode or not self.account):
+            plan = _plan_loop(loop)
+            if plan is not None:
+                try:
+                    fast = _LoopGen(self, loop, plan, k).generate(ind)
+                except _Bail:
+                    fast = None
+        if fast is None:
+            self.emit_loop_scalar(loop, ind, k)
+            return
+        lines, gname = fast
+        log_start = len(self._sb_log)
+        saved, self.body = self.body, []
+        self.emit_loop_scalar(loop, ind + 1, k)
+        scalar_lines, self.body = self.body, saved
+        if self.account:
+            gmap = {ids: gidx for gidx, ids in self._sb_log[log_start:]}
+            lines = _resolve_counters(lines, plan, gmap)
+        self.body.extend(lines)
+        self.w(ind, f"if not {gname}:")
+        self.body.extend(scalar_lines)
+        self.array_regions.append(loop.name)
+
+    def compile(self) -> ArrayProgram:
+        p = super().compile()
+        return ArrayProgram(
+            fn_name=p.fn_name,
+            run=p.run,
+            source=p.source,
+            n_counters=p.n_counters,
+            arg_count=p.arg_count,
+            globals_used=p.globals_used,
+            counter_table=p.counter_table,
+            item_ids=p.item_ids,
+            array_regions=tuple(self.array_regions),
+            accounting=self.account,
+        )
+
+
+def _resolve_counters(lines: list[str], plan: _Plan, gmap: dict) -> list[str]:
+    """Substitute superblock counter indices allocated by the scalar arm
+    into the fast path's analytic ``C[...] += mask.sum()`` bumps."""
+    subs = {}
+    for gi, grp in enumerate(plan.groups):
+        if grp.key is True:
+            continue
+        ids = tuple(id(it) for it in grp.items)
+        gidx = gmap.get(ids)
+        assert gidx is not None, "superblock grouping diverged"
+        subs[f"@@G{gi}@@"] = str(gidx)
+    out = []
+    for ln in lines:
+        if "@@G" in ln:
+            for ph, idx in subs.items():
+                ln = ln.replace(ph, idx)
+        out.append(ln)
+    return out
+
+
+_ARRAY_CACHE: "WeakKeyDictionary[Function, dict]" = WeakKeyDictionary()
+
+
+def array_function(
+    fn: Function,
+    cost_model: Optional[CostModel] = None,
+    max_steps: int = 200_000_000,
+    accounting: bool = True,
+) -> ArrayProgram:
+    """Translate ``fn`` into an :class:`ArrayProgram` (cached)."""
+    cm = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    per_fn = _ARRAY_CACHE.get(fn)
+    if per_fn is None:
+        per_fn = _ARRAY_CACHE[fn] = {}
+    key = (id(cm), max_steps, bool(accounting))
+    prog = per_fn.get(key)
+    if prog is None:
+        prog = per_fn[key] = _ArrayCompiler(
+            fn, cm, max_steps, account=bool(accounting)
+        ).compile()
+    return prog
+
+
+def clear_array_cache() -> None:
+    _ARRAY_CACHE.clear()
+
+
+def _accounting_from_env() -> bool:
+    v = os.environ.get("REPRO_ACCOUNTING", "exact").strip().lower()
+    return v not in ("off", "0", "false", "no", "speed")
+
+
+class ArrayExecutor(FusedExecutor):
+    """Drop-in executor running batched whole-loop NumPy code.
+
+    In exact mode (the default) cycles, counters, per-opcode counts and
+    per-region diagnostics are bit-identical to the reference
+    interpreter; ``REPRO_ACCOUNTING=off`` (or ``accounting=False``)
+    selects speed mode, which folds accounting away entirely and
+    reports zero cycles/counters.
+    """
+
+    def __init__(
+        self,
+        module: Optional[Module] = None,
+        memory=None,
+        cost_model: Optional[CostModel] = None,
+        externals: Optional[dict] = None,
+        max_steps: int = 200_000_000,
+        accounting: Optional[bool] = None,
+    ):
+        super().__init__(module, memory, cost_model, externals, max_steps)
+        self.accounting = (
+            _accounting_from_env() if accounting is None else bool(accounting)
+        )
+
+    def _program(self, fn: Function) -> ArrayProgram:
+        return array_function(
+            fn, self.cost_model, self.max_steps, self.accounting
+        )
+
+
+BACKENDS["array"] = ArrayExecutor
+
+
+__all__ = [
+    "ArrayExecutor",
+    "ArrayProgram",
+    "array_function",
+    "clear_array_cache",
+]

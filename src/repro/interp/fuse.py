@@ -175,10 +175,16 @@ class FusedProgram:
 
 
 class _FusedCompiler:
-    def __init__(self, fn: Function, cost_model: CostModel, max_steps: int):
+    def __init__(self, fn: Function, cost_model: CostModel, max_steps: int,
+                 account: bool = True):
         self.fn = fn
         self.cost = cost_model
         self.max_steps = max_steps
+        # ``account=False`` (the array tier's speed mode) folds the whole
+        # accounting layer away: no counter updates, no cycle adds, no
+        # counter-table rows.  The step limit is then enforced with a
+        # per-invocation local instead of the cumulative C[k] counter.
+        self.account = account
         self.body: list[str] = []
         self.consts: dict[str, object] = {}
         self._names: dict[Value, str] = {}
@@ -188,6 +194,9 @@ class _FusedCompiler:
         self._tmp = 0
         self._table: list[tuple] = []
         self._ids: list[int] = []
+        # (counter idx, item-id tuple) per emitted superblock — the array
+        # tier reads this to charge the same counters analytically
+        self._sb_log: list[tuple[int, tuple]] = []
         self.int_mode = False
         # With no Alloca and no Call the allocation high-water mark is
         # fixed for the whole run, so bounds checks can read a local.
@@ -288,6 +297,8 @@ class _FusedCompiler:
     # -- counter bookkeeping (same static deltas as the other tiers) -----
 
     def inst_row(self, inst: Instruction, cidx: int) -> None:
+        if not self.account:
+            return
         ld = st = br = ck = vec = call = 0
         if isinstance(inst, (Load, VecLoad)):
             ld = 1
@@ -310,6 +321,8 @@ class _FusedCompiler:
         self._table.append((cidx, inst.opcode, 1, ld, st, br, 0, ck, vec, call))
 
     def loop_row(self, loop: Loop, cidx: int) -> None:
+        if not self.account:
+            return
         # one back edge and one branch per iteration, no instruction count
         self._ids.append(id(loop))
         self._table.append((cidx, None, 0, 0, 0, 1, 1, 0, 0, 0))
@@ -379,8 +392,11 @@ class _FusedCompiler:
                 group.append(pending[j][1])
                 j += 1
             gidx = self.new_counter()
+            self._sb_log.append((gidx, tuple(id(it) for it in group)))
             self.w(ind, f"if {self.cond(p)}:")
-            self.w(ind + 1, f"C[{gidx}] += 1")
+            if self.account:
+                self.w(ind + 1, f"C[{gidx}] += 1")
+            wrote = len(self.body)
             gsum = 0.0
             for it in group:
                 if isinstance(it, Loop):
@@ -388,8 +404,10 @@ class _FusedCompiler:
                 else:
                     gsum += self.emit_inst(it, ind + 1, gidx,
                                            folded=self.int_mode)
-            if self.int_mode and gsum:
+            if self.account and self.int_mode and gsum:
                 self.w(ind + 1, f"cy += {int(gsum)}")
+            if not self.account and len(self.body) == wrote:
+                self.w(ind + 1, "pass")  # block emitted nothing visible
             i = j
         return uncond
 
@@ -398,24 +416,39 @@ class _FusedCompiler:
     def emit_loop(self, loop: Loop, ind: int) -> None:
         k = self.new_counter()
         self.loop_row(loop, k)
+        self.emit_loop_scalar(loop, ind, k)
+
+    def emit_loop_scalar(self, loop: Loop, ind: int, k: int) -> None:
+        """The iterating form of a loop, charging iterations to counter
+        ``k``.  Split from :meth:`emit_loop` so the array tier can emit
+        this same code as the fallback arm of its runtime dispatch while
+        sharing the counter with the batched fast path."""
         for mu in loop.mus:  # sequential init reads, like the reference
             self.w(ind, f"{self.name(mu)} = {self.expr(mu.init)}")
+        t = self.tmp()
+        if not self.account:
+            # speed mode: the step limit is per invocation (a local), not
+            # cumulative across invocations like the C[k] counter
+            self.w(ind, f"{t} = 0")
         self.w(ind, "while True:")
         bind = ind + 1
         uncond = self.emit_scope(loop, bind, k)
-        t = self.tmp()
-        self.w(bind, f"{t} = C[{k}] + 1")
-        self.w(bind, f"C[{k}] = {t}")
+        if self.account:
+            self.w(bind, f"{t} = C[{k}] + 1")
+            self.w(bind, f"C[{k}] = {t}")
+        else:
+            self.w(bind, f"{t} = {t} + 1")
         self.w(bind, f"if {t} > {self.max_steps}:")
         msg = f"loop {loop.name} exceeded {self.max_steps} iterations"
         self.w(bind + 1, f"raise SLE({msg!r})")
-        be = float(self.cost.loop_backedge)
-        if self.int_mode:
-            total = int(uncond + be)
-            if total:
-                self.w(bind, f"cy += {total}")
-        elif be != 0.0:
-            self.w(bind, f"cy += {self.flit(be)}")
+        if self.account:
+            be = float(self.cost.loop_backedge)
+            if self.int_mode:
+                total = int(uncond + be)
+                if total:
+                    self.w(bind, f"cy += {total}")
+            elif be != 0.0:
+                self.w(bind, f"cy += {self.flit(be)}")
         cont = loop.cont
         assert cont is not None, f"loop {loop.name} has no continuation"
         if isinstance(cont, Constant):
@@ -452,7 +485,7 @@ class _FusedCompiler:
 
     def emit_inst(self, inst: Instruction, ind: int, cidx: int,
                   folded: bool) -> float:
-        cost = float(self.cost.instruction_cost(inst))
+        cost = float(self.cost.instruction_cost(inst)) if self.account else 0.0
         self.inst_row(inst, cidx)
         if not folded and cost != 0.0:
             # fractional cost model: charge per item in reference order
@@ -712,7 +745,8 @@ class _FusedCompiler:
         self._bound.update(arg_names)
 
         top = self.new_counter()  # counter 0: the function's own scope
-        self.w(1, f"C[{top}] = 1")
+        if self.account:
+            self.w(1, f"C[{top}] = 1")
         uncond = self.emit_scope(fn, 1, top)
         if self.int_mode and uncond:
             self.w(1, f"cy += {int(uncond)}")
@@ -847,11 +881,15 @@ class FusedExecutor:
         assert self.module is not None
         return self.global_bases[self.module.globals[name]]
 
+    def _program(self, fn: Function) -> FusedProgram:
+        """Translation hook: subclasses swap in a different compiler."""
+        return fuse_function(fn, self.cost_model, self.max_steps)
+
     def run(self, fn: Function | str, args: Sequence = ()) -> ExecutionResult:
         if isinstance(fn, str):
             assert self.module is not None
             fn = self.module.functions[fn]
-        prog = fuse_function(fn, self.cost_model, self.max_steps)
+        prog = self._program(fn)
         if len(args) != prog.arg_count:
             raise InterpreterError(
                 f"{fn.name} expects {prog.arg_count} args, got {len(args)}"

@@ -14,9 +14,10 @@ a pickle).  Input *data* is deliberately absent from the key: building
 never reads it.
 
 Alongside the pickle, :func:`store` writes the generated superblock-fused
-executor source of every function (``<key>.exec.txt``) so the end-to-end
-artifact of a build — what the fused backend actually runs — survives
-for inspection without re-deriving it.
+and array executor sources of every function (``<key>.exec.txt``) so the
+end-to-end artifacts of a build — what the fused and array backends
+actually run, including which loops the array tier batched — survive for
+inspection without re-deriving them.
 
 Knobs (both honored by :func:`repro.perf.measure.build`):
 
@@ -44,7 +45,9 @@ from typing import Optional
 
 #: Bump when the pickled layout (IR object shapes, stats fields) changes;
 #: old entries then miss instead of unpickling garbage.
-FORMAT_VERSION = 1
+#: 2: the companion ``.exec.txt`` dump gained the array-tier executor
+#: source alongside the fused one.
+FORMAT_VERSION = 2
 
 
 def cache_dir() -> Optional[str]:
@@ -135,15 +138,21 @@ def store(key: str, module, stats) -> Optional[str]:
 
 
 def _write_exec_source(entry_path: str, module) -> None:
-    """Dump the fused executor source of every function next to the
-    pickle.  The fused translation is memoized weakly per function, so
-    the work is reused when the module is executed in this process."""
-    from repro.interp import fuse_function
+    """Dump the fused and array executor sources of every function next
+    to the pickle.  Both translations are memoized weakly per function,
+    so the work is reused when the module is executed in this process."""
+    from repro.interp import array_function, fuse_function
 
     chunks = []
     for fn in module.functions.values():
         prog = fuse_function(fn)
         chunks.append(f"# == fused executor: {fn.name} ==\n{prog.source}")
+        aprog = array_function(fn)
+        regions = ", ".join(aprog.array_regions) or "(none)"
+        chunks.append(
+            f"# == array executor: {fn.name} "
+            f"[batched regions: {regions}] ==\n{aprog.source}"
+        )
     tmp = f"{entry_path}.exec.tmp.{os.getpid()}"
     with open(tmp, "w") as f:
         f.write("\n".join(chunks))

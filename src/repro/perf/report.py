@@ -81,7 +81,8 @@ def speedup_table(
 
 def backend_geomean_table(
     speedups: Mapping[str, float],
-    order: Sequence[str] = ("reference", "compiled", "fused"),
+    order: Sequence[str] = ("reference", "compiled", "fused", "array",
+                            "array-speed"),
 ) -> str:
     """Per-backend geomean summary (execute-phase speedup over reference).
 

@@ -14,11 +14,31 @@ ludcmp — are all here, with their triangular/in-place structure intact.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from repro.perf.measure import ArrayArg, ScalarArg, Workload
 
 N = 14  # cubic kernels
 M = 28  # quadratic kernels
 L = 96  # linear kernels
+
+
+@contextmanager
+def scaled(factor: int):
+    """Multiply the suite sizes by ``factor`` for workloads built inside.
+
+    The factories read ``N``/``M``/``L`` at call time, so any workload
+    constructed under this context gets the scaled problem sizes; the
+    benchmark speed phase uses this to stop harness overhead from
+    dominating the timings.  Sizes are restored on exit.
+    """
+    global N, M, L
+    saved = (N, M, L)
+    N, M, L = N * factor, M * factor, L * factor
+    try:
+        yield
+    finally:
+        N, M, L = saved
 
 
 def _init(seed: int):
@@ -472,4 +492,4 @@ def workloads() -> list[Workload]:
     return [f() for f in ALL]
 
 
-__all__ = ["workloads", "ALL", "VERSIONING_ONLY", "N", "M", "L"]
+__all__ = ["workloads", "scaled", "ALL", "VERSIONING_ONLY", "N", "M", "L"]

@@ -72,6 +72,9 @@ class TestColdWarmEquivalence:
         with open(exec_txt) as f:
             text = f.read()
         assert "fused executor" in text and w.entry in text
+        # format 2: the array-tier source rides along, with its batched
+        # regions named so a cache inspection shows what got vectorized
+        assert "array executor" in text and "batched regions" in text
 
 
 class TestKeySensitivity:
@@ -165,6 +168,12 @@ class TestIsolationAndKnobs:
             assert diskcache.cache_key("s", "e", LEVEL, True, 4, False) != k1
         finally:
             diskcache.FORMAT_VERSION = orig
+
+    def test_format_version_bumped_for_array_artifacts(self):
+        # regression guard: entries written before the array tier (format
+        # 1) must miss rather than serve artifacts lacking the array
+        # executor dump
+        assert diskcache.FORMAT_VERSION >= 2
 
 
 class TestPickleRoundTrip:

@@ -1,0 +1,360 @@
+"""Tests for the batch-vectorized array tier (repro.interp.array).
+
+The contract under test, beyond the backend-wide differential matrix in
+test_exec_compiled: which loops the tier batches (``array_regions``),
+that the runtime dispatch guard really falls back to the scalar arm on
+overlapping views, that zero-trip / negative-stride / reduction loops
+stay bit-identical, and that speed mode (``REPRO_ACCOUNTING=off``)
+changes accounting but never memory contents.
+"""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.interp import ArrayExecutor, StepLimitExceeded, clear_array_cache
+from repro.interp.array import array_function
+from repro.perf import measure
+from repro.perf.measure import AliasArg, ArrayArg, ScalarArg, Workload
+from repro.workloads import polybench, tsvc
+
+N = 64
+
+
+def _workload(name, source, args, entry="kernel"):
+    return Workload(name=name, source=source, args=args, entry=entry)
+
+
+def _agree(workload, level="O3", vl=4, honor_restrict=True):
+    """Build once; demand array == reference on every observable."""
+    clear_array_cache()
+    module, stats = measure.build(
+        workload, level, honor_restrict=honor_restrict, vl=vl,
+        use_cache=False,
+    )
+    ref = measure.execute(module, workload, stats, backend="reference")
+    got = measure.execute(module, workload, stats, backend="array")
+    where = f"{workload.name} @ {level} vl={vl}"
+    assert got.return_value == ref.return_value, f"{where}: return drift"
+    assert got.checksum == ref.checksum, f"{where}: checksum drift"
+    assert got.cycles == ref.cycles, f"{where}: cycle drift"
+    assert got.counters.as_dict() == ref.counters.as_dict(), (
+        f"{where}: counter drift"
+    )
+    return module
+
+
+def _regions(module, entry="kernel"):
+    return array_function(module.functions[entry]).array_regions
+
+
+# -- which loops get batched -------------------------------------------------
+
+
+def test_streaming_loop_is_batched():
+    w = _workload(
+        "axpy",
+        """
+        void kernel(double* x, double* y, double a, int n) {
+            for (int i = 0; i < n; i++) y[i] = y[i] + a * x[i];
+        }
+        """,
+        [ArrayArg("x", N, init=lambda i: i * 0.5),
+         ArrayArg("y", N, init=lambda i: 1.0 / (i + 1)),
+         ScalarArg("a", 3.0), ScalarArg("n", N)],
+    )
+    module = _agree(w)
+    assert len(_regions(module)) == 1
+
+
+def test_loop_carried_recurrence_is_not_batched():
+    """b[i] = b[i-1] + a[i] carries a flow dependence: the phase split is
+    statically illegal, so no array region may exist for the loop."""
+    w = _workload(
+        "prefix",
+        """
+        void kernel(double* a, double* b, int n) {
+            for (int i = 1; i < n; i++) b[i] = b[i-1] + a[i];
+        }
+        """,
+        [ArrayArg("a", N, init=lambda i: i * 0.25),
+         ArrayArg("b", N, init=lambda i: 1.0),
+         ScalarArg("n", N)],
+    )
+    module = _agree(w)
+    assert _regions(module) == ()
+
+
+def test_constant_distance_dependence_is_not_batched():
+    """The s1221 shape (distance-4 flow dependence on one array): the
+    same-iteration alias disambiguation must not license the batch."""
+    w = _workload(
+        "dist4",
+        """
+        void kernel(double* a, double* b, int n) {
+            for (int i = 4; i < n; i++) b[i] = b[i-4] + a[i];
+        }
+        """,
+        [ArrayArg("a", N, init=lambda i: i * 0.125),
+         ArrayArg("b", N, init=lambda i: float(i)),
+         ScalarArg("n", N)],
+    )
+    module = _agree(w)
+    assert _regions(module) == ()
+
+
+# -- runtime dispatch: guard picks array vs scalar per run -------------------
+
+
+ALIAS_SRC = """
+void kernel(double* a, double* b, int n) {
+    for (int i = 0; i < n; i++) b[i] = a[i] * 2.0 + 1.0;
+}
+"""
+
+
+def _alias_workload(offset):
+    return _workload(
+        f"alias-off{offset}",
+        ALIAS_SRC,
+        [ArrayArg("a", N, init=lambda i: i * 0.5),
+         AliasArg("b", "a", offset),
+         ScalarArg("n", N - offset)],
+    )
+
+
+@pytest.mark.parametrize("offset", [1, 3], ids=lambda o: f"off{o}")
+def test_overlapping_views_take_scalar_fallback(offset):
+    """Distinct parameters, same storage, store running ahead of load (a
+    flow dependence): the span-disjointness guard must fail at run time
+    and the scalar arm must preserve the exact sequential semantics."""
+    w = _alias_workload(offset)
+    module = _agree(w, honor_restrict=False)
+    # the loop itself is batchable -- only the runtime check says no
+    assert len(_regions(module)) == 1
+
+
+def test_anti_dependent_overlap_stays_on_fast_path():
+    """Load pointer ahead of store pointer: the phase split (all loads,
+    then all stores) preserves anti-dependences by construction, so the
+    overlap is legal for the batch and must still be bit-identical."""
+    w = _workload(
+        "alias-anti",
+        """
+        void kernel(double* b, double* a, int n) {
+            for (int i = 0; i < n; i++) b[i] = a[i] * 2.0 + 1.0;
+        }
+        """,
+        [ArrayArg("b", N, init=lambda i: i * 0.5),
+         AliasArg("a", "b", 2),
+         ScalarArg("n", N - 2)],
+    )
+    module = _agree(w, honor_restrict=False)
+    assert len(_regions(module)) == 1
+
+
+def test_disjoint_views_keep_the_fast_path():
+    """Same build, aliasing far enough apart: spans are disjoint, the
+    guard passes, and the batched path must still be bit-identical."""
+    w = _workload(
+        "alias-disjoint",
+        ALIAS_SRC,
+        [ArrayArg("a", 2 * N, init=lambda i: i * 0.5),
+         AliasArg("b", "a", N),
+         ScalarArg("n", N)],
+    )
+    module = _agree(w, honor_restrict=False)
+    assert len(_regions(module)) == 1
+
+
+# -- loop shapes -------------------------------------------------------------
+
+
+def test_zero_trip_loop():
+    """n = 0: the entry guard skips the loop; the batched program must
+    account for exactly the same (zero) iterations as the reference."""
+    w = _workload(
+        "zerotrip",
+        """
+        void kernel(double* x, double* y, int n) {
+            for (int i = 0; i < n; i++) y[i] = x[i] + 1.0;
+        }
+        """,
+        [ArrayArg("x", 8, init=lambda i: float(i)),
+         ArrayArg("y", 8, init=lambda i: 0.0),
+         ScalarArg("n", 0)],
+    )
+    module = _agree(w)
+    assert len(_regions(module)) == 1
+
+
+def test_negative_stride_loop():
+    w = _workload(
+        "reverse",
+        """
+        void kernel(double* x, double* y, int n) {
+            for (int i = n - 1; i >= 0; i--) y[i] = x[n - 1 - i] * 0.5;
+        }
+        """,
+        [ArrayArg("x", N, init=lambda i: i * 1.5),
+         ArrayArg("y", N, init=lambda i: 0.0),
+         ScalarArg("n", N)],
+    )
+    module = _agree(w)
+    assert len(_regions(module)) == 1
+
+
+@pytest.mark.parametrize("vl", [2, 4, 8], ids=lambda v: f"vl{v}")
+def test_vectorized_levels_batch(vl):
+    """Unroll-and-SLP'd loops advance the IV by VL per iteration; the
+    tier must follow the widened stride at every vector length."""
+    for w in polybench.workloads()[:4]:
+        _agree(w, level="supervec+v", vl=vl)
+
+
+# -- reductions and recurrences ----------------------------------------------
+
+
+def test_sum_and_product_reductions():
+    w = _workload(
+        "sumprod",
+        """
+        double kernel(double* x, int n) {
+            double s = 0.0;
+            double p = 1.0;
+            for (int i = 0; i < n; i++) {
+                s = s + x[i];
+                p = p * (1.0 + x[i] * 1e-3);
+            }
+            return s + p;
+        }
+        """,
+        [ArrayArg("x", N, init=lambda i: (i % 7) * 0.3), ScalarArg("n", N)],
+    )
+    module = _agree(w)
+    # unroll-and-SLP splits the loop in two (main + epilogue); both the
+    # vector and the scalar accumulators must batch
+    assert len(_regions(module)) >= 1
+
+
+def test_min_max_reductions():
+    w = _workload(
+        "minmax",
+        """
+        double kernel(double* x, int n) {
+            double lo = x[0];
+            double hi = x[0];
+            for (int i = 1; i < n; i++) {
+                if (x[i] < lo) lo = x[i];
+                if (x[i] > hi) hi = x[i];
+            }
+            return hi - lo;
+        }
+        """,
+        [ArrayArg("x", N, init=lambda i: ((i * 37) % 19) - 9.0),
+         ScalarArg("n", N)],
+    )
+    _agree(w)
+
+
+def test_memory_cell_and_sub_reduction_kernels_agree():
+    """mvt accumulates into a memory cell (``x[i] += A[i][j] * y[j]``),
+    trisolv subtracts into a register accumulator, lu does both; all
+    three must batch and stay bit-identical."""
+    for name in ("mvt", "trisolv", "lu"):
+        w = getattr(polybench, name)()
+        module = _agree(w, level="O3-scalar")
+        assert _regions(module), name
+
+
+def test_cell_overlapping_sweep_takes_scalar_fallback():
+    """A memory-cell reduction whose cell lies inside another access's
+    sweep: the cell-disjointness guard must fail at run time and the
+    scalar arm must preserve the sequential (self-feeding) semantics."""
+    w = _workload(
+        "cell-alias",
+        """
+        void kernel(double* x, double* y, int n) {
+            for (int j = 0; j < n; j++) x[0] = x[0] + y[j];
+        }
+        """,
+        [ArrayArg("x", N, init=lambda i: i * 0.75),
+         AliasArg("y", "x", 0),
+         ScalarArg("n", N)],
+    )
+    module = _agree(w, level="O3-scalar", honor_restrict=False)
+    assert len(_regions(module)) == 1
+
+
+def test_tsvc_reduction_kernels_agree():
+    for name in ("s311", "s312", "s3110"):
+        for w in tsvc.workloads():
+            if w.name == name:
+                _agree(w, level="supervec+v")
+
+
+# -- exact vs speed mode -----------------------------------------------------
+
+
+def _checksum(module, w, backend, **kwargs):
+    return measure.execute(module, w, backend=backend, **kwargs).checksum
+
+
+def test_speed_mode_same_memory_zero_accounting(monkeypatch):
+    w = polybench.workloads()[0]
+    module, stats = measure.build(w, "O3", use_cache=False)
+    ref = measure.execute(module, w, stats, backend="reference")
+
+    clear_array_cache()
+    monkeypatch.setenv("REPRO_ACCOUNTING", "off")
+    speed = measure.execute(module, w, stats, backend="array")
+    assert speed.checksum == ref.checksum
+    assert speed.cycles == 0  # accounting folded away entirely
+
+    clear_array_cache()
+    monkeypatch.delenv("REPRO_ACCOUNTING")
+    exact = measure.execute(module, w, stats, backend="array")
+    assert exact.checksum == ref.checksum
+    assert exact.cycles == ref.cycles
+
+
+def test_accounting_env_spellings(monkeypatch):
+    for off in ("off", "0", "false", "no", "speed"):
+        monkeypatch.setenv("REPRO_ACCOUNTING", off)
+        assert ArrayExecutor().accounting is False
+    for on in ("", "on", "exact", "1"):
+        monkeypatch.setenv("REPRO_ACCOUNTING", on)
+        assert ArrayExecutor().accounting is True
+    monkeypatch.delenv("REPRO_ACCOUNTING")
+    assert ArrayExecutor().accounting is True
+
+
+def test_speed_mode_batches_non_integral_cost_loops():
+    """Exact mode needs all-integral costs to fold analytically; speed
+    mode has no such constraint and may batch regardless.  Whatever each
+    mode decides, memory must match the reference."""
+    w = polybench.workloads()[0]
+    module, stats = measure.build(w, "supervec+v", use_cache=False)
+    fn = module.functions[w.entry]
+    clear_array_cache()
+    exact = array_function(fn, accounting=True)
+    speed = array_function(fn, accounting=False)
+    assert set(exact.array_regions) <= set(speed.array_regions)
+
+
+# -- step limit --------------------------------------------------------------
+
+
+def test_exact_step_limit_counts_batched_iterations():
+    """The fast path charges its trip count against max_steps before
+    committing, so a batched loop trips the limit exactly like the
+    scalar tiers."""
+    src = """
+    void kernel(double* x, int n) {
+        for (int i = 0; i < n; i++) x[i] = x[i] + 1.0;
+    }
+    """
+    module = compile_c(src, name="bounded")
+    ex = ArrayExecutor(module, max_steps=10)
+    base = ex.memory.alloc(32)
+    with pytest.raises(StepLimitExceeded):
+        ex.run(module.functions["kernel"], [base, 32])

@@ -1,7 +1,7 @@
 """Differential tests: every fast backend is bit-identical to the reference.
 
 Every workload suite is built once per pipeline configuration and
-executed on all three backends against the *same* module object; return
+executed on every fast backend against the *same* module object; return
 value, checksum, cycle count, and every dynamic counter (including the
 per-opcode breakdown) must match exactly — no tolerances.  This is the
 contract that lets the measurement harness default to the fused executor
@@ -9,7 +9,8 @@ while the tree-walking interpreter stays the semantics of record.
 
 The matrix: each suite runs at every optimization level, with the
 vectorizing levels additionally swept across VL in {2, 4, 8}, and each
-point checked for both ``compiled`` and ``fused`` against ``reference``.
+point checked for ``compiled``, ``fused``, and ``array`` (exact mode)
+against ``reference``.
 A fused-backend replay of the pinned fuzz corpus rides along.
 """
 
@@ -21,6 +22,7 @@ from repro.fuzz.corpus import load_entry
 from repro.fuzz.oracle import Config, check_kernel, default_configs
 from repro.interp import (
     BACKENDS,
+    ArrayExecutor,
     CompiledExecutor,
     FusedExecutor,
     Interpreter,
@@ -35,7 +37,7 @@ from repro.interp.fuse import FusedProgram
 from repro.perf import measure
 from repro.workloads import polybench, speclike, tsvc
 
-JIT_BACKENDS = ["compiled", "fused"]
+JIT_BACKENDS = ["compiled", "fused", "array"]
 
 # scalar levels once at the default VL; vectorizing levels across VLs
 CONFIGS = [("O0", 4), ("O3", 4)] + [
@@ -203,6 +205,7 @@ def test_backend_registry_complete():
     assert BACKENDS["reference"] is Interpreter
     assert BACKENDS["compiled"] is CompiledExecutor
     assert BACKENDS["fused"] is FusedExecutor
+    assert BACKENDS["array"] is ArrayExecutor
 
 
 def test_reference_cache_hit_and_clear():
@@ -283,8 +286,11 @@ def test_externals_bypass_run_cache():
 # -- step limit --------------------------------------------------------------
 
 
-@pytest.mark.parametrize("executor_cls", [CompiledExecutor, FusedExecutor],
-                         ids=["compiled", "fused"])
+@pytest.mark.parametrize(
+    "executor_cls",
+    [CompiledExecutor, FusedExecutor, ArrayExecutor],
+    ids=["compiled", "fused", "array"],
+)
 def test_jit_step_limit(executor_cls):
     """A runaway loop is bounded by the same max_steps knob."""
     from repro.frontend import compile_c
