@@ -24,10 +24,13 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro import telemetry
 from repro.ir.loops import Function, ScopeMixin
 
 from .alias import AliasAnalysis
 from .depgraph import DependenceGraph
+
+_DEP_HELP = "dependence-graph cache lookups by outcome"
 
 #: Analysis kind names accepted in ``preserved`` sets.
 ALIAS = "alias"
@@ -65,7 +68,12 @@ class AnalysisManager:
         key = (id(scope), assume)
         hit = self._graphs.get(key)
         if hit is not None and hit.items == list(scope.items):
+            telemetry.counter("repro_analysis_depgraph_requests_total",
+                              _DEP_HELP, outcome="hit").inc()
             return hit
+        telemetry.counter("repro_analysis_depgraph_requests_total",
+                          _DEP_HELP,
+                          outcome="stale" if hit is not None else "miss").inc()
         g = DependenceGraph(scope, self.alias(), assume_independent=set(assume))
         self._graphs[key] = g
         return g
@@ -87,6 +95,10 @@ class AnalysisManager:
         noalias groups) passes ``preserved=frozenset()``, which also
         drops the alias instance.
         """
+        telemetry.counter("repro_analysis_invalidations_total",
+                          "analysis-cache invalidations by scope",
+                          scope="function" if fn is not None else "module",
+                          ).inc()
         if DEPGRAPH not in preserved:
             self._graphs.clear()
         if ALIAS not in preserved:

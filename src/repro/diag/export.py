@@ -10,13 +10,17 @@ Two interchange formats:
   on one track in real microseconds; execution-profile regions become a
   synthetic flame on a second track where 1 simulated cycle renders as
   1 microsecond (the simulation has no wall-clock timeline, but the
-  nesting and relative widths are exact).
+  nesting and relative widths are exact).  When runtime telemetry is
+  collecting (:mod:`repro.telemetry`), completed wall-clock spans
+  (build, translate, execute phases) form a third track, pid 3.
 """
 
 from __future__ import annotations
 
 import json
 from typing import IO, Iterable
+
+from repro import telemetry
 
 from .context import DiagnosticContext
 
@@ -103,6 +107,7 @@ def chrome_trace(dc: DiagnosticContext) -> dict:
         {"name": "process_name", "ph": "M", "pid": 2, "tid": 0,
          "args": {"name": "execute (simulated cycles as us)"}}
     )
+    events.extend(telemetry.span_trace_events(pid=3))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

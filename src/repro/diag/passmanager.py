@@ -16,10 +16,18 @@ import os
 import time
 from typing import Callable, Optional
 
+from repro import telemetry
 from repro.ir.loops import Function
 from repro.ir.printer import print_function
 
 from .context import PassRecord, dump_ir_dir, get_context
+
+
+def _observe_pass(pass_name: str, seconds: float) -> None:
+    telemetry.histogram(
+        "repro_pass_seconds", "optimization-pass wall time",
+        **{"pass": pass_name},
+    ).observe(seconds)
 
 
 class PassManager:
@@ -55,7 +63,14 @@ class PassManager:
         dc = get_context()
         dump = self.dump_dir
         if not dc.enabled and not dump:
-            return thunk()
+            if not telemetry.enabled():
+                return thunk()
+            # telemetry-only: time the pass, skip the per-pass records
+            # and IR bookkeeping the diagnostic context would want
+            start = time.perf_counter()
+            result = thunk()
+            _observe_pass(pass_name, time.perf_counter() - start)
+            return result
         self.seq += 1
         if dump:
             self._dump("before", pass_name, fn)
@@ -64,6 +79,7 @@ class PassManager:
         start = time.perf_counter()
         result = thunk()
         end = time.perf_counter()
+        _observe_pass(pass_name, end - start)
         if dump:
             self._dump("after", pass_name, fn)
         if dc.enabled:

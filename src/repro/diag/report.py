@@ -24,6 +24,7 @@ import json
 import sys
 from typing import Optional
 
+from repro import telemetry
 from repro.diag.context import DiagnosticContext, collect
 from repro.diag.export import chrome_trace, write_chrome_trace, write_jsonl
 from repro.diag.profile import hotspot_rows, total_cycles
@@ -194,6 +195,94 @@ def render_hotspots(merged: DiagnosticContext, top: int = 5) -> str:
     return "\n".join(lines)
 
 
+def _series_of(snap: dict, name: str) -> list[tuple[dict, dict]]:
+    """``(labels, series-entry)`` rows of one metric family, or []."""
+    for fam in snap.get("metrics", ()):
+        if fam["name"] == name:
+            return [(s["labels"], s) for s in fam["series"]]
+    return []
+
+
+def render_metrics(snap: Optional[dict] = None) -> str:
+    """Operational telemetry digest: cache hit rates, array-tier guard
+    dispatch outcomes by failing conjunct, and per-backend setup
+    (translate) against execute wall time.  Reads the live registry
+    unless an explicit snapshot dict is given."""
+    if snap is None:
+        snap = telemetry.snapshot(include_spans=False)
+    sections = ["== runtime telemetry =="]
+
+    req: dict[str, dict[str, float]] = {}
+    for labels, s in _series_of(snap, "repro_cache_requests_total"):
+        row = req.setdefault(labels.get("cache", "?"), {})
+        row[labels.get("outcome", "?")] = s["value"]
+    for labels, s in _series_of(snap, "repro_diskcache_requests_total"):
+        row = req.setdefault("disk", {})
+        row[labels.get("outcome", "?")] = s["value"]
+    evics = {
+        labels.get("cache", "?"): s["value"]
+        for labels, s in _series_of(snap, "repro_cache_evictions_total")
+    }
+    for labels, s in _series_of(snap, "repro_diskcache_evictions_total"):
+        evics["disk"] = s["value"]
+    if req:
+        rows = []
+        for cache in sorted(req):
+            hits = req[cache].get("hit", 0)
+            misses = req[cache].get("miss", 0) + req[cache].get("error", 0)
+            total = hits + misses
+            rows.append((cache, int(hits), int(misses),
+                         100.0 * hits / total if total else 0.0,
+                         int(evics.get(cache, 0))))
+        sections.append("-- cache hit rates --\n" + format_table(
+            ["cache", "hits", "misses", "hit %", "evicted"], rows,
+            floatfmt=".1f",
+        ))
+
+    disp = _series_of(snap, "repro_array_guard_dispatch_total")
+    if disp:
+        agg: dict[tuple[str, str], float] = {}
+        for labels, s in disp:
+            key = (labels.get("outcome", "?"), labels.get("reason", ""))
+            agg[key] = agg.get(key, 0) + s["value"]
+        total = sum(agg.values())
+        rows = [
+            (outcome, reason or "-", int(n),
+             100.0 * n / total if total else 0.0)
+            for (outcome, reason), n in sorted(
+                agg.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        sections.append(
+            "-- array-tier guard dispatch --\n" + format_table(
+                ["outcome", "reason", "dispatches", "%"], rows,
+                floatfmt=".1f",
+            ))
+
+    spans: dict[str, dict[str, tuple[int, float]]] = {}
+    for labels, s in _series_of(snap, "repro_span_seconds"):
+        backend = labels.get("backend")
+        if backend is None:
+            continue
+        spans.setdefault(backend, {})[labels.get("span", "?")] = (
+            s["count"], s["sum"])
+    if spans:
+        rows = []
+        for backend in sorted(spans):
+            tr_n, tr_s = spans[backend].get("translate", (0, 0.0))
+            ex_n, ex_s = spans[backend].get("execute", (0, 0.0))
+            rows.append((backend, tr_n, tr_s * 1000.0, ex_n, ex_s * 1000.0))
+        sections.append(
+            "-- backend setup vs execute (wall clock) --\n" + format_table(
+                ["backend", "translates", "setup ms", "executes", "exec ms"],
+                rows, floatfmt=".2f",
+            ))
+
+    if len(sections) == 1:
+        sections.append("(no telemetry collected)")
+    return "\n\n".join(sections)
+
+
 def render_report(
     per_workload: list[tuple[str, DiagnosticContext]],
     top: int = 5,
@@ -288,6 +377,12 @@ def main(argv: Optional[list[str]] = None) -> int:
                      help="write all records as JSON lines")
     rep.add_argument("--trace", metavar="PATH",
                      help="write a Chrome trace_event JSON file")
+    rep.add_argument("--metrics", action="store_true",
+                     help="append a runtime-telemetry digest: cache hit "
+                          "rates, guard-dispatch outcomes, per-backend "
+                          "wall time")
+    rep.add_argument("--metrics-out", metavar="PATH",
+                     help="write the full telemetry snapshot as JSON")
     rep.add_argument("--check", action="store_true",
                      help="run a one-workload smoke validation and exit")
     rep.add_argument("--build-times", action="store_true",
@@ -313,6 +408,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     kinds = set(args.kinds) if args.kinds else None
     print(render_report(per, top=args.top, kinds=kinds))
+    if args.metrics:
+        print()
+        print(render_metrics())
+    if args.metrics_out:
+        telemetry.save_snapshot(telemetry.snapshot(), args.metrics_out)
+        print(f"\nwrote telemetry snapshot to {args.metrics_out}")
     merged = merge_contexts(per)
     if args.jsonl:
         with open(args.jsonl, "w") as f:
@@ -329,6 +430,7 @@ __all__ = [
     "collect_suite",
     "main",
     "merge_contexts",
+    "render_metrics",
     "render_report",
     "run_build_times",
     "run_check",

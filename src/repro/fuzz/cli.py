@@ -18,6 +18,8 @@ import os
 import sys
 import time
 
+from repro import telemetry
+
 from .corpus import (
     DEFAULT_CORPUS_DIR,
     iter_entries,
@@ -36,17 +38,34 @@ def _check_seed(task) -> tuple:
     """Worker body: one seed through the oracle.
 
     Module-level so it pickles under multiprocessing.  Returns plain
-    data only (seed, ok flag, rendered mismatches, configs, features) —
-    the parent regenerates the kernel deterministically from the seed
-    when it needs the full object (e.g. ``--save``).
+    data only (seed, ok flag, rendered mismatches, configs, features,
+    telemetry snapshot) — the parent regenerates the kernel
+    deterministically from the seed when it needs the full object
+    (e.g. ``--save``).
+
+    ``in_worker`` selects the cross-process telemetry protocol: the
+    fork-inherited registry is zeroed at task start so the task-end
+    snapshot is a per-task delta the parent can ``absorb()`` without
+    double counting.  In-process runs never reset (they write to the
+    live registry directly) and ship no snapshot.
     """
-    seed, bug, full, verify_each_pass = task
+    seed, bug, full, verify_each_pass, in_worker = task
+    if in_worker:
+        telemetry.reset()
     kernel = generate_kernel(seed, name=f"fz{seed:06d}")
     report = check_kernel(
         kernel, bug=bug, full=full, verify_each_pass=verify_each_pass,
     )
+    telemetry.counter("repro_fuzz_seeds_total",
+                      "fuzzed seeds by oracle outcome",
+                      outcome="ok" if report.ok else "fail").inc()
+    kinds = sorted({m.kind for m in report.mismatches})
+    for kind in kinds:
+        telemetry.counter("repro_fuzz_failure_kinds_total",
+                          "failing seeds by mismatch kind", kind=kind).inc()
+    snap = telemetry.snapshot(include_spans=False) if in_worker else None
     return (seed, report.ok, [str(m) for m in report.mismatches],
-            report.configs_run, sorted(kernel.features))
+            report.configs_run, sorted(kernel.features), kinds, snap)
 
 
 def _iter_reports(args):
@@ -54,12 +73,15 @@ def _iter_reports(args):
 
     Worker results are merged deterministically: ``Pool.map`` over
     chunked seed ranges preserves submission order, so the output (and
-    any saved corpus entries) is identical whatever ``-j`` is.
+    any saved corpus entries — and the parent's telemetry merge) is
+    identical whatever ``-j`` is.
     """
     seeds = range(args.start, args.start + args.seeds)
-    tasks = [(s, args.bug, args.full, args.verify_each_pass) for s in seeds]
     jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
-    if jobs <= 1 or len(tasks) <= 1:
+    pooled = jobs > 1 and args.seeds > 1
+    tasks = [(s, args.bug, args.full, args.verify_each_pass, pooled)
+             for s in seeds]
+    if not pooled:
         for t in tasks:
             yield _check_seed(t)
         return
@@ -67,13 +89,54 @@ def _iter_reports(args):
 
     chunk = max(1, len(tasks) // (4 * jobs))
     with mp.Pool(min(jobs, len(tasks))) as pool:
-        yield from pool.map(_check_seed, tasks, chunksize=chunk)
+        for row in pool.map(_check_seed, tasks, chunksize=chunk):
+            if telemetry.absorb(row[-1]):
+                telemetry.counter(
+                    "repro_worker_snapshots_merged_total",
+                    "worker telemetry snapshots absorbed by the parent",
+                    kind="fuzz").inc()
+            yield row
+
+
+def _run_telemetry_summary(args, dt: float, kind_totals: dict) -> None:
+    """Print the end-of-run telemetry digest and persist the snapshot
+    next to the corpus (``--telemetry-out`` overrides the location)."""
+    snap = telemetry.snapshot()
+    by_name: dict = {}
+    for fam in snap["metrics"]:
+        for s in fam["series"]:
+            if fam["kind"] != "histogram":
+                key = tuple(sorted(s["labels"].items()))
+                by_name.setdefault(fam["name"], {})[key] = s["value"]
+    merged = sum(
+        by_name.get("repro_worker_snapshots_merged_total", {}).values()
+    )
+    pipelines = sum(by_name.get("repro_pipeline_runs_total", {}).values())
+    execs = sum(by_name.get("repro_exec_total", {}).values())
+    rate = f"{args.seeds / dt:.1f}" if dt > 0 else "inf"
+    print(f"telemetry: {rate} seeds/s; {pipelines} pipeline runs, "
+          f"{execs} executions; {merged} worker snapshot(s) merged")
+    if kind_totals:
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(kind_totals.items()))
+        print(f"telemetry: failure kinds: {kinds}")
+    out = args.telemetry_out or os.path.join(args.corpus,
+                                             "fuzz_telemetry.json")
+    try:
+        os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+        telemetry.save_snapshot(snap, out)
+        print(f"telemetry: snapshot -> {out}")
+    except OSError as e:
+        print(f"telemetry: could not write snapshot: {e}", file=sys.stderr)
 
 
 def _cmd_run(args) -> int:
     t0 = time.perf_counter()
     failures = 0
-    for seed, ok, mismatches, configs_run, features in _iter_reports(args):
+    kind_totals: dict = {}
+    for seed, ok, mismatches, configs_run, features, kinds, _ in \
+            _iter_reports(args):
+        for k in kinds:
+            kind_totals[k] = kind_totals.get(k, 0) + 1
         if ok:
             if args.verbose:
                 print(f"  fz{seed:06d}: ok "
@@ -97,6 +160,8 @@ def _cmd_run(args) -> int:
     print(f"fuzz run: {args.seeds} seeds, {failures} failing kernels, "
           f"{dt:.1f}s"
           + (f" [planted bug: {args.bug}]" if args.bug else ""))
+    if telemetry.enabled():
+        _run_telemetry_summary(args, dt, kind_totals)
     return 1 if failures else 0
 
 
@@ -184,6 +249,9 @@ def main(argv=None) -> int:
                        help="worker processes for the seed sweep "
                             "(0 = all cores; default 1)")
     p_run.add_argument("--corpus", default=str(DEFAULT_CORPUS_DIR))
+    p_run.add_argument("--telemetry-out",
+                       help="telemetry snapshot path (default: "
+                            "<corpus>/fuzz_telemetry.json)")
     p_run.add_argument("-v", "--verbose", action="store_true")
     p_run.set_defaults(fn=_cmd_run)
 

@@ -119,7 +119,10 @@ def iter_entries(path: Path | str = DEFAULT_CORPUS_DIR) -> Iterator[Path]:
     if p.is_file():
         yield p
         return
-    yield from sorted(p.glob("*.json"))
+    # ``fuzz run`` drops its telemetry snapshot next to the corpus
+    # entries; it is not a kernel and must not be replayed
+    yield from sorted(f for f in p.glob("*.json")
+                      if f.name != "fuzz_telemetry.json")
 
 
 def replay_entry(entry: CorpusEntry, full: bool = False) -> OracleReport:

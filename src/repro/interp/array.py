@@ -70,6 +70,7 @@ from dataclasses import dataclass
 from typing import Optional
 from weakref import WeakKeyDictionary
 
+from repro import telemetry
 from repro.analysis.affine import (
     Affine,
     _defined_in,
@@ -114,6 +115,46 @@ _MAXI = 1 << 53  # ints beyond 2**53 are not exactly representable as f64
 
 class _Bail(Exception):
     """Abort batching this loop; the scalar form is always available."""
+
+
+class _DispatchRecorder:
+    """Per-loop telemetry hook baked into the generated dispatch code.
+
+    Each batched loop hoists one recorder and the generated guard calls
+    it with either ``"array"`` (fast path taken) or the reason tag of
+    the *first failing* guard conjunct (``"span-overlap"``,
+    ``"cell-overlap"``, ``"value-domain"``, ``"affine-endpoint"``,
+    ``"type-probe"``, ``"step-limit"``, ``"external-memory"``,
+    ``"bounds"``) — feeding
+    ``repro_array_guard_dispatch_total{function,loop,outcome,reason}``.
+
+    The generated source is identical whether telemetry is enabled or
+    not (the translate caches do not key on telemetry state); the
+    recorder checks the registry's enabled flag at call time.  Counter
+    handles are cached per reason so the per-invocation cost is one
+    dict hit plus an integer add.
+    """
+
+    __slots__ = ("_fn", "_loop", "_handles")
+
+    def __init__(self, fn_name: str, loop_name: str):
+        self._fn = fn_name
+        self._loop = loop_name
+        self._handles: dict = {}
+
+    def __call__(self, reason: str) -> None:
+        h = self._handles.get(reason)
+        if h is None:
+            taken = reason == "array"
+            h = self._handles[reason] = telemetry.counter(
+                "repro_array_guard_dispatch_total",
+                "array-tier runtime version dispatches by outcome and "
+                "first failing guard conjunct",
+                function=self._fn, loop=self._loop,
+                outcome="array" if taken else "fallback",
+                reason="" if taken else reason,
+            )
+        h.inc()
 
 
 class _AV:
@@ -162,7 +203,8 @@ class _Plan:
     inductions: dict  # Mu -> AddRec
     reductions: dict  # Mu -> (op, addend, rec item)
     accesses: dict  # id(inst) -> BatchAccess
-    pairs: list  # runtime span-disjointness checks
+    pairs: list  # runtime span-disjointness checks (phase split)
+    cell_pairs: list  # runtime cell-disjointness checks (cell folds)
     cells_by_load: dict  # id(Load) -> _Cell
     cells_by_store: dict  # id(Store) -> _Cell
 
@@ -313,6 +355,7 @@ def _plan_loop(loop: Loop) -> Optional[_Plan]:
     # sum, any colliding store would break the fold.
     others = [ba for ba in mem_ops if id(ba.inst) not in cell_ids]
     cell_accs = [accesses[lid] for lid in cells_by_load]
+    cell_pairs = []
     for i, ca in enumerate(cell_accs):
         for ba in others + cell_accs[i + 1:]:
             d = difference(ba.base, ca.base)
@@ -325,9 +368,9 @@ def _plan_loop(loop: Loop) -> Optional[_Plan]:
                     continue  # sweeps upward from above the cell
                 if ba.step < 0 and d + ba.width <= 0:
                     continue  # sweeps downward from below the cell
-            pairs.append((ca, ba))
+            cell_pairs.append((ca, ba))
     return _Plan(cl, groups, inductions, reductions, accesses, pairs,
-                 cells_by_load, cells_by_store)
+                 cell_pairs, cells_by_load, cells_by_store)
 
 
 def _match_cells(mem_ops, defkey, pos):
@@ -386,8 +429,9 @@ class _LoopGen:
         self.inner = _defined_in(loop)
         self.g = c.tmp()
         self.tn = c.tmp()
+        self.tel = c.hoist_value(_DispatchRecorder(c.fn.name, loop.name))
         self.count_lines: list[str] = []
-        self.conj2: list[str] = []
+        self.conj2: list[tuple[str, str]] = []  # (reason, expr)
         self._conj_seen: set[str] = set()
         self.compute: list[str] = []
         self.finals: list[tuple[int, str]] = []
@@ -427,10 +471,10 @@ class _LoopGen:
             t = self.need_lane[lanes] = self.c.tmp()
         return t
 
-    def add_conj(self, e: str) -> None:
+    def add_conj(self, e: str, reason: str = "affine-endpoint") -> None:
         if e not in self._conj_seen:
             self._conj_seen.add(e)
-            self.conj2.append(e)
+            self.conj2.append((reason, e))
 
     def _emit(self, expr: str, tag: str, dt: str) -> _AV:
         t = self.c.tmp()
@@ -438,8 +482,14 @@ class _LoopGen:
         return _AV(tag, t, dt)
 
     def risk(self, bad: str, mask: Optional[str], badtag: str) -> None:
-        """Conjoin 'no lane trips this hazard' onto the guard."""
-        g = self.g
+        """Conjoin 'no lane trips this hazard' onto the guard.
+
+        Emitted as a narrowing ``if`` (not ``g = g and ...``) so the
+        first tripped hazard is attributable: the telemetry recorder
+        sees exactly one ``value-domain`` tag per fallback, and later
+        hazard checks still short-circuit on the dead guard.
+        """
+        g, tel = self.g, self.tel
         if mask is not None:
             if badtag in ("S", "C1"):
                 me = f"({bad}) & {mask}"
@@ -447,11 +497,14 @@ class _LoopGen:
                 me = f"({bad})[None, :] & {mask}[:, None]"
             else:  # COL / M
                 me = f"({bad}) & {mask}[:, None]"
-            self.compute.append(f"{g} = {g} and not NP.any({me})")
+            cond = f"{g} and NP.any({me})"
         elif badtag == "S":
-            self.compute.append(f"{g} = {g} and not ({bad})")
+            cond = f"{g} and ({bad})"
         else:
-            self.compute.append(f"{g} = {g} and not NP.any({bad})")
+            cond = f"{g} and NP.any({bad})"
+        self.compute.append(
+            f"if {cond}: {g} = False; {tel}('value-domain')"
+        )
 
     def affexpr(self, aff: Affine) -> str:
         """Scalar int expression for an invariant affine, with probes."""
@@ -490,11 +543,12 @@ class _LoopGen:
             f"{self.tn} = ({self.tn} + 1) if {self.tn} > 0 else 1"
         )
         if self.c.account:
-            self.add_conj(f"C[{self.k}] + {self.tn} <= {self.c.max_steps}")
+            self.add_conj(f"C[{self.k}] + {self.tn} <= {self.c.max_steps}",
+                          "step-limit")
         else:
-            self.add_conj(f"{self.tn} <= {self.c.max_steps}")
+            self.add_conj(f"{self.tn} <= {self.c.max_steps}", "step-limit")
         if self.plan.accesses:
-            self.add_conj("not EXO")
+            self.add_conj("not EXO", "external-memory")
         for a in self.plan.accesses.values():
             t = self.c.tmp()
             self.count_lines.append(f"{t} = {self.affexpr(a.base)}")
@@ -506,12 +560,14 @@ class _LoopGen:
                 lo = f"({t} + {s}*({self.tn} - 1))"
                 hi = f"({t} + {w})"
             self.acc_base[id(a.inst)] = (t, lo, hi)
-            self.add_conj(f"{lo} >= {NULL_PAGE}")
-            self.add_conj(f"{hi} <= {self.c.nx}")
-        for a, b in self.plan.pairs:
-            _, loa, hia = self.acc_base[id(a.inst)]
-            _, lob, hib = self.acc_base[id(b.inst)]
-            self.add_conj(f"{hia} <= {lob} or {hib} <= {loa}")
+            self.add_conj(f"{lo} >= {NULL_PAGE}", "bounds")
+            self.add_conj(f"{hi} <= {self.c.nx}", "bounds")
+        for reason, plan_pairs in (("span-overlap", self.plan.pairs),
+                                   ("cell-overlap", self.plan.cell_pairs)):
+            for a, b in plan_pairs:
+                _, loa, hia = self.acc_base[id(a.inst)]
+                _, lob, hib = self.acc_base[id(b.inst)]
+                self.add_conj(f"{hia} <= {lob} or {hib} <= {loa}", reason)
 
     # -- masks ------------------------------------------------------------
 
@@ -1262,15 +1318,21 @@ class _LoopGen:
         return parts
 
     def _assemble(self, ind: int) -> list[str]:
-        g = self.g
+        g, tel = self.g, self.tel
         p0, p1, p2 = ("    " * (ind + d) for d in (0, 1, 2))
         lines = []
         probe = " and ".join(self._probe_parts()) or "True"
         lines.append(f"{p0}{g} = {probe}")
+        lines.append(f"{p0}if not {g}: {tel}('type-probe')")
         lines.append(f"{p0}if {g}:")
         lines.extend(p1 + ln for ln in self.count_lines)
-        for e in self.conj2:
-            lines.append(f"{p1}{g} = {g} and ({e})")
+        # each conjunct narrows the guard via its own ``if`` so the
+        # first one to fail names the fallback reason; later conjuncts
+        # short-circuit on the dead guard exactly like ``g = g and ...``
+        for reason, e in self.conj2:
+            lines.append(
+                f"{p1}if {g} and not ({e}): {g} = False; {tel}({reason!r})"
+            )
         lines.append(f"{p0}if {g}:")
         lines.append(f"{p1}with ERR(all='ignore'):")
         head = []
@@ -1280,6 +1342,7 @@ class _LoopGen:
             head.append(f"{t} = NP.arange({lanes})")
         lines.extend(p2 + ln for ln in head + self.compute)
         lines.append(f"{p0}if {g}:")
+        lines.append(f"{p1}{tel}('array')")
         for rel, ln in self.finals:
             lines.append("    " * (ind + 1 + rel) + ln)
         lines.extend(p1 + ln for ln in self.commits)
@@ -1389,9 +1452,10 @@ def array_function(
     key = (id(cm), max_steps, bool(accounting))
     prog = per_fn.get(key)
     if prog is None:
-        prog = per_fn[key] = _ArrayCompiler(
-            fn, cm, max_steps, account=bool(accounting)
-        ).compile()
+        with telemetry.span("translate", detail=fn.name, backend="array"):
+            prog = per_fn[key] = _ArrayCompiler(
+                fn, cm, max_steps, account=bool(accounting)
+            ).compile()
     return prog
 
 

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 from weakref import WeakKeyDictionary
 
+from repro import telemetry
 from repro.ir.instructions import (
     Alloca,
     BinOp,
@@ -942,7 +943,8 @@ def compile_function(
     key = (id(cm), max_steps)
     prog = per_fn.get(key)
     if prog is None:
-        prog = per_fn[key] = _FunctionCompiler(fn, cm, max_steps).compile()
+        with telemetry.span("translate", detail=fn.name, backend="compiled"):
+            prog = per_fn[key] = _FunctionCompiler(fn, cm, max_steps).compile()
     return prog
 
 

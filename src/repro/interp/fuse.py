@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 from weakref import WeakKeyDictionary
 
+from repro import telemetry
 from repro.diag.context import get_context
 from repro.ir.instructions import (
     Alloca,
@@ -840,7 +841,8 @@ def fuse_function(
     key = (id(cm), max_steps)
     prog = per_fn.get(key)
     if prog is None:
-        prog = per_fn[key] = _FusedCompiler(fn, cm, max_steps).compile()
+        with telemetry.span("translate", detail=fn.name, backend="fused"):
+            prog = per_fn[key] = _FusedCompiler(fn, cm, max_steps).compile()
     return prog
 
 

@@ -8,6 +8,8 @@ from .measure import (
     ScalarArg,
     Workload,
     build,
+    cache_stats,
+    clear_all_caches,
     clear_build_cache,
     clear_reference_cache,
     execute,
@@ -22,8 +24,9 @@ from .report import counters_report, format_table, speedup_table
 
 __all__ = [
     "AliasArg", "ArrayArg", "BuildSpec", "ChecksumMismatch", "RunResult",
-    "ScalarArg", "Workload", "build", "build_many", "clear_build_cache",
-    "clear_reference_cache", "counters_report", "execute", "format_table",
-    "geomean", "get_default_backend", "run_workload", "set_default_backend",
+    "ScalarArg", "Workload", "build", "build_many", "cache_stats",
+    "clear_all_caches", "clear_build_cache", "clear_reference_cache",
+    "counters_report", "execute", "format_table", "geomean",
+    "get_default_backend", "run_workload", "set_default_backend",
     "speedup_table", "verified_run",
 ]

@@ -18,6 +18,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro import telemetry
+
 from .measure import Workload, build
 
 
@@ -55,12 +57,29 @@ def _build_one(spec: BuildSpec) -> tuple[str, float]:
     return spec.name, time.perf_counter() - t0
 
 
+def _build_one_worker(spec: BuildSpec):
+    """Pool task body: build one spec and ship the telemetry delta home.
+
+    The child inherits the parent's registry contents via fork, so the
+    per-task delta is obtained by zeroing first: ``reset()`` at task
+    start, ``snapshot()`` at task end.  The parent ``absorb()``s each
+    snapshot — counters from the workers (disk-cache traffic, pipeline
+    builds) thus survive the process boundary.  Spans are skipped: a
+    child's monotonic clock is not comparable with the parent's.
+    """
+    telemetry.reset()
+    result = _build_one(spec)
+    return result, telemetry.snapshot(include_spans=False)
+
+
 def build_many(specs, jobs: int = 1) -> list[tuple[str, float]]:
     """Build every spec, ``jobs`` at a time; returns per-spec timings.
 
     Results come back in submission order regardless of ``jobs`` (the
-    pool uses ordered ``map``).  With ``jobs <= 1`` everything runs in
-    the calling process — same code path, no pool overhead.
+    pool uses ordered ``map``), which also makes the parent's telemetry
+    merge deterministic.  With ``jobs <= 1`` everything runs in the
+    calling process — same code path, no pool overhead, and no registry
+    reset (in-process builds hit the live registry directly).
     """
     specs = list(specs)
     if jobs <= 1 or len(specs) <= 1:
@@ -68,7 +87,16 @@ def build_many(specs, jobs: int = 1) -> list[tuple[str, float]]:
     import multiprocessing as mp
 
     with mp.Pool(min(jobs, len(specs))) as pool:
-        return pool.map(_build_one, specs)
+        tagged = pool.map(_build_one_worker, specs)
+    results = []
+    for result, snap in tagged:
+        results.append(result)
+        if telemetry.absorb(snap):
+            telemetry.counter(
+                "repro_worker_snapshots_merged_total",
+                "worker telemetry snapshots absorbed by the parent",
+                kind="build").inc()
+    return results
 
 
 __all__ = ["BuildSpec", "build_many"]

@@ -43,11 +43,19 @@ import pickle
 import sys
 from typing import Optional
 
+from repro import telemetry
+
 #: Bump when the pickled layout (IR object shapes, stats fields) changes;
 #: old entries then miss instead of unpickling garbage.
 #: 2: the companion ``.exec.txt`` dump gained the array-tier executor
 #: source alongside the fused one.
 FORMAT_VERSION = 2
+
+
+def _req(outcome: str) -> None:
+    telemetry.counter("repro_diskcache_requests_total",
+                      "persistent artifact-cache lookups by outcome",
+                      outcome=outcome).inc()
 
 
 def cache_dir() -> Optional[str]:
@@ -92,10 +100,13 @@ def load(key: str):
     path = _path(root, key)
     try:
         with open(path, "rb") as f:
-            module, stats = pickle.load(f)
+            payload = f.read()
+        module, stats = pickle.loads(payload)
     except FileNotFoundError:
+        _req("miss")
         return None
     except Exception:
+        _req("error")
         try:
             os.remove(path)
         except OSError:
@@ -105,6 +116,10 @@ def load(key: str):
         os.utime(path)  # refresh mtime: eviction is least-recently-used
     except OSError:
         pass
+    _req("hit")
+    telemetry.counter("repro_diskcache_bytes_total",
+                      "artifact-cache bytes moved",
+                      direction="read").inc(len(payload))
     return module, stats
 
 
@@ -119,9 +134,11 @@ def store(key: str, module, stats) -> Optional[str]:
     path = _path(root, key)
     tmp = f"{path}.tmp.{os.getpid()}"
     try:
+        payload = pickle.dumps((module, stats),
+                               protocol=pickle.HIGHEST_PROTOCOL)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         with open(tmp, "wb") as f:
-            pickle.dump((module, stats), f, protocol=pickle.HIGHEST_PROTOCOL)
+            f.write(payload)
         os.replace(tmp, path)
     except Exception:
         try:
@@ -129,6 +146,11 @@ def store(key: str, module, stats) -> Optional[str]:
         except OSError:
             pass
         return None
+    telemetry.counter("repro_diskcache_stores_total",
+                      "artifact-cache entries written").inc()
+    telemetry.counter("repro_diskcache_bytes_total",
+                      "artifact-cache bytes moved",
+                      direction="written").inc(len(payload))
     try:
         _write_exec_source(path, module)
     except Exception:
@@ -193,6 +215,8 @@ def _evict(root: str) -> None:
                 os.remove(victim)
             except OSError:
                 pass
+        telemetry.counter("repro_diskcache_evictions_total",
+                          "artifact-cache LRU evictions").inc()
 
 
 def entry_count() -> int:

@@ -44,6 +44,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro import telemetry
 from repro.diag.context import ProfileRecord, get_context
 from repro.frontend import compile_c
 from repro.interp import BACKENDS, Counters
@@ -169,16 +170,41 @@ def _cache_cap() -> int:
 
 class _LRUCache:
     """A dict-like memo bounded to ``cap`` entries, evicting least
-    recently used.  ``cap=0`` disables storage (every lookup misses)."""
+    recently used.  ``cap=0`` disables storage (every lookup misses).
 
-    def __init__(self, cap: Optional[int] = None):
+    Every lookup and eviction is counted (``hits`` / ``misses`` /
+    ``evictions``, cumulative over the cache's lifetime — ``clear()``
+    drops entries, not history) and mirrored into the telemetry
+    registry as ``repro_cache_requests_total{cache=<name>,outcome=...}``
+    and ``repro_cache_evictions_total{cache=<name>}``.
+    """
+
+    def __init__(self, cap: Optional[int] = None, name: str = "anon"):
         self._cap = _cache_cap() if cap is None else cap
         self._data: "OrderedDict" = OrderedDict()
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        # handles are stable across telemetry.reset(), so binding them
+        # once keeps the hot-path cost to one attribute check + int add
+        _help = "measurement-cache lookups by outcome"
+        self._tel_hit = telemetry.counter(
+            "repro_cache_requests_total", _help, cache=name, outcome="hit")
+        self._tel_miss = telemetry.counter(
+            "repro_cache_requests_total", _help, cache=name, outcome="miss")
+        self._tel_evict = telemetry.counter(
+            "repro_cache_evictions_total",
+            "measurement-cache LRU evictions", cache=name)
 
     def get(self, key, default=None):
         hit = self._data.get(key, _LRU_ABSENT)
         if hit is _LRU_ABSENT:
+            self.misses += 1
+            self._tel_miss.inc()
             return default
+        self.hits += 1
+        self._tel_hit.inc()
         self._data.move_to_end(key)
         return hit
 
@@ -190,6 +216,8 @@ class _LRUCache:
         self._data[key] = value
         while len(self._data) > self._cap:
             self._data.popitem(last=False)
+            self.evictions += 1
+            self._tel_evict.inc()
 
     def __contains__(self, key) -> bool:
         return key in self._data
@@ -200,12 +228,26 @@ class _LRUCache:
     def clear(self) -> None:
         self._data.clear()
 
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._data),
+            "cap": self._cap,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
 
 _LRU_ABSENT = object()
 
-_BUILD_CACHE = _LRUCache()
-_REFERENCE_CACHE = _LRUCache()
-_RUN_CACHE = _LRUCache()
+_BUILD_CACHE = _LRUCache(name="build")
+_REFERENCE_CACHE = _LRUCache(name="reference")
+_RUN_CACHE = _LRUCache(name="run")
 
 
 def _data_signature(workload: Workload) -> tuple:
@@ -242,6 +284,31 @@ def clear_reference_cache() -> None:
     _RUN_CACHE.clear()
 
 
+def cache_stats() -> dict:
+    """Hit/miss/eviction statistics for the three measurement caches,
+    keyed by cache name.  Counts are cumulative over the process (they
+    survive ``clear_*`` — those drop entries, not history)."""
+    return {
+        c.name: c.stats()
+        for c in (_BUILD_CACHE, _RUN_CACHE, _REFERENCE_CACHE)
+    }
+
+
+def clear_all_caches() -> None:
+    """Drop every in-process cache: the three measurement memos *and*
+    the per-module translate caches of the compiled/fused/array
+    backends.  The persistent disk cache (``REPRO_CACHE_DIR``) is left
+    alone — it is shared across processes and content-addressed."""
+    clear_reference_cache()
+    from repro.interp.array import clear_array_cache
+    from repro.interp.compile import clear_compile_cache
+    from repro.interp.fuse import clear_fuse_cache
+
+    clear_compile_cache()
+    clear_fuse_cache()
+    clear_array_cache()
+
+
 def build(workload: Workload, level: str, honor_restrict: bool = True,
           vl: int = 4, rle: bool = False, use_cache: bool = False):
     """Compile + optimize a workload; returns ``(module, stats)``.
@@ -259,6 +326,9 @@ def build(workload: Workload, level: str, honor_restrict: bool = True,
                level, honor_restrict, vl, rle)
         hit = _BUILD_CACHE.get(key)
         if hit is not None:
+            telemetry.counter("repro_build_total",
+                              "builds by artifact source",
+                              source="memo").inc()
             return hit
         # the persistent disk cache (REPRO_CACHE_DIR) is consulted only
         # with diagnostics off: a cached build emits no pass remarks or
@@ -271,9 +341,16 @@ def build(workload: Workload, level: str, honor_restrict: bool = True,
             hit = diskcache.load(disk_key)
             if hit is not None:
                 _BUILD_CACHE[key] = hit
+                telemetry.counter("repro_build_total",
+                                  "builds by artifact source",
+                                  source="disk").inc()
                 return hit
-    module = compile_c(workload.source, name=workload.name)
-    stats = optimize(module, level, honor_restrict=honor_restrict, vl=vl, rle=rle)
+    with telemetry.span("build", detail=workload.name, level=level):
+        module = compile_c(workload.source, name=workload.name)
+        stats = optimize(module, level, honor_restrict=honor_restrict,
+                         vl=vl, rle=rle)
+    telemetry.counter("repro_build_total", "builds by artifact source",
+                      source="pipeline").inc()
     if use_cache:
         _BUILD_CACHE[key] = (module, stats)
         if disk_key is not None:
@@ -304,26 +381,31 @@ def execute(module, workload: Workload, stats: Optional[PipelineStats] = None,
             f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
         )
     kwargs = {} if max_steps is None else {"max_steps": max_steps}
-    interp = executor_cls(module, externals=workload.externals, **kwargs)
-    for gname, init in workload.globals_init.items():
-        base = interp.global_base(gname)
-        g = module.globals[gname]
-        interp.memory.write_array(base, [float(init(i)) for i in range(g.size)])
-    argv = []
-    arrays = []
-    bases: dict[str, int] = {}
-    for a in workload.args:
-        if isinstance(a, ArrayArg):
-            base = interp.memory.alloc(a.size, a.name)
-            interp.memory.write_array(base, [float(a.init(i)) for i in range(a.size)])
-            argv.append(base)
-            arrays.append((a, base))
-            bases[a.name] = base
-        elif isinstance(a, AliasArg):
-            argv.append(bases[a.of] + a.offset)
-        else:
-            argv.append(a.value)
-    res = interp.run(module.functions[workload.entry], argv)
+    telemetry.counter("repro_exec_total", "workload executions by backend",
+                      backend=name).inc()
+    with telemetry.span("execute", detail=workload.name, backend=name):
+        interp = executor_cls(module, externals=workload.externals, **kwargs)
+        for gname, init in workload.globals_init.items():
+            base = interp.global_base(gname)
+            g = module.globals[gname]
+            interp.memory.write_array(
+                base, [float(init(i)) for i in range(g.size)])
+        argv = []
+        arrays = []
+        bases: dict[str, int] = {}
+        for a in workload.args:
+            if isinstance(a, ArrayArg):
+                base = interp.memory.alloc(a.size, a.name)
+                interp.memory.write_array(
+                    base, [float(a.init(i)) for i in range(a.size)])
+                argv.append(base)
+                arrays.append((a, base))
+                bases[a.name] = base
+            elif isinstance(a, AliasArg):
+                argv.append(bases[a.of] + a.offset)
+            else:
+                argv.append(a.value)
+        res = interp.run(module.functions[workload.entry], argv)
     dc = get_context()
     if dc.enabled and res.profile is not None:
         dc.add_profile(ProfileRecord(
@@ -426,6 +508,8 @@ __all__ = [
     "RunResult",
     "ChecksumMismatch",
     "build",
+    "cache_stats",
+    "clear_all_caches",
     "clear_build_cache",
     "clear_reference_cache",
     "execute",

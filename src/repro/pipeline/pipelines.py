@@ -26,6 +26,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.diag import PassManager
 from repro.diag.context import get_context
 from repro.frontend import compile_c
@@ -100,6 +101,10 @@ def _scalar_cleanup(
             # first round).
             stats.gvn[name] = stats.gvn.get(name, 0)
             stats.licm[name] = stats.licm.get(name, 0)
+            telemetry.counter(
+                "repro_pipeline_clean_round_skips_total",
+                "cleanup rounds skipped because the function was "
+                "proven clean by an earlier round").inc()
             continue
         folded = run_pass("simplify", fn, lambda fn=fn: run_simplify(fn))
         deleted = run_pass("gvn", fn, lambda fn=fn: run_gvn(fn, aa))
@@ -138,6 +143,8 @@ def optimize(
     stats = PipelineStats()
     if level == "O0":
         return stats
+    telemetry.counter("repro_pipeline_runs_total",
+                      "optimize() invocations by level", level=level).inc()
     am = AnalysisManager(honor_restrict=honor_restrict)
     pm = PassManager(module_name=module.name)
 

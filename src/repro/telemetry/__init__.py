@@ -1,0 +1,138 @@
+"""Unified runtime telemetry: metrics registry, spans, regression gate.
+
+One process-wide, label-aware home for operational numbers the
+diagnostics subsystem (compile-time remarks, exact cycle attribution)
+deliberately does not cover: cache hit rates, guard-dispatch outcomes,
+pass and phase wall time, worker merge statistics.  Everything here
+lives *outside* the simulation — the hard invariant, enforced by
+``tests/test_telemetry.py``, is that cycles, counters, and checksums are
+bit-identical with telemetry enabled, disabled, and under
+``REPRO_TELEMETRY=off``.
+
+Quick use::
+
+    from repro import telemetry
+
+    telemetry.counter("my_events_total", kind="retry").inc()
+    with telemetry.span("rebuild", level="O3"):
+        ...
+    snap = telemetry.snapshot()          # JSON-able, deterministic
+    print(telemetry.to_prometheus(snap)) # text exposition
+
+CLI::
+
+    python -m repro.telemetry dump SNAP.json [--prom]
+    python -m repro.telemetry diff OLD.json NEW.json
+    python -m repro.telemetry check [--root DIR] [--thresholds FILE]
+
+``check`` gates the regenerated ``BENCH_interp.json`` /
+``BENCH_build.json`` trajectories against threshold rules (CI runs it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .check import (
+    DEFAULT_THRESHOLDS,
+    check_thresholds,
+    load_thresholds,
+    render_check,
+)
+from .export import (
+    LineageMismatch,
+    diff,
+    load_snapshot,
+    merge,
+    render_snapshot,
+    save_snapshot,
+    to_prometheus,
+    write_snapshot,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+from .spans import span, span_trace_events
+
+
+# -- module-level convenience over the default registry ----------------------
+
+
+def counter(name: str, help: str = "", **labels) -> Counter:
+    return REGISTRY.counter(name, help, **labels)
+
+
+def gauge(name: str, help: str = "", **labels) -> Gauge:
+    return REGISTRY.gauge(name, help, **labels)
+
+
+def histogram(name: str, help: str = "",
+              buckets: tuple = DEFAULT_BUCKETS, **labels) -> Histogram:
+    return REGISTRY.histogram(name, help, buckets=buckets, **labels)
+
+
+def enabled() -> bool:
+    return REGISTRY.enabled
+
+
+def set_enabled(on: bool) -> None:
+    """Flip collection at runtime (``REPRO_TELEMETRY`` sets the default)."""
+    REGISTRY.enabled = bool(on)
+
+
+def reset() -> None:
+    """Zero every series in place and drop the span log."""
+    REGISTRY.reset()
+
+
+def snapshot(include_spans: bool = True) -> dict:
+    return REGISTRY.snapshot(include_spans=include_spans)
+
+
+def absorb(snap: Optional[dict], include_spans: bool = False) -> bool:
+    """Merge a worker snapshot into the live registry; returns whether
+    anything was merged (None snapshots — in-process workers — are
+    skipped, so call sites need no branching)."""
+    if not snap:
+        return False
+    REGISTRY.absorb(snap, include_spans=include_spans)
+    return True
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_THRESHOLDS",
+    "Gauge",
+    "Histogram",
+    "LineageMismatch",
+    "REGISTRY",
+    "Registry",
+    "SCHEMA_VERSION",
+    "absorb",
+    "check_thresholds",
+    "counter",
+    "diff",
+    "enabled",
+    "gauge",
+    "histogram",
+    "load_snapshot",
+    "load_thresholds",
+    "merge",
+    "render_check",
+    "render_snapshot",
+    "reset",
+    "save_snapshot",
+    "set_enabled",
+    "snapshot",
+    "span",
+    "span_trace_events",
+    "to_prometheus",
+    "write_snapshot",
+]

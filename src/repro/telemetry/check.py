@@ -1,0 +1,153 @@
+"""Regression gate over benchmark trajectories (``telemetry check``).
+
+``BENCH_interp.json`` and ``BENCH_build.json`` are the repo's longitudinal
+performance record — every CI run regenerates them.  This module turns
+them into a *gate*: a list of threshold rules, each a dotted path into
+one of the JSON payloads plus a comparison, evaluated and rendered as a
+pass/fail table.  The default rules pin the floors the repo's own bench
+tests already assert (compiled ≥3x, fused ≥2x over compiled, array speed
+mode ≥3x over fused, cold builds ≥2x and warm ≥10x over the pinned
+baseline, bit-identical warm artifacts and speed-mode checksums), so a
+PR that regresses a trajectory fails CI even if no unit test notices.
+
+Custom rules come from a JSON file (``--thresholds``): a list of objects
+``{"file", "path", "op", "value", ...}``; ``op`` is one of ``>= <= > <
+== truthy``.  Paths traverse dicts by key and lists by integer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+#: The built-in gate: every floor the bench suites assert, plus the
+#: bit-identity booleans.  ``value`` for ``truthy`` rules is ignored.
+DEFAULT_THRESHOLDS = [
+    {"file": "BENCH_interp.json",
+     "path": "geomean_exec_speedup_by_backend.compiled",
+     "op": ">=", "value": 3.0},
+    {"file": "BENCH_interp.json", "path": "geomean_fused_over_compiled",
+     "op": ">=", "value": 2.0},
+    {"file": "BENCH_interp.json",
+     "path": "speed_mode.geomean_array_speed_over_fused",
+     "op": ">=", "value": 3.0},
+    {"file": "BENCH_interp.json", "path": "speed_mode.all_checksums_identical",
+     "op": "truthy", "value": True},
+    {"file": "BENCH_build.json", "path": "geomean_cold_speedup_vs_baseline",
+     "op": ">=", "value": 2.0},
+    {"file": "BENCH_build.json", "path": "geomean_warm_speedup_vs_baseline",
+     "op": ">=", "value": 10.0},
+    {"file": "BENCH_build.json", "path": "all_warm_identical",
+     "op": "truthy", "value": True},
+]
+
+_OPS = {
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+    "==": lambda a, b: a == b,
+    "truthy": lambda a, b: bool(a),
+}
+
+
+def resolve_path(payload, path: str):
+    """Walk ``a.b.0.c`` through dicts (by key) and lists (by index)."""
+    cur = payload
+    for part in path.split("."):
+        if isinstance(cur, list):
+            cur = cur[int(part)]
+        elif isinstance(cur, dict):
+            if part not in cur:
+                raise KeyError(path)
+            cur = cur[part]
+        else:
+            raise KeyError(path)
+    return cur
+
+
+def load_thresholds(path: str) -> list[dict]:
+    with open(path) as f:
+        rules = json.load(f)
+    if not isinstance(rules, list):
+        raise ValueError(f"{path}: thresholds file must be a JSON list")
+    for r in rules:
+        for field in ("file", "path", "op"):
+            if field not in r:
+                raise ValueError(f"{path}: rule missing {field!r}: {r}")
+        if r["op"] not in _OPS:
+            raise ValueError(f"{path}: unknown op {r['op']!r}")
+    return rules
+
+
+def check_thresholds(root: str = ".",
+                     thresholds: Optional[list[dict]] = None) -> list[dict]:
+    """Evaluate every rule; returns result rows (see ``ok`` per row).
+
+    A missing bench file or path is itself a failure — a gate that
+    silently skips is not a gate.
+    """
+    rules = DEFAULT_THRESHOLDS if thresholds is None else thresholds
+    payloads: dict[str, object] = {}
+    rows = []
+    for r in rules:
+        fname = r["file"]
+        row = {"file": fname, "path": r["path"], "op": r["op"],
+               "threshold": r.get("value")}
+        if fname not in payloads:
+            fpath = os.path.join(root, fname)
+            try:
+                with open(fpath) as f:
+                    payloads[fname] = json.load(f)
+            except (OSError, ValueError) as e:
+                payloads[fname] = e
+        payload = payloads[fname]
+        if isinstance(payload, Exception):
+            row.update(ok=False, actual=None,
+                       error=f"cannot read {fname}: {payload}")
+            rows.append(row)
+            continue
+        try:
+            actual = resolve_path(payload, r["path"])
+        except (KeyError, IndexError, ValueError):
+            row.update(ok=False, actual=None,
+                       error=f"path {r['path']!r} not found")
+            rows.append(row)
+            continue
+        row["actual"] = actual
+        row["ok"] = bool(_OPS[r["op"]](actual, r.get("value")))
+        rows.append(row)
+    return rows
+
+
+def render_check(rows: list[dict]) -> str:
+    lines = ["== telemetry check: bench trajectory gate =="]
+    width = max((len(f"{r['file']}:{r['path']}") for r in rows), default=0)
+    for r in rows:
+        status = "ok  " if r["ok"] else "FAIL"
+        where = f"{r['file']}:{r['path']}".ljust(width)
+        if r.get("error"):
+            lines.append(f"  {status}  {where}  {r['error']}")
+        elif r["op"] == "truthy":
+            lines.append(f"  {status}  {where}  truthy (got {r['actual']!r})")
+        else:
+            lines.append(
+                f"  {status}  {where}  {r['actual']} {r['op']} "
+                f"{r['threshold']}"
+            )
+    bad = sum(1 for r in rows if not r["ok"])
+    lines.append(
+        f"{len(rows)} rule(s), {bad} failing" if bad
+        else f"{len(rows)} rule(s), all within thresholds"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "check_thresholds",
+    "load_thresholds",
+    "render_check",
+    "resolve_path",
+]

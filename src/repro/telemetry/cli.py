@@ -1,0 +1,97 @@
+"""``python -m repro.telemetry {dump,diff,check}`` — the telemetry CLI.
+
+* ``dump``  — render a snapshot JSON file as a table (default) or in
+  the Prometheus text exposition format (``--prom``); multiple files
+  are merged first (refusing mixed lineage unless ``--allow-mixed``).
+* ``diff``  — per-series numeric deltas between two snapshots.
+* ``check`` — evaluate the bench-trajectory regression gate over
+  ``BENCH_interp.json`` / ``BENCH_build.json`` (or a custom rule file);
+  exit status 1 on any failing rule.  CI runs this right after
+  regenerating the bench artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .check import check_thresholds, load_thresholds, render_check
+from .export import (
+    diff as snapshot_diff,
+    load_snapshot,
+    merge,
+    render_snapshot,
+    to_prometheus,
+)
+
+
+def _cmd_dump(args) -> int:
+    snaps = [load_snapshot(p) for p in args.snapshots]
+    snap = snaps[0] if len(snaps) == 1 else merge(
+        snaps, allow_mixed=args.allow_mixed
+    )
+    if args.prom:
+        sys.stdout.write(to_prometheus(snap))
+    else:
+        print(render_snapshot(snap, nonzero_only=not args.zeros))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    rows = snapshot_diff(load_snapshot(args.old), load_snapshot(args.new))
+    if not rows:
+        print("no series changed")
+        return 0
+    for r in rows:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(r["labels"].items()))
+        where = f"{r['name']}{{{labels}}}" if labels else r["name"]
+        print(f"  {where}: {r['old']} -> {r['new']} ({r['delta']:+g})")
+    print(f"{len(rows)} series changed")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    thresholds = load_thresholds(args.thresholds) if args.thresholds else None
+    rows = check_thresholds(root=args.root, thresholds=thresholds)
+    print(render_check(rows))
+    return 1 if any(not r["ok"] for r in rows) else 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="inspect, diff, and gate runtime telemetry snapshots",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_dump = sub.add_parser("dump", help="render snapshot file(s)")
+    p_dump.add_argument("snapshots", nargs="+",
+                        help="snapshot JSON file(s); several are merged")
+    p_dump.add_argument("--prom", action="store_true",
+                        help="Prometheus text exposition instead of a table")
+    p_dump.add_argument("--zeros", action="store_true",
+                        help="include zero-valued series")
+    p_dump.add_argument("--allow-mixed", action="store_true",
+                        help="merge snapshots with differing lineage")
+    p_dump.set_defaults(fn=_cmd_dump)
+
+    p_diff = sub.add_parser("diff", help="delta between two snapshots")
+    p_diff.add_argument("old")
+    p_diff.add_argument("new")
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_check = sub.add_parser(
+        "check", help="gate BENCH_*.json against regression thresholds"
+    )
+    p_check.add_argument("--root", default=".",
+                         help="directory holding the bench JSON files")
+    p_check.add_argument("--thresholds",
+                         help="JSON rule file overriding the built-in gate")
+    p_check.set_defaults(fn=_cmd_check)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+__all__ = ["main"]

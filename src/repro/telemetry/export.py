@@ -1,0 +1,260 @@
+"""Snapshot interchange: Prometheus text exposition, JSON, merge, diff.
+
+Snapshots (see :meth:`repro.telemetry.registry.Registry.snapshot`) are
+plain dicts; everything here is a pure function over them, so worker
+processes can ship snapshots through pickles or files and the parent
+merges them without touching live registries.
+
+Merging is **deterministic**: series are keyed by (family, sorted label
+items), counters and histograms add, gauges take the last snapshot's
+value, and output ordering is sorted — merging the same snapshots in the
+same order always yields byte-identical JSON.  Snapshots carrying a
+different *lineage* (schema, python, artifact-format version, backend,
+accounting mode) refuse to merge unless ``allow_mixed=True`` — numbers
+from different pipeline versions must never mix silently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional
+
+from .registry import COUNTER, GAUGE, HISTOGRAM, SCHEMA_VERSION
+
+
+# -- JSON --------------------------------------------------------------------
+
+
+def write_snapshot(snap: dict, out: IO[str]) -> None:
+    json.dump(snap, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def save_snapshot(snap: dict, path: str) -> str:
+    with open(path, "w") as f:
+        write_snapshot(snap, f)
+    return path
+
+
+def load_snapshot(path: str) -> dict:
+    with open(path) as f:
+        snap = json.load(f)
+    fmt = snap.get("format")
+    if fmt != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: telemetry snapshot format {fmt!r} != "
+            f"supported {SCHEMA_VERSION}"
+        )
+    return snap
+
+
+# -- merge / diff ------------------------------------------------------------
+
+
+class LineageMismatch(ValueError):
+    """Two snapshots disagree on provenance labels."""
+
+
+def _series_map(snap: dict) -> dict:
+    """(name, label items) -> (kind, help, series dict), flattened."""
+    out = {}
+    for fam in snap.get("metrics", ()):
+        for s in fam["series"]:
+            key = (fam["name"], tuple(sorted(s.get("labels", {}).items())))
+            out[key] = (fam["kind"], fam.get("help", ""), s)
+    return out
+
+
+def merge(snaps: Iterable[dict], allow_mixed: bool = False) -> dict:
+    """Fold snapshots into one; deterministic for a given input order."""
+    snaps = list(snaps)
+    if not snaps:
+        return {"format": SCHEMA_VERSION, "lineage": {}, "metrics": [],
+                "spans": {"dropped": 0, "events": []}}
+    lineage = snaps[0].get("lineage", {})
+    if not allow_mixed:
+        for s in snaps[1:]:
+            if s.get("lineage", {}) != lineage:
+                raise LineageMismatch(
+                    f"snapshot lineage differs: {s.get('lineage')} != "
+                    f"{lineage} (pass allow_mixed=True to force)"
+                )
+    acc: dict = {}
+    kinds: dict = {}
+    helps: dict = {}
+    for snap in snaps:
+        for (name, lkey), (kind, help_, s) in _series_map(snap).items():
+            kinds[name] = kind
+            if help_:
+                helps.setdefault(name, help_)
+            cur = acc.get((name, lkey))
+            if kind == HISTOGRAM:
+                if cur is None:
+                    acc[(name, lkey)] = {
+                        "labels": dict(lkey),
+                        "count": s["count"], "sum": s["sum"],
+                        "bounds": list(s["bounds"]),
+                        "counts": list(s["counts"]),
+                    }
+                else:
+                    if cur["bounds"] != list(s["bounds"]):
+                        raise ValueError(
+                            f"histogram {name!r}: bucket bounds differ "
+                            "across snapshots"
+                        )
+                    cur["count"] += s["count"]
+                    cur["sum"] += s["sum"]
+                    cur["counts"] = [
+                        a + b for a, b in zip(cur["counts"], s["counts"])
+                    ]
+            elif cur is None:
+                acc[(name, lkey)] = {"labels": dict(lkey),
+                                     "value": s["value"]}
+            elif kind == COUNTER:
+                cur["value"] += s["value"]
+            else:  # gauge: last write wins
+                cur["value"] = s["value"]
+    metrics = []
+    for name in sorted({n for n, _ in acc}):
+        series = [acc[k] for k in sorted(
+            (k for k in acc if k[0] == name), key=lambda k: k[1]
+        )]
+        metrics.append({"name": name, "kind": kinds[name],
+                        "help": helps.get(name, ""), "series": series})
+    dropped = 0
+    events: list = []
+    for snap in snaps:
+        sp = snap.get("spans") or {}
+        dropped += sp.get("dropped", 0)
+        events.extend(sp.get("events", ()))
+    return {
+        "format": SCHEMA_VERSION,
+        "lineage": lineage,
+        "merged_from": len(snaps),
+        "metrics": metrics,
+        "spans": {"dropped": dropped, "events": events},
+    }
+
+
+def diff(old: dict, new: dict) -> list[dict]:
+    """Per-series numeric deltas, sorted; gauges report (old, new).
+
+    Returns rows ``{"name", "kind", "labels", "old", "new", "delta"}``
+    for every series present in either snapshot (absent reads as 0).
+    """
+    a, b = _series_map(old), _series_map(new)
+    rows = []
+    for key in sorted(set(a) | set(b)):
+        name, lkey = key
+        kind = (b.get(key) or a.get(key))[0]
+        def val(side):
+            if side is None:
+                return 0.0
+            s = side[2]
+            return float(s["sum"] if kind == HISTOGRAM else s["value"])
+        va, vb = val(a.get(key)), val(b.get(key))
+        if va == vb:
+            continue
+        rows.append({
+            "name": name, "kind": kind, "labels": dict(lkey),
+            "old": va, "new": vb, "delta": vb - va,
+        })
+    return rows
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _esc(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels: dict, extra: Optional[dict] = None) -> str:
+    items = dict(labels)
+    if extra:
+        items.update(extra)
+    if not items:
+        return ""
+    body = ",".join(
+        f'{k}="{_esc(str(v))}"' for k, v in sorted(items.items())
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus(snap: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines = []
+    for fam in snap.get("metrics", ()):
+        name, kind = fam["name"], fam["kind"]
+        if fam.get("help"):
+            lines.append(f"# HELP {name} {fam['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for s in fam["series"]:
+            labels = s.get("labels", {})
+            if kind == HISTOGRAM:
+                cum = 0
+                for le, n in zip(s["bounds"], s["counts"]):
+                    cum += n
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_str(labels, {'le': repr(float(le))})} {cum}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_label_str(labels, {'le': '+Inf'})} "
+                    f"{s['count']}"
+                )
+                lines.append(f"{name}_sum{_label_str(labels)} {s['sum']}")
+                lines.append(f"{name}_count{_label_str(labels)} {s['count']}")
+            else:
+                lines.append(f"{name}{_label_str(labels)} {s['value']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human-readable dump -----------------------------------------------------
+
+
+def render_snapshot(snap: dict, nonzero_only: bool = True) -> str:
+    """A compact table of every series, for ``telemetry dump``."""
+    lines = []
+    lineage = snap.get("lineage", {})
+    if lineage:
+        lines.append("lineage: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(lineage.items())
+        ))
+    for fam in snap.get("metrics", ()):
+        rows = []
+        for s in fam["series"]:
+            if fam["kind"] == HISTOGRAM:
+                if nonzero_only and not s["count"]:
+                    continue
+                val = (f"count={s['count']} sum={s['sum']:.6f}"
+                       f" mean={s['sum'] / s['count']:.6f}"
+                       if s["count"] else "count=0")
+            else:
+                if nonzero_only and not s["value"]:
+                    continue
+                val = str(s["value"])
+            lab = _label_str(s.get("labels", {}))
+            rows.append(f"  {lab or '(no labels)'}: {val}")
+        if rows:
+            lines.append(f"{fam['name']} ({fam['kind']})")
+            lines.extend(rows)
+    sp = snap.get("spans") or {}
+    n = len(sp.get("events", ()))
+    if n or sp.get("dropped"):
+        lines.append(
+            f"spans: {n} event(s), {sp.get('dropped', 0)} dropped"
+        )
+    return "\n".join(lines) if lines else "(empty snapshot)"
+
+
+__all__ = [
+    "LineageMismatch",
+    "diff",
+    "load_snapshot",
+    "merge",
+    "render_snapshot",
+    "save_snapshot",
+    "to_prometheus",
+    "write_snapshot",
+]

@@ -1,0 +1,316 @@
+"""Label-aware runtime metrics: counters, gauges, histograms.
+
+The registry is the process-wide sink every instrumented layer writes
+into — the build pipeline, the analysis manager, the measurement caches,
+the disk cache, the execution backends, and the array tier's runtime
+version guards.  It is deliberately *outside* the simulation: nothing in
+here ever touches cycles, counters, or memory, so the repo's accounting
+invariant (bit-identical cycles/counters/checksums with telemetry on or
+off) holds by construction.  ``REPRO_TELEMETRY=off`` (or
+:func:`set_enabled`) turns every handle into a no-op without changing
+any code path that feeds the simulation.
+
+Design points, in the Prometheus idiom:
+
+* a **metric family** is a name plus a kind (``counter`` | ``gauge`` |
+  ``histogram``); **series** within a family are distinguished by label
+  key/value pairs.  ``registry.counter("x_total", cache="build",
+  outcome="hit")`` returns the one live :class:`Counter` for that label
+  set — handles are stable objects call sites may cache, and
+  :meth:`Registry.reset` zeroes them *in place* so cached handles stay
+  valid across resets (worker processes reset per task to produce
+  per-task delta snapshots).
+* **histograms** use exponential buckets (default: powers of two from
+  1e-5, 26 buckets — microseconds to ~minutes of wall clock) and track
+  count/sum alongside the bucket vector, so merged snapshots keep exact
+  totals.
+* a **snapshot** is a plain JSON-able dict: deterministically ordered
+  (sorted family names, sorted label tuples), carrying a schema version
+  and a *lineage* block (python version, artifact-format version,
+  default backend, accounting mode) so series produced by different
+  pipeline versions are never silently mixed — :func:`repro.telemetry.
+  export.merge` refuses mismatched lineage unless told otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from bisect import bisect_left
+from typing import Optional
+
+SCHEMA_VERSION = 1
+
+#: Default exponential bucket upper bounds (seconds): 1e-5 * 2**k.
+DEFAULT_BUCKETS = tuple(1e-5 * (2.0 ** k) for k in range(26))
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def _enabled_from_env() -> bool:
+    v = os.environ.get("REPRO_TELEMETRY", "on").strip().lower()
+    return v not in ("off", "0", "false", "no", "disabled")
+
+
+def _span_cap_from_env() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_TELEMETRY_SPAN_CAP", "20000")))
+    except ValueError:
+        return 20000
+
+
+class Counter:
+    """A monotonically increasing series.  ``inc`` is the only writer."""
+
+    __slots__ = ("_reg", "value")
+
+    def __init__(self, reg: "Registry"):
+        self._reg = reg
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if self._reg.enabled:
+            self.value += n
+
+
+class Gauge:
+    """A point-in-time series: last write wins."""
+
+    __slots__ = ("_reg", "value")
+
+    def __init__(self, reg: "Registry"):
+        self._reg = reg
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        if self._reg.enabled:
+            self.value = v
+
+    def inc(self, n: float = 1.0) -> None:
+        if self._reg.enabled:
+            self.value += n
+
+
+class Histogram:
+    """Exponential-bucket histogram with exact count and sum.
+
+    ``bounds`` are upper bounds of the finite buckets; one implicit
+    +Inf bucket catches the overflow.  ``counts`` has
+    ``len(bounds) + 1`` slots.
+    """
+
+    __slots__ = ("_reg", "bounds", "counts", "sum", "count")
+
+    def __init__(self, reg: "Registry", bounds: tuple = DEFAULT_BUCKETS):
+        self._reg = reg
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, v: float) -> None:
+        if not self._reg.enabled:
+            return
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.sum += v
+        self.count += 1
+
+    def _zero(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "label_names", "children")
+
+    def __init__(self, name: str, kind: str, help_: str = ""):
+        self.name = name
+        self.kind = kind
+        self.help = help_
+        self.label_names: set = set()
+        # tuple(sorted((k, v) for ...)) -> Counter | Gauge | Histogram
+        self.children: dict = {}
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Registry:
+    """One process-wide home for every metric family and span event."""
+
+    def __init__(self, enabled: Optional[bool] = None):
+        self.enabled = _enabled_from_env() if enabled is None else enabled
+        self._families: dict[str, _Family] = {}
+        # completed span events (see repro.telemetry.spans); bounded
+        self.spans: list = []
+        self.span_cap = _span_cap_from_env()
+        self.spans_dropped = 0
+
+    # -- handle lookup ----------------------------------------------------
+
+    def _series(self, kind: str, name: str, help_: str, labels: dict,
+                factory):
+        fam = self._families.get(name)
+        if fam is None:
+            fam = self._families[name] = _Family(name, kind, help_)
+        elif fam.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind}, "
+                f"not {kind}"
+            )
+        if help_ and not fam.help:
+            fam.help = help_
+        fam.label_names.update(labels)
+        key = _label_key(labels)
+        child = fam.children.get(key)
+        if child is None:
+            child = fam.children[key] = factory()
+        return child
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._series(COUNTER, name, help, labels,
+                            lambda: Counter(self))
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._series(GAUGE, name, help, labels, lambda: Gauge(self))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_BUCKETS, **labels) -> Histogram:
+        return self._series(HISTOGRAM, name, help, labels,
+                            lambda: Histogram(self, buckets))
+
+    # -- lifecycle --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every series *in place* and drop the span log.
+
+        Handles cached by instrumented call sites remain valid — worker
+        processes call this at task start so a task-end snapshot is a
+        per-task delta, mergeable without double counting.
+        """
+        for fam in self._families.values():
+            for child in fam.children.values():
+                if isinstance(child, Histogram):
+                    child._zero()
+                elif isinstance(child, Counter):
+                    child.value = 0
+                else:
+                    child.value = 0.0
+        self.spans.clear()
+        self.spans_dropped = 0
+
+    def add_span(self, event: dict) -> None:
+        if len(self.spans) < self.span_cap:
+            self.spans.append(event)
+        else:
+            self.spans_dropped += 1
+
+    # -- snapshot / absorb ------------------------------------------------
+
+    def lineage(self) -> dict:
+        """Version/config labels stamped on every snapshot (SNIPPETS.md
+        #2's lineage-entry discipline): numbers from differently
+        configured pipelines must never merge silently."""
+        try:
+            from repro.perf.diskcache import FORMAT_VERSION as fmt
+        except Exception:  # pragma: no cover - layering safety net
+            fmt = None
+        return {
+            "schema": SCHEMA_VERSION,
+            "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+            "artifact_format": fmt,
+            "backend": os.environ.get("REPRO_BACKEND", "fused"),
+            "accounting": os.environ.get("REPRO_ACCOUNTING", "exact"),
+        }
+
+    def snapshot(self, include_spans: bool = True) -> dict:
+        """A deterministic, JSON-able copy of every series (and spans)."""
+        metrics = []
+        for name in sorted(self._families):
+            fam = self._families[name]
+            series = []
+            for key in sorted(fam.children):
+                child = fam.children[key]
+                entry: dict = {"labels": dict(key)}
+                if fam.kind == HISTOGRAM:
+                    entry["count"] = child.count
+                    entry["sum"] = child.sum
+                    entry["bounds"] = list(child.bounds)
+                    entry["counts"] = list(child.counts)
+                else:
+                    entry["value"] = child.value
+                series.append(entry)
+            metrics.append({
+                "name": name,
+                "kind": fam.kind,
+                "help": fam.help,
+                "series": series,
+            })
+        snap = {
+            "format": SCHEMA_VERSION,
+            "lineage": self.lineage(),
+            "metrics": metrics,
+        }
+        if include_spans:
+            snap["spans"] = {
+                "dropped": self.spans_dropped,
+                "events": list(self.spans),
+            }
+        return snap
+
+    def absorb(self, snap: dict, include_spans: bool = False) -> None:
+        """Merge a snapshot dict into the live registry (worker merge).
+
+        Counters and histograms add; gauges take the snapshot's value.
+        Writes directly (bypassing the ``enabled`` gate): absorbing is an
+        explicit act, not ambient instrumentation.
+        """
+        for fam in snap.get("metrics", ()):
+            name, kind = fam["name"], fam["kind"]
+            for s in fam["series"]:
+                labels = s.get("labels", {})
+                if kind == HISTOGRAM:
+                    h = self.histogram(name, fam.get("help", ""),
+                                       buckets=tuple(s["bounds"]), **labels)
+                    if tuple(s["bounds"]) != h.bounds:
+                        raise ValueError(
+                            f"histogram {name!r}: bucket bounds differ "
+                            "between snapshot and registry"
+                        )
+                    for i, n in enumerate(s["counts"]):
+                        h.counts[i] += n
+                    h.sum += s["sum"]
+                    h.count += s["count"]
+                elif kind == COUNTER:
+                    c = self.counter(name, fam.get("help", ""), **labels)
+                    c.value += s["value"]
+                else:
+                    g = self.gauge(name, fam.get("help", ""), **labels)
+                    g.value = s["value"]
+        if include_spans:
+            sp = snap.get("spans") or {}
+            self.spans_dropped += sp.get("dropped", 0)
+            for ev in sp.get("events", ()):
+                self.add_span(ev)
+
+
+#: The process-wide default registry every instrumented layer uses.
+REGISTRY = Registry()
+
+
+__all__ = [
+    "COUNTER",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "GAUGE",
+    "Gauge",
+    "HISTOGRAM",
+    "Histogram",
+    "REGISTRY",
+    "Registry",
+    "SCHEMA_VERSION",
+]

@@ -1,0 +1,103 @@
+"""Hierarchical wall-clock spans over the default registry.
+
+A span is one timed phase — ``build``, ``translate``, ``execute``, a
+pass, a fuzz task — opened as a context manager.  Spans nest through a
+thread-local stack; each completed span records
+
+* an **event** (bounded log in the registry): name, ``/``-joined path
+  encoding the nesting, start and duration in microseconds since the
+  process's telemetry epoch, plus its labels — these render as a third
+  track in the Chrome trace export; and
+* an observation in the ``repro_span_seconds`` **histogram**, labeled by
+  span name plus the caller's labels — so aggregate phase totals (e.g.
+  per-backend translate time) survive the event cap.
+
+Keep label cardinality bounded: labels go into the metric series, so use
+``detail=`` for unbounded identifiers (workload names, seeds) — detail
+lands only in the trace event, never in a series key.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from .registry import REGISTRY, Registry
+
+_EPOCH = time.perf_counter()
+_STACK = threading.local()
+
+
+def _stack() -> list:
+    s = getattr(_STACK, "frames", None)
+    if s is None:
+        s = _STACK.frames = []
+    return s
+
+
+@contextmanager
+def span(name: str, detail=None,
+         registry: Optional[Registry] = None, **labels):
+    """Time the enclosed block as one span (no-op when disabled).
+
+    ``detail`` is a dict of high-cardinality annotations (or a bare
+    string, shorthand for ``{"detail": ...}``); it reaches only the
+    trace event, never a metric series key.
+    """
+    reg = REGISTRY if registry is None else registry
+    if isinstance(detail, str):
+        detail = {"detail": detail}
+    if not reg.enabled:
+        yield
+        return
+    stack = _stack()
+    path = f"{stack[-1]}/{name}" if stack else name
+    stack.append(path)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        dur = time.perf_counter() - start
+        stack.pop()
+        event = {
+            "name": name,
+            "path": path,
+            "start_us": round((start - _EPOCH) * 1e6, 3),
+            "dur_us": round(dur * 1e6, 3),
+            "labels": dict(labels, **(detail or {})),
+        }
+        reg.add_span(event)
+        reg.histogram(
+            "repro_span_seconds",
+            "wall-clock seconds per telemetry span",
+            span=name, **labels,
+        ).observe(dur)
+
+
+def span_trace_events(registry: Optional[Registry] = None,
+                      pid: int = 3, tid: int = 1) -> list[dict]:
+    """Completed spans as Chrome ``trace_event`` complete ("X") events."""
+    reg = REGISTRY if registry is None else registry
+    events = []
+    for ev in reg.spans:
+        events.append({
+            "name": ev["name"],
+            "cat": "telemetry",
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": ev["start_us"],
+            "dur": max(ev["dur_us"], 0.001),
+            "args": dict(ev["labels"], path=ev["path"]),
+        })
+    if events:
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": "telemetry spans (wall clock)"}}
+        )
+    return events
+
+
+__all__ = ["span", "span_trace_events"]

@@ -238,7 +238,8 @@ def test_cli_run_detects_planted_bug_and_saves(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "FAIL fz000000" in out
     assert "repro:" in out
-    saved = list(tmp_path.glob("*.json"))
+    saved = [p for p in tmp_path.glob("*.json")
+             if p.name != "fuzz_telemetry.json"]
     assert len(saved) == 1
     entry = load_entry(saved[0])
     assert entry.bug == "mul-to-add"

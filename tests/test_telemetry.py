@@ -1,0 +1,414 @@
+"""The repro.telemetry subsystem: registry, spans, export, gate, CLI.
+
+Covers the contracts the package documents: stable label-addressed
+handles that survive an in-place reset (the worker-delta protocol),
+exponential histogram bucketing with exact count/sum, deterministic
+snapshot/merge across simulated worker processes, the Prometheus and
+JSON interchange formats, the bench-trajectory regression gate, and —
+the hard invariant — bit-identical cycles/counters/checksums whether
+telemetry is enabled, disabled at runtime, or disabled via
+``REPRO_TELEMETRY``.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.perf import measure
+from repro.telemetry.check import check_thresholds, load_thresholds
+from repro.telemetry.cli import main as telemetry_main
+from repro.telemetry.registry import DEFAULT_BUCKETS, Registry
+from repro.telemetry.spans import span, span_trace_events
+from repro.workloads import tsvc
+
+LEVEL = "supervec+v"
+
+
+def _workload(name="s000"):
+    return [w for w in tsvc.workloads() if w.name == name][0]
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Each test sees a zeroed (but enabled) default registry."""
+    telemetry.reset()
+    telemetry.set_enabled(True)
+    yield
+    telemetry.reset()
+    telemetry.set_enabled(True)
+
+
+# -- registry semantics -------------------------------------------------------
+
+
+class TestRegistry:
+    def test_handles_are_stable_per_label_set(self):
+        r = Registry(enabled=True)
+        a = r.counter("x_total", cache="build", outcome="hit")
+        b = r.counter("x_total", outcome="hit", cache="build")
+        c = r.counter("x_total", cache="build", outcome="miss")
+        assert a is b
+        assert a is not c
+        a.inc()
+        a.inc(2)
+        assert a.value == 3
+        assert c.value == 0
+
+    def test_kind_conflict_is_an_error(self):
+        r = Registry(enabled=True)
+        r.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("x_total")
+
+    def test_reset_zeroes_in_place_so_cached_handles_survive(self):
+        r = Registry(enabled=True)
+        c = r.counter("x_total")
+        h = r.histogram("y_seconds")
+        c.inc(5)
+        h.observe(0.25)
+        r.reset()
+        assert c.value == 0
+        assert h.count == 0 and h.sum == 0.0
+        c.inc()
+        h.observe(1.0)
+        # the old handles write into the live registry, not a ghost
+        assert r.counter("x_total").value == 1
+        assert r.histogram("y_seconds").count == 1
+
+    def test_disabled_registry_ignores_writes(self):
+        r = Registry(enabled=False)
+        c = r.counter("x_total")
+        g = r.gauge("g")
+        h = r.histogram("h")
+        c.inc()
+        g.set(7.0)
+        h.observe(0.1)
+        assert c.value == 0 and g.value == 0.0 and h.count == 0
+
+    def test_env_var_disables_collection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        assert Registry().enabled is False
+        monkeypatch.setenv("REPRO_TELEMETRY", "on")
+        assert Registry().enabled is True
+
+
+class TestHistogramBucketing:
+    def test_default_buckets_are_exponential(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-5)
+        for lo, hi in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]):
+            assert hi == pytest.approx(2 * lo)
+
+    def test_observations_land_in_the_right_bucket(self):
+        r = Registry(enabled=True)
+        h = r.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.1, 0.5, 5.0, 100.0):
+            h.observe(v)
+        # upper bounds are inclusive; one implicit +Inf overflow bucket
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(105.65)
+
+
+# -- snapshot / absorb / merge ------------------------------------------------
+
+
+class TestSnapshotMerge:
+    def _populate(self, r: Registry):
+        r.counter("a_total", "help a", k="x").inc(2)
+        r.counter("a_total", k="y").inc(3)
+        r.gauge("g").set(4.0)
+        r.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+
+    def test_snapshot_is_deterministic_json(self):
+        r = Registry(enabled=True)
+        self._populate(r)
+        s1, s2 = r.snapshot(), r.snapshot()
+        assert json.dumps(s1, sort_keys=True) == json.dumps(s2,
+                                                            sort_keys=True)
+        names = [f["name"] for f in s1["metrics"]]
+        assert names == sorted(names)
+
+    def test_cross_process_merge_is_deterministic(self):
+        """Two simulated workers absorb into the parent: counters add,
+        gauges take the last value, histograms add exactly."""
+        parent = Registry(enabled=True)
+        snaps = []
+        for _ in range(2):
+            worker = Registry(enabled=True)
+            self._populate(worker)
+            snaps.append(worker.snapshot(include_spans=False))
+        for s in snaps:
+            parent.absorb(s)
+        assert parent.counter("a_total", k="x").value == 4
+        assert parent.counter("a_total", k="y").value == 6
+        assert parent.gauge("g").value == 4.0
+        h = parent.histogram("h", buckets=(1.0, 2.0))
+        assert h.count == 2 and h.sum == pytest.approx(3.0)
+        assert h.counts == [0, 2, 0]
+
+    def test_module_level_absorb_skips_none(self):
+        assert telemetry.absorb(None) is False
+        r = Registry(enabled=True)
+        self._populate(r)
+        assert telemetry.absorb(r.snapshot(include_spans=False)) is True
+        assert telemetry.counter("a_total", k="x").value == 2
+
+    def test_merge_function_matches_absorb(self):
+        a, b = Registry(enabled=True), Registry(enabled=True)
+        self._populate(a)
+        self._populate(b)
+        merged = telemetry.merge([a.snapshot(), b.snapshot()])
+        fam = {f["name"]: f for f in merged["metrics"]}
+        vals = {tuple(sorted(s["labels"].items())): s["value"]
+                for s in fam["a_total"]["series"]}
+        assert vals[(("k", "x"),)] == 4
+        assert vals[(("k", "y"),)] == 6
+        assert merged["merged_from"] == 2
+
+    def test_merge_refuses_mixed_lineage(self):
+        a, b = Registry(enabled=True), Registry(enabled=True)
+        sa, sb = a.snapshot(), b.snapshot()
+        sb["lineage"] = dict(sa["lineage"], backend="other")
+        with pytest.raises(telemetry.LineageMismatch):
+            telemetry.merge([sa, sb])
+        merged = telemetry.merge([sa, sb], allow_mixed=True)
+        assert merged["merged_from"] == 2
+
+
+# -- spans --------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_spans_nest_and_feed_the_histogram(self):
+        r = Registry(enabled=True)
+        with span("outer", registry=r, backend="array"):
+            with span("inner", registry=r):
+                pass
+        assert [e["path"] for e in r.spans] == ["outer/inner", "outer"]
+        assert r.histogram("repro_span_seconds", span="outer",
+                           backend="array").count == 1
+        assert r.histogram("repro_span_seconds", span="inner").count == 1
+
+    def test_bare_string_detail_is_coerced(self):
+        r = Registry(enabled=True)
+        with span("build", detail="s000", registry=r):
+            pass
+        assert r.spans[0]["labels"] == {"detail": "s000"}
+
+    def test_trace_events_render_completed_spans(self):
+        r = Registry(enabled=True)
+        with span("execute", registry=r, backend="fused"):
+            pass
+        events = span_trace_events(registry=r, pid=9)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 1
+        assert xs[0]["pid"] == 9
+        assert xs[0]["args"]["backend"] == "fused"
+        # plus the process_name metadata record
+        assert any(e["ph"] == "M" for e in events)
+
+    def test_span_cap_bounds_the_event_log(self):
+        r = Registry(enabled=True)
+        r.span_cap = 2
+        for _ in range(5):
+            with span("s", registry=r):
+                pass
+        assert len(r.spans) == 2
+        assert r.spans_dropped == 3
+        assert r.snapshot()["spans"]["dropped"] == 3
+
+
+# -- interchange formats ------------------------------------------------------
+
+
+class TestExposition:
+    def test_prometheus_text_format(self):
+        r = Registry(enabled=True)
+        r.counter("a_total", "things counted", k="x").inc(2)
+        r.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        text = telemetry.to_prometheus(r.snapshot())
+        assert "# HELP a_total things counted" in text
+        assert "# TYPE a_total counter" in text
+        assert 'a_total{k="x"} 2' in text
+        assert 'h_seconds_bucket{le="1.0"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_count 1" in text
+
+    def test_snapshot_roundtrip_and_format_check(self, tmp_path):
+        r = Registry(enabled=True)
+        r.counter("a_total").inc()
+        p = str(tmp_path / "snap.json")
+        telemetry.save_snapshot(r.snapshot(), p)
+        loaded = telemetry.load_snapshot(p)
+        assert loaded["metrics"][0]["series"][0]["value"] == 1
+        bad = str(tmp_path / "bad.json")
+        with open(bad, "w") as f:
+            json.dump({"format": 999}, f)
+        with pytest.raises(ValueError, match="format"):
+            telemetry.load_snapshot(bad)
+
+    def test_diff_reports_only_changed_series(self):
+        a, b = Registry(enabled=True), Registry(enabled=True)
+        a.counter("same_total").inc(1)
+        b.counter("same_total").inc(1)
+        b.counter("grew_total").inc(5)
+        rows = telemetry.diff(a.snapshot(), b.snapshot())
+        assert [r["name"] for r in rows] == ["grew_total"]
+        assert rows[0]["delta"] == 5.0
+
+
+# -- regression gate ----------------------------------------------------------
+
+
+class TestCheckGate:
+    def _write_bench(self, tmp_path, speedup):
+        (tmp_path / "BENCH_interp.json").write_text(json.dumps({
+            "geomean_exec_speedup_by_backend": {"compiled": speedup},
+        }))
+
+    def test_rules_pass_and_fail_on_real_values(self, tmp_path):
+        self._write_bench(tmp_path, 4.5)
+        rules = [{"file": "BENCH_interp.json",
+                  "path": "geomean_exec_speedup_by_backend.compiled",
+                  "op": ">=", "value": 3.0}]
+        rows = check_thresholds(root=str(tmp_path), thresholds=rules)
+        assert rows[0]["ok"] and rows[0]["actual"] == 4.5
+        self._write_bench(tmp_path, 1.2)
+        rows = check_thresholds(root=str(tmp_path), thresholds=rules)
+        assert not rows[0]["ok"]
+
+    def test_missing_file_or_path_is_a_failure(self, tmp_path):
+        rules = [
+            {"file": "nope.json", "path": "x", "op": ">=", "value": 1},
+            {"file": "BENCH_interp.json", "path": "not.there",
+             "op": ">=", "value": 1},
+        ]
+        self._write_bench(tmp_path, 4.5)
+        rows = check_thresholds(root=str(tmp_path), thresholds=rules)
+        assert not rows[0]["ok"] and "cannot read" in rows[0]["error"]
+        assert not rows[1]["ok"] and "not found" in rows[1]["error"]
+
+    def test_load_thresholds_validates(self, tmp_path):
+        p = tmp_path / "rules.json"
+        p.write_text(json.dumps([{"file": "f", "path": "p", "op": "~="}]))
+        with pytest.raises(ValueError, match="unknown op"):
+            load_thresholds(str(p))
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_dump_merges_and_renders(self, tmp_path, capsys):
+        r = Registry(enabled=True)
+        r.counter("a_total", k="x").inc(2)
+        p1, p2 = str(tmp_path / "1.json"), str(tmp_path / "2.json")
+        telemetry.save_snapshot(r.snapshot(), p1)
+        telemetry.save_snapshot(r.snapshot(), p2)
+        assert telemetry_main(["dump", p1, p2]) == 0
+        out = capsys.readouterr().out
+        assert "a_total" in out and ": 4" in out
+        assert telemetry_main(["dump", p1, "--prom"]) == 0
+        assert 'a_total{k="x"} 2' in capsys.readouterr().out
+
+    def test_diff_cli(self, tmp_path, capsys):
+        a, b = Registry(enabled=True), Registry(enabled=True)
+        b.counter("grew_total").inc(3)
+        pa, pb = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        telemetry.save_snapshot(a.snapshot(), pa)
+        telemetry.save_snapshot(b.snapshot(), pb)
+        assert telemetry_main(["diff", pa, pb]) == 0
+        assert "grew_total: 0.0 -> 3.0 (+3)" in capsys.readouterr().out
+
+    def test_check_cli_exit_status(self, tmp_path, capsys):
+        (tmp_path / "BENCH_interp.json").write_text(json.dumps({
+            "geomean_exec_speedup_by_backend": {"compiled": 1.0},
+        }))
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([
+            {"file": "BENCH_interp.json",
+             "path": "geomean_exec_speedup_by_backend.compiled",
+             "op": ">=", "value": 3.0},
+        ]))
+        rc = telemetry_main(["check", "--root", str(tmp_path),
+                             "--thresholds", str(rules)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+# -- instrumentation end-to-end ----------------------------------------------
+
+
+class TestInstrumentation:
+    def test_build_and_execute_populate_the_registry(self):
+        w = _workload()
+        module, stats = measure.build(w, LEVEL, use_cache=False)
+        measure.execute(module, w, stats, backend="array")
+        snap = telemetry.snapshot()
+        by_name = {f["name"]: f for f in snap["metrics"]}
+        assert sum(s["value"] for s in
+                   by_name["repro_build_total"]["series"]) >= 1
+        assert sum(s["value"] for s in
+                   by_name["repro_exec_total"]["series"]) >= 1
+        dispatch = by_name["repro_array_guard_dispatch_total"]["series"]
+        assert sum(s["value"] for s in dispatch) >= 1
+        assert all({"function", "loop", "outcome", "reason"}
+                   <= set(s["labels"]) for s in dispatch)
+        spans = {e["name"] for e in snap["spans"]["events"]}
+        assert {"build", "execute"} <= spans
+
+    def test_cache_stats_track_hits_and_misses(self):
+        w = _workload()
+        # stats are cumulative over the cache's lifetime (clear() drops
+        # entries, not history), so assert deltas against the baseline
+        measure.clear_all_caches()
+        base = measure.cache_stats()["build"]
+        measure.build(w, LEVEL, use_cache=True)  # empty memo: a miss
+        measure.build(w, LEVEL, use_cache=True)  # memoized: a hit
+        stats = measure.cache_stats()["build"]
+        assert stats["misses"] == base["misses"] + 1
+        assert stats["hits"] == base["hits"] + 1
+        assert 0.0 < stats["hit_rate"] <= 1.0
+        assert stats["entries"] >= 1
+        measure.clear_all_caches()
+        assert measure.cache_stats()["build"]["entries"] == 0
+
+
+# -- the hard invariant -------------------------------------------------------
+
+
+class TestBitIdentity:
+    """Telemetry must never perturb the simulation: cycles, counters,
+    and checksums are bit-identical with collection on or off."""
+
+    def _fingerprint(self, backend):
+        w = _workload("s1112")
+        measure.clear_all_caches()
+        module, stats = measure.build(w, LEVEL, use_cache=False)
+        res = measure.execute(module, w, stats, backend=backend)
+        return res.cycles, res.checksum, res.counters.as_dict()
+
+    @pytest.mark.parametrize(
+        "backend", ["reference", "compiled", "fused", "array"]
+    )
+    def test_enabled_vs_disabled(self, backend):
+        telemetry.set_enabled(True)
+        on = self._fingerprint(backend)
+        telemetry.set_enabled(False)
+        off = self._fingerprint(backend)
+        assert on == off
+
+    def test_env_off_still_runs_and_collects_nothing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        r = Registry()
+        assert not r.enabled
+        telemetry.set_enabled(False)
+        telemetry.reset()
+        fp = self._fingerprint("array")
+        assert fp[0] > 0
+        snap = telemetry.snapshot()
+        for fam in snap["metrics"]:
+            for s in fam["series"]:
+                assert s.get("value", 0) == 0 and s.get("count", 0) == 0
+        assert snap["spans"]["events"] == []
