@@ -381,6 +381,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                      help="append a runtime-telemetry digest: cache hit "
                           "rates, guard-dispatch outcomes, per-backend "
                           "wall time")
+    rep.add_argument("--from-service", metavar="HOST:PORT",
+                     help="render the metrics digest from a running "
+                          "compile service's snapshot instead of running "
+                          "a suite")
     rep.add_argument("--metrics-out", metavar="PATH",
                      help="write the full telemetry snapshot as JSON")
     rep.add_argument("--check", action="store_true",
@@ -392,6 +396,18 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     if args.check:
         return run_check(backend=args.backend)
+
+    if args.from_service:
+        # the daemon's merged registry through the --metrics renderer:
+        # same digest tables, numbers fetched over the wire
+        from repro.service.client import fetch_metrics
+
+        snap = fetch_metrics(args.from_service)
+        print(render_metrics(snap))
+        if args.metrics_out:
+            telemetry.save_snapshot(snap, args.metrics_out)
+            print(f"\nwrote telemetry snapshot to {args.metrics_out}")
+        return 0
 
     workloads = suite_workloads(args.suite, args.workload)
     if args.build_times:

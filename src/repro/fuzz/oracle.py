@@ -26,6 +26,7 @@ end to end that the oracle detects and the reducer localizes miscompiles.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -178,6 +179,23 @@ def _build(spec: KernelSpec, cfg: Config, verify_each_pass: bool):
     passes) and under an active diagnostics context (remark streams must
     come from a real pass pipeline).
     """
+    if (
+        not verify_each_pass
+        and os.environ.get("REPRO_SERVICE_ADDR")
+        and not get_context().enabled
+    ):
+        # a running compile service serves the build from its sharded,
+        # manifest-verified store (REPRO_SERVICE_ADDR routes the whole
+        # oracle matrix through it); unreachable daemons fall back to
+        # the local path below, counted by the service client
+        from repro.service.client import maybe_remote_build
+
+        remote = maybe_remote_build(
+            spec.source, spec.name, cfg.level,
+            cfg.honor_restrict, cfg.vl, cfg.rle,
+        )
+        if remote is not None:
+            return remote
     key = None
     if (
         not verify_each_pass

@@ -188,35 +188,86 @@ def _cap() -> int:
         return 256
 
 
-def _evict(root: str) -> None:
-    """Drop least-recently-used entries beyond ``REPRO_CACHE_CAP``."""
-    cap = _cap()
-    entries = []
+def _evict_lock(root: str):
+    """Exclusive, non-blocking per-store lock for the evict step.
+
+    Two concurrent writers both reaching the cap used to race the same
+    mtime scan: each saw the full over-cap listing and both deleted,
+    shrinking the cache well past the cap (and ``stat``-ing entries the
+    other had just removed).  With the lock, exactly one of them evicts;
+    the loser simply skips — the winner's scan already covers its entry.
+    Returns the held lock file handle, or None when another process owns
+    it (or the platform has no ``flock``).
+    """
     try:
-        for sub in os.listdir(root):
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    try:
+        fh = open(os.path.join(root, ".evict.lock"), "a+")
+    except OSError:
+        return None
+    try:
+        fcntl.flock(fh, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        fh.close()
+        return None
+    return fh
+
+
+def _evict(root: str) -> None:
+    """Drop least-recently-used entries beyond ``REPRO_CACHE_CAP``.
+
+    Single-evictor (per-store lock file) and tolerant of entries
+    vanishing mid-scan — a concurrent ``load`` dropping a corrupt entry,
+    or a leftover deletion landing between ``listdir`` and ``stat``,
+    must not abort the scan.
+    """
+    cap = _cap()
+    lock = _evict_lock(root)
+    if lock is None and os.path.exists(os.path.join(root, ".evict.lock")):
+        return  # another process is already evicting this store
+    try:
+        entries = []
+        try:
+            subs = os.listdir(root)
+        except OSError:
+            return
+        for sub in subs:
             subdir = os.path.join(root, sub)
             if len(sub) != 2 or not os.path.isdir(subdir):
                 continue
-            for name in os.listdir(subdir):
+            try:
+                names = os.listdir(subdir)
+            except (FileNotFoundError, OSError):
+                continue
+            for name in names:
                 if name.endswith(".pkl"):
                     p = os.path.join(subdir, name)
                     try:
                         entries.append((os.path.getmtime(p), p))
-                    except OSError:
+                    except (FileNotFoundError, OSError):
                         pass
-    except OSError:
-        return
-    if len(entries) <= cap:
-        return
-    entries.sort()
-    for _, p in entries[: len(entries) - cap]:
-        for victim in (p, p[: -len(".pkl")] + ".exec.txt"):
+        if len(entries) <= cap:
+            return
+        entries.sort()
+        for _, p in entries[: len(entries) - cap]:
+            for victim in (p, p[: -len(".pkl")] + ".exec.txt"):
+                try:
+                    os.remove(victim)
+                except OSError:
+                    pass
+            telemetry.counter("repro_diskcache_evictions_total",
+                              "artifact-cache LRU evictions").inc()
+    finally:
+        if lock is not None:
             try:
-                os.remove(victim)
+                import fcntl
+
+                fcntl.flock(lock, fcntl.LOCK_UN)
             except OSError:
                 pass
-        telemetry.counter("repro_diskcache_evictions_total",
-                          "artifact-cache LRU evictions").inc()
+            lock.close()
 
 
 def entry_count() -> int:

@@ -330,6 +330,25 @@ def build(workload: Workload, level: str, honor_restrict: bool = True,
                               "builds by artifact source",
                               source="memo").inc()
             return hit
+        # a running compile service (REPRO_SERVICE_ADDR) outranks the
+        # local disk cache: its sharded store is shared across every
+        # client on the machine and each answer is manifest-verified.
+        # Same diagnostics gate as the disk cache — a served artifact
+        # emits no pass remarks.  Unreachable daemons fall back to the
+        # local path (counted by the service client).
+        if os.environ.get("REPRO_SERVICE_ADDR") and not get_context().enabled:
+            from repro.service.client import maybe_remote_build
+
+            remote = maybe_remote_build(
+                workload.source, workload.entry, level,
+                honor_restrict, vl, rle,
+            )
+            if remote is not None:
+                _BUILD_CACHE[key] = remote
+                telemetry.counter("repro_build_total",
+                                  "builds by artifact source",
+                                  source="service").inc()
+                return remote
         # the persistent disk cache (REPRO_CACHE_DIR) is consulted only
         # with diagnostics off: a cached build emits no pass remarks or
         # timings, and the diagnostic stream is pinned by golden tests

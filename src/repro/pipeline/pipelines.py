@@ -52,6 +52,38 @@ PASS_PRESERVES = {
     "slp": frozenset(),
 }
 
+#: Vectorizer mode selected by each pipeline level (None = no SLP run).
+#: ``repro.service.manifest.pipeline_fingerprint`` hashes this table, so
+#: a change to what a level means shows up as a provenance change.
+LEVEL_MODES = {
+    "O0": None,
+    "O3-scalar": None,
+    "O3": "loop",
+    "supervec": "none",
+    "supervec+v": "fine",
+}
+
+
+def pass_sequence(level: str, rle: bool = False) -> tuple:
+    """The ordered pass invocations ``optimize`` runs at ``level``.
+
+    This is the provenance view of the pipeline: two builds are
+    comparable only if they ran the same sequence.  Kept next to
+    ``optimize`` so the two cannot drift apart silently.
+    """
+    if level not in LEVEL_MODES:
+        raise ValueError(f"unknown pipeline level {level!r}")
+    if level == "O0":
+        return ()
+    cleanup = ("simplify", "gvn", "licm", "dce")
+    seq = list(cleanup)
+    if rle:
+        seq += ["rle", *cleanup]
+    if LEVEL_MODES[level] is not None:
+        seq.append(f"slp:{LEVEL_MODES[level]}")
+    seq += cleanup
+    return tuple(seq)
+
 
 @dataclass
 class PipelineStats:
@@ -140,6 +172,8 @@ def optimize(
         verify_each_pass = os.environ.get(
             "REPRO_VERIFY_EACH_PASS", ""
         ).lower() in ("1", "true", "yes")
+    if level not in LEVEL_MODES:
+        raise ValueError(f"unknown pipeline level {level!r}")
     stats = PipelineStats()
     if level == "O0":
         return stats
@@ -172,14 +206,7 @@ def optimize(
                 am.invalidate(fn, preserved=PASS_PRESERVES["rle"])
         # RLE unlocks more LICM/GVN downstream (the paper's Fig. 22 rows)
         _scalar_cleanup(module, honor_restrict, stats, run_pass, am)
-    mode = {
-        "O3-scalar": None,
-        "O3": "loop",
-        "supervec": "none",
-        "supervec+v": "fine",
-    }.get(level, "unknown")
-    if mode == "unknown":
-        raise ValueError(f"unknown pipeline level {level!r}")
+    mode = LEVEL_MODES[level]
     if mode is not None:
         for name, fn in module.functions.items():
             cfg = VectorizeConfig(mode=mode, honor_restrict=honor_restrict, vl=vl)
@@ -207,4 +234,5 @@ def compile_and_optimize(
 
 PIPELINES = ["O0", "O3-scalar", "O3", "supervec", "supervec+v"]
 
-__all__ = ["optimize", "compile_and_optimize", "PipelineStats", "PIPELINES"]
+__all__ = ["optimize", "compile_and_optimize", "pass_sequence",
+           "LEVEL_MODES", "PipelineStats", "PIPELINES"]

@@ -1,0 +1,66 @@
+"""Compile service: a long-running sharded build/run daemon.
+
+The library's fast build path (worklist passes, analysis caching, the
+persistent artifact cache) pays off chiefly when many requests share the
+work — the serve-many-requests setting.  This package turns the library
+into exactly that: an asyncio front end over a multiprocessing worker
+pool, speaking a newline-delimited-JSON protocol over a TCP socket, with
+
+* ``build`` / ``run`` / ``diag`` / ``fuzz`` / ``metrics`` / ``status``
+  endpoints (:mod:`repro.service.protocol` defines the wire format);
+* in-flight request deduplication (single-flight per cache key) and
+  micro-batched dispatch onto the worker pool, generalizing the
+  ``perf.batch.build_many`` ordered-map + telemetry-absorb protocol;
+* a **sharded** content-addressed artifact store
+  (:mod:`repro.service.store`), grown out of :mod:`repro.perf.diskcache`:
+  N shard directories keyed by hash prefix, per-shard lock files and LRU
+  budgets;
+* a **provenance manifest** beside every artifact
+  (:mod:`repro.service.manifest`): source hash, pipeline level and
+  pass-pipeline fingerprint, artifact-format version, repro version, and
+  creation lineage — loads verify it, so artifacts from incompatible
+  pipeline versions can never mix, and a mismatch is refused with a
+  structured error rather than silently rebuilt over.
+
+CLI::
+
+    python -m repro.service serve  --port 0 --workers 4 --store DIR
+    python -m repro.service client [--addr H:P] {ping,build,run,fuzz,metrics,shutdown} ...
+    python -m repro.service status [--addr H:P]
+
+``REPRO_SERVICE_ADDR=host:port`` makes library clients use a running
+daemon: :func:`repro.perf.measure.build` and the fuzz oracle's build
+step fetch artifacts from the service (falling back to local builds if
+it is unreachable), and ``python -m repro.telemetry dump --addr`` /
+``python -m repro.diag report --from-service`` pull the daemon's live
+telemetry over the wire.
+"""
+
+from .client import (
+    ServiceError,
+    fetch_metrics,
+    fetch_status,
+    maybe_remote_build,
+    remote_build,
+    request,
+    service_addr,
+)
+from .manifest import Manifest, ManifestMismatch, pipeline_fingerprint
+from .protocol import PROTOCOL_VERSION, parse_addr
+from .store import ShardedStore
+
+__all__ = [
+    "Manifest",
+    "ManifestMismatch",
+    "PROTOCOL_VERSION",
+    "ServiceError",
+    "ShardedStore",
+    "fetch_metrics",
+    "fetch_status",
+    "maybe_remote_build",
+    "parse_addr",
+    "pipeline_fingerprint",
+    "remote_build",
+    "request",
+    "service_addr",
+]

@@ -1,0 +1,261 @@
+"""``python -m repro.service {serve,client,status}`` — the service CLI.
+
+* ``serve``  — run the daemon in the foreground.  Prints ``listening on
+  host:port`` once ready and (``--addr-file``) writes the address
+  atomically to a file, so scripts and CI can wait for it.
+* ``client`` — one request against a running daemon: ``ping``,
+  ``build``, ``run``, ``fuzz`` (a seed range, one request per seed),
+  ``metrics``, ``shutdown``.  Build/run/fuzz responses print as JSON so
+  shell pipelines can assert on them.
+* ``status`` — human-readable daemon status: uptime, request counts,
+  single-flight/batch statistics, per-shard store occupancy.
+
+The client address comes from ``--addr`` or ``REPRO_SERVICE_ADDR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+from . import client as svc
+from .store import DEFAULT_CAP_PER_SHARD, DEFAULT_SHARDS
+
+DEFAULT_STORE = os.path.join(".repro-service", "store")
+
+
+def _addr_of(args) -> str:
+    addr = args.addr or svc.service_addr()
+    if not addr:
+        raise SystemExit(
+            "error: no service address: pass --addr host:port or set "
+            "REPRO_SERVICE_ADDR"
+        )
+    return addr
+
+
+def _print_json(obj) -> None:
+    print(json.dumps(obj, indent=2, sort_keys=True))
+
+
+# -- serve --------------------------------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    from .server import serve_forever
+
+    serve_forever(
+        host=args.host, port=args.port, workers=args.workers,
+        store_root=args.store or None, shards=args.shards,
+        cap_per_shard=args.cap, max_batch=args.max_batch,
+        addr_file=args.addr_file,
+    )
+    return 0
+
+
+# -- client -------------------------------------------------------------------
+
+
+def _build_params_from(args) -> dict:
+    if args.source_file:
+        with open(args.source_file) as f:
+            source = f.read()
+    else:
+        source = args.source
+    if not source:
+        raise SystemExit("error: need --source or --source-file")
+    return {
+        "source": source,
+        "entry": args.entry,
+        "level": args.level,
+        "honor_restrict": not args.no_restrict,
+        "vl": args.vl,
+        "rle": args.rle,
+    }
+
+
+def _cmd_client(args) -> int:
+    addr = _addr_of(args)
+    if args.client_op == "ping":
+        _print_json(svc.ping(addr))
+        return 0
+    if args.client_op == "build":
+        params = _build_params_from(args)
+        resp = svc.request(addr, {"op": "build", "id": 0,
+                                  "params": params})
+        _print_json(resp)
+        return 0
+    if args.client_op == "run":
+        if args.workload:
+            params = {"suite": args.suite, "workload": args.workload}
+        else:
+            params = _build_params_from(args)
+            if args.bindings_file:
+                with open(args.bindings_file) as f:
+                    params["bindings"] = json.load(f)
+        params.update({
+            "level": args.level, "vl": args.vl, "rle": args.rle,
+            "honor_restrict": not args.no_restrict,
+        })
+        if args.backend:
+            params["backend"] = args.backend
+        resp = svc.remote_run(addr, params)
+        _print_json(resp)
+        return 0
+    if args.client_op == "fuzz":
+        bad = 0
+        for seed in range(args.start, args.start + args.seeds):
+            resp = svc.remote_fuzz(addr, seed, full=args.full)
+            ok = resp["fuzz_ok"]
+            if not ok:
+                bad += 1
+                print(f"FAIL seed {seed}:")
+                for m in resp["mismatches"]:
+                    print(f"  {m}")
+            elif args.verbose:
+                print(f"  seed {seed}: ok "
+                      f"({resp['configs_run']} configs)")
+        print(f"service fuzz: {args.seeds} seed(s), {bad} failing")
+        return 1 if bad else 0
+    if args.client_op == "metrics":
+        out = svc.fetch_metrics(addr, prom=args.prom)
+        if args.prom:
+            sys.stdout.write(out)
+        elif args.out:
+            from repro.telemetry import save_snapshot
+
+            save_snapshot(out, args.out)
+            print(f"wrote telemetry snapshot to {args.out}")
+        else:
+            _print_json(out)
+        return 0
+    if args.client_op == "shutdown":
+        _print_json(svc.shutdown(addr))
+        return 0
+    raise SystemExit(f"error: unknown client op {args.client_op!r}")
+
+
+# -- status -------------------------------------------------------------------
+
+
+def _cmd_status(args) -> int:
+    from repro.perf.report import format_table
+
+    status = svc.fetch_status(_addr_of(args))
+    print(f"repro.service v{status['version']} at {status['addr']} "
+          f"(pid {status['pid']}, up {status['uptime_s']:.1f}s)")
+    print(f"workers: {status['workers']}  inflight: {status['inflight']}  "
+          f"coalesced: {status['singleflight_coalesced']}  "
+          f"batches: {status['batches']}")
+    reqs = status.get("requests") or {}
+    if reqs:
+        print("requests: " + ", ".join(
+            f"{op}={n}" for op, n in reqs.items()))
+    store = status.get("store")
+    if store is None:
+        print("store: off")
+        return 0
+    print(f"store: {store['root']} ({store['shards']} shard(s), "
+          f"cap {store['cap_per_shard']}/shard, "
+          f"{store['total_entries']} artifact(s), "
+          f"{store['total_bytes']} bytes)")
+    rows = [
+        (f"{r['shard']:02d}", r["entries"], r["cap"], r["bytes"])
+        for r in store["per_shard"]
+    ]
+    print(format_table(["shard", "entries", "cap", "bytes"], rows))
+    return 0
+
+
+# -- argument parsing ---------------------------------------------------------
+
+
+def _add_build_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--source", help="kernel source text")
+    p.add_argument("--source-file", help="file holding the kernel source")
+    p.add_argument("--entry", default="kernel")
+    p.add_argument("--level", default="supervec+v")
+    p.add_argument("--vl", type=int, default=4)
+    p.add_argument("--rle", action="store_true")
+    p.add_argument("--no-restrict", action="store_true")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="long-running sharded compile/run service",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_serve = sub.add_parser("serve", help="run the daemon")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = pick a free one)")
+    p_serve.add_argument("--workers", type=int,
+                         default=min(4, os.cpu_count() or 1),
+                         help="worker processes")
+    p_serve.add_argument("--store", default=DEFAULT_STORE,
+                         help="sharded artifact store root "
+                              f"(default {DEFAULT_STORE}; '' disables)")
+    p_serve.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    p_serve.add_argument("--cap", type=int, default=DEFAULT_CAP_PER_SHARD,
+                         help="LRU budget per shard")
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="max requests per worker micro-batch")
+    p_serve.add_argument("--addr-file",
+                         help="write host:port here once listening")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_client = sub.add_parser("client", help="one request to the daemon")
+    p_client.add_argument("--addr", help="host:port (default: "
+                                         "$REPRO_SERVICE_ADDR)")
+    csub = p_client.add_subparsers(dest="client_op", required=True)
+
+    csub.add_parser("ping", help="liveness + versions")
+
+    c_build = csub.add_parser("build", help="build one configuration")
+    _add_build_args(c_build)
+
+    c_run = csub.add_parser("run", help="build + execute one kernel")
+    _add_build_args(c_run)
+    c_run.add_argument("--suite", default="polybench",
+                       choices=["polybench", "tsvc", "all"])
+    c_run.add_argument("--workload",
+                       help="named suite workload (instead of --source)")
+    c_run.add_argument("--backend",
+                       choices=["reference", "compiled", "fused", "array"])
+    c_run.add_argument("--bindings-file",
+                       help="JSON file of corpus-style bindings")
+
+    c_fuzz = csub.add_parser("fuzz", help="run oracle seeds remotely")
+    c_fuzz.add_argument("--seeds", type=int, default=25)
+    c_fuzz.add_argument("--start", type=int, default=0)
+    c_fuzz.add_argument("--full", action="store_true")
+    c_fuzz.add_argument("-v", "--verbose", action="store_true")
+
+    c_metrics = csub.add_parser("metrics", help="fetch daemon telemetry")
+    c_metrics.add_argument("--prom", action="store_true")
+    c_metrics.add_argument("--out", help="write snapshot JSON here")
+
+    csub.add_parser("shutdown", help="stop the daemon gracefully")
+    p_client.set_defaults(fn=_cmd_client)
+
+    p_status = sub.add_parser("status", help="render daemon status")
+    p_status.add_argument("--addr")
+    p_status.set_defaults(fn=_cmd_status)
+
+    args = ap.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (status | head, run | jq -e ...);
+        # die quietly with the conventional SIGPIPE status
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+__all__ = ["main"]

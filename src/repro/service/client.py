@@ -1,0 +1,177 @@
+"""Blocking client for the compile service.
+
+One connection per request, one NDJSON line each way — deliberately
+boring, so it works from worker pools, test fixtures, shell pipelines,
+and the library integration points alike.
+
+``REPRO_SERVICE_ADDR=host:port`` is the one environment knob:
+:func:`service_addr` reads it, and :func:`maybe_remote_build` is the
+library-side integration used by :func:`repro.perf.measure.build` and
+the fuzz oracle — when the variable is set and the daemon answers, the
+build comes back as a fresh unpickle of the service artifact (manifest-
+verified on the service side); when the daemon is unreachable the caller
+falls back to building locally (counted, never silent in telemetry).
+A *structured* service error (e.g. ``manifest-mismatch``) is raised, not
+swallowed: the daemon refusing an artifact is a real answer.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import socket
+from typing import Optional
+
+from repro import telemetry
+
+from . import protocol
+
+DEFAULT_TIMEOUT = 300.0
+
+ADDR_ENV = "REPRO_SERVICE_ADDR"
+
+
+class ServiceError(Exception):
+    """A structured error response from the daemon."""
+
+    def __init__(self, code: str, message: str,
+                 details: Optional[dict] = None):
+        self.code = code
+        self.details = details or {}
+        super().__init__(f"[{code}] {message}")
+
+
+def service_addr() -> Optional[str]:
+    """The configured daemon address, or None when unset."""
+    addr = os.environ.get(ADDR_ENV, "").strip()
+    return addr or None
+
+
+def request(addr: str, payload: dict,
+            timeout: float = DEFAULT_TIMEOUT) -> dict:
+    """Send one request, return the raw response dict.
+
+    Raises :class:`ServiceError` for ``ok: false`` responses and the
+    usual ``OSError`` family for transport failures.
+    """
+    host, port = protocol.parse_addr(addr)
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(protocol.encode(payload))
+        with sock.makefile("rb") as f:
+            line = f.readline()
+    if not line:
+        raise ConnectionError(f"service at {addr} closed the connection")
+    resp = protocol.decode(line)
+    if not resp.get("ok"):
+        err = resp.get("error") or {}
+        raise ServiceError(err.get("code", "unknown"),
+                           err.get("message", "unspecified error"),
+                           err.get("details"))
+    return resp
+
+
+def _call(addr: str, op: str, params: Optional[dict] = None,
+          req_id=0, timeout: float = DEFAULT_TIMEOUT) -> dict:
+    return request(addr, {"op": op, "id": req_id, "params": params or {}},
+                   timeout=timeout)
+
+
+# -- typed helpers ------------------------------------------------------------
+
+
+def ping(addr: str, timeout: float = DEFAULT_TIMEOUT) -> dict:
+    return _call(addr, "ping", timeout=timeout)
+
+
+def remote_build(addr: str, source: str, entry: str = "kernel",
+                 level: str = "supervec+v", honor_restrict: bool = True,
+                 vl: int = 4, rle: bool = False,
+                 want_artifact: bool = True,
+                 timeout: float = DEFAULT_TIMEOUT) -> dict:
+    """One build through the daemon; with ``want_artifact`` the response
+    gains ``module``/``stats`` unpickled from the shipped artifact (a
+    fresh object graph per call, the disk-cache guarantee)."""
+    resp = _call(addr, "build", {
+        "source": source, "entry": entry, "level": level,
+        "honor_restrict": honor_restrict, "vl": vl, "rle": rle,
+        "want_artifact": bool(want_artifact),
+    }, timeout=timeout)
+    if want_artifact and resp.get("artifact"):
+        module, stats = pickle.loads(
+            base64.b64decode(resp["artifact"]))
+        resp["module"] = module
+        resp["stats"] = stats
+    return resp
+
+
+def maybe_remote_build(source: str, entry: str, level: str,
+                       honor_restrict: bool, vl: int, rle: bool):
+    """``(module, stats)`` from the configured daemon, or None.
+
+    None means "build locally": the address is unset, or the daemon is
+    unreachable (``repro_service_client_requests_total{outcome=
+    "unreachable"}`` counts those).  Structured refusals — above all
+    ``manifest-mismatch`` — propagate: a provenance conflict must never
+    degrade into a silent local rebuild.
+    """
+    addr = service_addr()
+    if addr is None:
+        return None
+    try:
+        resp = remote_build(addr, source, entry=entry, level=level,
+                            honor_restrict=honor_restrict, vl=vl,
+                            rle=rle, want_artifact=True)
+    except (OSError, ValueError, ConnectionError):
+        telemetry.counter("repro_service_client_requests_total",
+                          "library-side service calls by outcome",
+                          outcome="unreachable").inc()
+        return None
+    telemetry.counter("repro_service_client_requests_total",
+                      "library-side service calls by outcome",
+                      outcome=resp.get("origin", "ok")).inc()
+    return resp["module"], resp["stats"]
+
+
+def remote_run(addr: str, params: dict,
+               timeout: float = DEFAULT_TIMEOUT) -> dict:
+    return _call(addr, "run", params, timeout=timeout)
+
+
+def remote_fuzz(addr: str, seed: int, full: bool = False,
+                timeout: float = DEFAULT_TIMEOUT) -> dict:
+    return _call(addr, "fuzz", {"seed": seed, "full": full},
+                 timeout=timeout)
+
+
+def fetch_metrics(addr: str, prom: bool = False,
+                  timeout: float = DEFAULT_TIMEOUT):
+    """The daemon's merged telemetry: snapshot dict, or Prometheus text
+    with ``prom=True``."""
+    params = {"format": "prom"} if prom else {}
+    resp = _call(addr, "metrics", params, timeout=timeout)
+    return resp["prom"] if prom else resp["snapshot"]
+
+
+def fetch_status(addr: str, timeout: float = DEFAULT_TIMEOUT) -> dict:
+    return _call(addr, "status", timeout=timeout)["status"]
+
+
+def shutdown(addr: str, timeout: float = DEFAULT_TIMEOUT) -> dict:
+    return _call(addr, "shutdown", timeout=timeout)
+
+
+__all__ = [
+    "ADDR_ENV",
+    "ServiceError",
+    "fetch_metrics",
+    "fetch_status",
+    "maybe_remote_build",
+    "ping",
+    "remote_build",
+    "remote_fuzz",
+    "remote_run",
+    "request",
+    "service_addr",
+    "shutdown",
+]

@@ -1,0 +1,215 @@
+"""Provenance manifests: what exactly produced a stored artifact.
+
+Every artifact the service stores gains a small JSON manifest written
+atomically beside it (SNIPPETS.md #1's immutable per-build-key +
+manifest discipline).  The manifest pins everything a *consumer* must
+agree on before trusting the pickle:
+
+* the cache **key** and the **source hash** it covers;
+* the build configuration (entry, level, restrict, vl, rle);
+* the **pass-pipeline fingerprint** — a hash over the exact pass
+  sequence ``repro.pipeline.optimize`` runs at that level plus the
+  preserved-analyses contract, so a change to what a level *means*
+  changes the fingerprint even when the level name does not;
+* the **artifact-format version** (:data:`repro.perf.diskcache.
+  FORMAT_VERSION`) and the Python major.minor (the payload is a
+  pickle);
+* creation lineage: repro version, creating pid/host, creation time.
+
+Loads verify the manifest against the requester's expectations and the
+current process; any disagreement raises :class:`ManifestMismatch`,
+which the service surfaces as a structured ``manifest-mismatch`` error —
+incompatible versions refuse loudly instead of mixing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from repro import __version__ as REPRO_VERSION
+from repro.perf.diskcache import FORMAT_VERSION
+from repro.pipeline.pipelines import PASS_PRESERVES, pass_sequence
+
+MANIFEST_VERSION = 1
+
+
+def source_sha256(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def pipeline_fingerprint(level: str, honor_restrict: bool = True,
+                         vl: int = 4, rle: bool = False) -> str:
+    """Hash of the pass pipeline one build configuration runs.
+
+    Covers the ordered pass sequence (including the vectorizer mode),
+    the preserved-analyses contract each pass declares, and the
+    configuration knobs that change what the passes do.  Sixteen hex
+    chars: enough to never collide by accident, short enough to read in
+    a manifest diff.
+    """
+    preserves = ";".join(
+        f"{name}={','.join(sorted(kept))}"
+        for name, kept in sorted(PASS_PRESERVES.items())
+    )
+    text = "\x00".join((
+        "|".join(pass_sequence(level, rle)),
+        f"restrict={int(bool(honor_restrict))}",
+        f"vl={int(vl)}",
+        f"preserves={preserves}",
+    ))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The provenance record stored beside one artifact."""
+
+    key: str
+    source_sha256: str
+    entry: str
+    level: str
+    honor_restrict: bool
+    vl: int
+    rle: bool
+    pipeline_fingerprint: str
+    artifact_format: int
+    manifest_version: int
+    repro_version: str
+    python: str
+    created_at: float
+    creator: dict
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: dict) -> "Manifest":
+        fields = {f: d[f] for f in Manifest.__dataclass_fields__}
+        return Manifest(**fields)
+
+
+def make_manifest(key: str, source: str, entry: str, level: str,
+                  honor_restrict: bool, vl: int, rle: bool,
+                  creator: Optional[dict] = None) -> Manifest:
+    return Manifest(
+        key=key,
+        source_sha256=source_sha256(source),
+        entry=entry,
+        level=level,
+        honor_restrict=bool(honor_restrict),
+        vl=int(vl),
+        rle=bool(rle),
+        pipeline_fingerprint=pipeline_fingerprint(
+            level, honor_restrict, vl, rle),
+        artifact_format=FORMAT_VERSION,
+        manifest_version=MANIFEST_VERSION,
+        repro_version=REPRO_VERSION,
+        python=f"{sys.version_info.major}.{sys.version_info.minor}",
+        created_at=time.time(),
+        creator=creator or {
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+        },
+    )
+
+
+class ManifestMismatch(Exception):
+    """A stored artifact's provenance disagrees with the requester.
+
+    ``field`` names the first disagreeing manifest field; ``expected``
+    and ``actual`` carry both sides, so the structured service error is
+    self-describing.
+    """
+
+    def __init__(self, key: str, field: str, expected, actual):
+        self.key = key
+        self.field = field
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"artifact {key[:12]}…: manifest {field} mismatch: "
+            f"stored {actual!r} != expected {expected!r}"
+        )
+
+    def details(self) -> dict:
+        return {"key": self.key, "field": self.field,
+                "expected": self.expected, "actual": self.actual}
+
+
+def verify_manifest(m: Manifest, *, key: str, source: str, entry: str,
+                    level: str, honor_restrict: bool, vl: int,
+                    rle: bool) -> None:
+    """Refuse ``m`` unless it matches the requested build exactly.
+
+    Checked in provenance-severity order: format/schema versions first
+    (the pickle may not even be readable), then the pass-pipeline
+    fingerprint (the pipeline changed under the same level name), then
+    the per-request configuration (a mis-filed artifact).
+    """
+    expected = {
+        "manifest_version": MANIFEST_VERSION,
+        "artifact_format": FORMAT_VERSION,
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+        "pipeline_fingerprint": pipeline_fingerprint(
+            level, honor_restrict, vl, rle),
+        "key": key,
+        "source_sha256": source_sha256(source),
+        "entry": entry,
+        "level": level,
+        "honor_restrict": bool(honor_restrict),
+        "vl": int(vl),
+        "rle": bool(rle),
+    }
+    for field, want in expected.items():
+        got = getattr(m, field)
+        if got != want:
+            raise ManifestMismatch(key, field, want, got)
+
+
+# -- on-disk form -------------------------------------------------------------
+
+
+def manifest_path(artifact_path: str) -> str:
+    """``<key>.pkl`` -> ``<key>.manifest.json`` (always side by side)."""
+    base = artifact_path[:-len(".pkl")] if artifact_path.endswith(".pkl") \
+        else artifact_path
+    return base + ".manifest.json"
+
+
+def write_manifest(path: str, m: Manifest) -> None:
+    """Atomic write (private tmp + ``os.replace``), like the artifact."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        json.dump(m.to_dict(), f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+def read_manifest(path: str) -> Optional[Manifest]:
+    """The manifest at ``path``, or None when absent/unreadable."""
+    try:
+        with open(path) as f:
+            return Manifest.from_dict(json.load(f))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "Manifest",
+    "ManifestMismatch",
+    "make_manifest",
+    "manifest_path",
+    "pipeline_fingerprint",
+    "read_manifest",
+    "source_sha256",
+    "verify_manifest",
+    "write_manifest",
+]

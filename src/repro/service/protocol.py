@@ -1,0 +1,122 @@
+"""The service wire format: newline-delimited JSON over a stream socket.
+
+One request is one JSON object on one line; the response is one JSON
+object on one line.  Clients may pipeline (every request carries an
+``id`` the response echoes), but the bundled client keeps it simple and
+uses one connection per request.
+
+Request shape::
+
+    {"op": "build", "id": 7, "params": {...}}
+
+Response shape::
+
+    {"ok": true,  "id": 7, ...op-specific fields...}
+    {"ok": false, "id": 7, "error": {"code": "...", "message": "...",
+                                     "details": {...}}}
+
+Ops
+---
+
+``ping``      liveness + versions (handled in the server process).
+``build``     compile + optimize one configuration through the sharded
+              store; returns the cache key, the provenance manifest, and
+              (``want_artifact``) the pickled artifact, base64-encoded.
+``run``       build (as above) then execute; params carry either
+              explicit ``source`` + ``bindings`` (the corpus encoding:
+              array/alias/scalar/global entries) or a named suite
+              workload (``suite`` + ``workload``); returns cycles,
+              counters, checksum, return value.
+``diag``      a fresh diagnostics-enabled build; returns the rendered
+              remark stream and per-pass records.
+``fuzz``      one generator seed through the differential oracle.
+``metrics``   the daemon's merged telemetry snapshot (or Prometheus
+              text with ``format: "prom"``).
+``status``    uptime, request/single-flight/batch counts, worker pool
+              size, per-shard store occupancy.
+``shutdown``  graceful stop (the response is sent first).
+
+Error codes are stable strings: ``bad-request``, ``unknown-op``,
+``manifest-mismatch``, ``build-failed``, ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound for one protocol line (requests carry whole kernel
+#: sources; build responses may carry a base64 pickled artifact).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+OPS = ("ping", "build", "run", "diag", "fuzz", "metrics", "status",
+       "shutdown")
+
+#: Ops answered by the asyncio front end itself; everything else is
+#: dispatched to the worker pool.
+PARENT_OPS = ("ping", "metrics", "status", "shutdown")
+
+ERR_BAD_REQUEST = "bad-request"
+ERR_UNKNOWN_OP = "unknown-op"
+ERR_MANIFEST_MISMATCH = "manifest-mismatch"
+ERR_BUILD_FAILED = "build-failed"
+ERR_INTERNAL = "internal"
+
+
+def encode(obj: dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return obj
+
+
+def ok_response(req_id, **fields) -> dict:
+    resp = {"ok": True, "id": req_id}
+    resp.update(fields)
+    return resp
+
+
+def error_response(req_id, code: str, message: str,
+                   details: Optional[dict] = None) -> dict:
+    err = {"code": code, "message": message}
+    if details:
+        err["details"] = details
+    return {"ok": False, "id": req_id, "error": err}
+
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (the one address syntax)."""
+    host, sep, port = addr.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"service address {addr!r} is not host:port")
+    return host, int(port)
+
+
+def format_addr(host: str, port: int) -> str:
+    return f"{host}:{port}"
+
+
+__all__ = [
+    "ERR_BAD_REQUEST",
+    "ERR_BUILD_FAILED",
+    "ERR_INTERNAL",
+    "ERR_MANIFEST_MISMATCH",
+    "ERR_UNKNOWN_OP",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PARENT_OPS",
+    "PROTOCOL_VERSION",
+    "decode",
+    "encode",
+    "error_response",
+    "format_addr",
+    "ok_response",
+    "parse_addr",
+]

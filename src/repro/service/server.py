@@ -1,0 +1,352 @@
+"""The daemon: asyncio front end over a multiprocessing worker pool.
+
+Request lifecycle::
+
+    client ──NDJSON──▶ asyncio handler
+        parent op (ping/metrics/status/shutdown)?  answer in place
+        else:
+            single-flight: identical request already in flight?
+                await its future (counted, response marked coalesced)
+            else enqueue ──▶ dispatcher drains the queue into a
+                micro-batch ──▶ pool.map_async over the batch
+                (the ``perf.batch.build_many`` protocol generalized:
+                ordered map, per-task telemetry deltas absorbed by the
+                parent) ──▶ futures resolved, responses written
+
+**Single-flight** is keyed by the canonical JSON of ``(op, params)``:
+any number of identical concurrent requests trigger exactly one worker
+task, and the late arrivals are answered from the same result
+(``repro_service_singleflight_total`` counts them; coalesced responses
+carry ``"coalesced": true``).  Requests that *completed* are not
+memoized here — the sharded store is the cache, and every store answer
+is manifest-verified.
+
+**Micro-batching**: the dispatcher takes whatever is queued (up to
+``max_batch``) and ships it to the pool as one ordered ``map_async``.
+Under a request storm this amortizes pool dispatch overhead exactly the
+way ``build_many`` batches a bench sweep's builds; under light load a
+batch is simply one request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Optional
+
+from repro import __version__ as REPRO_VERSION
+from repro import telemetry
+
+from . import protocol
+from .store import DEFAULT_CAP_PER_SHARD, DEFAULT_SHARDS, ShardedStore
+from .workers import handle_task, init_worker
+
+
+class _Pending:
+    """One dispatched request: the task dict plus its waiters' future."""
+
+    __slots__ = ("sig", "task", "future")
+
+    def __init__(self, sig: str, task: dict,
+                 future: "asyncio.Future"):
+        self.sig = sig
+        self.task = task
+        self.future = future
+
+
+def _signature(op: str, params: dict) -> str:
+    """Canonical identity of a request for single-flight dedup."""
+    return json.dumps({"op": op, "params": params}, sort_keys=True,
+                      separators=(",", ":"))
+
+
+class ServiceServer:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 2, store_root: Optional[str] = None,
+                 shards: int = DEFAULT_SHARDS,
+                 cap_per_shard: int = DEFAULT_CAP_PER_SHARD,
+                 max_batch: int = 16):
+        self.host = host
+        self.port = port
+        self.workers = max(1, int(workers))
+        self.store_root = store_root
+        self.shards = shards
+        self.cap_per_shard = cap_per_shard
+        self.max_batch = max(1, int(max_batch))
+        # the parent opens the store too: status reports occupancy
+        # without a round trip through a worker
+        self.store = (ShardedStore(store_root, shards, cap_per_shard)
+                      if store_root else None)
+        self._pool = None
+        self._queue: "asyncio.Queue[_Pending]" = None  # set in serve()
+        self._inflight: dict[str, _Pending] = {}
+        self._stop = None  # asyncio.Event, set in serve()
+        self._started_at = time.time()
+        self._requests: dict[str, int] = {}
+        self._coalesced = 0
+        self._batches = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _start_pool(self):
+        import multiprocessing as mp
+
+        self._pool = mp.Pool(
+            self.workers, initializer=init_worker,
+            initargs=(self.store_root, self.shards, self.cap_per_shard),
+        )
+
+    async def serve(self, addr_file: Optional[str] = None,
+                    ready_message: bool = True) -> None:
+        """Run until a ``shutdown`` request (or cancellation)."""
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._stop = asyncio.Event()
+        self._start_pool()
+        server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        addr = protocol.format_addr(self.host, self.port)
+        if addr_file:
+            tmp = f"{addr_file}.tmp.{os.getpid()}"
+            with open(tmp, "w") as f:
+                f.write(addr + "\n")
+            os.replace(tmp, addr_file)
+        if ready_message:
+            print(f"repro.service: listening on {addr} "
+                  f"({self.workers} worker(s), store="
+                  f"{self.store_root or 'off'})", flush=True)
+        dispatcher = loop.create_task(self._dispatch_loop())
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            dispatcher.cancel()
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.close()
+                pool.join()
+            for p in self._inflight.values():
+                if not p.future.done():
+                    p.future.set_exception(
+                        ConnectionError("service shut down"))
+            self._inflight.clear()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    async with write_lock:
+                        writer.write(protocol.encode(protocol.error_response(
+                            None, protocol.ERR_BAD_REQUEST,
+                            "request line too long")))
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # handle concurrently so one slow build does not stall
+                # pipelined requests behind it on the same connection
+                asyncio.get_running_loop().create_task(
+                    self._handle_request(line, writer, write_lock))
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            # loop teardown after shutdown cancels parked readers; ending
+            # the task normally keeps the streams machinery quiet
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle_request(self, line: bytes,
+                              writer: asyncio.StreamWriter,
+                              write_lock: asyncio.Lock) -> None:
+        t0 = time.perf_counter()
+        try:
+            req = protocol.decode(line)
+        except ValueError as e:
+            await self._write(writer, write_lock, protocol.error_response(
+                None, protocol.ERR_BAD_REQUEST, f"bad JSON: {e}"))
+            return
+        req_id = req.get("id")
+        op = req.get("op")
+        params = req.get("params") or {}
+        self._requests[op] = self._requests.get(op, 0) + 1
+        telemetry.counter("repro_service_requests_total",
+                          "service requests by op", op=str(op)).inc()
+        try:
+            if op in protocol.PARENT_OPS:
+                resp = self._parent_op(req_id, op, params)
+            elif op in protocol.OPS:
+                resp = await self._dispatch(req_id, op, params)
+            else:
+                resp = protocol.error_response(
+                    req_id, protocol.ERR_UNKNOWN_OP,
+                    f"unknown op {op!r}")
+        except Exception as e:
+            resp = protocol.error_response(
+                req_id, protocol.ERR_INTERNAL,
+                f"{type(e).__name__}: {e}")
+        telemetry.histogram("repro_service_request_seconds",
+                            "request handling wall time",
+                            op=str(op)).observe(time.perf_counter() - t0)
+        await self._write(writer, write_lock, resp)
+        if op == "shutdown":
+            self._stop.set()
+
+    async def _write(self, writer, write_lock, resp: dict) -> None:
+        try:
+            async with write_lock:
+                writer.write(protocol.encode(resp))
+                await writer.drain()
+        except ConnectionError:
+            pass
+
+    # -- parent-side ops ------------------------------------------------------
+
+    def _parent_op(self, req_id, op: str, params: dict) -> dict:
+        if op == "ping":
+            return protocol.ok_response(
+                req_id, version=REPRO_VERSION,
+                protocol=protocol.PROTOCOL_VERSION)
+        if op == "metrics":
+            snap = telemetry.snapshot(include_spans=False)
+            if params.get("format") == "prom":
+                return protocol.ok_response(
+                    req_id, prom=telemetry.to_prometheus(snap))
+            return protocol.ok_response(req_id, snapshot=snap)
+        if op == "status":
+            return protocol.ok_response(req_id, status=self.status())
+        if op == "shutdown":
+            return protocol.ok_response(req_id, stopping=True)
+        raise AssertionError(op)
+
+    def status(self) -> dict:
+        store = None
+        if self.store is not None:
+            occupancy = self.store.occupancy()
+            store = {
+                "root": self.store.root,
+                "shards": self.store.shards,
+                "cap_per_shard": self.store.cap_per_shard,
+                "per_shard": occupancy,
+                "total_entries": sum(r["entries"] for r in occupancy),
+                "total_bytes": sum(r["bytes"] for r in occupancy),
+            }
+        return {
+            "version": REPRO_VERSION,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "addr": protocol.format_addr(self.host, self.port),
+            "uptime_s": time.time() - self._started_at,
+            "workers": self.workers,
+            "max_batch": self.max_batch,
+            "requests": dict(sorted(self._requests.items())),
+            "inflight": len(self._inflight),
+            "singleflight_coalesced": self._coalesced,
+            "batches": self._batches,
+            "store": store,
+        }
+
+    # -- single-flight + batched dispatch -------------------------------------
+
+    async def _dispatch(self, req_id, op: str, params: dict) -> dict:
+        sig = _signature(op, params)
+        pending = self._inflight.get(sig)
+        if pending is not None:
+            self._coalesced += 1
+            telemetry.counter(
+                "repro_service_singleflight_total",
+                "requests coalesced onto an identical in-flight one",
+                op=op).inc()
+            resp = dict(await asyncio.shield(pending.future))
+            resp["id"] = req_id
+            resp["coalesced"] = True
+            return resp
+        future = asyncio.get_running_loop().create_future()
+        pending = _Pending(sig, {"id": None, "op": op, "params": params},
+                           future)
+        self._inflight[sig] = pending
+        await self._queue.put(pending)
+        telemetry.gauge("repro_service_inflight",
+                        "requests currently in flight").set(
+            len(self._inflight))
+        try:
+            resp = dict(await asyncio.shield(future))
+        finally:
+            self._inflight.pop(sig, None)
+            telemetry.gauge("repro_service_inflight",
+                            "requests currently in flight").set(
+                len(self._inflight))
+        resp["id"] = req_id
+        return resp
+
+    async def _dispatch_loop(self) -> None:
+        """Drain the queue into micro-batches and ship them to the pool."""
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            while (len(batch) < self.max_batch
+                   and not self._queue.empty()):
+                batch.append(self._queue.get_nowait())
+            self._batches += 1
+            telemetry.counter("repro_service_batches_total",
+                              "worker-pool micro-batches dispatched").inc()
+            telemetry.histogram("repro_service_batch_size",
+                                "requests per micro-batch",
+                                buckets=tuple(
+                                    float(1 << k) for k in range(10)),
+                                ).observe(len(batch))
+            done = loop.create_future()
+            self._pool.map_async(
+                handle_task, [p.task for p in batch],
+                callback=lambda rows: loop.call_soon_threadsafe(
+                    done.set_result, rows),
+                error_callback=lambda exc: loop.call_soon_threadsafe(
+                    done.set_exception, exc),
+            )
+            try:
+                rows = await done
+            except Exception as e:
+                for p in batch:
+                    if not p.future.done():
+                        p.future.set_exception(e)
+                continue
+            for p, (resp, snap) in zip(batch, rows):
+                if telemetry.absorb(snap):
+                    telemetry.counter(
+                        "repro_worker_snapshots_merged_total",
+                        "worker telemetry snapshots absorbed by the "
+                        "parent", kind="service").inc()
+                if not p.future.done():
+                    p.future.set_result(resp)
+
+
+def serve_forever(host: str, port: int, workers: int,
+                  store_root: Optional[str], shards: int,
+                  cap_per_shard: int, max_batch: int = 16,
+                  addr_file: Optional[str] = None) -> None:
+    """Blocking entry point used by the CLI."""
+    server = ServiceServer(host, port, workers, store_root, shards,
+                           cap_per_shard, max_batch)
+    try:
+        asyncio.run(server.serve(addr_file=addr_file))
+    except KeyboardInterrupt:
+        pass
+
+
+__all__ = ["ServiceServer", "serve_forever"]

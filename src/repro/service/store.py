@@ -1,0 +1,319 @@
+"""Sharded content-addressed artifact store with provenance manifests.
+
+Grown out of :mod:`repro.perf.diskcache` for the serving setting: one
+flat directory with a global mtime scan does not survive N worker
+processes hammering it.  Here the key space is split over ``shards``
+directories by hash prefix, so
+
+* concurrent writers contend on *one shard*, not the whole store;
+* the LRU budget is **per shard** (``cap_per_shard``), so an eviction
+  scan walks one directory and runs under that shard's lock file —
+  two evictors can never both shrink past the cap or race each other's
+  ``stat`` calls;
+* occupancy is reportable per shard (the ``status`` endpoint renders
+  it), which is how you see a hot prefix before it becomes a problem.
+
+Layout::
+
+    root/
+      store.json            # store schema: version, shard count, format
+      shard-00/ … shard-NN/
+        <key>.pkl           # pickled (module, stats), atomic write
+        <key>.manifest.json # provenance manifest, atomic write
+        .lock               # per-shard eviction lock (flock)
+
+Every load re-reads and verifies the manifest (see
+:mod:`repro.service.manifest`): an absent manifest is a miss (the
+artifact is rebuilt and re-manifested), but a *mismatched* one raises
+:class:`~repro.service.manifest.ManifestMismatch` — version skew is
+refused, never papered over.  Like the flat disk cache, loads unpickle
+a fresh object graph per call, so no two consumers ever share IR.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from typing import Optional
+
+from repro import telemetry
+from repro.perf.diskcache import FORMAT_VERSION
+
+from .manifest import (
+    Manifest,
+    make_manifest,
+    manifest_path,
+    read_manifest,
+    verify_manifest,
+    write_manifest,
+)
+
+try:  # POSIX only; the store degrades to lock-free best effort without
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+STORE_VERSION = 1
+DEFAULT_SHARDS = 8
+DEFAULT_CAP_PER_SHARD = 64
+
+
+def _req(outcome: str) -> None:
+    telemetry.counter("repro_service_store_requests_total",
+                      "sharded-store lookups by outcome",
+                      outcome=outcome).inc()
+
+
+class _ShardLock:
+    """``flock`` on a shard's ``.lock`` file; non-blocking by choice.
+
+    ``blocking=False`` acquisitions that lose the race report
+    ``acquired == False`` — an eviction someone else is already running
+    does not need to run twice.
+    """
+
+    def __init__(self, shard_dir: str, blocking: bool = True):
+        self._path = os.path.join(shard_dir, ".lock")
+        self._blocking = blocking
+        self._fh = None
+        self.acquired = False
+
+    def __enter__(self) -> "_ShardLock":
+        if fcntl is None:
+            self.acquired = True  # best effort without flock
+            return self
+        try:
+            self._fh = open(self._path, "a+")
+            flags = fcntl.LOCK_EX | (0 if self._blocking else fcntl.LOCK_NB)
+            fcntl.flock(self._fh, flags)
+            self.acquired = True
+        except OSError:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            self.acquired = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            try:
+                fcntl.flock(self._fh, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            self._fh.close()
+            self._fh = None
+
+
+class ShardedStore:
+    """N-way sharded artifact store; every artifact carries a manifest."""
+
+    def __init__(self, root: str, shards: int = DEFAULT_SHARDS,
+                 cap_per_shard: int = DEFAULT_CAP_PER_SHARD):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.root = root
+        self.shards = int(shards)
+        self.cap_per_shard = int(cap_per_shard)
+        os.makedirs(root, exist_ok=True)
+        self._check_config()
+
+    # -- layout ---------------------------------------------------------------
+
+    def _config_path(self) -> str:
+        return os.path.join(self.root, "store.json")
+
+    def _check_config(self) -> None:
+        """Pin the shard count in ``store.json``: reopening an existing
+        store with a different shard count would misroute every key, so
+        it is refused outright (concurrent creators racing on the first
+        write produce identical bytes — last write wins harmlessly)."""
+        path = self._config_path()
+        config = {"store_version": STORE_VERSION, "shards": self.shards,
+                  "artifact_format": FORMAT_VERSION}
+        try:
+            with open(path) as f:
+                existing = json.load(f)
+        except (OSError, ValueError):
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as f:
+                json.dump(config, f, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+            return
+        if existing.get("shards") != self.shards:
+            raise ValueError(
+                f"store at {self.root!r} was created with "
+                f"{existing.get('shards')} shard(s); refusing to open "
+                f"with {self.shards}"
+            )
+
+    def shard_of(self, key: str) -> int:
+        return int(key[:8], 16) % self.shards
+
+    def _shard_dir(self, index: int) -> str:
+        return os.path.join(self.root, f"shard-{index:02d}")
+
+    def _artifact_path(self, key: str) -> str:
+        return os.path.join(self._shard_dir(self.shard_of(key)),
+                            key + ".pkl")
+
+    # -- load / store ---------------------------------------------------------
+
+    def get(self, key: str, *, source: str, entry: str, level: str,
+            honor_restrict: bool, vl: int, rle: bool):
+        """Return ``(module, stats, manifest)`` or None on miss.
+
+        The manifest is verified before the pickle is touched; a
+        mismatch raises :class:`ManifestMismatch` (counted as
+        ``refused``).  Corrupt pickles are dropped and miss.
+        """
+        path = self._artifact_path(key)
+        m = read_manifest(manifest_path(path))
+        if m is None:
+            _req("miss")
+            return None
+        try:
+            verify_manifest(m, key=key, source=source, entry=entry,
+                            level=level, honor_restrict=honor_restrict,
+                            vl=vl, rle=rle)
+        except Exception:
+            _req("refused")
+            raise
+        try:
+            with open(path, "rb") as f:
+                payload = f.read()
+            module, stats = pickle.loads(payload)
+        except FileNotFoundError:
+            _req("miss")
+            return None
+        except Exception:
+            _req("error")
+            for victim in (path, manifest_path(path)):
+                try:
+                    os.remove(victim)
+                except OSError:
+                    pass
+            return None
+        for p in (path, manifest_path(path)):
+            try:
+                os.utime(p)  # eviction is least-recently-used
+            except OSError:
+                pass
+        _req("hit")
+        telemetry.counter("repro_service_store_bytes_total",
+                          "sharded-store bytes moved",
+                          direction="read").inc(len(payload))
+        return module, stats, m
+
+    def put(self, key: str, module, stats, m: Manifest) -> Optional[str]:
+        """Persist artifact + manifest atomically; best-effort.
+
+        The manifest lands *after* the pickle: a reader that sees the
+        manifest can rely on the artifact being in place (the reverse
+        order would advertise an artifact that is not there yet).
+        """
+        path = self._artifact_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            payload = pickle.dumps((module, stats),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "wb") as f:
+                f.write(payload)
+            os.replace(tmp, path)
+            write_manifest(manifest_path(path), m)
+        except Exception:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return None
+        telemetry.counter("repro_service_store_stores_total",
+                          "sharded-store artifacts written").inc()
+        telemetry.counter("repro_service_store_bytes_total",
+                          "sharded-store bytes moved",
+                          direction="written").inc(len(payload))
+        self._evict(self.shard_of(key))
+        return path
+
+    def build_manifest(self, key: str, source: str, entry: str, level: str,
+                       honor_restrict: bool, vl: int, rle: bool,
+                       creator: Optional[dict] = None) -> Manifest:
+        return make_manifest(key, source, entry, level, honor_restrict,
+                             vl, rle, creator=creator)
+
+    # -- eviction / occupancy -------------------------------------------------
+
+    def _evict(self, index: int) -> None:
+        """Shrink one shard to its LRU budget, under the shard lock.
+
+        Non-blocking: if another process holds the lock it is already
+        evicting this shard, so there is nothing to do.  The scan
+        tolerates entries vanishing mid-flight (a concurrent evictor
+        from before the lock, a concurrent ``get`` dropping a corrupt
+        entry).
+        """
+        shard_dir = self._shard_dir(index)
+        if not os.path.isdir(shard_dir):
+            return
+        with _ShardLock(shard_dir, blocking=False) as lock:
+            if not lock.acquired:
+                return
+            entries = []
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                return
+            for name in names:
+                if not name.endswith(".pkl"):
+                    continue
+                p = os.path.join(shard_dir, name)
+                try:
+                    entries.append((os.path.getmtime(p), p))
+                except (FileNotFoundError, OSError):
+                    pass
+            if len(entries) <= self.cap_per_shard:
+                return
+            entries.sort()
+            for _, p in entries[: len(entries) - self.cap_per_shard]:
+                for victim in (p, manifest_path(p)):
+                    try:
+                        os.remove(victim)
+                    except OSError:
+                        pass
+                telemetry.counter(
+                    "repro_service_store_evictions_total",
+                    "sharded-store LRU evictions",
+                    shard=f"{index:02d}").inc()
+
+    def occupancy(self) -> list[dict]:
+        """Per-shard ``{shard, entries, bytes, cap}`` rows (all shards,
+        including empty ones, so the distribution is visible)."""
+        rows = []
+        for i in range(self.shards):
+            shard_dir = self._shard_dir(i)
+            entries = 0
+            size = 0
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                names = []
+            for name in names:
+                if name.endswith(".pkl"):
+                    entries += 1
+                if name.endswith((".pkl", ".manifest.json")):
+                    try:
+                        size += os.path.getsize(
+                            os.path.join(shard_dir, name))
+                    except OSError:
+                        pass
+            rows.append({"shard": i, "entries": entries, "bytes": size,
+                         "cap": self.cap_per_shard})
+        return rows
+
+    def entry_count(self) -> int:
+        return sum(r["entries"] for r in self.occupancy())
+
+
+__all__ = ["DEFAULT_CAP_PER_SHARD", "DEFAULT_SHARDS", "STORE_VERSION",
+           "ShardedStore"]

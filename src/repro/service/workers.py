@@ -1,0 +1,303 @@
+"""Worker-side request handlers for the compile service.
+
+Everything CPU-bound — compiling, optimizing, executing, fuzzing — runs
+here, inside ``multiprocessing.Pool`` workers the server forks at
+startup.  The contract mirrors :mod:`repro.perf.batch`:
+
+* task bodies are module-level functions over plain dicts, so they
+  pickle;
+* each task zeroes the fork-inherited telemetry registry at start and
+  ships a per-task delta snapshot home with its result, which the
+  parent ``absorb()``s — worker counters (store traffic, pipeline
+  builds) survive the process boundary without double counting;
+* workers never serve from an in-process memo: every build consults the
+  sharded store, so a "cache hit" response is always a
+  **manifest-verified** load, never a stale private copy.
+
+Workers deliberately clear ``REPRO_SERVICE_ADDR`` at init: library code
+they call (``measure.build``, the fuzz oracle) would otherwise route its
+builds back to the very daemon these workers serve, deadlocking a
+single-worker pool on itself.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import traceback
+from typing import Optional
+
+from repro import telemetry
+from repro.frontend import compile_c
+from repro.perf import diskcache
+from repro.perf.measure import (
+    AliasArg,
+    ArrayArg,
+    ScalarArg,
+    Workload,
+    execute,
+)
+from repro.pipeline.pipelines import optimize
+
+from .manifest import ManifestMismatch
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BUILD_FAILED,
+    ERR_INTERNAL,
+    ERR_MANIFEST_MISMATCH,
+    ERR_UNKNOWN_OP,
+    error_response,
+    ok_response,
+)
+from .store import ShardedStore
+
+_STORE: Optional[ShardedStore] = None
+
+
+def init_worker(store_root: Optional[str], shards: int,
+                cap_per_shard: int) -> None:
+    """Pool initializer: open the shared store, break request loops."""
+    global _STORE
+    os.environ.pop("REPRO_SERVICE_ADDR", None)
+    _STORE = (ShardedStore(store_root, shards, cap_per_shard)
+              if store_root else None)
+
+
+# -- build --------------------------------------------------------------------
+
+
+def _build_params(params: dict) -> dict:
+    """Normalize + default the build-configuration fields."""
+    source = params.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ValueError("build/run requests need a non-empty 'source'")
+    return {
+        "source": source,
+        "entry": params.get("entry", "kernel"),
+        "level": params.get("level", "supervec+v"),
+        "honor_restrict": bool(params.get("honor_restrict", True)),
+        "vl": int(params.get("vl", 4)),
+        "rle": bool(params.get("rle", False)),
+    }
+
+
+def _store_build(bp: dict):
+    """Build one configuration through the sharded store.
+
+    Returns ``(module, stats, manifest, origin)`` with ``origin`` one of
+    ``"store"`` (manifest-verified load) or ``"built"`` (fresh pipeline
+    run, stored with a new manifest).  :class:`ManifestMismatch`
+    propagates — version skew is the caller's problem to surface, not
+    ours to rebuild over.
+    """
+    key = diskcache.cache_key(bp["source"], bp["entry"], bp["level"],
+                              bp["honor_restrict"], bp["vl"], bp["rle"])
+    if _STORE is not None:
+        hit = _STORE.get(key, source=bp["source"], entry=bp["entry"],
+                         level=bp["level"],
+                         honor_restrict=bp["honor_restrict"],
+                         vl=bp["vl"], rle=bp["rle"])
+        if hit is not None:
+            module, stats, m = hit
+            telemetry.counter("repro_service_builds_total",
+                              "service builds by origin",
+                              origin="store").inc()
+            return module, stats, m, "store"
+    with telemetry.span("service.build", detail=bp["entry"],
+                        level=bp["level"]):
+        module = compile_c(bp["source"], name=bp["entry"])
+        stats = optimize(module, bp["level"],
+                         honor_restrict=bp["honor_restrict"],
+                         vl=bp["vl"], rle=bp["rle"])
+    telemetry.counter("repro_service_builds_total",
+                      "service builds by origin", origin="built").inc()
+    m = None
+    if _STORE is not None:
+        m = _STORE.build_manifest(key, bp["source"], bp["entry"],
+                                  bp["level"], bp["honor_restrict"],
+                                  bp["vl"], bp["rle"])
+        _STORE.put(key, module, stats, m)
+    return module, stats, m, "built"
+
+
+def _op_build(req_id, params: dict) -> dict:
+    bp = _build_params(params)
+    module, stats, m, origin = _store_build(bp)
+    resp = ok_response(
+        req_id,
+        key=diskcache.cache_key(bp["source"], bp["entry"], bp["level"],
+                                bp["honor_restrict"], bp["vl"], bp["rle"]),
+        origin=origin,
+        manifest=m.to_dict() if m is not None else None,
+    )
+    if params.get("want_artifact"):
+        payload = pickle.dumps((module, stats),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        resp["artifact"] = base64.b64encode(payload).decode("ascii")
+    return resp
+
+
+# -- run ----------------------------------------------------------------------
+
+
+def _workload_from_bindings(name: str, source: str, entry: str,
+                            bindings: list) -> Workload:
+    """The corpus binding encoding -> a Workload (plus ``global``
+    entries, which the corpus format does not need but TSVC-style
+    kernels do)."""
+    args: list = []
+    globals_init: dict = {}
+    for b in bindings:
+        kind = b[0]
+        if kind == "array":
+            _, bname, size, values = b
+            values = [float(v) for v in values]
+            args.append(ArrayArg(bname, int(size),
+                                 init=lambda i, v=values: v[i]))
+        elif kind == "alias":
+            _, bname, of, offset = b
+            args.append(AliasArg(bname, of, int(offset)))
+        elif kind == "scalar":
+            args.append(ScalarArg(b[1], b[2]))
+        elif kind == "global":
+            _, gname, values = b
+            values = [float(v) for v in values]
+            globals_init[gname] = lambda i, v=values: v[i]
+        else:
+            raise ValueError(f"unknown binding kind {kind!r}")
+    return Workload(name=name, source=source, entry=entry, args=args,
+                    globals_init=globals_init)
+
+
+def _resolve_workload(params: dict):
+    """A run request's Workload: named suite kernel or explicit source."""
+    if params.get("workload"):
+        from repro.diag.report import suite_workloads
+
+        suite = params.get("suite", "polybench")
+        return suite_workloads(suite, params["workload"])[0]
+    bp = _build_params(params)
+    return _workload_from_bindings(
+        params.get("name", bp["entry"]), bp["source"], bp["entry"],
+        params.get("bindings", []),
+    )
+
+
+def _op_run(req_id, params: dict) -> dict:
+    w = _resolve_workload(params)
+    bp = _build_params({**params, "source": w.source,
+                        "entry": w.entry})
+    module, stats, m, origin = _store_build(bp)
+    backend = params.get("backend")
+    max_steps = params.get("max_steps")
+    result = execute(module, w, stats, backend=backend,
+                     max_steps=max_steps)
+    key = diskcache.cache_key(bp["source"], bp["entry"], bp["level"],
+                              bp["honor_restrict"], bp["vl"], bp["rle"])
+    return ok_response(
+        req_id,
+        key=key,
+        origin=origin,
+        manifest=m.to_dict() if m is not None else None,
+        workload=w.name,
+        level=bp["level"],
+        backend=backend,
+        cycles=result.cycles,
+        counters=result.counters.as_dict(),
+        checksum=result.checksum,
+        return_value=result.return_value,
+        code_size=result.code_size,
+    )
+
+
+# -- diag ---------------------------------------------------------------------
+
+
+def _op_diag(req_id, params: dict) -> dict:
+    """A fresh diagnostics-enabled build: the remark stream over the
+    wire.  Never store-cached — a cached build emits no remarks."""
+    from repro.diag.context import collect
+
+    bp = _build_params(params)
+    with collect() as dc:
+        module = compile_c(bp["source"], name=bp["entry"])
+        optimize(module, bp["level"],
+                 honor_restrict=bp["honor_restrict"],
+                 vl=bp["vl"], rle=bp["rle"])
+    return ok_response(
+        req_id,
+        level=bp["level"],
+        remarks=[r.render() for r in dc.remarks],
+        passes=[{"pass": p.pass_name, "function": p.function,
+                 "dur_us": p.dur_us, "inst_delta": p.inst_delta}
+                for p in dc.passes],
+    )
+
+
+# -- fuzz ---------------------------------------------------------------------
+
+
+def _op_fuzz(req_id, params: dict) -> dict:
+    from repro.fuzz.generator import generate_kernel
+    from repro.fuzz.oracle import check_kernel
+
+    seed = int(params.get("seed", 0))
+    kernel = generate_kernel(seed, name=f"svc{seed:06d}")
+    report = check_kernel(kernel, full=bool(params.get("full", False)))
+    telemetry.counter("repro_service_fuzz_seeds_total",
+                      "service-run fuzz seeds by outcome",
+                      outcome="ok" if report.ok else "fail").inc()
+    return ok_response(
+        req_id,
+        seed=seed,
+        fuzz_ok=report.ok,
+        configs_run=report.configs_run,
+        mismatches=[str(m) for m in report.mismatches],
+    )
+
+
+# -- dispatch -----------------------------------------------------------------
+
+_OPS = {
+    "build": _op_build,
+    "run": _op_run,
+    "diag": _op_diag,
+    "fuzz": _op_fuzz,
+}
+
+
+def handle_task(task: dict) -> tuple[dict, dict]:
+    """Pool task body: one request -> ``(response, telemetry delta)``.
+
+    Never raises — every failure becomes a structured error response, so
+    one bad request in a micro-batch cannot poison its batchmates.
+    """
+    telemetry.reset()
+    req_id = task.get("id")
+    op = task.get("op")
+    params = task.get("params") or {}
+    handler = _OPS.get(op)
+    try:
+        if handler is None:
+            resp = error_response(req_id, ERR_UNKNOWN_OP,
+                                  f"unknown op {op!r}")
+        else:
+            resp = handler(req_id, params)
+    except ManifestMismatch as e:
+        resp = error_response(req_id, ERR_MANIFEST_MISMATCH, str(e),
+                              details=e.details())
+    except (ValueError, KeyError, TypeError) as e:
+        resp = error_response(req_id, ERR_BAD_REQUEST,
+                              f"{type(e).__name__}: {e}")
+    except Exception as e:  # parse errors, pass crashes, exec faults
+        code = ERR_BUILD_FAILED if op in ("build", "run", "diag") \
+            else ERR_INTERNAL
+        resp = error_response(
+            req_id, code, f"{type(e).__name__}: {e}",
+            details={"traceback": traceback.format_exc(limit=8)},
+        )
+    return resp, telemetry.snapshot(include_spans=False)
+
+
+__all__ = ["handle_task", "init_worker"]

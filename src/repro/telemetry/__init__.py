@@ -21,7 +21,7 @@ Quick use::
 
 CLI::
 
-    python -m repro.telemetry dump SNAP.json [--prom]
+    python -m repro.telemetry dump SNAP.json [--prom] [--addr H:P]
     python -m repro.telemetry diff OLD.json NEW.json
     python -m repro.telemetry check [--root DIR] [--thresholds FILE]
 

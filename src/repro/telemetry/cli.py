@@ -3,6 +3,8 @@
 * ``dump``  — render a snapshot JSON file as a table (default) or in
   the Prometheus text exposition format (``--prom``); multiple files
   are merged first (refusing mixed lineage unless ``--allow-mixed``).
+  ``--addr host:port`` pulls a live snapshot from a running compile
+  service (:mod:`repro.service`) instead of — or merged with — files.
 * ``diff``  — per-series numeric deltas between two snapshots.
 * ``check`` — evaluate the bench-trajectory regression gate over
   ``BENCH_interp.json`` / ``BENCH_build.json`` (or a custom rule file);
@@ -28,6 +30,16 @@ from .export import (
 
 def _cmd_dump(args) -> int:
     snaps = [load_snapshot(p) for p in args.snapshots]
+    if args.addr:
+        # live snapshot pulled from a running compile service; merged
+        # with any file snapshots under the usual lineage rules
+        from repro.service.client import fetch_metrics
+
+        snaps.append(fetch_metrics(args.addr))
+    if not snaps:
+        print("error: no snapshots: pass file(s) and/or --addr",
+              file=sys.stderr)
+        return 2
     snap = snaps[0] if len(snaps) == 1 else merge(
         snaps, allow_mixed=args.allow_mixed
     )
@@ -66,8 +78,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     sub = ap.add_subparsers(dest="cmd", required=True)
 
     p_dump = sub.add_parser("dump", help="render snapshot file(s)")
-    p_dump.add_argument("snapshots", nargs="+",
+    p_dump.add_argument("snapshots", nargs="*",
                         help="snapshot JSON file(s); several are merged")
+    p_dump.add_argument("--addr", metavar="HOST:PORT",
+                        help="also pull a live snapshot from a running "
+                             "compile service (repro.service)")
     p_dump.add_argument("--prom", action="store_true",
                         help="Prometheus text exposition instead of a table")
     p_dump.add_argument("--zeros", action="store_true",

@@ -6,6 +6,7 @@ sensitive to everything that determines build output, and caches rooted
 at different ``REPRO_CACHE_DIR`` values never see each other's entries.
 """
 
+import multiprocessing
 import os
 
 import pytest
@@ -174,6 +175,102 @@ class TestIsolationAndKnobs:
         # 1) must miss rather than serve artifacts lacking the array
         # executor dump
         assert diskcache.FORMAT_VERSION >= 2
+
+
+def _hammer_store_load(args):
+    """Worker body for the concurrent-access hammer (module level so it
+    pickles across the fork)."""
+    root, cap, i = args
+    os.environ["REPRO_CACHE_DIR"] = root
+    os.environ["REPRO_CACHE_CAP"] = str(cap)
+    ok = True
+    # N workers x one shared key: stores race, loads must never see a
+    # half-written or foreign payload
+    shared = "a" * 64
+    diskcache.store(shared, {"payload": "shared"}, None)
+    got = diskcache.load(shared)
+    ok &= got is None or got[0] == {"payload": "shared"}
+    # N workers x distinct keys: each round-trips its own entry
+    mine = f"{i:064x}"
+    diskcache.store(mine, {"payload": i}, None)
+    got = diskcache.load(mine)
+    ok &= got is None or got[0] == {"payload": i}
+    return ok
+
+
+class TestEvictionLocking:
+    """The mtime-LRU eviction race fix: single evictor per store."""
+
+    @pytest.fixture
+    def small_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_CAP", "2")
+        return str(tmp_path)
+
+    def test_held_lock_skips_eviction(self, small_cache):
+        lock = diskcache._evict_lock(small_cache)
+        assert lock is not None
+        try:
+            # flock is per open-file-description: store()'s evict step
+            # loses the race against our held lock and must skip
+            for i in range(5):
+                diskcache.store(f"{i:064x}", None, None)
+            assert diskcache.entry_count() == 5  # over cap, untouched
+        finally:
+            lock.close()
+        # with the lock released the next scan shrinks to the cap
+        diskcache._evict(small_cache)
+        assert diskcache.entry_count() <= 2
+
+    def test_lock_is_exclusive_and_releases(self, small_cache):
+        lock = diskcache._evict_lock(small_cache)
+        assert lock is not None
+        assert diskcache._evict_lock(small_cache) is None  # contended
+        lock.close()
+        relock = diskcache._evict_lock(small_cache)
+        assert relock is not None  # close released the flock
+        relock.close()
+
+    def test_vanishing_entries_tolerated(self, small_cache):
+        for i in range(4):
+            diskcache.store(f"{i:064x}", None, None)
+        # a dangling symlink is listed by the scan but vanishes at stat
+        # time — exactly what a concurrent evictor's deletion looks like
+        sub = os.path.join(small_cache, "ff")
+        os.makedirs(sub, exist_ok=True)
+        os.symlink(os.path.join(small_cache, "nowhere"),
+                   os.path.join(sub, "f" * 64 + ".pkl"))
+        diskcache._evict(small_cache)  # must not raise
+        real = [
+            os.path.join(small_cache, s, n)
+            for s in os.listdir(small_cache)
+            if len(s) == 2 and os.path.isdir(os.path.join(small_cache, s))
+            for n in os.listdir(os.path.join(small_cache, s))
+            if n.endswith(".pkl")
+            and os.path.exists(os.path.join(small_cache, s, n))
+        ]
+        assert len(real) <= 2
+
+    def test_multiprocess_hammer(self, tmp_path, monkeypatch):
+        """Concurrent store/load/evict across real processes: every load
+        is either a miss or exactly what that worker stored."""
+        root = str(tmp_path)
+        monkeypatch.setenv("REPRO_CACHE_DIR", root)
+        monkeypatch.setenv("REPRO_CACHE_CAP", "4")
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(4) as pool:
+            results = pool.map(_hammer_store_load,
+                               [(root, 4, i) for i in range(8)])
+        assert all(results)
+        # no half-written temp files survive the stampede
+        leftovers = [
+            n
+            for s in os.listdir(root)
+            if os.path.isdir(os.path.join(root, s))
+            for n in os.listdir(os.path.join(root, s))
+            if ".tmp." in n
+        ]
+        assert leftovers == []
 
 
 class TestPickleRoundTrip:

@@ -1,0 +1,591 @@
+"""Tests for the compile service (repro.service).
+
+Three layers, matching the subsystem's structure:
+
+* **manifest** unit tests — the pass-pipeline fingerprint is sensitive
+  to everything that changes what a level means, and verification
+  refuses skew in provenance-severity order;
+* **sharded store** unit tests — round trips, per-shard LRU budgets,
+  shard-count pinning, manifest-gated loads;
+* **daemon** integration tests — a real ``python -m repro.service
+  serve`` subprocess answers the acceptance scenario: >= 64 concurrent
+  mixed build/run requests bit-identical to in-process ``measure``
+  results, duplicate in-flight requests coalesced onto exactly one
+  build, and tampered manifests refused with a structured error.
+"""
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import telemetry
+from repro.perf import diskcache, measure
+from repro.perf.diskcache import FORMAT_VERSION
+from repro.service import client as svc
+from repro.service.manifest import (
+    MANIFEST_VERSION,
+    Manifest,
+    ManifestMismatch,
+    make_manifest,
+    manifest_path,
+    pipeline_fingerprint,
+    read_manifest,
+    verify_manifest,
+    write_manifest,
+)
+from repro.service.store import ShardedStore
+from repro.diag.report import suite_workloads
+
+LEVEL = "supervec+v"
+
+SRC = "void k(double* restrict a) { for (int i = 0; i < 8; i++) a[i] = a[i] + 1.0; }"
+
+
+def _counter(snap, name, **labels):
+    """Sum of a counter's series matching ``labels`` in a snapshot."""
+    for fam in snap.get("metrics", ()):
+        if fam["name"] != name:
+            continue
+        return sum(
+            s["value"]
+            for s in fam["series"]
+            if all(s["labels"].get(k) == v for k, v in labels.items())
+        )
+    return 0
+
+
+# -- manifests ----------------------------------------------------------------
+
+
+class TestPipelineFingerprint:
+    def test_stable(self):
+        assert pipeline_fingerprint(LEVEL) == pipeline_fingerprint(LEVEL)
+        assert len(pipeline_fingerprint(LEVEL)) == 16
+
+    def test_sensitive_to_level(self):
+        fps = {pipeline_fingerprint(lv)
+               for lv in ("O0", "O3-scalar", "O3", "supervec", "supervec+v")}
+        assert len(fps) == 5
+
+    def test_sensitive_to_knobs(self):
+        base = pipeline_fingerprint(LEVEL)
+        assert pipeline_fingerprint(LEVEL, honor_restrict=False) != base
+        assert pipeline_fingerprint(LEVEL, vl=8) != base
+        assert pipeline_fingerprint(LEVEL, rle=True) != base
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_fingerprint("O9")
+
+
+class TestManifest:
+    KEY = "ab" * 32
+
+    def _manifest(self, **over):
+        m = make_manifest(self.KEY, SRC, "k", LEVEL, True, 4, False)
+        return Manifest.from_dict({**m.to_dict(), **over}) if over else m
+
+    def _verify(self, m):
+        verify_manifest(m, key=self.KEY, source=SRC, entry="k",
+                        level=LEVEL, honor_restrict=True, vl=4, rle=False)
+
+    def test_roundtrip_verifies(self, tmp_path):
+        m = self._manifest()
+        self._verify(m)
+        path = str(tmp_path / "a.manifest.json")
+        write_manifest(path, m)
+        loaded = read_manifest(path)
+        assert loaded == m
+        self._verify(loaded)
+
+    def test_absent_or_corrupt_reads_none(self, tmp_path):
+        assert read_manifest(str(tmp_path / "missing.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert read_manifest(str(bad)) is None
+
+    def test_fingerprint_mismatch_refused(self):
+        m = self._manifest(pipeline_fingerprint="0" * 16)
+        with pytest.raises(ManifestMismatch) as ei:
+            self._verify(m)
+        assert ei.value.field == "pipeline_fingerprint"
+        d = ei.value.details()
+        assert d["key"] == self.KEY and d["actual"] == "0" * 16
+
+    def test_format_version_mismatch_refused(self):
+        with pytest.raises(ManifestMismatch) as ei:
+            self._verify(self._manifest(artifact_format=FORMAT_VERSION + 7))
+        assert ei.value.field == "artifact_format"
+
+    def test_versions_checked_before_fingerprint(self):
+        # an old-format artifact with a stale pipeline too: the format
+        # skew is the load-bearing refusal, and it must be named first
+        m = self._manifest(artifact_format=FORMAT_VERSION + 1,
+                           pipeline_fingerprint="0" * 16,
+                           manifest_version=MANIFEST_VERSION + 1)
+        with pytest.raises(ManifestMismatch) as ei:
+            self._verify(m)
+        assert ei.value.field == "manifest_version"
+
+    def test_source_edit_refused(self):
+        m = self._manifest()
+        with pytest.raises(ManifestMismatch) as ei:
+            verify_manifest(m, key=self.KEY, source=SRC + " ", entry="k",
+                            level=LEVEL, honor_restrict=True, vl=4,
+                            rle=False)
+        assert ei.value.field == "source_sha256"
+
+
+# -- sharded store ------------------------------------------------------------
+
+
+def _keyed_manifest(key, source=SRC):
+    return make_manifest(key, source, "k", LEVEL, True, 4, False)
+
+
+def _get(store, key, source=SRC):
+    return store.get(key, source=source, entry="k", level=LEVEL,
+                     honor_restrict=True, vl=4, rle=False)
+
+
+class TestShardedStore:
+    def test_roundtrip_and_miss(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=4, cap_per_shard=8)
+        key = "0" * 64
+        assert _get(store, key) is None  # cold miss
+        payload = {"ir": [1, 2, 3]}
+        store.put(key, payload, {"n": 1}, _keyed_manifest(key))
+        got = _get(store, key)
+        assert got is not None
+        module, stats, m = got
+        assert module == payload and module is not payload  # fresh unpickle
+        assert stats == {"n": 1}
+        assert m.key == key
+        assert store.entry_count() == 1
+
+    def test_shard_routing_and_occupancy(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=4, cap_per_shard=8)
+        keys = [f"{i:08x}" + "0" * 56 for i in range(8)]  # prefix routes
+        for k in keys:
+            store.put(k, None, None, _keyed_manifest(k))
+        assert {store.shard_of(k) for k in keys} == {0, 1, 2, 3}
+        rows = store.occupancy()
+        assert len(rows) == 4
+        assert sum(r["entries"] for r in rows) == 8
+        assert all(r["bytes"] > 0 for r in rows)
+        for k in keys:
+            d = os.path.dirname(store._artifact_path(k))
+            assert d.endswith(f"shard-{store.shard_of(k):02d}")
+
+    def test_absent_manifest_is_a_miss(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=2)
+        key = "1" * 64
+        store.put(key, None, None, _keyed_manifest(key))
+        os.remove(manifest_path(store._artifact_path(key)))
+        assert _get(store, key) is None
+
+    def test_tampered_manifest_refused(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=2)
+        key = "2" * 64
+        store.put(key, None, None, _keyed_manifest(key))
+        mp = manifest_path(store._artifact_path(key))
+        d = json.load(open(mp))
+        d["pipeline_fingerprint"] = "0" * 16
+        json.dump(d, open(mp, "w"))
+        with pytest.raises(ManifestMismatch):
+            _get(store, key)
+
+    def test_corrupt_pickle_dropped_and_missed(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=2)
+        key = "3" * 64
+        store.put(key, None, None, _keyed_manifest(key))
+        path = store._artifact_path(key)
+        with open(path, "wb") as f:
+            f.write(b"not a pickle")
+        assert _get(store, key) is None
+        assert not os.path.exists(path)
+
+    def test_per_shard_lru_budget(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), shards=1, cap_per_shard=2)
+        for i in range(5):
+            k = f"{i:064x}"
+            store.put(k, None, None, _keyed_manifest(k))
+            time.sleep(0.01)  # distinct mtimes for a deterministic LRU
+        assert store.entry_count() <= 2
+        # evicted artifacts take their manifests with them
+        shard = store._shard_dir(0)
+        pkls = {n[:-4] for n in os.listdir(shard) if n.endswith(".pkl")}
+        mans = {n[:-len(".manifest.json")] for n in os.listdir(shard)
+                if n.endswith(".manifest.json")}
+        assert pkls == mans
+        # survivors are the most recently stored
+        assert f"{4:064x}" in pkls
+
+    def test_shard_count_is_pinned(self, tmp_path):
+        root = str(tmp_path / "s")
+        ShardedStore(root, shards=4)
+        ShardedStore(root, shards=4)  # same count reopens fine
+        with pytest.raises(ValueError, match="refusing"):
+            ShardedStore(root, shards=8)
+
+    def test_bad_shard_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedStore(str(tmp_path / "s"), shards=0)
+
+
+# -- daemon integration -------------------------------------------------------
+
+
+def _unique_source(tag: str) -> str:
+    """A tiny kernel whose source (hence cache key) embeds ``tag``."""
+    n = 4 + (hash(tag) % 4)
+    return (f"void k(double* restrict a) {{ /* {tag} */ "
+            f"for (int i = 0; i < {n}; i++) a[i] = a[i] * 2.0 + 1.0; }}")
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """One real service subprocess shared by the integration tests."""
+    root = tmp_path_factory.mktemp("service")
+    addr_file = root / "addr"
+    store = root / "store"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src"))
+    env.pop("REPRO_SERVICE_ADDR", None)
+    env.pop("REPRO_CACHE_DIR", None)
+    log = open(root / "daemon.log", "w")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "serve",
+         "--port", "0", "--workers", "2", "--shards", "4",
+         "--store", str(store), "--addr-file", str(addr_file)],
+        env=env, stdout=log, stderr=subprocess.STDOUT,
+    )
+    deadline = time.time() + 60
+    while not addr_file.exists():
+        if proc.poll() is not None:
+            log.close()
+            raise RuntimeError(
+                "daemon died during startup:\n"
+                + (root / "daemon.log").read_text())
+        if time.time() > deadline:
+            proc.kill()
+            raise RuntimeError("daemon did not write its addr file")
+        time.sleep(0.05)
+    addr = addr_file.read_text().strip()
+    yield {"addr": addr, "store": str(store)}
+    try:
+        svc.shutdown(addr)
+        proc.wait(timeout=15)
+    except Exception:
+        proc.kill()
+        proc.wait(timeout=15)
+    log.close()
+
+
+class TestDaemonBasics:
+    def test_ping(self, daemon):
+        resp = svc.ping(daemon["addr"])
+        assert resp["ok"] and resp["protocol"] >= 1 and resp["version"]
+
+    def test_status_shape(self, daemon):
+        st = svc.fetch_status(daemon["addr"])
+        assert st["workers"] == 2
+        assert st["store"]["shards"] == 4
+        assert len(st["store"]["per_shard"]) == 4
+        assert st["addr"] == daemon["addr"]
+
+    def test_unknown_op_is_structured(self, daemon):
+        with pytest.raises(svc.ServiceError) as ei:
+            svc.request(daemon["addr"],
+                        {"op": "frobnicate", "id": 1, "params": {}})
+        assert ei.value.code == "unknown-op"
+
+    def test_bad_params_are_structured(self, daemon):
+        with pytest.raises(svc.ServiceError) as ei:
+            svc.request(daemon["addr"],
+                        {"op": "build", "id": 2, "params": {}})
+        assert ei.value.code == "bad-request"
+
+    def test_parse_error_is_structured(self, daemon):
+        with pytest.raises(svc.ServiceError) as ei:
+            svc.request(daemon["addr"], {
+                "op": "build", "id": 3,
+                "params": {"source": "void k(double* a) { syntax error"},
+            })
+        assert ei.value.code in ("build-failed", "bad-request")
+
+
+class TestDaemonBuild:
+    def test_build_then_manifest_verified_hit(self, daemon):
+        source = _unique_source("build-hit")
+        first = svc.remote_build(daemon["addr"], source, entry="k",
+                                 level=LEVEL)
+        assert first["origin"] == "built"
+        key = diskcache.cache_key(source, "k", LEVEL, True, 4, False)
+        assert first["key"] == key
+        m = first["manifest"]
+        assert m["pipeline_fingerprint"] == pipeline_fingerprint(LEVEL)
+        assert m["artifact_format"] == FORMAT_VERSION
+        assert m["key"] == key
+
+        second = svc.remote_build(daemon["addr"], source, entry="k",
+                                  level=LEVEL)
+        assert second["origin"] == "store"  # manifest-verified load
+        assert second["manifest"]["key"] == key
+        # the shipped artifact is a real module: the entry is in there
+        assert "k" in second["module"].functions
+        assert second["module"] is not first["module"]
+
+    def test_diag_op_streams_remarks(self, daemon):
+        resp = svc.request(daemon["addr"], {
+            "op": "diag", "id": 7,
+            "params": {"source": _unique_source("diag"), "entry": "k",
+                       "level": LEVEL},
+        })
+        assert resp["remarks"] and resp["passes"]
+        assert any(p["pass"] for p in resp["passes"])
+
+    def test_fuzz_op(self, daemon):
+        resp = svc.remote_fuzz(daemon["addr"], seed=11)
+        assert resp["fuzz_ok"] and resp["configs_run"] > 0
+
+
+WORKLOADS = ["atax", "mvt", "gesummv", "trisolv"]
+LEVELS = ["O3", "supervec+v"]
+
+
+class TestAcceptance:
+    """The ISSUE.md end-to-end scenario, in three asserts."""
+
+    def test_64_concurrent_mixed_requests_bit_identical(self, daemon):
+        expected = {}
+        for name in WORKLOADS:
+            w = suite_workloads("polybench", name)[0]
+            for level in LEVELS:
+                measure.clear_build_cache()
+                module, stats = measure.build(w, level, use_cache=False)
+                res = measure.execute(module, w, stats)
+                expected[(name, level)] = (
+                    res.cycles, res.counters.as_dict(), res.checksum)
+        measure.clear_build_cache()
+
+        combos = [(n, lv) for n in WORKLOADS for lv in LEVELS]
+        sources = {n: suite_workloads("polybench", n)[0].source
+                   for n in WORKLOADS}
+
+        def one(i):
+            name, level = combos[i % len(combos)]
+            if i % 2 == 0:
+                return ("run", name, level, svc.remote_run(
+                    daemon["addr"],
+                    {"suite": "polybench", "workload": name,
+                     "level": level}))
+            return ("build", name, level, svc.remote_build(
+                daemon["addr"], sources[name],
+                entry=name, level=level, want_artifact=False))
+
+        with ThreadPoolExecutor(max_workers=32) as pool:
+            results = list(pool.map(one, range(64)))
+        assert len(results) == 64
+
+        for kind, name, level, resp in results:
+            assert resp["ok"], (kind, name, level, resp)
+            if kind != "run":
+                continue
+            cycles, counters, checksum = expected[(name, level)]
+            assert resp["cycles"] == cycles, (name, level)
+            assert resp["counters"] == counters, (name, level)
+            assert resp["checksum"] == checksum, (name, level)
+
+    def test_duplicate_inflight_requests_build_once(self, daemon):
+        source = _unique_source("single-flight")
+        before = svc.fetch_metrics(daemon["addr"])
+
+        def one(_):
+            return svc.remote_build(daemon["addr"], source, entry="k",
+                                    level=LEVEL, want_artifact=False)
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            responses = list(pool.map(one, range(16)))
+        after = svc.fetch_metrics(daemon["addr"])
+
+        assert all(r["ok"] for r in responses)
+        # exactly one response did the pipeline run; everything else was
+        # coalesced onto it in flight or served from the store after it
+        owners = [r for r in responses
+                  if r["origin"] == "built" and not r.get("coalesced")]
+        assert len(owners) == 1
+        built_delta = (
+            _counter(after, "repro_service_builds_total", origin="built")
+            - _counter(before, "repro_service_builds_total",
+                       origin="built"))
+        assert built_delta == 1
+        coalesced = [r for r in responses if r.get("coalesced")]
+        sf_delta = (
+            _counter(after, "repro_service_singleflight_total")
+            - _counter(before, "repro_service_singleflight_total"))
+        assert sf_delta == len(coalesced)
+
+    def test_tampered_fingerprint_refused_structurally(self, daemon):
+        source = _unique_source("tamper-fp")
+        first = svc.remote_build(daemon["addr"], source, entry="k",
+                                 level=LEVEL, want_artifact=False)
+        key = first["key"]
+        store = ShardedStore(daemon["store"], shards=4)
+        mpath = manifest_path(store._artifact_path(key))
+        d = json.load(open(mpath))
+        d["pipeline_fingerprint"] = "0" * 16
+        json.dump(d, open(mpath, "w"))
+
+        with pytest.raises(svc.ServiceError) as ei:
+            svc.remote_build(daemon["addr"], source, entry="k",
+                             level=LEVEL, want_artifact=False)
+        assert ei.value.code == "manifest-mismatch"
+        assert ei.value.details["field"] == "pipeline_fingerprint"
+        assert ei.value.details["key"] == key
+        assert ei.value.details["actual"] == "0" * 16
+        # the refusal is sticky — no silent rebuild papers over it
+        with pytest.raises(svc.ServiceError):
+            svc.remote_build(daemon["addr"], source, entry="k",
+                             level=LEVEL, want_artifact=False)
+
+    def test_stale_format_version_refused(self, daemon):
+        source = _unique_source("tamper-fmt")
+        first = svc.remote_build(daemon["addr"], source, entry="k",
+                                 level=LEVEL, want_artifact=False)
+        store = ShardedStore(daemon["store"], shards=4)
+        mpath = manifest_path(store._artifact_path(first["key"]))
+        d = json.load(open(mpath))
+        d["artifact_format"] = 999
+        json.dump(d, open(mpath, "w"))
+        with pytest.raises(svc.ServiceError) as ei:
+            svc.remote_build(daemon["addr"], source, entry="k",
+                             level=LEVEL, want_artifact=False)
+        assert ei.value.code == "manifest-mismatch"
+        assert ei.value.details["field"] == "artifact_format"
+
+
+# -- multiprocessing hammer (module-level bodies so they pickle) --------------
+
+
+def _hammer_same(args):
+    addr, _ = args
+    resp = svc.remote_run(addr, {"suite": "polybench", "workload": "atax",
+                                 "level": LEVEL})
+    return resp["ok"], resp["cycles"], resp["checksum"], resp["origin"]
+
+
+def _hammer_distinct(args):
+    addr, i = args
+    source = _unique_source(f"hammer-{i}")
+    resp = svc.remote_build(addr, source, entry="k", level=LEVEL,
+                            want_artifact=True)
+    module = resp.pop("module")
+    return resp["ok"], resp["key"], resp["origin"], "k" in module.functions
+
+
+class TestConcurrentClients:
+    def test_multiprocess_hammer(self, daemon):
+        """Satellite: N processes x same key + N processes x distinct
+        keys; no corrupt loads, one build per distinct key."""
+        ctx = multiprocessing.get_context("fork")
+        addr = daemon["addr"]
+        with ctx.Pool(4) as pool:
+            same = pool.map(_hammer_same, [(addr, i) for i in range(8)])
+            distinct = pool.map(_hammer_distinct,
+                                [(addr, i) for i in range(8)])
+
+        assert all(ok for ok, *_ in same)
+        # same key, eight loads: every execution bit-identical
+        assert len({(cyc, chk) for _, cyc, chk, _ in same}) == 1
+
+        assert all(ok for ok, *_ in distinct)
+        keys = [k for _, k, _, _ in distinct]
+        assert len(set(keys)) == 8  # really distinct cache keys
+        assert all(valid for *_, valid in distinct)  # artifacts unpickle
+        # each unique source is built exactly once, by whoever got there
+        assert all(origin == "built" for _, _, origin, _ in distinct)
+
+    def test_store_counts_hits_after_hammer(self, daemon):
+        snap = svc.fetch_metrics(daemon["addr"])
+        assert _counter(snap, "repro_service_store_requests_total",
+                        outcome="hit") > 0
+        assert _counter(snap, "repro_service_store_stores_total") > 0
+
+
+# -- library + CLI integration ------------------------------------------------
+
+
+class TestLibraryRouting:
+    def test_measure_build_uses_service(self, daemon, monkeypatch):
+        monkeypatch.setenv(svc.ADDR_ENV, daemon["addr"])
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        measure.clear_build_cache()
+        w = suite_workloads("polybench", "atax")[0]
+        before = telemetry.snapshot(include_spans=False)
+        module, stats = measure.build(w, LEVEL, use_cache=True)
+        after = telemetry.snapshot(include_spans=False)
+        assert (_counter(after, "repro_build_total", source="service")
+                - _counter(before, "repro_build_total", source="service")
+                ) == 1
+        # the remote artifact is a working build
+        res = measure.execute(module, w, stats)
+        assert res.cycles > 0
+        measure.clear_build_cache()
+
+    def test_unreachable_service_falls_back(self, monkeypatch):
+        monkeypatch.setenv(svc.ADDR_ENV, "127.0.0.1:1")  # nothing there
+        before = telemetry.snapshot(include_spans=False)
+        assert svc.maybe_remote_build(SRC, "k", LEVEL, True, 4,
+                                      False) is None
+        after = telemetry.snapshot(include_spans=False)
+        assert (_counter(after, "repro_service_client_requests_total",
+                         outcome="unreachable")
+                - _counter(before, "repro_service_client_requests_total",
+                           outcome="unreachable")) == 1
+
+
+class TestCLIsAgainstDaemon:
+    def test_telemetry_dump_addr(self, daemon, capsys):
+        from repro.telemetry.cli import main as tmain
+
+        assert tmain(["dump", "--addr", daemon["addr"]]) == 0
+        out = capsys.readouterr().out
+        assert "repro_service_requests_total" in out
+
+    def test_telemetry_dump_addr_prom(self, daemon, capsys):
+        from repro.telemetry.cli import main as tmain
+
+        assert tmain(["dump", "--addr", daemon["addr"], "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_requests_total counter" in out
+
+    def test_telemetry_dump_requires_input(self, capsys):
+        from repro.telemetry.cli import main as tmain
+
+        assert tmain(["dump"]) == 2
+
+    def test_diag_report_from_service(self, daemon, capsys, tmp_path):
+        from repro.diag.report import main as dmain
+
+        out_file = tmp_path / "snap.json"
+        assert dmain(["report", "--from-service", daemon["addr"],
+                      "--metrics-out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "runtime telemetry" in out
+        snap = json.load(open(out_file))
+        assert _counter(snap, "repro_service_requests_total") > 0
+
+    def test_status_cli(self, daemon, capsys):
+        from repro.service.cli import main as smain
+
+        assert smain(["status", "--addr", daemon["addr"]]) == 0
+        out = capsys.readouterr().out
+        assert "shard" in out and "workers" in out
