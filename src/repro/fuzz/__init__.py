@@ -20,23 +20,47 @@ from .corpus import (
     replay_ok,
     save_entry,
 )
-from .generator import Kernel, UnsafeAccess, generate_kernel
+from .campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignSummary,
+    run_campaign,
+    screen_kernel,
+)
+from .generator import GENERATOR_VERSION, Kernel, UnsafeAccess, generate_kernel
 from .oracle import (
     Config,
     KernelSpec,
     Mismatch,
     OracleReport,
     check_kernel,
+    clear_reference_memo,
     default_configs,
     full_configs,
+    reference_run,
 )
 from .plant import PLANTED_BUGS
 from .reduce import NotFailing, ReduceResult, reduce_kernel
+from .schedule import CoverageMap, Scheduler, Task, coverage_features, mutate_kernel
+from .shard import (
+    CampaignStateError,
+    CampaignStore,
+    content_hash,
+    current_pins,
+    shard_of,
+)
 
 __all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignStateError",
+    "CampaignStore",
+    "CampaignSummary",
     "Config",
     "CorpusEntry",
+    "CoverageMap",
     "DEFAULT_CORPUS_DIR",
+    "GENERATOR_VERSION",
     "Kernel",
     "KernelSpec",
     "Mismatch",
@@ -44,15 +68,26 @@ __all__ = [
     "OracleReport",
     "PLANTED_BUGS",
     "ReduceResult",
+    "Scheduler",
+    "Task",
     "UnsafeAccess",
     "check_kernel",
+    "clear_reference_memo",
+    "content_hash",
+    "coverage_features",
+    "current_pins",
     "default_configs",
     "full_configs",
     "generate_kernel",
     "iter_entries",
     "load_entry",
+    "mutate_kernel",
     "reduce_kernel",
+    "reference_run",
     "replay_entry",
     "replay_ok",
+    "run_campaign",
     "save_entry",
+    "screen_kernel",
+    "shard_of",
 ]

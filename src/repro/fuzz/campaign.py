@@ -1,0 +1,595 @@
+"""Sustained fuzzing campaigns: the seeds/sec throughput engine.
+
+``python -m repro.fuzz campaign`` runs the differential oracle as a
+*campaign* rather than a sweep.  Three layers buy the throughput
+(BENCH_fuzz.json records the resulting seeds/sec and configs/sec):
+
+1. **Persistent warm workers.**  One long-lived process pool per
+   campaign, initialized once (backend registry, telemetry recorder,
+   the campaign's private ``REPRO_CACHE_DIR``); batches of tasks are
+   dispatched work-stealing style (``imap_unordered``) and the results
+   committed in deterministic batch order with the established
+   reset-at-task-start telemetry-delta merge.  ``REPRO_SERVICE_ADDR``
+   still routes builds through the PR-8 compile service when set.
+
+2. **Redundancy elimination.**  Generated programs are content-hashed
+   (source + initial data) *before* any build — a duplicate skips its
+   whole matrix and is recorded as ``dup`` pointing at the original.
+   Within a task the O0 reference is built and run once and reused
+   across every comparison (:func:`repro.fuzz.oracle.reference_run`),
+   including a later escalation of the same program.
+
+3. **Coverage-guided scheduling over a tiered oracle.**  Every unique
+   program first passes the cheap **screening tier**: the O0 reference,
+   the four-way cross-backend accounting identity at the fixed
+   ``supervec+v`` config, and an ``O3`` differential — with the
+   ``supervec+v`` build running under a diag remark tap that doubles as
+   the coverage probe.  Programs whose remark stream contains a
+   never-seen pass decision, every ``audit-every``-th fresh seed, and
+   every screening *failure* are escalated to the **full default
+   matrix** (the same one ``fuzz run`` applies to every seed).  Seeds
+   that hit *rare* features additionally schedule deterministic
+   generator-parameter mutants ahead of fresh seeds
+   (:mod:`repro.fuzz.schedule`).  Depth follows novelty; uniform seeds
+   pay only the screen.
+
+Campaign state (scheduler queue, coverage map, dedup index, per-task
+records) lives in a sharded on-disk store with periodic atomic
+checkpoints (:mod:`repro.fuzz.shard`), so killing the process loses at
+most the rounds since the last checkpoint and ``--resume DIR``
+recomputes exactly those — the final manifest is bit-identical to an
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro import telemetry
+from repro.diag.context import collect
+
+from .corpus import save_entry
+from .generator import generate_kernel
+from .oracle import (
+    CROSS_BACKENDS,
+    CROSS_BACKEND_CONFIG,
+    Config,
+    KernelSpec,
+    Mismatch,
+    OracleReport,
+    _build,
+    _compare,
+    _exact,
+    _run_config,
+    _workload,
+    check_kernel,
+    reference_run,
+)
+from .plant import PLANTED_BUGS
+from .schedule import CoverageMap, Scheduler, Task, coverage_features, mutate_kernel
+from .shard import CampaignStore, content_hash, current_pins
+
+#: The screening tier, descriptively — pinned into the manifest so a
+#: resumed campaign can refuse a matrix change.
+SCREEN_MATRIX = (
+    "O0-reference + cross-backend x4 @ "
+    + CROSS_BACKEND_CONFIG.describe()
+    + " + O3 differential"
+)
+FULL_MATRIX = "default_configs + cross-backend (fuzz run matrix)"
+
+
+@dataclass
+class CampaignConfig:
+    """Schedule-affecting knobs are pinned in the manifest; ``jobs`` is
+    a pure runtime knob and deliberately is not."""
+
+    seeds: int
+    start: int = 0
+    bug: Optional[str] = None
+    batch: int = 4
+    round_batches: int = 8
+    audit_every: int = 16
+    rare_limit: int = 2
+    mutants_per_parent: int = 2
+    mutate: bool = True
+    checkpoint_every: int = 1
+    max_steps: Optional[int] = None
+    num_shards: int = 16
+
+    def to_json(self) -> dict:
+        return {
+            "seeds": self.seeds, "start": self.start, "bug": self.bug,
+            "batch": self.batch, "round_batches": self.round_batches,
+            "audit_every": self.audit_every, "rare_limit": self.rare_limit,
+            "mutants_per_parent": self.mutants_per_parent,
+            "mutate": self.mutate,
+            "checkpoint_every": self.checkpoint_every,
+            "max_steps": self.max_steps, "num_shards": self.num_shards,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "CampaignConfig":
+        return cls(**d)
+
+
+# ---------------------------------------------------------------------------
+# The screening tier
+# ---------------------------------------------------------------------------
+
+
+def screen_kernel(spec: KernelSpec, bug: Optional[str] = None,
+                  max_steps: Optional[int] = None):
+    """Cheap first-pass oracle for one program.
+
+    Runs the O0 reference (memoized), builds the fixed cross-backend
+    config **once** under a diag remark tap (the coverage probe — one
+    build serves all four executors), demands exact cycles/counters/
+    memory agreement across the four backends plus tolerance-checked
+    agreement with the reference, then an ``O3`` differential.  Returns
+    ``(report, features)``; any mismatch makes the campaign escalate to
+    the full matrix, so screening only ever *defers* detection detail,
+    never loses it for these configs.
+    """
+    bug_fn = PLANTED_BUGS[bug] if bug else None
+    report = OracleReport(name=spec.name)
+
+    ref, err = reference_run(spec, max_steps)
+    report.configs_run += 1
+    if err is not None:
+        report.mismatches.append(err)
+        return report, ()
+
+    base = CROSS_BACKEND_CONFIG
+    with collect() as dc:
+        try:
+            module, stats = _build(spec, base, False)
+            build_err = None
+        except Exception as e:  # classified below, like _run_config
+            from repro.frontend import LoweringError, ParseError
+            from repro.frontend.lexer import LexError
+            from repro.ir import VerificationError
+
+            if isinstance(e, (ParseError, LexError, LoweringError)):
+                build_err = Mismatch("parse", str(e), base)
+            elif isinstance(e, VerificationError):
+                build_err = Mismatch("verify", str(e), base)
+            else:
+                build_err = Mismatch(
+                    "crash", f"{type(e).__name__}: {e}", base)
+    features = coverage_features(dc.remarks)
+    if build_err is not None:
+        report.mismatches.append(build_err)
+        return report, features
+    if bug_fn is not None:
+        bug_fn(module)
+
+    w = _workload(spec)
+    runs = {}
+    for backend in CROSS_BACKENDS:
+        cfg = Config(base.level, base.honor_restrict, base.vl, base.rle,
+                     backend=backend)
+        report.configs_run += 1
+        try:
+            from repro.perf.measure import execute
+
+            runs[backend] = execute(module, w, stats, backend=backend,
+                                    capture_arrays=True,
+                                    max_steps=max_steps)
+        except Exception as e:
+            report.mismatches.append(
+                Mismatch("crash", f"{type(e).__name__}: {e}", cfg))
+    got = runs.get("compiled")
+    if got is not None:
+        report.mismatches.extend(_compare(ref, got, base))
+    b = runs.get("reference")
+    if b is not None and len(runs) == len(CROSS_BACKENDS):
+        for backend, a in runs.items():
+            if backend == "reference":
+                continue
+            cfg = Config(base.level, base.honor_restrict, base.vl,
+                         base.rle, backend=backend)
+            if a.cycles != b.cycles:
+                report.mismatches.append(Mismatch(
+                    "cycles",
+                    f"{backend} {a.cycles!r} != reference {b.cycles!r}",
+                    cfg,
+                ))
+            if a.counters.as_dict() != b.counters.as_dict():
+                report.mismatches.append(Mismatch(
+                    "counters",
+                    f"per-opcode counter drift: {backend} vs reference",
+                    cfg,
+                ))
+            if not _exact(a.arrays, b.arrays) or not _exact(
+                a.return_value, b.return_value
+            ):
+                report.mismatches.append(Mismatch(
+                    "memory",
+                    f"{backend} memory/return drift at fixed config", cfg,
+                ))
+
+    o3 = Config("O3")
+    got, err = _run_config(spec, o3, bug_fn, max_steps, False)
+    report.configs_run += 1
+    if err is not None:
+        report.mismatches.append(err)
+    else:
+        report.mismatches.extend(_compare(ref, got, o3))
+    return report, features
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+_POOLED = False
+
+
+def _campaign_worker_init(cache_dir: Optional[str]) -> None:
+    """Pool initializer: one-time per-worker warmup.
+
+    Imports the whole executor ladder and the front end (a no-op under
+    fork, real work under spawn), points the worker at the campaign's
+    private disk cache, and zeroes the fork-inherited telemetry registry
+    so per-batch snapshots are clean deltas.
+    """
+    global _POOLED
+    _POOLED = True
+    if cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+    import repro.interp.array  # noqa: F401
+    import repro.interp.compile  # noqa: F401
+    import repro.interp.fuse  # noqa: F401
+    from repro.frontend import compile_c  # noqa: F401
+
+    telemetry.reset()
+
+
+def _materialize(task_d: dict) -> KernelSpec:
+    seed, variant = task_d["seed"], task_d["variant"]
+    if variant:
+        k = mutate_kernel(seed, variant)
+    else:
+        k = generate_kernel(seed, name=f"fz{seed:06d}")
+    return KernelSpec(k.name, k.source, k.bindings)
+
+
+def _run_task(task_d: dict) -> dict:
+    spec = _materialize(task_d)
+    bug, max_steps = task_d["bug"], task_d["max_steps"]
+    if task_d["kind"] == "full":
+        report = check_kernel(spec, bug=bug, max_steps=max_steps)
+        tier = "full"
+        features: tuple = ()
+    else:
+        report, features = screen_kernel(spec, bug=bug, max_steps=max_steps)
+        tier = "screen"
+    telemetry.counter("repro_campaign_configs_total",
+                      "oracle configs run by campaign tier",
+                      tier=tier).inc(report.configs_run)
+    return {
+        "key": task_d["key"],
+        "tier": tier,
+        "ok": report.ok,
+        "kinds": sorted(report.kinds()),
+        "mismatches": [str(m) for m in report.mismatches],
+        "configs": report.configs_run,
+        "features": list(features),
+    }
+
+
+def _run_task_batch(payload) -> tuple:
+    batch_idx, tasks = payload
+    if _POOLED:
+        telemetry.reset()
+    rows = [_run_task(t) for t in tasks]
+    snap = telemetry.snapshot(include_spans=False) if _POOLED else None
+    return batch_idx, rows, snap
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignSummary:
+    seeds: int = 0
+    mutants: int = 0
+    dups: int = 0
+    ok: int = 0
+    failed: int = 0
+    escalated: dict = field(default_factory=dict)
+    configs_screen: int = 0
+    configs_full: int = 0
+    rounds: int = 0
+    findings: list = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def tasks(self) -> int:
+        return self.seeds + self.mutants
+
+    @property
+    def configs(self) -> int:
+        return self.configs_screen + self.configs_full
+
+    def to_json(self) -> dict:
+        return {
+            "seeds": self.seeds, "mutants": self.mutants,
+            "dups": self.dups, "ok": self.ok, "failed": self.failed,
+            "escalated": dict(sorted(self.escalated.items())),
+            "configs_screen": self.configs_screen,
+            "configs_full": self.configs_full,
+            "rounds": self.rounds,
+            "findings": sorted(self.findings),
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "CampaignSummary":
+        return cls(**{k: v for k, v in d.items()})
+
+
+class Campaign:
+    """One resumable campaign over a :class:`CampaignStore`."""
+
+    def __init__(self, store: CampaignStore, cfg: CampaignConfig,
+                 scheduler: Scheduler, coverage: CoverageMap,
+                 dedup: dict, summary: CampaignSummary):
+        self.store = store
+        self.cfg = cfg
+        self.scheduler = scheduler
+        self.coverage = coverage
+        self.dedup = dedup
+        self.summary = summary
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: Path | str, cfg: CampaignConfig) -> "Campaign":
+        store = CampaignStore(root, cfg.num_shards)
+        camp = cls(store, cfg,
+                   Scheduler(cfg.start, cfg.start + cfg.seeds),
+                   CoverageMap(), {}, CampaignSummary())
+        store.create(camp.manifest())
+        return camp
+
+    @classmethod
+    def resume(cls, root: Path | str) -> "Campaign":
+        store = CampaignStore(root)
+        manifest = store.load()
+        cfg = CampaignConfig.from_json(manifest["campaign"])
+        return cls(
+            store, cfg,
+            Scheduler.from_json(manifest["scheduler"]),
+            CoverageMap.from_json(manifest["coverage"]),
+            dict(manifest["dedup"]),
+            CampaignSummary.from_json(manifest["counts"]),
+        )
+
+    def manifest(self) -> dict:
+        return {
+            "pins": current_pins(),
+            "matrix": {"screen": SCREEN_MATRIX, "full": FULL_MATRIX},
+            "campaign": self.cfg.to_json(),
+            "scheduler": self.scheduler.to_json(),
+            "coverage": self.coverage.to_json(),
+            "dedup": dict(sorted(self.dedup.items())),
+            "counts": self.summary.to_json(),
+            "done": self.scheduler.pending() == 0,
+        }
+
+    # -- the drive loop ----------------------------------------------------
+
+    def _draw_round(self) -> list:
+        """Draw up to ``round_batches`` batches, deduplicating fresh
+        programs at draw time (deterministic: depends only on committed
+        scheduler + dedup state and draw order)."""
+        batches = []
+        for _ in range(self.cfg.round_batches):
+            tasks = self.scheduler.next_batch(self.cfg.batch)
+            if not tasks:
+                break
+            payload = []
+            for t in tasks:
+                spec = _materialize(t.to_json() | {"key": t.key})
+                if t.kind != "full":
+                    h = content_hash(spec.name, spec.source, spec.bindings)
+                    first = self.dedup.get(h)
+                    if first is not None and first != t.key:
+                        self.store.record(t.key, {
+                            "kind": t.kind, "outcome": "dup",
+                            "dup_of": first,
+                        })
+                        self.summary.dups += 1
+                        self._count_task(t)
+                        telemetry.counter(
+                            "repro_campaign_dedup_total",
+                            "programs skipped as content-hash duplicates",
+                        ).inc()
+                        continue
+                    self.dedup.setdefault(h, t.key)
+                payload.append({
+                    "kind": t.kind, "seed": t.seed, "variant": t.variant,
+                    "reason": t.reason, "key": t.key, "bug": self.cfg.bug,
+                    "max_steps": self.cfg.max_steps,
+                })
+            if payload:
+                batches.append(payload)
+        return batches
+
+    def _count_task(self, t: Task) -> None:
+        if t.kind == "seed":
+            self.summary.seeds += 1
+        elif t.kind == "mutant":
+            self.summary.mutants += 1
+
+    def _commit_row(self, task_d: dict, row: dict) -> None:
+        """Fold one completed task into campaign state — called in
+        deterministic (batch, task) order."""
+        t = Task(task_d["kind"], task_d["seed"], task_d["variant"],
+                 task_d["reason"])
+        cfg = self.cfg
+        if row["tier"] == "full":
+            rec = {
+                "kind": t.kind, "outcome": "ok" if row["ok"] else "fail",
+                "tier": "full", "reason": t.reason,
+                "kinds": row["kinds"], "configs": row["configs"],
+            }
+            self.store.record(t.key, rec)
+            if row["ok"]:
+                self.summary.ok += 1
+            else:
+                self.summary.failed += 1
+                self._save_finding(t, row)
+            return
+        # screening result
+        self._count_task(t)
+        new_feats = self.coverage.observe(row["features"])
+        reason = None
+        if not row["ok"]:
+            reason = "failure"
+        elif new_feats:
+            reason = "novel"
+        elif (t.kind == "seed"
+              and (t.seed - cfg.start) % cfg.audit_every == 0):
+            reason = "audit"
+        if reason is not None:
+            self.scheduler.push_escalation(
+                Task("full", t.seed, t.variant, reason))
+            self.summary.escalated[reason] = (
+                self.summary.escalated.get(reason, 0) + 1)
+            telemetry.counter("repro_campaign_escalations_total",
+                              "screen tasks escalated to the full matrix",
+                              reason=reason).inc()
+            self.store.record(t.key, {
+                "kind": t.kind, "outcome": "escalated", "tier": "screen",
+                "reason": reason, "kinds": row["kinds"],
+                "configs": row["configs"],
+            })
+        else:
+            self.store.record(t.key, {
+                "kind": t.kind, "outcome": "ok", "tier": "screen",
+                "configs": row["configs"],
+            })
+            self.summary.ok += 1
+        # rare-coverage parents spawn mutants (fresh seeds only — one
+        # generation of mutants, so the campaign stays seed-bounded)
+        if (cfg.mutate and row["ok"] and t.kind == "seed"
+                and row["features"]):
+            rarity = self.coverage.rarity(row["features"])
+            if rarity is not None and rarity <= cfg.rare_limit:
+                for v in range(1, cfg.mutants_per_parent + 1):
+                    self.scheduler.push_mutant(
+                        Task("mutant", t.seed, v), rarity)
+                    telemetry.counter(
+                        "repro_campaign_mutants_total",
+                        "mutants scheduled off rare-coverage parents",
+                    ).inc()
+
+    def _save_finding(self, t: Task, row: dict) -> None:
+        if row["kinds"] == ["parse"]:
+            return  # not a replayable miscompile; recorded, not saved
+        spec = _materialize(t.to_json() | {"key": t.key})
+        fdir = self.store.finding_dir(t.key)
+        # repro uses a <campaign>-relative path so finding bytes do not
+        # depend on where the campaign directory lives (resume identity)
+        rel_dir = fdir.relative_to(self.store.root).as_posix()
+        stem = f"{spec.name}-{self.cfg.bug}" if self.cfg.bug else spec.name
+        path = save_entry(
+            spec, fdir,
+            seed=t.seed, bug=self.cfg.bug, expect="fail",
+            note=f"campaign finding ({t.reason}; variant {t.variant})",
+            repro=(f"PYTHONPATH=src python -m repro.fuzz replay "
+                   f"<campaign>/{rel_dir}/{stem}.json"),
+        )
+        rel = path.relative_to(self.store.root).as_posix()
+        if rel not in self.summary.findings:
+            self.summary.findings.append(rel)
+
+    def run(self, jobs: int = 1, max_rounds: Optional[int] = None,
+            progress=None) -> CampaignSummary:
+        """Drive the campaign until the schedule drains (or
+        ``max_rounds`` more rounds have been committed)."""
+        t0 = time.perf_counter()
+        jobs = jobs if jobs else (os.cpu_count() or 1)
+        cache_dir = str(self.store.cache_dir)
+        saved_cache = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        pool = None
+        try:
+            if jobs > 1:
+                import multiprocessing as mp
+
+                pool = mp.Pool(jobs, initializer=_campaign_worker_init,
+                               initargs=(cache_dir,))
+            rounds_this_run = 0
+            while True:
+                if max_rounds is not None and rounds_this_run >= max_rounds:
+                    break
+                batches = self._draw_round()
+                if not batches:
+                    break
+                indexed = list(enumerate(batches))
+                if pool is not None:
+                    results = {}
+                    for bi, rows, snap in pool.imap_unordered(
+                            _run_task_batch, indexed):
+                        if telemetry.absorb(snap):
+                            telemetry.counter(
+                                "repro_worker_snapshots_merged_total",
+                                "worker telemetry snapshots absorbed "
+                                "by the parent", kind="campaign").inc()
+                        results[bi] = rows
+                else:
+                    results = {bi: _run_task_batch((bi, tasks))[1]
+                               for bi, tasks in indexed}
+                for bi in sorted(results):
+                    for task_d, row in zip(batches[bi], results[bi]):
+                        self._commit_row(task_d, row)
+                        if row["tier"] == "screen":
+                            self.summary.configs_screen += row["configs"]
+                        else:
+                            self.summary.configs_full += row["configs"]
+                self.summary.rounds += 1
+                rounds_this_run += 1
+                if self.summary.rounds % self.cfg.checkpoint_every == 0:
+                    self.store.checkpoint(self.manifest())
+                if progress is not None:
+                    progress(self)
+            self.store.checkpoint(self.manifest())
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+            if saved_cache is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = saved_cache
+        self.summary.seconds = time.perf_counter() - t0
+        return self.summary
+
+
+def run_campaign(root: Path | str, cfg: Optional[CampaignConfig] = None,
+                 jobs: int = 1, resume: bool = False,
+                 max_rounds: Optional[int] = None,
+                 progress=None) -> CampaignSummary:
+    """Create-or-resume + drive a campaign in one call."""
+    if resume:
+        camp = Campaign.resume(root)
+    else:
+        if cfg is None:
+            raise ValueError("a new campaign needs a CampaignConfig")
+        camp = Campaign.create(root, cfg)
+    return camp.run(jobs=jobs, max_rounds=max_rounds, progress=progress)
+
+
+__all__ = [
+    "Campaign", "CampaignConfig", "CampaignSummary", "FULL_MATRIX",
+    "SCREEN_MATRIX", "run_campaign", "screen_kernel",
+]

@@ -1,11 +1,15 @@
-"""``python -m repro.fuzz {run,reduce,replay}`` — the fuzzing driver.
+"""``python -m repro.fuzz {run,campaign,reduce,replay}`` — the fuzzing driver.
 
-* ``run``    — generate seed-deterministic kernels and push each through
+* ``run``      — generate seed-deterministic kernels and push each through
   the differential oracle; failures are saved to the corpus with a
   ready-made repro command.
-* ``reduce`` — shrink a failing kernel (by seed, or a corpus file) to a
+* ``campaign`` — the sustained-throughput engine: coverage-guided
+  scheduling over a tiered oracle, content-hash dedup, persistent warm
+  workers, and a resumable sharded on-disk state
+  (:mod:`repro.fuzz.campaign`).  ``--resume DIR`` continues a killed run.
+* ``reduce``   — shrink a failing kernel (by seed, or a corpus file) to a
   minimal statement sequence that preserves the failure.
-* ``replay`` — re-run corpus entries and check each against its expected
+* ``replay``   — re-run corpus entries and check each against its expected
   outcome (the CI regression mode).
 
 Exit status is 0 iff everything matched expectations.
@@ -34,6 +38,28 @@ from .plant import PLANTED_BUGS
 from .reduce import NotFailing, reduce_kernel
 
 
+_POOLED = False
+
+
+def _pool_init() -> None:
+    """Pool initializer: per-worker setup exactly once, not per task.
+
+    Marks the process as a pooled worker (which selects the
+    telemetry-delta protocol in :func:`_check_seed`), warms the backend
+    registry and front end (a no-op under fork, real imports under
+    spawn), and zeroes the fork-inherited telemetry registry so the
+    first task's snapshot is as clean a delta as every later one's.
+    """
+    global _POOLED
+    _POOLED = True
+    import repro.interp.array  # noqa: F401
+    import repro.interp.compile  # noqa: F401
+    import repro.interp.fuse  # noqa: F401
+    from repro.frontend import compile_c  # noqa: F401
+
+    telemetry.reset()
+
+
 def _check_seed(task) -> tuple:
     """Worker body: one seed through the oracle.
 
@@ -43,13 +69,15 @@ def _check_seed(task) -> tuple:
     deterministically from the seed when it needs the full object
     (e.g. ``--save``).
 
-    ``in_worker`` selects the cross-process telemetry protocol: the
-    fork-inherited registry is zeroed at task start so the task-end
-    snapshot is a per-task delta the parent can ``absorb()`` without
-    double counting.  In-process runs never reset (they write to the
-    live registry directly) and ship no snapshot.
+    Pooled workers (``_POOLED``, set by :func:`_pool_init`) use the
+    cross-process telemetry protocol: the fork-inherited registry is
+    zeroed at task start so the task-end snapshot is a per-task delta
+    the parent can ``absorb()`` without double counting.  In-process
+    runs never reset (they write to the live registry directly) and
+    ship no snapshot.
     """
-    seed, bug, full, verify_each_pass, in_worker = task
+    seed, bug, full, verify_each_pass = task
+    in_worker = _POOLED
     if in_worker:
         telemetry.reset()
     kernel = generate_kernel(seed, name=f"fz{seed:06d}")
@@ -79,7 +107,7 @@ def _iter_reports(args):
     seeds = range(args.start, args.start + args.seeds)
     jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
     pooled = jobs > 1 and args.seeds > 1
-    tasks = [(s, args.bug, args.full, args.verify_each_pass, pooled)
+    tasks = [(s, args.bug, args.full, args.verify_each_pass)
              for s in seeds]
     if not pooled:
         for t in tasks:
@@ -88,7 +116,7 @@ def _iter_reports(args):
     import multiprocessing as mp
 
     chunk = max(1, len(tasks) // (4 * jobs))
-    with mp.Pool(min(jobs, len(tasks))) as pool:
+    with mp.Pool(min(jobs, len(tasks)), initializer=_pool_init) as pool:
         for row in pool.map(_check_seed, tasks, chunksize=chunk):
             if telemetry.absorb(row[-1]):
                 telemetry.counter(
@@ -163,6 +191,71 @@ def _cmd_run(args) -> int:
     if telemetry.enabled():
         _run_telemetry_summary(args, dt, kind_totals)
     return 1 if failures else 0
+
+
+def _cmd_campaign(args) -> int:
+    from .campaign import CampaignConfig, run_campaign
+    from .shard import CampaignStateError
+
+    def progress(camp):
+        s = camp.summary
+        esc = sum(s.escalated.values())
+        print(f"  round {s.rounds}: {s.tasks} tasks "
+              f"({s.seeds} seeds, {s.mutants} mutants, {s.dups} dups), "
+              f"{esc} escalated, {s.failed} failing, "
+              f"{camp.scheduler.pending()} pending", flush=True)
+
+    t0 = time.perf_counter()
+    try:
+        if args.resume:
+            summary = run_campaign(
+                args.resume, jobs=args.jobs, resume=True,
+                max_rounds=args.max_rounds,
+                progress=progress if args.verbose else None,
+            )
+        else:
+            if not args.dir:
+                print("campaign: --dir DIR is required (or --resume DIR)",
+                      file=sys.stderr)
+                return 2
+            cfg = CampaignConfig(
+                seeds=args.seeds, start=args.start, bug=args.bug,
+                batch=args.batch, round_batches=args.round_batches,
+                audit_every=args.audit_every, rare_limit=args.rare_limit,
+                mutants_per_parent=args.mutants_per_parent,
+                mutate=not args.no_mutate,
+                checkpoint_every=args.checkpoint_every,
+            )
+            summary = run_campaign(
+                args.dir, cfg, jobs=args.jobs,
+                max_rounds=args.max_rounds,
+                progress=progress if args.verbose else None,
+            )
+    except CampaignStateError as e:
+        print(f"campaign: {e}", file=sys.stderr)
+        return 2
+    dt = time.perf_counter() - t0
+    esc = sum(summary.escalated.values())
+    rate = f"{summary.tasks / dt:.1f}" if dt > 0 else "inf"
+    crate = f"{summary.configs / dt:.1f}" if dt > 0 else "inf"
+    print(f"campaign: {summary.tasks} tasks "
+          f"({summary.seeds} seeds, {summary.mutants} mutants, "
+          f"{summary.dups} dups) in {dt:.1f}s — {rate} tasks/s, "
+          f"{crate} configs/s; {esc} escalated "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(summary.escalated.items())) or 'none'}); "
+          f"{summary.failed} failing")
+    for f in sorted(summary.findings):
+        print(f"  finding: {f}")
+    root = args.resume or args.dir
+    if telemetry.enabled():
+        out = os.path.join(root, "fuzz_telemetry.json")
+        try:
+            telemetry.save_snapshot(telemetry.snapshot(), out)
+            print(f"telemetry: snapshot -> {out}")
+        except OSError as e:
+            print(f"telemetry: could not write snapshot: {e}",
+                  file=sys.stderr)
+    return 1 if summary.failed else 0
 
 
 def _cmd_reduce(args) -> int:
@@ -254,6 +347,43 @@ def main(argv=None) -> int:
                             "<corpus>/fuzz_telemetry.json)")
     p_run.add_argument("-v", "--verbose", action="store_true")
     p_run.set_defaults(fn=_cmd_run)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="sustained coverage-guided campaign (resumable, sharded)")
+    p_camp.add_argument("--dir", help="campaign directory (new campaign)")
+    p_camp.add_argument("--resume", metavar="DIR",
+                        help="continue a killed campaign exactly where "
+                             "its last checkpoint left off")
+    p_camp.add_argument("--seeds", type=int, default=200,
+                        help="fresh seed budget (default 200)")
+    p_camp.add_argument("--start", type=int, default=0)
+    p_camp.add_argument("--bug", choices=sorted(PLANTED_BUGS),
+                        help="apply a planted pass bug to optimized builds")
+    p_camp.add_argument("-j", "--jobs", type=int, default=1,
+                        help="persistent worker processes "
+                             "(0 = all cores; default 1)")
+    p_camp.add_argument("--batch", type=int, default=4,
+                        help="tasks per dispatched batch (pinned)")
+    p_camp.add_argument("--round-batches", type=int, default=8,
+                        help="batches per scheduling round (pinned)")
+    p_camp.add_argument("--audit-every", type=int, default=16,
+                        help="escalate every Nth fresh seed to the full "
+                             "matrix regardless of coverage (pinned)")
+    p_camp.add_argument("--rare-limit", type=int, default=2,
+                        help="a feature seen <= N times is rare (pinned)")
+    p_camp.add_argument("--mutants-per-parent", type=int, default=2,
+                        help="mutants scheduled per rare-coverage seed "
+                             "(pinned)")
+    p_camp.add_argument("--no-mutate", action="store_true",
+                        help="disable mutation scheduling (pure seed sweep)")
+    p_camp.add_argument("--checkpoint-every", type=int, default=1,
+                        help="checkpoint every N rounds (pinned)")
+    p_camp.add_argument("--max-rounds", type=int,
+                        help="stop after N rounds (the state stays "
+                             "resumable; used by tests and the CI smoke)")
+    p_camp.add_argument("-v", "--verbose", action="store_true")
+    p_camp.set_defaults(fn=_cmd_campaign)
 
     p_red = sub.add_parser("reduce", help="shrink a failing kernel")
     group = p_red.add_mutually_exclusive_group(required=True)

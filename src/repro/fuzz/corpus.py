@@ -69,12 +69,15 @@ def save_entry(
     bug: Optional[str] = None,
     expect: str = "pass",
     note: str = "",
+    repro: Optional[str] = None,
 ) -> Path:
     """Write one corpus entry; returns the file path.
 
     ``kernel`` is anything with ``name``/``source``/``bindings``.  The
     auto-generated ``repro`` field is the exact replay command for this
-    file, so a failing CI log points straight at a local repro.
+    file, so a failing CI log points straight at a local repro;
+    campaigns override it with a location-independent command so the
+    saved bytes never depend on where the campaign directory lives.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -90,7 +93,7 @@ def save_entry(
         "bug": bug,
         "expect": expect,
         "note": note,
-        "repro": (
+        "repro": repro if repro is not None else (
             f"PYTHONPATH=src python -m repro.fuzz replay {path.as_posix()}"
         ),
         "bindings": _bindings_to_json(kernel.bindings),
@@ -114,15 +117,21 @@ def load_entry(path: Path | str) -> CorpusEntry:
     )
 
 
+#: Non-kernel JSON files that live next to corpus entries: the fuzz
+#: telemetry snapshot, and a campaign directory's manifest / per-shard
+#: record files.  ``replay`` must skip them.
+_NON_ENTRY_NAMES = {"fuzz_telemetry.json", "manifest.json", "records.json"}
+
+
 def iter_entries(path: Path | str = DEFAULT_CORPUS_DIR) -> Iterator[Path]:
     p = Path(path)
     if p.is_file():
         yield p
         return
-    # ``fuzz run`` drops its telemetry snapshot next to the corpus
-    # entries; it is not a kernel and must not be replayed
-    yield from sorted(f for f in p.glob("*.json")
-                      if f.name != "fuzz_telemetry.json")
+    # recursive so ``fuzz replay CAMPAIGN_DIR`` replays every finding a
+    # sharded campaign saved (shard-NN/fz....json)
+    yield from sorted(f for f in p.rglob("*.json")
+                      if f.name not in _NON_ENTRY_NAMES)
 
 
 def replay_entry(entry: CorpusEntry, full: bool = False) -> OracleReport:

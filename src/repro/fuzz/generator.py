@@ -339,6 +339,26 @@ _CONSTS = [0.5, 1.5, 2.0, -0.5, -1.5, 0.25, 3.0, 0.75]
 _DIVISORS = [2.0, 4.0, -2.0, 1.5]
 _CMPS = ["<", ">", "<=", ">=", "==", "!="]
 
+#: Version of the generation grammar + binding formulas.  Campaign
+#: manifests pin this: a resumed campaign regenerates kernels from seeds,
+#: which is only sound while the generator still produces the same
+#: programs, so a resume across a grammar change must be refused.
+GENERATOR_VERSION = 1
+
+
+def init_values(arr: str, size: int, seed: int, is_int: bool) -> list:
+    """Deterministic initial contents for a generated array binding.
+
+    Module-level (rather than a closure in :func:`generate_kernel`) so
+    mutation operators that re-derive bindings after changing ``n`` can
+    reproduce the exact same data the generator would have produced.
+    """
+    salt = sum(ord(c) for c in arr)
+    if is_int:
+        return [float((i * 3 + salt + seed) % 5) for i in range(size)]
+    return [((i * 7 + salt + seed) % 11) / 11.0 + 0.25
+            for i in range(size)]
+
 
 class _Gen:
     def __init__(self, seed: int):
@@ -585,13 +605,6 @@ def generate_kernel(seed: int, name: Optional[str] = None) -> Kernel:
     req = collect_extents(body, n_val)
     sizes = {a: max(req.get(a, 1), 1) for a in g.farrays + g.iarrays}
 
-    def init_values(arr: str, size: int) -> list:
-        salt = sum(ord(c) for c in arr)
-        if arr in g.iarrays:
-            return [float((i * 3 + salt + seed) % 5) for i in range(size)]
-        return [((i * 7 + salt + seed) % 11) / 11.0 + 0.25
-                for i in range(size)]
-
     bindings: list = []
     if alias is not None:
         viewer, base, offset = alias
@@ -603,7 +616,9 @@ def generate_kernel(seed: int, name: Optional[str] = None) -> Kernel:
             bindings.append(("alias", p.name, alias[1], alias[2]))
         else:
             sz = sizes[p.name]
-            bindings.append(("array", p.name, sz, init_values(p.name, sz)))
+            bindings.append(("array", p.name, sz,
+                             init_values(p.name, sz, seed,
+                                         p.name in g.iarrays)))
 
     return Kernel(
         seed=seed,
@@ -617,7 +632,7 @@ def generate_kernel(seed: int, name: Optional[str] = None) -> Kernel:
 
 
 __all__ = [
-    "Assign", "Bin", "Cast", "ForLoop", "If", "Kernel", "Load", "Node",
-    "Num", "ParamSpec", "Stmt", "UnsafeAccess", "Var", "collect_extents",
-    "generate_kernel", "interval",
+    "Assign", "Bin", "Cast", "ForLoop", "GENERATOR_VERSION", "If",
+    "Kernel", "Load", "Node", "Num", "ParamSpec", "Stmt", "UnsafeAccess",
+    "Var", "collect_extents", "generate_kernel", "init_values", "interval",
 ]

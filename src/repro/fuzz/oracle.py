@@ -27,8 +27,11 @@ from __future__ import annotations
 
 import math
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+from repro import telemetry
 
 from repro.frontend import LoweringError, ParseError, compile_c
 from repro.frontend.lexer import LexError
@@ -298,6 +301,56 @@ def _compare(ref, got, cfg: Config) -> list[Mismatch]:
     return out
 
 
+# -- the O0 reference, memoized across calls ----------------------------------
+
+#: (source, bindings, max_steps) -> reference RunResult.  ``check_kernel``
+#: used to rebuild + re-run the O0 reference on *every* call, which the
+#: reducer (one call per candidate, explicit config subsets) and the
+#: campaign escalation tier (screen first, full matrix later) both pay
+#: for the same unchanged program.  Only successful runs are cached; the
+#: reference is never subject to planted bugs, so the cached result is
+#: config-independent.
+_REF_MEMO: OrderedDict = OrderedDict()
+_REF_MEMO_CAP = 64
+
+
+def _bindings_fingerprint(bindings: list):
+    return tuple(
+        (b[0], b[1], b[2], tuple(b[3])) if b[0] == "array" else tuple(b)
+        for b in bindings
+    )
+
+
+def clear_reference_memo() -> None:
+    _REF_MEMO.clear()
+
+
+def reference_run(spec: KernelSpec, max_steps: Optional[int] = None):
+    """Build + run the O0 reference for ``spec``, memoized.
+
+    Returns ``(result, mismatch)`` exactly like :func:`_run_config`.
+    """
+    key = (spec.source, _bindings_fingerprint(spec.bindings), max_steps)
+    hit = _REF_MEMO.get(key)
+    if hit is not None:
+        _REF_MEMO.move_to_end(key)
+        telemetry.counter("repro_fuzz_reference_runs_total",
+                          "O0 reference builds vs memo hits",
+                          outcome="reused").inc()
+        return hit, None
+    res, err = _run_config(
+        spec, Config("O0", backend="reference"), None, max_steps, False
+    )
+    telemetry.counter("repro_fuzz_reference_runs_total",
+                      "O0 reference builds vs memo hits",
+                      outcome="built").inc()
+    if err is None:
+        _REF_MEMO[key] = res
+        while len(_REF_MEMO) > _REF_MEMO_CAP:
+            _REF_MEMO.popitem(last=False)
+    return res, err
+
+
 # -- the oracle ---------------------------------------------------------------
 
 
@@ -322,9 +375,7 @@ def check_kernel(
     bug_fn = PLANTED_BUGS[bug] if bug else None
     report = OracleReport(name=spec.name)
 
-    ref, err = _run_config(
-        spec, Config("O0", backend="reference"), None, max_steps, False
-    )
+    ref, err = reference_run(spec, max_steps)
     report.configs_run += 1
     if err is not None:
         report.mismatches.append(err)
@@ -395,5 +446,6 @@ def check_kernel(
 __all__ = [
     "ABS_TOL", "CROSS_BACKENDS", "CROSS_BACKEND_CONFIG", "Config",
     "KernelSpec", "Mismatch", "OracleReport", "REL_TOL", "check_kernel",
-    "default_configs", "full_configs",
+    "clear_reference_memo", "default_configs", "full_configs",
+    "reference_run",
 ]

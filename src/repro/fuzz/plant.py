@@ -52,6 +52,28 @@ def _drop_guard(module) -> int:
     return n
 
 
+def _vec_swap_sub(module) -> int:
+    """Swap the operands of *vector* subtractions only.
+
+    The rare-trigger sibling of ``swap-sub``: it fires only when the SLP
+    vectorizer actually packed a subtraction into a ``VecBin``, so most
+    kernels are immune and the miscompile hides behind a specific
+    optimization decision.  This is the shape of bug coverage-guided
+    scheduling exists for — a random sweep burns seeds on immune
+    kernels, while mutating seeds whose remark stream shows rare SLP
+    coverage reaches a triggering kernel in far fewer tasks.
+    """
+    n = 0
+    for fn in module.functions.values():
+        for inst in fn.instructions():
+            if isinstance(inst, VecBin) and inst.op == "sub":
+                a, b = inst.operands
+                inst.set_operand(0, b)
+                inst.set_operand(1, a)
+                n += 1
+    return n
+
+
 def _stale_mul(module) -> int:
     """Turn every multiplication into an addition.
 
@@ -70,6 +92,7 @@ def _stale_mul(module) -> int:
 
 PLANTED_BUGS = {
     "swap-sub": _swap_sub,
+    "vec-swap-sub": _vec_swap_sub,
     "drop-guard": _drop_guard,
     "mul-to-add": _stale_mul,
 }

@@ -1,0 +1,346 @@
+"""Coverage-guided, deterministic campaign scheduling.
+
+A sustained fuzzing campaign should not spend its oracle budget
+uniformly: programs that make the optimizer take *rare* decisions are
+where miscompiles hide.  The diag remark stream (PR 2) is a free
+coverage signal — every pass already explains what it did and why — so
+this module turns remarks into **coverage features** (pass-decision
+tuples), keeps a campaign-wide frequency map, and schedules
+generator-parameter **mutations** of seeds that hit rare features ahead
+of fresh random seeds.
+
+Everything here is deterministic by construction: the priority queue
+breaks ties by insertion order, mutations derive from
+``random.Random`` streams seeded by ``(seed, variant)`` only, and the
+whole scheduler state round-trips through JSON — that is what makes
+killed campaigns resumable with bit-identical results
+(:mod:`repro.fuzz.shard`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .generator import (
+    Assign,
+    Bin,
+    Cast,
+    ForLoop,
+    If,
+    Kernel,
+    Load,
+    Num,
+    UnsafeAccess,
+    collect_extents,
+    generate_kernel,
+    init_values,
+)
+from .generator import _CONSTS  # the generator's own constant pool
+
+#: Priority classes, most urgent first.  Escalations re-run a program the
+#: screening tier already flagged (failure / novel coverage / audit), so
+#: they preempt everything; mutants of rare-coverage parents preempt
+#: fresh seeds.
+CLASS_ESCALATION = 0
+CLASS_MUTANT = 1
+CLASS_FRESH = 2
+
+
+# ---------------------------------------------------------------------------
+# Coverage features from the remark stream
+# ---------------------------------------------------------------------------
+
+
+def coverage_features(remarks: Iterable) -> tuple:
+    """Distinct pass-decision tuples of one kernel's build, as strings.
+
+    A feature is ``pass:kind:template`` — the *unformatted* message
+    template keeps cardinality low (hundreds, not millions), and
+    deliberately excludes the function name and location so the same
+    decision in two kernels is the same feature.
+    """
+    feats = {f"{r.pass_name}:{r.kind}:{r.message}" for r in remarks}
+    return tuple(sorted(feats))
+
+
+class CoverageMap:
+    """Campaign-wide frequency map over coverage features."""
+
+    def __init__(self, counts: Optional[dict] = None):
+        self.counts: dict[str, int] = dict(counts or {})
+
+    def observe(self, features: Iterable[str]) -> list[str]:
+        """Count one kernel's features; returns the never-seen-before ones."""
+        new = []
+        for f in features:
+            if f not in self.counts:
+                new.append(f)
+            self.counts[f] = self.counts.get(f, 0) + 1
+        return new
+
+    def rarity(self, features: Iterable[str]) -> Optional[int]:
+        """The count of the rarest feature (post-observe), or None."""
+        counts = [self.counts.get(f, 0) for f in features]
+        return min(counts) if counts else None
+
+    def to_json(self) -> dict:
+        return dict(sorted(self.counts.items()))
+
+    @classmethod
+    def from_json(cls, d: dict) -> "CoverageMap":
+        return cls(d)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic generator-parameter mutations
+# ---------------------------------------------------------------------------
+
+
+def _value_exprs(body: list):
+    """Yield every *value* expression tree in ``body`` (assignment RHSs
+    and if-conditions) — never index expressions, which are bounds-proved
+    and must not be perturbed."""
+    for st in body:
+        if isinstance(st, ForLoop):
+            yield from _value_exprs(st.body)
+        elif isinstance(st, If):
+            yield st.cond
+            yield from _value_exprs(st.then)
+            yield from _value_exprs(st.els)
+        elif isinstance(st, Assign):
+            yield st.expr
+
+
+def _walk_values(node):
+    """Pre-order walk of one value expression, skipping ``Load.index``."""
+    yield node
+    if isinstance(node, Bin):
+        yield from _walk_values(node.lhs)
+        yield from _walk_values(node.rhs)
+    elif isinstance(node, Cast):
+        yield from _walk_values(node.operand)
+
+
+def _float_consts(kernel: Kernel) -> list:
+    return [n for e in _value_exprs(kernel.body) for n in _walk_values(e)
+            if isinstance(n, Num) and n.is_float]
+
+
+def _arith_bins(kernel: Kernel) -> list:
+    return [n for e in _value_exprs(kernel.body) for n in _walk_values(e)
+            if isinstance(n, Bin) and n.op in ("+", "-", "*")]
+
+
+def _mutate_const(kernel: Kernel, rng: random.Random) -> bool:
+    nums = _float_consts(kernel)
+    if not nums:
+        return False
+    num = rng.choice(nums)
+    pool = [c for c in _CONSTS if c != num.value]
+    num.value = rng.choice(pool)
+    return True
+
+
+def _mutate_opswap(kernel: Kernel, rng: random.Random) -> bool:
+    bins = _arith_bins(kernel)
+    if not bins:
+        return False
+    b = rng.choice(bins)
+    b.op = {"+": "-", "-": "+", "*": "+"}[b.op]
+    return True
+
+
+def _mutate_restrict(kernel: Kernel, rng: random.Random) -> bool:
+    marked = [p for p in kernel.params if p.is_array and p.restrict]
+    if not marked:
+        return False
+    for p in marked:
+        p.restrict = False
+    kernel.features.discard("restrict")
+    return True
+
+
+def _mutate_resize(kernel: Kernel, rng: random.Random) -> bool:
+    """Change the runtime trip count ``n`` and re-derive every binding.
+
+    Array sizes and initial values are recomputed exactly the way the
+    generator computes them (shared :func:`~.generator.init_values` and
+    interval-arithmetic extents), so the mutant stays in bounds by
+    construction.
+    """
+    old_n = kernel.n_val
+    choices = [n for n in (0, 1, 2, 4, 6, 8, 12, 16, 24) if n != old_n]
+    new_n = rng.choice(choices)
+    try:
+        req = collect_extents(kernel.body, new_n)
+    except UnsafeAccess:
+        return False
+    alias = next((b for b in kernel.bindings if b[0] == "alias"), None)
+    iarrays = {p.name for p in kernel.params
+               if p.is_array and p.elem == "int"}
+    sizes = {p.name: max(req.get(p.name, 1), 1)
+             for p in kernel.params if p.is_array}
+    if alias is not None:
+        _, viewer, base, offset = alias
+        sizes[base] = max(sizes[base], offset + sizes[viewer])
+    bindings: list = []
+    for p in kernel.params:
+        if not p.is_array:
+            bindings.append(("scalar", p.name, new_n))
+        elif alias is not None and p.name == alias[1]:
+            bindings.append(alias)
+        else:
+            sz = sizes[p.name]
+            bindings.append(("array", p.name, sz,
+                             init_values(p.name, sz, kernel.seed,
+                                         p.name in iarrays)))
+    kernel.bindings = bindings
+    return True
+
+
+_MUTATORS = [
+    ("resize", _mutate_resize),
+    ("const", _mutate_const),
+    ("opswap", _mutate_opswap),
+    ("restrict", _mutate_restrict),
+]
+
+
+def mutate_kernel(seed: int, variant: int, name: Optional[str] = None) -> Kernel:
+    """Deterministic structural mutation ``variant`` of ``seed``'s kernel.
+
+    Regenerates the base kernel, applies one mutation operator chosen by
+    a ``Random`` stream keyed on ``(seed, variant)`` (falling back down
+    the operator list when an operator does not apply), and revalidates
+    bounds.  Same ``(seed, variant)`` → same mutant, always.
+    """
+    kernel = generate_kernel(seed, name=name or f"fz{seed:06d}m{variant:02d}")
+    rng = random.Random((seed << 16) ^ (variant * 0x9E3779B1) ^ 0x5EED)
+    order = list(_MUTATORS)
+    rng.shuffle(order)
+    for _name, op in order:
+        if op(kernel, rng):
+            try:
+                kernel.validate()
+            except UnsafeAccess:
+                # an operator slipped out of bounds (defensive — resize
+                # recomputes sizes and the others never touch indices);
+                # regenerate and try the next operator
+                kernel = generate_kernel(
+                    seed, name=name or f"fz{seed:06d}m{variant:02d}")
+                continue
+            kernel.features.add(f"mutant:{_name}")
+            return kernel
+    return kernel  # no operator applied: the mutant is the base kernel
+
+
+# ---------------------------------------------------------------------------
+# Deterministic priority queue
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of oracle work.
+
+    * ``kind="seed"``    — screen a fresh generator seed;
+    * ``kind="mutant"``  — screen mutation ``variant`` (≥ 1) of ``seed``;
+    * ``kind="full"``    — escalation: full differential matrix for the
+      program ``key`` already screened (``reason`` says why).
+
+    ``variant`` is 0 for un-mutated programs and ≥ 1 for mutants —
+    including on ``full`` tasks, which re-run whatever program the
+    screening task materialized.
+    """
+
+    kind: str
+    seed: int
+    variant: int = 0
+    reason: str = ""
+
+    @property
+    def key(self) -> str:
+        if self.variant:
+            return f"fz{self.seed:06d}m{self.variant:02d}"
+        return f"fz{self.seed:06d}"
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "seed": self.seed,
+                "variant": self.variant, "reason": self.reason}
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Task":
+        return cls(d["kind"], d["seed"], d.get("variant", 0),
+                   d.get("reason", ""))
+
+
+@dataclass
+class Scheduler:
+    """Deterministic priority queue over campaign tasks.
+
+    Fresh seeds live behind a cursor (``next_fresh`` .. ``fresh_end``)
+    so the queue itself only ever holds escalations and mutants.  Heap
+    entries are ``(class, rank, order, task)``: class picks the tier,
+    ``rank`` orders within it (mutants of rarer parents first), and the
+    monotone ``order`` counter breaks every tie — so the same state
+    always drains in the same order, whatever produced it.
+    """
+
+    next_fresh: int
+    fresh_end: int
+    _heap: list = field(default_factory=list)
+    _order: int = 0
+
+    def push_escalation(self, task: Task) -> None:
+        heapq.heappush(
+            self._heap,
+            (CLASS_ESCALATION, 0, self._order, task.to_json()),
+        )
+        self._order += 1
+
+    def push_mutant(self, task: Task, rarity: int) -> None:
+        heapq.heappush(
+            self._heap, (CLASS_MUTANT, rarity, self._order, task.to_json())
+        )
+        self._order += 1
+
+    def pending(self) -> int:
+        return len(self._heap) + max(0, self.fresh_end - self.next_fresh)
+
+    def next_batch(self, n: int) -> list[Task]:
+        batch: list[Task] = []
+        while len(batch) < n:
+            if self._heap:
+                _, _, _, tj = heapq.heappop(self._heap)
+                batch.append(Task.from_json(tj))
+            elif self.next_fresh < self.fresh_end:
+                batch.append(Task("seed", self.next_fresh))
+                self.next_fresh += 1
+            else:
+                break
+        return batch
+
+    def to_json(self) -> dict:
+        return {
+            "next_fresh": self.next_fresh,
+            "fresh_end": self.fresh_end,
+            "order": self._order,
+            "heap": [[c, r, o, tj] for c, r, o, tj in sorted(self._heap)],
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Scheduler":
+        sched = cls(d["next_fresh"], d["fresh_end"])
+        sched._order = d["order"]
+        sched._heap = [(c, r, o, tj) for c, r, o, tj in d["heap"]]
+        heapq.heapify(sched._heap)
+        return sched
+
+
+__all__ = [
+    "CLASS_ESCALATION", "CLASS_FRESH", "CLASS_MUTANT", "CoverageMap",
+    "Scheduler", "Task", "coverage_features", "mutate_kernel",
+]

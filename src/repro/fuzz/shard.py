@@ -1,0 +1,190 @@
+"""Sharded, resumable campaign state on disk.
+
+A campaign directory is a self-describing corpus of everything a
+sustained fuzzing run has decided so far::
+
+    campaign/
+      manifest.json        # pins + scheduler/coverage/dedup state + counts
+      cache/               # the campaign's private REPRO_CACHE_DIR
+      shard-00/ .. shard-NN/
+        records.json       # task key -> outcome (this shard's slice)
+        fz....json         # failure findings (standard corpus entries)
+
+Records are sharded by the SHA-256 of the task key so a huge campaign
+never rewrites one giant file per checkpoint — only dirty shards are
+rewritten, atomically (`tmp` + ``os.replace``).  The manifest pins the
+generator grammar version, the artifact FORMAT_VERSION of the disk
+cache, and the config-matrix description; ``--resume`` refuses a
+directory whose pins do not match the running code, because a resumed
+campaign regenerates kernels from seeds and replays artifacts from the
+cache — both only sound at the pinned versions.
+
+Nothing in the manifest or the records depends on wall-clock time or
+worker scheduling, which is what makes a killed-and-resumed campaign's
+final state bit-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.perf import diskcache
+
+from .generator import GENERATOR_VERSION
+
+CAMPAIGN_FORMAT_VERSION = 1
+DEFAULT_NUM_SHARDS = 16
+
+
+class CampaignStateError(Exception):
+    """A campaign directory is missing, corrupt, or pinned to other
+    versions of the generator / artifact format."""
+
+
+def shard_of(key: str, num_shards: int = DEFAULT_NUM_SHARDS) -> int:
+    """Stable shard index for a task key (hash prefix, not seed modulo,
+    so mutants of one seed spread across shards)."""
+    h = hashlib.sha256(key.encode("utf-8")).hexdigest()
+    return int(h[:8], 16) % num_shards
+
+
+def content_hash(name: str, source: str, bindings: list) -> str:
+    """Content hash of a generated program: source + initial data.
+
+    The kernel's own name is normalized out — every generated kernel
+    embeds its unique ``fzNNNNNN`` name in the signature, and the name
+    has no semantic effect, so two seeds (or a seed and a mutant)
+    producing the same program modulo name are true duplicates.  Equal
+    hashes run the exact same differential matrix; the dedup index maps
+    the hash to the first task's key and later hits skip the whole
+    matrix.
+    """
+    normalized = source.replace(name, "@kernel") if name else source
+    payload = normalized + "\x00" + json.dumps(bindings, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def _atomic_write_json(path: Path, payload) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+class CampaignStore:
+    """Owns one campaign directory: manifest + sharded records."""
+
+    def __init__(self, root: Path | str,
+                 num_shards: int = DEFAULT_NUM_SHARDS):
+        self.root = Path(root)
+        self.num_shards = num_shards
+        self.records: dict[int, dict] = {i: {} for i in range(num_shards)}
+        self._dirty: set[int] = set()
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def shard_dir(self, idx: int) -> Path:
+        return self.root / f"shard-{idx:02d}"
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.root / "cache"
+
+    # -- records ----------------------------------------------------------
+
+    def record(self, key: str, rec: dict) -> None:
+        idx = shard_of(key, self.num_shards)
+        self.records[idx][key] = rec
+        self._dirty.add(idx)
+
+    def get_record(self, key: str) -> Optional[dict]:
+        return self.records[shard_of(key, self.num_shards)].get(key)
+
+    def all_records(self) -> dict:
+        out: dict = {}
+        for recs in self.records.values():
+            out.update(recs)
+        return out
+
+    # -- checkpointing -----------------------------------------------------
+
+    def create(self, manifest: dict) -> None:
+        if self.manifest_path.exists():
+            raise CampaignStateError(
+                f"{self.root} already holds a campaign; use --resume "
+                f"(or a fresh directory)"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.cache_dir.mkdir(exist_ok=True)
+        self.checkpoint(manifest)
+
+    def checkpoint(self, manifest: dict) -> None:
+        """Atomically persist the manifest and every dirty shard."""
+        for idx in sorted(self._dirty):
+            sdir = self.shard_dir(idx)
+            sdir.mkdir(parents=True, exist_ok=True)
+            _atomic_write_json(
+                sdir / "records.json",
+                dict(sorted(self.records[idx].items())),
+            )
+        self._dirty.clear()
+        _atomic_write_json(self.manifest_path, manifest)
+
+    def load(self) -> dict:
+        """Read the manifest + all shard records; validates the pins."""
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except FileNotFoundError:
+            raise CampaignStateError(
+                f"{self.root} has no manifest.json — not a campaign "
+                f"directory"
+            ) from None
+        except ValueError as e:
+            raise CampaignStateError(
+                f"{self.manifest_path}: corrupt manifest: {e}"
+            ) from None
+        pins = manifest.get("pins", {})
+        expect = current_pins()
+        for k, v in expect.items():
+            if pins.get(k) != v:
+                raise CampaignStateError(
+                    f"{self.root}: pinned {k}={pins.get(k)!r} but the "
+                    f"running code has {v!r}; a campaign cannot resume "
+                    f"across that change"
+                )
+        self.num_shards = manifest["campaign"]["num_shards"]
+        self.records = {i: {} for i in range(self.num_shards)}
+        for idx in range(self.num_shards):
+            p = self.shard_dir(idx) / "records.json"
+            if p.exists():
+                self.records[idx] = json.loads(p.read_text())
+        self._dirty.clear()
+        return manifest
+
+    def finding_dir(self, key: str) -> Path:
+        """Where a failure finding for ``key`` is saved (its shard)."""
+        d = self.shard_dir(shard_of(key, self.num_shards))
+        d.mkdir(parents=True, exist_ok=True)
+        return d
+
+
+def current_pins() -> dict:
+    """The version pins a new campaign manifest records."""
+    return {
+        "campaign_format": CAMPAIGN_FORMAT_VERSION,
+        "generator_version": GENERATOR_VERSION,
+        "artifact_format": diskcache.FORMAT_VERSION,
+    }
+
+
+__all__ = [
+    "CAMPAIGN_FORMAT_VERSION", "CampaignStateError", "CampaignStore",
+    "DEFAULT_NUM_SHARDS", "content_hash", "current_pins", "shard_of",
+]

@@ -1,14 +1,17 @@
 """Regression gate over benchmark trajectories (``telemetry check``).
 
-``BENCH_interp.json`` and ``BENCH_build.json`` are the repo's longitudinal
-performance record — every CI run regenerates them.  This module turns
+``BENCH_interp.json``, ``BENCH_build.json``, and ``BENCH_fuzz.json`` are
+the repo's longitudinal performance record — every CI run regenerates
+them.  This module turns
 them into a *gate*: a list of threshold rules, each a dotted path into
 one of the JSON payloads plus a comparison, evaluated and rendered as a
 pass/fail table.  The default rules pin the floors the repo's own bench
 tests already assert (compiled ≥3x, fused ≥2x over compiled, array speed
 mode ≥3x over fused, cold builds ≥2x and warm ≥10x over the pinned
-baseline, bit-identical warm artifacts and speed-mode checksums), so a
-PR that regresses a trajectory fails CI even if no unit test notices.
+baseline, bit-identical warm artifacts and speed-mode checksums, the
+campaign engine ≥3x seeds/sec over ``fuzz run`` with a mismatch-free
+500-seed sweep), so a PR that regresses a trajectory fails CI even if
+no unit test notices.
 
 Custom rules come from a JSON file (``--thresholds``): a list of objects
 ``{"file", "path", "op", "value", ...}``; ``op`` is one of ``>= <= > <
@@ -40,6 +43,18 @@ DEFAULT_THRESHOLDS = [
      "op": ">=", "value": 10.0},
     {"file": "BENCH_build.json", "path": "all_warm_identical",
      "op": "truthy", "value": True},
+    {"file": "BENCH_fuzz.json", "path": "speedup_seeds_per_sec",
+     "op": ">=", "value": 3.0},
+    {"file": "BENCH_fuzz.json", "path": "speedup_configs_per_sec",
+     "op": ">=", "value": 1.0},
+    {"file": "BENCH_fuzz.json", "path": "sweep.seeds",
+     "op": ">=", "value": 500},
+    {"file": "BENCH_fuzz.json", "path": "sweep.mismatches",
+     "op": "==", "value": 0},
+    # a collapsing generator would make the dedup rate explode — the
+    # campaign must be skipping true duplicates, not most of its work
+    {"file": "BENCH_fuzz.json", "path": "campaign.dedup_rate",
+     "op": "<=", "value": 0.5},
 ]
 
 _OPS = {

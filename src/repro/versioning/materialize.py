@@ -99,26 +99,50 @@ class Materializer:
         # condition promotion (§IV-A) may have re-anchored some checks to
         # outer scopes; each anchor group gets its own check, residual
         # conditions are checked in place, and the ok values combine
+        # Checks run under a guard implied by every versioned node's
+        # predicate (the intersection of their literal sets): condition
+        # operands such as inter-loop induction merges are only bound when
+        # the guarded region executes, so an unconditional check would read
+        # unbound values (e.g. an epilogue-loop bound of `i.mid` with
+        # `n == 0`).  Whenever any node's predicate holds the guard holds
+        # too, so ``ok`` is always bound where the strengthened predicates
+        # need it.
+        node_guard = Predicate(
+            frozenset.intersection(*(n.predicate.literals for n in nodes))
+        )
         ok_vals: list[Value] = []
+        guards: list[Predicate] = []
         groups: dict[int, tuple] = {}
         for cond, (h_scope, h_anchor) in plan.hoisted_conditions:
             entry = groups.setdefault(id(h_anchor), (h_scope, h_anchor, []))
             entry[2].append(cond)
         for h_scope, h_anchor, conds in groups.values():
             self._hoist_condition_chains(h_scope, conds, h_anchor, set())
-            ok_vals.append(self._emit_check(h_scope, conds, h_anchor))
+            ok_vals.append(
+                self._emit_check(h_scope, conds, h_anchor, h_anchor.predicate)
+            )
+            guards.append(h_anchor.predicate)
         if plan.conditions:
             self._hoist_condition_chains(
                 scope, plan.conditions, anchor, {id(n) for n in nodes}
             )
-            ok_vals.append(self._emit_check(scope, plan.conditions, anchor))
+            ok_vals.append(
+                self._emit_check(scope, plan.conditions, anchor, node_guard)
+            )
+            guards.append(node_guard)
         if len(ok_vals) == 1:
             ok = ok_vals[0]
         else:
+            # combining reads every component ok, so the combiner's guard is
+            # the conjunction of the component guards (each is implied by
+            # any node predicate, so the conjunction is too)
+            comb_pred = Predicate(
+                frozenset().union(*(g.literals for g in guards))
+            )
             acc = ok_vals[0]
             for v in ok_vals[1:]:
                 combined = BinOp("and", acc, v, name="vchk")
-                combined.set_predicate(Predicate.true())
+                combined.set_predicate(comb_pred)
                 scope.insert_before(anchor, combined)
                 acc = combined
             ok = acc
@@ -205,9 +229,13 @@ class Materializer:
     # -- check emission ---------------------------------------------------------------
 
     def _emit_check(
-        self, scope: ScopeMixin, conditions: list[DepCond], anchor: Item
+        self,
+        scope: ScopeMixin,
+        conditions: list[DepCond],
+        anchor: Item,
+        guard: Predicate,
     ) -> Value:
-        key = (id(scope), frozenset(conditions))
+        key = (id(scope), frozenset(conditions), guard)
         cached = self._check_cache.get(key)
         if cached is not None:
             pos = {id(it): i for i, it in enumerate(scope.items)}
@@ -217,8 +245,8 @@ class Materializer:
 
         emitted: list[Instruction] = []
 
-        def emit(inst: Instruction, pred: Predicate = Predicate.true()) -> Instruction:
-            inst.set_predicate(pred)
+        def emit(inst: Instruction, pred: Optional[Predicate] = None) -> Instruction:
+            inst.set_predicate(guard if pred is None else pred)
             scope.insert_before(anchor, inst)
             emitted.append(inst)
             return inst

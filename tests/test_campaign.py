@@ -1,0 +1,266 @@
+"""The campaign engine: scheduling, mutation, sharding, resume identity.
+
+Covers the guarantees the campaign subsystem documents: deterministic
+coverage-guided scheduling (same state always drains in the same order,
+and survives a JSON round trip mid-drain), deterministic in-bounds
+mutants, content-hash dedup that skips whole oracle matrices, the
+screening tier agreeing with the full oracle on pass/fail, and the
+headline resumability contract — a campaign killed at a round boundary
+and resumed produces a directory bit-identical to an uninterrupted run,
+even when resumed with a different worker count.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.fuzz import check_kernel, generate_kernel
+from repro.fuzz.campaign import Campaign, CampaignConfig, run_campaign, screen_kernel
+from repro.fuzz.cli import main as fuzz_main
+from repro.fuzz.schedule import (
+    CoverageMap,
+    Scheduler,
+    Task,
+    coverage_features,
+    mutate_kernel,
+)
+from repro.fuzz.shard import (
+    CampaignStateError,
+    CampaignStore,
+    content_hash,
+    current_pins,
+    shard_of,
+)
+
+
+# -- coverage features --------------------------------------------------------
+
+
+def _remark(pass_name, kind, message):
+    return SimpleNamespace(pass_name=pass_name, kind=kind, message=message)
+
+
+def test_coverage_features_are_templates_not_instances():
+    remarks = [
+        _remark("slp", "vectorized", "packed {n} stores"),
+        _remark("slp", "vectorized", "packed {n} stores"),  # dup collapses
+        _remark("licm", "hoisted", "{inst} out of {loop}"),
+    ]
+    feats = coverage_features(remarks)
+    assert feats == (
+        "licm:hoisted:{inst} out of {loop}",
+        "slp:vectorized:packed {n} stores",
+    )
+
+
+def test_coverage_map_observe_rarity_roundtrip():
+    cm = CoverageMap()
+    assert cm.observe(["a", "b"]) == ["a", "b"]  # both novel
+    assert cm.observe(["a"]) == []
+    assert cm.rarity(["a", "b"]) == 1  # b is the rarest
+    assert cm.rarity([]) is None
+    back = CoverageMap.from_json(json.loads(json.dumps(cm.to_json())))
+    assert back.counts == cm.counts
+
+
+# -- mutation -----------------------------------------------------------------
+
+
+def test_mutants_are_deterministic_and_in_bounds():
+    for seed in range(12):
+        for variant in (1, 2):
+            a = mutate_kernel(seed, variant)
+            b = mutate_kernel(seed, variant)
+            assert a.name == f"fz{seed:06d}m{variant:02d}"
+            assert a.source == b.source
+            assert a.bindings == b.bindings
+            compile_c(a.source)  # parses
+            a.validate()  # in bounds by construction
+
+
+def test_mutants_actually_mutate():
+    """Across a seed range, mutants differ from their base kernels."""
+    changed = 0
+    for seed in range(12):
+        base = generate_kernel(seed)
+        m = mutate_kernel(seed, 1)
+        norm = m.source.replace(m.name, base.name)
+        if norm != base.source or m.bindings != base.bindings:
+            changed += 1
+    assert changed >= 10  # the no-op fallback is the rare case
+
+
+# -- scheduler ----------------------------------------------------------------
+
+
+def test_scheduler_priority_classes_and_tie_order():
+    s = Scheduler(0, 3)  # fresh seeds 0, 1, 2
+    s.push_mutant(Task("mutant", 7, 1), rarity=2)
+    s.push_mutant(Task("mutant", 9, 1), rarity=1)  # rarer parent first
+    s.push_mutant(Task("mutant", 8, 1), rarity=1)  # ...then insertion order
+    s.push_escalation(Task("full", 5, 0, "failure"))  # preempts everything
+    keys = [t.key for t in s.next_batch(10)]
+    assert keys == [
+        "fz000005", "fz000009m01", "fz000008m01", "fz000007m01",
+        "fz000000", "fz000001", "fz000002",
+    ]
+    assert s.pending() == 0
+    assert s.next_batch(4) == []
+
+
+def test_scheduler_json_roundtrip_mid_drain():
+    a = Scheduler(0, 6)
+    b = Scheduler(0, 6)
+    for s in (a, b):
+        s.push_mutant(Task("mutant", 3, 1), rarity=1)
+        s.push_escalation(Task("full", 0, 0, "audit"))
+    a.next_batch(2)  # drain partially...
+    b.next_batch(2)
+    b = Scheduler.from_json(json.loads(json.dumps(b.to_json())))  # ...persist
+    assert [t.key for t in a.next_batch(10)] == \
+        [t.key for t in b.next_batch(10)]
+    assert a.pending() == b.pending() == 0
+
+
+def test_task_key_encodes_variant():
+    assert Task("seed", 12).key == "fz000012"
+    assert Task("mutant", 12, 3).key == "fz000012m03"
+    # a full escalation of a mutant keeps the mutant's key
+    assert Task("full", 12, 3, "failure").key == "fz000012m03"
+    t = Task.from_json(json.loads(json.dumps(Task("mutant", 5, 2).to_json())))
+    assert t == Task("mutant", 5, 2)
+
+
+# -- sharded store ------------------------------------------------------------
+
+
+def test_shard_of_is_stable_and_bounded():
+    for key in ("fz000000", "fz000012m01", "anything"):
+        idx = shard_of(key, 16)
+        assert 0 <= idx < 16
+        assert shard_of(key, 16) == idx
+
+
+def test_content_hash_normalizes_the_kernel_name():
+    a = generate_kernel(5, name="fz000005")
+    b = generate_kernel(5, name="completely_different")
+    assert content_hash(a.name, a.source, a.bindings) == \
+        content_hash(b.name, b.source, b.bindings)
+    c = generate_kernel(6, name="fz000006")
+    assert content_hash(a.name, a.source, a.bindings) != \
+        content_hash(c.name, c.source, c.bindings)
+
+
+def test_store_refuses_create_over_existing_campaign(tmp_path):
+    store = CampaignStore(tmp_path / "c", num_shards=4)
+    store.create({"pins": current_pins(), "campaign": {"num_shards": 4}})
+    with pytest.raises(CampaignStateError, match="already holds"):
+        CampaignStore(tmp_path / "c", num_shards=4).create({})
+
+
+def test_store_load_refuses_pin_mismatch(tmp_path):
+    store = CampaignStore(tmp_path / "c", num_shards=4)
+    manifest = {"pins": current_pins(), "campaign": {"num_shards": 4}}
+    store.create(manifest)
+    bad = dict(manifest, pins=dict(current_pins(), generator_version=999))
+    store.checkpoint(bad)
+    with pytest.raises(CampaignStateError, match="generator_version"):
+        CampaignStore(tmp_path / "c").load()
+
+
+# -- screening tier -----------------------------------------------------------
+
+
+def test_screen_agrees_with_full_oracle():
+    """Clean on HEAD; catches the same planted bug the full matrix does."""
+    spec = generate_kernel(0, name="fz000000")
+    report, features = screen_kernel(spec)
+    assert report.ok, "\n".join(str(m) for m in report.mismatches)
+    assert features, "the supervec+v build must emit coverage remarks"
+    # far cheaper than the full matrix: O0 + 4 backends + O3
+    assert report.configs_run <= 7
+    bad, _ = screen_kernel(spec, bug="drop-guard")
+    assert not bad.ok
+    assert check_kernel(spec, bug="drop-guard").ok == bad.ok
+
+
+# -- the campaign engine ------------------------------------------------------
+
+# small but real: screens, audits, escalations, mutants, and (under
+# vec-swap-sub) a rare planted bug only vectorized subtractions trigger
+_CFG = dict(seeds=10, bug="vec-swap-sub", batch=3, round_batches=2,
+            mutants_per_parent=1, num_shards=4)
+
+
+def _tree(root):
+    return {
+        p.relative_to(root).as_posix(): p.read_bytes()
+        for p in root.rglob("*")
+        if p.is_file() and "cache" not in p.relative_to(root).parts
+    }
+
+
+def test_campaign_kill_and_resume_is_bit_identical(tmp_path):
+    """The headline resumability contract, including across -j changes."""
+    sa = run_campaign(tmp_path / "A", CampaignConfig(**_CFG), jobs=1)
+    # "kill" after one round (a checkpoint boundary), resume with a pool
+    sb = run_campaign(tmp_path / "B", CampaignConfig(**_CFG), jobs=1,
+                      max_rounds=1)
+    assert sb.rounds < sa.rounds  # genuinely interrupted
+    sb = run_campaign(tmp_path / "B", jobs=2, resume=True)
+    assert sb.to_json() == sa.to_json()
+    ta, tb = _tree(tmp_path / "A"), _tree(tmp_path / "B")
+    assert set(ta) == set(tb)
+    assert [k for k in sorted(ta) if ta[k] != tb[k]] == []
+    # the rare bug was found and saved as a replayable finding
+    assert sa.failed >= 1 and sa.findings
+    manifest = json.loads((tmp_path / "A" / "manifest.json").read_text())
+    assert manifest["done"] is True
+    assert manifest["pins"] == current_pins()
+    # findings carry location-independent repro commands
+    entry = json.loads(
+        (tmp_path / "A" / sorted(sa.findings)[0]).read_text())
+    assert str(tmp_path) not in entry["repro"]
+    assert "<campaign>/" in entry["repro"]
+
+
+def test_campaign_resume_finished_is_a_noop(tmp_path):
+    cfg = CampaignConfig(seeds=2, batch=2, round_batches=1, mutate=False,
+                         num_shards=2)
+    s1 = run_campaign(tmp_path / "c", cfg, jobs=1)
+    s2 = run_campaign(tmp_path / "c", jobs=1, resume=True)
+    assert s2.rounds == s1.rounds  # nothing pending, nothing re-run
+    assert s2.to_json() == s1.to_json()
+
+
+def test_campaign_dedup_skips_known_content(tmp_path):
+    cfg = CampaignConfig(seeds=1, batch=1, round_batches=1, mutate=False,
+                         audit_every=1000, num_shards=2)
+    camp = Campaign.create(tmp_path / "c", cfg)
+    k = generate_kernel(0, name="fz000000")
+    camp.dedup[content_hash(k.name, k.source, k.bindings)] = "fz999999"
+    camp.run(jobs=1)
+    assert camp.summary.dups == 1
+    assert camp.summary.configs == 0  # the whole matrix was skipped
+    rec = camp.store.get_record("fz000000")
+    assert rec == {"kind": "seed", "outcome": "dup", "dup_of": "fz999999"}
+
+
+def test_campaign_cli_smoke_and_pin_refusal(tmp_path, capsys):
+    d = tmp_path / "camp"
+    rc = fuzz_main([
+        "campaign", "--dir", str(d), "--seeds", "3", "--batch", "2",
+        "--round-batches", "2", "--no-mutate", "-j", "1",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "campaign:" in out and "3 seeds" in out
+    assert (d / "fuzz_telemetry.json").exists()
+    # a pin drift makes resume refuse loudly instead of mis-replaying
+    manifest = json.loads((d / "manifest.json").read_text())
+    manifest["pins"]["artifact_format"] = -1
+    (d / "manifest.json").write_text(json.dumps(manifest))
+    assert fuzz_main(["campaign", "--resume", str(d)]) == 2
+    assert "artifact_format" in capsys.readouterr().err

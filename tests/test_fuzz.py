@@ -133,6 +133,28 @@ def test_reducer_raises_on_passing_kernel():
         reduce_kernel(generate_kernel(0, name="fz000000"))
 
 
+# -- hoisted O0 reference -----------------------------------------------------
+
+
+def test_reference_built_exactly_once_per_seed():
+    """Explicit config subsets reuse one memoized O0 reference run."""
+    from repro import telemetry
+    from repro.fuzz import clear_reference_memo
+
+    telemetry.reset()
+    clear_reference_memo()
+    spec = generate_kernel(4, name="fz000004")
+    check_kernel(spec, configs=[Config("O1")], cross_backend=False)
+    check_kernel(spec, configs=[Config("O2"), Config("O3")],
+                 cross_backend=False)
+    built = telemetry.counter("repro_fuzz_reference_runs_total",
+                              outcome="built")
+    reused = telemetry.counter("repro_fuzz_reference_runs_total",
+                               outcome="reused")
+    assert built.value == 1
+    assert reused.value == 1  # the second check_kernel call
+
+
 # -- per-pass verification ----------------------------------------------------
 
 
@@ -251,3 +273,51 @@ def test_cli_replay_smoke(tmp_path, capsys):
     save_entry(kernel, tmp_path, seed=1, expect="pass")
     assert fuzz_main(["replay", str(tmp_path)]) == 0
     assert "0 unexpected outcomes" in capsys.readouterr().out
+
+
+def _counter_totals(snapshot: dict, name: str) -> dict:
+    out: dict = {}
+    for fam in snapshot["metrics"]:
+        if fam["name"] == name:
+            for s in fam["series"]:
+                key = tuple(sorted(s["labels"].items()))
+                out[key] = out.get(key, 0) + s["value"]
+    return out
+
+
+def test_cli_run_pool_merges_identical_counters(tmp_path, capsys):
+    """-j 1 (in-process) and -j 2 (pooled workers) must agree on every
+    fuzz counter once the per-task worker deltas are absorbed."""
+    from repro import telemetry
+
+    snaps = {}
+    for j in ("1", "2"):
+        telemetry.reset()  # isolate each run's registry delta
+        out = tmp_path / f"telemetry-j{j}.json"
+        assert fuzz_main(["run", "--seeds", "4", "-j", j,
+                          "--telemetry-out", str(out)]) == 0
+        snaps[j] = json.loads(out.read_text())
+    capsys.readouterr()
+    for name in ("repro_fuzz_seeds_total", "repro_fuzz_failure_kinds_total"):
+        assert _counter_totals(snaps["1"], name) == \
+            _counter_totals(snaps["2"], name)
+    merged = _counter_totals(snaps["2"],
+                             "repro_worker_snapshots_merged_total")
+    assert sum(merged.values()) == 4  # one absorbed snapshot per seed
+
+
+def test_cli_replay_covers_campaign_findings(tmp_path, capsys):
+    """``fuzz replay CAMPAIGN_DIR`` replays every sharded finding and
+    skips the campaign's own state files."""
+    from repro.fuzz import CampaignConfig, run_campaign
+
+    d = tmp_path / "camp"
+    summary = run_campaign(
+        d, CampaignConfig(seeds=1, bug="vec-swap-sub", batch=1,
+                          round_batches=1, mutate=False, num_shards=2),
+        jobs=1)
+    assert summary.findings  # seed 0 triggers the vector-only plant
+    assert fuzz_main(["replay", str(d)]) == 0
+    out = capsys.readouterr().out
+    assert f"replay: {len(summary.findings)} entries, 0 unexpected" in out
+    assert "manifest.json" not in out
