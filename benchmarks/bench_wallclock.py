@@ -40,6 +40,12 @@ pre-incrementalization baseline, a parallel cache-populate pass
 persistent disk cache (``REPRO_CACHE_DIR``) — verifying per kernel that
 the warm artifact prints identical IR and executes to identical cycles.
 
+A fuzz-throughput tier (``BENCH_fuzz.json``) times the campaign engine
+against the plain ``fuzz run`` sweep, and a **distributed tier** times
+the same campaign leased over N compile-service daemons against a
+single-host pool of equal total worker count — byte-comparing the two
+campaign trees before reporting any speedup.
+
 Run standalone (``python bench_wallclock.py``) or under pytest, where
 the compiled ≥3x and fused ≥2x-over-compiled execute-phase speedups —
 and the ≥2x cold / ≥10x warm build speedups — are asserted.
@@ -658,6 +664,157 @@ def render_fuzz(payload) -> str:
     )
 
 
+def run_dist_bench(seeds: int = 150, hosts_n: int = 2,
+                   workers_per_host: int = 1, write: bool = True):
+    """Distributed tier: N compile-service daemons vs one local pool.
+
+    Both sides run the identical campaign (same seeds, mutation off) at
+    the *same total worker count* — ``hosts_n * workers_per_host`` local
+    pool workers on one side, that many daemon workers spread over
+    ``hosts_n`` daemons on the other — so the speedup isolates what
+    multi-host leasing buys (and costs).  Before any timing is
+    reported, the two campaign trees are byte-compared (manifest,
+    records, findings; the private caches and the distributed-only
+    ``hosts.json`` pin block excluded): the distributed engine must be
+    indistinguishable from the local one in everything but wall clock.
+
+    ``write=True`` folds the result into ``BENCH_fuzz.json`` under
+    ``"distributed"`` next to the single-host tiers.  Note the ≥1.8x
+    floor in ``telemetry check`` needs ≥2 real cores — on a one-core
+    box both sides serialize and the ratio honestly reports ~1x.
+    """
+    import subprocess
+    import sys
+
+    from repro.fuzz.campaign import CampaignConfig, run_campaign
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        __import__("repro").__file__)))
+
+    def start_daemon(tmp: str, i: int):
+        addr_file = os.path.join(tmp, f"daemon{i}.addr")
+        env = dict(os.environ, REPRO_CACHE_DIR=os.path.join(tmp, f"cache{i}"))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_SERVICE_ADDR", None)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve", "--port", "0",
+             "--workers", str(workers_per_host),
+             "--store", os.path.join(tmp, f"store{i}"),
+             "--addr-file", addr_file],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+        )
+        for _ in range(200):
+            if os.path.exists(addr_file):
+                break
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            raise RuntimeError(f"daemon {i} never wrote {addr_file}")
+        with open(addr_file) as f:
+            return proc, f.read().strip()
+
+    def tree(root: str) -> dict:
+        out = {}
+        skip = {"hosts.json", "fuzz_telemetry.json"}
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d != "cache"]
+            for name in sorted(filenames):
+                if name in skip:
+                    continue
+                p = os.path.join(dirpath, name)
+                with open(p, "rb") as f:
+                    out[os.path.relpath(p, root)] = f.read()
+        return out
+
+    jobs = hosts_n * workers_per_host
+    cfg = dict(seeds=seeds, mutate=False)
+    daemons = []
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-dist-")
+    try:
+        tmp = tmpdir.name
+        with _no_cache_dir():
+            single = run_campaign(os.path.join(tmp, "single"),
+                                  CampaignConfig(**cfg), jobs=jobs)
+            for i in range(hosts_n):
+                daemons.append(start_daemon(tmp, i))
+            addrs = [a for _, a in daemons]
+            dist = run_campaign(os.path.join(tmp, "dist"),
+                                CampaignConfig(**cfg), hosts=addrs)
+        t_single = tree(os.path.join(tmp, "single"))
+        t_dist = tree(os.path.join(tmp, "dist"))
+        identical = (t_single.keys() == t_dist.keys()
+                     and all(t_single[k] == t_dist[k] for k in t_single))
+        stats = dist.dist
+    finally:
+        for proc, _ in daemons:
+            proc.kill()
+        for proc, _ in daemons:
+            proc.wait()
+        tmpdir.cleanup()
+
+    payload = {
+        "hosts": hosts_n,
+        "workers_per_host": workers_per_host,
+        "total_workers": jobs,
+        "seed_mix": f"seeds 0..{seeds - 1}, no planted bug, mutation off "
+                    f"(identical work on both sides)",
+        "single_host": {
+            "seeds": single.seeds,
+            "seconds": round(single.seconds, 3),
+            "seeds_per_sec": round(single.seeds / single.seconds, 3),
+        },
+        "distributed": {
+            "seeds": dist.seeds,
+            "seconds": round(dist.seconds, 3),
+            "seeds_per_sec": round(dist.seeds / dist.seconds, 3),
+            "leases": stats["leases"],
+            "releases": stats["releases"],
+            "refs_shipped": stats["refs_shipped"],
+            "local_fallback_batches": stats["local_batches"],
+            "hosts_lost": stats["dead_hosts"],
+        },
+        "speedup_seeds_per_sec": round(single.seconds / dist.seconds, 3),
+        "mismatches": single.failed + dist.failed,
+        "lost_tasks": single.tasks - dist.tasks,
+        "identical_to_single_host": identical,
+    }
+    if write:
+        try:
+            with open(FUZZ_JSON_PATH) as f:
+                full = json.load(f)
+        except (OSError, ValueError):
+            full = {}
+        full["distributed"] = payload
+        with open(FUZZ_JSON_PATH, "w") as f:
+            json.dump(full, f, indent=2)
+            f.write("\n")
+    return payload
+
+
+def render_dist(payload) -> str:
+    s, d = payload["single_host"], payload["distributed"]
+    rows = [
+        ("single-host", s["seeds"], s["seconds"], s["seeds_per_sec"]),
+        (f"{payload['hosts']} daemons", d["seeds"], d["seconds"],
+         d["seeds_per_sec"]),
+    ]
+    table = format_table(["engine", "seeds", "sec", "seeds/s"], rows)
+    return (
+        f"Distributed campaign @ {payload['total_workers']} total worker(s) "
+        f"({payload['seed_mix']})\n{table}\n"
+        f"leases: {d['leases']} ({d['releases']} re-leased, "
+        f"{d['refs_shipped']} refs shipped, "
+        f"{d['local_fallback_batches']} local fallback, "
+        f"{d['hosts_lost']} host(s) lost)\n"
+        f"speedup: {payload['speedup_seeds_per_sec']:.2f}x; "
+        f"mismatches: {payload['mismatches']}; "
+        f"lost tasks: {payload['lost_tasks']}; "
+        f"byte-identical to single-host: "
+        f"{payload['identical_to_single_host']}\n"
+        f"[written to {FUZZ_JSON_PATH}]"
+    )
+
+
 def test_wallclock_fuzz_campaign_2x():
     """Bounded pytest gate: the full 500-seed tier (floor 3x) runs from
     ``__main__``/CI; at 100 seeds the screen/full mix is less favorable,
@@ -734,3 +891,5 @@ if __name__ == "__main__":
     print(render_build(run_build_bench()))
     print()
     print(render_fuzz(run_fuzz_bench()))
+    print()
+    print(render_dist(run_dist_bench()))

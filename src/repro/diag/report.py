@@ -259,6 +259,45 @@ def render_metrics(snap: Optional[dict] = None) -> str:
                 floatfmt=".1f",
             ))
 
+    leases = _series_of(snap, "repro_campaign_leases_total")
+    if leases:
+        hosts: dict[str, dict[str, float]] = {}
+
+        def _host_row(name: str, field: str) -> None:
+            for labels, s in _series_of(snap, name):
+                row = hosts.setdefault(labels.get("host", "?"), {})
+                row[field] = row.get(field, 0) + s["value"]
+
+        _host_row("repro_campaign_leases_total", "leases")
+        _host_row("repro_campaign_releases_total", "releases")
+        _host_row("repro_campaign_refs_shipped_total", "refs")
+        for labels, s in _series_of(
+                snap, "repro_campaign_lease_results_total"):
+            row = hosts.setdefault(labels.get("host", "?"), {})
+            key = ("ok" if labels.get("outcome") == "ok" else "errors")
+            row[key] = row.get(key, 0) + s["value"]
+        for labels, s in _series_of(
+                snap, "repro_campaign_lease_latency_seconds"):
+            row = hosts.setdefault(labels.get("host", "?"), {})
+            row["lat_n"] = row.get("lat_n", 0) + s["count"]
+            row["lat_s"] = row.get("lat_s", 0.0) + s["sum"]
+        rows = []
+        for host in sorted(hosts):
+            r = hosts[host]
+            n = r.get("lat_n", 0)
+            rows.append((
+                host, int(r.get("leases", 0)), int(r.get("ok", 0)),
+                int(r.get("errors", 0)), int(r.get("releases", 0)),
+                int(r.get("refs", 0)),
+                (r.get("lat_s", 0.0) / n * 1000.0) if n else 0.0,
+            ))
+        sections.append(
+            "-- distributed campaign leases --\n" + format_table(
+                ["host", "leases", "ok", "errors", "re-leased", "refs",
+                 "mean rtt ms"],
+                rows, floatfmt=".1f",
+            ))
+
     spans: dict[str, dict[str, tuple[int, float]]] = {}
     for labels, s in _series_of(snap, "repro_span_seconds"):
         backend = labels.get("backend")

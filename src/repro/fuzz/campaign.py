@@ -71,7 +71,12 @@ from .oracle import (
 )
 from .plant import PLANTED_BUGS
 from .schedule import CoverageMap, Scheduler, Task, coverage_features, mutate_kernel
-from .shard import CampaignStore, content_hash, current_pins
+from .shard import (
+    CampaignStateError,
+    CampaignStore,
+    content_hash,
+    current_pins,
+)
 
 #: The screening tier, descriptively — pinned into the manifest so a
 #: resumed campaign can refuse a matrix change.
@@ -259,8 +264,9 @@ def _materialize(task_d: dict) -> KernelSpec:
     return KernelSpec(k.name, k.source, k.bindings)
 
 
-def _run_task(task_d: dict) -> dict:
-    spec = _materialize(task_d)
+def _run_task(task_d: dict, spec: Optional[KernelSpec] = None) -> dict:
+    if spec is None:
+        spec = _materialize(task_d)
     bug, max_steps = task_d["bug"], task_d["max_steps"]
     if task_d["kind"] == "full":
         report = check_kernel(spec, bug=bug, max_steps=max_steps)
@@ -398,8 +404,8 @@ class Campaign:
             payload = []
             for t in tasks:
                 spec = _materialize(t.to_json() | {"key": t.key})
+                h = content_hash(spec.name, spec.source, spec.bindings)
                 if t.kind != "full":
-                    h = content_hash(spec.name, spec.source, spec.bindings)
                     first = self.dedup.get(h)
                     if first is not None and first != t.key:
                         self.store.record(t.key, {
@@ -417,7 +423,7 @@ class Campaign:
                 payload.append({
                     "kind": t.kind, "seed": t.seed, "variant": t.variant,
                     "reason": t.reason, "key": t.key, "bug": self.cfg.bug,
-                    "max_steps": self.cfg.max_steps,
+                    "max_steps": self.cfg.max_steps, "hash": h,
                 })
             if payload:
                 batches.append(payload)
@@ -513,9 +519,16 @@ class Campaign:
             self.summary.findings.append(rel)
 
     def run(self, jobs: int = 1, max_rounds: Optional[int] = None,
-            progress=None) -> CampaignSummary:
+            progress=None, runner=None) -> CampaignSummary:
         """Drive the campaign until the schedule drains (or
-        ``max_rounds`` more rounds have been committed)."""
+        ``max_rounds`` more rounds have been committed).
+
+        With ``runner`` (a connected :class:`repro.fuzz.dist.DistRunner`)
+        each round's batches are leased to remote daemons instead of a
+        local pool; everything else — drawing, dedup, the sorted-batch
+        commit, checkpoint cadence — is the identical code path, which
+        is the determinism argument in one sentence.
+        """
         t0 = time.perf_counter()
         jobs = jobs if jobs else (os.cpu_count() or 1)
         cache_dir = str(self.store.cache_dir)
@@ -523,7 +536,7 @@ class Campaign:
         os.environ["REPRO_CACHE_DIR"] = cache_dir
         pool = None
         try:
-            if jobs > 1:
+            if runner is None and jobs > 1:
                 import multiprocessing as mp
 
                 pool = mp.Pool(jobs, initializer=_campaign_worker_init,
@@ -536,7 +549,9 @@ class Campaign:
                 if not batches:
                     break
                 indexed = list(enumerate(batches))
-                if pool is not None:
+                if runner is not None:
+                    results = runner.run_round(indexed)
+                elif pool is not None:
                     results = {}
                     for bi, rows, snap in pool.imap_unordered(
                             _run_task_batch, indexed):
@@ -572,21 +587,73 @@ class Campaign:
             else:
                 os.environ["REPRO_CACHE_DIR"] = saved_cache
         self.summary.seconds = time.perf_counter() - t0
+        if runner is not None:
+            self.summary.dist = dict(runner.stats)
         return self.summary
 
 
 def run_campaign(root: Path | str, cfg: Optional[CampaignConfig] = None,
                  jobs: int = 1, resume: bool = False,
                  max_rounds: Optional[int] = None,
-                 progress=None) -> CampaignSummary:
-    """Create-or-resume + drive a campaign in one call."""
+                 progress=None, hosts: Optional[list] = None,
+                 lease_timeout: Optional[float] = None,
+                 heartbeat_every: Optional[float] = None,
+                 verbose: bool = False) -> CampaignSummary:
+    """Create-or-resume + drive a campaign in one call.
+
+    ``hosts`` switches execution to the distributed coordinator: the
+    host set (and each daemon's identity fingerprint) is pinned into
+    the campaign's ``hosts.json`` at creation, and a resume with a
+    different ``--hosts`` set — or against a daemon whose identity
+    changed — is refused with :class:`CampaignStateError` (exit 2).
+    """
+    from .shard import (
+        check_host_fingerprints,
+        load_host_pins,
+        resolve_host_pins,
+        write_host_pins,
+    )
+
     if resume:
         camp = Campaign.resume(root)
+        hosts = resolve_host_pins(root, hosts)
     else:
         if cfg is None:
             raise ValueError("a new campaign needs a CampaignConfig")
-        camp = Campaign.create(root, cfg)
-    return camp.run(jobs=jobs, max_rounds=max_rounds, progress=progress)
+        camp = None  # created below, after the hosts prove reachable
+    runner = None
+    try:
+        if hosts:
+            from .dist import (
+                DEFAULT_HEARTBEAT_EVERY,
+                DEFAULT_LEASE_TIMEOUT,
+                DistRunner,
+                HostError,
+            )
+
+            runner = DistRunner(
+                hosts, _run_task,
+                lease_timeout=lease_timeout or DEFAULT_LEASE_TIMEOUT,
+                heartbeat_every=heartbeat_every or DEFAULT_HEARTBEAT_EVERY,
+                log=(lambda msg: print(f"  dist: {msg}", flush=True))
+                if verbose else None,
+            )
+            try:
+                fingerprints = runner.connect(strict=not resume)
+            except HostError as e:
+                raise CampaignStateError(str(e)) from e
+            if resume:
+                check_host_fingerprints(root, load_host_pins(root) or {},
+                                        fingerprints)
+        if camp is None:
+            camp = Campaign.create(root, cfg)
+            if hosts:
+                write_host_pins(root, hosts, fingerprints)
+        return camp.run(jobs=jobs, max_rounds=max_rounds,
+                        progress=progress, runner=runner)
+    finally:
+        if runner is not None:
+            runner.close()
 
 
 __all__ = [

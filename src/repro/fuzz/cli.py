@@ -205,6 +205,7 @@ def _cmd_campaign(args) -> int:
               f"{esc} escalated, {s.failed} failing, "
               f"{camp.scheduler.pending()} pending", flush=True)
 
+    hosts = [a.strip() for a in (args.hosts or "").split(",") if a.strip()]
     t0 = time.perf_counter()
     try:
         if args.resume:
@@ -212,6 +213,9 @@ def _cmd_campaign(args) -> int:
                 args.resume, jobs=args.jobs, resume=True,
                 max_rounds=args.max_rounds,
                 progress=progress if args.verbose else None,
+                hosts=hosts, lease_timeout=args.lease_timeout,
+                heartbeat_every=args.heartbeat_every,
+                verbose=args.verbose,
             )
         else:
             if not args.dir:
@@ -230,11 +234,22 @@ def _cmd_campaign(args) -> int:
                 args.dir, cfg, jobs=args.jobs,
                 max_rounds=args.max_rounds,
                 progress=progress if args.verbose else None,
+                hosts=hosts, lease_timeout=args.lease_timeout,
+                heartbeat_every=args.heartbeat_every,
+                verbose=args.verbose,
             )
     except CampaignStateError as e:
         print(f"campaign: {e}", file=sys.stderr)
         return 2
     dt = time.perf_counter() - t0
+    dist = getattr(summary, "dist", None)
+    if dist is not None:
+        print(f"campaign: distributed over {len(hosts) or 'pinned'} "
+              f"host(s): {dist['leases']} lease(s), "
+              f"{dist['releases']} re-lease(s), "
+              f"{dist['refs_shipped']} ref(s) shipped, "
+              f"{dist['local_batches']} local fallback batch(es), "
+              f"{dist['dead_hosts']} host(s) lost")
     esc = sum(summary.escalated.values())
     rate = f"{summary.tasks / dt:.1f}" if dt > 0 else "inf"
     crate = f"{summary.configs / dt:.1f}" if dt > 0 else "inf"
@@ -363,6 +378,18 @@ def main(argv=None) -> int:
     p_camp.add_argument("-j", "--jobs", type=int, default=1,
                         help="persistent worker processes "
                              "(0 = all cores; default 1)")
+    p_camp.add_argument("--hosts",
+                        help="comma-separated compile-service daemons "
+                             "(host:port,...) to lease batches to; the "
+                             "host set is pinned — resume refuses a "
+                             "different one")
+    p_camp.add_argument("--lease-timeout", type=float, default=None,
+                        help="re-lease a host's batches after this many "
+                             "seconds without a heartbeat answer "
+                             "(default 60)")
+    p_camp.add_argument("--heartbeat-every", type=float, default=None,
+                        help="heartbeat interval per host in seconds "
+                             "(default 2)")
     p_camp.add_argument("--batch", type=int, default=4,
                         help="tasks per dispatched batch (pinned)")
     p_camp.add_argument("--round-batches", type=int, default=8,

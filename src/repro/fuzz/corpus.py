@@ -120,7 +120,8 @@ def load_entry(path: Path | str) -> CorpusEntry:
 #: Non-kernel JSON files that live next to corpus entries: the fuzz
 #: telemetry snapshot, and a campaign directory's manifest / per-shard
 #: record files.  ``replay`` must skip them.
-_NON_ENTRY_NAMES = {"fuzz_telemetry.json", "manifest.json", "records.json"}
+_NON_ENTRY_NAMES = {"fuzz_telemetry.json", "manifest.json", "records.json",
+                    "hosts.json"}
 
 
 def iter_entries(path: Path | str = DEFAULT_CORPUS_DIR) -> Iterator[Path]:

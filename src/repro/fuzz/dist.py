@@ -1,0 +1,460 @@
+"""Multi-host campaign coordination: work leasing over the compile service.
+
+A distributed campaign keeps the PR-9 engine intact — the scheduler,
+the coverage map, dedup, and the sorted-batch commit all run in the
+coordinating parent — and replaces only the *execution* of each round's
+batches: instead of a local ``multiprocessing`` pool, batches are leased
+to N compile-service daemons (``campaign.lease`` / ``campaign.result``
+/ ``campaign.heartbeat``) over one persistent pipelined NDJSON
+connection per host.
+
+Determinism is preserved by construction: *which host* runs a batch
+(and in what order results arrive) affects nothing — a task is
+self-describing (seed + variant regenerate the kernel bit-identically
+anywhere), rows carry no host-dependent data, and the parent commits
+rows in sorted ``(batch, task)`` order exactly as the single-host
+engine does.  That is why a distributed campaign's manifest, records,
+and findings are byte-identical to a single-host run of the same seeds.
+
+Failure handling, in order of escalation:
+
+* a **transient hiccup** on send/receive marks the host dead and its
+  outstanding batches are re-leased to the remaining live hosts
+  (``repro_campaign_releases_total{host}``);
+* a host that stops answering while it owes results (``kill -STOP``, a
+  wedged pool) hits the **heartbeat timeout** and is treated the same —
+  heartbeats are answered by the daemon's asyncio front end, never
+  blocked behind pool work, so a slow-but-healthy batch is *not* a
+  timeout;
+* a batch that failed on several hosts (a deterministic task crash
+  would bounce forever otherwise) and any work left when **every** host
+  is dead runs in-process in the coordinator — zero tasks are ever
+  lost, whatever dies.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import OrderedDict, deque
+from select import select
+from typing import Callable, Optional
+
+from repro import telemetry
+from repro.service import protocol
+
+DEFAULT_LEASE_TIMEOUT = 60.0
+DEFAULT_HEARTBEAT_EVERY = 2.0
+CONNECT_TIMEOUT = 10.0
+CONNECT_ATTEMPTS = 3
+
+#: A batch that errored on this many distinct leases runs locally — the
+#: local run either succeeds or surfaces the real exception.
+MAX_LEASE_ATTEMPTS = 3
+
+#: Coordinator-side cache of O0 reference results by content hash
+#: (shipped to each host at most once).
+REF_CACHE_CAP = 512
+
+_LATENCY_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+class HostError(Exception):
+    """A host connection failed mid-protocol (close/reset/garbage)."""
+
+
+class HostConn:
+    """One persistent pipelined connection to a compile-service daemon."""
+
+    def __init__(self, addr: str, timeout: float = CONNECT_TIMEOUT):
+        host, port = protocol.parse_addr(addr)
+        self.addr = addr
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(timeout)
+        self._buf = b""
+        self._next_id = 0
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def send(self, op: str, params: dict) -> int:
+        """Pipeline one request; returns its id (responses echo it)."""
+        self._next_id += 1
+        req_id = self._next_id
+        self.sock.sendall(protocol.encode(
+            {"op": op, "id": req_id, "params": params}))
+        return req_id
+
+    def recv_ready(self) -> list[dict]:
+        """Drain whatever the socket has into complete response lines.
+
+        Call after ``select`` reports readability.  Raises
+        :class:`HostError` on EOF or a reset — a daemon killed with
+        ``kill -9`` surfaces here immediately.
+        """
+        try:
+            data = self.sock.recv(1 << 20)
+        except OSError as e:
+            raise HostError(f"{self.addr}: {e}") from e
+        if not data:
+            raise HostError(f"{self.addr}: connection closed")
+        self._buf += data
+        if len(self._buf) > protocol.MAX_LINE_BYTES:
+            raise HostError(f"{self.addr}: response line too long")
+        msgs = []
+        while True:
+            line, sep, rest = self._buf.partition(b"\n")
+            if not sep:
+                break
+            self._buf = rest
+            if line.strip():
+                try:
+                    msgs.append(protocol.decode(line))
+                except ValueError as e:
+                    raise HostError(f"{self.addr}: bad response: {e}") from e
+        return msgs
+
+    def rpc(self, op: str, params: dict, timeout: float) -> dict:
+        """Blocking call-and-wait for one response (connect-time only —
+        rounds use the pipelined send/recv paths)."""
+        req_id = self.send(op, params)
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise HostError(f"{self.addr}: no {op} response in "
+                                f"{timeout:.0f}s")
+            r, _, _ = select([self], [], [], remaining)
+            if not r:
+                continue
+            for m in self.recv_ready():
+                if m.get("id") == req_id:
+                    if not m.get("ok"):
+                        err = m.get("error") or {}
+                        raise HostError(
+                            f"{self.addr}: {op} refused: "
+                            f"[{err.get('code')}] {err.get('message')}")
+                    return m
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _Host:
+    """Coordinator-side state for one daemon."""
+
+    __slots__ = ("addr", "conn", "capacity", "dead", "shipped",
+                 "outstanding", "inflight", "last_heard", "last_hb",
+                 "fingerprint")
+
+    def __init__(self, addr: str):
+        self.addr = addr
+        self.conn: Optional[HostConn] = None
+        self.capacity = 1
+        self.dead = False
+        self.shipped: set[str] = set()          # ref hashes sent here
+        self.outstanding: dict[str, tuple] = {}  # lease -> (bi, payload)
+        self.inflight: dict[int, tuple] = {}     # req id -> (kind, lease, t0)
+        self.last_heard = 0.0
+        self.last_hb = 0.0
+        self.fingerprint: Optional[dict] = None
+
+
+def host_fingerprint(status: dict) -> dict:
+    """The identity a campaign pins per host: daemon version, protocol,
+    and the artifact store it serves from.  Worker count is a runtime
+    knob (like ``-j``) and deliberately is not pinned."""
+    store = status.get("store") or {}
+    return {
+        "version": status.get("version"),
+        "protocol": status.get("protocol"),
+        "store_root": store.get("root"),
+        "shards": store.get("shards"),
+    }
+
+
+class DistRunner:
+    """Leases campaign batches to compile-service daemons, round by round.
+
+    ``local_task`` is the in-process executor for one task dict (the
+    campaign's ``_run_task``) — the zero-lost-tasks fallback when every
+    host is dead or a batch keeps erroring remotely.
+    """
+
+    def __init__(self, hosts: list[str],
+                 local_task: Callable[[dict], dict],
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 heartbeat_every: float = DEFAULT_HEARTBEAT_EVERY,
+                 log: Optional[Callable[[str], None]] = None):
+        seen = set()
+        self.hosts = []
+        for a in hosts:
+            if a not in seen:
+                seen.add(a)
+                self.hosts.append(_Host(a))
+        if not self.hosts:
+            raise ValueError("a distributed campaign needs at least one host")
+        self.local_task = local_task
+        self.lease_timeout = lease_timeout
+        self.heartbeat_every = heartbeat_every
+        self.log = log or (lambda msg: None)
+        self.refs: OrderedDict = OrderedDict()  # content hash -> ref dict
+        self._lease_seq = 0
+        self._failed_leases: set[str] = set()
+        self.stats = {"leases": 0, "releases": 0, "refs_shipped": 0,
+                      "local_batches": 0, "dead_hosts": 0}
+
+    # -- connect / identity -------------------------------------------------
+
+    def connect(self, strict: bool = True) -> dict:
+        """Open every host connection; ping + status each.
+
+        ``strict`` (campaign creation) raises :class:`HostError` on any
+        unreachable host — the campaign pins every host's fingerprint,
+        so all of them must answer once.  Non-strict (resume) marks
+        unreachable hosts dead and carries on; their work goes to the
+        survivors.  Returns ``{addr: fingerprint-or-None}``.
+        """
+        fps: dict = {}
+        for h in self.hosts:
+            err: Optional[Exception] = None
+            for attempt in range(CONNECT_ATTEMPTS):
+                try:
+                    h.conn = HostConn(h.addr)
+                    h.conn.rpc("ping", {}, CONNECT_TIMEOUT)
+                    status = h.conn.rpc("status", {},
+                                        CONNECT_TIMEOUT)["status"]
+                    break
+                except (OSError, HostError, KeyError) as e:
+                    err = e
+                    if h.conn is not None:
+                        h.conn.close()
+                        h.conn = None
+                    if attempt + 1 < CONNECT_ATTEMPTS:
+                        time.sleep(0.1 * (1 << attempt))
+            if h.conn is None:
+                if strict:
+                    raise HostError(
+                        f"host {h.addr} is unreachable: {err}")
+                self.log(f"host {h.addr} unreachable at resume "
+                         f"({err}); its work goes to the other hosts")
+                h.dead = True
+                self.stats["dead_hosts"] += 1
+                fps[h.addr] = None
+                continue
+            # one queued lease beyond the pool keeps the daemon busy
+            # while the previous batch's rows are in flight back to us
+            h.capacity = max(1, int(status.get("workers", 1))) + 1
+            h.fingerprint = host_fingerprint(status)
+            h.last_heard = time.monotonic()
+            fps[h.addr] = h.fingerprint
+        return fps
+
+    def close(self) -> None:
+        for h in self.hosts:
+            if h.conn is not None:
+                h.conn.close()
+                h.conn = None
+
+    # -- one round ----------------------------------------------------------
+
+    def run_round(self, batches: list[tuple[int, list[dict]]]) -> dict:
+        """Execute one round's batches across the hosts.
+
+        ``batches`` is ``[(batch_index, [task dict, ...]), ...]``.
+        Returns ``{batch_index: rows}`` for *every* input batch —
+        re-leasing and the local fallback guarantee completeness.
+        """
+        pending = deque(batches)
+        results: dict[int, list[dict]] = {}
+        attempts: dict[int, int] = {}
+        total = len(batches)
+        while len(results) < total:
+            live = [h for h in self.hosts if not h.dead]
+            if not live:
+                while pending:
+                    bi, payload = pending.popleft()
+                    results[bi] = self._run_local(payload)
+                continue
+            # least-loaded assignment: each batch goes to the live host
+            # with the fewest outstanding leases, so a round's batches
+            # spread across all hosts instead of filling the first
+            # host's capacity before the second sees any work
+            while pending:
+                free = [h for h in self.hosts if not h.dead
+                        and len(h.outstanding) < h.capacity]
+                if not free:
+                    break
+                h = min(free, key=lambda x: len(x.outstanding))
+                bi, payload = pending.popleft()
+                if attempts.get(bi, 0) >= MAX_LEASE_ATTEMPTS:
+                    results[bi] = self._run_local(payload)
+                    continue
+                attempts[bi] = attempts.get(bi, 0) + 1
+                self._lease(h, bi, payload, pending)
+            live = [h for h in self.hosts if not h.dead]
+            if not live:
+                continue
+            readable, _, _ = select([h.conn for h in live], [], [], 0.25)
+            now = time.monotonic()
+            by_fd = {h.conn: h for h in live}
+            for conn in readable:
+                h = by_fd[conn]
+                try:
+                    msgs = conn.recv_ready()
+                except HostError as e:
+                    self._mark_dead(h, pending, str(e))
+                    continue
+                h.last_heard = now
+                for m in msgs:
+                    self._on_msg(h, m, results, pending)
+            now = time.monotonic()
+            for h in live:
+                if h.dead:
+                    continue
+                if (h.outstanding
+                        and now - h.last_heard > self.lease_timeout):
+                    self._mark_dead(
+                        h, pending,
+                        f"no heartbeat in {self.lease_timeout:.0f}s")
+                elif now - h.last_hb > self.heartbeat_every:
+                    h.last_hb = now
+                    try:
+                        h.conn.send("campaign.heartbeat", {})
+                    except OSError as e:
+                        self._mark_dead(h, pending, str(e))
+        return results
+
+    # -- internals ----------------------------------------------------------
+
+    def _lease(self, h: _Host, bi: int, payload: list[dict],
+               pending: deque) -> None:
+        self._lease_seq += 1
+        lease_id = f"L{self._lease_seq:06d}-b{bi}"
+        tasks = []
+        ship: dict = {}
+        for t in payload:
+            ch = t.get("hash")
+            known = ch is not None and ch in self.refs
+            tasks.append({**t, "ref_known": known})
+            if known and ch not in h.shipped:
+                ship[ch] = self.refs[ch]
+        h.outstanding[lease_id] = (bi, payload)
+        try:
+            rid_lease = h.conn.send("campaign.lease", {
+                "lease": lease_id, "tasks": tasks, "refs": ship,
+            })
+            rid_result = h.conn.send("campaign.result", {"lease": lease_id})
+        except OSError as e:
+            self._mark_dead(h, pending, str(e))
+            return
+        t0 = time.monotonic()
+        h.inflight[rid_lease] = ("ack", lease_id, t0)
+        h.inflight[rid_result] = ("result", lease_id, t0)
+        h.shipped.update(ship)
+        self.stats["leases"] += 1
+        self.stats["refs_shipped"] += len(ship)
+        telemetry.counter("repro_campaign_leases_total",
+                          "campaign batches leased, by host",
+                          host=h.addr).inc()
+        if ship:
+            telemetry.counter(
+                "repro_campaign_refs_shipped_total",
+                "O0 reference results shipped (once per host), by host",
+                host=h.addr).inc(len(ship))
+
+    def _on_msg(self, h: _Host, m: dict, results: dict,
+                pending: deque) -> None:
+        info = h.inflight.pop(m.get("id"), None)
+        if info is None:
+            return  # a heartbeat response, or a dropped lease's tail
+        kind, lease_id, t0 = info
+        if kind == "ack":
+            if not m.get("ok") and lease_id in h.outstanding:
+                # the daemon refused the lease outright — requeue the
+                # batch and ignore the paired result response
+                bi, payload = h.outstanding.pop(lease_id)
+                self._failed_leases.add(lease_id)
+                pending.appendleft((bi, payload))
+                self._count_release(h)
+            return
+        # kind == "result"
+        if lease_id in self._failed_leases:
+            self._failed_leases.discard(lease_id)
+            return
+        if lease_id not in h.outstanding:
+            return
+        bi, payload = h.outstanding.pop(lease_id)
+        if not m.get("ok"):
+            err = (m.get("error") or {}).get("message", "?")
+            self.log(f"lease {lease_id} failed on {h.addr}: {err}")
+            telemetry.counter("repro_campaign_lease_results_total",
+                              "lease results by host and outcome",
+                              host=h.addr, outcome="error").inc()
+            pending.appendleft((bi, payload))
+            self._count_release(h)
+            return
+        telemetry.counter("repro_campaign_lease_results_total",
+                          "lease results by host and outcome",
+                          host=h.addr, outcome="ok").inc()
+        telemetry.histogram("repro_campaign_lease_latency_seconds",
+                            "lease round-trip (send to rows), by host",
+                            buckets=_LATENCY_BUCKETS,
+                            host=h.addr).observe(time.monotonic() - t0)
+        if telemetry.absorb(m.get("snapshot")):
+            telemetry.counter(
+                "repro_worker_snapshots_merged_total",
+                "worker telemetry snapshots absorbed by the parent",
+                kind="campaign-remote").inc()
+        self._cache_refs(m.get("refs") or {})
+        results[bi] = m["rows"]
+
+    def _mark_dead(self, h: _Host, pending: deque, why: str) -> None:
+        if h.dead:
+            return
+        h.dead = True
+        self.stats["dead_hosts"] += 1
+        self.log(f"host {h.addr} lost ({why}); re-leasing "
+                 f"{len(h.outstanding)} batch(es)")
+        if h.conn is not None:
+            h.conn.close()
+            h.conn = None
+        for lease_id, (bi, payload) in sorted(h.outstanding.items()):
+            pending.appendleft((bi, payload))
+            self._count_release(h)
+        h.outstanding.clear()
+        h.inflight.clear()
+
+    def _count_release(self, h: _Host) -> None:
+        self.stats["releases"] += 1
+        telemetry.counter("repro_campaign_releases_total",
+                          "batches re-leased after a host failure, by host",
+                          host=h.addr).inc()
+
+    def _run_local(self, payload: list[dict]) -> list[dict]:
+        self.stats["local_batches"] += 1
+        telemetry.counter(
+            "repro_campaign_local_batches_total",
+            "batches run in the coordinator as a last resort").inc()
+        rows = []
+        for t in payload:
+            row = self.local_task(t)
+            row["hash"] = t.get("hash")
+            rows.append(row)
+        return rows
+
+    def _cache_refs(self, refs: dict) -> None:
+        for ch, ref in refs.items():
+            if ch not in self.refs:
+                self.refs[ch] = ref
+        while len(self.refs) > REF_CACHE_CAP:
+            self.refs.popitem(last=False)
+
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_EVERY", "DEFAULT_LEASE_TIMEOUT", "DistRunner",
+    "HostConn", "HostError", "host_fingerprint",
+]

@@ -325,6 +325,74 @@ def clear_reference_memo() -> None:
     _REF_MEMO.clear()
 
 
+@dataclass
+class RefResult:
+    """A portable O0 reference result: exactly the fields
+    :func:`_compare` reads.
+
+    Distributed campaigns ship these between hosts (content-addressed,
+    at most once per host), so a daemon that never built a program's O0
+    reference can still screen its escalation.  Floats survive the JSON
+    round trip exactly — ``json`` serializes ``repr``-faithfully and
+    parses back to the identical double — so a comparison against a
+    shipped reference is bit-for-bit the comparison against a local one.
+    """
+
+    checksum: float
+    return_value: object
+    arrays: Optional[dict] = None
+
+
+def _plain_floats(arrays: Optional[dict]) -> Optional[dict]:
+    """Array captures -> plain ``{name: [float, ...]}`` (JSON-safe;
+    NumPy scalars coerce exactly)."""
+    if arrays is None:
+        return None
+    return {k: [float(x) for x in v] for k, v in arrays.items()}
+
+
+def _ref_memo_put(key, res) -> None:
+    _REF_MEMO[key] = res
+    _REF_MEMO.move_to_end(key)
+    while len(_REF_MEMO) > _REF_MEMO_CAP:
+        _REF_MEMO.popitem(last=False)
+
+
+def export_reference(spec: KernelSpec,
+                     max_steps: Optional[int] = None) -> Optional[dict]:
+    """The memoized O0 reference for ``spec`` as a JSON-safe dict, or
+    None when it was never run (or has been evicted)."""
+    key = (spec.source, _bindings_fingerprint(spec.bindings), max_steps)
+    hit = _REF_MEMO.get(key)
+    if hit is None:
+        return None
+    rv = hit.return_value
+    if rv is not None and not isinstance(rv, (bool, int)):
+        rv = float(rv)
+    return {
+        "checksum": float(hit.checksum),
+        "return_value": rv,
+        "arrays": _plain_floats(hit.arrays),
+    }
+
+
+def seed_reference(spec: KernelSpec, max_steps: Optional[int],
+                   ref: dict) -> None:
+    """Install a shipped reference result into the memo (never clobbers
+    a locally computed entry — local results are at least as good)."""
+    key = (spec.source, _bindings_fingerprint(spec.bindings), max_steps)
+    if key in _REF_MEMO:
+        return
+    _ref_memo_put(key, RefResult(
+        checksum=ref["checksum"],
+        return_value=ref.get("return_value"),
+        arrays=ref.get("arrays"),
+    ))
+    telemetry.counter("repro_fuzz_reference_runs_total",
+                      "O0 reference builds vs memo hits",
+                      outcome="seeded").inc()
+
+
 def reference_run(spec: KernelSpec, max_steps: Optional[int] = None):
     """Build + run the O0 reference for ``spec``, memoized.
 
@@ -345,9 +413,7 @@ def reference_run(spec: KernelSpec, max_steps: Optional[int] = None):
                       "O0 reference builds vs memo hits",
                       outcome="built").inc()
     if err is None:
-        _REF_MEMO[key] = res
-        while len(_REF_MEMO) > _REF_MEMO_CAP:
-            _REF_MEMO.popitem(last=False)
+        _ref_memo_put(key, res)
     return res, err
 
 
@@ -445,7 +511,8 @@ def check_kernel(
 
 __all__ = [
     "ABS_TOL", "CROSS_BACKENDS", "CROSS_BACKEND_CONFIG", "Config",
-    "KernelSpec", "Mismatch", "OracleReport", "REL_TOL", "check_kernel",
-    "clear_reference_memo", "default_configs", "full_configs",
-    "reference_run",
+    "KernelSpec", "Mismatch", "OracleReport", "REL_TOL", "RefResult",
+    "check_kernel", "clear_reference_memo", "default_configs",
+    "export_reference", "full_configs", "reference_run",
+    "seed_reference",
 ]

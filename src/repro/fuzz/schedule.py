@@ -295,6 +295,12 @@ class Scheduler:
     _order: int = 0
 
     def push_escalation(self, task: Task) -> None:
+        """Queue a full-matrix escalation.
+
+        All escalations share rank 0, so equal-priority escalations pop
+        strictly FIFO — the ``_order`` stamp taken here is the only
+        tie-breaker, and it survives a JSON checkpoint round-trip.
+        """
         heapq.heappush(
             self._heap,
             (CLASS_ESCALATION, 0, self._order, task.to_json()),
@@ -302,6 +308,12 @@ class Scheduler:
         self._order += 1
 
     def push_mutant(self, task: Task, rarity: int) -> None:
+        """Queue a mutant; lower ``rarity`` (rarer parent) pops first.
+
+        Mutants whose parents have *equal* rarity pop in push order
+        (FIFO), via the same monotone ``_order`` stamp — never by task
+        content, seed number, or heap-internal layout.
+        """
         heapq.heappush(
             self._heap, (CLASS_MUTANT, rarity, self._order, task.to_json())
         )

@@ -184,7 +184,89 @@ def current_pins() -> dict:
     }
 
 
+# -- host pins (distributed campaigns) ----------------------------------------
+#
+# The host list and each daemon's identity fingerprint live in a
+# *separate* ``hosts.json`` version-pin block, not in manifest.json —
+# the manifest must stay byte-identical between a single-host and a
+# distributed run of the same seeds (that identity is the acceptance
+# test of the whole protocol), while ``--resume`` with a different
+# ``--hosts`` set must still be refused.
+
+HOST_PINS_FILE = "hosts.json"
+
+
+def host_pins_path(root: Path | str) -> Path:
+    return Path(root) / HOST_PINS_FILE
+
+
+def write_host_pins(root: Path | str, hosts: list,
+                    fingerprints: dict) -> None:
+    _atomic_write_json(host_pins_path(root), {
+        "hosts": sorted(hosts),
+        "fingerprints": {a: fingerprints.get(a) for a in sorted(hosts)},
+    })
+
+
+def load_host_pins(root: Path | str) -> Optional[dict]:
+    """The pinned host block, or None for a single-host campaign."""
+    p = host_pins_path(root)
+    try:
+        return json.loads(p.read_text())
+    except FileNotFoundError:
+        return None
+    except ValueError as e:
+        raise CampaignStateError(f"{p}: corrupt host pins: {e}") from None
+
+
+def resolve_host_pins(root: Path | str,
+                      hosts: Optional[list]) -> Optional[list]:
+    """Reconcile a resume's ``--hosts`` with the pinned block.
+
+    * pinned + no ``--hosts``  -> resume onto the pinned hosts;
+    * pinned + same set        -> fine (order is irrelevant);
+    * pinned + different set   -> refused (:class:`CampaignStateError`,
+      exit 2 at the CLI) — silently rescheduling onto other stores
+      would break the per-host shipped-refs and artifact provenance
+      bookkeeping the campaign's results were produced under;
+    * not pinned + ``--hosts`` -> refused, the campaign is single-host.
+    """
+    pinned = load_host_pins(root)
+    if pinned is None:
+        if hosts:
+            raise CampaignStateError(
+                f"{root}: campaign was created single-host; it cannot "
+                f"be resumed with --hosts (start a new campaign)")
+        return None
+    if hosts and sorted(set(hosts)) != pinned["hosts"]:
+        raise CampaignStateError(
+            f"{root}: campaign is pinned to hosts "
+            f"{','.join(pinned['hosts'])} but --hosts names "
+            f"{','.join(sorted(set(hosts)))}; a campaign cannot resume "
+            f"onto a different host set")
+    return list(pinned["hosts"])
+
+
+def check_host_fingerprints(root: Path | str, pinned: dict,
+                            fingerprints: dict) -> None:
+    """Refuse a resume when a *reachable* host no longer matches its
+    pinned identity (different daemon version/protocol or a different
+    artifact store).  Unreachable hosts (fingerprint None) pass — their
+    work is re-leased, never trusted."""
+    for addr, fp in sorted(fingerprints.items()):
+        if fp is None:
+            continue
+        want = (pinned.get("fingerprints") or {}).get(addr)
+        if want is not None and fp != want:
+            raise CampaignStateError(
+                f"{root}: host {addr} changed identity since the "
+                f"campaign was created (pinned {want!r}, now {fp!r}); "
+                f"refusing to resume against a different daemon/store")
+
+
 __all__ = [
     "CAMPAIGN_FORMAT_VERSION", "CampaignStateError", "CampaignStore",
-    "DEFAULT_NUM_SHARDS", "content_hash", "current_pins", "shard_of",
+    "DEFAULT_NUM_SHARDS", "HOST_PINS_FILE", "check_host_fingerprints",
+    "content_hash", "current_pins", "host_pins_path", "load_host_pins",
+    "resolve_host_pins", "shard_of", "write_host_pins",
 ]

@@ -132,6 +132,11 @@ def _cmd_client(args) -> int:
         else:
             _print_json(out)
         return 0
+    if args.client_op == "heartbeat":
+        resp = svc.request(addr, {"op": "campaign.heartbeat", "id": 0,
+                                  "params": {}})
+        _print_json(resp)
+        return 0
     if args.client_op == "shutdown":
         _print_json(svc.shutdown(addr))
         return 0
@@ -148,6 +153,7 @@ def _cmd_status(args) -> int:
     print(f"repro.service v{status['version']} at {status['addr']} "
           f"(pid {status['pid']}, up {status['uptime_s']:.1f}s)")
     print(f"workers: {status['workers']}  inflight: {status['inflight']}  "
+          f"leases: {status.get('leases', 0)}  "
           f"coalesced: {status['singleflight_coalesced']}  "
           f"batches: {status['batches']}")
     reqs = status.get("requests") or {}
@@ -235,6 +241,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     c_fuzz.add_argument("--start", type=int, default=0)
     c_fuzz.add_argument("--full", action="store_true")
     c_fuzz.add_argument("-v", "--verbose", action="store_true")
+
+    csub.add_parser("heartbeat",
+                    help="liveness + active campaign leases")
 
     c_metrics = csub.add_parser("metrics", help="fetch daemon telemetry")
     c_metrics.add_argument("--prom", action="store_true")

@@ -20,7 +20,9 @@ from __future__ import annotations
 import base64
 import os
 import pickle
+import random
 import socket
+import time
 from typing import Optional
 
 from repro import telemetry
@@ -30,6 +32,16 @@ from . import protocol
 DEFAULT_TIMEOUT = 300.0
 
 ADDR_ENV = "REPRO_SERVICE_ADDR"
+
+#: Bounded retry for *transient* transport failures (a daemon restarting
+#: mid-campaign throws ``ECONNREFUSED`` for a few hundred ms; an
+#: overloaded accept queue resets connections) — falling back in-process
+#: on the first refused connect converts a blip into a silent local
+#: rebuild.  Overridable per process for tests and impatient callers.
+RETRY_ATTEMPTS_ENV = "REPRO_SERVICE_RETRIES"
+RETRY_BASE_ENV = "REPRO_SERVICE_RETRY_BASE"
+DEFAULT_RETRY_ATTEMPTS = 3
+DEFAULT_RETRY_BASE_S = 0.05
 
 
 class ServiceError(Exception):
@@ -71,6 +83,42 @@ def request(addr: str, payload: dict,
     return resp
 
 
+def retry_attempts() -> int:
+    return max(1, int(os.environ.get(RETRY_ATTEMPTS_ENV,
+                                     DEFAULT_RETRY_ATTEMPTS)))
+
+
+def request_with_retry(addr: str, payload: dict,
+                       timeout: float = DEFAULT_TIMEOUT,
+                       attempts: Optional[int] = None) -> dict:
+    """:func:`request` with bounded retry + jittered backoff.
+
+    Only transport-level failures (the ``OSError`` family — which
+    includes ``ConnectionResetError`` and ``ECONNREFUSED`` — plus a
+    garbled response line) are retried; a structured
+    :class:`ServiceError` is a real answer and propagates immediately.
+    The last error re-raises after the attempts are exhausted.
+    """
+    attempts = retry_attempts() if attempts is None else max(1, attempts)
+    base = float(os.environ.get(RETRY_BASE_ENV, DEFAULT_RETRY_BASE_S))
+    last: Optional[Exception] = None
+    for i in range(attempts):
+        try:
+            return request(addr, payload, timeout=timeout)
+        except ServiceError:
+            raise
+        except (OSError, ValueError) as e:
+            last = e
+            if i + 1 < attempts:
+                telemetry.counter(
+                    "repro_service_retries_total",
+                    "transient service transport failures retried",
+                    op=str(payload.get("op"))).inc()
+                time.sleep(base * (1 << i) * (1.0 + random.random()))
+    assert last is not None
+    raise last
+
+
 def _call(addr: str, op: str, params: Optional[dict] = None,
           req_id=0, timeout: float = DEFAULT_TIMEOUT) -> dict:
     return request(addr, {"op": op, "id": req_id, "params": params or {}},
@@ -109,28 +157,39 @@ def maybe_remote_build(source: str, entry: str, level: str,
                        honor_restrict: bool, vl: int, rle: bool):
     """``(module, stats)`` from the configured daemon, or None.
 
-    None means "build locally": the address is unset, or the daemon is
-    unreachable (``repro_service_client_requests_total{outcome=
-    "unreachable"}`` counts those).  Structured refusals — above all
+    None means "build locally": the address is unset, or the daemon
+    stayed unreachable through a bounded jittered-backoff retry
+    (transient resets/refused connects are retried first — only an
+    *exhausted* retry counts ``repro_service_fallback_total`` and the
+    legacy ``repro_service_client_requests_total{outcome="unreachable"}``
+    before falling back).  Structured refusals — above all
     ``manifest-mismatch`` — propagate: a provenance conflict must never
     degrade into a silent local rebuild.
     """
     addr = service_addr()
     if addr is None:
         return None
+    payload = {"op": "build", "id": 0, "params": {
+        "source": source, "entry": entry, "level": level,
+        "honor_restrict": honor_restrict, "vl": vl, "rle": rle,
+        "want_artifact": True,
+    }}
     try:
-        resp = remote_build(addr, source, entry=entry, level=level,
-                            honor_restrict=honor_restrict, vl=vl,
-                            rle=rle, want_artifact=True)
-    except (OSError, ValueError, ConnectionError):
+        resp = request_with_retry(addr, payload)
+    except (OSError, ValueError) as e:
         telemetry.counter("repro_service_client_requests_total",
                           "library-side service calls by outcome",
                           outcome="unreachable").inc()
+        telemetry.counter("repro_service_fallback_total",
+                          "local fallbacks after exhausting the "
+                          "transport retry budget",
+                          reason=type(e).__name__).inc()
         return None
     telemetry.counter("repro_service_client_requests_total",
                       "library-side service calls by outcome",
                       outcome=resp.get("origin", "ok")).inc()
-    return resp["module"], resp["stats"]
+    module, stats = pickle.loads(base64.b64decode(resp["artifact"]))
+    return module, stats
 
 
 def remote_run(addr: str, params: dict,
@@ -163,6 +222,8 @@ def shutdown(addr: str, timeout: float = DEFAULT_TIMEOUT) -> dict:
 
 __all__ = [
     "ADDR_ENV",
+    "RETRY_ATTEMPTS_ENV",
+    "RETRY_BASE_ENV",
     "ServiceError",
     "fetch_metrics",
     "fetch_status",
@@ -172,6 +233,8 @@ __all__ = [
     "remote_fuzz",
     "remote_run",
     "request",
+    "request_with_retry",
+    "retry_attempts",
     "service_addr",
     "shutdown",
 ]

@@ -36,6 +36,24 @@ Ops
               size, per-shard store occupancy.
 ``shutdown``  graceful stop (the response is sent first).
 
+Campaign ops (the distributed-fuzzing lease protocol; a campaign
+coordinator keeps one pipelined connection per daemon):
+
+``campaign.lease``      accept a batch of campaign tasks for execution:
+                        ``{"lease": id, "tasks": [...], "refs": {hash:
+                        ref}}``.  The daemon acks immediately and runs
+                        the batch on its worker pool; ``refs`` carries
+                        content-addressed O0 reference results the
+                        coordinator ships at most once per host.
+``campaign.result``     await one lease's rows: ``{"lease": id}`` blocks
+                        (pipelined heartbeats stay responsive) until the
+                        batch completes, then returns ``rows`` +
+                        newly-computed ``refs`` + the batch's telemetry
+                        delta ``snapshot``, and drops the lease.
+``campaign.heartbeat``  liveness + per-lease state (``running``/
+                        ``done``); the coordinator re-leases a batch
+                        when heartbeats stop answering.
+
 Error codes are stable strings: ``bad-request``, ``unknown-op``,
 ``manifest-mismatch``, ``build-failed``, ``internal``.
 """
@@ -45,18 +63,24 @@ from __future__ import annotations
 import json
 from typing import Optional
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Upper bound for one protocol line (requests carry whole kernel
 #: sources; build responses may carry a base64 pickled artifact).
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
 OPS = ("ping", "build", "run", "diag", "fuzz", "metrics", "status",
-       "shutdown")
+       "shutdown", "campaign.lease", "campaign.result",
+       "campaign.heartbeat")
 
 #: Ops answered by the asyncio front end itself; everything else is
 #: dispatched to the worker pool.
 PARENT_OPS = ("ping", "metrics", "status", "shutdown")
+
+#: The distributed-campaign lease protocol: accepted and tracked by the
+#: asyncio front end (the lease table lives there), with the batch body
+#: running on the worker pool as an internal ``campaign.batch`` task.
+CAMPAIGN_OPS = ("campaign.lease", "campaign.result", "campaign.heartbeat")
 
 ERR_BAD_REQUEST = "bad-request"
 ERR_UNKNOWN_OP = "unknown-op"
@@ -104,6 +128,7 @@ def format_addr(host: str, port: int) -> str:
 
 
 __all__ = [
+    "CAMPAIGN_OPS",
     "ERR_BAD_REQUEST",
     "ERR_BUILD_FAILED",
     "ERR_INTERNAL",

@@ -82,6 +82,10 @@ class ServiceServer:
         self._pool = None
         self._queue: "asyncio.Queue[_Pending]" = None  # set in serve()
         self._inflight: dict[str, _Pending] = {}
+        # distributed-campaign lease table: lease id -> result future.
+        # Leases bypass single-flight (two batches are never identical
+        # work, and a re-leased batch must re-run, not coalesce).
+        self._leases: dict[str, "asyncio.Future"] = {}
         self._stop = None  # asyncio.Event, set in serve()
         self._started_at = time.time()
         self._requests: dict[str, int] = {}
@@ -135,6 +139,10 @@ class ServiceServer:
                     p.future.set_exception(
                         ConnectionError("service shut down"))
             self._inflight.clear()
+            for fut in self._leases.values():
+                if not fut.done():
+                    fut.set_exception(ConnectionError("service shut down"))
+            self._leases.clear()
 
     # -- connection handling --------------------------------------------------
 
@@ -191,6 +199,8 @@ class ServiceServer:
         try:
             if op in protocol.PARENT_OPS:
                 resp = self._parent_op(req_id, op, params)
+            elif op in protocol.CAMPAIGN_OPS:
+                resp = await self._campaign_op(req_id, op, params)
             elif op in protocol.OPS:
                 resp = await self._dispatch(req_id, op, params)
             else:
@@ -257,10 +267,63 @@ class ServiceServer:
             "max_batch": self.max_batch,
             "requests": dict(sorted(self._requests.items())),
             "inflight": len(self._inflight),
+            "leases": len(self._leases),
             "singleflight_coalesced": self._coalesced,
             "batches": self._batches,
             "store": store,
         }
+
+    # -- distributed-campaign leases ------------------------------------------
+
+    async def _campaign_op(self, req_id, op: str, params: dict) -> dict:
+        if op == "campaign.heartbeat":
+            return protocol.ok_response(req_id, leases={
+                lid: ("done" if fut.done() else "running")
+                for lid, fut in self._leases.items()
+            })
+        lease_id = params.get("lease")
+        if not isinstance(lease_id, str) or not lease_id:
+            return protocol.error_response(
+                req_id, protocol.ERR_BAD_REQUEST,
+                f"{op} needs a string 'lease' id")
+        if op == "campaign.lease":
+            if lease_id in self._leases:
+                return protocol.error_response(
+                    req_id, protocol.ERR_BAD_REQUEST,
+                    f"lease {lease_id!r} already exists")
+            tasks = params.get("tasks")
+            if not isinstance(tasks, list) or not tasks:
+                return protocol.error_response(
+                    req_id, protocol.ERR_BAD_REQUEST,
+                    "campaign.lease needs a non-empty 'tasks' list")
+            future = asyncio.get_running_loop().create_future()
+            self._leases[lease_id] = future
+            # enqueue alongside regular requests — one lease is one
+            # worker-pool task (the batch amortizes dispatch, exactly
+            # like a build micro-batch)
+            await self._queue.put(_Pending(
+                f"lease:{lease_id}",
+                {"id": None, "op": "campaign.batch", "params": params},
+                future))
+            telemetry.counter("repro_service_leases_total",
+                              "campaign batches leased to this daemon").inc()
+            return protocol.ok_response(req_id, lease=lease_id,
+                                        tasks=len(tasks))
+        # campaign.result — await the batch, hand back its rows, drop
+        # the lease (pipelining keeps heartbeats on the same connection
+        # responsive while this waits)
+        future = self._leases.get(lease_id)
+        if future is None:
+            return protocol.error_response(
+                req_id, protocol.ERR_BAD_REQUEST,
+                f"unknown lease {lease_id!r}")
+        try:
+            resp = dict(await asyncio.shield(future))
+        finally:
+            self._leases.pop(lease_id, None)
+        resp["id"] = req_id
+        resp["lease"] = lease_id
+        return resp
 
     # -- single-flight + batched dispatch -------------------------------------
 

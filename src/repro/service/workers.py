@@ -257,6 +257,52 @@ def _op_fuzz(req_id, params: dict) -> dict:
     )
 
 
+# -- campaign batches (the distributed-fuzzing lease protocol) ----------------
+
+
+def _op_campaign_batch(req_id, params: dict) -> dict:
+    """One leased campaign batch: run every task, return its rows.
+
+    ``refs`` maps content hashes to shipped O0 reference results — the
+    coordinator ships each at most once per host; we install them into
+    the oracle memo before running, so an escalation screened elsewhere
+    never rebuilds its reference here.  Tasks whose coordinator does not
+    yet hold the reference (``ref_known`` false) get theirs exported
+    back in ``refs`` of the response.
+    """
+    from repro.fuzz import oracle
+    from repro.fuzz.campaign import _materialize, _run_task
+    from repro.fuzz.shard import content_hash
+
+    tasks = params.get("tasks")
+    if not isinstance(tasks, list) or not tasks:
+        raise ValueError("campaign.lease needs a non-empty 'tasks' list")
+    shipped = params.get("refs") or {}
+    rows = []
+    new_refs: dict = {}
+    for t in tasks:
+        spec = _materialize(t)
+        h = t.get("hash") or content_hash(spec.name, spec.source,
+                                          spec.bindings)
+        if h in shipped:
+            oracle.seed_reference(spec, t.get("max_steps"), shipped[h])
+        row = _run_task(t, spec=spec)
+        row["hash"] = h
+        if not t.get("ref_known") and h not in new_refs:
+            exp = oracle.export_reference(spec, t.get("max_steps"))
+            if exp is not None:
+                new_refs[h] = exp
+        rows.append(row)
+    telemetry.counter("repro_campaign_remote_tasks_total",
+                      "campaign tasks executed under a lease").inc(len(rows))
+    # the batch's own telemetry delta rides home in the response: the
+    # coordinator absorbs it under the existing lineage rules (the
+    # daemon separately absorbs the per-task snapshot into *its*
+    # registry — different process, different registry, no double count)
+    return ok_response(req_id, rows=rows, refs=new_refs,
+                       snapshot=telemetry.snapshot(include_spans=False))
+
+
 # -- dispatch -----------------------------------------------------------------
 
 _OPS = {
@@ -264,6 +310,7 @@ _OPS = {
     "run": _op_run,
     "diag": _op_diag,
     "fuzz": _op_fuzz,
+    "campaign.batch": _op_campaign_batch,
 }
 
 

@@ -10,8 +10,10 @@ tests already assert (compiled ≥3x, fused ≥2x over compiled, array speed
 mode ≥3x over fused, cold builds ≥2x and warm ≥10x over the pinned
 baseline, bit-identical warm artifacts and speed-mode checksums, the
 campaign engine ≥3x seeds/sec over ``fuzz run`` with a mismatch-free
-500-seed sweep), so a PR that regresses a trajectory fails CI even if
-no unit test notices.
+500-seed sweep, and the distributed tier ≥1.8x seeds/sec over a
+single-host run at equal total worker count with byte-identical
+output and zero lost tasks), so a PR that regresses a trajectory
+fails CI even if no unit test notices.
 
 Custom rules come from a JSON file (``--thresholds``): a list of objects
 ``{"file", "path", "op", "value", ...}``; ``op`` is one of ``>= <= > <
@@ -55,6 +57,18 @@ DEFAULT_THRESHOLDS = [
     # campaign must be skipping true duplicates, not most of its work
     {"file": "BENCH_fuzz.json", "path": "campaign.dedup_rate",
      "op": "<=", "value": 0.5},
+    # distributed tier: two daemons at the same total worker count must
+    # actually go faster than one local pool — and produce the same
+    # bytes while doing it, with every lease accounted for
+    {"file": "BENCH_fuzz.json", "path": "distributed.speedup_seeds_per_sec",
+     "op": ">=", "value": 1.8},
+    {"file": "BENCH_fuzz.json", "path": "distributed.mismatches",
+     "op": "==", "value": 0},
+    {"file": "BENCH_fuzz.json", "path": "distributed.lost_tasks",
+     "op": "==", "value": 0},
+    {"file": "BENCH_fuzz.json",
+     "path": "distributed.identical_to_single_host",
+     "op": "truthy", "value": True},
 ]
 
 _OPS = {

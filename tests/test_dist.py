@@ -1,0 +1,548 @@
+"""Tests for distributed campaigns (repro.fuzz.dist) and the client
+retry budget (repro.service.client).
+
+Four layers:
+
+* **lease protocol** against a real daemon — ``campaign.heartbeat``
+  answers with the lease table, and a pipelined ``campaign.lease`` /
+  ``campaign.result`` pair returns rows plus the newly-computed O0
+  reference for tasks whose coordinator does not hold it yet;
+* **DistRunner units** against fake daemons — a host that dies on its
+  first lease is marked dead and its batch re-run locally (zero lost
+  tasks), a host that keeps erroring a batch exhausts
+  ``MAX_LEASE_ATTEMPTS`` and falls back locally, and all-hosts-dead
+  drains every batch in-process;
+* **host pins** — ``hosts.json`` round trip and every refusal mode of
+  ``resolve_host_pins`` / ``check_host_fingerprints``;
+* **client retry** — transient transport failures are retried with the
+  counted budget, structured errors are not, and an exhausted budget
+  counts both the legacy unreachable outcome and the fallback reason.
+
+The end-to-end byte-identity test runs a small campaign twice — one
+local pool, one distributed over two one-worker daemons — and asserts
+the trees match byte for byte.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.fuzz.campaign import CampaignConfig, _materialize, run_campaign
+from repro.fuzz.dist import (
+    MAX_LEASE_ATTEMPTS,
+    DistRunner,
+    HostConn,
+    HostError,
+    host_fingerprint,
+)
+from repro.fuzz.shard import (
+    CampaignStateError,
+    check_host_fingerprints,
+    content_hash,
+    load_host_pins,
+    resolve_host_pins,
+    write_host_pins,
+)
+from repro.service import client as svc
+from repro.service import protocol
+
+
+def _counter(snap, name, **labels):
+    """Sum of a counter's series matching ``labels`` in a snapshot."""
+    for fam in snap.get("metrics", ()):
+        if fam["name"] != name:
+            continue
+        return sum(
+            s["value"]
+            for s in fam["series"]
+            if all(s["labels"].get(k) == v for k, v in labels.items())
+        )
+    return 0
+
+
+def _free_dead_addr() -> str:
+    """An address that is guaranteed closed (bound once, then freed)."""
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return f"127.0.0.1:{port}"
+
+
+def _task(seed: int, kind: str = "screen") -> dict:
+    """A self-describing campaign task dict, as the scheduler emits."""
+    t = {"key": f"s{seed:06d}", "kind": kind, "seed": seed,
+         "variant": None, "bug": None, "max_steps": None}
+    spec = _materialize(t)
+    t["hash"] = content_hash(spec.name, spec.source, spec.bindings)
+    return t
+
+
+# -- real daemons -------------------------------------------------------------
+
+
+def _spawn_daemon(root: Path, name: str):
+    addr_file = root / f"{name}.addr"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src"))
+    env["REPRO_CACHE_DIR"] = str(root / f"{name}-cache")
+    env.pop("REPRO_SERVICE_ADDR", None)
+    log = open(root / f"{name}.log", "w")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "serve",
+         "--port", "0", "--workers", "1", "--shards", "4",
+         "--store", str(root / f"{name}-store"),
+         "--addr-file", str(addr_file)],
+        env=env, stdout=log, stderr=subprocess.STDOUT,
+    )
+    deadline = time.time() + 60
+    while not addr_file.exists():
+        if proc.poll() is not None:
+            log.close()
+            raise RuntimeError(f"daemon {name} died during startup:\n"
+                               + (root / f"{name}.log").read_text())
+        if time.time() > deadline:
+            proc.kill()
+            raise RuntimeError(f"daemon {name} did not write its addr file")
+        time.sleep(0.05)
+    return proc, addr_file.read_text().strip(), log
+
+
+@pytest.fixture(scope="module")
+def daemons(tmp_path_factory):
+    """Two one-worker daemons with private stores and caches."""
+    root = tmp_path_factory.mktemp("dist")
+    started = [_spawn_daemon(root, f"d{i}") for i in (1, 2)]
+    yield [addr for _, addr, _ in started]
+    for proc, addr, log in started:
+        try:
+            svc.shutdown(addr)
+            proc.wait(timeout=15)
+        except Exception:
+            proc.kill()
+            proc.wait(timeout=15)
+        log.close()
+
+
+class TestLeaseProtocol:
+    def test_heartbeat_reports_lease_table(self, daemons):
+        resp = svc.request(daemons[0], {"op": "campaign.heartbeat",
+                                        "id": 7, "params": {}})
+        assert resp["ok"] and resp["id"] == 7
+        assert resp["leases"] == {}  # nothing leased on this connection
+
+    def test_lease_needs_tasks(self, daemons):
+        with pytest.raises(svc.ServiceError) as ei:
+            svc.request(daemons[0], {"op": "campaign.lease", "id": 1,
+                                     "params": {"lease": "Lx", "tasks": []}})
+        assert ei.value.code == "bad-request"
+
+    def test_pipelined_lease_result_roundtrip(self, daemons):
+        """One lease + its result pipelined on a persistent connection:
+        rows come back keyed and hashed, and the unknown reference is
+        exported back to the coordinator."""
+        t = _task(1)
+        conn = HostConn(daemons[0])
+        try:
+            rid_lease = conn.send("campaign.lease", {
+                "lease": "Ltest-rt", "tasks": [{**t, "ref_known": False}],
+                "refs": {}})
+            rid_result = conn.send("campaign.result", {"lease": "Ltest-rt"})
+            got: dict = {}
+            deadline = time.time() + 120
+            while rid_result not in got:
+                assert time.time() < deadline, "no lease result in 120s"
+                for m in conn.recv_ready():
+                    got[m.get("id")] = m
+            assert got[rid_lease]["ok"], got[rid_lease]
+            result = got[rid_result]
+            assert result["ok"], result
+            assert [r["key"] for r in result["rows"]] == [t["key"]]
+            assert result["rows"][0]["hash"] == t["hash"]
+            assert t["hash"] in result["refs"]  # exported, coordinator-bound
+            assert result.get("snapshot")  # per-batch telemetry delta
+        finally:
+            conn.close()
+
+    def test_shipped_ref_is_not_exported_back(self, daemons):
+        """ref_known tasks never trigger a reference export — the
+        coordinator already holds it."""
+        t = _task(2)
+        conn = HostConn(daemons[0])
+        try:
+            rid_lease = conn.send("campaign.lease", {
+                "lease": "Ltest-known",
+                "tasks": [{**t, "ref_known": True}], "refs": {}})
+            rid_result = conn.send("campaign.result",
+                                   {"lease": "Ltest-known"})
+            got: dict = {}
+            deadline = time.time() + 120
+            while rid_result not in got:
+                assert time.time() < deadline, "no lease result in 120s"
+                for m in conn.recv_ready():
+                    got[m.get("id")] = m
+            assert got[rid_lease]["ok"]
+            assert got[rid_result]["ok"]
+            assert got[rid_result]["refs"] == {}
+        finally:
+            conn.close()
+
+
+# -- fake daemons for failure-path units --------------------------------------
+
+
+class _FakeDaemon(threading.Thread):
+    """Speaks just enough protocol to test DistRunner failure paths.
+
+    ``on_lease`` decides the behaviour: ``"close"`` drops the connection
+    the moment a lease arrives (a kill -9), ``"error"`` acks the lease
+    and fails its result (a deterministic remote crash).
+    """
+
+    def __init__(self, on_lease: str):
+        super().__init__(daemon=True)
+        self.on_lease = on_lease
+        self.srv = socket.socket()
+        self.srv.bind(("127.0.0.1", 0))
+        self.srv.listen(8)
+        self.srv.settimeout(0.2)
+        self.addr = f"127.0.0.1:{self.srv.getsockname()[1]}"
+        self.stopping = False
+        self.leases_seen = 0
+
+    def run(self):
+        while not self.stopping:
+            try:
+                conn, _ = self.srv.accept()
+            except socket.timeout:
+                continue
+            try:
+                self._serve(conn)
+            finally:
+                conn.close()
+        self.srv.close()
+
+    def _serve(self, conn):
+        f = conn.makefile("rb")
+        while not self.stopping:
+            line = f.readline()
+            if not line:
+                return
+            msg = protocol.decode(line)
+            op, rid = msg.get("op"), msg.get("id")
+            if op == "ping":
+                conn.sendall(protocol.encode(
+                    {"ok": True, "id": rid, "protocol": 2,
+                     "version": "fake"}))
+            elif op == "status":
+                conn.sendall(protocol.encode(
+                    {"ok": True, "id": rid, "status": {
+                        "workers": 1, "version": "fake", "protocol": 2,
+                        "store": {"root": "/fake", "shards": 4}}}))
+            elif op == "campaign.heartbeat":
+                conn.sendall(protocol.encode(
+                    {"ok": True, "id": rid, "leases": {}}))
+            elif op == "campaign.lease":
+                self.leases_seen += 1
+                if self.on_lease == "close":
+                    return  # connection drops mid-lease
+                conn.sendall(protocol.encode({"ok": True, "id": rid}))
+            elif op == "campaign.result":
+                conn.sendall(protocol.encode(
+                    {"ok": False, "id": rid, "error": {
+                        "code": "internal", "message": "boom"}}))
+
+    def stop(self):
+        self.stopping = True
+        self.join(timeout=5)
+
+
+@pytest.fixture
+def fake_daemon(request):
+    d = _FakeDaemon(request.param)
+    d.start()
+    yield d
+    d.stop()
+
+
+def _echo_task(t: dict) -> dict:
+    return {"key": t["key"], "ok": True, "ran": "local"}
+
+
+class TestDistRunnerFailures:
+    def test_needs_at_least_one_host(self):
+        with pytest.raises(ValueError):
+            DistRunner([], _echo_task)
+
+    def test_duplicate_hosts_collapse(self):
+        r = DistRunner(["a:1", "a:1", "b:2"], _echo_task)
+        assert [h.addr for h in r.hosts] == ["a:1", "b:2"]
+
+    def test_strict_connect_refuses_unreachable_host(self):
+        r = DistRunner([_free_dead_addr()], _echo_task)
+        with pytest.raises(HostError):
+            r.connect(strict=True)
+
+    def test_all_hosts_dead_drains_locally(self):
+        """Non-strict connect against a dead host: every batch runs
+        in-process and none are lost."""
+        r = DistRunner([_free_dead_addr()], _echo_task)
+        fps = r.connect(strict=False)
+        assert list(fps.values()) == [None]
+        batches = [(0, [_dummy(0), _dummy(1)]), (1, [_dummy(2)])]
+        results = r.run_round(batches)
+        assert sorted(results) == [0, 1]
+        assert [row["key"] for row in results[0]] == ["t0", "t1"]
+        assert r.stats["local_batches"] == 2
+        assert r.stats["dead_hosts"] == 1
+        assert r.stats["leases"] == 0
+
+    @pytest.mark.parametrize("fake_daemon", ["close"], indirect=True)
+    def test_connection_drop_releases_and_falls_back(self, fake_daemon):
+        """A host that dies holding a lease: the batch is released and
+        (no hosts left) completed locally — zero lost tasks."""
+        r = DistRunner([fake_daemon.addr], _echo_task, lease_timeout=5.0)
+        r.connect(strict=True)
+        try:
+            results = r.run_round([(0, [_dummy(0)])])
+        finally:
+            r.close()
+        assert [row["key"] for row in results[0]] == ["t0"]
+        assert r.stats["leases"] == 1
+        assert r.stats["releases"] == 1
+        assert r.stats["dead_hosts"] == 1
+        assert r.stats["local_batches"] == 1
+
+    @pytest.mark.parametrize("fake_daemon", ["error"], indirect=True)
+    def test_remote_errors_exhaust_attempts_then_run_locally(
+            self, fake_daemon):
+        """A batch that errors on every lease bounces MAX_LEASE_ATTEMPTS
+        times, then runs in the coordinator (which surfaces the real
+        answer instead of looping forever)."""
+        r = DistRunner([fake_daemon.addr], _echo_task, lease_timeout=5.0)
+        r.connect(strict=True)
+        try:
+            results = r.run_round([(3, [_dummy(7)])])
+        finally:
+            r.close()
+        assert [row["key"] for row in results[3]] == ["t7"]
+        assert r.stats["leases"] == MAX_LEASE_ATTEMPTS
+        assert fake_daemon.leases_seen == MAX_LEASE_ATTEMPTS
+        assert r.stats["local_batches"] == 1
+        assert r.stats["dead_hosts"] == 0  # the host stayed healthy
+
+
+def _dummy(i: int) -> dict:
+    return {"key": f"t{i}", "hash": f"h{i}"}
+
+
+# -- host pins ----------------------------------------------------------------
+
+
+class TestHostPins:
+    FP = {"version": "0.9", "protocol": 2, "store_root": "/s", "shards": 16}
+
+    def test_round_trip_sorts_hosts(self, tmp_path):
+        write_host_pins(tmp_path, ["b:2", "a:1"], {"a:1": self.FP,
+                                                   "b:2": self.FP})
+        pins = load_host_pins(tmp_path)
+        assert pins["hosts"] == ["a:1", "b:2"]
+        assert pins["fingerprints"]["a:1"] == self.FP
+
+    def test_unpinned_campaign_has_no_pins(self, tmp_path):
+        assert load_host_pins(tmp_path) is None
+        assert resolve_host_pins(tmp_path, None) is None
+
+    def test_resume_without_hosts_uses_pinned(self, tmp_path):
+        write_host_pins(tmp_path, ["a:1", "b:2"], {})
+        assert resolve_host_pins(tmp_path, None) == ["a:1", "b:2"]
+
+    def test_resume_with_same_set_any_order_is_fine(self, tmp_path):
+        write_host_pins(tmp_path, ["a:1", "b:2"], {})
+        assert resolve_host_pins(tmp_path, ["b:2", "a:1"]) == ["a:1", "b:2"]
+
+    def test_resume_with_different_hosts_is_refused(self, tmp_path):
+        write_host_pins(tmp_path, ["a:1", "b:2"], {})
+        with pytest.raises(CampaignStateError, match="different host set"):
+            resolve_host_pins(tmp_path, ["a:1", "c:3"])
+
+    def test_single_host_campaign_refuses_hosts_flag(self, tmp_path):
+        with pytest.raises(CampaignStateError, match="single-host"):
+            resolve_host_pins(tmp_path, ["a:1"])
+
+    def test_corrupt_pins_are_a_state_error(self, tmp_path):
+        (tmp_path / "hosts.json").write_text("{nope")
+        with pytest.raises(CampaignStateError, match="corrupt"):
+            load_host_pins(tmp_path)
+
+    def test_changed_fingerprint_is_refused(self, tmp_path):
+        pinned = {"hosts": ["a:1"], "fingerprints": {"a:1": self.FP}}
+        other = dict(self.FP, store_root="/elsewhere")
+        with pytest.raises(CampaignStateError, match="changed identity"):
+            check_host_fingerprints(tmp_path, pinned, {"a:1": other})
+
+    def test_unreachable_host_passes_fingerprint_check(self, tmp_path):
+        pinned = {"hosts": ["a:1"], "fingerprints": {"a:1": self.FP}}
+        check_host_fingerprints(tmp_path, pinned, {"a:1": None})
+
+    def test_fingerprint_drops_runtime_knobs(self):
+        fp = host_fingerprint({"version": "0.9", "protocol": 2,
+                               "workers": 8, "inflight": 3,
+                               "store": {"root": "/s", "shards": 16,
+                                         "per_shard": []}})
+        assert fp == {"version": "0.9", "protocol": 2,
+                      "store_root": "/s", "shards": 16}
+
+
+# -- client retry -------------------------------------------------------------
+
+
+def _one_shot_server(refuse: int, response):
+    """Refuse (accept+close) ``refuse`` connections, then serve one
+    request with ``response(request_dict)``."""
+    srv = socket.socket()
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(8)
+    addr = f"127.0.0.1:{srv.getsockname()[1]}"
+
+    def run():
+        for _ in range(refuse):
+            c, _ = srv.accept()
+            c.close()
+        c, _ = srv.accept()
+        with c.makefile("rb") as f:
+            req = json.loads(f.readline())
+        c.sendall(protocol.encode(response(req)))
+        c.close()
+        srv.close()
+
+    t = threading.Thread(target=run, daemon=True)
+    t.start()
+    return addr, t
+
+
+class TestClientRetry:
+    def test_transient_failures_are_retried_and_counted(self, monkeypatch):
+        monkeypatch.setenv(svc.RETRY_BASE_ENV, "0.001")
+        addr, t = _one_shot_server(
+            refuse=2,
+            response=lambda req: {"ok": True, "id": req["id"], "pong": 1})
+        before = telemetry.snapshot(include_spans=False)
+        resp = svc.request_with_retry(
+            addr, {"op": "ping", "id": 5, "params": {}}, timeout=10)
+        t.join(timeout=5)
+        after = telemetry.snapshot(include_spans=False)
+        assert resp["ok"] and resp["pong"] == 1
+        assert (_counter(after, "repro_service_retries_total", op="ping")
+                - _counter(before, "repro_service_retries_total", op="ping")
+                ) == 2
+
+    def test_structured_errors_are_not_retried(self, monkeypatch):
+        monkeypatch.setenv(svc.RETRY_BASE_ENV, "0.001")
+        addr, t = _one_shot_server(
+            refuse=0,
+            response=lambda req: {"ok": False, "id": req["id"], "error": {
+                "code": "manifest-mismatch", "message": "nope"}})
+        before = telemetry.snapshot(include_spans=False)
+        with pytest.raises(svc.ServiceError) as ei:
+            svc.request_with_retry(
+                addr, {"op": "build", "id": 1, "params": {}}, timeout=10)
+        t.join(timeout=5)
+        after = telemetry.snapshot(include_spans=False)
+        assert ei.value.code == "manifest-mismatch"
+        assert (_counter(after, "repro_service_retries_total")
+                == _counter(before, "repro_service_retries_total"))
+
+    def test_exhausted_budget_falls_back_with_both_counters(
+            self, monkeypatch):
+        monkeypatch.setenv(svc.ADDR_ENV, _free_dead_addr())
+        monkeypatch.setenv(svc.RETRY_ATTEMPTS_ENV, "2")
+        monkeypatch.setenv(svc.RETRY_BASE_ENV, "0.001")
+        before = telemetry.snapshot(include_spans=False)
+        out = svc.maybe_remote_build("void k(){}", "k", "supervec+v",
+                                    True, 4, False)
+        after = telemetry.snapshot(include_spans=False)
+        assert out is None
+
+        def delta(name, **labels):
+            return (_counter(after, name, **labels)
+                    - _counter(before, name, **labels))
+
+        assert delta("repro_service_retries_total", op="build") == 1
+        assert delta("repro_service_client_requests_total",
+                     outcome="unreachable") == 1
+        assert delta("repro_service_fallback_total") == 1
+
+    def test_attempts_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv(svc.RETRY_ATTEMPTS_ENV, "0")
+        assert svc.retry_attempts() == 1
+
+
+# -- end to end: distributed == single host -----------------------------------
+
+
+def _tree(root: Path) -> dict:
+    out = {}
+    skip = {"hosts.json", "fuzz_telemetry.json"}
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d != "cache"]
+        for name in sorted(filenames):
+            if name in skip:
+                continue
+            p = Path(dirpath) / name
+            out[str(p.relative_to(root))] = p.read_bytes()
+    return out
+
+
+class TestDistributedCampaign:
+    def test_distributed_tree_is_byte_identical(self, tmp_path, daemons):
+        """The same seed mix through a local pool and through two
+        daemons must produce byte-identical manifests, records, and
+        findings — host count is a pure runtime knob."""
+        cfg = CampaignConfig(seeds=6, bug="drop-guard", batch=2,
+                             round_batches=2, audit_every=4, mutate=False)
+        single = run_campaign(tmp_path / "single", cfg, jobs=1)
+        dist = run_campaign(tmp_path / "dist", cfg, hosts=list(daemons))
+        assert single.tasks == dist.tasks
+        assert single.failed == dist.failed
+        assert single.findings == dist.findings
+        assert dist.dist["leases"] > 0
+        assert dist.dist["dead_hosts"] == 0
+
+        pins = load_host_pins(tmp_path / "dist")
+        assert pins["hosts"] == sorted(daemons)
+        for a in daemons:
+            assert pins["fingerprints"][a]["protocol"] >= 2
+
+        s_tree, d_tree = _tree(tmp_path / "single"), _tree(tmp_path / "dist")
+        assert s_tree.keys() == d_tree.keys()
+        diff = [k for k in s_tree if s_tree[k] != d_tree[k]]
+        assert not diff, diff
+        # the distributed tree really is pinned; the single one is not
+        assert (tmp_path / "dist" / "hosts.json").exists()
+        assert not (tmp_path / "single" / "hosts.json").exists()
+
+        # replay iteration must skip the pin file and load every
+        # remaining JSON as a corpus entry
+        from repro.fuzz.corpus import iter_entries, load_entry
+        entries = list(iter_entries(tmp_path / "dist"))
+        assert all(p.name != "hosts.json" for p in entries)
+        for p in entries:
+            load_entry(p)
+
+    def test_resume_refuses_a_different_host_set(self, tmp_path, daemons):
+        cfg = CampaignConfig(seeds=2, batch=2, round_batches=2,
+                             mutate=False)
+        run_campaign(tmp_path / "camp", cfg, hosts=[daemons[0]])
+        with pytest.raises(CampaignStateError, match="different host set"):
+            run_campaign(tmp_path / "camp", resume=True,
+                         hosts=[_free_dead_addr()])

@@ -1,0 +1,116 @@
+"""Scheduler priority-queue ordering: the tie-break contract.
+
+The campaign's resumability proof leans on the scheduler draining the
+same state in the same order no matter what produced it.  These tests
+pin the documented ordering rules down:
+
+* escalations preempt mutants preempt fresh seeds;
+* equal-priority escalations pop FIFO (push order);
+* equal-rarity mutants pop FIFO (push order), not by seed number or
+  task content;
+* the order survives a ``to_json``/``from_json`` checkpoint round-trip
+  at any point mid-drain.
+"""
+
+from repro.fuzz.schedule import Scheduler, Task
+
+
+def drain(sched: Scheduler, n: int = 100) -> list[Task]:
+    out: list[Task] = []
+    while True:
+        batch = sched.next_batch(n)
+        if not batch:
+            return out
+        out.extend(batch)
+
+
+class TestClassOrdering:
+    def test_escalations_preempt_mutants_preempt_fresh(self):
+        sched = Scheduler(next_fresh=0, fresh_end=2)
+        sched.push_mutant(Task("mutant", 7, variant=1), rarity=3)
+        sched.push_escalation(Task("full", 5, reason="failure"))
+        kinds = [t.kind for t in drain(sched)]
+        assert kinds == ["full", "mutant", "seed", "seed"]
+
+    def test_fresh_seeds_in_cursor_order(self):
+        sched = Scheduler(next_fresh=10, fresh_end=14)
+        assert [t.seed for t in drain(sched)] == [10, 11, 12, 13]
+
+
+class TestTieBreaking:
+    def test_equal_priority_escalations_pop_fifo(self):
+        sched = Scheduler(next_fresh=0, fresh_end=0)
+        # deliberately pushed in *descending* seed order: FIFO means
+        # push order wins, not seed order, not reason strings
+        pushed = [Task("full", s, reason=r)
+                  for s, r in ((9, "novel"), (3, "audit"), (7, "failure"))]
+        for t in pushed:
+            sched.push_escalation(t)
+        assert drain(sched) == pushed
+
+    def test_equal_rarity_mutants_pop_fifo(self):
+        sched = Scheduler(next_fresh=0, fresh_end=0)
+        pushed = [Task("mutant", s, variant=v)
+                  for s, v in ((8, 2), (1, 1), (5, 3))]
+        for t in pushed:
+            sched.push_mutant(t, rarity=2)
+        assert drain(sched) == pushed
+
+    def test_rarity_orders_before_push_order(self):
+        sched = Scheduler(next_fresh=0, fresh_end=0)
+        late_but_rare = Task("mutant", 1, variant=1)
+        early_common = Task("mutant", 2, variant=1)
+        sched.push_mutant(early_common, rarity=5)
+        sched.push_mutant(late_but_rare, rarity=1)
+        assert drain(sched) == [late_but_rare, early_common]
+
+    def test_interleaved_classes_keep_per_class_fifo(self):
+        sched = Scheduler(next_fresh=0, fresh_end=0)
+        e1, e2 = Task("full", 4, reason="a"), Task("full", 2, reason="b")
+        m1, m2 = Task("mutant", 9, variant=1), Task("mutant", 3, variant=1)
+        sched.push_mutant(m1, rarity=1)
+        sched.push_escalation(e1)
+        sched.push_mutant(m2, rarity=1)
+        sched.push_escalation(e2)
+        assert drain(sched) == [e1, e2, m1, m2]
+
+
+class TestCheckpointRoundTrip:
+    def _populated(self) -> Scheduler:
+        sched = Scheduler(next_fresh=3, fresh_end=6)
+        sched.push_escalation(Task("full", 11, reason="failure"))
+        sched.push_mutant(Task("mutant", 6, variant=2), rarity=4)
+        sched.push_escalation(Task("full", 2, reason="audit"))
+        sched.push_mutant(Task("mutant", 9, variant=1), rarity=4)
+        sched.push_mutant(Task("mutant", 1, variant=1), rarity=0)
+        return sched
+
+    def test_round_trip_preserves_drain_order(self):
+        want = drain(self._populated())
+        sched = Scheduler.from_json(self._populated().to_json())
+        assert drain(sched) == want
+
+    def test_round_trip_mid_drain(self):
+        ref = self._populated()
+        head = ref.next_batch(2)
+        resumed = Scheduler.from_json(ref.to_json())
+        assert drain(resumed) == drain(self._populated())[len(head):]
+
+    def test_round_trip_preserves_order_counter(self):
+        # pushes after a resume must still sort after pre-resume pushes
+        ref = self._populated()
+        resumed = Scheduler.from_json(ref.to_json())
+        newer = Task("mutant", 77, variant=1)
+        resumed.push_mutant(newer, rarity=4)
+        drained = drain(resumed)
+        same_rank = [t for t in drained
+                     if t.kind == "mutant" and t.seed in (6, 9, 77)]
+        assert same_rank == [Task("mutant", 6, variant=2),
+                             Task("mutant", 9, variant=1), newer]
+
+    def test_json_is_plain_data(self):
+        import json
+
+        blob = json.dumps(self._populated().to_json())
+        sched = Scheduler.from_json(json.loads(blob))
+        assert drain(sched) == drain(self._populated())
